@@ -1,0 +1,111 @@
+// Figure 10(a) — AQP vs AQP++ on measure-biased samples (§7.4).
+//
+// Paper setup: TPCD-Skew, 0.05% measure-biased sample ([24]), 1000 queries
+// at 0.5%-5% selectivity, restricted to queries that cover at least one
+// outlier (l_extendedprice > median + 3*SD), BP-Cube size swept from
+// k = 1000 to k = 10000. Expected shape: AQP++ reduces the median error of
+// AQP by ~3x already at small k.
+
+#include <algorithm>
+#include <cmath>
+
+#include "baseline/aqp.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+#include "workload/query_gen.h"
+
+namespace aqpp {
+namespace bench {
+namespace {
+
+int Run() {
+  const size_t rows = BenchRows();
+  const size_t num_queries = std::max<size_t>(80, BenchQueries() / 3);
+  auto table = LoadTpcdSkew(rows);
+  ExactExecutor executor(table.get());
+
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;
+  tmpl.condition_columns = {0, 2};  // l_orderkey, l_suppkey
+  const double sample_rate = 0.02;
+
+  // Outlier definition from the paper: value > median + 3 * SD.
+  auto price = table->column(10).ToDoubleVector();
+  double median = Median(price);
+  double sd = std::sqrt(VariancePopulation(price));
+  double outlier_threshold = median + 3 * sd;
+  std::vector<size_t> outlier_rows;
+  for (size_t i = 0; i < price.size(); ++i) {
+    if (price[i] > outlier_threshold) outlier_rows.push_back(i);
+  }
+
+  // Generate queries and keep only those covering >= 1 outlier.
+  QueryGenerator gen(table.get(), tmpl, {}, /*seed=*/71);
+  std::vector<RangeQuery> queries;
+  size_t attempts = 0;
+  while (queries.size() < num_queries && attempts < num_queries * 50) {
+    ++attempts;
+    auto q = gen.Generate();
+    AQPP_CHECK_OK(q.status());
+    bool covers = false;
+    for (size_t r : outlier_rows) {
+      if (q->predicate.Matches(*table, r)) {
+        covers = true;
+        break;
+      }
+    }
+    if (covers) queries.push_back(std::move(*q));
+  }
+  auto truths = ComputeTruths(queries, executor);
+  AQPP_CHECK_OK(truths.status());
+
+  PrintHeader(
+      "Figure 10(a): measure-biased sampling, median error vs cube size k",
+      StrFormat("rows=%zu  sample=%.3g%% (measure-biased)  outliers=%zu  "
+                "outlier-covering queries=%zu",
+                rows, sample_rate * 100, outlier_rows.size(), queries.size()));
+  std::vector<int> widths = {8, 16, 16, 10};
+  PrintRow({"k", "mdnE AQP(mb)", "mdnE AQP++(mb)", "ratio"}, widths);
+  PrintRule(widths);
+
+  EngineOptions opts;
+  opts.sample_rate = sample_rate;
+  opts.sampling = SamplingMethod::kMeasureBiased;
+  opts.seed = 72;
+
+  // AQP baseline is k-independent: run once.
+  auto aqp = std::move(AqpEngine::Create(table, opts)).value();
+  AQPP_CHECK_OK(aqp->Prepare(tmpl));
+  auto aqp_summary = RunWorkloadWithTruth(
+      queries, *truths, [&](const RangeQuery& q) { return aqp->Execute(q); });
+  AQPP_CHECK_OK(aqp_summary.status());
+
+  for (size_t k : {1000u, 2000u, 5000u, 10000u, 20000u}) {
+    EngineOptions eopts = opts;
+    eopts.cube_budget = k;
+    auto aqpp = std::move(AqppEngine::Create(table, eopts)).value();
+    AQPP_CHECK_OK(aqpp->Prepare(tmpl));
+    auto aqpp_summary = RunWorkloadWithTruth(
+        queries, *truths,
+        [&](const RangeQuery& q) { return aqpp->Execute(q); });
+    AQPP_CHECK_OK(aqpp_summary.status());
+        PrintRow({StrFormat("%zu", k), Pct(aqp_summary->median_relative_error),
+              Pct(aqpp_summary->median_relative_error),
+              RatioCell(aqp_summary->median_relative_error,
+                        aqpp_summary->median_relative_error)},
+             widths);
+  }
+
+  std::printf(
+      "\nPaper shape: with a small BP-Cube (k=5000) AQP++ cuts the "
+      "measure-biased AQP's\nmedian error ~3.3x; the gain grows with k.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqpp
+
+int main() { return aqpp::bench::Run(); }

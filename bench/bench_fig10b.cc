@@ -1,0 +1,114 @@
+// Figure 10(b) — AQP vs AQP++ with stratified sampling on group-by queries
+// (§7.4).
+//
+// Paper setup: TPCD-Skew, group-by queries
+//   SELECT SUM(l_extendedprice) FROM lineitem
+//   WHERE <ranges on l_orderkey, l_suppkey> GROUP BY l_returnflag, l_linestatus
+// with a 0.05% stratified sample over the group-by attributes and k = 50000.
+// The figure reports the median error per group; the tiny <N,F> group is
+// answered exactly by both engines because stratified sampling put all of
+// its rows in the sample.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "baseline/aqp.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+#include "workload/query_gen.h"
+
+namespace aqpp {
+namespace bench {
+namespace {
+
+int Run() {
+  const size_t rows = BenchRows();
+  const size_t num_queries = std::max<size_t>(60, BenchQueries() / 4);
+  auto table = LoadTpcdSkew(rows);
+  ExactExecutor executor(table.get());
+
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;
+  tmpl.condition_columns = {0, 2};   // l_orderkey, l_suppkey
+  tmpl.group_columns = {11, 12};     // l_returnflag, l_linestatus
+  const double sample_rate = 0.02;
+  const size_t k = 50'000;
+
+  EngineOptions opts;
+  opts.sample_rate = sample_rate;
+  opts.sampling = SamplingMethod::kStratified;
+  opts.stratify_columns = tmpl.group_columns;
+  opts.cube_budget = k;
+  opts.seed = 81;
+
+  auto aqpp = std::move(AqppEngine::Create(table, opts)).value();
+  AQPP_CHECK_OK(aqpp->Prepare(tmpl));
+  auto aqp = std::move(AqpEngine::Create(table, opts)).value();
+  AQPP_CHECK_OK(aqp->Prepare(tmpl));
+
+  QueryGenerator gen(table.get(), tmpl, {}, /*seed=*/82);
+  auto queries = gen.GenerateMany(num_queries);
+  AQPP_CHECK_OK(queries.status());
+
+  // Collect per-group relative errors for both engines.
+  std::map<std::vector<int64_t>, std::vector<double>> aqp_errors, aqpp_errors;
+  for (const auto& q : *queries) {
+    auto exact_groups = executor.ExecuteGroupBy(q);
+    AQPP_CHECK_OK(exact_groups.status());
+    std::map<std::vector<int64_t>, double> truth;
+    for (const auto& g : *exact_groups) truth[g.key.values] = g.value;
+
+    auto collect = [&](auto& engine, auto& sink) {
+      auto groups = engine->ExecuteGroupBy(q);
+      AQPP_CHECK_OK(groups.status());
+      for (const auto& g : *groups) {
+        auto it = truth.find(g.key.values);
+        if (it == truth.end() || std::fabs(it->second) < 1e-9) continue;
+        sink[g.key.values].push_back(g.result.ci.half_width /
+                                     std::fabs(it->second));
+      }
+    };
+    collect(aqp, aqp_errors);
+    collect(aqpp, aqpp_errors);
+  }
+
+  PrintHeader(
+      "Figure 10(b): stratified sampling, per-group median error",
+      StrFormat("rows=%zu  stratified sample=%.3g%%  k=%zu  group-by "
+                "queries=%zu  groups=(l_returnflag, l_linestatus)",
+                rows, sample_rate * 100, k, queries->size()));
+  std::vector<int> widths = {10, 12, 12, 10};
+  PrintRow({"group", "mdnE AQP", "mdnE AQP++", "ratio"}, widths);
+  PrintRule(widths);
+
+  const auto& flag_dict = table->column(11).dictionary();
+  const auto& status_dict = table->column(12).dictionary();
+  for (const auto& [key, errors] : aqp_errors) {
+    auto it = aqpp_errors.find(key);
+    if (it == aqpp_errors.end()) continue;
+    double aqp_med = Median(errors);
+    double aqpp_med = Median(it->second);
+    std::string label =
+        "<" + flag_dict[static_cast<size_t>(key[0])] + "," +
+        status_dict[static_cast<size_t>(key[1])] + ">";
+    PrintRow({label, Pct(aqp_med), Pct(aqpp_med),
+              aqpp_med > 1e-12 ? StrFormat("%.2fx", aqp_med / aqpp_med)
+                               : "exact"},
+             widths);
+  }
+
+  std::printf(
+      "\nPaper shape: AQP++ is 3-4x more accurate per group; the tiny <N,F> "
+      "group is\nanswered exactly by both engines (fully sampled by the "
+      "stratified sampler).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqpp
+
+int main() { return aqpp::bench::Run(); }

@@ -1,0 +1,84 @@
+// Figure 8 — Hill Climb (global) vs Hill Climb (local) convergence (§7.3).
+//
+// Paper setup: TPCD-Skew, template
+// [SUM(l_extendedprice), l_shipdate, l_commitdate] (attributes strongly
+// correlated with the measure), k1 = k2 = 200, 0.05% sample. The figure
+// plots error_up(Q, P) per iteration on each dimension: the local policy
+// converges to a worse optimum within ~10 iterations; the global policy
+// keeps improving.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/precompute.h"
+#include "sampling/samplers.h"
+
+namespace aqpp {
+namespace bench {
+namespace {
+
+int Run() {
+  const size_t rows = BenchRows();
+  auto table = LoadTpcdSkew(rows);
+  Rng rng(51);
+  auto sample = CreateUniformSample(*table, 0.01, rng);
+  AQPP_CHECK_OK(sample.status());
+
+  const size_t k_per_dim = 200;
+  PrintHeader("Figure 8: hill climbing adjustment policy (global vs local)",
+              StrFormat("rows=%zu  sample=1%%  k1=k2=%zu  template="
+                        "[SUM(l_extendedprice), l_shipdate, l_commitdate]",
+                        rows, k_per_dim));
+
+  struct DimSpec {
+    const char* name;
+    size_t column;
+  };
+  for (DimSpec dim : {DimSpec{"l_shipdate", 7}, DimSpec{"l_commitdate", 8}}) {
+    std::printf("\n-- dimension %s --\n", dim.name);
+    std::vector<int> widths = {6, 18, 18};
+    PrintRow({"iter", "global error_up", "local error_up"}, widths);
+    PrintRule(widths);
+
+    HillClimbOptions global_opts;
+    global_opts.global_adjustment = true;
+    global_opts.record_history = true;
+    global_opts.max_iterations = 60;
+    HillClimbOptions local_opts = global_opts;
+    local_opts.global_adjustment = false;
+
+    HillClimbOptimizer global(sample->rows.get(), dim.column, 10,
+                              table->num_rows(), global_opts);
+    HillClimbOptimizer local(sample->rows.get(), dim.column, 10,
+                             table->num_rows(), local_opts);
+    auto g = global.Optimize(k_per_dim);
+    auto l = local.Optimize(k_per_dim);
+    AQPP_CHECK_OK(g.status());
+    AQPP_CHECK_OK(l.status());
+
+    size_t iters = std::max(g->history.size(), l->history.size());
+    for (size_t i = 0; i < iters; ++i) {
+      auto cell = [&](const std::vector<double>& h) {
+        if (i < h.size()) return StrFormat("%.1f", h[i]);
+        return StrFormat("(conv %.1f)", h.back());
+      };
+      PrintRow({StrFormat("%zu", i), cell(g->history), cell(l->history)},
+               widths);
+    }
+    std::printf("final: global=%.1f (%zu iters)  local=%.1f (%zu iters)  "
+                "ratio local/global=%.2f\n",
+                g->error_up, g->iterations, l->error_up, l->iterations,
+                l->error_up / std::max(1e-9, g->error_up));
+  }
+
+  std::printf(
+      "\nPaper shape: the local policy stalls in <10 iterations at a higher "
+      "error_up;\nthe global policy continues and converges to a clearly "
+      "better bound.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqpp
+
+int main() { return aqpp::bench::Run(); }

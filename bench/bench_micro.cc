@@ -1,0 +1,221 @@
+// Engine microbenchmarks (google-benchmark): the primitive operations whose
+// costs the paper's response-time and preprocessing-time columns decompose
+// into — predicate scans, cube construction, cube lookups, sampling,
+// aggregate identification, and the difference estimator.
+
+#include <benchmark/benchmark.h>
+
+#include "core/engine.h"
+#include "core/estimator.h"
+#include "core/identification.h"
+#include "core/precompute.h"
+#include "cube/extrema_grid.h"
+#include "cube/prefix_cube.h"
+#include "exec/executor.h"
+#include "exec/hash_join.h"
+#include "sampling/samplers.h"
+#include "workload/tpcd_skew.h"
+
+namespace aqpp {
+namespace {
+
+std::shared_ptr<Table> MicroTable() {
+  static std::shared_ptr<Table> table =
+      std::move(GenerateTpcdSkew({.rows = 500'000, .seed = 7})).value();
+  return table;
+}
+
+Sample& MicroSample() {
+  static Sample sample = [] {
+    Rng rng(1);
+    return std::move(CreateUniformSample(*MicroTable(), 0.01, rng)).value();
+  }();
+  return sample;
+}
+
+RangeQuery MicroQuery() {
+  RangeQuery q;
+  q.func = AggregateFunction::kSum;
+  q.agg_column = 10;
+  q.predicate.Add({7, 400, 1200});   // l_shipdate
+  q.predicate.Add({4, 10, 40});      // l_quantity
+  return q;
+}
+
+void BM_ExactScan(benchmark::State& state) {
+  auto table = MicroTable();
+  ExactExecutor executor(table.get());
+  RangeQuery q = MicroQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*executor.Execute(q));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_ExactScan);
+
+void BM_PredicateMask(benchmark::State& state) {
+  auto table = MicroTable();
+  RangeQuery q = MicroQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*q.predicate.EvaluateMask(*table));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_PredicateMask);
+
+void BM_UniformSampling(benchmark::State& state) {
+  auto table = MicroTable();
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*CreateUniformSample(*table, 0.01, rng));
+  }
+}
+BENCHMARK(BM_UniformSampling);
+
+void BM_CubeBuild(benchmark::State& state) {
+  auto table = MicroTable();
+  const size_t k = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  auto sample = MicroSample();
+  Precomputer pre(table.get(), &sample, 10,
+                  {.forced_shape = {k, k}});
+  for (auto _ : state) {
+    auto result = pre.Precompute({7, 4}, k * k);
+    benchmark::DoNotOptimize(result->cube);
+  }
+}
+BENCHMARK(BM_CubeBuild)->Arg(16)->Arg(64)->Arg(181);
+
+void BM_CubeLookup(benchmark::State& state) {
+  auto table = MicroTable();
+  auto sample = MicroSample();
+  Precomputer pre(table.get(), &sample, 10, {.forced_shape = {100, 100}});
+  auto result = std::move(pre.Precompute({7, 4}, 10000)).value();
+  PreAggregate box;
+  box.lo = {3, 7};
+  box.hi = {60, 80};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(result.cube->BoxValue(box, 0));
+  }
+}
+BENCHMARK(BM_CubeLookup);
+
+void BM_Identification(benchmark::State& state) {
+  auto table = MicroTable();
+  auto& sample = MicroSample();
+  Precomputer pre(table.get(), &sample, 10, {.forced_shape = {100, 100}});
+  auto result = std::move(pre.Precompute({7, 4}, 10000)).value();
+  Rng rng(4);
+  AggregateIdentifier ident(result.cube.get(), &sample, {}, rng);
+  RangeQuery q = MicroQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*ident.Identify(q, rng));
+  }
+}
+BENCHMARK(BM_Identification);
+
+void BM_DifferenceEstimator(benchmark::State& state) {
+  auto& sample = MicroSample();
+  SampleEstimator est(&sample);
+  RangeQuery q = MicroQuery();
+  RangeQuery pre_q = q;
+  pre_q.predicate.mutable_conditions()[0].lo = 420;
+  Rng rng(5);
+  PreValues pre{1e9, 5e4, 1e13};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        *est.EstimateWithPre(q, pre_q.predicate, pre, rng));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(sample.size()));
+}
+BENCHMARK(BM_DifferenceEstimator);
+
+void BM_CubeMerge(benchmark::State& state) {
+  auto table = MicroTable();
+  auto& sample = MicroSample();
+  Precomputer pre(table.get(), &sample, 10, {.forced_shape = {100, 100}});
+  auto a = std::move(pre.Precompute({7, 4}, 10000)).value();
+  auto b = std::move(pre.Precompute({7, 4}, 10000)).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.cube->MergeFrom(*b.cube).ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.cube->NumCells() * 3));
+}
+BENCHMARK(BM_CubeMerge);
+
+void BM_ExtremaGridBuild(benchmark::State& state) {
+  auto table = MicroTable();
+  PartitionScheme scheme(
+      {DimensionPartition{7, [] {
+         std::vector<int64_t> cuts;
+         for (int64_t v = 26; v <= 2557; v += 26) cuts.push_back(v);
+         cuts.push_back(2557);
+         return cuts;
+       }()},
+       DimensionPartition{4, {10, 20, 30, 40, 50}}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*ExtremaGrid::Build(*table, scheme, 10));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(table->num_rows()));
+}
+BENCHMARK(BM_ExtremaGridBuild);
+
+void BM_ExtremaBounds(benchmark::State& state) {
+  auto table = MicroTable();
+  PartitionScheme scheme({DimensionPartition{7, [] {
+                            std::vector<int64_t> cuts;
+                            for (int64_t v = 26; v <= 2557; v += 26) {
+                              cuts.push_back(v);
+                            }
+                            cuts.push_back(2557);
+                            return cuts;
+                          }()},
+                          DimensionPartition{4, {10, 20, 30, 40, 50}}});
+  auto grid = std::move(ExtremaGrid::Build(*table, scheme, 10)).value();
+  RangePredicate pred;
+  pred.Add({7, 400, 1200});
+  pred.Add({4, 10, 40});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*grid->MaxBounds(pred));
+  }
+}
+BENCHMARK(BM_ExtremaBounds);
+
+void BM_HashJoinFk(benchmark::State& state) {
+  auto fact = MicroTable();
+  // Dimension keyed by l_suppkey.
+  Schema dim_schema({{"id", DataType::kInt64}, {"tier", DataType::kInt64}});
+  auto dim = std::make_shared<Table>(dim_schema);
+  int64_t max_supp = *fact->column(2).MaxInt64();
+  for (int64_t s = 1; s <= max_supp; ++s) {
+    dim->AddRow().Int64(s).Int64(s % 7);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        *HashJoinFk(*fact, 2, *dim, 0, {.dimension_prefix = "s_"}));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(fact->num_rows()));
+}
+BENCHMARK(BM_HashJoinFk);
+
+void BM_HillClimb(benchmark::State& state) {
+  auto table = MicroTable();
+  auto& sample = MicroSample();
+  HillClimbOptimizer climber(sample.rows.get(), 7, 10, table->num_rows());
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*climber.Optimize(k));
+  }
+}
+BENCHMARK(BM_HillClimb)->Arg(32)->Arg(256);
+
+}  // namespace
+}  // namespace aqpp
+
+BENCHMARK_MAIN();

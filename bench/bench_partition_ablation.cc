@@ -1,0 +1,159 @@
+// Section 6 ablation — partition-scheme quality: equal-depth vs
+// hill-climbing vs random cuts.
+//
+// DESIGN.md calls out two factors that break the equal-partition optimality
+// (data distribution and attribute correlation, Figure 4). This bench
+// quantifies both the error_up bound (what hill climbing optimizes) and the
+// *realized* median workload error of the resulting cubes on the correlated
+// TPCD-Skew date attribute.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/identification.h"
+#include "core/precompute.h"
+#include "cube/prefix_cube.h"
+#include "sampling/samplers.h"
+#include "stats/descriptive.h"
+#include "workload/query_gen.h"
+
+namespace aqpp {
+namespace bench {
+namespace {
+
+struct RealizedErrors {
+  double median = 0;
+  double max = 0;
+};
+
+// Builds a cube from a fixed 1-D partition and measures the workload error.
+RealizedErrors RealizedError(const std::shared_ptr<Table>& table,
+                           const Sample& sample,
+                           std::vector<int64_t> cuts, size_t cond_col,
+                           size_t measure_col,
+                           const std::vector<RangeQuery>& queries,
+                           const std::vector<double>& truths) {
+  // Pin coverage of the full domain.
+  int64_t max_v = *table->column(cond_col).MaxInt64();
+  if (cuts.empty() || cuts.back() < max_v) cuts.push_back(max_v);
+  PartitionScheme scheme({DimensionPartition{cond_col, std::move(cuts)}});
+  auto cube = PrefixCube::Build(
+      *table, scheme,
+      {MeasureSpec::Sum(measure_col), MeasureSpec::Count(),
+       MeasureSpec::SumSquares(measure_col)});
+  AQPP_CHECK_OK(cube.status());
+  Rng rng(121);
+  AggregateIdentifier ident(cube->get(), &sample, {}, rng);
+  SampleEstimator est(&sample);
+  std::vector<double> errors;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (std::fabs(truths[i]) < 1e-9) continue;
+    auto best = ident.Identify(queries[i], rng);
+    AQPP_CHECK_OK(best.status());
+    RangePredicate pred = best->pre.ToPredicate((*cube)->scheme());
+    auto ci = est.EstimateWithPre(queries[i], pred, best->values, rng);
+    AQPP_CHECK_OK(ci.status());
+    errors.push_back(ci->half_width / std::fabs(truths[i]));
+  }
+  RealizedErrors out;
+  out.median = Median(errors);
+  out.max = errors.empty() ? 0.0
+                           : *std::max_element(errors.begin(), errors.end());
+  return out;
+}
+
+int Run() {
+  const size_t rows = std::min<size_t>(BenchRows(), 600'000);
+  const size_t num_queries = std::max<size_t>(60, BenchQueries() / 3);
+  auto table = LoadTpcdSkew(rows);
+  ExactExecutor executor(table.get());
+  const size_t cond_col = 7;     // l_shipdate (price-correlated)
+  const size_t measure_col = 10;  // l_extendedprice
+  const size_t k = 64;
+
+  Rng rng(122);
+  auto sample = CreateUniformSample(*table, 0.01, rng);
+  AQPP_CHECK_OK(sample.status());
+
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = measure_col;
+  tmpl.condition_columns = {cond_col};
+  QueryGenerator gen(table.get(), tmpl, {}, /*seed=*/123);
+  auto queries = gen.GenerateMany(num_queries);
+  AQPP_CHECK_OK(queries.status());
+  auto truths = ComputeTruths(*queries, executor);
+  AQPP_CHECK_OK(truths.status());
+
+  HillClimbOptimizer climber(sample->rows.get(), cond_col, measure_col,
+                             table->num_rows());
+  auto eq = HillClimbOptimizer(sample->rows.get(), cond_col, measure_col,
+                               table->num_rows(),
+                               {.equal_partition_only = true})
+                .Optimize(k);
+  auto hc = climber.Optimize(k);
+  AQPP_CHECK_OK(eq.status());
+  AQPP_CHECK_OK(hc.status());
+
+  // Random cuts: best of 3 random draws (a fair "cheap" strawman).
+  Rng cut_rng(124);
+  auto distinct = DistinctSorted(*table, cond_col);
+  AQPP_CHECK_OK(distinct.status());
+  double random_error_up = std::numeric_limits<double>::infinity();
+  std::vector<int64_t> random_cuts;
+  for (int trial = 0; trial < 3; ++trial) {
+    std::set<int64_t> cuts;
+    while (cuts.size() + 1 < k) {
+      cuts.insert(
+          (*distinct)[cut_rng.NextBounded((*distinct).size())]);
+    }
+    cuts.insert(distinct->back());
+    std::vector<int64_t> cand(cuts.begin(), cuts.end());
+    double eu = *climber.EvaluateErrorUp(cand);
+    if (eu < random_error_up) {
+      random_error_up = eu;
+      random_cuts = std::move(cand);
+    }
+  }
+
+  PrintHeader(
+      "Section 6 ablation: partition scheme quality (1-D, correlated attr)",
+      StrFormat("rows=%zu  sample=1%%  k=%zu  dim=l_shipdate  "
+                "measure=l_extendedprice  queries=%zu",
+                rows, k, queries->size()));
+  std::vector<int> widths = {14, 16, 14, 14};
+  PrintRow({"scheme", "error_up bound", "realized mdn", "realized max"},
+           widths);
+  PrintRule(widths);
+
+  auto row = [&](const char* label, double bound,
+                 const std::vector<int64_t>& cuts) {
+    RealizedErrors err = RealizedError(table, *sample, cuts, cond_col,
+                                       measure_col, *queries, *truths);
+    PrintRow({label, StrFormat("%.4g", bound), Pct(err.median),
+              Pct(err.max)},
+             widths);
+  };
+  row("random", random_error_up, random_cuts);
+  row("equal-depth", eq->error_up, eq->partition.cuts);
+  row("hill-climb", hc->error_up, hc->partition.cuts);
+  std::printf("(hill climb accepted %zu adjustment iterations)\n",
+              hc->iterations);
+
+  std::printf(
+      "\nExpected shape: hill-climb <= equal-depth << random on the error_up "
+      "bound (what the\nalgorithm optimizes: the Section 3 max-error "
+      "objective). Realized per-query errors are\nnoisier — the Section "
+      "6.1.2 Remark concedes the heuristic is not optimal for them.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqpp
+
+int main() { return aqpp::bench::Run(); }

@@ -1,0 +1,188 @@
+// Table 1 — Overall performance comparison (Section 7.2).
+//
+// Paper setup: TPCD-Skew 100 GB (600 M rows), template
+// [SUM(l_extendedprice), l_orderkey, l_suppkey], 1000 queries at 0.5%-5%
+// selectivity, 0.05% uniform sample, k = 50000.
+//
+// Paper numbers (for shape comparison — our substrate is row-scaled):
+//             Space     Time     Response   Avg Err   Mdn Err
+//   AQP       51.2 MB   4.3 min  0.60 s     2.67%     2.48%
+//   AggPre    > 10 TB   > 1 day  < 0.01 s   0.00%     0.00%
+//   AQP++     51.9 MB   11.7 min 0.67 s     0.27%     0.19%
+// plus AQP(large): ~80x sample to match AQP++'s error, violating latency;
+// APA+: median error 1.69% vs AQP++'s 0.19%.
+
+#include <cmath>
+
+#include "baseline/aggpre.h"
+#include "baseline/apa_plus.h"
+#include "baseline/aqp.h"
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "workload/query_gen.h"
+
+namespace aqpp {
+namespace bench {
+namespace {
+
+int Run() {
+  const size_t rows = BenchRows();
+  const size_t num_queries = BenchQueries();
+  auto table = LoadTpcdSkew(rows);
+  ExactExecutor executor(table.get());
+
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;             // l_extendedprice
+  tmpl.condition_columns = {0, 2};  // l_orderkey, l_suppkey
+
+  // Scaled parameters: keep the paper's *relative* design (k chosen so the
+  // per-dimension cut spacing is small next to the 0.5%-5% query widths).
+  const double sample_rate = 0.02;
+  const size_t k = 50'000;
+
+  PrintHeader(
+      "Table 1: overall performance (AQP vs AggPre vs AQP++ vs APA+)",
+      StrFormat("TPCD-Skew rows=%zu  sample=%.3g%%  k=%zu  queries=%zu  "
+                "template=[SUM(l_extendedprice), l_orderkey, l_suppkey]",
+                rows, sample_rate * 100, k, num_queries));
+
+  QueryGenerator gen(table.get(), tmpl, {}, /*seed=*/31);
+  auto queries = gen.GenerateMany(num_queries);
+  AQPP_CHECK_OK(queries.status());
+  auto truths = ComputeTruths(*queries, executor);
+  AQPP_CHECK_OK(truths.status());
+
+  std::vector<int> widths = {12, 12, 12, 12, 10, 10};
+  PrintRow({"engine", "space", "prep time", "resp time", "avg err", "mdn err"},
+           widths);
+  PrintRule(widths);
+
+  EngineOptions base;
+  base.sample_rate = sample_rate;
+  base.cube_budget = k;
+  base.seed = 33;
+
+  // ---- AQP ---------------------------------------------------------------
+  {
+    auto aqp = std::move(AqpEngine::Create(table, base)).value();
+    AQPP_CHECK_OK(aqp->Prepare(tmpl));
+    auto summary = RunWorkloadWithTruth(
+        *queries, *truths, [&](const RangeQuery& q) { return aqp->Execute(q); });
+    AQPP_CHECK_OK(summary.status());
+    PrintRow({"AQP", FormatBytes(static_cast<double>(aqp->prepare_stats().total_bytes())),
+              FormatDuration(aqp->prepare_stats().total_seconds()),
+              FormatDuration(summary->avg_response_seconds),
+              Pct(summary->avg_relative_error),
+              Pct(summary->median_relative_error)},
+             widths);
+  }
+
+  // ---- AggPre (full P-Cube: cost model + exact answers) -------------------
+  {
+    auto aggpre = std::move(AggPreEngine::Create(table)).value();
+    AQPP_CHECK_OK(aggpre->Prepare(tmpl));
+    const auto& cost = aggpre->cost();
+    // Time a handful of queries for the response column (exact path).
+    Timer timer;
+    size_t timed = std::min<size_t>(queries->size(), 20);
+    for (size_t i = 0; i < timed; ++i) {
+      auto r = aggpre->Execute((*queries)[i]);
+      AQPP_CHECK(r.ok()) << r.status();
+    }
+    double resp = timer.ElapsedSeconds() / static_cast<double>(timed);
+    std::string space = FormatBytes(cost.bytes);
+    std::string prep = FormatDuration(cost.estimated_build_seconds);
+    if (!cost.materializable) {
+      space = "> " + space;
+      prep = "> " + prep + " (est)";
+    }
+    PrintRow({"AggPre", space, prep, FormatDuration(resp), "0.00%", "0.00%"},
+             widths);
+    std::printf("    (full P-Cube: %.3g cells%s)\n", cost.cells,
+                cost.materializable ? ", materialized"
+                                    : ", NOT materializable -- cost model");
+  }
+
+  // ---- AQP++ ---------------------------------------------------------------
+  {
+    auto aqpp = std::move(AqppEngine::Create(table, base)).value();
+    AQPP_CHECK_OK(aqpp->Prepare(tmpl));
+    auto summary = RunWorkloadWithTruth(
+        *queries, *truths,
+        [&](const RangeQuery& q) { return aqpp->Execute(q); });
+    AQPP_CHECK_OK(summary.status());
+    PrintRow({"AQP++",
+              FormatBytes(static_cast<double>(aqpp->prepare_stats().total_bytes())),
+              FormatDuration(aqpp->prepare_stats().total_seconds()),
+              FormatDuration(summary->avg_response_seconds),
+              Pct(summary->avg_relative_error),
+              Pct(summary->median_relative_error)},
+             widths);
+    std::printf("    (cube shape:");
+    for (size_t s : aqpp->prepare_stats().shape) std::printf(" %zu", s);
+    std::printf(", %zu cells)\n", aqpp->prepare_stats().cube_cells);
+  }
+
+  // ---- AQP(large): bigger sample to chase AQP++'s error --------------------
+  {
+    EngineOptions big = base;
+    big.sample_rate = std::min(1.0, sample_rate * 20);
+    auto aqp = std::move(AqpEngine::Create(table, big)).value();
+    AQPP_CHECK_OK(aqp->Prepare(tmpl));
+    auto summary = RunWorkloadWithTruth(
+        *queries, *truths, [&](const RangeQuery& q) { return aqp->Execute(q); });
+    AQPP_CHECK_OK(summary.status());
+    PrintRow({"AQP(large)",
+              FormatBytes(static_cast<double>(aqp->prepare_stats().total_bytes())),
+              FormatDuration(aqp->prepare_stats().total_seconds()),
+              FormatDuration(summary->avg_response_seconds),
+              Pct(summary->avg_relative_error),
+              Pct(summary->median_relative_error)},
+             widths);
+    std::printf("    (20x the AQP sample: chases AQP++ accuracy at 20x the "
+                "space and response time)\n");
+  }
+
+  // ---- APA+ -----------------------------------------------------------------
+  {
+    ApaPlusOptions apa_opts;
+    apa_opts.sample_rate = sample_rate;
+    apa_opts.bootstrap_resamples = 40;
+    auto apa = std::move(ApaPlusEngine::Create(table, apa_opts)).value();
+    AQPP_CHECK_OK(apa->Prepare(tmpl));
+    // APA+ is slow per query (calibration QP + bootstrap); subsample the
+    // workload.
+    size_t apa_n = std::min<size_t>(queries->size(), 60);
+    std::vector<RangeQuery> apa_queries(queries->begin(),
+                                        queries->begin() + apa_n);
+    std::vector<double> apa_truths(truths->begin(), truths->begin() + apa_n);
+    auto summary = RunWorkloadWithTruth(
+        apa_queries, apa_truths,
+        [&](const RangeQuery& q) { return apa->Execute(q); });
+    AQPP_CHECK_OK(summary.status());
+    PrintRow({"APA+",
+              FormatBytes(static_cast<double>(apa->sample().MemoryUsage() +
+                                              apa->FactBytes())),
+              "-", FormatDuration(summary->avg_response_seconds),
+              Pct(summary->avg_relative_error),
+              Pct(summary->median_relative_error)},
+             widths);
+    std::printf("    (1-D facts + calibration, %zu of the queries)\n", apa_n);
+  }
+
+  std::printf(
+      "\nPaper (600M rows): AQP 2.67%%/2.48%%, AQP++ 0.27%%/0.19%% (10-13x), "
+      "APA+ 1.69%% median;\nexpected shape: AQP++ ~an order of magnitude more "
+      "accurate than AQP at ~same space,\nAggPre exact but with an "
+      "astronomically larger precomputation footprint.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace aqpp
+
+int main() { return aqpp::bench::Run(); }

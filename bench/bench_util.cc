@@ -1,0 +1,118 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "storage/io.h"
+#include "workload/bigbench.h"
+#include "workload/tlctrip.h"
+#include "workload/tpcd_skew.h"
+
+namespace aqpp {
+namespace bench {
+
+namespace {
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  long long parsed = std::atoll(v);
+  return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+std::shared_ptr<Table> LoadCached(
+    const std::string& tag, size_t rows,
+    const std::function<Result<std::shared_ptr<Table>>()>& generate) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "aqpp_bench_cache";
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  fs::path path = dir / StrFormat("%s_%zu.bin", tag.c_str(), rows);
+  if (fs::exists(path)) {
+    auto cached = ReadBinary(path.string());
+    if (cached.ok() && (*cached)->num_rows() == rows) return *cached;
+  }
+  Timer timer;
+  auto table = generate();
+  AQPP_CHECK_OK(table.status());
+  std::fprintf(stderr, "[bench] generated %s (%zu rows) in %s\n", tag.c_str(),
+               rows, FormatDuration(timer.ElapsedSeconds()).c_str());
+  // Best-effort cache write; ignore failures (read-only tmp etc).
+  (void)WriteBinary(**table, path.string());
+  return *table;
+}
+
+}  // namespace
+
+size_t BenchRows() { return EnvSize("AQPP_ROWS", 1'500'000); }
+size_t BenchQueries() { return EnvSize("AQPP_QUERIES", 300); }
+
+double BenchSkew() {
+  const char* v = std::getenv("AQPP_SKEW");
+  if (v == nullptr || *v == '\0') return 1.0;
+  double parsed = std::atof(v);
+  return parsed >= 0 ? parsed : 1.0;
+}
+
+std::shared_ptr<Table> LoadTpcdSkew(size_t rows) {
+  double skew = BenchSkew();
+  std::string tag = StrFormat("tpcd_skew_z%.2g", skew);
+  return LoadCached(tag, rows, [rows, skew] {
+    return GenerateTpcdSkew({.rows = rows, .skew = skew, .seed = 7});
+  });
+}
+
+std::shared_ptr<Table> LoadBigBench(size_t rows) {
+  return LoadCached("bigbench", rows, [rows] {
+    return GenerateBigBench({.rows = rows, .seed = 11});
+  });
+}
+
+std::shared_ptr<Table> LoadTlcTrip(size_t rows) {
+  return LoadCached("tlctrip", rows, [rows] {
+    return GenerateTlcTrip({.rows = rows, .seed = 13});
+  });
+}
+
+void PrintHeader(const std::string& title, const std::string& setup) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!setup.empty()) std::printf("%s\n", setup.c_str());
+  std::printf("================================================================================\n");
+}
+
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths) {
+  AQPP_CHECK_EQ(cells.size(), widths.size());
+  std::string line;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    line += StrFormat("%-*s", widths[i], cells[i].c_str());
+    if (i + 1 < cells.size()) line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void PrintRule(const std::vector<int>& widths) {
+  std::string line;
+  for (size_t i = 0; i < widths.size(); ++i) {
+    line += std::string(static_cast<size_t>(widths[i]), '-');
+    if (i + 1 < widths.size()) line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+std::string Pct(double fraction) {
+  return StrFormat("%.2f%%", fraction * 100.0);
+}
+
+std::string RatioCell(double base, double improved) {
+  if (improved < 1e-9) return "exact";
+  return StrFormat("%.2fx", base / improved);
+}
+
+}  // namespace bench
+}  // namespace aqpp

@@ -1,0 +1,63 @@
+// Shared infrastructure for the per-table/figure benchmark harnesses.
+//
+// Every binary in bench/ regenerates one table or figure of the paper's
+// Section 7 at laptop scale. Scaling knobs come from the environment:
+//   AQPP_ROWS     base dataset rows (default 1'500'000)
+//   AQPP_QUERIES  queries per workload point (default 300)
+// Generated datasets are cached as binary files under /tmp/aqpp_bench_cache
+// so consecutive bench binaries don't regenerate them.
+
+#ifndef AQPP_BENCH_BENCH_UTIL_H_
+#define AQPP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "storage/table.h"
+#include "workload/metrics.h"
+
+namespace aqpp {
+namespace bench {
+
+// Environment-controlled scale knobs.
+size_t BenchRows();
+size_t BenchQueries();
+// TPCD-Skew zipf exponent (AQPP_SKEW, default 1.0). The paper runs z = 2 on
+// 600 M rows; at row-scaled N, z = 2 leaves so few mass-carrying values that
+// nearly every query aligns exactly with a cut (AQP++ trivially exact), so
+// the default bench skew is z = 1 — see EXPERIMENTS.md for the discussion.
+double BenchSkew();
+
+// Cached dataset loaders (generate on first use, reuse the binary cache).
+std::shared_ptr<Table> LoadTpcdSkew(size_t rows);
+std::shared_ptr<Table> LoadBigBench(size_t rows);
+std::shared_ptr<Table> LoadTlcTrip(size_t rows);
+
+// Pretty printers for paper-style result tables.
+void PrintHeader(const std::string& title, const std::string& setup);
+void PrintRow(const std::vector<std::string>& cells,
+              const std::vector<int>& widths);
+void PrintRule(const std::vector<int>& widths);
+
+// One summarized engine run over a fixed query set.
+struct EngineRun {
+  std::string label;
+  WorkloadSummary summary;
+  PrepareStats prepare;
+};
+
+// Formats seconds/bytes/percentages consistently across benches.
+std::string Pct(double fraction);
+
+// "<base>/<improved>" as a ratio cell; prints "exact" when the improved
+// error is (numerically) zero.
+std::string RatioCell(double base, double improved);
+
+}  // namespace bench
+}  // namespace aqpp
+
+#endif  // AQPP_BENCH_BENCH_UTIL_H_

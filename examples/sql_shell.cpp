@@ -1,0 +1,206 @@
+// Interactive SQL shell over the AQP++ engine.
+//
+// Loads the three benchmark tables, prepares an AQP++ engine per table, and
+// answers every SELECT three ways: exact scan, plain AQP, AQP++. Group-by
+// queries are supported (Appendix C).
+//
+//   ./build/examples/sql_shell            # interactive REPL
+//   ./build/examples/sql_shell --demo     # run a canned query script
+//
+// Example queries:
+//   SELECT SUM(l_extendedprice) FROM lineitem WHERE l_shipdate BETWEEN 200 AND 900;
+//   SELECT AVG(adRevenue) FROM uservisits WHERE duration >= 60 AND duration <= 600;
+//   SELECT SUM(l_extendedprice) FROM lineitem WHERE l_orderkey <= 5000
+//     GROUP BY l_returnflag, l_linestatus;
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "sql/binder.h"
+#include "workload/bigbench.h"
+#include "workload/tpcd_skew.h"
+
+namespace {
+
+using namespace aqpp;
+
+struct Session {
+  Catalog catalog;
+  std::map<std::string, std::unique_ptr<AqppEngine>> engines;
+
+  void AddTable(const std::string& name, std::shared_ptr<Table> table,
+                QueryTemplate tmpl) {
+    AQPP_CHECK_OK(catalog.Register(name, table));
+    EngineOptions opts;
+    opts.sample_rate = 0.02;
+    opts.cube_budget = 50'000;
+    auto engine = std::move(AqppEngine::Create(table, opts)).value();
+    AQPP_CHECK_OK(engine->Prepare(tmpl));
+    engines.emplace(name, std::move(engine));
+  }
+
+  void Answer(const std::string& sql) {
+    // EXPLAIN prefix: print the identification plan instead of executing.
+    auto trimmed = TrimWhitespace(sql);
+    if (trimmed.size() > 8 &&
+        EqualsIgnoreCase(trimmed.substr(0, 8), "EXPLAIN ")) {
+      std::string inner(TrimWhitespace(trimmed.substr(8)));
+      auto bound = ParseAndBind(inner, catalog);
+      if (!bound.ok()) {
+        std::printf("error: %s\n", bound.status().ToString().c_str());
+        return;
+      }
+      for (auto& [name, e] : engines) {
+        if (catalog.Get(name).ok() && *catalog.Get(name) == bound->table) {
+          auto plan = e->Explain(bound->query);
+          std::printf("%s", plan.ok() ? plan->c_str()
+                                      : plan.status().ToString().c_str());
+          return;
+        }
+      }
+      std::printf("(no engine prepared for this table)\n");
+      return;
+    }
+    auto bound = ParseAndBind(sql, catalog);
+    if (!bound.ok()) {
+      std::printf("error: %s\n", bound.status().ToString().c_str());
+      return;
+    }
+    // Find the owning engine by table identity.
+    AqppEngine* engine = nullptr;
+    for (auto& [name, e] : engines) {
+      if (catalog.Get(name).ok() && *catalog.Get(name) == bound->table) {
+        engine = e.get();
+      }
+    }
+    ExactExecutor exact(bound->table.get());
+
+    if (!bound->query.group_by.empty()) {
+      auto exact_groups = exact.ExecuteGroupBy(bound->query);
+      if (!exact_groups.ok()) {
+        std::printf("error: %s\n", exact_groups.status().ToString().c_str());
+        return;
+      }
+      auto approx = engine->ExecuteGroupBy(bound->query);
+      if (!approx.ok()) {
+        std::printf("error: %s\n", approx.status().ToString().c_str());
+        return;
+      }
+      std::printf("%-24s %-16s %-24s\n", "group", "exact", "AQP++");
+      std::map<std::vector<int64_t>, double> truth;
+      for (const auto& g : *exact_groups) truth[g.key.values] = g.value;
+      for (const auto& g : *approx) {
+        std::string key = "(";
+        for (size_t i = 0; i < g.key.values.size(); ++i) {
+          if (i) key += ", ";
+          const Column& col =
+              bound->table->column(bound->query.group_by[i]);
+          key += col.type() == DataType::kString
+                     ? col.dictionary()[static_cast<size_t>(g.key.values[i])]
+                     : StrFormat("%lld",
+                                 static_cast<long long>(g.key.values[i]));
+        }
+        key += ")";
+        auto it = truth.find(g.key.values);
+        std::printf("%-24s %-16.6g %s\n", key.c_str(),
+                    it != truth.end() ? it->second : 0.0,
+                    g.result.ci.ToString().c_str());
+      }
+      return;
+    }
+
+    Timer scan;
+    auto truth = exact.Execute(bound->query);
+    double scan_us = scan.ElapsedSeconds() * 1e6;
+    if (engine == nullptr) {
+      std::printf("(no engine prepared for this table; exact only)\n");
+      if (truth.ok()) std::printf("exact: %.8g\n", *truth);
+      return;
+    }
+    auto result = engine->Execute(bound->query);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    if (truth.ok()) {
+      std::printf("exact : %-16.8g (%.0f us)\n", *truth, scan_us);
+    }
+    std::printf("AQP++ : %s (%.0f us%s)\n", result->ci.ToString().c_str(),
+                result->response_seconds() * 1e6,
+                result->used_pre ? ", via BP-Cube" : ", plain sample");
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool demo = argc > 1 && std::strcmp(argv[1], "--demo") == 0;
+
+  std::printf("loading tables (lineitem: TPCD-Skew, uservisits: BigBench)...\n");
+  Session session;
+  {
+    auto lineitem =
+        std::move(GenerateTpcdSkew({.rows = 400'000, .skew = 1.0})).value();
+    QueryTemplate tmpl;
+    tmpl.func = AggregateFunction::kSum;
+    tmpl.agg_column = *lineitem->GetColumnIndex("l_extendedprice");
+    tmpl.condition_columns = {*lineitem->GetColumnIndex("l_orderkey"),
+                              *lineitem->GetColumnIndex("l_shipdate")};
+    tmpl.group_columns = {*lineitem->GetColumnIndex("l_returnflag"),
+                          *lineitem->GetColumnIndex("l_linestatus")};
+    session.AddTable("lineitem", lineitem, tmpl);
+  }
+  {
+    auto visits = std::move(GenerateBigBench({.rows = 400'000})).value();
+    QueryTemplate tmpl;
+    tmpl.func = AggregateFunction::kSum;
+    tmpl.agg_column = *visits->GetColumnIndex("adRevenue");
+    tmpl.condition_columns = {*visits->GetColumnIndex("visitDate"),
+                              *visits->GetColumnIndex("duration")};
+    session.AddTable("uservisits", visits, tmpl);
+  }
+  std::printf("ready. tables: lineitem, uservisits\n\n");
+
+  if (demo) {
+    const char* script[] = {
+        "SELECT SUM(l_extendedprice) FROM lineitem "
+        "WHERE l_shipdate BETWEEN 200 AND 900",
+        "SELECT COUNT(*) FROM lineitem WHERE l_orderkey <= 20000",
+        "SELECT AVG(l_extendedprice) FROM lineitem "
+        "WHERE l_shipdate > 1000 AND l_shipdate < 2000",
+        "SELECT SUM(l_extendedprice) FROM lineitem "
+        "WHERE l_orderkey BETWEEN 1 AND 50000 "
+        "GROUP BY l_returnflag, l_linestatus",
+        "SELECT SUM(adRevenue) FROM uservisits "
+        "WHERE visitDate BETWEEN 100 AND 300 AND duration >= 30",
+        "SELECT VAR(adRevenue) FROM uservisits WHERE duration <= 120",
+        "EXPLAIN SELECT SUM(l_extendedprice) FROM lineitem "
+        "WHERE l_shipdate BETWEEN 203 AND 897",
+    };
+    for (const char* sql : script) {
+      std::printf("aqpp> %s;\n", sql);
+      session.Answer(sql);
+      std::printf("\n");
+    }
+    return 0;
+  }
+
+  std::string line;
+  std::printf("aqpp> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    auto trimmed = TrimWhitespace(line);
+    if (trimmed == "quit" || trimmed == "exit" || trimmed == "\\q") break;
+    if (!trimmed.empty()) session.Answer(std::string(trimmed));
+    std::printf("aqpp> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Interactive-analytics scenario: a "dashboard session" over NYC taxi trips.
+//
+// An analyst slices eight years of yellow-cab data by date, time of day and
+// fare bands, expecting sub-second answers. Each question is answered three
+// ways — exact scan, plain AQP, and AQP++ — to show the accuracy/latency
+// trade-off the paper targets (Section 1's motivation).
+//
+// Build & run:  ./build/examples/taxi_dashboard
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baseline/aqp.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "workload/tlctrip.h"
+
+namespace {
+
+using namespace aqpp;
+
+struct Question {
+  std::string text;
+  RangeQuery query;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("generating 800k-row TLC trip table (2009-2016)...\n");
+  auto table = std::move(GenerateTlcTrip({.rows = 800'000})).value();
+  ExactExecutor exact(table.get());
+
+  size_t distance = *table->GetColumnIndex("Trip_Distance");
+  size_t pickup_date = *table->GetColumnIndex("Pickup_Date");
+  size_t pickup_time = *table->GetColumnIndex("Pickup_Time");
+  size_t fare = *table->GetColumnIndex("Fare_Amt");
+
+  EngineOptions options;
+  options.sample_rate = 0.02;
+  options.cube_budget = 100'000;
+  auto aqpp_engine = std::move(AqppEngine::Create(table, options)).value();
+  auto aqp_engine = std::move(AqpEngine::Create(table, options)).value();
+
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = distance;
+  tmpl.condition_columns = {pickup_date, pickup_time, fare};
+  Timer prep;
+  AQPP_CHECK_OK(aqpp_engine->Prepare(tmpl));
+  AQPP_CHECK_OK(aqp_engine->Prepare(tmpl));
+  std::printf("engines prepared in %.2fs (cube %zu cells, sample %zu rows)\n\n",
+              prep.ElapsedSeconds(), aqpp_engine->prepare_stats().cube_cells,
+              aqpp_engine->sample().size());
+
+  auto q = [&](AggregateFunction f, std::vector<RangeCondition> conds) {
+    RangeQuery query;
+    query.func = f;
+    query.agg_column = distance;
+    query.predicate = RangePredicate(std::move(conds));
+    return query;
+  };
+
+  // 2009-2016 day ordinals: each year is ~365 days starting at 1.
+  std::vector<Question> session = {
+      {"Total miles driven in 2013 (days 1462-1826)",
+       q(AggregateFunction::kSum, {{pickup_date, 1462, 1826}})},
+      {"Miles during 2013 morning rush (7-10am)",
+       q(AggregateFunction::kSum,
+         {{pickup_date, 1462, 1826}, {pickup_time, 420, 600}})},
+      {"Average trip distance, 2013 morning rush",
+       q(AggregateFunction::kAvg,
+         {{pickup_date, 1462, 1826}, {pickup_time, 420, 600}})},
+      {"Trips with fares $20-$50 in summer 2014 (days 1994-2086)",
+       q(AggregateFunction::kCount,
+         {{pickup_date, 1994, 2086}, {fare, 2000, 5000}})},
+      {"Miles on cheap night rides (<$10, 10pm-4am) across 2015",
+       q(AggregateFunction::kSum,
+         {{pickup_date, 2192, 2556}, {pickup_time, 1320, 1439},
+          {fare, 0, 1000}})},
+  };
+
+  for (const auto& question : session) {
+    std::printf("Q: %s\n", question.text.c_str());
+    Timer scan_timer;
+    double truth = *exact.Execute(question.query);
+    double scan_s = scan_timer.ElapsedSeconds();
+
+    auto aqp = std::move(aqp_engine->Execute(question.query)).value();
+    auto aqpp = std::move(aqpp_engine->Execute(question.query)).value();
+
+    std::printf("   exact : %-14.6g            (%8.0f us, full scan)\n",
+                truth, scan_s * 1e6);
+    std::printf("   AQP   : %-14.6g +- %-8.3g (%8.0f us, err %s)\n",
+                aqp.ci.estimate, aqp.ci.half_width,
+                aqp.response_seconds() * 1e6,
+                StrFormat("%.2f%%", 100 * aqp.ci.RelativeErrorVs(truth)).c_str());
+    std::printf("   AQP++ : %-14.6g +- %-8.3g (%8.0f us, err %s%s)\n\n",
+                aqpp.ci.estimate, aqpp.ci.half_width,
+                aqpp.response_seconds() * 1e6,
+                StrFormat("%.2f%%", 100 * aqpp.ci.RelativeErrorVs(truth)).c_str(),
+                aqpp.used_pre ? ", via BP-Cube" : "");
+  }
+  return 0;
+}

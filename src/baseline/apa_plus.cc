@@ -1,0 +1,213 @@
+#include "baseline/apa_plus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "cube/partition.h"
+#include "linalg/matrix.h"
+#include "sampling/samplers.h"
+#include "stats/descriptive.h"
+
+namespace aqpp {
+
+Result<std::unique_ptr<ApaPlusEngine>> ApaPlusEngine::Create(
+    std::shared_ptr<Table> table, ApaPlusOptions options) {
+  if (table == nullptr || table->num_rows() == 0) {
+    return Status::InvalidArgument("table must be non-empty");
+  }
+  return std::unique_ptr<ApaPlusEngine>(
+      new ApaPlusEngine(std::move(table), options));
+}
+
+Status ApaPlusEngine::Prepare(const QueryTemplate& tmpl) {
+  template_ = tmpl;
+  AQPP_ASSIGN_OR_RETURN(sample_, CreateUniformSample(
+                                     *table_, options_.sample_rate, rng_));
+  prepared_ = true;
+
+  const Column& measure = table_->column(tmpl.agg_column);
+  total_sum_ = 0;
+  for (size_t r = 0; r < table_->num_rows(); ++r) {
+    total_sum_ += measure.GetDouble(r);
+  }
+  total_count_ = static_cast<double>(table_->num_rows());
+
+  facts_.clear();
+  for (size_t c : tmpl.condition_columns) {
+    FactTable fact;
+    fact.column = c;
+    AQPP_ASSIGN_OR_RETURN(fact.values, DistinctSorted(*table_, c));
+    fact.prefix_sum.assign(fact.values.size(), 0.0);
+    fact.prefix_count.assign(fact.values.size(), 0.0);
+    const auto& data = table_->column(c).Int64Data();
+    for (size_t r = 0; r < table_->num_rows(); ++r) {
+      size_t idx = static_cast<size_t>(
+          std::lower_bound(fact.values.begin(), fact.values.end(), data[r]) -
+          fact.values.begin());
+      fact.prefix_sum[idx] += measure.GetDouble(r);
+      fact.prefix_count[idx] += 1.0;
+    }
+    for (size_t i = 1; i < fact.values.size(); ++i) {
+      fact.prefix_sum[i] += fact.prefix_sum[i - 1];
+      fact.prefix_count[i] += fact.prefix_count[i - 1];
+    }
+    facts_.push_back(std::move(fact));
+  }
+  return Status::OK();
+}
+
+Result<ApaPlusEngine::Marginal> ApaPlusEngine::LookupFact(size_t column,
+                                                          int64_t lo,
+                                                          int64_t hi) const {
+  for (const auto& fact : facts_) {
+    if (fact.column != column) continue;
+    auto prefix_at = [&](int64_t v, const std::vector<double>& arr) {
+      // Sum over values <= v.
+      auto it = std::upper_bound(fact.values.begin(), fact.values.end(), v);
+      if (it == fact.values.begin()) return 0.0;
+      return arr[static_cast<size_t>(it - fact.values.begin()) - 1];
+    };
+    Marginal m;
+    m.sum = prefix_at(hi, fact.prefix_sum) - prefix_at(lo - 1, fact.prefix_sum);
+    m.count =
+        prefix_at(hi, fact.prefix_count) - prefix_at(lo - 1, fact.prefix_count);
+    return m;
+  }
+  return Status::NotFound("no 1-D facts for the requested column");
+}
+
+size_t ApaPlusEngine::FactBytes() const {
+  size_t bytes = 0;
+  for (const auto& f : facts_) {
+    bytes += f.values.capacity() * sizeof(int64_t) +
+             (f.prefix_sum.capacity() + f.prefix_count.capacity()) *
+                 sizeof(double);
+  }
+  return bytes;
+}
+
+Result<ApproximateResult> ApaPlusEngine::Execute(const RangeQuery& query) {
+  if (!prepared_) return Status::FailedPrecondition("call Prepare() first");
+  if (query.func != AggregateFunction::kSum &&
+      query.func != AggregateFunction::kCount) {
+    return Status::Unimplemented("APA+ baseline supports SUM/COUNT");
+  }
+  Timer timer;
+  const size_t n = sample_.size();
+  const Table& rows = *sample_.rows;
+  const Column& measure = rows.column(query.agg_column);
+
+  // Per-dimension range of the query (intersected per column).
+  struct DimRange {
+    size_t column;
+    int64_t lo, hi;
+  };
+  std::vector<DimRange> ranges;
+  for (size_t c : template_.condition_columns) {
+    int64_t lo = std::numeric_limits<int64_t>::min();
+    int64_t hi = std::numeric_limits<int64_t>::max();
+    for (const auto& cond : query.predicate.conditions()) {
+      if (cond.column == c) {
+        lo = std::max(lo, cond.lo);
+        hi = std::min(hi, cond.hi);
+      }
+    }
+    ranges.push_back({c, lo, hi});
+  }
+
+  // Constraint rows: for each dimension, SUM and COUNT of the 1-D slice;
+  // plus the two table totals.
+  const size_t m = 2 * ranges.size() + 2;
+  Matrix constraints(m, n);
+  std::vector<double> targets(m);
+  std::vector<std::vector<uint8_t>> dim_mask(ranges.size(),
+                                             std::vector<uint8_t>(n, 0));
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    const auto& data = rows.column(ranges[i].column).Int64Data();
+    for (size_t j = 0; j < n; ++j) {
+      dim_mask[i][j] = static_cast<uint8_t>(data[j] >= ranges[i].lo &&
+                                            data[j] <= ranges[i].hi);
+    }
+    AQPP_ASSIGN_OR_RETURN(auto fact,
+                          LookupFact(ranges[i].column, ranges[i].lo,
+                                     ranges[i].hi));
+    for (size_t j = 0; j < n; ++j) {
+      double a = measure.GetDouble(j);
+      constraints(2 * i, j) = dim_mask[i][j] ? a : 0.0;
+      constraints(2 * i + 1, j) = dim_mask[i][j] ? 1.0 : 0.0;
+    }
+    targets[2 * i] = fact.sum;
+    targets[2 * i + 1] = fact.count;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    constraints(m - 2, j) = measure.GetDouble(j);
+    constraints(m - 1, j) = 1.0;
+  }
+  targets[m - 2] = total_sum_;
+  targets[m - 1] = total_count_;
+
+  // Full-query mask on the sample.
+  AQPP_ASSIGN_OR_RETURN(auto q_mask, query.predicate.EvaluateMask(rows));
+
+  auto estimate_with = [&](const std::vector<double>& weights,
+                           const std::vector<size_t>* resample) -> double {
+    // Calibrate weights against the facts, then estimate the query.
+    // When `resample` is set, constraints/estimates use the resampled rows.
+    std::vector<double> w0(n), est_weights;
+    if (resample == nullptr) {
+      w0 = weights;
+    } else {
+      // Bootstrap: rebuild the weight vector over resampled rows by index.
+      w0.assign(n, 0.0);
+      for (size_t idx : *resample) w0[idx] += weights[idx] > 0 ? weights[idx] : 0.0;
+      // Rescale so the total weight is preserved in expectation.
+      double orig = 0, cur = 0;
+      for (size_t j = 0; j < n; ++j) {
+        orig += weights[j];
+        cur += w0[j];
+      }
+      if (cur > 0) {
+        for (double& w : w0) w *= orig / cur;
+      }
+    }
+    auto calibrated = EqualityConstrainedProjection(w0, constraints, targets);
+    const std::vector<double>& w =
+        calibrated.ok() ? calibrated.value() : w0;
+    double est = 0;
+    for (size_t j = 0; j < n; ++j) {
+      if (!q_mask[j]) continue;
+      double y = query.func == AggregateFunction::kSum ? measure.GetDouble(j)
+                                                       : 1.0;
+      est += w[j] * y;
+    }
+    return est;
+  };
+
+  ApproximateResult out;
+  out.ci.level = options_.confidence_level;
+  out.ci.estimate = estimate_with(sample_.weights, nullptr);
+
+  // Bootstrap CI around the calibrated estimator.
+  std::vector<double> boot;
+  boot.reserve(options_.bootstrap_resamples);
+  std::vector<size_t> resample(n);
+  for (size_t b = 0; b < options_.bootstrap_resamples; ++b) {
+    for (size_t j = 0; j < n; ++j) {
+      resample[j] = static_cast<size_t>(rng_.NextBounded(n));
+    }
+    boot.push_back(estimate_with(sample_.weights, &resample));
+  }
+  double alpha = (1.0 - options_.confidence_level) / 2.0;
+  double lo_q = Quantile(boot, alpha);
+  double hi_q = Quantile(boot, 1.0 - alpha);
+  out.ci.half_width = (hi_q - lo_q) / 2.0;
+  out.used_pre = true;
+  out.pre_description = "1-D facts (APA+ calibration)";
+  out.estimation_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace aqpp

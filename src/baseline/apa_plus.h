@@ -1,0 +1,85 @@
+// APA+ baseline [38] (Section 7.2's comparison): sampling augmented with
+// exact low-dimensional statistics ("facts").
+//
+// APA+ keeps, per condition attribute, exact one-dimensional marginals
+// (prefix SUM and COUNT at every distinct value). For a query with
+// per-dimension ranges R_1..R_d, the engine:
+//   1. reads the exact 1-D facts SUM(A * 1[C_i in R_i]) and
+//      COUNT(1[C_i in R_i]) for every i,
+//   2. calibrates the sample weights w -> w' by the minimum-norm adjustment
+//      min ||w' - w||^2  s.t. the weighted sample reproduces every fact and
+//      the table totals — the quadratic program the paper solved with
+//      gurobi, which for equality constraints is an exact KKT projection
+//      (src/linalg), and
+//   3. estimates the query from the calibrated weights.
+// The CI is obtained by bootstrapping the calibrate-then-estimate pipeline.
+
+#ifndef AQPP_BASELINE_APA_PLUS_H_
+#define AQPP_BASELINE_APA_PLUS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "sampling/sample.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct ApaPlusOptions {
+  double sample_rate = 0.01;
+  double confidence_level = 0.95;
+  size_t bootstrap_resamples = 60;
+  uint64_t seed = 42;
+};
+
+class ApaPlusEngine {
+ public:
+  static Result<std::unique_ptr<ApaPlusEngine>> Create(
+      std::shared_ptr<Table> table, ApaPlusOptions options = {});
+
+  // Draws the sample and precomputes the 1-D marginal facts for every
+  // condition attribute in the template.
+  Status Prepare(const QueryTemplate& tmpl);
+
+  Result<ApproximateResult> Execute(const RangeQuery& query);
+
+  // Bytes used by the 1-D fact tables (preprocessing-space accounting).
+  size_t FactBytes() const;
+  const Sample& sample() const { return sample_; }
+
+ private:
+  ApaPlusEngine(std::shared_ptr<Table> table, ApaPlusOptions options)
+      : table_(std::move(table)), options_(options), rng_(options.seed) {}
+
+  // Exact 1-D marginal: SUM(A) and COUNT over `lo <= column <= hi`.
+  struct Marginal {
+    double sum = 0;
+    double count = 0;
+  };
+  Result<Marginal> LookupFact(size_t column, int64_t lo, int64_t hi) const;
+
+  std::shared_ptr<Table> table_;
+  ApaPlusOptions options_;
+  Rng rng_;
+  QueryTemplate template_;
+  Sample sample_;
+  bool prepared_ = false;
+
+  // Per condition column: sorted distinct values + prefix SUM/COUNT arrays.
+  struct FactTable {
+    size_t column = 0;
+    std::vector<int64_t> values;
+    std::vector<double> prefix_sum;    // prefix_sum[i] = SUM over v <= values[i]
+    std::vector<double> prefix_count;
+  };
+  std::vector<FactTable> facts_;
+  double total_sum_ = 0;
+  double total_count_ = 0;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_BASELINE_APA_PLUS_H_

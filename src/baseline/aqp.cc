@@ -1,0 +1,13 @@
+#include "baseline/aqp.h"
+
+namespace aqpp {
+
+Result<std::unique_ptr<AqpEngine>> AqpEngine::Create(
+    std::shared_ptr<Table> table, EngineOptions options) {
+  options.enable_precompute = false;
+  AQPP_ASSIGN_OR_RETURN(auto inner,
+                        AqppEngine::Create(std::move(table), options));
+  return std::unique_ptr<AqpEngine>(new AqpEngine(std::move(inner)));
+}
+
+}  // namespace aqpp

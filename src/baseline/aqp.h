@@ -1,0 +1,44 @@
+// Plain sampling-based AQP baseline (Section 4.1 / Equation 3).
+//
+// Functionally identical to AqppEngine with precomputation disabled; kept as
+// a separate class so benchmarks and examples mirror the paper's AQP-vs-
+// AQP++ comparison explicitly.
+
+#ifndef AQPP_BASELINE_AQP_H_
+#define AQPP_BASELINE_AQP_H_
+
+#include <memory>
+
+#include "core/engine.h"
+
+namespace aqpp {
+
+class AqpEngine {
+ public:
+  // `options.enable_precompute` is forcibly cleared.
+  static Result<std::unique_ptr<AqpEngine>> Create(std::shared_ptr<Table> table,
+                                                   EngineOptions options);
+
+  // Draws the sample (no cube is ever built).
+  Status Prepare(const QueryTemplate& tmpl) { return inner_->Prepare(tmpl); }
+
+  Result<ApproximateResult> Execute(const RangeQuery& query) {
+    return inner_->Execute(query);
+  }
+  Result<std::vector<GroupApproximateResult>> ExecuteGroupBy(
+      const RangeQuery& query) {
+    return inner_->ExecuteGroupBy(query);
+  }
+
+  const Sample& sample() const { return inner_->sample(); }
+  const PrepareStats& prepare_stats() const { return inner_->prepare_stats(); }
+
+ private:
+  explicit AqpEngine(std::unique_ptr<AqppEngine> inner)
+      : inner_(std::move(inner)) {}
+  std::unique_ptr<AqppEngine> inner_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_BASELINE_AQP_H_

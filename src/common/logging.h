@@ -1,0 +1,109 @@
+// Minimal logging and assertion macros.
+//
+// AQPP_CHECK* abort the process on violation and are meant for programming
+// errors (invariants), never for recoverable input errors — those go through
+// Status/Result.
+
+#ifndef AQPP_COMMON_LOGGING_H_
+#define AQPP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aqpp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Process-wide minimum level; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+// Accumulates a message and emits it (to stderr) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Like LogMessage but calls std::abort() after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define AQPP_LOG(level)                                                     \
+  ::aqpp::internal::LogMessage(::aqpp::LogLevel::k##level, __FILE__, __LINE__)
+
+#define AQPP_FATAL() ::aqpp::internal::FatalLogMessage(__FILE__, __LINE__)
+
+#define AQPP_CHECK(cond)                                        \
+  if (!(cond)) AQPP_FATAL() << "Check failed: " #cond " "
+
+#define AQPP_CHECK_OP(op, a, b)                                          \
+  if (!((a)op(b)))                                                       \
+  AQPP_FATAL() << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " \
+               << (b) << ") "
+
+#define AQPP_CHECK_EQ(a, b) AQPP_CHECK_OP(==, a, b)
+#define AQPP_CHECK_NE(a, b) AQPP_CHECK_OP(!=, a, b)
+#define AQPP_CHECK_LT(a, b) AQPP_CHECK_OP(<, a, b)
+#define AQPP_CHECK_LE(a, b) AQPP_CHECK_OP(<=, a, b)
+#define AQPP_CHECK_GT(a, b) AQPP_CHECK_OP(>, a, b)
+#define AQPP_CHECK_GE(a, b) AQPP_CHECK_OP(>=, a, b)
+
+// Aborts if `status_expr` is not OK; for call sites where failure is a bug.
+#define AQPP_CHECK_OK(status_expr)                        \
+  do {                                                    \
+    ::aqpp::Status _st = (status_expr);                   \
+    if (!_st.ok()) AQPP_FATAL() << _st.ToString() << " "; \
+  } while (0)
+
+#ifndef NDEBUG
+#define AQPP_DCHECK(cond) AQPP_CHECK(cond)
+#define AQPP_DCHECK_EQ(a, b) AQPP_CHECK_EQ(a, b)
+#define AQPP_DCHECK_LT(a, b) AQPP_CHECK_LT(a, b)
+#define AQPP_DCHECK_LE(a, b) AQPP_CHECK_LE(a, b)
+#else
+#define AQPP_DCHECK(cond) \
+  if (false) AQPP_FATAL()
+#define AQPP_DCHECK_EQ(a, b) AQPP_DCHECK((a) == (b))
+#define AQPP_DCHECK_LT(a, b) AQPP_DCHECK((a) < (b))
+#define AQPP_DCHECK_LE(a, b) AQPP_DCHECK((a) <= (b))
+#endif
+
+}  // namespace aqpp
+
+#endif  // AQPP_COMMON_LOGGING_H_

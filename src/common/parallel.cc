@@ -1,0 +1,35 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+
+namespace aqpp {
+
+size_t DefaultParallelism() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return std::min<size_t>(hw, 16);
+}
+
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
+                 size_t min_chunk) {
+  if (n == 0) return;
+  size_t workers = DefaultParallelism();
+  // Don't spawn threads that would each get less than min_chunk items.
+  workers = std::min(workers, (n + min_chunk - 1) / min_chunk);
+  if (workers <= 1) {
+    body(0, n);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  size_t chunk = (n + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back([&body, begin, end] { body(begin, end); });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace aqpp

@@ -1,0 +1,25 @@
+// Minimal data-parallel helpers for scan-heavy operators.
+
+#ifndef AQPP_COMMON_PARALLEL_H_
+#define AQPP_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace aqpp {
+
+// Number of worker threads used by ParallelFor (hardware concurrency,
+// clamped to [1, 16]).
+size_t DefaultParallelism();
+
+// Runs body(begin, end) over disjoint chunks of [0, n) on multiple threads.
+// `body` must be safe to call concurrently on disjoint ranges. Falls back to
+// a single inline call for small n.
+void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
+                 size_t min_chunk = 1 << 14);
+
+}  // namespace aqpp
+
+#endif  // AQPP_COMMON_PARALLEL_H_

@@ -1,0 +1,142 @@
+// Lightweight Status / Result error-handling primitives.
+//
+// The library does not throw exceptions across public API boundaries.
+// Fallible operations return `Status` (no payload) or `Result<T>`
+// (payload-or-status), mirroring the style used in Arrow and Abseil.
+
+#ifndef AQPP_COMMON_STATUS_H_
+#define AQPP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace aqpp {
+
+// Broad error taxonomy. Keep this small: callers mostly branch on ok()/!ok().
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+// Returns a short human-readable name for `code`, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+// A success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// A value of type T or a non-OK Status. Accessing the value of an errored
+// Result aborts (programming error); check ok() first.
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both alternatives keep call sites terse:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("...");
+  //                     return 42; }
+  Result(T value) : inner_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : inner_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(inner_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(inner_);
+  }
+
+  const T& value() const& { return std::get<T>(inner_); }
+  T& value() & { return std::get<T>(inner_); }
+  T&& value() && { return std::get<T>(std::move(inner_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> inner_;
+};
+
+// Propagates a non-OK status out of the current function.
+#define AQPP_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::aqpp::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#define AQPP_CONCAT_IMPL(a, b) a##b
+#define AQPP_CONCAT(a, b) AQPP_CONCAT_IMPL(a, b)
+
+// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise binds the
+// value to `lhs`:  AQPP_ASSIGN_OR_RETURN(auto table, catalog.Get("t"));
+#define AQPP_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  auto AQPP_CONCAT(_res_, __LINE__) = (rexpr);                   \
+  if (!AQPP_CONCAT(_res_, __LINE__).ok())                        \
+    return AQPP_CONCAT(_res_, __LINE__).status();                \
+  lhs = std::move(AQPP_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace aqpp
+
+#endif  // AQPP_COMMON_STATUS_H_

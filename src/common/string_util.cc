@@ -1,0 +1,84 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace aqpp {
+
+std::vector<std::string> SplitString(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string FormatBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB", "PB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 5) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return StrFormat("%.1f %s", bytes, units[u]);
+}
+
+std::string FormatDuration(double seconds) {
+  if (seconds < 1e-3) return StrFormat("%.0f us", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.0f ms", seconds * 1e3);
+  if (seconds < 120.0) return StrFormat("%.2f sec", seconds);
+  if (seconds < 7200.0) return StrFormat("%.1f min", seconds / 60.0);
+  if (seconds < 86400.0 * 2) return StrFormat("%.1f hr", seconds / 3600.0);
+  return StrFormat("%.1f day", seconds / 86400.0);
+}
+
+}  // namespace aqpp

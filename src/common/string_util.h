@@ -1,0 +1,36 @@
+// Small string helpers shared across modules (CSV IO, SQL front end,
+// benchmark table formatting).
+
+#ifndef AQPP_COMMON_STRING_UTIL_H_
+#define AQPP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqpp {
+
+// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+// ASCII lower-casing (locale-independent).
+std::string ToLowerAscii(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable byte count, e.g. "51.2 MB".
+std::string FormatBytes(double bytes);
+
+// Human-readable duration, e.g. "4.3 min" / "0.60 sec" / "12 ms".
+std::string FormatDuration(double seconds);
+
+}  // namespace aqpp
+
+#endif  // AQPP_COMMON_STRING_UTIL_H_

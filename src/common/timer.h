@@ -1,0 +1,49 @@
+// Wall-clock timing helpers used by benchmarks and cost reporting.
+
+#ifndef AQPP_COMMON_TIMER_H_
+#define AQPP_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace aqpp {
+
+// Monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction / last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates elapsed time across multiple Start/Stop windows.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_seconds_ += timer_.ElapsedSeconds(); }
+  double TotalSeconds() const { return total_seconds_; }
+  void Clear() { total_seconds_ = 0; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_COMMON_TIMER_H_

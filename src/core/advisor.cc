@@ -1,0 +1,101 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+PrecomputeAdvisor::PrecomputeAdvisor(const Table* sample_table,
+                                     size_t population_size,
+                                     ShapeOptions options)
+    : sample_table_(sample_table),
+      population_size_(population_size),
+      options_(options) {
+  AQPP_CHECK(sample_table != nullptr);
+}
+
+Result<std::vector<BudgetPrediction>> PrecomputeAdvisor::PredictErrorCurve(
+    size_t measure_column, const std::vector<size_t>& condition_columns,
+    const std::vector<size_t>& budgets) const {
+  if (condition_columns.empty()) {
+    return Status::InvalidArgument("no condition columns");
+  }
+  if (budgets.empty()) return Status::InvalidArgument("no budgets");
+  ShapeOptimizer shaper(sample_table_, measure_column, population_size_,
+                        options_);
+
+  std::vector<BudgetPrediction> out;
+  for (size_t k : budgets) {
+    if (k == 0) return Status::InvalidArgument("budget must be > 0");
+    AQPP_ASSIGN_OR_RETURN(auto shape,
+                          shaper.DetermineShape(condition_columns, k));
+    BudgetPrediction prediction;
+    prediction.budget = k;
+    prediction.shape = shape.shape;
+    // Predicted error: the max over dimensions of the fitted c_i / sqrt(k_i)
+    // (a balanced shape equalizes them; clamping can leave one dominant).
+    double err = 0;
+    for (size_t i = 0; i < shape.shape.size(); ++i) {
+      double c = i < shape.fitted_coefficients.size()
+                     ? shape.fitted_coefficients[i]
+                     : 0.0;
+      if (c <= 0) continue;
+      err = std::max(err,
+                     c / std::sqrt(static_cast<double>(shape.shape[i])));
+    }
+    prediction.predicted_error = err;
+    out.push_back(std::move(prediction));
+  }
+  return out;
+}
+
+Result<size_t> PrecomputeAdvisor::BudgetForError(
+    size_t measure_column, const std::vector<size_t>& condition_columns,
+    double target_error, size_t max_budget) const {
+  if (target_error <= 0) {
+    return Status::InvalidArgument("target error must be > 0");
+  }
+  // Geometric search over budgets; the predicted error is monotone
+  // non-increasing in k, so the first budget at or below target wins.
+  size_t last_feasible = 0;
+  double last_error = std::numeric_limits<double>::infinity();
+  for (size_t k = 2; k <= max_budget; k *= 2) {
+    AQPP_ASSIGN_OR_RETURN(
+        auto curve,
+        PredictErrorCurve(measure_column, condition_columns, {k}));
+    last_error = curve[0].predicted_error;
+    if (last_error <= target_error) {
+      last_feasible = k;
+      break;
+    }
+    // Saturated (shape clamped at feasibility caps): growing k further
+    // cannot help.
+    double cells = 1;
+    for (size_t s : curve[0].shape) cells *= static_cast<double>(s);
+    if (cells * 4 < static_cast<double>(k)) break;
+  }
+  if (last_feasible == 0) {
+    return Status::OutOfRange(
+        "target error unreachable within the budget cap (profile floor " +
+        std::to_string(last_error) + ")");
+  }
+  // Refine downward by bisection between last_feasible/2 and last_feasible.
+  size_t lo = std::max<size_t>(2, last_feasible / 2);
+  size_t hi = last_feasible;
+  while (lo + 1 < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    AQPP_ASSIGN_OR_RETURN(
+        auto curve,
+        PredictErrorCurve(measure_column, condition_columns, {mid}));
+    if (curve[0].predicted_error <= target_error) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,57 @@
+// Capacity-planning advisor: predict the accuracy a budget buys before
+// spending the precomputation.
+//
+// Uses the Section 6.2 error-profile machinery: per-dimension 1/sqrt(k)
+// fits over the sample give a closed-form predicted query-template error
+// for any budget, so a DBA can pick k from a printed curve instead of
+// building cubes by trial and error.
+
+#ifndef AQPP_CORE_ADVISOR_H_
+#define AQPP_CORE_ADVISOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/precompute.h"
+#include "sampling/sample.h"
+
+namespace aqpp {
+
+struct BudgetPrediction {
+  size_t budget = 0;
+  // Predicted error_up level (the Lemma 6 bound at the balanced shape).
+  double predicted_error = 0.0;
+  // The shape the binary search would pick at this budget.
+  std::vector<size_t> shape;
+};
+
+class PrecomputeAdvisor {
+ public:
+  // Profiles are fitted once on `sample`; predictions are then O(1) per
+  // budget.
+  PrecomputeAdvisor(const Table* sample_table, size_t population_size,
+                    ShapeOptions options = {});
+
+  // Predicted error curve for `condition_columns` at each budget in
+  // `budgets` (ascending recommended for readable output).
+  Result<std::vector<BudgetPrediction>> PredictErrorCurve(
+      size_t measure_column, const std::vector<size_t>& condition_columns,
+      const std::vector<size_t>& budgets) const;
+
+  // Smallest budget whose predicted error is <= `target_error`, or an
+  // OutOfRange error when even the per-dimension feasibility caps cannot
+  // reach it.
+  Result<size_t> BudgetForError(size_t measure_column,
+                                const std::vector<size_t>& condition_columns,
+                                double target_error,
+                                size_t max_budget = 1 << 24) const;
+
+ private:
+  const Table* sample_table_;
+  size_t population_size_;
+  ShapeOptions options_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_ADVISOR_H_

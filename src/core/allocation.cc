@@ -1,0 +1,139 @@
+#include "core/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+MultiTemplateAllocator::MultiTemplateAllocator(const Table* sample_table,
+                                               size_t population_size,
+                                               ShapeOptions options)
+    : sample_table_(sample_table),
+      population_size_(population_size),
+      options_(options) {
+  AQPP_CHECK(sample_table != nullptr);
+}
+
+Result<TemplateAllocation> MultiTemplateAllocator::Allocate(
+    const std::vector<TemplateSpec>& specs, size_t total_budget) const {
+  if (specs.empty()) return Status::InvalidArgument("no templates");
+  if (total_budget < specs.size()) {
+    return Status::InvalidArgument("budget smaller than one cell/template");
+  }
+
+  // Per-template profile fits (c_i per dimension) and feasibility caps.
+  struct Model {
+    std::vector<double> coefficients;  // c_i, zero entries dropped
+    double k_cap = 1;                  // product of per-dim max cuts
+  };
+  std::vector<Model> models;
+  for (const auto& spec : specs) {
+    if (spec.condition_columns.empty()) {
+      return Status::InvalidArgument("template without condition columns");
+    }
+    ShapeOptimizer shaper(sample_table_, spec.agg_column, population_size_,
+                          options_);
+    AQPP_ASSIGN_OR_RETURN(
+        auto shape, shaper.DetermineShape(spec.condition_columns,
+                                          total_budget));
+    Model m;
+    double cap = 1;
+    for (size_t i = 0; i < spec.condition_columns.size(); ++i) {
+      double c = i < shape.fitted_coefficients.size()
+                     ? shape.fitted_coefficients[i]
+                     : 0.0;
+      if (c > 0) m.coefficients.push_back(c);
+      AQPP_ASSIGN_OR_RETURN(auto distinct,
+                            DistinctSorted(*sample_table_,
+                                           spec.condition_columns[i]));
+      cap *= std::max<double>(1.0, static_cast<double>(distinct.size()));
+    }
+    m.k_cap = cap;
+    models.push_back(std::move(m));
+  }
+
+  // error_t(k) = (prod c_i^2 / k)^(1/(2 d_t)); invert to k_t(eps).
+  auto budget_for = [&](const Model& m, double eps) -> double {
+    if (m.coefficients.empty()) return 1.0;  // flat template: one cell
+    double prod_c2 = 1;
+    for (double c : m.coefficients) prod_c2 *= c * c;
+    double d = static_cast<double>(m.coefficients.size());
+    double k = prod_c2 / std::pow(eps, 2.0 * d);
+    return std::clamp(k, 1.0, m.k_cap);
+  };
+  auto error_for = [&](const Model& m, double k) -> double {
+    if (m.coefficients.empty()) return 0.0;
+    double prod_c2 = 1;
+    for (double c : m.coefficients) prod_c2 *= c * c;
+    double d = static_cast<double>(m.coefficients.size());
+    return std::pow(prod_c2 / std::max(1.0, k), 1.0 / (2.0 * d));
+  };
+
+  // Bisect the common error level so the budgets fill total_budget.
+  double eps_hi = 0;
+  for (const auto& m : models) {
+    eps_hi = std::max(eps_hi, error_for(m, 1.0));
+  }
+  if (eps_hi <= 0) {
+    // All templates flat: spread evenly.
+    TemplateAllocation out;
+    out.budgets.assign(specs.size(), total_budget / specs.size());
+    out.predicted_errors.assign(specs.size(), 0.0);
+    return out;
+  }
+  double eps_lo = eps_hi * 1e-9;
+  std::vector<double> best(models.size(), 1.0);
+  for (int iter = 0; iter < 80; ++iter) {
+    double mid = std::sqrt(eps_lo * eps_hi);
+    double total = 0;
+    std::vector<double> ks(models.size());
+    for (size_t t = 0; t < models.size(); ++t) {
+      ks[t] = budget_for(models[t], mid);
+      total += ks[t];
+    }
+    if (total <= static_cast<double>(total_budget)) {
+      best = ks;
+      eps_hi = mid;  // feasible; push for lower error
+    } else {
+      eps_lo = mid;
+    }
+  }
+
+  TemplateAllocation out;
+  for (size_t t = 0; t < models.size(); ++t) {
+    out.budgets.push_back(
+        std::max<size_t>(1, static_cast<size_t>(std::floor(best[t]))));
+    out.predicted_errors.push_back(error_for(models[t], best[t]));
+  }
+  return out;
+}
+
+Result<SpaceSplit> SplitSpaceBudget(size_t total_bytes,
+                                    size_t bytes_per_sample_row,
+                                    size_t bytes_per_cell,
+                                    double max_response_seconds,
+                                    double sample_rows_per_second) {
+  if (bytes_per_sample_row == 0 || bytes_per_cell == 0) {
+    return Status::InvalidArgument("byte costs must be positive");
+  }
+  if (max_response_seconds <= 0 || sample_rows_per_second <= 0) {
+    return Status::InvalidArgument("response budget must be positive");
+  }
+  // Largest sample whose estimation pass meets the response target.
+  size_t response_cap = static_cast<size_t>(max_response_seconds *
+                                            sample_rows_per_second);
+  size_t affordable = total_bytes / bytes_per_sample_row;
+  SpaceSplit split;
+  split.sample_rows = std::min(response_cap, affordable);
+  if (split.sample_rows == 0) {
+    return Status::InvalidArgument(
+        "budget cannot fit a single sample row within the response target");
+  }
+  size_t used = split.sample_rows * bytes_per_sample_row;
+  split.cube_cells = (total_bytes - used) / bytes_per_cell;
+  return split;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,69 @@
+// Budget allocation policies (Appendix C: "Multiple Query Templates" and
+// "Space Allocation").
+
+#ifndef AQPP_CORE_ALLOCATION_H_
+#define AQPP_CORE_ALLOCATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/precompute.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// One query template to provision for.
+struct TemplateSpec {
+  size_t agg_column = 0;
+  std::vector<size_t> condition_columns;
+};
+
+struct TemplateAllocation {
+  // k_t per template; sums to <= the total budget.
+  std::vector<size_t> budgets;
+  // Predicted query-template error at the allocated budget (the common
+  // error level the binary search converged to, per template).
+  std::vector<double> predicted_errors;
+};
+
+// Splits a total cell budget across several query templates by equalizing
+// their predicted errors, the Appendix C generalization of the Section 6.2
+// per-dimension binary search. Template error is modeled from the
+// per-dimension profile fits: with balanced dimensions,
+//   error_t(k) = (prod_i c_i^2 / k)^(1 / (2 d_t)).
+class MultiTemplateAllocator {
+ public:
+  // `sample_table` is the shared sample all templates are profiled on.
+  MultiTemplateAllocator(const Table* sample_table, size_t population_size,
+                         ShapeOptions options = {});
+
+  Result<TemplateAllocation> Allocate(const std::vector<TemplateSpec>& specs,
+                                      size_t total_budget) const;
+
+ private:
+  const Table* sample_table_;
+  size_t population_size_;
+  ShapeOptions options_;
+};
+
+// Appendix C's sample-vs-cube space split: sample size dominates response
+// time while the BP-Cube does not, so pick the largest sample that meets
+// the response-time requirement, then spend the remaining bytes on cube
+// cells.
+struct SpaceSplit {
+  size_t sample_rows = 0;
+  size_t cube_cells = 0;
+};
+
+// `bytes_per_sample_row` / `bytes_per_cell`: storage costs (a cell is one
+// double per measure plane). `sample_rows_per_second`: estimation
+// throughput used to convert the response-time budget into a row cap.
+Result<SpaceSplit> SplitSpaceBudget(size_t total_bytes,
+                                    size_t bytes_per_sample_row,
+                                    size_t bytes_per_cell,
+                                    double max_response_seconds,
+                                    double sample_rows_per_second);
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_ALLOCATION_H_

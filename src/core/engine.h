@@ -1,0 +1,195 @@
+// AqppEngine: the public session API of the library.
+//
+// Usage mirrors the paper's workflow:
+//   1. Create(table, options)          — registers the data
+//   2. Prepare(template)               — draws the sample and precomputes the
+//                                        BP-Cube for the template (Section 6)
+//   3. Execute(query)                  — aggregate identification (Section 5)
+//                                        + difference estimation (Section 4)
+//
+// With `enable_precompute = false` (or without Prepare) the engine degrades
+// to plain AQP — the `pre = phi` special case of Equation 4.
+
+#ifndef AQPP_CORE_ENGINE_H_
+#define AQPP_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/estimator.h"
+#include "core/identification.h"
+#include "core/precompute.h"
+#include "cube/extrema_grid.h"
+#include "cube/prefix_cube.h"
+#include "expr/query.h"
+#include "sampling/sample.h"
+#include "sampling/samplers.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// The paper's query template (Definition 1): which aggregate over which
+// measure, restricted by which condition attributes, optionally grouped.
+struct QueryTemplate {
+  AggregateFunction func = AggregateFunction::kSum;
+  size_t agg_column = 0;
+  std::vector<size_t> condition_columns;
+  // Group-by attributes become exhaustive cube dimensions (Appendix C).
+  std::vector<size_t> group_columns;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+struct EngineOptions {
+  // Sampling configuration.
+  double sample_rate = 0.01;
+  SamplingMethod sampling = SamplingMethod::kUniform;
+  // Stratification columns (only for kStratified; usually the group-by
+  // attributes per Section 7.4).
+  std::vector<size_t> stratify_columns;
+  // Recorded query log (only for kWorkloadAware; predicates drive the
+  // per-row inclusion boost).
+  std::vector<RangeQuery> workload_history;
+
+  // BP-Cube budget |P| <= k.
+  size_t cube_budget = 10000;
+
+  double confidence_level = 0.95;
+  IdentificationOptions identification;
+  PrecomputeOptions precompute;
+  size_t bootstrap_resamples = 120;
+
+  // When false, Prepare() skips precomputation: the engine is plain AQP.
+  bool enable_precompute = true;
+
+  // Build a block extrema grid alongside the cube so MIN/MAX queries get
+  // deterministic bounds (the Section 8 future-work extension).
+  bool enable_extrema = false;
+
+  // Group-by identification policy (Appendix C): false = identify once on
+  // the group-stripped query and reuse the range for every group (the
+  // paper's cheap heuristic); true = run identification per group (more
+  // accurate, costs one identification per group).
+  bool per_group_identification = false;
+
+  uint64_t seed = 42;
+};
+
+struct PrepareStats {
+  double sample_seconds = 0.0;
+  double stage1_seconds = 0.0;  // shape search + hill climbing (sample-side)
+  double stage2_seconds = 0.0;  // full-scan cube construction
+  size_t sample_bytes = 0;
+  size_t cube_bytes = 0;
+  size_t cube_cells = 0;
+  std::vector<size_t> shape;
+
+  double total_seconds() const {
+    return sample_seconds + stage1_seconds + stage2_seconds;
+  }
+  size_t total_bytes() const { return sample_bytes + cube_bytes; }
+};
+
+struct ApproximateResult {
+  ConfidenceInterval ci;
+  // True when a non-phi precomputed aggregate was used.
+  bool used_pre = false;
+  std::string pre_description;
+  size_t candidates_considered = 0;
+  double identification_seconds = 0.0;
+  double estimation_seconds = 0.0;
+
+  double response_seconds() const {
+    return identification_seconds + estimation_seconds;
+  }
+};
+
+struct GroupApproximateResult {
+  GroupKey key;
+  ApproximateResult result;
+};
+
+class AqppEngine {
+ public:
+  static Result<std::unique_ptr<AqppEngine>> Create(
+      std::shared_ptr<Table> table, EngineOptions options);
+
+  // Draws the sample (first call only) and precomputes the BP-Cube for
+  // `tmpl`. May be called again with a different template; the cube is
+  // replaced, the sample is kept.
+  Status Prepare(const QueryTemplate& tmpl);
+
+  // Scalar query: identification + estimation. Works with or without a
+  // prepared cube (without, it is plain AQP).
+  Result<ApproximateResult> Execute(const RangeQuery& query);
+
+  // Group-by query (Appendix C): one identification pass on the
+  // group-stripped query, then per-group difference estimation against the
+  // group-pinned cube slice.
+  Result<std::vector<GroupApproximateResult>> ExecuteGroupBy(
+      const RangeQuery& query);
+
+  // Human-readable plan: the candidate set P- with per-candidate scored
+  // errors (best first) and the execution strategy the engine would pick.
+  Result<std::string> Explain(const RangeQuery& query);
+
+  // The query log recorded by Execute/ExecuteGroupBy (bounded; newest
+  // last). Feeds AdaptToWorkload().
+  const std::vector<RangeQuery>& recorded_workload() const {
+    return recorded_workload_;
+  }
+
+  // Redraws the sample with workload-aware boosting from the recorded log
+  // and re-prepares the cube for the current template — the Section 8
+  // "workload-driven sample creation" loop, closed. Requires a prepared
+  // template and a non-empty log.
+  Status AdaptToWorkload();
+
+  // Warm-start support: persists the prepared state (sample + cube +
+  // template) into `dir`, and restores it without re-sampling or
+  // re-precomputing. LoadState requires the engine to have been created
+  // over the same table contents.
+  Status SaveState(const std::string& dir) const;
+  Status LoadState(const std::string& dir);
+
+  const Table& table() const { return *table_; }
+  const Sample& sample() const { return sample_; }
+  bool has_cube() const { return cube_ != nullptr; }
+  const PrefixCube* cube() const { return cube_.get(); }
+  const ExtremaGrid* extrema_grid() const { return extrema_.get(); }
+  const PrepareStats& prepare_stats() const { return prepare_stats_; }
+  const EngineOptions& options() const { return options_; }
+  const std::optional<QueryTemplate>& prepared_template() const {
+    return template_;
+  }
+
+ private:
+  AqppEngine(std::shared_ptr<Table> table, EngineOptions options)
+      : table_(std::move(table)), options_(std::move(options)),
+        rng_(options_.seed) {}
+
+  Status EnsureSample();
+
+  std::shared_ptr<Table> table_;
+  EngineOptions options_;
+  Rng rng_;
+  Sample sample_;
+  bool has_sample_ = false;
+  std::optional<QueryTemplate> template_;
+  std::shared_ptr<PrefixCube> cube_;
+  std::shared_ptr<ExtremaGrid> extrema_;
+  std::unique_ptr<AggregateIdentifier> identifier_;
+  PrepareStats prepare_stats_;
+  std::vector<RangeQuery> recorded_workload_;
+
+  // Appends to the bounded query log.
+  void RecordQuery(const RangeQuery& query);
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_ENGINE_H_

@@ -1,0 +1,294 @@
+#include "core/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+
+namespace aqpp {
+
+SampleEstimator::SampleEstimator(const Sample* sample,
+                                 EstimatorOptions options)
+    : sample_(sample),
+      options_(options),
+      lambda_(NormalCriticalValue(options.confidence_level)) {
+  AQPP_CHECK(sample != nullptr);
+  AQPP_CHECK_GT(sample->size(), 0u);
+}
+
+ConfidenceInterval SampleEstimator::SumCI(
+    const std::vector<double>& y_values) const {
+  const size_t n = sample_->size();
+  AQPP_CHECK_EQ(y_values.size(), n);
+  ConfidenceInterval ci;
+  ci.level = options_.confidence_level;
+
+  if (sample_->stratified()) {
+    // est = sum_h N_h * mean_h(y); Var = sum_h N_h^2 * s_h^2 / n_h.
+    std::vector<RunningMoments> per_stratum(sample_->stratum_info.size());
+    for (size_t i = 0; i < n; ++i) {
+      per_stratum[static_cast<size_t>(sample_->strata[i])].Add(y_values[i]);
+    }
+    double est = 0, var = 0;
+    for (size_t h = 0; h < per_stratum.size(); ++h) {
+      const auto& m = per_stratum[h];
+      double num_pop = static_cast<double>(sample_->stratum_info[h].population_rows);
+      if (m.count() == 0) continue;
+      est += num_pop * m.mean();
+      var += num_pop * num_pop * m.variance_sample() / m.count();
+    }
+    ci.estimate = est;
+    ci.half_width = lambda_ * std::sqrt(std::max(0.0, var));
+    return ci;
+  }
+
+  // Non-stratified: per-row expansion contributions z_i = n * w_i * y_i;
+  // estimate = mean(z), Var(estimate) = s^2(z) / n. For a uniform sample
+  // (w_i = N/n) this reduces verbatim to Example 1's
+  // N * mean(A'), lambda * N * sqrt(Var(A') / n).
+  RunningMoments z;
+  const double dn = static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    z.Add(dn * sample_->weights[i] * y_values[i]);
+  }
+  ci.estimate = z.mean();
+  ci.half_width = lambda_ * std::sqrt(z.variance_sample() / dn);
+  return ci;
+}
+
+Result<std::vector<uint8_t>> SampleEstimator::Mask(
+    const RangePredicate& predicate) const {
+  return predicate.EvaluateMask(*sample_->rows);
+}
+
+Result<std::vector<double>> SampleEstimator::MeasureValues(
+    size_t column) const {
+  if (column >= sample_->rows->num_columns()) {
+    return Status::InvalidArgument("measure column out of range");
+  }
+  return sample_->rows->column(column).ToDoubleVector();
+}
+
+namespace {
+
+// y_i = measure_i * mask_i as doubles.
+std::vector<double> MaskedValues(const std::vector<double>& measure,
+                                 const std::vector<uint8_t>& mask) {
+  std::vector<double> y(measure.size());
+  for (size_t i = 0; i < measure.size(); ++i) {
+    y[i] = mask[i] ? measure[i] : 0.0;
+  }
+  return y;
+}
+
+}  // namespace
+
+ConfidenceInterval SampleEstimator::SumDifferenceCI(
+    const std::vector<double>& measure, const std::vector<uint8_t>& q_mask,
+    const std::vector<uint8_t>& pre_mask, double pre_value) const {
+  // y_i = A_i * (cond_q - cond_pre): Example 3's A * cond(C = 0) pattern.
+  std::vector<double> y(measure.size());
+  for (size_t i = 0; i < measure.size(); ++i) {
+    double diff = static_cast<double>(q_mask[i]) -
+                  static_cast<double>(pre_mask[i]);
+    y[i] = measure[i] * diff;
+  }
+  ConfidenceInterval ci = SumCI(y);
+  ci.estimate += pre_value;  // pre(D) is a known constant
+  return ci;
+}
+
+Result<ConfidenceInterval> SampleEstimator::EstimateDirect(
+    const RangeQuery& query, Rng& rng) const {
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "EstimateDirect handles scalar queries only");
+  }
+  AQPP_ASSIGN_OR_RETURN(auto mask, Mask(query.predicate));
+  const size_t n = sample_->size();
+
+  switch (query.func) {
+    case AggregateFunction::kSum: {
+      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      return SumCI(MaskedValues(measure, mask));
+    }
+    case AggregateFunction::kCount: {
+      std::vector<double> y(n);
+      for (size_t i = 0; i < n; ++i) y[i] = mask[i] ? 1.0 : 0.0;
+      return SumCI(y);
+    }
+    case AggregateFunction::kAvg: {
+      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      // Ratio estimator R = (sum w a cond) / (sum w cond), linearized CI:
+      // Var(R) ≈ Var( sum_i w_i cond_i (a_i - R) ) / (sum w cond)^2.
+      double num = 0, den = 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!mask[i]) continue;
+        num += sample_->weights[i] * measure[i];
+        den += sample_->weights[i];
+      }
+      ConfidenceInterval ci;
+      ci.level = options_.confidence_level;
+      if (den <= 0) return ci;  // no matching rows observed
+      double ratio = num / den;
+      std::vector<double> resid(n);
+      for (size_t i = 0; i < n; ++i) {
+        resid[i] = mask[i] ? (measure[i] - ratio) : 0.0;
+      }
+      ConfidenceInterval resid_ci = SumCI(resid);
+      ci.estimate = ratio;
+      ci.half_width = resid_ci.half_width / den;
+      return ci;
+    }
+    case AggregateFunction::kVar: {
+      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      // Plug-in weighted population variance, bootstrap CI.
+      auto statistic = [&](const std::vector<size_t>& idx) {
+        RunningMoments m;
+        for (size_t i : idx) {
+          if (mask[i]) m.AddWeighted(measure[i], sample_->weights[i]);
+        }
+        return m.variance_population();
+      };
+      BootstrapOptions bopt;
+      bopt.num_resamples = options_.bootstrap_resamples;
+      bopt.confidence_level = options_.confidence_level;
+      ConfidenceInterval ci = BootstrapCI(n, statistic, rng, bopt);
+      // Center on the full-sample plug-in value.
+      RunningMoments m;
+      for (size_t i = 0; i < n; ++i) {
+        if (mask[i]) m.AddWeighted(measure[i], sample_->weights[i]);
+      }
+      ci.estimate = m.variance_population();
+      return ci;
+    }
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      return Status::Unimplemented(
+          "AQP cannot estimate MIN/MAX from a sample (Section 8)");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<ConfidenceInterval> SampleEstimator::EstimateWithPre(
+    const RangeQuery& query, const RangePredicate& pre_predicate,
+    const PreValues& pre, Rng& rng) const {
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "EstimateWithPre handles scalar queries only");
+  }
+  AQPP_ASSIGN_OR_RETURN(auto q_mask, Mask(query.predicate));
+  AQPP_ASSIGN_OR_RETURN(auto pre_mask, Mask(pre_predicate));
+  const size_t n = sample_->size();
+
+  switch (query.func) {
+    case AggregateFunction::kSum: {
+      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      return SumDifferenceCI(measure, q_mask, pre_mask, pre.sum);
+    }
+    case AggregateFunction::kCount: {
+      std::vector<double> ones(n, 1.0);
+      return SumDifferenceCI(ones, q_mask, pre_mask, pre.count);
+    }
+    case AggregateFunction::kAvg: {
+      // AVG = SUM / COUNT with both numerator and denominator estimated by
+      // difference; CI by bootstrap over the paired per-row contributions
+      // (the paper's Section 4.2.2 bootstrap procedure, computing
+      // pre(D) + (q̂(S_i) - p̂re(S_i)) per resample).
+      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      std::vector<double> s_contrib(n), c_contrib(n);
+      for (size_t i = 0; i < n; ++i) {
+        double diff = static_cast<double>(q_mask[i]) -
+                      static_cast<double>(pre_mask[i]);
+        double w = sample_->weights[i];
+        s_contrib[i] = w * measure[i] * diff;
+        c_contrib[i] = w * diff;
+      }
+      auto ratio_of = [&](double s, double c) {
+        double den = pre.count + c;
+        return den != 0 ? (pre.sum + s) / den : 0.0;
+      };
+      std::vector<double> estimates;
+      estimates.reserve(options_.bootstrap_resamples);
+      for (size_t r = 0; r < options_.bootstrap_resamples; ++r) {
+        double s = 0, c = 0;
+        for (size_t i = 0; i < n; ++i) {
+          size_t j = static_cast<size_t>(rng.NextBounded(n));
+          s += s_contrib[j];
+          c += c_contrib[j];
+        }
+        estimates.push_back(ratio_of(s, c));
+      }
+      double s_full = 0, c_full = 0;
+      for (size_t i = 0; i < n; ++i) {
+        s_full += s_contrib[i];
+        c_full += c_contrib[i];
+      }
+      std::sort(estimates.begin(), estimates.end());
+      double alpha = (1.0 - options_.confidence_level) / 2.0;
+      double lo = Quantile(estimates, alpha);
+      double hi = Quantile(estimates, 1.0 - alpha);
+      ConfidenceInterval ci;
+      ci.level = options_.confidence_level;
+      ci.estimate = ratio_of(s_full, c_full);
+      ci.half_width = (hi - lo) / 2.0;
+      return ci;
+    }
+    case AggregateFunction::kVar: {
+      // VAR = E[A^2] - E[A]^2 reconstructed from three difference-estimated
+      // sums (SUM(A^2), SUM(A), COUNT); CI by bootstrap.
+      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      std::vector<double> s2_contrib(n), s_contrib(n), c_contrib(n);
+      for (size_t i = 0; i < n; ++i) {
+        double diff = static_cast<double>(q_mask[i]) -
+                      static_cast<double>(pre_mask[i]);
+        double w = sample_->weights[i];
+        s2_contrib[i] = w * measure[i] * measure[i] * diff;
+        s_contrib[i] = w * measure[i] * diff;
+        c_contrib[i] = w * diff;
+      }
+      auto var_of = [&](double s2, double s, double c) {
+        double cnt = pre.count + c;
+        if (cnt <= 0) return 0.0;
+        double mean = (pre.sum + s) / cnt;
+        double ex2 = (pre.sum_sq + s2) / cnt;
+        return std::max(0.0, ex2 - mean * mean);
+      };
+      std::vector<double> estimates;
+      estimates.reserve(options_.bootstrap_resamples);
+      for (size_t r = 0; r < options_.bootstrap_resamples; ++r) {
+        double s2 = 0, s = 0, c = 0;
+        for (size_t i = 0; i < n; ++i) {
+          size_t j = static_cast<size_t>(rng.NextBounded(n));
+          s2 += s2_contrib[j];
+          s += s_contrib[j];
+          c += c_contrib[j];
+        }
+        estimates.push_back(var_of(s2, s, c));
+      }
+      double s2f = 0, sf = 0, cf = 0;
+      for (size_t i = 0; i < n; ++i) {
+        s2f += s2_contrib[i];
+        sf += s_contrib[i];
+        cf += c_contrib[i];
+      }
+      double alpha = (1.0 - options_.confidence_level) / 2.0;
+      double lo = Quantile(estimates, alpha);
+      double hi = Quantile(estimates, 1.0 - alpha);
+      ConfidenceInterval ci;
+      ci.level = options_.confidence_level;
+      ci.estimate = var_of(s2f, sf, cf);
+      ci.half_width = (hi - lo) / 2.0;
+      return ci;
+    }
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      return Status::Unimplemented(
+          "AQP++ inherits AQP's aggregate support; MIN/MAX unsupported");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace aqpp

@@ -1,0 +1,94 @@
+// Sample-based estimators: the AQP path (Equation 3, Example 1) and the
+// AQP++ difference path (Equation 4, Example 3).
+//
+// Both are built on one primitive: given per-row values y_i on the sample,
+// sum_i w_i * y_i estimates the population sum of y, with a CLT confidence
+// interval from the per-row expansion contributions. For AQP the row value
+// is A_i * cond_q(i); for AQP++ it is A_i * (cond_q(i) - cond_pre(i)) and
+// the precomputed pre(D) is added back as a constant — which is exactly why
+// a highly correlated pre shrinks the interval (Section 4.2's
+// back-of-the-envelope analysis).
+
+#ifndef AQPP_CORE_ESTIMATOR_H_
+#define AQPP_CORE_ESTIMATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "expr/query.h"
+#include "sampling/sample.h"
+#include "stats/confidence.h"
+
+namespace aqpp {
+
+struct EstimatorOptions {
+  double confidence_level = 0.95;
+  // Resamples used for bootstrap CIs (AVG/VAR paths).
+  size_t bootstrap_resamples = 120;
+};
+
+// Precomputed aggregate values of one `pre` box, read from the cube planes.
+struct PreValues {
+  double sum = 0.0;       // SUM(A) over the box
+  double count = 0.0;     // COUNT(*) over the box
+  double sum_sq = 0.0;    // SUM(A^2) over the box
+};
+
+class SampleEstimator {
+ public:
+  // `sample` must outlive the estimator.
+  SampleEstimator(const Sample* sample, EstimatorOptions options = {});
+
+  const Sample& sample() const { return *sample_; }
+  const EstimatorOptions& options() const { return options_; }
+
+  // ---- Generic primitive --------------------------------------------------
+
+  // CI for the population sum of y, where y_values[i] is y evaluated on
+  // sample row i. Handles stratified samples per stratum.
+  ConfidenceInterval SumCI(const std::vector<double>& y_values) const;
+
+  // ---- AQP (direct) path ---------------------------------------------------
+
+  // Estimates `query` (scalar, no group-by) directly from the sample.
+  // SUM/COUNT: closed-form CLT interval. AVG: linearized ratio estimator.
+  // VAR: plug-in estimate with bootstrap CI. MIN/MAX: Unimplemented (the
+  // paper notes AQP cannot handle them; see Section 8).
+  Result<ConfidenceInterval> EstimateDirect(const RangeQuery& query,
+                                            Rng& rng) const;
+
+  // ---- AQP++ (difference) path ---------------------------------------------
+
+  // Estimates `query` as pre(D) + (q̂(S) - p̂re(S)). `pre_predicate` is the
+  // sample-side predicate of the precomputed box; `pre` carries its exact
+  // precomputed values. Supports SUM/COUNT/AVG/VAR.
+  Result<ConfidenceInterval> EstimateWithPre(const RangeQuery& query,
+                                             const RangePredicate& pre_predicate,
+                                             const PreValues& pre,
+                                             Rng& rng) const;
+
+  // ---- Row-mask helpers (exposed for identification & tests) --------------
+
+  // 0/1 mask of sample rows matching `predicate`.
+  Result<std::vector<uint8_t>> Mask(const RangePredicate& predicate) const;
+
+  // Aggregation-attribute values of all sample rows.
+  Result<std::vector<double>> MeasureValues(size_t column) const;
+
+ private:
+  // Shared implementation of the SUM/COUNT closed-form difference CI.
+  ConfidenceInterval SumDifferenceCI(const std::vector<double>& measure,
+                                     const std::vector<uint8_t>& q_mask,
+                                     const std::vector<uint8_t>& pre_mask,
+                                     double pre_value) const;
+
+  const Sample* sample_;
+  EstimatorOptions options_;
+  double lambda_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_ESTIMATOR_H_

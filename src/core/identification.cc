@@ -1,0 +1,348 @@
+#include "core/identification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+namespace {
+
+// Canonical phi: an all-empty box.
+PreAggregate MakePhi(size_t d) {
+  PreAggregate p;
+  p.lo.assign(d, 0);
+  p.hi.assign(d, 0);
+  return p;
+}
+
+bool LessPre(const PreAggregate& a, const PreAggregate& b) {
+  if (a.lo != b.lo) return a.lo < b.lo;
+  return a.hi < b.hi;
+}
+
+}  // namespace
+
+AggregateIdentifier::AggregateIdentifier(const PrefixCube* cube,
+                                         const Sample* sample,
+                                         IdentificationOptions options,
+                                         Rng& rng)
+    : cube_(cube), sample_(sample), options_(options) {
+  AQPP_CHECK(cube != nullptr);
+  AQPP_CHECK(sample != nullptr);
+  const size_t d = cube_->scheme().num_dims();
+  double rate = options_.subsample_rate;
+  if (rate <= 0) {
+    // Section 5.2: keep the total scoring work (|P-| * subsample rows) below
+    // one pass over the full sample: rate <= 1/4^d. Keep at least ~512 rows
+    // so the variance estimates stay usable.
+    rate = 1.0 / std::pow(4.0, static_cast<double>(d));
+    double min_rows = 512.0;
+    rate = std::max(rate, min_rows / static_cast<double>(sample_->size()));
+    rate = std::min(rate, 1.0);
+  }
+  if (options_.score_on_full_sample || rate >= 1.0) {
+    scoring_sample_ = *sample_;
+  } else {
+    auto sub = Subsample(*sample_, rate, rng);
+    AQPP_CHECK(sub.ok()) << sub.status().ToString();
+    scoring_sample_ = std::move(sub).value();
+  }
+}
+
+void AggregateIdentifier::BracketQuery(
+    const RangeQuery& query, std::vector<std::vector<size_t>>* u_cands,
+    std::vector<std::vector<size_t>>* v_cands) const {
+  const PartitionScheme& scheme = cube_->scheme();
+  const size_t d = scheme.num_dims();
+  u_cands->resize(d);
+  v_cands->resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    const DimensionPartition& dim = scheme.dim(i);
+    // Intersect all query conditions on this column.
+    int64_t lo = std::numeric_limits<int64_t>::min();
+    int64_t hi = std::numeric_limits<int64_t>::max();
+    for (const auto& c : query.predicate.conditions()) {
+      if (c.column == dim.column) {
+        lo = std::max(lo, c.lo);
+        hi = std::min(hi, c.hi);
+      }
+    }
+    if (lo == std::numeric_limits<int64_t>::min()) {
+      (*u_cands)[i] = {0};
+    } else {
+      int64_t b_lo = lo - 1;  // exclusive lower boundary of the query box
+      size_t l = dim.LowerBracket(b_lo);
+      size_t h = dim.UpperBracket(b_lo);
+      (*u_cands)[i] =
+          l == h ? std::vector<size_t>{l} : std::vector<size_t>{l, h};
+    }
+    if (hi == std::numeric_limits<int64_t>::max()) {
+      (*v_cands)[i] = {dim.num_cuts()};
+    } else {
+      size_t l = dim.LowerBracket(hi);
+      size_t h = dim.UpperBracket(hi);
+      (*v_cands)[i] =
+          l == h ? std::vector<size_t>{l} : std::vector<size_t>{l, h};
+    }
+  }
+}
+
+std::vector<PreAggregate> AggregateIdentifier::EnumerateCandidates(
+    const RangeQuery& query) const {
+  const size_t d = cube_->scheme().num_dims();
+  std::vector<std::vector<size_t>> u_cands, v_cands;
+  BracketQuery(query, &u_cands, &v_cands);
+
+  // Cartesian product across dimensions (Equation 7).
+  std::vector<PreAggregate> out;
+  std::vector<size_t> arity(d);
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) {
+    arity[i] = u_cands[i].size() * v_cands[i].size();
+    total *= arity[i];
+  }
+  std::set<std::vector<size_t>> seen;  // dedup on (lo || hi) concatenation
+  for (size_t combo = 0; combo < total; ++combo) {
+    size_t rem = combo;
+    PreAggregate pre;
+    pre.lo.resize(d);
+    pre.hi.resize(d);
+    bool empty = false;
+    for (size_t i = 0; i < d; ++i) {
+      size_t c = rem % arity[i];
+      rem /= arity[i];
+      size_t u = u_cands[i][c % u_cands[i].size()];
+      size_t v = v_cands[i][c / u_cands[i].size()];
+      if (u >= v) empty = true;
+      pre.lo[i] = u;
+      pre.hi[i] = v;
+    }
+    if (empty) continue;  // normalized into the single phi below
+    std::vector<size_t> key = pre.lo;
+    key.insert(key.end(), pre.hi.begin(), pre.hi.end());
+    if (seen.insert(std::move(key)).second) {
+      out.push_back(std::move(pre));
+    }
+  }
+  out.push_back(MakePhi(d));
+  return out;
+}
+
+PreValues AggregateIdentifier::ReadPreValues(const PreAggregate& pre) const {
+  PreValues v;
+  // Cube planes are laid out per the engine convention:
+  // plane 0 = SUM(A), plane 1 = COUNT, plane 2 = SUM(A^2) (if present).
+  if (cube_->num_measures() > 0) v.sum = cube_->BoxValue(pre, 0);
+  if (cube_->num_measures() > 1) v.count = cube_->BoxValue(pre, 1);
+  if (cube_->num_measures() > 2) v.sum_sq = cube_->BoxValue(pre, 2);
+  return v;
+}
+
+Result<double> AggregateIdentifier::ScoreCandidate(const RangeQuery& query,
+                                                   const PreAggregate& pre,
+                                                   Rng& rng) const {
+  SampleEstimator estimator(&scoring_sample_,
+                            {.confidence_level = options_.confidence_level,
+                             .bootstrap_resamples = 40});
+  RangePredicate pre_pred = pre.ToPredicate(cube_->scheme());
+  PreValues values = ReadPreValues(pre);
+  AQPP_ASSIGN_OR_RETURN(
+      auto ci, estimator.EstimateWithPre(query, pre_pred, values, rng));
+  return ci.half_width;
+}
+
+Result<IdentifiedAggregate> AggregateIdentifier::IdentifyGreedy(
+    const RangeQuery& query, Rng& rng) const {
+  const size_t d = cube_->scheme().num_dims();
+  std::vector<std::vector<size_t>> u_cands, v_cands;
+  BracketQuery(query, &u_cands, &v_cands);
+
+  // Start from the loosest box (every dimension at its outer brackets) and
+  // refine one dimension at a time, keeping the subsample-scored best.
+  PreAggregate current;
+  current.lo.resize(d);
+  current.hi.resize(d);
+  for (size_t i = 0; i < d; ++i) {
+    current.lo[i] = u_cands[i].front();
+    current.hi[i] = v_cands[i].back();
+    if (current.lo[i] >= current.hi[i]) {
+      current.lo[i] = 0;
+      current.hi[i] = cube_->scheme().dim(i).num_cuts();
+    }
+  }
+  size_t scored = 0;
+  for (size_t i = 0; i < d; ++i) {
+    double best_err = std::numeric_limits<double>::infinity();
+    std::pair<size_t, size_t> best_pair{current.lo[i], current.hi[i]};
+    for (size_t u : u_cands[i]) {
+      for (size_t v : v_cands[i]) {
+        if (u >= v) continue;
+        PreAggregate trial = current;
+        trial.lo[i] = u;
+        trial.hi[i] = v;
+        AQPP_ASSIGN_OR_RETURN(double err, ScoreCandidate(query, trial, rng));
+        ++scored;
+        if (err < best_err) {
+          best_err = err;
+          best_pair = {u, v};
+        }
+      }
+    }
+    current.lo[i] = best_pair.first;
+    current.hi[i] = best_pair.second;
+  }
+  // Final sanity comparison against phi.
+  AQPP_ASSIGN_OR_RETURN(double final_err, ScoreCandidate(query, current, rng));
+  PreAggregate phi = MakePhi(d);
+  AQPP_ASSIGN_OR_RETURN(double phi_err, ScoreCandidate(query, phi, rng));
+  scored += 2;
+
+  IdentifiedAggregate best;
+  best.pre = phi_err < final_err ? phi : current;
+  best.scored_error = std::min(phi_err, final_err);
+  best.values = ReadPreValues(best.pre);
+  best.num_candidates = scored;
+  return best;
+}
+
+Result<IdentifiedAggregate> AggregateIdentifier::Identify(
+    const RangeQuery& query, Rng& rng) const {
+  {
+    // Candidate-count guard: 4^d blows up around d ~ 6; use the greedy
+    // per-dimension refinement there instead.
+    std::vector<std::vector<size_t>> u_cands, v_cands;
+    BracketQuery(query, &u_cands, &v_cands);
+    size_t total = 1;
+    bool overflow = false;
+    for (size_t i = 0; i < u_cands.size(); ++i) {
+      size_t arity = u_cands[i].size() * v_cands[i].size();
+      if (total > options_.max_enumerated_candidates / std::max<size_t>(1, arity)) {
+        overflow = true;
+        break;
+      }
+      total *= arity;
+    }
+    if (overflow || total > options_.max_enumerated_candidates) {
+      return IdentifyGreedy(query, rng);
+    }
+  }
+  std::vector<PreAggregate> candidates = EnumerateCandidates(query);
+  AQPP_CHECK(!candidates.empty());
+  IdentifiedAggregate best;
+  double best_error = std::numeric_limits<double>::infinity();
+  for (const auto& pre : candidates) {
+    AQPP_ASSIGN_OR_RETURN(double err, ScoreCandidate(query, pre, rng));
+    if (err < best_error) {
+      best_error = err;
+      best.pre = pre;
+    }
+  }
+  best.values = ReadPreValues(best.pre);
+  best.scored_error = best_error;
+  best.num_candidates = candidates.size();
+  return best;
+}
+
+Result<std::vector<ScoredCandidate>> AggregateIdentifier::ScoreAll(
+    const RangeQuery& query, Rng& rng) const {
+  std::vector<ScoredCandidate> scored;
+  std::vector<std::vector<size_t>> u_cands, v_cands;
+  BracketQuery(query, &u_cands, &v_cands);
+  size_t total = 1;
+  bool overflow = false;
+  for (size_t i = 0; i < u_cands.size(); ++i) {
+    size_t arity = u_cands[i].size() * v_cands[i].size();
+    if (arity == 0 ||
+        total > options_.max_enumerated_candidates / arity) {
+      overflow = true;
+      break;
+    }
+    total *= arity;
+  }
+  if (overflow || total > options_.max_enumerated_candidates) {
+    // High d: report only the greedy winner and phi.
+    AQPP_ASSIGN_OR_RETURN(auto greedy, IdentifyGreedy(query, rng));
+    scored.push_back({greedy.pre, greedy.scored_error});
+    PreAggregate phi = MakePhi(cube_->scheme().num_dims());
+    AQPP_ASSIGN_OR_RETURN(double phi_err, ScoreCandidate(query, phi, rng));
+    if (!greedy.pre.IsEmpty()) scored.push_back({phi, phi_err});
+  } else {
+    for (const auto& pre : EnumerateCandidates(query)) {
+      AQPP_ASSIGN_OR_RETURN(double err, ScoreCandidate(query, pre, rng));
+      scored.push_back({pre, err});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredCandidate& a, const ScoredCandidate& b) {
+              return a.scored_error < b.scored_error;
+            });
+  return scored;
+}
+
+Result<IdentifiedAggregate> AggregateIdentifier::IdentifyBruteForce(
+    const RangeQuery& query, Rng& rng) const {
+  const PartitionScheme& scheme = cube_->scheme();
+  const size_t d = scheme.num_dims();
+  // All index pairs (u <= v) per dimension, i.e. the whole of P+.
+  std::vector<std::vector<std::pair<size_t, size_t>>> per_dim(d);
+  for (size_t i = 0; i < d; ++i) {
+    size_t k = scheme.dim(i).num_cuts();
+    for (size_t u = 0; u <= k; ++u) {
+      for (size_t v = u + 1; v <= k; ++v) {
+        per_dim[i].push_back({u, v});
+      }
+    }
+    AQPP_CHECK(!per_dim[i].empty());
+  }
+  // Score candidates on the *full* sample for an exact comparison.
+  SampleEstimator estimator(sample_,
+                            {.confidence_level = options_.confidence_level,
+                             .bootstrap_resamples = 40});
+  auto score = [&](const PreAggregate& pre) -> Result<double> {
+    RangePredicate pre_pred = pre.ToPredicate(scheme);
+    PreValues values = ReadPreValues(pre);
+    AQPP_ASSIGN_OR_RETURN(
+        auto ci, estimator.EstimateWithPre(query, pre_pred, values, rng));
+    return ci.half_width;
+  };
+
+  IdentifiedAggregate best;
+  best.pre = MakePhi(d);
+  AQPP_ASSIGN_OR_RETURN(double phi_err, score(best.pre));
+  double best_error = phi_err;
+  size_t count = 1;
+
+  std::vector<size_t> idx(d, 0);
+  while (true) {
+    PreAggregate pre;
+    pre.lo.resize(d);
+    pre.hi.resize(d);
+    for (size_t i = 0; i < d; ++i) {
+      pre.lo[i] = per_dim[i][idx[i]].first;
+      pre.hi[i] = per_dim[i][idx[i]].second;
+    }
+    AQPP_ASSIGN_OR_RETURN(double err, score(pre));
+    ++count;
+    if (err < best_error) {
+      best_error = err;
+      best.pre = pre;
+    }
+    // Advance the mixed-radix counter.
+    size_t i = 0;
+    while (i < d && ++idx[i] == per_dim[i].size()) {
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == d) break;
+  }
+  best.values = ReadPreValues(best.pre);
+  best.scored_error = best_error;
+  best.num_candidates = count;
+  return best;
+}
+
+}  // namespace aqpp

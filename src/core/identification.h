@@ -1,0 +1,112 @@
+// Aggregate identification (Problem 1, Section 5).
+//
+// Given a user query and a BP-Cube, pick the precomputed aggregate in P+
+// that minimizes the query's confidence-interval width. Per Lemma 3 /
+// Equation 7, only the 4^d + 1 candidates P- formed by the partition points
+// bracketing each range endpoint need to be considered; each candidate is
+// scored by estimating its CI on a cheap subsample (Section 5.2), and the
+// winner is used for the final full-sample estimate.
+
+#ifndef AQPP_CORE_IDENTIFICATION_H_
+#define AQPP_CORE_IDENTIFICATION_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/estimator.h"
+#include "cube/partition.h"
+#include "cube/prefix_cube.h"
+#include "expr/query.h"
+#include "sampling/sample.h"
+
+namespace aqpp {
+
+struct IdentificationOptions {
+  // Subsampling rate for candidate scoring. <= 0 means "auto": min(1, 4/4^d)
+  // scaled so the identification overhead stays below one full-sample pass
+  // (the paper uses < 1/4^d).
+  double subsample_rate = -1.0;
+  double confidence_level = 0.95;
+  // When true, score candidates on the full sample instead of a subsample
+  // (exact error(q, pre); used by tests and the brute-force comparison).
+  bool score_on_full_sample = false;
+  // When |P-| = 4^d + 1 exceeds this, fall back to greedy per-dimension
+  // bracket selection (O(4d) candidates instead of O(4^d), default keeps full enumeration
+  // through d = 4); keeps
+  // identification tractable at d ~ 10 (Figure 7's upper range).
+  size_t max_enumerated_candidates = 320;
+};
+
+struct IdentifiedAggregate {
+  PreAggregate pre;
+  // Exact cube values of the box (sum / count / sum of squares).
+  PreValues values;
+  // The subsample-estimated error that won the comparison.
+  double scored_error = 0.0;
+  // Candidate-set size actually scored (|P-| after dedup).
+  size_t num_candidates = 0;
+};
+
+// One candidate with its subsample-estimated error (EXPLAIN output).
+struct ScoredCandidate {
+  PreAggregate pre;
+  double scored_error = 0.0;
+};
+
+class AggregateIdentifier {
+ public:
+  // `cube` and `sample` must outlive the identifier. The subsample used for
+  // scoring is drawn once at construction (it is query-independent).
+  AggregateIdentifier(const PrefixCube* cube, const Sample* sample,
+                      IdentificationOptions options, Rng& rng);
+
+  // Enumerates the candidate set P- of Equation 7 for `query` (deduplicated;
+  // phi always included). Conditions on columns that are not cube dimensions
+  // are ignored for bracketing (the pre box never constrains them).
+  std::vector<PreAggregate> EnumerateCandidates(const RangeQuery& query) const;
+
+  // Full identification: enumerate P-, score each candidate's CI width on
+  // the subsample, return the argmin.
+  Result<IdentifiedAggregate> Identify(const RangeQuery& query, Rng& rng) const;
+
+  // Scores the whole candidate set and returns it sorted best-first
+  // (EXPLAIN support). Falls back to the greedy path's visited candidates
+  // at high d.
+  Result<std::vector<ScoredCandidate>> ScoreAll(const RangeQuery& query,
+                                                Rng& rng) const;
+
+  // Reference implementation for tests: scores *every* value in P+ on the
+  // full sample (exponential in the cuts; only safe for tiny cubes).
+  Result<IdentifiedAggregate> IdentifyBruteForce(const RangeQuery& query,
+                                                 Rng& rng) const;
+
+  const Sample& scoring_sample() const { return scoring_sample_; }
+
+ private:
+  // Reads all measure planes of `pre` from the cube.
+  PreValues ReadPreValues(const PreAggregate& pre) const;
+
+  // CI half-width of `query` w.r.t. `pre` on the scoring sample.
+  Result<double> ScoreCandidate(const RangeQuery& query,
+                                const PreAggregate& pre, Rng& rng) const;
+
+  // Per-dimension bracket candidates (the {l,h} pairs of Equation 7).
+  void BracketQuery(const RangeQuery& query,
+                    std::vector<std::vector<size_t>>* u_cands,
+                    std::vector<std::vector<size_t>>* v_cands) const;
+
+  // Greedy fallback for high d: fixes one dimension's bracket pair at a
+  // time, scoring each option on the subsample.
+  Result<IdentifiedAggregate> IdentifyGreedy(const RangeQuery& query,
+                                             Rng& rng) const;
+
+  const PrefixCube* cube_;
+  const Sample* sample_;
+  IdentificationOptions options_;
+  Sample scoring_sample_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_IDENTIFICATION_H_

@@ -1,0 +1,197 @@
+#include "core/maintenance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+// Checks name/type equality between two schemas.
+Status SchemasMatch(const Schema& a, const Schema& b) {
+  if (a.num_columns() != b.num_columns()) {
+    return Status::InvalidArgument("batch schema arity mismatch");
+  }
+  for (size_t i = 0; i < a.num_columns(); ++i) {
+    if (a.column(i).name != b.column(i).name ||
+        a.column(i).type != b.column(i).type) {
+      return Status::InvalidArgument(
+          "batch schema mismatch at column '" + a.column(i).name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+// Translates a batch row value of column `c` into the reference coding.
+// For STRING columns the batch's own dictionary is consulted, then the
+// string is looked up in the reference dictionary.
+Result<int64_t> TranslateOrdinal(const Table& reference, const Table& batch,
+                                 size_t c, size_t row) {
+  const Column& ref_col = reference.column(c);
+  const Column& batch_col = batch.column(c);
+  if (ref_col.type() == DataType::kString) {
+    const std::string& value = batch_col.GetString(row);
+    auto code = ref_col.LookupDictionary(value);
+    if (!code.ok()) {
+      return Status::InvalidArgument(
+          "appended value '" + value + "' is not in column '" +
+          reference.schema().column(c).name +
+          "'s dictionary; new categories require re-preparation");
+    }
+    return *code;
+  }
+  return batch_col.GetInt64(row);
+}
+
+}  // namespace
+
+CubeMaintainer::CubeMaintainer(std::shared_ptr<PrefixCube> cube,
+                               std::shared_ptr<Table> reference_table,
+                               CubeMaintainerOptions options)
+    : cube_(std::move(cube)),
+      reference_(std::move(reference_table)),
+      options_(options) {
+  AQPP_CHECK(cube_ != nullptr);
+  AQPP_CHECK(reference_ != nullptr);
+}
+
+Status CubeMaintainer::Absorb(const Table& batch) {
+  AQPP_RETURN_NOT_OK(SchemasMatch(reference_->schema(), batch.schema()));
+  // Domain-coverage guard: every partition-column value must fall under the
+  // dimension's last cut (footnote 5's t_k = |dom(C)| invariant).
+  for (const auto& dim : cube_->scheme().dims()) {
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      AQPP_ASSIGN_OR_RETURN(int64_t v,
+                            TranslateOrdinal(*reference_, batch, dim.column, r));
+      if (v > dim.cuts.back()) {
+        return Status::OutOfRange(StrFormat(
+            "appended value %lld on column '%s' exceeds the cube's last cut "
+            "%lld; rebuild the cube to extend the domain",
+            static_cast<long long>(v),
+            reference_->schema().column(dim.column).name.c_str(),
+            static_cast<long long>(dim.cuts.back())));
+      }
+    }
+  }
+
+  if (pending_ == nullptr) {
+    pending_ = std::make_shared<Table>(reference_->schema());
+    // Share the reference dictionaries so ordinal codes line up.
+    for (size_t c = 0; c < reference_->num_columns(); ++c) {
+      if (reference_->column(c).type() == DataType::kString) {
+        pending_->mutable_column(c).SetDictionary(
+            reference_->column(c).dictionary());
+      }
+    }
+  }
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    Column& dst = pending_->mutable_column(c);
+    const Column& src = batch.column(c);
+    if (src.type() == DataType::kDouble) {
+      auto& data = dst.MutableDoubleData();
+      const auto& sdata = src.DoubleData();
+      data.insert(data.end(), sdata.begin(), sdata.end());
+    } else {
+      auto& data = dst.MutableInt64Data();
+      for (size_t r = 0; r < batch.num_rows(); ++r) {
+        AQPP_ASSIGN_OR_RETURN(int64_t v,
+                              TranslateOrdinal(*reference_, batch, c, r));
+        data.push_back(v);
+      }
+    }
+  }
+  pending_->SetRowCountFromColumns();
+  total_absorbed_ += batch.num_rows();
+
+  if (pending_->num_rows() >= options_.compact_threshold) {
+    return Compact();
+  }
+  return Status::OK();
+}
+
+double CubeMaintainer::BoxValue(const PreAggregate& pre,
+                                size_t measure) const {
+  double value = cube_->BoxValue(pre, measure);
+  if (pending_ == nullptr || pending_->num_rows() == 0) return value;
+  // Exact scan of the (small) pending buffer.
+  RangePredicate pred = pre.ToPredicate(cube_->scheme());
+  const MeasureSpec& spec = cube_->measures()[measure];
+  for (size_t r = 0; r < pending_->num_rows(); ++r) {
+    if (!pred.Matches(*pending_, r)) continue;
+    double v = spec.is_count()
+                   ? 1.0
+                   : pending_->column(static_cast<size_t>(spec.column))
+                         .GetDouble(r);
+    if (spec.squared) v *= v;
+    value += v;
+  }
+  return value;
+}
+
+Status CubeMaintainer::Compact() {
+  if (pending_ == nullptr || pending_->num_rows() == 0) return Status::OK();
+  AQPP_ASSIGN_OR_RETURN(
+      auto delta,
+      PrefixCube::Build(*pending_, cube_->scheme(), cube_->measures()));
+  AQPP_RETURN_NOT_OK(cube_->MergeFrom(*delta));
+  pending_.reset();
+  return Status::OK();
+}
+
+ReservoirMaintainer::ReservoirMaintainer(Sample sample, uint64_t seed)
+    : sample_(std::move(sample)),
+      rows_seen_(sample_.population_size),
+      rng_(seed) {
+  AQPP_CHECK(sample_.rows != nullptr);
+  AQPP_CHECK(sample_.method == SamplingMethod::kUniform)
+      << "reservoir maintenance requires a uniform sample";
+}
+
+Status ReservoirMaintainer::OverwriteRow(size_t slot, const Table& batch,
+                                         size_t row) {
+  Table& rows = *sample_.rows;
+  for (size_t c = 0; c < rows.num_columns(); ++c) {
+    Column& dst = rows.mutable_column(c);
+    const Column& src = batch.column(c);
+    if (dst.type() == DataType::kDouble) {
+      dst.MutableDoubleData()[slot] = src.GetDouble(row);
+    } else if (dst.type() == DataType::kString) {
+      auto code = dst.LookupDictionary(src.GetString(row));
+      if (!code.ok()) {
+        return Status::InvalidArgument(
+            "appended value '" + src.GetString(row) +
+            "' is not in the sample dictionary of column '" +
+            rows.schema().column(c).name + "'");
+      }
+      dst.MutableInt64Data()[slot] = *code;
+    } else {
+      dst.MutableInt64Data()[slot] = src.GetInt64(row);
+    }
+  }
+  return Status::OK();
+}
+
+Status ReservoirMaintainer::Absorb(const Table& batch) {
+  AQPP_RETURN_NOT_OK(SchemasMatch(sample_.rows->schema(), batch.schema()));
+  const size_t n = sample_.size();
+  AQPP_CHECK_GT(n, 0u);
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    ++rows_seen_;
+    // Algorithm R: the new row replaces a uniformly random slot with
+    // probability n / rows_seen.
+    size_t j = static_cast<size_t>(rng_.NextBounded(rows_seen_));
+    if (j < n) {
+      AQPP_RETURN_NOT_OK(OverwriteRow(j, batch, r));
+    }
+  }
+  sample_.population_size = rows_seen_;
+  double w = static_cast<double>(rows_seen_) / static_cast<double>(n);
+  std::fill(sample_.weights.begin(), sample_.weights.end(), w);
+  sample_.sampling_fraction =
+      static_cast<double>(n) / static_cast<double>(rows_seen_);
+  return Status::OK();
+}
+
+}  // namespace aqpp

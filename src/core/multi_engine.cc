@@ -1,0 +1,161 @@
+#include "core/multi_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "sampling/samplers.h"
+
+namespace aqpp {
+
+Result<std::unique_ptr<MultiTemplateEngine>> MultiTemplateEngine::Create(
+    std::shared_ptr<Table> table, MultiEngineOptions options) {
+  if (table == nullptr || table->num_rows() == 0) {
+    return Status::InvalidArgument("table must be non-empty");
+  }
+  if (options.sample_rate <= 0 || options.sample_rate > 1) {
+    return Status::InvalidArgument("sample_rate must be in (0, 1]");
+  }
+  if (options.total_cube_budget == 0) {
+    return Status::InvalidArgument("total_cube_budget must be > 0");
+  }
+  return std::unique_ptr<MultiTemplateEngine>(
+      new MultiTemplateEngine(std::move(table), std::move(options)));
+}
+
+Status MultiTemplateEngine::Prepare(
+    const std::vector<QueryTemplate>& templates) {
+  if (templates.empty()) {
+    return Status::InvalidArgument("no templates given");
+  }
+  for (const auto& t : templates) {
+    if (t.condition_columns.empty()) {
+      return Status::InvalidArgument("template without condition columns");
+    }
+    if (!t.group_columns.empty()) {
+      return Status::Unimplemented(
+          "multi-template sessions currently cover scalar templates");
+    }
+  }
+  if (!has_sample_) {
+    AQPP_ASSIGN_OR_RETURN(
+        sample_, CreateUniformSample(*table_, options_.sample_rate, rng_));
+    has_sample_ = true;
+  }
+
+  // Error-equalizing budget split (Appendix C).
+  std::vector<TemplateSpec> specs;
+  for (const auto& t : templates) {
+    specs.push_back({t.agg_column, t.condition_columns});
+  }
+  MultiTemplateAllocator allocator(sample_.rows.get(),
+                                   sample_.population_size, options_.shape);
+  AQPP_ASSIGN_OR_RETURN(auto allocation,
+                        allocator.Allocate(specs,
+                                           options_.total_cube_budget));
+
+  prepared_.clear();
+  for (size_t t = 0; t < templates.size(); ++t) {
+    PreparedTemplate prep;
+    prep.tmpl = templates[t];
+    prep.budget = allocation.budgets[t];
+    PrecomputeOptions popts;
+    popts.shape = options_.shape;
+    Precomputer precomputer(table_.get(), &sample_, templates[t].agg_column,
+                            popts);
+    AQPP_ASSIGN_OR_RETURN(
+        auto pre, precomputer.Precompute(templates[t].condition_columns,
+                                         std::max<size_t>(1, prep.budget)));
+    prep.cube = pre.cube;
+    IdentificationOptions iopts = options_.identification;
+    iopts.confidence_level = options_.confidence_level;
+    prep.identifier = std::make_unique<AggregateIdentifier>(
+        prep.cube.get(), &sample_, iopts, rng_);
+    prepared_.push_back(std::move(prep));
+  }
+  return Status::OK();
+}
+
+int MultiTemplateEngine::RouteFor(const RangeQuery& query) const {
+  // Condition columns referenced by the query.
+  std::vector<size_t> query_cols;
+  for (const auto& c : query.predicate.conditions()) {
+    if (std::find(query_cols.begin(), query_cols.end(), c.column) ==
+        query_cols.end()) {
+      query_cols.push_back(c.column);
+    }
+  }
+  if (query_cols.empty() || prepared_.empty()) return -1;
+
+  int best = -1;
+  // Score: covered columns minus a small penalty for unused cube dimensions
+  // (wider cubes dilute the per-dimension budget); require the measure to
+  // match and at least one covered column.
+  double best_score = 0;
+  for (size_t t = 0; t < prepared_.size(); ++t) {
+    const auto& tmpl = prepared_[t].tmpl;
+    if (tmpl.agg_column != query.agg_column) continue;
+    size_t covered = 0;
+    for (size_t qc : query_cols) {
+      if (std::find(tmpl.condition_columns.begin(),
+                    tmpl.condition_columns.end(),
+                    qc) != tmpl.condition_columns.end()) {
+        ++covered;
+      }
+    }
+    if (covered == 0) continue;
+    double score = static_cast<double>(covered) -
+                   0.25 * static_cast<double>(tmpl.condition_columns.size() -
+                                              covered);
+    if (score > best_score) {
+      best_score = score;
+      best = static_cast<int>(t);
+    }
+  }
+  return best;
+}
+
+Result<ApproximateResult> MultiTemplateEngine::Execute(
+    const RangeQuery& query) {
+  if (!query.group_by.empty()) {
+    return Status::Unimplemented(
+        "multi-template sessions currently cover scalar queries");
+  }
+  if (!has_sample_) {
+    return Status::FailedPrecondition("call Prepare() first");
+  }
+  SampleEstimator estimator(
+      &sample_, {.confidence_level = options_.confidence_level,
+                 .bootstrap_resamples = options_.bootstrap_resamples});
+  ApproximateResult out;
+  int route = RouteFor(query);
+  if (route < 0) {
+    Timer timer;
+    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng_));
+    out.estimation_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+  PreparedTemplate& prep = prepared_[static_cast<size_t>(route)];
+  Timer ident_timer;
+  AQPP_ASSIGN_OR_RETURN(auto identified,
+                        prep.identifier->Identify(query, rng_));
+  out.identification_seconds = ident_timer.ElapsedSeconds();
+  out.candidates_considered = identified.num_candidates;
+
+  Timer est_timer;
+  if (identified.pre.IsEmpty()) {
+    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng_));
+  } else {
+    RangePredicate pre_pred = identified.pre.ToPredicate(prep.cube->scheme());
+    AQPP_ASSIGN_OR_RETURN(
+        out.ci, estimator.EstimateWithPre(query, pre_pred, identified.values,
+                                          rng_));
+    out.used_pre = true;
+    out.pre_description =
+        identified.pre.ToString(prep.cube->scheme(), table_->schema());
+  }
+  out.estimation_seconds = est_timer.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,505 @@
+#include "core/precompute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "stats/confidence.h"
+
+namespace aqpp {
+
+namespace {
+
+constexpr size_t kNoBoundary = std::numeric_limits<size_t>::max();
+
+}  // namespace
+
+HillClimbOptimizer::HillClimbOptimizer(const Table* sample_table,
+                                       size_t column, size_t measure_column,
+                                       size_t population_size,
+                                       HillClimbOptions options)
+    : sample_table_(sample_table),
+      column_(column),
+      measure_column_(measure_column),
+      population_size_(population_size),
+      options_(options),
+      lambda_(NormalCriticalValue(options.confidence_level)) {
+  AQPP_CHECK(sample_table != nullptr);
+  AQPP_CHECK_LT(column, sample_table->num_columns());
+  AQPP_CHECK_LT(measure_column, sample_table->num_columns());
+  const size_t n = sample_table->num_rows();
+  AQPP_CHECK_GT(n, 0u);
+
+  // Sort rows by the condition attribute (the paper's view of D as the list
+  // of A ordered by C).
+  const Column& cond = sample_table->column(column_);
+  AQPP_CHECK(cond.type() != DataType::kDouble);
+  const Column& measure = sample_table->column(measure_column_);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return cond.GetInt64(a) < cond.GetInt64(b);
+  });
+  sorted_values_.resize(n);
+  sorted_measure_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted_values_[i] = cond.GetInt64(order[i]);
+    sorted_measure_[i] = measure.GetDouble(order[i]);
+  }
+  pa_.resize(n + 1);
+  pa2_.resize(n + 1);
+  pa_[0] = pa2_[0] = 0;
+  for (size_t i = 0; i < n; ++i) {
+    pa_[i + 1] = pa_[i] + sorted_measure_[i];
+    pa2_[i + 1] = pa2_[i] + sorted_measure_[i] * sorted_measure_[i];
+  }
+  // Feasible boundaries: after the last row of each run of equal values.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (sorted_values_[i] != sorted_values_[i + 1]) {
+      boundary_row_.push_back(i);
+      boundary_value_.push_back(sorted_values_[i]);
+    }
+  }
+  boundary_row_.push_back(n - 1);
+  boundary_value_.push_back(sorted_values_[n - 1]);
+}
+
+double HillClimbOptimizer::BoundaryError(size_t b, size_t prev,
+                                         size_t next) const {
+  const double n = static_cast<double>(sorted_values_.size());
+  // Row index bounds: segment L = rows (s_prev, s_b], Lbar = (s_b, s_next].
+  auto seg_sd = [&](size_t row_lo_excl, size_t row_hi_incl) {
+    // Variance over the WHOLE sample of A * 1[row in segment]
+    // (Lemma 6's Var(A_{L}) with A_L = A * cond(C in L)).
+    double lo = row_lo_excl == kNoBoundary
+                    ? 0.0
+                    : pa_[row_lo_excl + 1];
+    double lo2 = row_lo_excl == kNoBoundary ? 0.0 : pa2_[row_lo_excl + 1];
+    double sum = pa_[row_hi_incl + 1] - lo;
+    double ss = pa2_[row_hi_incl + 1] - lo2;
+    double mean = sum / n;
+    double var = ss / n - mean * mean;
+    return std::sqrt(std::max(0.0, var));
+  };
+  size_t s_prev = prev == kNoBoundary ? kNoBoundary : boundary_row_[prev];
+  size_t s_b = boundary_row_[b];
+  size_t s_next = boundary_row_[next];
+  double sd_l = seg_sd(s_prev, s_b);
+  double sd_lbar = seg_sd(s_b, s_next);
+  double scale = lambda_ * static_cast<double>(population_size_) /
+                 std::sqrt(n);
+  return scale * std::min(sd_l, sd_lbar);
+}
+
+void HillClimbOptimizer::Evaluate(const std::vector<size_t>& cut_b,
+                                  std::vector<double>* errors, size_t* worst1,
+                                  size_t* worst2, double* error_up) const {
+  const size_t num_b = boundary_row_.size();
+  errors->assign(num_b, 0.0);
+  double e1 = -1, e2 = -1;
+  size_t i1 = kNoBoundary, i2 = kNoBoundary;
+  size_t cut_pos = 0;  // index into cut_b of the next cut >= current boundary
+  size_t prev_cut = kNoBoundary;
+  for (size_t b = 0; b < num_b; ++b) {
+    while (cut_pos < cut_b.size() && cut_b[cut_pos] < b) {
+      prev_cut = cut_b[cut_pos];
+      ++cut_pos;
+    }
+    double err = 0.0;
+    if (cut_pos < cut_b.size() && cut_b[cut_pos] == b) {
+      err = 0.0;  // b is itself a cut
+    } else {
+      AQPP_DCHECK(cut_pos < cut_b.size());  // last boundary is always a cut
+      err = BoundaryError(b, prev_cut, cut_b[cut_pos]);
+    }
+    (*errors)[b] = err;
+    if (err > e1) {
+      e2 = e1;
+      i2 = i1;
+      e1 = err;
+      i1 = b;
+    } else if (err > e2) {
+      e2 = err;
+      i2 = b;
+    }
+  }
+  *worst1 = i1;
+  *worst2 = i2;
+  *error_up = std::max(0.0, e1) + std::max(0.0, e2);
+}
+
+Result<HillClimbResult> HillClimbOptimizer::Optimize(size_t k) const {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  const size_t num_b = boundary_row_.size();
+  const size_t last_b = num_b - 1;
+
+  // ---- Initialization: equal-depth cuts (P_eq, Section 6.1.2 step 1) ----
+  std::vector<size_t> cuts;
+  {
+    const double n = static_cast<double>(sorted_values_.size());
+    size_t kk = std::min(k, num_b);
+    std::set<size_t> picked;
+    for (size_t i = 1; i <= kk; ++i) {
+      double target =
+          n * static_cast<double>(i) / static_cast<double>(kk) - 1.0;
+      // Boundary whose row index is closest to the target depth: the
+      // "closest feasible point" rule for infeasible equal-partition points.
+      auto it = std::lower_bound(boundary_row_.begin(), boundary_row_.end(),
+                                 static_cast<size_t>(std::max(0.0, target)));
+      size_t idx = static_cast<size_t>(it - boundary_row_.begin());
+      if (idx >= num_b) {
+        idx = last_b;
+      } else if (idx > 0) {
+        double above = static_cast<double>(boundary_row_[idx]) - target;
+        double below = target - static_cast<double>(boundary_row_[idx - 1]);
+        if (below < above) idx -= 1;
+      }
+      picked.insert(idx);
+    }
+    picked.insert(last_b);
+    cuts.assign(picked.begin(), picked.end());
+    // Deduplication may have freed budget; spend it greedily on the largest
+    // remaining gaps so |cuts| == min(k, num_b).
+    while (cuts.size() < std::min(k, num_b)) {
+      size_t best_gap = 0, best_mid = kNoBoundary;
+      size_t prev = kNoBoundary;
+      for (size_t c : cuts) {
+        size_t lo = prev == kNoBoundary ? 0 : prev + 1;
+        if (c > lo && c - lo > best_gap) {
+          best_gap = c - lo;
+          best_mid = lo + (c - lo) / 2;
+        }
+        prev = c;
+      }
+      if (best_mid == kNoBoundary) break;
+      cuts.insert(std::lower_bound(cuts.begin(), cuts.end(), best_mid),
+                  best_mid);
+    }
+  }
+
+  HillClimbResult result;
+  std::vector<double> errors;
+  size_t i1, i2;
+  double error_up;
+  Evaluate(cuts, &errors, &i1, &i2, &error_up);
+  if (options_.record_history) result.history.push_back(error_up);
+
+  if (!options_.equal_partition_only && cuts.size() > 1) {
+    for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+      if (error_up <= 0) break;
+      // ---- Choose the cut to move away -------------------------------
+      // Candidates: every cut except the pinned last one (global policy) or
+      // only the cuts adjacent to i1/i2 (local policy, Figure 8).
+      std::vector<size_t> removal_candidates;
+      if (options_.global_adjustment) {
+        for (size_t j = 0; j + 1 < cuts.size(); ++j) {
+          removal_candidates.push_back(j);
+        }
+      } else {
+        std::set<size_t> cand;
+        for (size_t target : {i1, i2}) {
+          if (target == kNoBoundary) continue;
+          auto it = std::lower_bound(cuts.begin(), cuts.end(), target);
+          if (it != cuts.begin()) {
+            size_t j = static_cast<size_t>(it - cuts.begin()) - 1;
+            if (j + 1 < cuts.size()) cand.insert(j);
+          }
+          if (it != cuts.end()) {
+            size_t j = static_cast<size_t>(it - cuts.begin());
+            if (j + 1 < cuts.size()) cand.insert(j);
+          }
+        }
+        removal_candidates.assign(cand.begin(), cand.end());
+      }
+      if (removal_candidates.empty()) break;
+
+      // For each removal candidate, the max error_i among the boundaries
+      // whose bracket changes (those between the neighbors of the removed
+      // cut).
+      size_t best_removal = kNoBoundary;
+      double best_window_max = std::numeric_limits<double>::infinity();
+      for (size_t j : removal_candidates) {
+        size_t prev = j == 0 ? kNoBoundary : cuts[j - 1];
+        size_t next = cuts[j + 1];
+        double window_max = 0.0;
+        size_t b_begin = prev == kNoBoundary ? 0 : prev + 1;
+        for (size_t b = b_begin; b < next; ++b) {
+          window_max = std::max(window_max, BoundaryError(b, prev, next));
+        }
+        if (window_max < best_window_max) {
+          best_window_max = window_max;
+          best_removal = j;
+        }
+      }
+      if (best_removal == kNoBoundary) break;
+
+      // ---- Try moving it to i1 or i2 ---------------------------------
+      double best_eu = error_up;
+      std::vector<size_t> best_cuts;
+      for (size_t target : {i1, i2}) {
+        if (target == kNoBoundary) continue;
+        if (std::binary_search(cuts.begin(), cuts.end(), target)) continue;
+        std::vector<size_t> trial = cuts;
+        trial.erase(trial.begin() + static_cast<ptrdiff_t>(best_removal));
+        trial.insert(std::lower_bound(trial.begin(), trial.end(), target),
+                     target);
+        std::vector<double> trial_errors;
+        size_t t1, t2;
+        double eu;
+        Evaluate(trial, &trial_errors, &t1, &t2, &eu);
+        if (eu < best_eu - 1e-12) {
+          best_eu = eu;
+          best_cuts = std::move(trial);
+        }
+      }
+      if (best_cuts.empty()) break;  // no improving move: converged
+
+      cuts = std::move(best_cuts);
+      Evaluate(cuts, &errors, &i1, &i2, &error_up);
+      ++result.iterations;
+      if (options_.record_history) result.history.push_back(error_up);
+    }
+  }
+
+  result.partition.column = column_;
+  result.partition.cuts.reserve(cuts.size());
+  for (size_t b : cuts) result.partition.cuts.push_back(boundary_value_[b]);
+  result.error_up = error_up;
+  return result;
+}
+
+Result<double> HillClimbOptimizer::EvaluateErrorUp(
+    const std::vector<int64_t>& cut_values) const {
+  std::set<size_t> cut_set;
+  for (int64_t v : cut_values) {
+    // Largest boundary with value <= v (a cut between sample values acts as
+    // a cut at the previous feasible position).
+    auto it = std::upper_bound(boundary_value_.begin(), boundary_value_.end(),
+                               v);
+    if (it == boundary_value_.begin()) continue;  // cut before all data
+    cut_set.insert(static_cast<size_t>(it - boundary_value_.begin()) - 1);
+  }
+  cut_set.insert(boundary_row_.size() - 1);
+  std::vector<size_t> cuts(cut_set.begin(), cut_set.end());
+  std::vector<double> errors;
+  size_t i1, i2;
+  double error_up;
+  Evaluate(cuts, &errors, &i1, &i2, &error_up);
+  return error_up;
+}
+
+ShapeOptimizer::ShapeOptimizer(const Table* sample_table,
+                               size_t measure_column, size_t population_size,
+                               ShapeOptions options)
+    : sample_table_(sample_table),
+      measure_column_(measure_column),
+      population_size_(population_size),
+      options_(options) {}
+
+Result<ShapeResult> ShapeOptimizer::DetermineShape(
+    const std::vector<size_t>& condition_columns, size_t k) const {
+  const size_t d = condition_columns.size();
+  if (d == 0) return Status::InvalidArgument("no condition columns");
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+
+  ShapeResult result;
+  result.shape.assign(d, 1);
+  result.profiles.resize(d);
+  result.fitted_coefficients.assign(d, 0.0);
+
+  std::vector<size_t> max_k(d);
+  std::vector<std::unique_ptr<HillClimbOptimizer>> optimizers;
+  for (size_t i = 0; i < d; ++i) {
+    optimizers.push_back(std::make_unique<HillClimbOptimizer>(
+        sample_table_, condition_columns[i], measure_column_,
+        population_size_, options_.hill_climb));
+    max_k[i] = std::max<size_t>(1, optimizers[i]->num_boundaries());
+  }
+
+  // ---- Error profiles (Figure 6): error_up(k_i) on a geometric k grid ----
+  for (size_t i = 0; i < d; ++i) {
+    size_t hi = std::min(max_k[i], k);
+    std::set<size_t> grid;
+    size_t points = std::max<size_t>(2, options_.profile_points);
+    for (size_t p = 0; p < points; ++p) {
+      double frac = static_cast<double>(p) / static_cast<double>(points - 1);
+      double kv = std::exp(std::log(2.0) +
+                           frac * (std::log(static_cast<double>(hi)) -
+                                   std::log(2.0)));
+      grid.insert(std::max<size_t>(2, static_cast<size_t>(std::llround(kv))));
+    }
+    double num = 0, den = 0;
+    for (size_t kv : grid) {
+      AQPP_ASSIGN_OR_RETURN(auto hc, optimizers[i]->Optimize(kv));
+      result.profiles[i].push_back({kv, hc.error_up});
+      // Least-squares fit of error = c / sqrt(k):
+      // c = sum(e_j / sqrt(k_j)) / sum(1 / k_j).
+      double inv_sqrt = 1.0 / std::sqrt(static_cast<double>(kv));
+      num += hc.error_up * inv_sqrt;
+      den += inv_sqrt * inv_sqrt;
+    }
+    result.fitted_coefficients[i] = den > 0 ? num / den : 0.0;
+  }
+
+  // One dimension: no shape search needed, the whole budget is its.
+  if (d == 1) {
+    result.shape[0] = std::min(k, max_k[0]);
+    return result;
+  }
+
+  // ---- Binary search on the common error level (Figure 6) ---------------
+  auto shape_for = [&](double eps) {
+    std::vector<size_t> shape(d);
+    for (size_t i = 0; i < d; ++i) {
+      double c = result.fitted_coefficients[i];
+      if (c <= 0) {
+        shape[i] = 1;
+        continue;
+      }
+      double ki = (c / eps) * (c / eps);
+      shape[i] = std::clamp<size_t>(
+          static_cast<size_t>(std::ceil(ki)), 1, max_k[i]);
+    }
+    return shape;
+  };
+  auto product_of = [](const std::vector<size_t>& shape) {
+    double p = 1;
+    for (size_t s : shape) p *= static_cast<double>(s);
+    return p;
+  };
+
+  double eps_hi = 0.0;
+  for (double c : result.fitted_coefficients) eps_hi = std::max(eps_hi, c);
+  if (eps_hi <= 0) {
+    // All dimensions flat: spread the budget evenly.
+    size_t per_dim = std::max<size_t>(
+        1, static_cast<size_t>(std::pow(static_cast<double>(k),
+                                        1.0 / static_cast<double>(d))));
+    for (size_t i = 0; i < d; ++i) result.shape[i] = std::min(per_dim, max_k[i]);
+    return result;
+  }
+  double eps_lo = eps_hi * 1e-6;
+  std::vector<size_t> best = shape_for(eps_hi);
+  for (int iter = 0; iter < 60; ++iter) {
+    double mid = std::sqrt(eps_lo * eps_hi);  // bisect on log scale
+    auto shape = shape_for(mid);
+    if (product_of(shape) <= static_cast<double>(k)) {
+      if (product_of(shape) >= product_of(best)) best = shape;
+      eps_hi = mid;  // feasible: try smaller error (bigger cube)
+    } else {
+      eps_lo = mid;
+    }
+  }
+  result.shape = best;
+  return result;
+}
+
+Precomputer::Precomputer(const Table* table, const Sample* sample,
+                         size_t measure_column, PrecomputeOptions options)
+    : table_(table),
+      sample_(sample),
+      measure_column_(measure_column),
+      options_(std::move(options)) {
+  AQPP_CHECK(table != nullptr);
+  AQPP_CHECK(sample != nullptr);
+}
+
+Result<PrecomputeResult> Precomputer::Precompute(
+    const std::vector<size_t>& condition_columns, size_t k) const {
+  if (condition_columns.empty()) {
+    return Status::InvalidArgument("no condition columns");
+  }
+  const size_t d = condition_columns.size();
+  PrecomputeResult result;
+  Timer stage1;
+
+  // Exhaustive dimensions (group-by columns, Appendix C) get a cut at every
+  // distinct value and consume budget first.
+  std::vector<bool> exhaustive(d, false);
+  size_t exhaustive_budget = 1;
+  std::vector<std::vector<int64_t>> exhaustive_cuts(d);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t c : options_.exhaustive_columns) {
+      if (condition_columns[i] == c) exhaustive[i] = true;
+    }
+    if (exhaustive[i]) {
+      AQPP_ASSIGN_OR_RETURN(exhaustive_cuts[i],
+                            DistinctSorted(*table_, condition_columns[i]));
+      exhaustive_budget *= std::max<size_t>(1, exhaustive_cuts[i].size());
+    }
+  }
+  size_t free_budget = std::max<size_t>(1, k / std::max<size_t>(1, exhaustive_budget));
+
+  // ---- Stage 1: shape + cuts on the sample ------------------------------
+  std::vector<size_t> free_columns;
+  for (size_t i = 0; i < d; ++i) {
+    if (!exhaustive[i]) free_columns.push_back(condition_columns[i]);
+  }
+  std::vector<size_t> shape(d, 1);
+  if (!options_.forced_shape.empty()) {
+    if (options_.forced_shape.size() != d) {
+      return Status::InvalidArgument("forced_shape arity mismatch");
+    }
+    shape = options_.forced_shape;
+  } else if (!free_columns.empty()) {
+    ShapeOptimizer shaper(sample_->rows.get(), measure_column_,
+                          sample_->population_size, options_.shape);
+    AQPP_ASSIGN_OR_RETURN(result.shape,
+                          shaper.DetermineShape(free_columns, free_budget));
+    size_t fi = 0;
+    for (size_t i = 0; i < d; ++i) {
+      if (!exhaustive[i]) shape[i] = result.shape.shape[fi++];
+    }
+  }
+
+  std::vector<DimensionPartition> dims(d);
+  for (size_t i = 0; i < d; ++i) {
+    if (exhaustive[i]) {
+      dims[i].column = condition_columns[i];
+      dims[i].cuts = exhaustive_cuts[i];
+      HillClimbResult hc;
+      hc.partition = dims[i];
+      result.per_dimension.push_back(std::move(hc));
+      continue;
+    }
+    HillClimbOptimizer optimizer(sample_->rows.get(), condition_columns[i],
+                                 measure_column_, sample_->population_size,
+                                 options_.shape.hill_climb);
+    AQPP_ASSIGN_OR_RETURN(auto hc, optimizer.Optimize(shape[i]));
+    dims[i] = hc.partition;
+    result.per_dimension.push_back(std::move(hc));
+    // The sample may not contain the column max; pin the last cut to the
+    // full-table max so the cube always covers the domain. Replace (not
+    // append) when the dimension is already at its budget so the cell count
+    // stays within k.
+    AQPP_ASSIGN_OR_RETURN(int64_t max_v,
+                          table_->column(condition_columns[i]).MaxInt64());
+    if (dims[i].cuts.empty()) {
+      dims[i].cuts.push_back(max_v);
+    } else if (dims[i].cuts.back() < max_v) {
+      if (dims[i].cuts.size() >= shape[i]) {
+        dims[i].cuts.back() = max_v;
+      } else {
+        dims[i].cuts.push_back(max_v);
+      }
+    }
+  }
+  result.scheme = PartitionScheme(std::move(dims));
+  result.stage1_seconds = stage1.ElapsedSeconds();
+
+  // ---- Stage 2: build the cube on the full table -------------------------
+  Timer stage2;
+  std::vector<MeasureSpec> measures = {
+      MeasureSpec::Sum(measure_column_), MeasureSpec::Count(),
+      MeasureSpec::SumSquares(measure_column_)};
+  AQPP_ASSIGN_OR_RETURN(result.cube,
+                        PrefixCube::Build(*table_, result.scheme, measures));
+  result.stage2_seconds = stage2.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,171 @@
+// Aggregate precomputation (Problem 2, Section 6).
+//
+// Stage 1 (sample-only): decide the BP-Cube — its shape k_1 x ... x k_d via
+// per-dimension error profiles + binary search (Section 6.2), and the cut
+// positions per dimension via hill climbing on the error_up bound
+// (Section 6.1.2, Lemma 6). Stage 2 (one full scan): build the cube with
+// the Ho et al. algorithm (src/cube).
+
+#ifndef AQPP_CORE_PRECOMPUTE_H_
+#define AQPP_CORE_PRECOMPUTE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/partition.h"
+#include "cube/prefix_cube.h"
+#include "sampling/sample.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct HillClimbOptions {
+  size_t max_iterations = 100;
+  // Global adjustment considers removing any cut; local only the cuts
+  // adjacent to the two worst boundaries (the Figure 8 comparison).
+  bool global_adjustment = true;
+  double confidence_level = 0.95;
+  // Record error_up after every iteration (Figure 8's convergence curves).
+  bool record_history = false;
+  // Skip hill climbing and return the equal-depth initialization
+  // (the Section 6.1 baseline / ablation switch).
+  bool equal_partition_only = false;
+};
+
+struct HillClimbResult {
+  DimensionPartition partition;
+  // Final upper bound error_up(Q, P) (Lemma 6 evaluation).
+  double error_up = 0.0;
+  // error_up after initialization and after each accepted iteration.
+  std::vector<double> history;
+  size_t iterations = 0;
+};
+
+// One-dimensional cut optimizer over a *sample*, per Section 6.1.2.
+class HillClimbOptimizer {
+ public:
+  // `sample_table` is the sample rows; `column` the condition attribute,
+  // `measure_column` the aggregation attribute; `population_size` is N in
+  // the lambda*N/sqrt(n) error scale.
+  HillClimbOptimizer(const Table* sample_table, size_t column,
+                     size_t measure_column, size_t population_size,
+                     HillClimbOptions options = {});
+
+  // Chooses (at most) k cuts. The last cut is pinned to the sample maximum
+  // (footnote 5: t_k = |dom(C)|).
+  Result<HillClimbResult> Optimize(size_t k) const;
+
+  // error_up for an arbitrary strictly-increasing cut-value set, evaluated
+  // on the sample (used by benchmarks to compare partition schemes).
+  Result<double> EvaluateErrorUp(const std::vector<int64_t>& cut_values) const;
+
+  size_t num_boundaries() const { return boundary_value_.size(); }
+
+ private:
+  struct State;
+
+  // error_i at boundary b when bracketed by cut boundaries prev/next (indices
+  // into the boundary arrays; prev == SIZE_MAX means "before the first row").
+  double BoundaryError(size_t b, size_t prev, size_t next) const;
+
+  // Recomputes error_i for every boundary under `cut_b` (sorted boundary
+  // indices, last pinned) and returns the top-two boundary indices and the
+  // error_up sum.
+  void Evaluate(const std::vector<size_t>& cut_b, std::vector<double>* errors,
+                size_t* worst1, size_t* worst2, double* error_up) const;
+
+  const Table* sample_table_;
+  size_t column_;
+  size_t measure_column_;
+  size_t population_size_;
+  HillClimbOptions options_;
+  double lambda_;
+
+  // Sample rows sorted by the condition column.
+  std::vector<int64_t> sorted_values_;
+  std::vector<double> sorted_measure_;
+  // Prefix sums over the sorted order: pa_[i] = sum of first i measures,
+  // pa2_[i] = sum of first i squared measures.
+  std::vector<double> pa_, pa2_;
+  // Feasible boundaries: boundary_row_[j] is the last row index of a run of
+  // equal values; cutting there means "value <= boundary_value_[j]".
+  std::vector<size_t> boundary_row_;
+  std::vector<int64_t> boundary_value_;
+};
+
+// A point on a dimension's error profile (Figure 6).
+struct ErrorProfilePoint {
+  size_t k = 0;
+  double error_up = 0.0;
+};
+
+struct ShapeOptions {
+  // Number of profile points computed per dimension (the paper's m = 20
+  // default; we default lower because profiles are smooth).
+  size_t profile_points = 8;
+  HillClimbOptions hill_climb;
+};
+
+struct ShapeResult {
+  std::vector<size_t> shape;  // k_i per dimension
+  std::vector<std::vector<ErrorProfilePoint>> profiles;
+  // Fitted c_i with error ~ c_i / sqrt(k) (Lemma 4's decay rate).
+  std::vector<double> fitted_coefficients;
+};
+
+// Determines the cube shape k_1 x ... x k_d <= k by plotting per-dimension
+// error profiles and binary-searching a common error level (Section 6.2).
+class ShapeOptimizer {
+ public:
+  ShapeOptimizer(const Table* sample_table, size_t measure_column,
+                 size_t population_size, ShapeOptions options = {});
+
+  Result<ShapeResult> DetermineShape(const std::vector<size_t>& condition_columns,
+                                     size_t k) const;
+
+ private:
+  const Table* sample_table_;
+  size_t measure_column_;
+  size_t population_size_;
+  ShapeOptions options_;
+};
+
+// End-to-end precomputation: shape + cuts on the sample, then the cube on
+// the full table (SUM / COUNT / SUM(A^2) planes).
+struct PrecomputeOptions {
+  ShapeOptions shape;
+  // Force specific per-dimension budgets (skips shape search when set).
+  std::vector<size_t> forced_shape;
+  // Pin cuts of some dimensions at every distinct value (group-by columns,
+  // Appendix C); listed by column index.
+  std::vector<size_t> exhaustive_columns;
+};
+
+struct PrecomputeResult {
+  PartitionScheme scheme;
+  std::shared_ptr<PrefixCube> cube;
+  ShapeResult shape;
+  std::vector<HillClimbResult> per_dimension;
+  double stage1_seconds = 0.0;  // sample-side optimization
+  double stage2_seconds = 0.0;  // full-scan cube build
+};
+
+class Precomputer {
+ public:
+  Precomputer(const Table* table, const Sample* sample, size_t measure_column,
+              PrecomputeOptions options = {});
+
+  Result<PrecomputeResult> Precompute(const std::vector<size_t>& condition_columns,
+                                      size_t k) const;
+
+ private:
+  const Table* table_;
+  const Sample* sample_;
+  size_t measure_column_;
+  PrecomputeOptions options_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_PRECOMPUTE_H_

@@ -1,0 +1,108 @@
+#include "core/progressive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "stats/confidence.h"
+#include "stats/descriptive.h"
+
+namespace aqpp {
+
+ProgressiveExecutor::ProgressiveExecutor(const Sample* sample,
+                                         const PrefixCube* cube,
+                                         ProgressiveOptions options)
+    : sample_(sample), cube_(cube), options_(std::move(options)) {
+  AQPP_CHECK(sample != nullptr);
+}
+
+Result<std::vector<ProgressiveStep>> ProgressiveExecutor::Run(
+    const RangeQuery& query, Rng& rng) {
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument("progressive mode covers scalar queries");
+  }
+  if (query.func != AggregateFunction::kSum &&
+      query.func != AggregateFunction::kCount) {
+    return Status::Unimplemented("progressive mode covers SUM and COUNT");
+  }
+  if (sample_->method != SamplingMethod::kUniform &&
+      sample_->method != SamplingMethod::kBernoulli) {
+    return Status::InvalidArgument(
+        "progressive mode requires a uniform/Bernoulli sample");
+  }
+  const size_t n = sample_->size();
+  if (n == 0) return Status::FailedPrecondition("empty sample");
+
+  // Consumption order: a fixed random permutation of the sample.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Shuffle(order, rng);
+
+  // Identify the pre once on the full sample (when a cube is present).
+  PreValues pre_values;
+  RangePredicate pre_predicate;
+  bool have_pre = false;
+  if (cube_ != nullptr) {
+    IdentificationOptions iopts;
+    iopts.confidence_level = options_.confidence_level;
+    AggregateIdentifier identifier(cube_, sample_, iopts, rng);
+    AQPP_ASSIGN_OR_RETURN(auto identified, identifier.Identify(query, rng));
+    if (!identified.pre.IsEmpty()) {
+      have_pre = true;
+      pre_values = identified.values;
+      pre_predicate = identified.pre.ToPredicate(cube_->scheme());
+    }
+  }
+
+  // Per-row population-sum contributions y_i (difference form when a pre is
+  // in play).
+  AQPP_ASSIGN_OR_RETURN(auto q_mask, query.predicate.EvaluateMask(*sample_->rows));
+  std::vector<uint8_t> pre_mask(n, 0);
+  if (have_pre) {
+    AQPP_ASSIGN_OR_RETURN(pre_mask, pre_predicate.EvaluateMask(*sample_->rows));
+  }
+  const bool is_count = query.func == AggregateFunction::kCount;
+  const Column* measure =
+      is_count ? nullptr : &sample_->rows->column(query.agg_column);
+  const double pre_constant = is_count ? pre_values.count : pre_values.sum;
+  const double population = static_cast<double>(sample_->population_size);
+
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double diff = static_cast<double>(q_mask[i]) -
+                  (have_pre ? static_cast<double>(pre_mask[i]) : 0.0);
+    y[i] = (is_count ? 1.0 : measure->GetDouble(i)) * diff;
+  }
+
+  // Checkpoint schedule.
+  std::vector<double> fractions = options_.checkpoints;
+  if (fractions.empty()) {
+    for (double f = 1.0 / 64; f < 1.0; f *= 2) fractions.push_back(f);
+    fractions.push_back(1.0);
+  }
+  std::sort(fractions.begin(), fractions.end());
+
+  const double lambda = NormalCriticalValue(options_.confidence_level);
+  std::vector<ProgressiveStep> steps;
+  RunningMoments z;  // streaming moments of N * y over the consumed prefix
+  size_t consumed = 0;
+  for (double f : fractions) {
+    size_t target = std::clamp<size_t>(
+        static_cast<size_t>(std::llround(f * static_cast<double>(n))), 1, n);
+    while (consumed < target) {
+      z.Add(population * y[order[consumed]]);
+      ++consumed;
+    }
+    ProgressiveStep step;
+    step.rows_used = consumed;
+    step.ci.level = options_.confidence_level;
+    step.ci.estimate = pre_constant + z.mean();
+    step.ci.half_width =
+        lambda * std::sqrt(z.variance_sample() / static_cast<double>(consumed));
+    steps.push_back(step);
+  }
+  return steps;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,224 @@
+#include "cube/extrema_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+Result<std::shared_ptr<ExtremaGrid>> ExtremaGrid::Build(
+    const Table& table, PartitionScheme scheme, size_t measure_column) {
+  AQPP_RETURN_NOT_OK(scheme.Validate(table));
+  if (measure_column >= table.num_columns()) {
+    return Status::InvalidArgument("measure column out of range");
+  }
+  auto grid = std::shared_ptr<ExtremaGrid>(new ExtremaGrid());
+  grid->scheme_ = std::move(scheme);
+  grid->measure_column_ = measure_column;
+
+  const size_t d = grid->scheme_.num_dims();
+  grid->extents_.resize(d);
+  grid->strides_.resize(d);
+  grid->domain_min_.resize(d);
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) {
+    grid->extents_[i] = grid->scheme_.dim(i).num_cuts();
+    if (total > (size_t{1} << 28) / std::max<size_t>(1, grid->extents_[i])) {
+      return Status::InvalidArgument("grid too large (> 2^28 cells)");
+    }
+    total *= grid->extents_[i];
+    AQPP_ASSIGN_OR_RETURN(
+        grid->domain_min_[i],
+        table.column(grid->scheme_.dim(i).column).MinInt64());
+  }
+  size_t stride = 1;
+  for (size_t i = d; i-- > 0;) {
+    grid->strides_[i] = stride;
+    stride *= grid->extents_[i];
+  }
+  grid->min_.assign(total, std::numeric_limits<double>::infinity());
+  grid->max_.assign(total, -std::numeric_limits<double>::infinity());
+
+  const Column& measure = table.column(measure_column);
+  std::vector<const std::vector<int64_t>*> dim_data(d);
+  for (size_t i = 0; i < d; ++i) {
+    dim_data[i] = &table.column(grid->scheme_.dim(i).column).Int64Data();
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    size_t flat = 0;
+    for (size_t i = 0; i < d; ++i) {
+      // Blocks are 1-based buckets; the grid stores them 0-based.
+      flat += (grid->scheme_.dim(i).BucketOf((*dim_data[i])[r]) - 1) *
+              grid->strides_[i];
+    }
+    double v = measure.GetDouble(r);
+    grid->min_[flat] = std::min(grid->min_[flat], v);
+    grid->max_[flat] = std::max(grid->max_[flat], v);
+  }
+  return grid;
+}
+
+size_t ExtremaGrid::NumCells() const { return min_.size(); }
+
+size_t ExtremaGrid::MemoryUsage() const {
+  return (min_.capacity() + max_.capacity()) * sizeof(double);
+}
+
+size_t ExtremaGrid::FlatIndex(const std::vector<size_t>& block) const {
+  size_t flat = 0;
+  for (size_t i = 0; i < block.size(); ++i) {
+    flat += block[i] * strides_[i];
+  }
+  return flat;
+}
+
+Result<std::vector<ExtremaGrid::DimRange>> ExtremaGrid::ComputeRanges(
+    const RangePredicate& predicate) const {
+  const size_t d = scheme_.num_dims();
+  // Reject conditions on columns outside the grid: their restriction cannot
+  // be bounded by block extrema.
+  for (const auto& c : predicate.conditions()) {
+    bool covered = false;
+    for (size_t i = 0; i < d; ++i) {
+      if (scheme_.dim(i).column == c.column) covered = true;
+    }
+    if (!covered) {
+      return Status::InvalidArgument(
+          "extrema bounds require every condition column to be a grid "
+          "dimension");
+    }
+  }
+  std::vector<DimRange> ranges(d);
+  for (size_t i = 0; i < d; ++i) {
+    const DimensionPartition& dim = scheme_.dim(i);
+    int64_t lo = std::numeric_limits<int64_t>::min();
+    int64_t hi = std::numeric_limits<int64_t>::max();
+    for (const auto& c : predicate.conditions()) {
+      if (c.column == dim.column) {
+        lo = std::max(lo, c.lo);
+        hi = std::min(hi, c.hi);
+      }
+    }
+    if (lo > hi) return Status::FailedPrecondition("empty predicate");
+
+    DimRange r;
+    const size_t k = dim.num_cuts();
+    // Block j (1-based) spans (floor_j, cut_j] with floor_1 = domain_min - 1
+    // and floor_j = cut_{j-1}.
+    auto block_floor = [&](size_t j) {
+      return j == 1 ? domain_min_[i] - 1 : dim.CutValue(j - 1);
+    };
+    // Outer: blocks intersecting [lo, hi]: cut_j >= lo and floor_j < hi+1.
+    size_t outer_lo = lo == std::numeric_limits<int64_t>::min()
+                          ? 1
+                          : dim.UpperBracket(lo);
+    size_t outer_hi = hi == std::numeric_limits<int64_t>::max()
+                          ? k
+                          : dim.UpperBracket(hi);
+    // UpperBracket clamps to k; verify the last block actually intersects.
+    if (outer_lo > k) return Status::FailedPrecondition("query beyond domain");
+    r.outer_lo = outer_lo;
+    r.outer_hi = std::max(outer_lo, outer_hi);
+    // Inner: blocks fully inside: floor_j >= lo - 1 and cut_j <= hi.
+    // (An unbounded lo makes every block's floor admissible.)
+    size_t inner_lo = outer_lo;
+    if (lo != std::numeric_limits<int64_t>::min()) {
+      while (inner_lo <= r.outer_hi && block_floor(inner_lo) < lo - 1) {
+        ++inner_lo;
+      }
+    }
+    size_t inner_hi = r.outer_hi;
+    while (inner_hi >= inner_lo && dim.CutValue(inner_hi) > hi) {
+      --inner_hi;
+    }
+    r.inner_lo = inner_lo;
+    r.inner_hi = inner_hi;  // may be < inner_lo: empty inner range
+    ranges[i] = r;
+  }
+  return ranges;
+}
+
+Result<ExtremaBounds> ExtremaGrid::Bounds(const RangePredicate& predicate,
+                                          bool want_max) const {
+  AQPP_ASSIGN_OR_RETURN(auto ranges, ComputeRanges(predicate));
+  const size_t d = scheme_.num_dims();
+  const auto& plane = want_max ? max_ : min_;
+  const double empty_marker = want_max
+                                  ? -std::numeric_limits<double>::infinity()
+                                  : std::numeric_limits<double>::infinity();
+  auto better = [&](double a, double b) {
+    return want_max ? std::max(a, b) : std::min(a, b);
+  };
+
+  // Iterate the outer box; track outer and inner extrema simultaneously.
+  double outer = empty_marker;
+  double inner = empty_marker;
+  bool outer_seen = false, inner_seen = false;
+  bool all_outer_inside = true;
+  std::vector<size_t> block(d);
+  for (size_t i = 0; i < d; ++i) block[i] = ranges[i].outer_lo;
+  while (true) {
+    bool inside = true;
+    for (size_t i = 0; i < d; ++i) {
+      if (block[i] < ranges[i].inner_lo || block[i] > ranges[i].inner_hi) {
+        inside = false;
+        break;
+      }
+    }
+    std::vector<size_t> zero_based(d);
+    for (size_t i = 0; i < d; ++i) zero_based[i] = block[i] - 1;
+    double v = plane[FlatIndex(zero_based)];
+    bool empty = v == empty_marker;
+    if (!empty) {
+      outer = better(outer, v);
+      outer_seen = true;
+      if (inside) {
+        inner = better(inner, v);
+        inner_seen = true;
+      }
+    }
+    if (!inside && !empty) all_outer_inside = false;
+
+    // Advance the outer-box counter.
+    size_t i = 0;
+    while (i < d) {
+      if (++block[i] <= ranges[i].outer_hi) break;
+      block[i] = ranges[i].outer_lo;
+      ++i;
+    }
+    if (i == d) break;
+  }
+  if (!outer_seen) {
+    return Status::FailedPrecondition("no data intersects the query range");
+  }
+  ExtremaBounds bounds;
+  bounds.upper = want_max ? outer : (inner_seen ? inner : outer);
+  bounds.lower = want_max ? (inner_seen ? inner : outer) : outer;
+  bounds.has_lower = inner_seen;
+  // Exact when every nonempty intersecting block is fully inside (the outer
+  // extremum is then attained by an inside row).
+  bounds.exact = inner_seen && all_outer_inside;
+  if (!inner_seen) {
+    // No fully-covered block: only the one-sided (outer) bound is valid.
+    if (want_max) {
+      bounds.lower = -std::numeric_limits<double>::infinity();
+    } else {
+      bounds.upper = std::numeric_limits<double>::infinity();
+    }
+  }
+  return bounds;
+}
+
+Result<ExtremaBounds> ExtremaGrid::MaxBounds(
+    const RangePredicate& predicate) const {
+  return Bounds(predicate, /*want_max=*/true);
+}
+
+Result<ExtremaBounds> ExtremaGrid::MinBounds(
+    const RangePredicate& predicate) const {
+  return Bounds(predicate, /*want_max=*/false);
+}
+
+}  // namespace aqpp

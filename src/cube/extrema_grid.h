@@ -1,0 +1,85 @@
+// Block extrema grid: deterministic MIN/MAX bounds for range queries.
+//
+// Section 8 of the paper lists MIN/MAX as future work: sampling cannot
+// estimate them, but precomputation handles them naturally. This module is
+// that extension. Extrema are not invertible, so no prefix trick applies;
+// instead we store the raw per-block min/max (same bucketing as the
+// BP-Cube) and answer a range query with *deterministic* bounds:
+//
+//   max over blocks fully inside the query   <=  MAX(q)  <=
+//   max over blocks intersecting the query
+//
+// (dually for MIN). When every intersecting block is fully inside, the
+// bound pair collapses and the answer is exact. The bounds get tighter as
+// k grows — the same precision-for-space dial as the BP-Cube.
+
+#ifndef AQPP_CUBE_EXTREMA_GRID_H_
+#define AQPP_CUBE_EXTREMA_GRID_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/partition.h"
+#include "expr/query.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// Deterministic interval for an extremum. `exact` when lower == upper is
+// guaranteed; `has_lower` is false when no block lies fully inside the
+// query (the inner bound is then vacuous).
+struct ExtremaBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+  bool has_lower = false;
+  bool exact = false;
+};
+
+class ExtremaGrid {
+ public:
+  // One scan of `table`; grid cells follow `scheme`'s bucketing.
+  static Result<std::shared_ptr<ExtremaGrid>> Build(const Table& table,
+                                                    PartitionScheme scheme,
+                                                    size_t measure_column);
+
+  const PartitionScheme& scheme() const { return scheme_; }
+  size_t measure_column() const { return measure_column_; }
+  size_t NumCells() const;
+  size_t MemoryUsage() const;
+
+  // Bounds on MAX / MIN of the measure over the conjunctive range
+  // `predicate` (conditions on non-scheme columns are rejected — the grid
+  // cannot bound them). Errors if no data can match (all intersecting
+  // blocks empty).
+  Result<ExtremaBounds> MaxBounds(const RangePredicate& predicate) const;
+  Result<ExtremaBounds> MinBounds(const RangePredicate& predicate) const;
+
+ private:
+  ExtremaGrid() = default;
+
+  // Per-dimension block index ranges: blocks fully inside / intersecting.
+  struct DimRange {
+    size_t inner_lo = 1, inner_hi = 0;  // empty when inner_lo > inner_hi
+    size_t outer_lo = 1, outer_hi = 0;
+  };
+  Result<std::vector<DimRange>> ComputeRanges(
+      const RangePredicate& predicate) const;
+
+  Result<ExtremaBounds> Bounds(const RangePredicate& predicate,
+                               bool want_max) const;
+
+  size_t FlatIndex(const std::vector<size_t>& block) const;
+
+  PartitionScheme scheme_;
+  size_t measure_column_ = 0;
+  std::vector<size_t> extents_;  // blocks per dimension (num_cuts)
+  std::vector<size_t> strides_;
+  std::vector<double> min_;      // +inf for empty blocks
+  std::vector<double> max_;      // -inf for empty blocks
+  std::vector<int64_t> domain_min_;  // per-dim minimum value (block 1's floor)
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CUBE_EXTREMA_GRID_H_

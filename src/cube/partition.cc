@@ -1,0 +1,198 @@
+#include "cube/partition.h"
+
+#include <algorithm>
+#include <climits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+
+size_t DimensionPartition::LowerBracket(int64_t bound) const {
+  // Largest index j with cuts[j-1] <= bound.
+  auto it = std::upper_bound(cuts.begin(), cuts.end(), bound);
+  return static_cast<size_t>(it - cuts.begin());
+}
+
+size_t DimensionPartition::UpperBracket(int64_t bound) const {
+  auto it = std::lower_bound(cuts.begin(), cuts.end(), bound);
+  if (it == cuts.end()) return cuts.size();  // clamp to full prefix
+  return static_cast<size_t>(it - cuts.begin()) + 1;
+}
+
+size_t DimensionPartition::BucketOf(int64_t v) const {
+  auto it = std::lower_bound(cuts.begin(), cuts.end(), v);
+  AQPP_CHECK(it != cuts.end());
+  return static_cast<size_t>(it - cuts.begin()) + 1;
+}
+
+size_t PartitionScheme::NumCells() const {
+  size_t cells = 1;
+  for (const auto& d : dims_) {
+    cells *= d.num_cuts();
+  }
+  return dims_.empty() ? 0 : cells;
+}
+
+Status PartitionScheme::Validate(const Table& table) const {
+  if (dims_.empty()) return Status::InvalidArgument("no dimensions");
+  for (const auto& d : dims_) {
+    if (d.column >= table.num_columns()) {
+      return Status::InvalidArgument("partition column out of range");
+    }
+    const Column& col = table.column(d.column);
+    if (col.type() == DataType::kDouble) {
+      return Status::InvalidArgument(
+          "partition column '" + table.schema().column(d.column).name +
+          "' must be ordinal");
+    }
+    if (d.cuts.empty()) {
+      return Status::InvalidArgument("dimension has no cuts");
+    }
+    for (size_t j = 1; j < d.cuts.size(); ++j) {
+      if (d.cuts[j] <= d.cuts[j - 1]) {
+        return Status::InvalidArgument("cuts must be strictly increasing");
+      }
+    }
+    AQPP_ASSIGN_OR_RETURN(int64_t max_v, col.MaxInt64());
+    if (d.cuts.back() < max_v) {
+      return Status::InvalidArgument(StrFormat(
+          "last cut (%lld) of column '%s' below column max (%lld)",
+          static_cast<long long>(d.cuts.back()),
+          table.schema().column(d.column).name.c_str(),
+          static_cast<long long>(max_v)));
+    }
+  }
+  return Status::OK();
+}
+
+std::string PartitionScheme::ToString(const Schema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.column(dims_[i].column).name;
+    out += StrFormat(": %zu cuts", dims_[i].num_cuts());
+  }
+  out += "}";
+  return out;
+}
+
+Result<std::vector<int64_t>> DistinctSorted(const Table& table,
+                                            size_t column) {
+  if (column >= table.num_columns()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  const Column& col = table.column(column);
+  if (col.type() == DataType::kDouble) {
+    return Status::InvalidArgument("column must be ordinal");
+  }
+  std::vector<int64_t> values = col.Int64Data();
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  return values;
+}
+
+Result<DimensionPartition> PartitionScheme::EqualDepthPartition(
+    const Table& table, size_t column, size_t k) {
+  if (k == 0) return Status::InvalidArgument("k must be > 0");
+  AQPP_ASSIGN_OR_RETURN(auto distinct, DistinctSorted(table, column));
+  if (distinct.empty()) return Status::FailedPrecondition("empty column");
+
+  // Row counts per distinct value -> cumulative depth at each feasible cut.
+  const auto& data = table.column(column).Int64Data();
+  std::vector<size_t> counts(distinct.size(), 0);
+  for (int64_t v : data) {
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), v) -
+        distinct.begin());
+    ++counts[idx];
+  }
+  std::vector<size_t> cum(distinct.size());
+  size_t acc = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    acc += counts[i];
+    cum[i] = acc;
+  }
+  const double N = static_cast<double>(table.num_rows());
+
+  DimensionPartition dim;
+  dim.column = column;
+  k = std::min(k, distinct.size());
+  dim.cuts.reserve(k);
+  for (size_t i = 1; i <= k; ++i) {
+    double target = N * static_cast<double>(i) / static_cast<double>(k);
+    // Feasible cut with cumulative depth closest to the target.
+    auto it = std::lower_bound(cum.begin(), cum.end(),
+                               static_cast<size_t>(target));
+    size_t idx = static_cast<size_t>(it - cum.begin());
+    if (idx >= cum.size()) {
+      idx = cum.size() - 1;
+    } else if (idx > 0) {
+      double above = static_cast<double>(cum[idx]) - target;
+      double below = target - static_cast<double>(cum[idx - 1]);
+      if (below < above) idx -= 1;
+    }
+    int64_t cut = distinct[idx];
+    if (!dim.cuts.empty() && cut <= dim.cuts.back()) continue;  // dedupe
+    dim.cuts.push_back(cut);
+  }
+  // Guarantee full-prefix coverage.
+  if (dim.cuts.empty() || dim.cuts.back() < distinct.back()) {
+    dim.cuts.push_back(distinct.back());
+  }
+  return dim;
+}
+
+bool PreAggregate::IsEmpty() const {
+  for (size_t i = 0; i < lo.size(); ++i) {
+    if (lo[i] >= hi[i]) return true;
+  }
+  return lo.empty();
+}
+
+RangePredicate PreAggregate::ToPredicate(const PartitionScheme& scheme) const {
+  RangePredicate pred;
+  AQPP_CHECK_EQ(lo.size(), scheme.num_dims());
+  for (size_t i = 0; i < lo.size(); ++i) {
+    const auto& dim = scheme.dim(i);
+    RangeCondition c;
+    c.column = dim.column;
+    if (lo[i] >= hi[i]) {
+      // Empty box: encode an always-false condition.
+      c.lo = 1;
+      c.hi = 0;
+    } else {
+      c.lo = lo[i] == 0 ? std::numeric_limits<int64_t>::min()
+                        : dim.CutValue(lo[i]) + 1;
+      c.hi = dim.CutValue(hi[i]);
+    }
+    pred.Add(c);
+  }
+  return pred;
+}
+
+std::string PreAggregate::ToString(const PartitionScheme& scheme,
+                                   const Schema& schema) const {
+  if (IsEmpty()) return "phi";
+  std::string out = "PRE[";
+  bool first = true;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    const auto& dim = scheme.dim(i);
+    // Skip dimensions the box does not restrict (full prefix).
+    if (lo[i] == 0 && hi[i] == dim.num_cuts()) continue;
+    if (!first) out += ", ";
+    first = false;
+    std::string lo_s =
+        lo[i] == 0 ? "-inf"
+                   : StrFormat("%lld",
+                               static_cast<long long>(dim.CutValue(lo[i])));
+    out += StrFormat("%s in (%s, %lld]",
+                     schema.column(dim.column).name.c_str(), lo_s.c_str(),
+                     static_cast<long long>(dim.CutValue(hi[i])));
+  }
+  if (first) out += "ALL";
+  out += "]";
+  return out;
+}
+
+}  // namespace aqpp

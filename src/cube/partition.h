@@ -1,0 +1,108 @@
+// Partition schemes: per-dimension cut points defining a blocked prefix
+// cube (Definition 3 in the paper).
+//
+// A cut value t on dimension C denotes the prefix "C <= t". Cut *indices*
+// extend the cut array with a virtual index 0 meaning the empty prefix, so
+// every precomputable aggregate is a half-open box
+//   (cut[a_1], cut[b_1]] x ... x (cut[a_d], cut[b_d]]
+// identified by index pairs a_i <= b_i.
+
+#ifndef AQPP_CUBE_PARTITION_H_
+#define AQPP_CUBE_PARTITION_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/query.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// Cuts for one condition attribute.
+struct DimensionPartition {
+  // Column index of the condition attribute in the base table.
+  size_t column = 0;
+  // Strictly increasing cut values. The last cut must be >= the column's
+  // maximum so the full prefix is always available (the paper fixes
+  // t_k = |dom(C)|, footnote 5).
+  std::vector<int64_t> cuts;
+
+  size_t num_cuts() const { return cuts.size(); }
+
+  // Value of cut index idx (1-based; idx in [1, num_cuts()]).
+  int64_t CutValue(size_t idx) const { return cuts[idx - 1]; }
+
+  // Largest cut index whose value is <= bound; 0 if none (the empty prefix).
+  // `bound` is an exclusive lower bound or inclusive upper bound of a range
+  // expressed in "prefix boundary" space.
+  size_t LowerBracket(int64_t bound) const;
+
+  // Smallest cut index whose value is >= bound; num_cuts() if bound exceeds
+  // all cuts (clamped to the full prefix).
+  size_t UpperBracket(int64_t bound) const;
+
+  // Bucket of a row value v: the smallest cut index j >= 1 with
+  // v <= CutValue(j). Requires v <= cuts.back().
+  size_t BucketOf(int64_t v) const;
+};
+
+// A complete scheme over d dimensions.
+class PartitionScheme {
+ public:
+  PartitionScheme() = default;
+  explicit PartitionScheme(std::vector<DimensionPartition> dims)
+      : dims_(std::move(dims)) {}
+
+  size_t num_dims() const { return dims_.size(); }
+  const DimensionPartition& dim(size_t i) const { return dims_[i]; }
+  const std::vector<DimensionPartition>& dims() const { return dims_; }
+
+  // Number of stored cells, prod_i num_cuts_i (the paper's |P| <= k budget).
+  size_t NumCells() const;
+
+  // Validates against a table: columns ordinal, cuts strictly increasing and
+  // covering the column max.
+  Status Validate(const Table& table) const;
+
+  std::string ToString(const Schema& schema) const;
+
+  // Builds the equal-depth initialization P_eq (Section 6.1.2 step 1): cut
+  // values are the feasible attribute values closest to the i*N/k row-count
+  // quantiles. `k` is the number of cuts for this dimension.
+  static Result<DimensionPartition> EqualDepthPartition(const Table& table,
+                                                        size_t column,
+                                                        size_t k);
+
+ private:
+  std::vector<DimensionPartition> dims_;
+};
+
+// Sorted distinct values of an ordinal column (the feasible cut positions).
+Result<std::vector<int64_t>> DistinctSorted(const Table& table, size_t column);
+
+// A precomputed aggregate query identified by cut-index bounds: the half-open
+// box prod_i (cut[lo_i], cut[hi_i]]. lo_i == hi_i on every dimension encodes
+// the empty query phi.
+struct PreAggregate {
+  std::vector<size_t> lo;  // exclusive lower cut index per dimension
+  std::vector<size_t> hi;  // inclusive upper cut index per dimension
+
+  bool IsEmpty() const;
+  bool operator==(const PreAggregate& other) const {
+    return lo == other.lo && hi == other.hi;
+  }
+
+  // The equivalent predicate on the base/sample table (for evaluating
+  // p̂re(S)). Dimensions with lo==0 use an open lower bound.
+  RangePredicate ToPredicate(const PartitionScheme& scheme) const;
+
+  std::string ToString(const PartitionScheme& scheme,
+                       const Schema& schema) const;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CUBE_PARTITION_H_

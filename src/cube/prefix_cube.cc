@@ -1,0 +1,321 @@
+#include "cube/prefix_cube.h"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace aqpp {
+
+Result<std::shared_ptr<PrefixCube>> PrefixCube::Build(
+    const Table& table, PartitionScheme scheme,
+    const std::vector<MeasureSpec>& measures) {
+  AQPP_RETURN_NOT_OK(scheme.Validate(table));
+  if (measures.empty()) {
+    return Status::InvalidArgument("at least one measure required");
+  }
+  for (const auto& m : measures) {
+    if (!m.is_count()) {
+      if (m.column < 0 ||
+          static_cast<size_t>(m.column) >= table.num_columns()) {
+        return Status::InvalidArgument("measure column out of range");
+      }
+    }
+  }
+
+  Timer timer;
+  auto cube = std::shared_ptr<PrefixCube>(new PrefixCube());
+  cube->scheme_ = std::move(scheme);
+  cube->measures_ = measures;
+
+  const size_t d = cube->scheme_.num_dims();
+  cube->extents_.resize(d);
+  cube->strides_.resize(d);
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) {
+    cube->extents_[i] = cube->scheme_.dim(i).num_cuts() + 1;
+    // Overflow / memory guard: refuse cubes over ~256M cells.
+    if (total > (size_t{1} << 28) / cube->extents_[i]) {
+      return Status::InvalidArgument(
+          StrFormat("cube too large (> 2^28 cells)"));
+    }
+    total *= cube->extents_[i];
+  }
+  // Row-major strides, last dimension fastest.
+  size_t stride = 1;
+  for (size_t i = d; i-- > 0;) {
+    cube->strides_[i] = stride;
+    stride *= cube->extents_[i];
+  }
+
+  cube->planes_.assign(measures.size(), std::vector<double>(total, 0.0));
+
+  // Pass 1: one scan, accumulate each row into its bucket cell. The scan is
+  // parallelized over row ranges with per-thread partial planes (prefix
+  // sums are linear, so partials simply add) when the extra memory is
+  // cheap; otherwise it runs single-threaded.
+  const size_t n = table.num_rows();
+  std::vector<const Column*> measure_cols(measures.size(), nullptr);
+  for (size_t m = 0; m < measures.size(); ++m) {
+    if (!measures[m].is_count()) {
+      measure_cols[m] = &table.column(static_cast<size_t>(measures[m].column));
+    }
+  }
+  std::vector<const std::vector<int64_t>*> dim_data(d);
+  for (size_t i = 0; i < d; ++i) {
+    dim_data[i] = &table.column(cube->scheme_.dim(i).column).Int64Data();
+  }
+
+  auto accumulate = [&](std::vector<std::vector<double>>& planes,
+                        size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      size_t flat = 0;
+      for (size_t i = 0; i < d; ++i) {
+        size_t bucket = cube->scheme_.dim(i).BucketOf((*dim_data[i])[r]);
+        flat += bucket * cube->strides_[i];
+      }
+      for (size_t m = 0; m < measures.size(); ++m) {
+        double v =
+            measures[m].is_count() ? 1.0 : measure_cols[m]->GetDouble(r);
+        if (measures[m].squared) v *= v;
+        planes[m][flat] += v;
+      }
+    }
+  };
+
+  const size_t workers = DefaultParallelism();
+  const size_t partial_bytes = total * measures.size() * sizeof(double);
+  if (workers > 1 && n >= size_t{1} << 17 &&
+      partial_bytes * (workers - 1) <= size_t{64} << 20) {
+    std::mutex mu;
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      std::vector<std::vector<double>> partial(
+          measures.size(), std::vector<double>(total, 0.0));
+      accumulate(partial, begin, end);
+      std::lock_guard<std::mutex> lock(mu);
+      for (size_t m = 0; m < measures.size(); ++m) {
+        for (size_t c = 0; c < total; ++c) {
+          cube->planes_[m][c] += partial[m][c];
+        }
+      }
+    });
+  } else {
+    accumulate(cube->planes_, 0, n);
+  }
+
+  // Pass 2: d prefix-sum sweeps. After sweeping dimension i, each cell holds
+  // the sum over all bucket indices <= its index along dimensions swept so
+  // far.
+  for (size_t m = 0; m < measures.size(); ++m) {
+    auto& plane = cube->planes_[m];
+    for (size_t i = 0; i < d; ++i) {
+      const size_t stride_i = cube->strides_[i];
+      const size_t extent_i = cube->extents_[i];
+      // Iterate over all cells whose index along dim i is >= 1 and add the
+      // predecessor along dim i.
+      const size_t block = stride_i * extent_i;
+      for (size_t base = 0; base < plane.size(); base += block) {
+        for (size_t j = 1; j < extent_i; ++j) {
+          size_t row_start = base + j * stride_i;
+          size_t prev_start = row_start - stride_i;
+          for (size_t off = 0; off < stride_i; ++off) {
+            plane[row_start + off] += plane[prev_start + off];
+          }
+        }
+      }
+    }
+  }
+
+  cube->build_seconds_ = timer.ElapsedSeconds();
+  return cube;
+}
+
+size_t PrefixCube::FlatIndex(const std::vector<size_t>& idx) const {
+  AQPP_DCHECK_EQ(idx.size(), strides_.size());
+  size_t flat = 0;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    AQPP_DCHECK_LT(idx[i], extents_[i]);
+    flat += idx[i] * strides_[i];
+  }
+  return flat;
+}
+
+double PrefixCube::PrefixValue(const std::vector<size_t>& idx,
+                               size_t m) const {
+  for (size_t v : idx) {
+    if (v == 0) return 0.0;
+  }
+  return planes_[m][FlatIndex(idx)];
+}
+
+double PrefixCube::BoxValue(const PreAggregate& pre, size_t m) const {
+  AQPP_CHECK_EQ(pre.lo.size(), scheme_.num_dims());
+  if (pre.IsEmpty()) return 0.0;
+  const size_t d = scheme_.num_dims();
+  // Inclusion-exclusion over the 2^d corners.
+  double total = 0.0;
+  const size_t corners = size_t{1} << d;
+  std::vector<size_t> idx(d);
+  for (size_t mask = 0; mask < corners; ++mask) {
+    int sign = 1;
+    for (size_t i = 0; i < d; ++i) {
+      if (mask & (size_t{1} << i)) {
+        idx[i] = pre.lo[i];
+        sign = -sign;
+      } else {
+        idx[i] = pre.hi[i];
+      }
+    }
+    total += sign * PrefixValue(idx, m);
+  }
+  return total;
+}
+
+Status PrefixCube::MergeFrom(const PrefixCube& other) {
+  if (other.scheme_.num_dims() != scheme_.num_dims() ||
+      other.planes_.size() != planes_.size()) {
+    return Status::InvalidArgument("cube structure mismatch");
+  }
+  for (size_t i = 0; i < scheme_.num_dims(); ++i) {
+    if (scheme_.dim(i).column != other.scheme_.dim(i).column ||
+        scheme_.dim(i).cuts != other.scheme_.dim(i).cuts) {
+      return Status::InvalidArgument("partition scheme mismatch");
+    }
+  }
+  for (size_t m = 0; m < measures_.size(); ++m) {
+    if (measures_[m].column != other.measures_[m].column ||
+        measures_[m].squared != other.measures_[m].squared) {
+      return Status::InvalidArgument("measure list mismatch");
+    }
+  }
+  for (size_t m = 0; m < planes_.size(); ++m) {
+    AQPP_CHECK_EQ(planes_[m].size(), other.planes_[m].size());
+    for (size_t i = 0; i < planes_[m].size(); ++i) {
+      planes_[m][i] += other.planes_[m][i];
+    }
+  }
+  return Status::OK();
+}
+
+size_t PrefixCube::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& plane : planes_) bytes += plane.capacity() * sizeof(double);
+  return bytes;
+}
+
+namespace {
+
+constexpr char kCubeMagic[8] = {'A', 'Q', 'P', 'P', 'C', 'U', 'B', '1'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+Status PrefixCube::WriteTo(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(kCubeMagic, sizeof(kCubeMagic));
+  WritePod<uint64_t>(out, scheme_.num_dims());
+  for (const auto& dim : scheme_.dims()) {
+    WritePod<uint64_t>(out, dim.column);
+    WritePod<uint64_t>(out, dim.cuts.size());
+    out.write(reinterpret_cast<const char*>(dim.cuts.data()),
+              static_cast<std::streamsize>(dim.cuts.size() * sizeof(int64_t)));
+  }
+  WritePod<uint64_t>(out, measures_.size());
+  for (const auto& m : measures_) {
+    WritePod<int64_t>(out, m.column);
+    WritePod<uint8_t>(out, m.squared ? 1 : 0);
+  }
+  WritePod<double>(out, build_seconds_);
+  for (const auto& plane : planes_) {
+    WritePod<uint64_t>(out, plane.size());
+    out.write(reinterpret_cast<const char*>(plane.data()),
+              static_cast<std::streamsize>(plane.size() * sizeof(double)));
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::shared_ptr<PrefixCube>> PrefixCube::ReadFrom(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kCubeMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an AQPP cube file");
+  }
+  auto cube = std::shared_ptr<PrefixCube>(new PrefixCube());
+  uint64_t num_dims = 0;
+  if (!ReadPod(in, &num_dims)) return Status::IOError("truncated cube file");
+  std::vector<DimensionPartition> dims(num_dims);
+  for (auto& dim : dims) {
+    uint64_t column = 0, num_cuts = 0;
+    if (!ReadPod(in, &column) || !ReadPod(in, &num_cuts)) {
+      return Status::IOError("truncated cube scheme");
+    }
+    dim.column = column;
+    dim.cuts.resize(num_cuts);
+    in.read(reinterpret_cast<char*>(dim.cuts.data()),
+            static_cast<std::streamsize>(num_cuts * sizeof(int64_t)));
+    if (!in) return Status::IOError("truncated cube cuts");
+  }
+  cube->scheme_ = PartitionScheme(std::move(dims));
+  uint64_t num_measures = 0;
+  if (!ReadPod(in, &num_measures)) return Status::IOError("truncated cube");
+  cube->measures_.resize(num_measures);
+  for (auto& m : cube->measures_) {
+    uint8_t squared = 0;
+    if (!ReadPod(in, &m.column) || !ReadPod(in, &squared)) {
+      return Status::IOError("truncated measures");
+    }
+    m.squared = squared != 0;
+  }
+  if (!ReadPod(in, &cube->build_seconds_)) {
+    return Status::IOError("truncated cube");
+  }
+  // Reconstruct extents/strides from the scheme.
+  const size_t d = cube->scheme_.num_dims();
+  cube->extents_.resize(d);
+  cube->strides_.resize(d);
+  size_t total = 1;
+  for (size_t i = 0; i < d; ++i) {
+    cube->extents_[i] = cube->scheme_.dim(i).num_cuts() + 1;
+    total *= cube->extents_[i];
+  }
+  size_t stride = 1;
+  for (size_t i = d; i-- > 0;) {
+    cube->strides_[i] = stride;
+    stride *= cube->extents_[i];
+  }
+  cube->planes_.resize(num_measures);
+  for (auto& plane : cube->planes_) {
+    uint64_t size = 0;
+    if (!ReadPod(in, &size)) return Status::IOError("truncated plane");
+    if (size != total) {
+      return Status::InvalidArgument("plane size does not match the scheme");
+    }
+    plane.resize(size);
+    in.read(reinterpret_cast<char*>(plane.data()),
+            static_cast<std::streamsize>(size * sizeof(double)));
+    if (!in) return Status::IOError("truncated plane data");
+  }
+  return cube;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,97 @@
+// Blocked prefix cube (BP-Cube, Definition 3) with the Ho et al. [34]
+// construction: one scan of the data to bucket-accumulate, then d prefix-sum
+// passes over the cell array. Any aligned range aggregate is then answered
+// from at most 2^d cells by inclusion–exclusion (Figure 1).
+//
+// A cube can carry several measures (e.g. SUM(A) and COUNT) built in the
+// same scan, which is how AVG support is realized (Appendix C).
+
+#ifndef AQPP_CUBE_PREFIX_CUBE_H_
+#define AQPP_CUBE_PREFIX_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "cube/partition.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// Measure specification: COUNT(*), SUM(column), or SUM(column^2) — the
+// latter powers VAR reconstruction (Appendix C).
+struct MeasureSpec {
+  static constexpr int64_t kCountMeasure = -1;
+  int64_t column = kCountMeasure;
+  bool squared = false;
+
+  static MeasureSpec Count() { return MeasureSpec{kCountMeasure, false}; }
+  static MeasureSpec Sum(size_t column) {
+    return MeasureSpec{static_cast<int64_t>(column), false};
+  }
+  static MeasureSpec SumSquares(size_t column) {
+    return MeasureSpec{static_cast<int64_t>(column), true};
+  }
+  bool is_count() const { return column == kCountMeasure; }
+};
+
+class PrefixCube {
+ public:
+  // Builds the cube for `scheme` over `table`, one measure plane per entry
+  // of `measures`. Cost: one full scan + d prefix passes (Appendix B).
+  static Result<std::shared_ptr<PrefixCube>> Build(
+      const Table& table, PartitionScheme scheme,
+      const std::vector<MeasureSpec>& measures);
+
+  const PartitionScheme& scheme() const { return scheme_; }
+  size_t num_measures() const { return measures_.size(); }
+  const std::vector<MeasureSpec>& measures() const { return measures_; }
+
+  // Exact aggregate of measure `m` over the half-open box `pre`.
+  // O(2^d) cell reads.
+  double BoxValue(const PreAggregate& pre, size_t m = 0) const;
+
+  // Prefix cell value: measure m over prod_i (-inf, cut[idx_i]].
+  // idx_i in [0, num_cuts_i]; any idx_i == 0 yields 0.
+  double PrefixValue(const std::vector<size_t>& idx, size_t m = 0) const;
+
+  // Adds `other`'s planes cell-wise. Because prefix summation is linear,
+  // merging the cube of an appended batch yields exactly the cube of the
+  // combined data — the basis of incremental maintenance (Appendix C).
+  // `other` must have an identical scheme and measure list.
+  Status MergeFrom(const PrefixCube& other);
+
+  // Number of stored cells per measure (the budget |P|).
+  size_t NumCells() const { return scheme_.NumCells(); }
+
+  // Bytes used by the cell planes.
+  size_t MemoryUsage() const;
+
+  // Persists the cube (scheme + measures + planes) to a binary file so a
+  // prepared engine can warm-start without rebuilding. Not portable across
+  // endianness.
+  Status WriteTo(const std::string& path) const;
+  static Result<std::shared_ptr<PrefixCube>> ReadFrom(const std::string& path);
+
+  // Seconds spent building (scan + prefix passes), for cost reporting.
+  double build_seconds() const { return build_seconds_; }
+
+ private:
+  PrefixCube() = default;
+
+  size_t FlatIndex(const std::vector<size_t>& idx) const;
+
+  PartitionScheme scheme_;
+  std::vector<MeasureSpec> measures_;
+  // Per-dimension extent = num_cuts + 1 (index 0 is the empty prefix).
+  std::vector<size_t> extents_;
+  std::vector<size_t> strides_;
+  // planes_[m] is the flattened prefix-sum array of measure m.
+  std::vector<std::vector<double>> planes_;
+  double build_seconds_ = 0.0;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CUBE_PREFIX_CUBE_H_

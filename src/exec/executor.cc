@@ -1,0 +1,209 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "stats/descriptive.h"
+
+namespace aqpp {
+
+namespace {
+
+// Validates that all condition and group-by columns are ordinal and in range.
+Status ValidateQuery(const Table& table, const RangeQuery& query) {
+  if (query.func != AggregateFunction::kCount &&
+      query.agg_column >= table.num_columns()) {
+    return Status::InvalidArgument("aggregate column out of range");
+  }
+  for (const auto& c : query.predicate.conditions()) {
+    if (c.column >= table.num_columns()) {
+      return Status::InvalidArgument("condition column out of range");
+    }
+    if (table.column(c.column).type() == DataType::kDouble) {
+      return Status::InvalidArgument(
+          "condition column '" + table.schema().column(c.column).name +
+          "' must be ordinal (INT64 or STRING)");
+    }
+  }
+  for (size_t g : query.group_by) {
+    if (g >= table.num_columns()) {
+      return Status::InvalidArgument("group-by column out of range");
+    }
+    if (table.column(g).type() == DataType::kDouble) {
+      return Status::InvalidArgument("group-by column must be ordinal");
+    }
+  }
+  return Status::OK();
+}
+
+struct ScanAccumulator {
+  RunningMoments moments;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Merge(const ScanAccumulator& other) {
+    moments.Merge(other.moments);
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+};
+
+}  // namespace
+
+Result<double> ExactExecutor::Execute(const RangeQuery& query) const {
+  AQPP_RETURN_NOT_OK(ValidateQuery(*table_, query));
+  if (query.predicate.IsEmpty()) {
+    switch (query.func) {
+      case AggregateFunction::kSum:
+      case AggregateFunction::kCount:
+      case AggregateFunction::kAvg:
+      case AggregateFunction::kVar:
+        return 0.0;
+      case AggregateFunction::kMin:
+      case AggregateFunction::kMax:
+        return Status::FailedPrecondition("MIN/MAX over empty selection");
+    }
+  }
+
+  const size_t n = table_->num_rows();
+  const bool needs_value = query.func != AggregateFunction::kCount;
+  const Column* agg = needs_value ? &table_->column(query.agg_column) : nullptr;
+  const auto& conditions = query.predicate.conditions();
+
+  std::mutex mu;
+  ScanAccumulator total;
+  ParallelFor(n, [&](size_t begin, size_t end) {
+    ScanAccumulator local;
+    for (size_t i = begin; i < end; ++i) {
+      bool match = true;
+      for (const auto& c : conditions) {
+        int64_t v = table_->column(c.column).GetInt64(i);
+        if (v < c.lo || v > c.hi) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      double x = needs_value ? agg->GetDouble(i) : 1.0;
+      local.moments.Add(x);
+      local.min = std::min(local.min, x);
+      local.max = std::max(local.max, x);
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    total.Merge(local);
+  });
+
+  switch (query.func) {
+    case AggregateFunction::kSum:
+      return total.moments.sum();
+    case AggregateFunction::kCount:
+      return total.moments.count();
+    case AggregateFunction::kAvg:
+      return total.moments.mean();
+    case AggregateFunction::kVar:
+      return total.moments.variance_population();
+    case AggregateFunction::kMin:
+      if (total.moments.count() == 0) {
+        return Status::FailedPrecondition("MIN over empty selection");
+      }
+      return total.min;
+    case AggregateFunction::kMax:
+      if (total.moments.count() == 0) {
+        return Status::FailedPrecondition("MAX over empty selection");
+      }
+      return total.max;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::vector<GroupResult>> ExactExecutor::ExecuteGroupBy(
+    const RangeQuery& query) const {
+  AQPP_RETURN_NOT_OK(ValidateQuery(*table_, query));
+  if (query.group_by.empty()) {
+    return Status::InvalidArgument("ExecuteGroupBy requires group-by columns");
+  }
+  const size_t n = table_->num_rows();
+  const bool needs_value = query.func != AggregateFunction::kCount;
+  const Column* agg = needs_value ? &table_->column(query.agg_column) : nullptr;
+  const auto& conditions = query.predicate.conditions();
+
+  std::unordered_map<GroupKey, ScanAccumulator, GroupKeyHash> groups;
+  if (!query.predicate.IsEmpty()) {
+    GroupKey key;
+    key.values.resize(query.group_by.size());
+    for (size_t i = 0; i < n; ++i) {
+      bool match = true;
+      for (const auto& c : conditions) {
+        int64_t v = table_->column(c.column).GetInt64(i);
+        if (v < c.lo || v > c.hi) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      for (size_t g = 0; g < query.group_by.size(); ++g) {
+        key.values[g] = table_->column(query.group_by[g]).GetInt64(i);
+      }
+      auto& acc = groups[key];
+      double x = needs_value ? agg->GetDouble(i) : 1.0;
+      acc.moments.Add(x);
+      acc.min = std::min(acc.min, x);
+      acc.max = std::max(acc.max, x);
+    }
+  }
+
+  std::vector<GroupResult> out;
+  out.reserve(groups.size());
+  for (auto& [key, acc] : groups) {
+    GroupResult r;
+    r.key = key;
+    switch (query.func) {
+      case AggregateFunction::kSum:
+        r.value = acc.moments.sum();
+        break;
+      case AggregateFunction::kCount:
+        r.value = acc.moments.count();
+        break;
+      case AggregateFunction::kAvg:
+        r.value = acc.moments.mean();
+        break;
+      case AggregateFunction::kVar:
+        r.value = acc.moments.variance_population();
+        break;
+      case AggregateFunction::kMin:
+        r.value = acc.min;
+        break;
+      case AggregateFunction::kMax:
+        r.value = acc.max;
+        break;
+    }
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GroupResult& a, const GroupResult& b) {
+              return a.key.values < b.key.values;
+            });
+  return out;
+}
+
+Result<size_t> ExactExecutor::CountMatching(
+    const RangePredicate& predicate) const {
+  RangeQuery q;
+  q.func = AggregateFunction::kCount;
+  q.predicate = predicate;
+  AQPP_ASSIGN_OR_RETURN(double count, Execute(q));
+  return static_cast<size_t>(count);
+}
+
+Result<double> ExactExecutor::Selectivity(
+    const RangePredicate& predicate) const {
+  if (table_->num_rows() == 0) return 0.0;
+  AQPP_ASSIGN_OR_RETURN(size_t count, CountMatching(predicate));
+  return static_cast<double>(count) / static_cast<double>(table_->num_rows());
+}
+
+}  // namespace aqpp

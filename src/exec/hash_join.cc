@@ -1,0 +1,115 @@
+#include "exec/hash_join.h"
+
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+
+Result<std::shared_ptr<Table>> HashJoinFk(const Table& fact, size_t fk_column,
+                                          const Table& dimension,
+                                          size_t pk_column,
+                                          const HashJoinOptions& options) {
+  if (fk_column >= fact.num_columns()) {
+    return Status::InvalidArgument("fk column out of range");
+  }
+  if (pk_column >= dimension.num_columns()) {
+    return Status::InvalidArgument("pk column out of range");
+  }
+  const Column& fk = fact.column(fk_column);
+  const Column& pk = dimension.column(pk_column);
+  if (fk.type() == DataType::kDouble || pk.type() == DataType::kDouble) {
+    return Status::InvalidArgument("join keys must be ordinal");
+  }
+
+  // Build phase: PK -> dimension row, with a uniqueness check.
+  std::unordered_map<int64_t, size_t> index;
+  index.reserve(dimension.num_rows() * 2);
+  for (size_t r = 0; r < dimension.num_rows(); ++r) {
+    auto [it, inserted] = index.emplace(pk.GetInt64(r), r);
+    if (!inserted) {
+      return Status::InvalidArgument(StrFormat(
+          "pk column '%s' has duplicate value %lld; not a key",
+          dimension.schema().column(pk_column).name.c_str(),
+          static_cast<long long>(pk.GetInt64(r))));
+    }
+  }
+
+  // Output schema: fact columns then prefixed non-PK dimension columns.
+  std::vector<ColumnSchema> out_columns = fact.schema().columns();
+  std::vector<size_t> dim_source;  // dimension column indices in output order
+  for (size_t c = 0; c < dimension.num_columns(); ++c) {
+    if (c == pk_column) continue;
+    ColumnSchema cs = dimension.schema().column(c);
+    cs.name = options.dimension_prefix + cs.name;
+    // Collision check against fact columns.
+    for (const auto& existing : fact.schema().columns()) {
+      if (existing.name == cs.name) {
+        return Status::InvalidArgument(
+            "joined column name collision: '" + cs.name +
+            "'; set options.dimension_prefix");
+      }
+    }
+    out_columns.push_back(std::move(cs));
+    dim_source.push_back(c);
+  }
+
+  // Probe phase: match each fact row.
+  std::vector<size_t> fact_rows;
+  std::vector<size_t> dim_rows;
+  fact_rows.reserve(fact.num_rows());
+  dim_rows.reserve(fact.num_rows());
+  for (size_t r = 0; r < fact.num_rows(); ++r) {
+    auto it = index.find(fk.GetInt64(r));
+    if (it == index.end()) {
+      if (options.require_match) {
+        return Status::FailedPrecondition(StrFormat(
+            "dangling foreign key %lld at fact row %zu",
+            static_cast<long long>(fk.GetInt64(r)), r));
+      }
+      continue;
+    }
+    fact_rows.push_back(r);
+    dim_rows.push_back(it->second);
+  }
+
+  // Materialize column-wise.
+  auto out = std::make_shared<Table>(Schema(std::move(out_columns)));
+  for (size_t c = 0; c < fact.num_columns(); ++c) {
+    const Column& src = fact.column(c);
+    Column& dst = out->mutable_column(c);
+    if (src.type() == DataType::kDouble) {
+      auto& data = dst.MutableDoubleData();
+      data.reserve(fact_rows.size());
+      for (size_t r : fact_rows) data.push_back(src.DoubleData()[r]);
+    } else {
+      auto& data = dst.MutableInt64Data();
+      data.reserve(fact_rows.size());
+      for (size_t r : fact_rows) data.push_back(src.Int64Data()[r]);
+      if (src.type() == DataType::kString) {
+        dst.SetDictionary(src.dictionary());
+      }
+    }
+  }
+  for (size_t j = 0; j < dim_source.size(); ++j) {
+    const Column& src = dimension.column(dim_source[j]);
+    Column& dst = out->mutable_column(fact.num_columns() + j);
+    if (src.type() == DataType::kDouble) {
+      auto& data = dst.MutableDoubleData();
+      data.reserve(dim_rows.size());
+      for (size_t r : dim_rows) data.push_back(src.DoubleData()[r]);
+    } else {
+      auto& data = dst.MutableInt64Data();
+      data.reserve(dim_rows.size());
+      for (size_t r : dim_rows) data.push_back(src.Int64Data()[r]);
+      if (src.type() == DataType::kString) {
+        dst.SetDictionary(src.dictionary());
+      }
+    }
+  }
+  out->SetRowCountFromColumns();
+  return out;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,44 @@
+// Foreign-key hash join (footnote 2 of the paper: "it is straightforward to
+// extend AQP++ to handle foreign key joins using a similar idea from [6]").
+//
+// BlinkDB's idea [6] is to denormalize: join the fact table (or its sample)
+// with its dimension tables once, then run the flat pipeline over the
+// result. `HashJoinFk` provides that step: an inner equi-join where every
+// fact row matches at most one dimension row (the FK→PK property), so the
+// joined table has one row per matched fact row and AQP++'s estimators,
+// cubes, and samplers apply unchanged — a sample of the fact table joined
+// to dimensions is a sample of the join.
+
+#ifndef AQPP_EXEC_HASH_JOIN_H_
+#define AQPP_EXEC_HASH_JOIN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct HashJoinOptions {
+  // Prefix prepended to the dimension table's column names in the output
+  // schema (avoids collisions).
+  std::string dimension_prefix;
+  // When false, fact rows without a dimension match are dropped (inner
+  // join); when true, the join errors on a dangling foreign key — the
+  // strict referential-integrity mode.
+  bool require_match = false;
+};
+
+// Joins `fact` to `dimension` on fact[fk_column] == dimension[pk_column].
+// `pk_column` must hold unique values (checked). The result carries all
+// fact columns followed by all non-PK dimension columns.
+Result<std::shared_ptr<Table>> HashJoinFk(const Table& fact, size_t fk_column,
+                                          const Table& dimension,
+                                          size_t pk_column,
+                                          const HashJoinOptions& options = {});
+
+}  // namespace aqpp
+
+#endif  // AQPP_EXEC_HASH_JOIN_H_

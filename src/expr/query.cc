@@ -1,0 +1,114 @@
+#include "expr/query.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+
+const char* AggregateFunctionToString(AggregateFunction f) {
+  switch (f) {
+    case AggregateFunction::kSum:
+      return "SUM";
+    case AggregateFunction::kCount:
+      return "COUNT";
+    case AggregateFunction::kAvg:
+      return "AVG";
+    case AggregateFunction::kVar:
+      return "VAR";
+    case AggregateFunction::kMin:
+      return "MIN";
+    case AggregateFunction::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+Result<AggregateFunction> AggregateFunctionFromString(const std::string& s) {
+  if (EqualsIgnoreCase(s, "SUM")) return AggregateFunction::kSum;
+  if (EqualsIgnoreCase(s, "COUNT")) return AggregateFunction::kCount;
+  if (EqualsIgnoreCase(s, "AVG")) return AggregateFunction::kAvg;
+  if (EqualsIgnoreCase(s, "VAR")) return AggregateFunction::kVar;
+  if (EqualsIgnoreCase(s, "MIN")) return AggregateFunction::kMin;
+  if (EqualsIgnoreCase(s, "MAX")) return AggregateFunction::kMax;
+  return Status::InvalidArgument("unknown aggregate function: '" + s + "'");
+}
+
+bool RangePredicate::IsEmpty() const {
+  for (const auto& c : conditions_) {
+    if (c.IsEmpty()) return true;
+  }
+  return false;
+}
+
+bool RangePredicate::Matches(const Table& table, size_t row) const {
+  for (const auto& c : conditions_) {
+    if (!c.Matches(table.column(c.column).GetInt64(row))) return false;
+  }
+  return true;
+}
+
+Result<std::vector<uint8_t>> RangePredicate::EvaluateMask(
+    const Table& table) const {
+  const size_t n = table.num_rows();
+  std::vector<uint8_t> mask(n, 1);
+  for (const auto& c : conditions_) {
+    if (c.column >= table.num_columns()) {
+      return Status::InvalidArgument("condition references missing column");
+    }
+    const Column& col = table.column(c.column);
+    if (col.type() == DataType::kDouble) {
+      return Status::InvalidArgument(
+          "range conditions require an ordinal column; '" +
+          table.schema().column(c.column).name + "' is DOUBLE");
+    }
+    const std::vector<int64_t>& data = col.Int64Data();
+    for (size_t i = 0; i < n; ++i) {
+      mask[i] = static_cast<uint8_t>(mask[i] &&
+                                     (data[i] >= c.lo && data[i] <= c.hi));
+    }
+  }
+  return mask;
+}
+
+std::string RangePredicate::ToString(const Schema& schema) const {
+  if (conditions_.empty()) return "TRUE";
+  std::string out;
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    const auto& c = conditions_[i];
+    const char* name = schema.column(c.column).name.c_str();
+    const bool open_lo = c.lo == std::numeric_limits<int64_t>::min();
+    const bool open_hi = c.hi == std::numeric_limits<int64_t>::max();
+    if (open_lo && open_hi) {
+      out += StrFormat("%s: any", name);
+    } else if (open_lo) {
+      out += StrFormat("%s <= %lld", name, static_cast<long long>(c.hi));
+    } else if (open_hi) {
+      out += StrFormat("%s >= %lld", name, static_cast<long long>(c.lo));
+    } else {
+      out += StrFormat("%lld <= %s <= %lld", static_cast<long long>(c.lo),
+                       name, static_cast<long long>(c.hi));
+    }
+  }
+  return out;
+}
+
+std::string RangeQuery::ToString(const Schema& schema) const {
+  std::string out = "SELECT ";
+  out += AggregateFunctionToString(func);
+  out += "(";
+  out += func == AggregateFunction::kCount ? "*"
+                                           : schema.column(agg_column).name;
+  out += ") WHERE ";
+  out += predicate.ToString(schema);
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += schema.column(group_by[i]).name;
+    }
+  }
+  return out;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,107 @@
+// Query representation for the paper's query class (Definition 1):
+//
+//   SELECT f(A) FROM table
+//   WHERE x_1 <= C_1 <= y_1 AND ... AND x_d <= C_d <= y_d
+//   [GROUP BY G_1, ..., G_m]
+//
+// Condition attributes are ordinal (kInt64 or dictionary-coded kString);
+// ranges are inclusive on both ends over the attribute's int64 codes.
+
+#ifndef AQPP_EXPR_QUERY_H_
+#define AQPP_EXPR_QUERY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+enum class AggregateFunction {
+  kSum,
+  kCount,
+  kAvg,
+  kVar,
+  kMin,
+  kMax,
+};
+
+const char* AggregateFunctionToString(AggregateFunction f);
+Result<AggregateFunction> AggregateFunctionFromString(const std::string& s);
+
+// Inclusive range condition `lo <= column <= hi` over ordinal codes.
+struct RangeCondition {
+  size_t column = 0;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+
+  bool Matches(int64_t v) const { return v >= lo && v <= hi; }
+  bool IsEmpty() const { return lo > hi; }
+};
+
+// Conjunction of range conditions. An empty predicate matches all rows.
+class RangePredicate {
+ public:
+  RangePredicate() = default;
+  explicit RangePredicate(std::vector<RangeCondition> conditions)
+      : conditions_(std::move(conditions)) {}
+
+  const std::vector<RangeCondition>& conditions() const { return conditions_; }
+  std::vector<RangeCondition>& mutable_conditions() { return conditions_; }
+  void Add(RangeCondition c) { conditions_.push_back(c); }
+  size_t size() const { return conditions_.size(); }
+  bool empty() const { return conditions_.empty(); }
+
+  // True if any condition has lo > hi (matches nothing).
+  bool IsEmpty() const;
+
+  // Row-at-a-time evaluation. Columns referenced must be ordinal.
+  bool Matches(const Table& table, size_t row) const;
+
+  // Vectorized evaluation into a 0/1 mask of length table.num_rows().
+  // Errors if a referenced column is not ordinal.
+  Result<std::vector<uint8_t>> EvaluateMask(const Table& table) const;
+
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<RangeCondition> conditions_;
+};
+
+// A complete aggregation query against one table.
+struct RangeQuery {
+  AggregateFunction func = AggregateFunction::kSum;
+  // Aggregation attribute; ignored for COUNT.
+  size_t agg_column = 0;
+  RangePredicate predicate;
+  // Group-by attributes (ordinal columns); empty for scalar queries.
+  std::vector<size_t> group_by;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+// One group's exact or estimated value, keyed by the group-by codes.
+struct GroupKey {
+  std::vector<int64_t> values;
+
+  bool operator==(const GroupKey& other) const {
+    return values == other.values;
+  }
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    size_t h = 0xcbf29ce484222325ULL;
+    for (int64_t v : k.values) {
+      h ^= static_cast<size_t>(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_EXPR_QUERY_H_

@@ -1,0 +1,178 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  AQPP_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = (*this)(r, k);
+      if (a == 0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out(r, c) += a * other(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::MultiplyVector(const std::vector<double>& v) const {
+  AQPP_CHECK_EQ(cols_, v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double acc = 0;
+    for (size_t c = 0; c < cols_; ++c) acc += (*this)(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("CholeskySolve: dimension mismatch");
+  }
+  // Lower-triangular factor L with A = L L^T.
+  Matrix l(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0) {
+          return Status::FailedPrecondition(
+              "CholeskySolve: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  // Forward substitution L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> LuSolve(Matrix a, std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    return Status::InvalidArgument("LuSolve: dimension mismatch");
+  }
+  std::vector<size_t> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = i;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::FailedPrecondition("LuSolve: singular matrix");
+    }
+    if (pivot != col) {
+      for (size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double f = a(r, col) / a(col, col);
+      if (f == 0) continue;
+      a(r, col) = 0;
+      for (size_t c = col + 1; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a(i, k) * x[k];
+    x[i] = sum / a(i, i);
+  }
+  return x;
+}
+
+Result<std::vector<double>> EqualityConstrainedProjection(
+    const std::vector<double>& x0, const Matrix& c,
+    const std::vector<double>& d) {
+  const size_t m = c.rows();
+  const size_t n = c.cols();
+  if (x0.size() != n || d.size() != m) {
+    return Status::InvalidArgument(
+        "EqualityConstrainedProjection: dimension mismatch");
+  }
+  // rhs = C x0 - d
+  std::vector<double> rhs = c.MultiplyVector(x0);
+  for (size_t i = 0; i < m; ++i) rhs[i] -= d[i];
+  // G = C C^T (m x m, SPD when C has full row rank).
+  Matrix g(m, m);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = 0;
+      for (size_t k = 0; k < n; ++k) sum += c(i, k) * c(j, k);
+      g(i, j) = sum;
+      g(j, i) = sum;
+    }
+  }
+  // Tiny ridge for numerical robustness when constraints are near-dependent.
+  for (size_t i = 0; i < m; ++i) g(i, i) += 1e-10 * (g(i, i) + 1.0);
+  auto mu = CholeskySolve(g, rhs);
+  if (!mu.ok()) {
+    // Fall back to LU (handles rank-deficiency better with the ridge).
+    AQPP_ASSIGN_OR_RETURN(auto mu_lu, LuSolve(g, rhs));
+    std::vector<double> x = x0;
+    for (size_t k = 0; k < n; ++k) {
+      double adj = 0;
+      for (size_t i = 0; i < m; ++i) adj += c(i, k) * mu_lu[i];
+      x[k] -= adj;
+    }
+    return x;
+  }
+  std::vector<double> x = x0;
+  for (size_t k = 0; k < n; ++k) {
+    double adj = 0;
+    for (size_t i = 0; i < m; ++i) adj += c(i, k) * mu.value()[i];
+    x[k] -= adj;
+  }
+  return x;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,59 @@
+// Small dense linear algebra: just enough to solve the equality-constrained
+// least-squares problem at the heart of the APA+ baseline [38].
+
+#ifndef AQPP_LINALG_MATRIX_H_
+#define AQPP_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aqpp {
+
+// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  static Matrix Identity(size_t n);
+  Matrix Transposed() const;
+
+  // this * other; dimension mismatch aborts.
+  Matrix Multiply(const Matrix& other) const;
+  std::vector<double> MultiplyVector(const std::vector<double>& v) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Solves A x = b for symmetric positive-definite A via Cholesky.
+// Errors if A is not SPD (within tolerance).
+Result<std::vector<double>> CholeskySolve(const Matrix& a,
+                                          const std::vector<double>& b);
+
+// Solves A x = b for a general square A via partially pivoted LU.
+// Errors on (numerically) singular A.
+Result<std::vector<double>> LuSolve(Matrix a, std::vector<double> b);
+
+// Minimizes ||x - x0||^2 subject to C x = d (C is m x n, m <= n, full row
+// rank). Solved via the KKT system reduced to the m x m normal equations
+//   (C C^T) mu = C x0 - d ;  x = x0 - C^T mu.
+// This is the projection step used by the APA+ weight-calibration estimator.
+Result<std::vector<double>> EqualityConstrainedProjection(
+    const std::vector<double>& x0, const Matrix& c,
+    const std::vector<double>& d);
+
+}  // namespace aqpp
+
+#endif  // AQPP_LINALG_MATRIX_H_

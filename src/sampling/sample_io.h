@@ -1,0 +1,22 @@
+// Sample persistence: warm-start a prepared engine without redrawing.
+//
+// A sample is stored as two files sharing a prefix:
+//   <prefix>.rows  — the sample table (storage/io.h binary format)
+//   <prefix>.meta  — weights, strata, and sampling metadata
+
+#ifndef AQPP_SAMPLING_SAMPLE_IO_H_
+#define AQPP_SAMPLING_SAMPLE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sampling/sample.h"
+
+namespace aqpp {
+
+Status SaveSample(const Sample& sample, const std::string& path_prefix);
+Result<Sample> LoadSample(const std::string& path_prefix);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SAMPLING_SAMPLE_IO_H_

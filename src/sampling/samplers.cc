@@ -1,0 +1,248 @@
+#include "sampling/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "expr/query.h"
+#include "stats/distributions.h"
+
+namespace aqpp {
+
+namespace {
+
+Status ValidateRate(double rate) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Sample> CreateUniformSample(const Table& table, double rate, Rng& rng) {
+  AQPP_RETURN_NOT_OK(ValidateRate(rate));
+  const size_t N = table.num_rows();
+  if (N == 0) return Status::FailedPrecondition("empty table");
+  size_t n = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(rate * static_cast<double>(N))));
+  n = std::min(n, N);
+  auto indices = SampleWithoutReplacement(N, n, rng);
+  AQPP_ASSIGN_OR_RETURN(auto rows, TakeRows(table, indices));
+  Sample s;
+  s.rows = std::move(rows);
+  s.weights.assign(n, static_cast<double>(N) / static_cast<double>(n));
+  s.population_size = N;
+  s.sampling_fraction = static_cast<double>(n) / static_cast<double>(N);
+  s.method = SamplingMethod::kUniform;
+  return s;
+}
+
+Result<Sample> CreateBernoulliSample(const Table& table, double p, Rng& rng) {
+  AQPP_RETURN_NOT_OK(ValidateRate(p));
+  const size_t N = table.num_rows();
+  if (N == 0) return Status::FailedPrecondition("empty table");
+  std::vector<size_t> indices;
+  indices.reserve(static_cast<size_t>(p * static_cast<double>(N) * 1.2) + 8);
+  for (size_t i = 0; i < N; ++i) {
+    if (rng.NextBernoulli(p)) indices.push_back(i);
+  }
+  if (indices.empty()) {
+    // Degenerate draw; keep one arbitrary row so downstream code has data.
+    indices.push_back(static_cast<size_t>(rng.NextBounded(N)));
+  }
+  AQPP_ASSIGN_OR_RETURN(auto rows, TakeRows(table, indices));
+  Sample s;
+  s.rows = std::move(rows);
+  s.weights.assign(indices.size(), 1.0 / p);
+  s.population_size = N;
+  s.sampling_fraction = p;
+  s.method = SamplingMethod::kBernoulli;
+  return s;
+}
+
+Result<Sample> CreateReservoirSample(const Table& table, size_t n, Rng& rng) {
+  const size_t N = table.num_rows();
+  if (N == 0) return Status::FailedPrecondition("empty table");
+  if (n == 0) return Status::InvalidArgument("reservoir size must be > 0");
+  n = std::min(n, N);
+  std::vector<size_t> reservoir(n);
+  for (size_t i = 0; i < n; ++i) reservoir[i] = i;
+  for (size_t i = n; i < N; ++i) {
+    size_t j = static_cast<size_t>(rng.NextBounded(i + 1));
+    if (j < n) reservoir[j] = i;
+  }
+  std::sort(reservoir.begin(), reservoir.end());
+  AQPP_ASSIGN_OR_RETURN(auto rows, TakeRows(table, reservoir));
+  Sample s;
+  s.rows = std::move(rows);
+  s.weights.assign(n, static_cast<double>(N) / static_cast<double>(n));
+  s.population_size = N;
+  s.sampling_fraction = static_cast<double>(n) / static_cast<double>(N);
+  s.method = SamplingMethod::kUniform;
+  return s;
+}
+
+Result<Sample> CreateStratifiedSample(
+    const Table& table, const std::vector<size_t>& stratify_columns,
+    double rate, Rng& rng) {
+  AQPP_RETURN_NOT_OK(ValidateRate(rate));
+  const size_t N = table.num_rows();
+  if (N == 0) return Status::FailedPrecondition("empty table");
+  if (stratify_columns.empty()) {
+    return Status::InvalidArgument("no stratification columns given");
+  }
+  for (size_t c : stratify_columns) {
+    if (c >= table.num_columns()) {
+      return Status::InvalidArgument("stratification column out of range");
+    }
+    if (table.column(c).type() == DataType::kDouble) {
+      return Status::InvalidArgument("stratification column must be ordinal");
+    }
+  }
+
+  // Pass 1: group rows by stratum key.
+  std::unordered_map<GroupKey, std::vector<size_t>, GroupKeyHash> strata_rows;
+  GroupKey key;
+  key.values.resize(stratify_columns.size());
+  for (size_t i = 0; i < N; ++i) {
+    for (size_t g = 0; g < stratify_columns.size(); ++g) {
+      key.values[g] = table.column(stratify_columns[g]).GetInt64(i);
+    }
+    strata_rows[key].push_back(i);
+  }
+
+  // Deterministic stratum order (sorted by key) for reproducibility.
+  std::vector<const std::vector<size_t>*> groups;
+  {
+    std::vector<std::pair<GroupKey, const std::vector<size_t>*>> sorted;
+    sorted.reserve(strata_rows.size());
+    for (const auto& [k, v] : strata_rows) sorted.emplace_back(k, &v);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.values < b.first.values;
+              });
+    for (auto& [k, v] : sorted) groups.push_back(v);
+  }
+
+  // Budget allocation: give every stratum an equal share first (small groups
+  // are fully covered), then spread leftover budget across the strata that
+  // can still absorb rows, proportionally to their remaining size.
+  const size_t budget = std::max<size_t>(
+      groups.size(),
+      static_cast<size_t>(std::ceil(rate * static_cast<double>(N))));
+  std::vector<size_t> alloc(groups.size(), 0);
+  size_t remaining = budget;
+  size_t equal_share = std::max<size_t>(1, budget / groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    alloc[g] = std::min(groups[g]->size(), equal_share);
+    remaining -= std::min(remaining, alloc[g]);
+  }
+  while (remaining > 0) {
+    size_t total_capacity = 0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      total_capacity += groups[g]->size() - alloc[g];
+    }
+    if (total_capacity == 0) break;
+    size_t distributed = 0;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      size_t cap = groups[g]->size() - alloc[g];
+      if (cap == 0) continue;
+      size_t give = std::min(
+          cap, static_cast<size_t>(std::llround(
+                   static_cast<double>(remaining) *
+                   static_cast<double>(cap) /
+                   static_cast<double>(total_capacity))));
+      if (give == 0 && distributed < remaining) give = std::min<size_t>(cap, 1);
+      give = std::min(give, remaining - distributed);
+      alloc[g] += give;
+      distributed += give;
+      if (distributed == remaining) break;
+    }
+    if (distributed == 0) break;
+    remaining -= distributed;
+  }
+
+  // Pass 2: draw within each stratum.
+  std::vector<size_t> picked;
+  std::vector<int32_t> strata_ids;
+  std::vector<StratumInfo> info(groups.size());
+  std::vector<double> weights;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const auto& members = *groups[g];
+    size_t take = std::min(alloc[g], members.size());
+    if (take == 0) take = 1;  // never leave a stratum unobserved
+    auto idx = SampleWithoutReplacement(members.size(), take, rng);
+    double w = static_cast<double>(members.size()) / static_cast<double>(take);
+    for (size_t j : idx) {
+      picked.push_back(members[j]);
+      strata_ids.push_back(static_cast<int32_t>(g));
+      weights.push_back(w);
+    }
+    info[g].population_rows = members.size();
+    info[g].sample_rows = take;
+  }
+
+  AQPP_ASSIGN_OR_RETURN(auto rows, TakeRows(table, picked));
+  Sample s;
+  s.rows = std::move(rows);
+  s.weights = std::move(weights);
+  s.strata = std::move(strata_ids);
+  s.stratum_info = std::move(info);
+  s.population_size = N;
+  s.sampling_fraction =
+      static_cast<double>(picked.size()) / static_cast<double>(N);
+  s.method = SamplingMethod::kStratified;
+  return s;
+}
+
+Result<Sample> CreateMeasureBiasedSample(const Table& table,
+                                         size_t measure_column, double rate,
+                                         Rng& rng) {
+  AQPP_RETURN_NOT_OK(ValidateRate(rate));
+  const size_t N = table.num_rows();
+  if (N == 0) return Status::FailedPrecondition("empty table");
+  if (measure_column >= table.num_columns()) {
+    return Status::InvalidArgument("measure column out of range");
+  }
+  const Column& measure = table.column(measure_column);
+
+  // Selection probabilities proportional to the measure, floored at a small
+  // positive value so zero/negative rows remain observable.
+  std::vector<double> probs(N);
+  double max_abs = 0;
+  for (size_t i = 0; i < N; ++i) {
+    max_abs = std::max(max_abs, std::fabs(measure.GetDouble(i)));
+  }
+  const double floor_value = max_abs > 0 ? max_abs * 1e-6 : 1.0;
+  double total = 0;
+  for (size_t i = 0; i < N; ++i) {
+    probs[i] = std::max(measure.GetDouble(i), floor_value);
+    total += probs[i];
+  }
+
+  size_t n = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(rate * static_cast<double>(N))));
+  AliasSampler alias(probs);
+  std::vector<size_t> picked(n);
+  std::vector<double> weights(n);
+  for (size_t j = 0; j < n; ++j) {
+    size_t i = alias.Sample(rng);
+    picked[j] = i;
+    double p_i = probs[i] / total;
+    // Hansen–Hurwitz: each of the n draws expands by 1 / (n * p_i).
+    weights[j] = 1.0 / (static_cast<double>(n) * p_i);
+  }
+
+  AQPP_ASSIGN_OR_RETURN(auto rows, TakeRows(table, picked));
+  Sample s;
+  s.rows = std::move(rows);
+  s.weights = std::move(weights);
+  s.population_size = N;
+  s.sampling_fraction = static_cast<double>(n) / static_cast<double>(N);
+  s.method = SamplingMethod::kMeasureBiased;
+  return s;
+}
+
+}  // namespace aqpp

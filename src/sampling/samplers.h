@@ -1,0 +1,52 @@
+// Sample-creation strategies (the preprocessing step of every engine).
+//
+// All samplers produce a `Sample` whose weights make
+// sum_i w_i * y_i an unbiased estimator of the population sum of y, so the
+// estimators in src/core are agnostic to how the sample was drawn —
+// exactly the black-box property AQP++ relies on (Section 4.2, Eq. 5).
+
+#ifndef AQPP_SAMPLING_SAMPLERS_H_
+#define AQPP_SAMPLING_SAMPLERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "sampling/sample.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// Fixed-size simple random sample without replacement; w_i = N/n.
+// `rate` in (0, 1]; the sample has ceil(rate*N) rows (at least 1).
+Result<Sample> CreateUniformSample(const Table& table, double rate, Rng& rng);
+
+// Bernoulli(p) sample: each row kept independently; w_i = 1/p.
+Result<Sample> CreateBernoulliSample(const Table& table, double p, Rng& rng);
+
+// Streaming fixed-size reservoir sample (Vitter's Algorithm R); statistically
+// identical to CreateUniformSample but single-pass. `n` is the reservoir
+// size.
+Result<Sample> CreateReservoirSample(const Table& table, size_t n, Rng& rng);
+
+// Stratified sample over the distinct value combinations of
+// `stratify_columns` (ordinal). The total budget is ceil(rate*N) rows,
+// allocated so that small groups are fully covered before large groups
+// consume the remainder (BlinkDB-style disproportionate allocation [6]).
+// Per-row weight is N_h / n_h for the row's stratum h.
+Result<Sample> CreateStratifiedSample(const Table& table,
+                                      const std::vector<size_t>& stratify_columns,
+                                      double rate, Rng& rng);
+
+// Measure-biased sample ([24]): n = ceil(rate*N) draws with replacement,
+// P(pick row i) proportional to max(measure_i, floor). Weight of a draw of
+// row i is T / (n * p_i'), the Hansen–Hurwitz expansion. Requires a
+// numeric measure column.
+Result<Sample> CreateMeasureBiasedSample(const Table& table,
+                                         size_t measure_column, double rate,
+                                         Rng& rng);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SAMPLING_SAMPLERS_H_

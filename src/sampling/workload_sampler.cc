@@ -1,0 +1,87 @@
+#include "sampling/workload_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "stats/distributions.h"
+
+namespace aqpp {
+
+Result<Sample> CreateWorkloadAwareSample(
+    const Table& table, const std::vector<RangeQuery>& history, double rate,
+    Rng& rng, const WorkloadSamplerOptions& options) {
+  if (rate <= 0.0 || rate > 1.0) {
+    return Status::InvalidArgument("sampling rate must be in (0, 1]");
+  }
+  if (options.boost < 0.0) {
+    return Status::InvalidArgument("boost must be >= 0");
+  }
+  const size_t N = table.num_rows();
+  if (N == 0) return Status::FailedPrecondition("empty table");
+  for (const auto& q : history) {
+    for (const auto& c : q.predicate.conditions()) {
+      if (c.column >= table.num_columns()) {
+        return Status::InvalidArgument("history query references missing column");
+      }
+      if (table.column(c.column).type() == DataType::kDouble) {
+        return Status::InvalidArgument(
+            "history predicates must use ordinal columns");
+      }
+    }
+  }
+
+  // Per-row hit counts over the history (parallel across row ranges).
+  std::vector<uint32_t> hits(N, 0);
+  if (!history.empty() && options.boost > 0) {
+    ParallelFor(N, [&](size_t begin, size_t end) {
+      for (const auto& q : history) {
+        const auto& conds = q.predicate.conditions();
+        for (size_t i = begin; i < end; ++i) {
+          bool match = true;
+          for (const auto& c : conds) {
+            int64_t v = table.column(c.column).GetInt64(i);
+            if (v < c.lo || v > c.hi) {
+              match = false;
+              break;
+            }
+          }
+          if (match) ++hits[i];
+        }
+      }
+    });
+  }
+
+  const double denom =
+      history.empty() ? 1.0 : static_cast<double>(history.size());
+  std::vector<double> scores(N);
+  double total = 0;
+  for (size_t i = 0; i < N; ++i) {
+    scores[i] = 1.0 + options.boost * static_cast<double>(hits[i]) / denom;
+    total += scores[i];
+  }
+
+  size_t n = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(rate * static_cast<double>(N))));
+  AliasSampler alias(scores);
+  std::vector<size_t> picked(n);
+  std::vector<double> weights(n);
+  for (size_t j = 0; j < n; ++j) {
+    size_t i = alias.Sample(rng);
+    picked[j] = i;
+    // Hansen–Hurwitz expansion: w = 1 / (n * p_i).
+    weights[j] = total / (static_cast<double>(n) * scores[i]);
+  }
+
+  AQPP_ASSIGN_OR_RETURN(auto rows, TakeRows(table, picked));
+  Sample s;
+  s.rows = std::move(rows);
+  s.weights = std::move(weights);
+  s.population_size = N;
+  s.sampling_fraction = static_cast<double>(n) / static_cast<double>(N);
+  s.method = SamplingMethod::kWorkloadAware;
+  return s;
+}
+
+}  // namespace aqpp

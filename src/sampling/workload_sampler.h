@@ -1,0 +1,38 @@
+// Workload-driven sample creation (Section 8 future work: "various
+// techniques have been proposed to optimize AQP (e.g., workload-driven
+// sample creation) ... revisit these techniques under the AQP++ framework").
+//
+// Rows that historical queries touch receive boosted inclusion
+// probability; Hansen–Hurwitz weights keep every estimate unbiased, while
+// queries resembling the history see proportionally more sample rows and
+// hence tighter intervals. With boost = 0 this degrades to uniform
+// with-replacement sampling.
+
+#ifndef AQPP_SAMPLING_WORKLOAD_SAMPLER_H_
+#define AQPP_SAMPLING_WORKLOAD_SAMPLER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "expr/query.h"
+#include "sampling/sample.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct WorkloadSamplerOptions {
+  // Inclusion-probability multiplier for a row matched by every history
+  // query: p_i proportional to 1 + boost * (hits_i / |history|).
+  double boost = 4.0;
+};
+
+// Draws ceil(rate * N) rows with replacement, PPS to the workload score.
+// `history` is the recorded query log (only predicates are used).
+Result<Sample> CreateWorkloadAwareSample(
+    const Table& table, const std::vector<RangeQuery>& history, double rate,
+    Rng& rng, const WorkloadSamplerOptions& options = {});
+
+}  // namespace aqpp
+
+#endif  // AQPP_SAMPLING_WORKLOAD_SAMPLER_H_

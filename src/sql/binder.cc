@@ -1,0 +1,128 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+// Maps a literal to an inclusive ordinal bound on `col`.
+// `round_up` selects the tightest code when the literal is not exactly
+// representable (e.g. a string absent from the dictionary).
+Result<int64_t> LiteralToOrdinal(const SqlLiteral& lit, const Column& col,
+                                 const std::string& column_name) {
+  switch (col.type()) {
+    case DataType::kInt64:
+      if (lit.kind == SqlLiteral::Kind::kInt) return lit.int_value;
+      if (lit.kind == SqlLiteral::Kind::kFloat) {
+        return static_cast<int64_t>(lit.float_value);
+      }
+      return Status::InvalidArgument("string literal compared to INT64 column '" +
+                                     column_name + "'");
+    case DataType::kString: {
+      if (lit.kind != SqlLiteral::Kind::kString) {
+        return Status::InvalidArgument(
+            "non-string literal compared to STRING column '" + column_name +
+            "'");
+      }
+      // Dictionary is sorted (FinalizeDictionary): the ordinal of the first
+      // entry >= literal gives the tight bound; exact hits map to their code.
+      const auto& dict = col.dictionary();
+      auto it = std::lower_bound(dict.begin(), dict.end(), lit.string_value);
+      if (it != dict.end() && *it == lit.string_value) {
+        return static_cast<int64_t>(it - dict.begin());
+      }
+      // Absent literal: return the code boundary scaled by 2 so callers can
+      // distinguish "between codes". We encode it as the index of the next
+      // entry, with the convention documented below at the call sites.
+      return static_cast<int64_t>(it - dict.begin());
+    }
+    case DataType::kDouble:
+      return Status::InvalidArgument(
+          "range conditions require an ordinal column; '" + column_name +
+          "' is DOUBLE");
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<BoundQuery> Bind(const SelectStatement& stmt, const Catalog& catalog) {
+  BoundQuery out;
+  AQPP_ASSIGN_OR_RETURN(out.table, catalog.Get(stmt.table));
+  const Table& table = *out.table;
+
+  AQPP_ASSIGN_OR_RETURN(out.query.func,
+                        AggregateFunctionFromString(stmt.aggregate));
+  if (out.query.func == AggregateFunction::kCount && !stmt.column.has_value()) {
+    out.query.agg_column = 0;
+  } else {
+    if (!stmt.column.has_value()) {
+      return Status::InvalidArgument(stmt.aggregate + "(*) is only valid for COUNT");
+    }
+    AQPP_ASSIGN_OR_RETURN(out.query.agg_column,
+                          table.GetColumnIndex(*stmt.column));
+  }
+
+  for (const auto& cond : stmt.conditions) {
+    AQPP_ASSIGN_OR_RETURN(size_t col_idx, table.GetColumnIndex(cond.column));
+    const Column& col = table.column(col_idx);
+    const bool is_string = col.type() == DataType::kString;
+    // For absent string literals, LiteralToOrdinal returns the code of the
+    // first dictionary entry greater than the literal ("insertion point").
+    bool exact = true;
+    if (is_string) {
+      exact = col.LookupDictionary(cond.value.string_value).ok();
+    }
+    AQPP_ASSIGN_OR_RETURN(int64_t v,
+                          LiteralToOrdinal(cond.value, col, cond.column));
+
+    RangeCondition rc;
+    rc.column = col_idx;
+    switch (cond.op) {
+      case SqlCompareOp::kLe:
+        // 'col <= missing-literal': everything below the insertion point.
+        rc.hi = exact ? v : v - 1;
+        break;
+      case SqlCompareOp::kLt:
+        rc.hi = v - 1;
+        break;
+      case SqlCompareOp::kGe:
+        rc.lo = v;  // insertion point is already the first code >= literal
+        break;
+      case SqlCompareOp::kGt:
+        rc.lo = exact ? v + 1 : v;
+        break;
+      case SqlCompareOp::kEq:
+        if (!exact) {
+          rc.lo = 1;
+          rc.hi = 0;  // empty range: literal not in the dictionary
+        } else {
+          rc.lo = rc.hi = v;
+        }
+        break;
+    }
+    out.query.predicate.Add(rc);
+  }
+
+  for (const auto& g : stmt.group_by) {
+    AQPP_ASSIGN_OR_RETURN(size_t col_idx, table.GetColumnIndex(g));
+    if (table.column(col_idx).type() == DataType::kDouble) {
+      return Status::InvalidArgument("cannot GROUP BY DOUBLE column '" + g +
+                                     "'");
+    }
+    out.query.group_by.push_back(col_idx);
+  }
+  return out;
+}
+
+Result<BoundQuery> ParseAndBind(const std::string& sql,
+                                const Catalog& catalog) {
+  AQPP_ASSIGN_OR_RETURN(auto stmt, ParseSelect(sql));
+  return Bind(stmt, catalog);
+}
+
+}  // namespace aqpp

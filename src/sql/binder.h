@@ -1,0 +1,35 @@
+// Binder: resolves a parsed SelectStatement against a catalog into an
+// executable RangeQuery (column indices, dictionary-coded string literals,
+// normalized inclusive integer ranges).
+
+#ifndef AQPP_SQL_BINDER_H_
+#define AQPP_SQL_BINDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "expr/query.h"
+#include "sql/parser.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct BoundQuery {
+  std::shared_ptr<Table> table;
+  RangeQuery query;
+};
+
+// Binds `stmt` against `catalog`. Comparison normalization on INT64/STRING
+// ordinals: `col < v` becomes `col <= v-1`, `col > v` becomes `col >= v+1`,
+// string literals are mapped through the column dictionary (a literal absent
+// from the dictionary yields an empty range for =, or the tightest
+// enclosing ordinal bound for inequalities).
+Result<BoundQuery> Bind(const SelectStatement& stmt, const Catalog& catalog);
+
+// Convenience: parse + bind.
+Result<BoundQuery> ParseAndBind(const std::string& sql, const Catalog& catalog);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SQL_BINDER_H_

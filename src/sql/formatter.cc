@@ -1,0 +1,82 @@
+#include "sql/formatter.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+// Renders one bound of a condition on a STRING column as a quoted literal
+// when the code is a valid dictionary index.
+Result<std::string> OrdinalLiteral(const Column& col, int64_t code) {
+  if (col.type() == DataType::kString) {
+    if (code < 0 || static_cast<size_t>(code) >= col.dictionary().size()) {
+      return Status::InvalidArgument(
+          StrFormat("code %lld outside the dictionary",
+                    static_cast<long long>(code)));
+    }
+    return "'" + col.dictionary()[static_cast<size_t>(code)] + "'";
+  }
+  return StrFormat("%lld", static_cast<long long>(code));
+}
+
+}  // namespace
+
+Result<std::string> FormatQuery(const RangeQuery& query, const Table& table,
+                                const std::string& table_name) {
+  if (query.func != AggregateFunction::kCount &&
+      query.agg_column >= table.num_columns()) {
+    return Status::InvalidArgument("aggregate column out of range");
+  }
+  std::string sql = "SELECT ";
+  sql += AggregateFunctionToString(query.func);
+  sql += "(";
+  sql += query.func == AggregateFunction::kCount
+             ? "*"
+             : table.schema().column(query.agg_column).name;
+  sql += ") FROM " + table_name;
+
+  bool first = true;
+  for (const auto& c : query.predicate.conditions()) {
+    if (c.column >= table.num_columns()) {
+      return Status::InvalidArgument("condition column out of range");
+    }
+    const Column& col = table.column(c.column);
+    const std::string& name = table.schema().column(c.column).name;
+    const bool open_lo = c.lo == std::numeric_limits<int64_t>::min();
+    const bool open_hi = c.hi == std::numeric_limits<int64_t>::max();
+    if (open_lo && open_hi) continue;  // vacuous condition
+    sql += first ? " WHERE " : " AND ";
+    first = false;
+    if (open_lo) {
+      AQPP_ASSIGN_OR_RETURN(auto hi, OrdinalLiteral(col, c.hi));
+      sql += name + " <= " + hi;
+    } else if (open_hi) {
+      AQPP_ASSIGN_OR_RETURN(auto lo, OrdinalLiteral(col, c.lo));
+      sql += name + " >= " + lo;
+    } else if (c.lo == c.hi) {
+      AQPP_ASSIGN_OR_RETURN(auto v, OrdinalLiteral(col, c.lo));
+      sql += name + " = " + v;
+    } else {
+      AQPP_ASSIGN_OR_RETURN(auto lo, OrdinalLiteral(col, c.lo));
+      AQPP_ASSIGN_OR_RETURN(auto hi, OrdinalLiteral(col, c.hi));
+      sql += name + " BETWEEN " + lo + " AND " + hi;
+    }
+  }
+
+  if (!query.group_by.empty()) {
+    sql += " GROUP BY ";
+    for (size_t i = 0; i < query.group_by.size(); ++i) {
+      if (query.group_by[i] >= table.num_columns()) {
+        return Status::InvalidArgument("group-by column out of range");
+      }
+      if (i > 0) sql += ", ";
+      sql += table.schema().column(query.group_by[i]).name;
+    }
+  }
+  return sql;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,28 @@
+// SQL formatting: render a bound RangeQuery back to executable SQL text.
+//
+// Used by EXPLAIN output, logging, and the shell; together with the parser
+// it gives a round-trip property (parse(format(q)) == q) that the test
+// suite checks.
+
+#ifndef AQPP_SQL_FORMATTER_H_
+#define AQPP_SQL_FORMATTER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "expr/query.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// Renders `query` against `table` (for column names and dictionary
+// decoding) as a SELECT statement on table name `table_name`.
+// One-sided conditions are rendered as single comparisons; bounded ones as
+// BETWEEN; dictionary-coded columns use their string literals when the code
+// range maps to exact dictionary entries.
+Result<std::string> FormatQuery(const RangeQuery& query, const Table& table,
+                                const std::string& table_name);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SQL_FORMATTER_H_

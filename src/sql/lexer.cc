@@ -1,0 +1,139 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  auto push = [&](TokenType type, size_t pos) {
+    Token t;
+    t.type = type;
+    t.position = pos;
+    tokens.push_back(std::move(t));
+    return &tokens.back();
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      Token* t = push(TokenType::kIdentifier, start);
+      t->text = sql.substr(i, j - i);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool is_float = false;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E' ||
+                       ((sql[j] == '+' || sql[j] == '-') &&
+                        (sql[j - 1] == 'e' || sql[j - 1] == 'E')))) {
+        if (sql[j] == '.' || sql[j] == 'e' || sql[j] == 'E') is_float = true;
+        ++j;
+      }
+      std::string text = sql.substr(i, j - i);
+      if (is_float) {
+        Token* t = push(TokenType::kFloat, start);
+        t->float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        Token* t = push(TokenType::kInteger, start);
+        t->int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        size_t j = i + 1;
+        std::string body;
+        while (j < n && sql[j] != '\'') body += sql[j++];
+        if (j >= n) {
+          return Status::InvalidArgument(
+              StrFormat("unterminated string literal at offset %zu", start));
+        }
+        Token* t = push(TokenType::kString, start);
+        t->text = std::move(body);
+        i = j + 1;
+        break;
+      }
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, start);
+        ++i;
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        break;
+      case '=':
+        push(TokenType::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("unexpected '!' at offset %zu", start));
+        }
+        break;
+      case ';':
+        ++i;  // statement terminator: ignored
+        break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  push(TokenType::kEnd, n);
+  return tokens;
+}
+
+}  // namespace aqpp

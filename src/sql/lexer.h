@@ -1,0 +1,48 @@
+// SQL tokenizer for the paper's query class (Definition 1 footnote 2):
+// single-table SELECT with an aggregate, conjunctive range predicates, and
+// an optional GROUP BY.
+
+#ifndef AQPP_SQL_LEXER_H_
+#define AQPP_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aqpp {
+
+enum class TokenType {
+  kIdentifier,   // column / table / function names
+  kInteger,
+  kFloat,
+  kString,       // 'quoted'
+  kLParen,
+  kRParen,
+  kComma,
+  kStar,
+  kLe,           // <=
+  kGe,           // >=
+  kLt,           // <
+  kGt,           // >
+  kEq,           // =
+  kNe,           // <> or !=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        // identifier / string body
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  size_t position = 0;     // byte offset in the input (for error messages)
+};
+
+// Tokenizes `sql`; keywords are returned as kIdentifier (the parser matches
+// them case-insensitively). A kEnd token is always appended.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SQL_LEXER_H_

@@ -1,0 +1,208 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    AQPP_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+
+    // Aggregate function and argument.
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected an aggregate function");
+    }
+    stmt.aggregate = Next().text;
+    AQPP_RETURN_NOT_OK(Expect(TokenType::kLParen, "("));
+    if (Peek().type == TokenType::kStar) {
+      Next();
+      stmt.column = std::nullopt;
+    } else if (Peek().type == TokenType::kIdentifier) {
+      stmt.column = Next().text;
+    } else {
+      return Error("expected a column name or *");
+    }
+    AQPP_RETURN_NOT_OK(Expect(TokenType::kRParen, ")"));
+
+    AQPP_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected a table name");
+    }
+    stmt.table = Next().text;
+
+    if (PeekKeyword("WHERE")) {
+      Next();
+      while (true) {
+        AQPP_RETURN_NOT_OK(ParseCondition(&stmt.conditions));
+        if (PeekKeyword("AND")) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (PeekKeyword("GROUP")) {
+      Next();
+      AQPP_RETURN_NOT_OK(ExpectKeyword("BY"));
+      while (true) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected a group-by column");
+        }
+        stmt.group_by.push_back(Next().text);
+        if (Peek().type == TokenType::kComma) {
+          Next();
+          continue;
+        }
+        break;
+      }
+    }
+
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing tokens");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  const Token& Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  bool PeekKeyword(const char* kw) const {
+    return Peek().type == TokenType::kIdentifier &&
+           EqualsIgnoreCase(Peek().text, kw);
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!PeekKeyword(kw)) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s near offset %zu", kw, Peek().position));
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) {
+      return Status::InvalidArgument(
+          StrFormat("expected %s near offset %zu", what, Peek().position));
+    }
+    Next();
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument(
+        StrFormat("%s near offset %zu", msg.c_str(), Peek().position));
+  }
+
+  Result<SqlLiteral> ParseLiteral() {
+    SqlLiteral lit;
+    switch (Peek().type) {
+      case TokenType::kInteger:
+        lit.kind = SqlLiteral::Kind::kInt;
+        lit.int_value = Next().int_value;
+        return lit;
+      case TokenType::kFloat:
+        lit.kind = SqlLiteral::Kind::kFloat;
+        lit.float_value = Next().float_value;
+        return lit;
+      case TokenType::kString:
+        lit.kind = SqlLiteral::Kind::kString;
+        lit.string_value = Next().text;
+        return lit;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("expected a literal near offset %zu", Peek().position));
+    }
+  }
+
+  static SqlCompareOp Mirror(SqlCompareOp op) {
+    switch (op) {
+      case SqlCompareOp::kLe:
+        return SqlCompareOp::kGe;
+      case SqlCompareOp::kLt:
+        return SqlCompareOp::kGt;
+      case SqlCompareOp::kGe:
+        return SqlCompareOp::kLe;
+      case SqlCompareOp::kGt:
+        return SqlCompareOp::kLt;
+      case SqlCompareOp::kEq:
+        return SqlCompareOp::kEq;
+    }
+    return SqlCompareOp::kEq;
+  }
+
+  Result<SqlCompareOp> ParseOp() {
+    switch (Peek().type) {
+      case TokenType::kLe:
+        Next();
+        return SqlCompareOp::kLe;
+      case TokenType::kLt:
+        Next();
+        return SqlCompareOp::kLt;
+      case TokenType::kGe:
+        Next();
+        return SqlCompareOp::kGe;
+      case TokenType::kGt:
+        Next();
+        return SqlCompareOp::kGt;
+      case TokenType::kEq:
+        Next();
+        return SqlCompareOp::kEq;
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "expected a comparison operator near offset %zu", Peek().position));
+    }
+  }
+
+  Status ParseCondition(std::vector<SqlCondition>* out) {
+    if (Peek().type == TokenType::kIdentifier &&
+        !PeekKeyword("WHERE")) {
+      std::string column = Next().text;
+      if (PeekKeyword("BETWEEN")) {
+        Next();
+        AQPP_ASSIGN_OR_RETURN(auto lo, ParseLiteral());
+        AQPP_RETURN_NOT_OK(ExpectKeyword("AND"));
+        AQPP_ASSIGN_OR_RETURN(auto hi, ParseLiteral());
+        out->push_back({column, SqlCompareOp::kGe, lo});
+        out->push_back({column, SqlCompareOp::kLe, hi});
+        return Status::OK();
+      }
+      AQPP_ASSIGN_OR_RETURN(auto op, ParseOp());
+      AQPP_ASSIGN_OR_RETURN(auto lit, ParseLiteral());
+      out->push_back({std::move(column), op, std::move(lit)});
+      return Status::OK();
+    }
+    // literal <op> column form.
+    AQPP_ASSIGN_OR_RETURN(auto lit, ParseLiteral());
+    AQPP_ASSIGN_OR_RETURN(auto op, ParseOp());
+    if (Peek().type != TokenType::kIdentifier) {
+      return Error("expected a column name");
+    }
+    std::string column = Next().text;
+    out->push_back({std::move(column), Mirror(op), std::move(lit)});
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  AQPP_ASSIGN_OR_RETURN(auto tokens, Tokenize(sql));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace aqpp

@@ -1,0 +1,52 @@
+// Recursive-descent parser producing an unbound AST for:
+//
+//   SELECT <AGG>( <column> | * ) FROM <table>
+//   [ WHERE <cond> [AND <cond>]* ]
+//   [ GROUP BY <column> [, <column>]* ]
+//
+// where <cond> is one of:
+//   col <op> literal | literal <op> col        (op in <=, <, >=, >, =)
+//   col BETWEEN literal AND literal
+
+#ifndef AQPP_SQL_PARSER_H_
+#define AQPP_SQL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/lexer.h"
+
+namespace aqpp {
+
+// A literal in a predicate.
+struct SqlLiteral {
+  enum class Kind { kInt, kFloat, kString } kind = Kind::kInt;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  std::string string_value;
+};
+
+enum class SqlCompareOp { kLe, kLt, kGe, kGt, kEq };
+
+// `column <op> value`, already normalized so the column is on the left.
+struct SqlCondition {
+  std::string column;
+  SqlCompareOp op = SqlCompareOp::kEq;
+  SqlLiteral value;
+};
+
+struct SelectStatement {
+  std::string aggregate;             // SUM / COUNT / AVG / VAR / MIN / MAX
+  std::optional<std::string> column; // nullopt for COUNT(*)
+  std::string table;
+  std::vector<SqlCondition> conditions;  // conjunctive
+  std::vector<std::string> group_by;
+};
+
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SQL_PARSER_H_

@@ -1,0 +1,44 @@
+// Bootstrap confidence intervals (Section 4.1/4.2.2 of the paper).
+//
+// Used by AQP/AQP++ when no closed-form CI exists for the aggregate. The
+// estimator is abstracted as a functional over resampled row indices so the
+// same machinery serves SUM, AVG, VAR, and the AQP++ difference estimator.
+
+#ifndef AQPP_STATS_BOOTSTRAP_H_
+#define AQPP_STATS_BOOTSTRAP_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "stats/confidence.h"
+
+namespace aqpp {
+
+struct BootstrapOptions {
+  // Number of resamples m (the paper's S_1..S_m).
+  size_t num_resamples = 200;
+  double confidence_level = 0.95;
+};
+
+// Estimates a percentile-method CI for `statistic`.
+//
+// `statistic(indices)` must evaluate the estimator on the resample formed by
+// the given row indices into the original sample (with repetition).
+// `sample_size` is n = |S|.
+ConfidenceInterval BootstrapCI(
+    size_t sample_size,
+    const std::function<double(const std::vector<size_t>&)>& statistic,
+    Rng& rng, const BootstrapOptions& options = {});
+
+// Convenience overload: statistic = weighted sum of per-row contributions,
+// i.e. the common AQP/AQP++ case where each row contributes value[i] and the
+// estimate is sum over the resample. Far faster than the generic overload.
+ConfidenceInterval BootstrapSumCI(const std::vector<double>& contributions,
+                                  Rng& rng,
+                                  const BootstrapOptions& options = {});
+
+}  // namespace aqpp
+
+#endif  // AQPP_STATS_BOOTSTRAP_H_

@@ -1,0 +1,83 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aqpp {
+
+void RunningMoments::Add(double x) { AddWeighted(x, 1.0); }
+
+void RunningMoments::AddWeighted(double x, double w) {
+  if (w <= 0) return;
+  weight_sum_ += w;
+  double delta = x - mean_;
+  mean_ += (w / weight_sum_) * delta;
+  m2_ += w * delta * (x - mean_);
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.weight_sum_ <= 0) return;
+  if (weight_sum_ <= 0) {
+    *this = other;
+    return;
+  }
+  double total = weight_sum_ + other.weight_sum_;
+  double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * weight_sum_ * other.weight_sum_ / total;
+  mean_ += delta * other.weight_sum_ / total;
+  weight_sum_ = total;
+}
+
+double RunningMoments::variance_population() const {
+  return weight_sum_ > 0 ? m2_ / weight_sum_ : 0.0;
+}
+
+double RunningMoments::variance_sample() const {
+  return weight_sum_ > 1 ? m2_ / (weight_sum_ - 1) : 0.0;
+}
+
+double RunningMoments::stddev_population() const {
+  return std::sqrt(std::max(0.0, variance_population()));
+}
+
+double RunningMoments::stddev_sample() const {
+  return std::sqrt(std::max(0.0, variance_sample()));
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double VariancePopulation(const std::vector<double>& v) {
+  RunningMoments m;
+  for (double x : v) m.Add(x);
+  return m.variance_population();
+}
+
+double VarianceSample(const std::vector<double>& v) {
+  RunningMoments m;
+  for (double x : v) m.Add(x);
+  return m.variance_sample();
+}
+
+double Quantile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  double idx = p * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, v.size() - 1);
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(lo), v.end());
+  double vlo = v[lo];
+  if (hi == lo) return vlo;
+  double vhi = *std::min_element(v.begin() + static_cast<ptrdiff_t>(lo) + 1,
+                                 v.end());
+  double frac = idx - static_cast<double>(lo);
+  return vlo + frac * (vhi - vlo);
+}
+
+double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }
+
+}  // namespace aqpp

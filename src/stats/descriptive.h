@@ -1,0 +1,49 @@
+// Descriptive statistics: streaming and batch moments, quantiles.
+
+#ifndef AQPP_STATS_DESCRIPTIVE_H_
+#define AQPP_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aqpp {
+
+// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningMoments {
+ public:
+  void Add(double x);
+  // Weighted observation (frequency or importance weight w >= 0).
+  void AddWeighted(double x, double w);
+  // Merges another accumulator (parallel reduction).
+  void Merge(const RunningMoments& other);
+
+  double count() const { return weight_sum_; }
+  double mean() const { return weight_sum_ > 0 ? mean_ : 0.0; }
+  // Population variance (divide by total weight).
+  double variance_population() const;
+  // Sample variance (Bessel-corrected; frequency-weight interpretation).
+  double variance_sample() const;
+  double stddev_population() const;
+  double stddev_sample() const;
+  double sum() const { return mean_ * weight_sum_; }
+
+ private:
+  double weight_sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+// Batch helpers.
+double Mean(const std::vector<double>& v);
+double VariancePopulation(const std::vector<double>& v);
+double VarianceSample(const std::vector<double>& v);
+
+// p-quantile (p in [0,1]) by linear interpolation; copies and partially
+// sorts. Returns 0 for empty input.
+double Quantile(std::vector<double> v, double p);
+double Median(std::vector<double> v);
+
+}  // namespace aqpp
+
+#endif  // AQPP_STATS_DESCRIPTIVE_H_

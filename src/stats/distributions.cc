@@ -1,0 +1,103 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+ZipfDistribution::ZipfDistribution(int64_t n, double z) : n_(n), z_(z) {
+  AQPP_CHECK_GT(n, 0);
+  AQPP_CHECK_GE(z, 0.0);
+  cdf_.resize(static_cast<size_t>(n));
+  double acc = 0;
+  for (int64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i), z);
+    cdf_[static_cast<size_t>(i - 1)] = acc;
+  }
+  // Normalize.
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int64_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfDistribution::Pmf(int64_t i) const {
+  AQPP_CHECK(i >= 1 && i <= n_);
+  size_t idx = static_cast<size_t>(i - 1);
+  double prev = idx == 0 ? 0.0 : cdf_[idx - 1];
+  return cdf_[idx] - prev;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  AQPP_CHECK(!weights.empty());
+  size_t n = weights.size();
+  prob_.resize(n);
+  alias_.resize(n);
+  double total = 0;
+  for (double w : weights) {
+    AQPP_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  AQPP_CHECK_GT(total, 0.0);
+  // Scaled probabilities: average 1.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::vector<size_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (size_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (size_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  size_t i = static_cast<size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+double SampleTruncatedNormal(double mean, double stddev, double lo, double hi,
+                             Rng& rng) {
+  AQPP_CHECK_LE(lo, hi);
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    double x = mean + stddev * rng.NextGaussian();
+    if (x >= lo && x <= hi) return x;
+  }
+  // Extremely hard truncation: fall back to clamped uniform.
+  return lo + rng.NextDouble() * (hi - lo);
+}
+
+double SamplePareto(double x_m, double alpha, Rng& rng) {
+  AQPP_CHECK_GT(x_m, 0.0);
+  AQPP_CHECK_GT(alpha, 0.0);
+  double u = rng.NextDouble();
+  if (u <= 0) u = 0x1.0p-53;
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+}  // namespace aqpp

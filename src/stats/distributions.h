@@ -1,0 +1,60 @@
+// Random-variate generators used by the workload generators.
+
+#ifndef AQPP_STATS_DISTRIBUTIONS_H_
+#define AQPP_STATS_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace aqpp {
+
+// Zipf(z) over {1, ..., n}: P(X=i) proportional to 1/i^z.
+//
+// Used for the TPCD-Skew benchmark (the paper uses z=2). Sampling is O(log n)
+// by binary search on the precomputed CDF; construction is O(n).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(int64_t n, double z);
+
+  int64_t n() const { return n_; }
+  double z() const { return z_; }
+
+  // Draws a value in [1, n].
+  int64_t Sample(Rng& rng) const;
+
+  // P(X = i) for i in [1, n].
+  double Pmf(int64_t i) const;
+
+ private:
+  int64_t n_;
+  double z_;
+  std::vector<double> cdf_;  // cdf_[i-1] = P(X <= i)
+};
+
+// Alias-method sampler over an arbitrary discrete distribution
+// {0, ..., n-1}. O(n) construction, O(1) sampling. Used when a generator
+// needs millions of draws from a fixed empirical distribution.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+// Truncated normal on [lo, hi] by rejection (fine for mild truncation).
+double SampleTruncatedNormal(double mean, double stddev, double lo, double hi,
+                             Rng& rng);
+
+// Pareto (power-law tail) with scale x_m > 0 and shape alpha > 0.
+double SamplePareto(double x_m, double alpha, Rng& rng);
+
+}  // namespace aqpp
+
+#endif  // AQPP_STATS_DISTRIBUTIONS_H_

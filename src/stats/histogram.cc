@@ -1,0 +1,85 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(const Table& table,
+                                                     size_t column,
+                                                     size_t buckets) {
+  if (column >= table.num_columns()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  if (table.column(column).type() == DataType::kDouble) {
+    return Status::InvalidArgument("histograms require an ordinal column");
+  }
+  if (buckets == 0) return Status::InvalidArgument("buckets must be > 0");
+  if (table.num_rows() == 0) return Status::FailedPrecondition("empty table");
+
+  std::vector<int64_t> values = table.column(column).Int64Data();
+  std::sort(values.begin(), values.end());
+
+  EquiDepthHistogram hist;
+  hist.min_value_ = values.front();
+  hist.total_rows_ = values.size();
+
+  const size_t n = values.size();
+  buckets = std::min(buckets, n);
+  size_t start = 0;
+  for (size_t b = 0; b < buckets && start < n; ++b) {
+    size_t target_end = (b + 1) * n / buckets;
+    if (target_end <= start) target_end = start + 1;
+    // Never split a run of equal values across buckets: extend the boundary
+    // to the end of the run (duplicates must live in one bucket for the
+    // (lower, upper] semantics to hold).
+    size_t end = target_end;
+    while (end < n && values[end - 1] == values[end]) ++end;
+    hist.upper_.push_back(values[end - 1]);
+    hist.rows_.push_back(end - start);
+    start = end;
+  }
+  hist.cumulative_.resize(hist.rows_.size());
+  size_t acc = 0;
+  for (size_t i = 0; i < hist.rows_.size(); ++i) {
+    acc += hist.rows_[i];
+    hist.cumulative_[i] = acc;
+  }
+  AQPP_CHECK_EQ(acc, n);
+  return hist;
+}
+
+double EquiDepthHistogram::CumulativeFraction(int64_t v) const {
+  if (v < min_value_) return 0.0;
+  if (v >= upper_.back()) return 1.0;
+  // First bucket whose upper bound is >= v.
+  size_t b = static_cast<size_t>(
+      std::lower_bound(upper_.begin(), upper_.end(), v) - upper_.begin());
+  int64_t lower = b == 0 ? min_value_ - 1 : upper_[b - 1];
+  double below = b == 0 ? 0.0 : static_cast<double>(cumulative_[b - 1]);
+  // Linear interpolation within the bucket's value span.
+  double span = static_cast<double>(upper_[b] - lower);
+  double frac = span > 0 ? static_cast<double>(v - lower) / span : 1.0;
+  double in_bucket = frac * static_cast<double>(rows_[b]);
+  return (below + in_bucket) / static_cast<double>(total_rows_);
+}
+
+double EquiDepthHistogram::EstimateSelectivity(int64_t lo, int64_t hi) const {
+  if (lo > hi) return 0.0;
+  double hi_cum = CumulativeFraction(hi);
+  double lo_cum = lo <= min_value_ ? 0.0 : CumulativeFraction(lo - 1);
+  return std::max(0.0, hi_cum - lo_cum);
+}
+
+int64_t EquiDepthHistogram::Quantile(double p) const {
+  p = std::clamp(p, 0.0, 1.0);
+  size_t target = static_cast<size_t>(
+      std::llround(p * static_cast<double>(total_rows_)));
+  auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), target);
+  if (it == cumulative_.end()) return upper_.back();
+  return upper_[static_cast<size_t>(it - cumulative_.begin())];
+}
+
+}  // namespace aqpp

@@ -1,0 +1,58 @@
+// Equi-depth histograms: classic single-column selectivity estimation.
+//
+// Used by the workload generator as a cheap pre-filter (reject clearly
+// out-of-band selectivity targets before the exact calibration check) and
+// available as a general catalog statistic. Buckets hold equal row counts;
+// a range estimate interpolates fractionally within partial buckets.
+
+#ifndef AQPP_STATS_HISTOGRAM_H_
+#define AQPP_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+class EquiDepthHistogram {
+ public:
+  // Builds `buckets` equal-row-count buckets over an ordinal column.
+  static Result<EquiDepthHistogram> Build(const Table& table, size_t column,
+                                          size_t buckets = 64);
+
+  // Estimated fraction of rows with value in [lo, hi] (inclusive).
+  double EstimateSelectivity(int64_t lo, int64_t hi) const;
+
+  // Estimated count of rows with value in [lo, hi].
+  double EstimateCount(int64_t lo, int64_t hi) const {
+    return EstimateSelectivity(lo, hi) * static_cast<double>(total_rows_);
+  }
+
+  // Value at the p-quantile (p in [0, 1]).
+  int64_t Quantile(double p) const;
+
+  size_t num_buckets() const { return upper_.size(); }
+  size_t total_rows() const { return total_rows_; }
+  int64_t min_value() const { return min_value_; }
+  int64_t max_value() const { return upper_.empty() ? min_value_ : upper_.back(); }
+
+ private:
+  EquiDepthHistogram() = default;
+
+  // Estimated fraction of rows with value <= v.
+  double CumulativeFraction(int64_t v) const;
+
+  int64_t min_value_ = 0;
+  size_t total_rows_ = 0;
+  // Bucket i spans (upper_[i-1], upper_[i]] (bucket 0 starts at min_value_-1)
+  // and holds rows_[i] rows.
+  std::vector<int64_t> upper_;
+  std::vector<size_t> rows_;
+  std::vector<size_t> cumulative_;  // rows in buckets 0..i
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_STATS_HISTOGRAM_H_

@@ -1,0 +1,86 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace aqpp {
+
+void Column::AppendString(const std::string& v) {
+  AQPP_DCHECK(type_ == DataType::kString);
+  auto it = dict_index_.find(v);
+  if (it == dict_index_.end()) {
+    int64_t code = static_cast<int64_t>(dictionary_.size());
+    dictionary_.push_back(v);
+    it = dict_index_.emplace(v, code).first;
+  }
+  ints_.push_back(it->second);
+}
+
+void Column::FinalizeDictionary() {
+  if (type_ != DataType::kString || dictionary_.empty()) return;
+  // Sort dictionary entries; build old-code -> new-code remap.
+  std::vector<int64_t> order(dictionary_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](int64_t a, int64_t b) {
+    return dictionary_[static_cast<size_t>(a)] <
+           dictionary_[static_cast<size_t>(b)];
+  });
+  std::vector<int64_t> remap(dictionary_.size());
+  std::vector<std::string> sorted_dict(dictionary_.size());
+  for (size_t new_code = 0; new_code < order.size(); ++new_code) {
+    int64_t old_code = order[new_code];
+    remap[static_cast<size_t>(old_code)] = static_cast<int64_t>(new_code);
+    sorted_dict[new_code] = std::move(dictionary_[static_cast<size_t>(old_code)]);
+  }
+  dictionary_ = std::move(sorted_dict);
+  dict_index_.clear();
+  for (size_t code = 0; code < dictionary_.size(); ++code) {
+    dict_index_.emplace(dictionary_[code], static_cast<int64_t>(code));
+  }
+  for (int64_t& code : ints_) code = remap[static_cast<size_t>(code)];
+}
+
+void Column::SetDictionary(std::vector<std::string> dict) {
+  AQPP_DCHECK(type_ == DataType::kString);
+  dictionary_ = std::move(dict);
+  dict_index_.clear();
+  for (size_t code = 0; code < dictionary_.size(); ++code) {
+    dict_index_.emplace(dictionary_[code], static_cast<int64_t>(code));
+  }
+}
+
+Result<int64_t> Column::LookupDictionary(const std::string& value) const {
+  auto it = dict_index_.find(value);
+  if (it == dict_index_.end()) {
+    return Status::NotFound("dictionary value not found: " + value);
+  }
+  return it->second;
+}
+
+std::vector<double> Column::ToDoubleVector() const {
+  if (type_ == DataType::kDouble) return doubles_;
+  std::vector<double> out(ints_.size());
+  for (size_t i = 0; i < ints_.size(); ++i) {
+    out[i] = static_cast<double>(ints_[i]);
+  }
+  return out;
+}
+
+Result<int64_t> Column::MinInt64() const {
+  if (ints_.empty()) return Status::FailedPrecondition("empty column");
+  return *std::min_element(ints_.begin(), ints_.end());
+}
+
+Result<int64_t> Column::MaxInt64() const {
+  if (ints_.empty()) return Status::FailedPrecondition("empty column");
+  return *std::max_element(ints_.begin(), ints_.end());
+}
+
+size_t Column::MemoryUsage() const {
+  size_t bytes = ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double);
+  for (const auto& s : dictionary_) bytes += s.capacity() + sizeof(s);
+  return bytes;
+}
+
+}  // namespace aqpp

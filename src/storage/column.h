@@ -1,0 +1,111 @@
+// In-memory column representation.
+//
+// Columns are append-only during construction and immutable afterwards.
+// Numeric access is uniform: `AsDoubleView` lets aggregation code treat any
+// column as a double sequence, while `Int64Data` exposes the ordinal codes
+// used for range conditions and cube partitioning.
+
+#ifndef AQPP_STORAGE_COLUMN_H_
+#define AQPP_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace aqpp {
+
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const {
+    return type_ == DataType::kDouble ? doubles_.size() : ints_.size();
+  }
+
+  // ---- Construction -------------------------------------------------------
+
+  void AppendInt64(int64_t v) {
+    AQPP_DCHECK(type_ == DataType::kInt64);
+    ints_.push_back(v);
+  }
+  void AppendDouble(double v) {
+    AQPP_DCHECK(type_ == DataType::kDouble);
+    doubles_.push_back(v);
+  }
+  // Appends a string value, interning it in the dictionary. Codes are
+  // provisional until FinalizeDictionary() re-assigns them alphabetically.
+  void AppendString(const std::string& v);
+
+  void Reserve(size_t n) {
+    if (type_ == DataType::kDouble) {
+      doubles_.reserve(n);
+    } else {
+      ints_.reserve(n);
+    }
+  }
+
+  // Re-encodes dictionary codes so that code order == lexicographic order.
+  // No-op for non-string columns. Must be called before ordinal use.
+  void FinalizeDictionary();
+
+  // ---- Access -------------------------------------------------------------
+
+  int64_t GetInt64(size_t i) const {
+    AQPP_DCHECK(type_ != DataType::kDouble);
+    return ints_[i];
+  }
+  double GetDouble(size_t i) const {
+    return type_ == DataType::kDouble ? doubles_[i]
+                                      : static_cast<double>(ints_[i]);
+  }
+  // String value for row i (kString columns only).
+  const std::string& GetString(size_t i) const {
+    AQPP_DCHECK(type_ == DataType::kString);
+    return dictionary_[static_cast<size_t>(ints_[i])];
+  }
+
+  // Raw storage views. Int64Data is valid for kInt64/kString; DoubleData for
+  // kDouble.
+  const std::vector<int64_t>& Int64Data() const { return ints_; }
+  const std::vector<double>& DoubleData() const { return doubles_; }
+  std::vector<int64_t>& MutableInt64Data() { return ints_; }
+  std::vector<double>& MutableDoubleData() { return doubles_; }
+
+  // Dictionary for kString columns (code -> value, alphabetical after
+  // FinalizeDictionary).
+  const std::vector<std::string>& dictionary() const { return dictionary_; }
+
+  // Replaces the dictionary wholesale (deserialization); codes in the column
+  // must already refer to positions in `dict`. Rebuilds the lookup index.
+  void SetDictionary(std::vector<std::string> dict);
+
+  // Code of `value` in the dictionary, or error if absent.
+  Result<int64_t> LookupDictionary(const std::string& value) const;
+
+  // Materializes the whole column as doubles (copies for int columns).
+  std::vector<double> ToDoubleVector() const;
+
+  // Minimum / maximum value as int64 (ordinal columns). Errors on empty.
+  Result<int64_t> MinInt64() const;
+  Result<int64_t> MaxInt64() const;
+
+  // Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;     // kInt64 values or kString codes
+  std::vector<double> doubles_;   // kDouble values
+  std::vector<std::string> dictionary_;
+  std::unordered_map<std::string, int64_t> dict_index_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_STORAGE_COLUMN_H_

@@ -1,0 +1,238 @@
+#include "storage/io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+constexpr char kBinaryMagic[8] = {'A', 'Q', 'P', 'P', 'T', 'B', 'L', '1'};
+
+Status ParseField(const std::string& field, DataType type, Column* col) {
+  switch (type) {
+    case DataType::kInt64: {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("cannot parse int64: '" + field + "'");
+      }
+      col->AppendInt64(static_cast<int64_t>(v));
+      return Status::OK();
+    }
+    case DataType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::InvalidArgument("cannot parse double: '" + field + "'");
+      }
+      col->AppendDouble(v);
+      return Status::OK();
+    }
+    case DataType::kString:
+      col->AppendString(field);
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+void WriteString(std::ofstream& out, const std::string& s) {
+  WritePod<uint64_t>(out, s.size());
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+bool ReadString(std::ifstream& in, std::string* s) {
+  uint64_t len = 0;
+  if (!ReadPod(in, &len)) return false;
+  s->resize(len);
+  in.read(s->data(), static_cast<std::streamsize>(len));
+  return in.good() || len == 0;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
+                                       const Schema& schema,
+                                       const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  auto table = std::make_shared<Table>(schema);
+  std::string line;
+  size_t line_no = 0;
+  if (options.has_header) {
+    if (!std::getline(in, line)) {
+      return Status::IOError("empty file: '" + path + "'");
+    }
+    ++line_no;
+    auto names = SplitString(line, options.delimiter);
+    if (names.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("header has %zu fields, schema has %zu columns",
+                    names.size(), schema.num_columns()));
+    }
+    for (size_t i = 0; i < names.size(); ++i) {
+      if (std::string(TrimWhitespace(names[i])) != schema.column(i).name) {
+        return Status::InvalidArgument(
+            "header column '" + names[i] + "' does not match schema column '" +
+            schema.column(i).name + "'");
+      }
+    }
+  }
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto fields = SplitString(line, options.delimiter);
+    if (fields.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          StrFormat("line %zu has %zu fields, expected %zu", line_no,
+                    fields.size(), schema.num_columns()));
+    }
+    for (size_t c = 0; c < fields.size(); ++c) {
+      Status st = ParseField(std::string(TrimWhitespace(fields[c])),
+                             schema.column(c).type, &table->mutable_column(c));
+      if (!st.ok()) {
+        return Status::InvalidArgument(
+            StrFormat("line %zu, column '%s': %s", line_no,
+                      schema.column(c).name.c_str(), st.message().c_str()));
+      }
+    }
+  }
+  table->SetRowCountFromColumns();
+  table->FinalizeDictionaries();
+  return table;
+}
+
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  const Schema& schema = table.schema();
+  if (options.has_header) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      out << schema.column(c).name;
+    }
+    out << '\n';
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out << options.delimiter;
+      const Column& col = table.column(c);
+      switch (col.type()) {
+        case DataType::kInt64:
+          out << col.GetInt64(r);
+          break;
+        case DataType::kDouble:
+          out << col.GetDouble(r);
+          break;
+        case DataType::kString:
+          out << col.GetString(r);
+          break;
+      }
+    }
+    out << '\n';
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Status WriteBinary(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(kBinaryMagic, sizeof(kBinaryMagic));
+  const Schema& schema = table.schema();
+  WritePod<uint64_t>(out, schema.num_columns());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    WriteString(out, schema.column(c).name);
+    WritePod<int32_t>(out, static_cast<int32_t>(schema.column(c).type));
+  }
+  WritePod<uint64_t>(out, table.num_rows());
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.type() == DataType::kDouble) {
+      out.write(reinterpret_cast<const char*>(col.DoubleData().data()),
+                static_cast<std::streamsize>(table.num_rows() * sizeof(double)));
+    } else {
+      out.write(reinterpret_cast<const char*>(col.Int64Data().data()),
+                static_cast<std::streamsize>(table.num_rows() * sizeof(int64_t)));
+      if (col.type() == DataType::kString) {
+        WritePod<uint64_t>(out, col.dictionary().size());
+        for (const auto& s : col.dictionary()) WriteString(out, s);
+      }
+    }
+  }
+  if (!out) return Status::IOError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> ReadBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "'");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not an AQPP table file");
+  }
+  uint64_t num_cols = 0;
+  if (!ReadPod(in, &num_cols)) return Status::IOError("truncated file");
+  std::vector<ColumnSchema> cols;
+  cols.reserve(num_cols);
+  for (uint64_t c = 0; c < num_cols; ++c) {
+    std::string name;
+    int32_t type = 0;
+    if (!ReadString(in, &name) || !ReadPod(in, &type)) {
+      return Status::IOError("truncated schema");
+    }
+    cols.push_back({std::move(name), static_cast<DataType>(type)});
+  }
+  uint64_t num_rows = 0;
+  if (!ReadPod(in, &num_rows)) return Status::IOError("truncated file");
+  auto table = std::make_shared<Table>(Schema(std::move(cols)));
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    Column& col = table->mutable_column(c);
+    if (col.type() == DataType::kDouble) {
+      col.MutableDoubleData().resize(num_rows);
+      in.read(reinterpret_cast<char*>(col.MutableDoubleData().data()),
+              static_cast<std::streamsize>(num_rows * sizeof(double)));
+    } else {
+      col.MutableInt64Data().resize(num_rows);
+      in.read(reinterpret_cast<char*>(col.MutableInt64Data().data()),
+              static_cast<std::streamsize>(num_rows * sizeof(int64_t)));
+      if (col.type() == DataType::kString) {
+        uint64_t dict_size = 0;
+        if (!ReadPod(in, &dict_size)) return Status::IOError("truncated dict");
+        std::vector<std::string> dict;
+        dict.reserve(dict_size);
+        for (uint64_t d = 0; d < dict_size; ++d) {
+          std::string s;
+          if (!ReadString(in, &s)) return Status::IOError("truncated dict");
+          dict.push_back(std::move(s));
+        }
+        col.SetDictionary(std::move(dict));
+      }
+    }
+    if (!in) return Status::IOError("truncated column data");
+  }
+  table->SetRowCountFromColumns();
+  return table;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,38 @@
+// Table import/export: CSV (interchange) and a raw binary format (fast
+// reload of generated benchmark datasets).
+
+#ifndef AQPP_STORAGE_IO_H_
+#define AQPP_STORAGE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+};
+
+// Parses `path` into a table with the given schema. When
+// `options.has_header` is set the first line is validated against the schema
+// column names. String dictionaries are finalized before returning.
+Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
+                                       const Schema& schema,
+                                       const CsvOptions& options = {});
+
+// Writes `table` to `path` with a header row.
+Status WriteCsv(const Table& table, const std::string& path,
+                const CsvOptions& options = {});
+
+// Binary format: magic, schema, row count, then raw column arrays and
+// dictionaries. Not portable across endianness; intended for local caching.
+Status WriteBinary(const Table& table, const std::string& path);
+Result<std::shared_ptr<Table>> ReadBinary(const std::string& path);
+
+}  // namespace aqpp
+
+#endif  // AQPP_STORAGE_IO_H_

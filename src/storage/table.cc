@@ -1,0 +1,139 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_columns());
+  for (size_t i = 0; i < schema_.num_columns(); ++i) {
+    columns_.push_back(std::make_unique<Column>(schema_.column(i).type));
+  }
+}
+
+Result<const Column*> Table::GetColumn(const std::string& name) const {
+  int idx = schema_.FindColumn(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return columns_[static_cast<size_t>(idx)].get();
+}
+
+Result<size_t> Table::GetColumnIndex(const std::string& name) const {
+  int idx = schema_.FindColumn(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return static_cast<size_t>(idx);
+}
+
+Table::RowBuilder& Table::RowBuilder::Int64(int64_t v) {
+  AQPP_CHECK_LT(next_col_, table_->num_columns());
+  table_->columns_[next_col_++]->AppendInt64(v);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::Double(double v) {
+  AQPP_CHECK_LT(next_col_, table_->num_columns());
+  table_->columns_[next_col_++]->AppendDouble(v);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::String(const std::string& v) {
+  AQPP_CHECK_LT(next_col_, table_->num_columns());
+  table_->columns_[next_col_++]->AppendString(v);
+  return *this;
+}
+
+void Table::RowBuilder::Done() {
+  if (committed_ || next_col_ == 0) return;
+  AQPP_CHECK_EQ(next_col_, table_->num_columns());
+  committed_ = true;
+  ++table_->num_rows_;
+}
+
+void Table::Reserve(size_t rows) {
+  for (auto& col : columns_) col->Reserve(rows);
+}
+
+void Table::SetRowCountFromColumns() {
+  if (columns_.empty()) {
+    num_rows_ = 0;
+    return;
+  }
+  size_t n = columns_[0]->size();
+  for (const auto& col : columns_) AQPP_CHECK_EQ(col->size(), n);
+  num_rows_ = n;
+}
+
+void Table::FinalizeDictionaries() {
+  for (auto& col : columns_) col->FinalizeDictionary();
+}
+
+size_t Table::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col->MemoryUsage();
+  return bytes;
+}
+
+Result<std::shared_ptr<Table>> TakeRows(const Table& table,
+                                        const std::vector<size_t>& rows) {
+  for (size_t r : rows) {
+    if (r >= table.num_rows()) {
+      return Status::OutOfRange("row index out of range");
+    }
+  }
+  auto out = std::make_shared<Table>(table.schema());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const Column& src = table.column(c);
+    Column& dst = out->mutable_column(c);
+    if (src.type() == DataType::kDouble) {
+      auto& data = dst.MutableDoubleData();
+      data.reserve(rows.size());
+      const auto& sdata = src.DoubleData();
+      for (size_t r : rows) data.push_back(sdata[r]);
+    } else {
+      auto& data = dst.MutableInt64Data();
+      data.reserve(rows.size());
+      const auto& sdata = src.Int64Data();
+      for (size_t r : rows) data.push_back(sdata[r]);
+      if (src.type() == DataType::kString) {
+        dst.SetDictionary(src.dictionary());
+      }
+    }
+  }
+  out->SetRowCountFromColumns();
+  return out;
+}
+
+Status Catalog::Register(const std::string& name,
+                         std::shared_ptr<Table> table) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Catalog::Drop(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace aqpp

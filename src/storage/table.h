@@ -1,0 +1,104 @@
+// Columnar table and catalog.
+
+#ifndef AQPP_STORAGE_TABLE_H_
+#define AQPP_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace aqpp {
+
+// An immutable-after-build, in-memory columnar table.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return *columns_[i]; }
+  Column& mutable_column(size_t i) { return *columns_[i]; }
+
+  // Column access by name.
+  Result<const Column*> GetColumn(const std::string& name) const;
+  Result<size_t> GetColumnIndex(const std::string& name) const;
+
+  // ---- Row-oriented construction -----------------------------------------
+  // Values must be passed in schema order; ints are accepted for kInt64,
+  // doubles for kDouble, strings for kString. For bulk loads prefer writing
+  // into MutableInt64Data()/MutableDoubleData() directly and calling
+  // SetRowCountFromColumns().
+
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table* table) : table_(table) {}
+    // Commits the row on destruction; aborts if values were appended but the
+    // arity does not match the schema.
+    ~RowBuilder() { Done(); }
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+    RowBuilder& Int64(int64_t v);
+    RowBuilder& Double(double v);
+    RowBuilder& String(const std::string& v);
+    // Commits the row explicitly (idempotent).
+    void Done();
+
+   private:
+    Table* table_;
+    size_t next_col_ = 0;
+    bool committed_ = false;
+  };
+
+  RowBuilder AddRow() { return RowBuilder(this); }
+
+  void Reserve(size_t rows);
+
+  // Recomputes num_rows after direct column mutation; aborts if columns
+  // disagree on length.
+  void SetRowCountFromColumns();
+
+  // Finalizes all string dictionaries (alphabetical code order).
+  void FinalizeDictionaries();
+
+  // Sum of column footprints in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  friend class RowBuilder;
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  size_t num_rows_ = 0;
+};
+
+// Materializes the given rows of `table` (in the given order, duplicates
+// allowed) into a new table with the same schema. String dictionaries are
+// copied so codes remain valid.
+Result<std::shared_ptr<Table>> TakeRows(const Table& table,
+                                        const std::vector<size_t>& rows);
+
+// Name -> table registry shared by the engines.
+class Catalog {
+ public:
+  Status Register(const std::string& name, std::shared_ptr<Table> table);
+  Result<std::shared_ptr<Table>> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  Status Drop(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_STORAGE_TABLE_H_

@@ -1,0 +1,52 @@
+#include "storage/types.h"
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+const char* DataTypeToString(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+size_t DataTypeWidth(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+    case DataType::kString:
+      return 8;
+    case DataType::kDouble:
+      return 8;
+  }
+  return 8;
+}
+
+Schema::Schema(std::vector<ColumnSchema> columns)
+    : columns_(std::move(columns)) {}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += ": ";
+    out += DataTypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace aqpp

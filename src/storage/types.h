@@ -1,0 +1,61 @@
+// Core type definitions for the columnar storage layer.
+
+#ifndef AQPP_STORAGE_TYPES_H_
+#define AQPP_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqpp {
+
+// Physical column types.
+//
+// kString columns are dictionary-encoded: the column stores int64 codes and
+// the dictionary maps code -> string. Codes are assigned in lexicographic
+// order when the column is finalized, which realizes the paper's rule that
+// attributes without a natural ordering are ordered alphabetically
+// (footnote 3 in Section 3).
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeToString(DataType t);
+
+// Width in bytes of one value of type `t` (dictionary codes for kString).
+size_t DataTypeWidth(DataType t);
+
+struct ColumnSchema {
+  std::string name;
+  DataType type;
+};
+
+// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSchema> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSchema& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSchema>& columns() const { return columns_; }
+
+  // Index of the column named `name`, or -1 if absent. Name lookup is
+  // case-sensitive.
+  int FindColumn(const std::string& name) const;
+
+  bool HasColumn(const std::string& name) const {
+    return FindColumn(name) >= 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnSchema> columns_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_STORAGE_TYPES_H_

@@ -1,0 +1,89 @@
+#include "workload/bigbench.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "stats/distributions.h"
+
+namespace aqpp {
+
+namespace {
+
+constexpr int64_t kMaxDay = 730;  // two years of visits
+
+const char* kCountries[] = {"USA", "CHN", "IND", "BRA", "RUS", "JPN", "DEU",
+                            "GBR", "FRA", "CAN", "KOR", "ITA", "AUS", "ESP",
+                            "MEX", "IDN", "NLD", "SAU", "TUR", "CHE"};
+const char* kLanguages[] = {"en", "zh", "hi", "pt", "ru",
+                            "ja", "de", "fr", "ko", "es"};
+
+}  // namespace
+
+Schema BigBenchSchema() {
+  return Schema({
+      {"sourceIP", DataType::kInt64},
+      {"destURL", DataType::kInt64},
+      {"visitDate", DataType::kInt64},
+      {"duration", DataType::kInt64},
+      {"searchWord", DataType::kInt64},
+      {"adRevenue", DataType::kDouble},
+      {"countryCode", DataType::kString},
+      {"languageCode", DataType::kString},
+  });
+}
+
+Result<std::shared_ptr<Table>> GenerateBigBench(const BigBenchOptions& options) {
+  if (options.rows == 0) return Status::InvalidArgument("rows must be > 0");
+  Rng rng(options.seed);
+  const size_t n = options.rows;
+  const int64_t ip_card = std::max<int64_t>(1000, static_cast<int64_t>(n / 10));
+  const int64_t url_card = std::max<int64_t>(500, static_cast<int64_t>(n / 20));
+
+  ZipfDistribution ip_zipf(ip_card, 1.4);
+  ZipfDistribution url_zipf(url_card, 1.2);
+
+  auto table = std::make_shared<Table>(BigBenchSchema());
+  table->Reserve(n);
+  auto& source_ip = table->mutable_column(0).MutableInt64Data();
+  auto& dest_url = table->mutable_column(1).MutableInt64Data();
+  auto& visit_date = table->mutable_column(2).MutableInt64Data();
+  auto& duration = table->mutable_column(3).MutableInt64Data();
+  auto& search_word = table->mutable_column(4).MutableInt64Data();
+  auto& ad_revenue = table->mutable_column(5).MutableDoubleData();
+  Column& country = table->mutable_column(6);
+  Column& language = table->mutable_column(7);
+
+  for (size_t i = 0; i < n; ++i) {
+    int64_t ip = ip_zipf.Sample(rng);
+    int64_t day = rng.NextInt(1, kMaxDay);
+    // Engagement: long-tail session durations.
+    int64_t dur = std::clamp<int64_t>(
+        static_cast<int64_t>(SamplePareto(20.0, 1.3, rng)), 1, 3600);
+    // Revenue: heavy-tailed base, boosted on weekends and in Q4, and mildly
+    // increasing with session duration (the duration correlation AQP++ can
+    // exploit when partitioning on duration).
+    double base = SamplePareto(0.05, 1.6, rng);
+    bool weekend = (day % 7) >= 5;
+    double season = 1.0 + 0.6 * std::exp(-std::pow(
+        (static_cast<double>(day % 365) - 330.0) / 25.0, 2.0));
+    double engagement = 1.0 + 0.3 * std::log1p(static_cast<double>(dur) / 60.0);
+    double revenue =
+        std::min(1000.0, base * (weekend ? 1.4 : 1.0) * season * engagement);
+
+    source_ip.push_back(ip);
+    dest_url.push_back(url_zipf.Sample(rng));
+    visit_date.push_back(day);
+    duration.push_back(dur);
+    search_word.push_back(rng.NextInt(1, 10000));
+    ad_revenue.push_back(revenue);
+    country.AppendString(kCountries[rng.NextBounded(20)]);
+    language.AppendString(kLanguages[rng.NextBounded(10)]);
+  }
+  table->SetRowCountFromColumns();
+  table->FinalizeDictionaries();
+  return table;
+}
+
+}  // namespace aqpp

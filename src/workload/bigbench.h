@@ -1,0 +1,33 @@
+// BigBench / AMPLab Big Data Benchmark UserVisits synthetic dataset [1].
+//
+// Row-scaled substitute for the paper's 100 GB (752 M row) UserVisits table:
+// identical schema spirit (sourceIP, visitDate, adRevenue, duration, ...)
+// with skewed IP traffic, weekly/seasonal revenue cycles, and a
+// duration–revenue correlation. Used by Figure 11(a).
+
+#ifndef AQPP_WORKLOAD_BIGBENCH_H_
+#define AQPP_WORKLOAD_BIGBENCH_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct BigBenchOptions {
+  size_t rows = 1'000'000;
+  uint64_t seed = 11;
+};
+
+// Column order:
+//   sourceIP, destURL, visitDate, duration, searchWord (INT64),
+//   adRevenue (DOUBLE), countryCode, languageCode (STRING).
+Result<std::shared_ptr<Table>> GenerateBigBench(const BigBenchOptions& options);
+
+Schema BigBenchSchema();
+
+}  // namespace aqpp
+
+#endif  // AQPP_WORKLOAD_BIGBENCH_H_

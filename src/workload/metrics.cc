@@ -1,0 +1,77 @@
+#include "workload/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/descriptive.h"
+
+namespace aqpp {
+
+std::string WorkloadSummary::ToString() const {
+  return StrFormat(
+      "queries=%zu skipped=%zu avg=%.3f%% median=%.3f%% p95=%.3f%% "
+      "max=%.3f%% coverage=%.1f%% avg_time=%s",
+      queries_run, queries_skipped, avg_relative_error * 100,
+      median_relative_error * 100, p95_relative_error * 100,
+      max_relative_error * 100, coverage * 100,
+      FormatDuration(avg_response_seconds).c_str());
+}
+
+Result<std::vector<double>> ComputeTruths(
+    const std::vector<RangeQuery>& queries, const ExactExecutor& executor) {
+  std::vector<double> truths;
+  truths.reserve(queries.size());
+  for (const auto& q : queries) {
+    AQPP_ASSIGN_OR_RETURN(double t, executor.Execute(q));
+    truths.push_back(t);
+  }
+  return truths;
+}
+
+Result<WorkloadSummary> RunWorkloadWithTruth(
+    const std::vector<RangeQuery>& queries, const std::vector<double>& truths,
+    const EngineFn& engine_fn, double zero_epsilon) {
+  if (queries.size() != truths.size()) {
+    return Status::InvalidArgument("queries/truths size mismatch");
+  }
+  WorkloadSummary out;
+  double time_sum = 0;
+  size_t covered = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (std::fabs(truths[i]) < zero_epsilon) {
+      ++out.queries_skipped;
+      continue;
+    }
+    AQPP_ASSIGN_OR_RETURN(auto result, engine_fn(queries[i]));
+    double rel = result.ci.half_width / std::fabs(truths[i]);
+    out.relative_errors.push_back(rel);
+    if (result.ci.Contains(truths[i])) ++covered;
+    double t = result.response_seconds();
+    time_sum += t;
+    out.max_response_seconds = std::max(out.max_response_seconds, t);
+    ++out.queries_run;
+  }
+  if (out.queries_run > 0) {
+    out.avg_relative_error = Mean(out.relative_errors);
+    out.median_relative_error = Median(out.relative_errors);
+    out.p95_relative_error = Quantile(out.relative_errors, 0.95);
+    out.max_relative_error =
+        *std::max_element(out.relative_errors.begin(),
+                          out.relative_errors.end());
+    out.avg_response_seconds = time_sum / static_cast<double>(out.queries_run);
+    out.coverage = static_cast<double>(covered) /
+                   static_cast<double>(out.queries_run);
+  }
+  return out;
+}
+
+Result<WorkloadSummary> RunWorkload(const std::vector<RangeQuery>& queries,
+                                    const EngineFn& engine_fn,
+                                    const ExactExecutor& executor,
+                                    double zero_epsilon) {
+  AQPP_ASSIGN_OR_RETURN(auto truths, ComputeTruths(queries, executor));
+  return RunWorkloadWithTruth(queries, truths, engine_fn, zero_epsilon);
+}
+
+}  // namespace aqpp

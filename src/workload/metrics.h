@@ -1,0 +1,58 @@
+// Workload evaluation helpers: run a query set through any engine, compare
+// against exact answers, and summarize with the paper's error metrics
+// (relative error = CI half-width / true answer; Section 7.1).
+
+#ifndef AQPP_WORKLOAD_METRICS_H_
+#define AQPP_WORKLOAD_METRICS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "expr/query.h"
+
+namespace aqpp {
+
+struct WorkloadSummary {
+  size_t queries_run = 0;
+  size_t queries_skipped = 0;  // true answer ~ 0 (relative error undefined)
+  double avg_relative_error = 0.0;
+  double median_relative_error = 0.0;
+  double p95_relative_error = 0.0;
+  double max_relative_error = 0.0;
+  double avg_response_seconds = 0.0;
+  double max_response_seconds = 0.0;
+  // Fraction of queries whose CI contained the truth (should track the
+  // confidence level).
+  double coverage = 0.0;
+  std::vector<double> relative_errors;
+
+  std::string ToString() const;
+};
+
+using EngineFn = std::function<Result<ApproximateResult>(const RangeQuery&)>;
+
+// Runs `queries` through `engine_fn`, computing truth with `executor`.
+// Queries whose |truth| < `zero_epsilon` are skipped (the paper's relative
+// error is undefined there).
+Result<WorkloadSummary> RunWorkload(const std::vector<RangeQuery>& queries,
+                                    const EngineFn& engine_fn,
+                                    const ExactExecutor& executor,
+                                    double zero_epsilon = 1e-9);
+
+// Variant with precomputed truths (avoids rescanning when several engines
+// are compared on the same query set).
+Result<WorkloadSummary> RunWorkloadWithTruth(
+    const std::vector<RangeQuery>& queries, const std::vector<double>& truths,
+    const EngineFn& engine_fn, double zero_epsilon = 1e-9);
+
+// Exact answers for a query set.
+Result<std::vector<double>> ComputeTruths(const std::vector<RangeQuery>& queries,
+                                          const ExactExecutor& executor);
+
+}  // namespace aqpp
+
+#endif  // AQPP_WORKLOAD_METRICS_H_

@@ -1,0 +1,144 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aqpp {
+
+QueryGenerator::QueryGenerator(const Table* table, QueryTemplate tmpl,
+                               QueryGenOptions options, uint64_t seed)
+    : table_(table),
+      template_(std::move(tmpl)),
+      options_(options),
+      rng_(seed) {
+  AQPP_CHECK(table != nullptr);
+  const size_t d = template_.condition_columns.size();
+  sorted_values_.resize(d);
+  calib_values_.resize(d);
+
+  // Calibration subset: every ceil(N / calibration_rows)-th row (stride
+  // sampling is unbiased enough for selectivity checks and deterministic).
+  const size_t N = table_->num_rows();
+  size_t stride = std::max<size_t>(1, N / std::max<size_t>(
+                                           1, options_.calibration_rows));
+  for (size_t i = 0; i < d; ++i) {
+    const auto& data =
+        table_->column(template_.condition_columns[i]).Int64Data();
+    sorted_values_[i] = data;
+    std::sort(sorted_values_[i].begin(), sorted_values_[i].end());
+    auto& calib = calib_values_[i];
+    calib.reserve(N / stride + 1);
+    for (size_t r = 0; r < N; r += stride) calib.push_back(data[r]);
+  }
+  calib_rows_ = d == 0 ? 0 : calib_values_[0].size();
+  for (size_t i = 0; i < d; ++i) {
+    auto hist = EquiDepthHistogram::Build(*table_,
+                                          template_.condition_columns[i]);
+    AQPP_CHECK(hist.ok()) << hist.status();
+    histograms_.push_back(std::move(*hist));
+  }
+}
+
+double QueryGenerator::CalibrationSelectivity(
+    const std::vector<RangeCondition>& conds) const {
+  if (calib_rows_ == 0) return 1.0;
+  size_t matches = 0;
+  for (size_t r = 0; r < calib_rows_; ++r) {
+    bool ok = true;
+    for (size_t i = 0; i < conds.size(); ++i) {
+      int64_t v = calib_values_[i][r];
+      if (v < conds[i].lo || v > conds[i].hi) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(calib_rows_);
+}
+
+Result<RangeQuery> QueryGenerator::Generate() {
+  const size_t d = template_.condition_columns.size();
+  if (d == 0) return Status::FailedPrecondition("template has no conditions");
+
+  RangeQuery best;
+  double best_penalty = std::numeric_limits<double>::infinity();
+  for (size_t attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    // Target joint selectivity: log-uniform inside the band.
+    double s = std::exp(std::log(options_.min_selectivity) +
+                        rng_.NextDouble() *
+                            (std::log(options_.max_selectivity) -
+                             std::log(options_.min_selectivity)));
+    // Split into per-dimension marginal fractions with random emphasis.
+    std::vector<double> u(d);
+    double u_sum = 0;
+    for (double& x : u) {
+      x = 0.3 + rng_.NextDouble();
+      u_sum += x;
+    }
+    std::vector<RangeCondition> conds(d);
+    for (size_t i = 0; i < d; ++i) {
+      double f = std::pow(s, u[i] / u_sum);
+      f = std::clamp(f, 1e-6, 1.0);
+      const auto& sorted = sorted_values_[i];
+      double start = rng_.NextDouble() * (1.0 - f);
+      size_t lo_idx = static_cast<size_t>(
+          start * static_cast<double>(sorted.size() - 1));
+      size_t hi_idx = static_cast<size_t>(
+          std::min(1.0, start + f) * static_cast<double>(sorted.size() - 1));
+      conds[i].column = template_.condition_columns[i];
+      conds[i].lo = sorted[lo_idx];
+      conds[i].hi = std::max(sorted[lo_idx], sorted[hi_idx]);
+    }
+    // Histogram pre-filter: product of per-dimension marginal estimates
+    // (independence assumption). Only clearly hopeless draws are skipped —
+    // the exact check below still gates acceptance.
+    double hist_sel = 1.0;
+    for (size_t i = 0; i < d; ++i) {
+      hist_sel *= histograms_[i].EstimateSelectivity(conds[i].lo, conds[i].hi);
+    }
+    if (hist_sel > options_.max_selectivity * 20 ||
+        hist_sel < options_.min_selectivity / 20) {
+      continue;
+    }
+    double sel = CalibrationSelectivity(conds);
+    if (sel >= options_.min_selectivity && sel <= options_.max_selectivity) {
+      RangeQuery q;
+      q.func = template_.func;
+      q.agg_column = template_.agg_column;
+      q.predicate = RangePredicate(std::move(conds));
+      q.group_by = template_.group_columns;
+      return q;
+    }
+    // Track the least-bad draw as a fallback.
+    double penalty =
+        sel < options_.min_selectivity
+            ? std::log(options_.min_selectivity / std::max(sel, 1e-9))
+            : std::log(sel / options_.max_selectivity);
+    if (penalty < best_penalty) {
+      best_penalty = penalty;
+      best.func = template_.func;
+      best.agg_column = template_.agg_column;
+      best.predicate = RangePredicate(conds);
+      best.group_by = template_.group_columns;
+    }
+  }
+  if (best.predicate.size() != d) {
+    return Status::Internal("query generation failed to produce a candidate");
+  }
+  return best;
+}
+
+Result<std::vector<RangeQuery>> QueryGenerator::GenerateMany(size_t count) {
+  std::vector<RangeQuery> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    AQPP_ASSIGN_OR_RETURN(auto q, Generate());
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace aqpp

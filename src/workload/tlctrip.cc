@@ -1,0 +1,154 @@
+#include "workload/tlctrip.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/distributions.h"
+
+namespace aqpp {
+
+namespace {
+
+constexpr int64_t kMaxDay = 2922;  // 2009-01-01 .. 2016-12-31
+
+}  // namespace
+
+Schema TlcTripSchema() {
+  return Schema({
+      {"Pickup_Date", DataType::kInt64},
+      {"Pickup_Time", DataType::kInt64},
+      {"Passenger_Count", DataType::kInt64},
+      {"Rate_Code", DataType::kInt64},
+      {"Fare_Amt", DataType::kInt64},
+      {"surcharge", DataType::kInt64},
+      {"Tip_Amt", DataType::kInt64},
+      {"Dropoff_Date", DataType::kInt64},
+      {"Dropoff_Time", DataType::kInt64},
+      {"Trip_Distance", DataType::kDouble},
+      {"vendor_name", DataType::kString},
+  });
+}
+
+Result<std::shared_ptr<Table>> GenerateTlcTrip(const TlcTripOptions& options) {
+  if (options.rows == 0) return Status::InvalidArgument("rows must be > 0");
+  Rng rng(options.seed);
+  const size_t n = options.rows;
+
+  auto table = std::make_shared<Table>(TlcTripSchema());
+  table->Reserve(n);
+  auto& pickup_date = table->mutable_column(0).MutableInt64Data();
+  auto& pickup_time = table->mutable_column(1).MutableInt64Data();
+  auto& passengers = table->mutable_column(2).MutableInt64Data();
+  auto& rate_code = table->mutable_column(3).MutableInt64Data();
+  auto& fare = table->mutable_column(4).MutableInt64Data();
+  auto& surcharge = table->mutable_column(5).MutableInt64Data();
+  auto& tip = table->mutable_column(6).MutableInt64Data();
+  auto& dropoff_date = table->mutable_column(7).MutableInt64Data();
+  auto& dropoff_time = table->mutable_column(8).MutableInt64Data();
+  auto& distance = table->mutable_column(9).MutableDoubleData();
+  Column& vendor = table->mutable_column(10);
+
+  for (size_t i = 0; i < n; ++i) {
+    // Demand grows over the years and dips in winter.
+    int64_t day;
+    do {
+      day = rng.NextInt(1, kMaxDay);
+      double growth =
+          0.6 + 0.4 * static_cast<double>(day) / static_cast<double>(kMaxDay);
+      double season =
+          1.0 - 0.2 * std::cos(2.0 * M_PI * static_cast<double>(day % 365) /
+                               365.0);
+      if (rng.NextDouble() < growth * season / 1.4) break;
+    } while (true);
+
+    // Bimodal pickup times: morning and evening rush with a night tail.
+    int64_t minute;
+    double u = rng.NextDouble();
+    if (u < 0.35) {
+      minute = static_cast<int64_t>(SampleTruncatedNormal(8.5 * 60, 75, 0,
+                                                          1439, rng));
+    } else if (u < 0.8) {
+      minute = static_cast<int64_t>(SampleTruncatedNormal(18.0 * 60, 110, 0,
+                                                          1439, rng));
+    } else {
+      minute = rng.NextInt(0, 1439);
+    }
+
+    // Rate code: 1 standard, 2 JFK, 3 Newark, 4 Nassau, 5 negotiated, 6 group.
+    int64_t rate;
+    double rr = rng.NextDouble();
+    if (rr < 0.90) {
+      rate = 1;
+    } else if (rr < 0.96) {
+      rate = 2;
+    } else {
+      rate = 3 + static_cast<int64_t>(rng.NextBounded(4));
+    }
+
+    // Distance: lognormal-ish city trips; airport trips are long.
+    double dist;
+    if (rate == 2 || rate == 3) {
+      dist = SampleTruncatedNormal(17.0, 3.0, 8.0, 35.0, rng);
+    } else {
+      dist = std::min(30.0, 0.4 + SamplePareto(1.2, 2.3, rng));
+    }
+
+    // Fare (cents): metered structure + rate-code flat fares + noise.
+    double fare_d;
+    if (rate == 2) {
+      fare_d = 5200.0;  // JFK flat fare
+    } else {
+      double per_mile = 250.0;
+      fare_d = 250.0 + per_mile * dist +
+               40.0 * rng.NextGaussian();  // base + metered
+    }
+    // Fares rose over the years.
+    fare_d *= 1.0 + 0.25 * static_cast<double>(day) /
+                         static_cast<double>(kMaxDay);
+    int64_t fare_c = std::max<int64_t>(250, static_cast<int64_t>(fare_d));
+
+    // Night/peak surcharge.
+    int64_t sur = 0;
+    int64_t hour = minute / 60;
+    if (hour >= 20 || hour < 6) {
+      sur = 50;
+    } else if (hour >= 16 && hour < 20) {
+      sur = 100;
+    }
+
+    // Zero-inflated tips (cash tips unrecorded): ~40% zero, else ~15-25%.
+    int64_t tip_c = 0;
+    if (rng.NextDouble() > 0.4) {
+      double rate_t = 0.15 + 0.1 * rng.NextDouble();
+      tip_c = static_cast<int64_t>(rate_t * static_cast<double>(fare_c));
+    }
+
+    // Trip duration from distance and time-of-day congestion.
+    double congestion = (hour >= 7 && hour <= 19) ? 1.6 : 1.0;
+    int64_t dur_min = std::max<int64_t>(
+        1, static_cast<int64_t>(dist * 3.2 * congestion +
+                                3.0 * rng.NextGaussian() + 5.0));
+    int64_t drop_min = minute + dur_min;
+    int64_t drop_day = day + drop_min / 1440;
+    drop_min %= 1440;
+
+    pickup_date.push_back(day);
+    pickup_time.push_back(minute);
+    passengers.push_back(rng.NextDouble() < 0.72 ? 1 : rng.NextInt(2, 6));
+    rate_code.push_back(rate);
+    fare.push_back(fare_c);
+    surcharge.push_back(sur);
+    tip.push_back(tip_c);
+    dropoff_date.push_back(std::min(drop_day, kMaxDay + 1));
+    dropoff_time.push_back(drop_min);
+    distance.push_back(dist);
+    double v = rng.NextDouble();
+    vendor.AppendString(v < 0.5 ? "CMT" : (v < 0.9 ? "VTS" : "DDS"));
+  }
+  table->SetRowCountFromColumns();
+  table->FinalizeDictionaries();
+  return table;
+}
+
+}  // namespace aqpp

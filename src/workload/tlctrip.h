@@ -1,0 +1,36 @@
+// NYC TLC yellow-cab trip synthetic dataset [2].
+//
+// Row-scaled substitute for the paper's 200 GB / 1.4 B row 2009-2016 yellow
+// cab extract, used by Figure 11(b). Reproduces the marginals and
+// correlations that matter for the experiment: daily/seasonal demand cycles,
+// rush-hour pickup times, fare ~ distance structure with rate-code effects,
+// zero-inflated tips, and ten heterogeneous condition attributes.
+
+#ifndef AQPP_WORKLOAD_TLCTRIP_H_
+#define AQPP_WORKLOAD_TLCTRIP_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct TlcTripOptions {
+  size_t rows = 1'000'000;
+  uint64_t seed = 13;
+};
+
+// Column order:
+//   Pickup_Date, Pickup_Time, Passenger_Count, Rate_Code, Fare_Amt,
+//   surcharge, Tip_Amt, Dropoff_Date, Dropoff_Time (INT64; money in cents,
+//   time in minutes, dates in day ordinals 1..2922 for 2009-2016),
+//   Trip_Distance (DOUBLE, the measure), vendor_name (STRING).
+Result<std::shared_ptr<Table>> GenerateTlcTrip(const TlcTripOptions& options);
+
+Schema TlcTripSchema();
+
+}  // namespace aqpp
+
+#endif  // AQPP_WORKLOAD_TLCTRIP_H_

@@ -1,0 +1,126 @@
+#include "workload/tpcd_skew.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "stats/distributions.h"
+
+namespace aqpp {
+
+namespace {
+
+// TPC-H date horizon: 1992-01-01 .. 1998-12-31 as day ordinals 1..2557.
+constexpr int64_t kMaxDay = 2557;
+// TPC-H "current date" (1995-06-17) used by the returnflag/linestatus rules.
+constexpr int64_t kCurrentDay = 1264;
+
+}  // namespace
+
+Schema TpcdSkewSchema() {
+  return Schema({
+      {"l_orderkey", DataType::kInt64},
+      {"l_partkey", DataType::kInt64},
+      {"l_suppkey", DataType::kInt64},
+      {"l_linenumber", DataType::kInt64},
+      {"l_quantity", DataType::kInt64},
+      {"l_discount", DataType::kInt64},
+      {"l_tax", DataType::kInt64},
+      {"l_shipdate", DataType::kInt64},
+      {"l_commitdate", DataType::kInt64},
+      {"l_receiptdate", DataType::kInt64},
+      {"l_extendedprice", DataType::kDouble},
+      {"l_returnflag", DataType::kString},
+      {"l_linestatus", DataType::kString},
+  });
+}
+
+Result<std::shared_ptr<Table>> GenerateTpcdSkew(
+    const TpcdSkewOptions& options) {
+  if (options.rows == 0) return Status::InvalidArgument("rows must be > 0");
+  Rng rng(options.seed);
+
+  const size_t n = options.rows;
+  const int64_t orderkey_card =
+      std::max<int64_t>(1000, static_cast<int64_t>(n / 4));
+  const int64_t partkey_card =
+      std::max<int64_t>(500, static_cast<int64_t>(n / 5));
+  const int64_t suppkey_card =
+      std::max<int64_t>(100, static_cast<int64_t>(n / 200));
+
+  ZipfDistribution order_zipf(orderkey_card, options.skew);
+  ZipfDistribution part_zipf(partkey_card, options.skew);
+  ZipfDistribution supp_zipf(suppkey_card, options.skew);
+
+  auto table = std::make_shared<Table>(TpcdSkewSchema());
+  table->Reserve(n);
+  auto& orderkey = table->mutable_column(0).MutableInt64Data();
+  auto& partkey = table->mutable_column(1).MutableInt64Data();
+  auto& suppkey = table->mutable_column(2).MutableInt64Data();
+  auto& linenumber = table->mutable_column(3).MutableInt64Data();
+  auto& quantity = table->mutable_column(4).MutableInt64Data();
+  auto& discount = table->mutable_column(5).MutableInt64Data();
+  auto& tax = table->mutable_column(6).MutableInt64Data();
+  auto& shipdate = table->mutable_column(7).MutableInt64Data();
+  auto& commitdate = table->mutable_column(8).MutableInt64Data();
+  auto& receiptdate = table->mutable_column(9).MutableInt64Data();
+  auto& price = table->mutable_column(10).MutableDoubleData();
+  Column& returnflag = table->mutable_column(11);
+  Column& linestatus = table->mutable_column(12);
+
+  for (size_t i = 0; i < n; ++i) {
+    int64_t okey = order_zipf.Sample(rng);
+    int64_t pkey = part_zipf.Sample(rng);
+    int64_t skey = supp_zipf.Sample(rng);
+    int64_t ship = rng.NextInt(1, kMaxDay - 35);
+    int64_t commit = std::clamp<int64_t>(
+        ship + static_cast<int64_t>(std::llround(rng.NextGaussian() * 12.0)),
+        1, kMaxDay);
+    int64_t receipt = std::clamp<int64_t>(ship + rng.NextInt(1, 30), 1,
+                                          kMaxDay);
+    int64_t qty = rng.NextInt(1, 50);
+
+    // Unit price: part-keyed base with a seasonal + trend modulation on the
+    // ship date plus heteroscedastic noise that grows over time. This makes
+    // Var(l_extendedprice | date segment) non-uniform, i.e. the data is
+    // exactly the Figure 4(b) regime where equal partitioning is suboptimal.
+    double base = 900.0 + static_cast<double>(pkey % 2000) * 0.05 +
+                  static_cast<double>(qty) * 10.0;
+    double phase = 2.0 * M_PI * static_cast<double>(ship % 365) / 365.0;
+    double seasonal = 1.0 + 0.35 * std::sin(phase);
+    double trend =
+        1.0 + 0.8 * static_cast<double>(ship) / static_cast<double>(kMaxDay);
+    double noise_scale =
+        0.05 + 0.45 * static_cast<double>(ship) / static_cast<double>(kMaxDay);
+    double noise = 1.0 + noise_scale * rng.NextGaussian();
+    double extended = std::max(1.0, base * seasonal * trend * noise);
+
+    orderkey.push_back(okey);
+    partkey.push_back(pkey);
+    suppkey.push_back(skey);
+    linenumber.push_back(rng.NextInt(1, 7));
+    quantity.push_back(qty);
+    discount.push_back(rng.NextInt(0, 10));
+    tax.push_back(rng.NextInt(0, 8));
+    shipdate.push_back(ship);
+    commitdate.push_back(commit);
+    receiptdate.push_back(receipt);
+    price.push_back(extended);
+
+    // TPC-H case rules: rows received by the "current date" were returned
+    // or accepted; later rows are 'N'. Line status flips on the ship date.
+    // The combination <N, F> needs ship <= current < receipt, which only
+    // happens in a ~30-day window — the naturally tiny group of Fig. 10(b).
+    if (receipt <= kCurrentDay) {
+      returnflag.AppendString(rng.NextBernoulli(0.5) ? "R" : "A");
+    } else {
+      returnflag.AppendString("N");
+    }
+    linestatus.AppendString(ship > kCurrentDay ? "O" : "F");
+  }
+  table->SetRowCountFromColumns();
+  table->FinalizeDictionaries();
+  return table;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,42 @@
+// TPCD-Skew synthetic dataset (the paper's primary benchmark [18]).
+//
+// Generates a lineitem-shaped table with Zipf(z)-skewed key columns
+// (z = 2 in the paper), TPC-H-like date semantics, and a price measure that
+// is deliberately correlated with the ship/commit dates (heteroscedastic
+// seasonal + trend components) — the correlation the hill-climbing
+// experiments of Sections 6/7.3 rely on.
+//
+// The paper uses 100 GB / 600 M rows; we generate a row-scaled table with
+// identical schema and distributional structure (see DESIGN.md's
+// substitution table).
+
+#ifndef AQPP_WORKLOAD_TPCD_SKEW_H_
+#define AQPP_WORKLOAD_TPCD_SKEW_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct TpcdSkewOptions {
+  size_t rows = 1'000'000;
+  // Zipf exponent applied to the key columns (the benchmark's z).
+  double skew = 2.0;
+  uint64_t seed = 7;
+};
+
+// Column order:
+//   l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity, l_discount,
+//   l_tax, l_shipdate, l_commitdate, l_receiptdate (INT64),
+//   l_extendedprice (DOUBLE), l_returnflag, l_linestatus (STRING).
+Result<std::shared_ptr<Table>> GenerateTpcdSkew(const TpcdSkewOptions& options);
+
+// Schema-only accessor (column names in generation order).
+Schema TpcdSkewSchema();
+
+}  // namespace aqpp
+
+#endif  // AQPP_WORKLOAD_TPCD_SKEW_H_

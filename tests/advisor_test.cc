@@ -1,0 +1,165 @@
+// Tests for the SQL formatter round trip and the precompute advisor.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+#include "core/precompute.h"
+#include "exec/executor.h"
+#include "sampling/samplers.h"
+#include "sql/binder.h"
+#include "sql/formatter.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+// ---- SQL formatter -----------------------------------------------------------
+
+class FormatterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema({{"k", DataType::kInt64},
+                   {"price", DataType::kDouble},
+                   {"flag", DataType::kString}});
+    table_ = std::make_shared<Table>(schema);
+    table_->AddRow().Int64(1).Double(1.5).String("A");
+    table_->AddRow().Int64(5).Double(2.5).String("N");
+    table_->AddRow().Int64(9).Double(3.5).String("R");
+    table_->FinalizeDictionaries();
+    ASSERT_TRUE(catalog_.Register("t", table_).ok());
+  }
+
+  std::shared_ptr<Table> table_;
+  Catalog catalog_;
+};
+
+TEST_F(FormatterTest, RendersConditionsIdiomatically) {
+  RangeQuery q;
+  q.func = AggregateFunction::kSum;
+  q.agg_column = 1;
+  q.predicate.Add({0, 2, 8});
+  q.predicate.Add({0, 3, std::numeric_limits<int64_t>::max()});
+  q.predicate.Add({2, 1, 1});  // flag = 'N'
+  auto sql = FormatQuery(q, *table_, "t");
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_EQ(*sql,
+            "SELECT SUM(price) FROM t WHERE k BETWEEN 2 AND 8 AND k >= 3 "
+            "AND flag = 'N'");
+}
+
+TEST_F(FormatterTest, CountStarAndGroupBy) {
+  RangeQuery q;
+  q.func = AggregateFunction::kCount;
+  q.predicate.Add({0, std::numeric_limits<int64_t>::min(), 7});
+  q.group_by = {2};
+  auto sql = FormatQuery(q, *table_, "t");
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(*sql, "SELECT COUNT(*) FROM t WHERE k <= 7 GROUP BY flag");
+}
+
+TEST_F(FormatterTest, RoundTripThroughParserAndBinder) {
+  // format -> parse -> bind must reproduce identical execution semantics.
+  RangeQuery q;
+  q.func = AggregateFunction::kAvg;
+  q.agg_column = 1;
+  q.predicate.Add({0, 2, 8});
+  q.predicate.Add({2, 0, 1});  // flag in {'A', 'N'} as a code range
+  auto sql = FormatQuery(q, *table_, "t");
+  ASSERT_TRUE(sql.ok());
+  auto bound = ParseAndBind(*sql, catalog_);
+  ASSERT_TRUE(bound.ok()) << *sql << " -> " << bound.status();
+  ExactExecutor exact(table_.get());
+  EXPECT_DOUBLE_EQ(*exact.Execute(bound->query), *exact.Execute(q));
+}
+
+TEST_F(FormatterTest, Errors) {
+  RangeQuery q;
+  q.func = AggregateFunction::kSum;
+  q.agg_column = 99;
+  EXPECT_FALSE(FormatQuery(q, *table_, "t").ok());
+  q.agg_column = 1;
+  q.predicate.Add({2, 42, 42});  // code outside the dictionary
+  EXPECT_FALSE(FormatQuery(q, *table_, "t").ok());
+}
+
+// ---- Precompute advisor --------------------------------------------------------
+
+class AdvisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 40000, .dom1 = 400, .dom2 = 150,
+                            .correlated = true, .seed = 1701});
+    Rng rng(1);
+    sample_ = std::move(CreateUniformSample(*table_, 0.2, rng)).value();
+  }
+  std::shared_ptr<Table> table_;
+  Sample sample_;
+};
+
+TEST_F(AdvisorTest, CurveIsMonotoneAndShapedWithinBudget) {
+  PrecomputeAdvisor advisor(sample_.rows.get(), table_->num_rows());
+  auto curve = advisor.PredictErrorCurve(2, {0, 1}, {16, 64, 256, 1024});
+  ASSERT_TRUE(curve.ok()) << curve.status();
+  ASSERT_EQ(curve->size(), 4u);
+  for (size_t i = 1; i < curve->size(); ++i) {
+    EXPECT_LE((*curve)[i].predicted_error,
+              (*curve)[i - 1].predicted_error * 1.05);
+  }
+  for (const auto& p : *curve) {
+    size_t cells = 1;
+    for (size_t s : p.shape) cells *= s;
+    EXPECT_LE(cells, p.budget);
+  }
+}
+
+TEST_F(AdvisorTest, PredictionTracksRealizedErrorUp) {
+  // The predicted level should be within a small factor of the error_up the
+  // hill climber actually achieves at that budget.
+  PrecomputeAdvisor advisor(sample_.rows.get(), table_->num_rows());
+  auto curve = advisor.PredictErrorCurve(2, {0}, {32});
+  ASSERT_TRUE(curve.ok());
+  HillClimbOptimizer climber(sample_.rows.get(), 0, 2, table_->num_rows());
+  auto hc = climber.Optimize(32);
+  ASSERT_TRUE(hc.ok());
+  double predicted = (*curve)[0].predicted_error;
+  EXPECT_GT(predicted, hc->error_up * 0.2);
+  EXPECT_LT(predicted, hc->error_up * 5.0);
+}
+
+TEST_F(AdvisorTest, BudgetForErrorInvertsTheCurve) {
+  PrecomputeAdvisor advisor(sample_.rows.get(), table_->num_rows());
+  auto coarse = advisor.PredictErrorCurve(2, {0, 1}, {64});
+  ASSERT_TRUE(coarse.ok());
+  double target = (*coarse)[0].predicted_error * 0.5;
+  auto budget = advisor.BudgetForError(2, {0, 1}, target);
+  ASSERT_TRUE(budget.ok()) << budget.status();
+  EXPECT_GT(*budget, 64u);
+  // The returned budget must actually meet the target.
+  auto check = advisor.PredictErrorCurve(2, {0, 1}, {*budget});
+  ASSERT_TRUE(check.ok());
+  EXPECT_LE((*check)[0].predicted_error, target * 1.05);
+}
+
+TEST_F(AdvisorTest, UnreachableTargetErrors) {
+  PrecomputeAdvisor advisor(sample_.rows.get(), table_->num_rows());
+  // Absurdly small target: feasibility caps (distinct values) stop the
+  // search.
+  auto budget = advisor.BudgetForError(2, {0, 1}, 1e-12, 1 << 16);
+  EXPECT_FALSE(budget.ok());
+}
+
+TEST_F(AdvisorTest, InvalidInputs) {
+  PrecomputeAdvisor advisor(sample_.rows.get(), table_->num_rows());
+  EXPECT_FALSE(advisor.PredictErrorCurve(2, {}, {64}).ok());
+  EXPECT_FALSE(advisor.PredictErrorCurve(2, {0}, {}).ok());
+  EXPECT_FALSE(advisor.PredictErrorCurve(2, {0}, {0}).ok());
+  EXPECT_FALSE(advisor.BudgetForError(2, {0}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -1,0 +1,132 @@
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 30000, .dom1 = 300, .dom2 = 100,
+                            .seed = 801});
+    Rng rng(1);
+    sample_ = std::move(CreateUniformSample(*table_, 0.2, rng)).value();
+  }
+  std::shared_ptr<Table> table_;
+  Sample sample_;
+};
+
+TEST_F(AllocatorTest, BudgetsRespectTotal) {
+  MultiTemplateAllocator allocator(sample_.rows.get(), table_->num_rows());
+  std::vector<TemplateSpec> specs = {
+      {2, {0}},
+      {2, {1}},
+      {2, {0, 1}},
+  };
+  for (size_t total : {30u, 300u, 3000u}) {
+    auto alloc = allocator.Allocate(specs, total);
+    ASSERT_TRUE(alloc.ok()) << alloc.status();
+    ASSERT_EQ(alloc->budgets.size(), specs.size());
+    size_t sum = std::accumulate(alloc->budgets.begin(),
+                                 alloc->budgets.end(), size_t{0});
+    EXPECT_LE(sum, total);
+    EXPECT_GE(sum, total / 4);  // budget should be mostly spent
+    for (size_t b : alloc->budgets) EXPECT_GE(b, 1u);
+  }
+}
+
+TEST_F(AllocatorTest, EqualTemplatesGetEqualBudgets) {
+  MultiTemplateAllocator allocator(sample_.rows.get(), table_->num_rows());
+  std::vector<TemplateSpec> specs = {{2, {0}}, {2, {0}}};
+  auto alloc = allocator.Allocate(specs, 200);
+  ASSERT_TRUE(alloc.ok());
+  double ratio = static_cast<double>(alloc->budgets[0]) /
+                 static_cast<double>(std::max<size_t>(1, alloc->budgets[1]));
+  EXPECT_NEAR(ratio, 1.0, 0.2);
+}
+
+TEST_F(AllocatorTest, NoisierTemplateGetsMoreBudget) {
+  // Template A's measure is the heteroscedastic column (correlated fixture);
+  // template B aggregates a near-constant derived column.
+  Schema schema({{"c1", DataType::kInt64},
+                 {"c2", DataType::kInt64},
+                 {"noisy", DataType::kDouble},
+                 {"flat", DataType::kDouble}});
+  auto t = std::make_shared<Table>(schema);
+  Rng gen(2);
+  for (int i = 0; i < 30000; ++i) {
+    int64_t v1 = gen.NextInt(1, 300);
+    t->AddRow()
+        .Int64(v1)
+        .Int64(gen.NextInt(1, 300))
+        .Double(static_cast<double>(v1) * gen.NextGaussian())
+        .Double(5.0 + 0.01 * gen.NextGaussian());
+  }
+  Rng rng(3);
+  auto s = std::move(CreateUniformSample(*t, 0.2, rng)).value();
+  MultiTemplateAllocator allocator(s.rows.get(), t->num_rows());
+  std::vector<TemplateSpec> specs = {
+      {2, {0}},  // noisy measure
+      {3, {1}},  // flat measure
+  };
+  auto alloc = allocator.Allocate(specs, 400);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_GT(alloc->budgets[0], alloc->budgets[1]);
+}
+
+TEST_F(AllocatorTest, PredictedErrorsEqualized) {
+  MultiTemplateAllocator allocator(sample_.rows.get(), table_->num_rows());
+  std::vector<TemplateSpec> specs = {{2, {0}}, {2, {1}}};
+  auto alloc = allocator.Allocate(specs, 500);
+  ASSERT_TRUE(alloc.ok());
+  // The binary search equalizes predicted errors (up to clamping).
+  if (alloc->predicted_errors[0] > 0 && alloc->predicted_errors[1] > 0) {
+    double ratio = alloc->predicted_errors[0] / alloc->predicted_errors[1];
+    EXPECT_GT(ratio, 0.5);
+    EXPECT_LT(ratio, 2.0);
+  }
+}
+
+TEST_F(AllocatorTest, InvalidInputs) {
+  MultiTemplateAllocator allocator(sample_.rows.get(), table_->num_rows());
+  EXPECT_FALSE(allocator.Allocate({}, 100).ok());
+  EXPECT_FALSE(allocator.Allocate({{2, {}}}, 100).ok());
+  EXPECT_FALSE(allocator.Allocate({{2, {0}}, {2, {1}}}, 1).ok());
+}
+
+// ---- SplitSpaceBudget ------------------------------------------------------------
+
+TEST(SpaceSplitTest, ResponseBoundCapsSample) {
+  // 1 MB budget, 100-byte rows, 24-byte cells, 0.5 s response at 10k rows/s:
+  // the response bound (5000 rows) binds before the byte budget (10485 rows).
+  auto split = SplitSpaceBudget(1 << 20, 100, 24, 0.5, 10000);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->sample_rows, 5000u);
+  EXPECT_EQ(split->cube_cells, ((1u << 20) - 5000u * 100u) / 24u);
+}
+
+TEST(SpaceSplitTest, ByteBudgetCapsSample) {
+  // Tiny byte budget: the sample absorbs everything it can.
+  auto split = SplitSpaceBudget(10'000, 100, 24, 10.0, 1'000'000);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->sample_rows, 100u);
+  EXPECT_EQ(split->cube_cells, 0u);
+}
+
+TEST(SpaceSplitTest, InvalidInputs) {
+  EXPECT_FALSE(SplitSpaceBudget(1000, 0, 24, 1.0, 1000).ok());
+  EXPECT_FALSE(SplitSpaceBudget(1000, 100, 0, 1.0, 1000).ok());
+  EXPECT_FALSE(SplitSpaceBudget(1000, 100, 24, 0.0, 1000).ok());
+  EXPECT_FALSE(SplitSpaceBudget(50, 100, 24, 1.0, 1000).ok());  // < 1 row
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -1,0 +1,182 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/aggpre.h"
+#include "baseline/apa_plus.h"
+#include "baseline/aqp.h"
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 40000, .dom1 = 120, .dom2 = 40,
+                            .seed = 501});
+    executor_ = std::make_unique<ExactExecutor>(table_.get());
+  }
+
+  QueryTemplate SumTemplate() {
+    QueryTemplate t;
+    t.func = AggregateFunction::kSum;
+    t.agg_column = 2;
+    t.condition_columns = {0, 1};
+    return t;
+  }
+
+  RangeQuery SumQuery(int64_t lo1, int64_t hi1, int64_t lo2, int64_t hi2) {
+    RangeQuery q;
+    q.func = AggregateFunction::kSum;
+    q.agg_column = 2;
+    q.predicate.Add({0, lo1, hi1});
+    q.predicate.Add({1, lo2, hi2});
+    return q;
+  }
+
+  std::shared_ptr<Table> table_;
+  std::unique_ptr<ExactExecutor> executor_;
+};
+
+// ---- AQP -------------------------------------------------------------------
+
+TEST_F(BaselineTest, AqpNeverBuildsCube) {
+  EngineOptions opts;
+  opts.sample_rate = 0.05;
+  opts.enable_precompute = true;  // must be forced off by AqpEngine
+  auto aqp = std::move(AqpEngine::Create(table_, opts)).value();
+  ASSERT_TRUE(aqp->Prepare(SumTemplate()).ok());
+  EXPECT_EQ(aqp->prepare_stats().cube_cells, 0u);
+  RangeQuery q = SumQuery(10, 80, 5, 35);
+  auto r = aqp->Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->used_pre);
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(r->ci.estimate, truth, 4 * r->ci.half_width + 1e-9);
+}
+
+// ---- AggPre -----------------------------------------------------------------
+
+TEST_F(BaselineTest, AggPreCostModel) {
+  auto aggpre = std::move(AggPreEngine::Create(table_)).value();
+  ASSERT_TRUE(aggpre->Prepare(SumTemplate()).ok());
+  const auto& cost = aggpre->cost();
+  // Full P-Cube cells = |dom(c1)| * |dom(c2)| = 120 * 40.
+  EXPECT_NEAR(cost.cells, 120.0 * 40.0, 1.0);
+  EXPECT_GT(cost.bytes, 0.0);
+  EXPECT_TRUE(cost.materializable);
+  EXPECT_TRUE(aggpre->materialized());
+}
+
+TEST_F(BaselineTest, AggPreAnswersExactlyFromCube) {
+  auto aggpre = std::move(AggPreEngine::Create(table_)).value();
+  ASSERT_TRUE(aggpre->Prepare(SumTemplate()).ok());
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    int64_t lo1 = rng.NextInt(1, 60);
+    int64_t hi1 = lo1 + rng.NextInt(10, 59);
+    int64_t lo2 = rng.NextInt(1, 20);
+    int64_t hi2 = lo2 + rng.NextInt(5, 19);
+    RangeQuery q = SumQuery(lo1, hi1, lo2, hi2);
+    auto r = aggpre->Execute(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->used_pre);
+    EXPECT_DOUBLE_EQ(r->ci.half_width, 0.0);
+    double truth = *executor_->Execute(q);
+    EXPECT_NEAR(r->ci.estimate, truth, std::fabs(truth) * 1e-9 + 1e-9);
+  }
+}
+
+TEST_F(BaselineTest, AggPreCubeAnswersAvgVarCount) {
+  auto aggpre = std::move(AggPreEngine::Create(table_)).value();
+  ASSERT_TRUE(aggpre->Prepare(SumTemplate()).ok());
+  for (auto f : {AggregateFunction::kCount, AggregateFunction::kAvg,
+                 AggregateFunction::kVar}) {
+    RangeQuery q = SumQuery(10, 90, 10, 30);
+    q.func = f;
+    auto r = aggpre->Execute(q);
+    ASSERT_TRUE(r.ok());
+    double truth = *executor_->Execute(q);
+    EXPECT_NEAR(r->ci.estimate, truth, std::fabs(truth) * 1e-6 + 1e-6)
+        << AggregateFunctionToString(f);
+  }
+}
+
+TEST_F(BaselineTest, AggPreRefusesGiantCube) {
+  AggPreOptions opts;
+  opts.max_materialized_cells = 100;  // force the estimate-only path
+  auto aggpre = std::move(AggPreEngine::Create(table_, opts)).value();
+  ASSERT_TRUE(aggpre->Prepare(SumTemplate()).ok());
+  EXPECT_FALSE(aggpre->materialized());
+  EXPECT_FALSE(aggpre->cost().materializable);
+  EXPECT_GT(aggpre->cost().estimated_build_seconds, 0.0);
+  // Still answers exactly (via scan).
+  RangeQuery q = SumQuery(10, 80, 5, 35);
+  auto r = aggpre->Execute(q);
+  ASSERT_TRUE(r.ok());
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(r->ci.estimate, truth, std::fabs(truth) * 1e-9);
+}
+
+// ---- APA+ ------------------------------------------------------------------
+
+TEST_F(BaselineTest, ApaPlusMoreAccurateThanPlainAqp) {
+  ApaPlusOptions apa_opts;
+  apa_opts.sample_rate = 0.02;
+  auto apa = std::move(ApaPlusEngine::Create(table_, apa_opts)).value();
+  ASSERT_TRUE(apa->Prepare(SumTemplate()).ok());
+  EXPECT_GT(apa->FactBytes(), 0u);
+
+  EngineOptions aqp_opts;
+  aqp_opts.sample_rate = 0.02;
+  aqp_opts.seed = apa_opts.seed;
+  auto aqp = std::move(AqpEngine::Create(table_, aqp_opts)).value();
+  ASSERT_TRUE(aqp->Prepare(SumTemplate()).ok());
+
+  Rng rng(7);
+  double apa_err = 0, aqp_err = 0;
+  constexpr int kQueries = 10;
+  for (int i = 0; i < kQueries; ++i) {
+    int64_t lo1 = rng.NextInt(1, 50);
+    int64_t hi1 = lo1 + rng.NextInt(30, 69);
+    int64_t lo2 = rng.NextInt(1, 15);
+    int64_t hi2 = lo2 + rng.NextInt(10, 24);
+    RangeQuery q = SumQuery(lo1, hi1, lo2, hi2);
+    double truth = *executor_->Execute(q);
+    if (std::fabs(truth) < 1) continue;
+    auto ra = apa->Execute(q);
+    auto rq = aqp->Execute(q);
+    ASSERT_TRUE(ra.ok()) << ra.status();
+    ASSERT_TRUE(rq.ok());
+    apa_err += std::fabs(ra->ci.estimate - truth) / std::fabs(truth);
+    aqp_err += std::fabs(rq->ci.estimate - truth) / std::fabs(truth);
+  }
+  // Calibration against exact 1-D facts should not hurt on average.
+  EXPECT_LE(apa_err, aqp_err * 1.25);
+}
+
+TEST_F(BaselineTest, ApaPlusRequiresPrepare) {
+  auto apa = std::move(ApaPlusEngine::Create(table_)).value();
+  RangeQuery q = SumQuery(1, 50, 1, 20);
+  EXPECT_FALSE(apa->Execute(q).ok());
+}
+
+TEST_F(BaselineTest, ApaPlusCountQueries) {
+  ApaPlusOptions opts;
+  opts.sample_rate = 0.02;
+  auto apa = std::move(ApaPlusEngine::Create(table_, opts)).value();
+  ASSERT_TRUE(apa->Prepare(SumTemplate()).ok());
+  RangeQuery q = SumQuery(10, 70, 5, 30);
+  q.func = AggregateFunction::kCount;
+  auto r = apa->Execute(q);
+  ASSERT_TRUE(r.ok());
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(r->ci.estimate, truth, truth * 0.15);
+}
+
+}  // namespace
+}  // namespace aqpp

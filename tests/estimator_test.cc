@@ -1,0 +1,348 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/estimator.h"
+#include "exec/executor.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 50000, .dom1 = 100, .dom2 = 50,
+                            .seed = 201});
+    executor_ = std::make_unique<ExactExecutor>(table_.get());
+    Rng rng(1);
+    sample_ = std::move(CreateUniformSample(*table_, 0.05, rng)).value();
+  }
+
+  RangeQuery SumQuery(int64_t lo, int64_t hi) {
+    RangeQuery q;
+    q.func = AggregateFunction::kSum;
+    q.agg_column = 2;
+    q.predicate.Add({0, lo, hi});
+    return q;
+  }
+
+  std::shared_ptr<Table> table_;
+  std::unique_ptr<ExactExecutor> executor_;
+  Sample sample_;
+};
+
+// ---- Direct (AQP) path -----------------------------------------------------
+
+TEST_F(EstimatorTest, DirectSumMatchesExample1Formula) {
+  // Verify SumCI reduces to Example 1 for a uniform sample:
+  // est = N * mean(A'), eps = lambda * N * sqrt(Var(A') / n).
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(10, 40);
+  Rng rng(2);
+  auto ci = est.EstimateDirect(q, rng);
+  ASSERT_TRUE(ci.ok());
+
+  const size_t n = sample_.size();
+  const double N = static_cast<double>(sample_.population_size);
+  std::vector<double> a_prime(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t c = sample_.rows->column(0).GetInt64(i);
+    a_prime[i] = (c >= 10 && c <= 40) ? sample_.rows->column(2).GetDouble(i)
+                                      : 0.0;
+  }
+  double mean = 0;
+  for (double v : a_prime) mean += v / static_cast<double>(n);
+  double var = 0;
+  for (double v : a_prime) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(n - 1);
+  double expected_est = N * mean;
+  double expected_eps = 1.959964 * N * std::sqrt(var / static_cast<double>(n));
+  EXPECT_NEAR(ci->estimate, expected_est, std::fabs(expected_est) * 1e-9);
+  EXPECT_NEAR(ci->half_width, expected_eps, expected_eps * 1e-4);
+}
+
+TEST_F(EstimatorTest, DirectEstimateNearTruth) {
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(20, 60);
+  Rng rng(3);
+  auto ci = est.EstimateDirect(q, rng);
+  ASSERT_TRUE(ci.ok());
+  double truth = *executor_->Execute(q);
+  // Within ~4 half-widths with overwhelming probability.
+  EXPECT_NEAR(ci->estimate, truth, 4 * ci->half_width + 1e-9);
+}
+
+TEST_F(EstimatorTest, DirectCount) {
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(1, 25);
+  q.func = AggregateFunction::kCount;
+  Rng rng(4);
+  auto ci = est.EstimateDirect(q, rng);
+  ASSERT_TRUE(ci.ok());
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(ci->estimate, truth, 4 * ci->half_width + 1e-9);
+}
+
+TEST_F(EstimatorTest, DirectAvg) {
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(30, 70);
+  q.func = AggregateFunction::kAvg;
+  Rng rng(5);
+  auto ci = est.EstimateDirect(q, rng);
+  ASSERT_TRUE(ci.ok());
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(ci->estimate, truth, 5 * ci->half_width + 1e-9);
+  EXPECT_GT(ci->half_width, 0.0);
+}
+
+TEST_F(EstimatorTest, DirectVar) {
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(1, 100);
+  q.func = AggregateFunction::kVar;
+  Rng rng(6);
+  auto ci = est.EstimateDirect(q, rng);
+  ASSERT_TRUE(ci.ok());
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(ci->estimate, truth, truth * 0.2);
+}
+
+TEST_F(EstimatorTest, MinMaxUnsupported) {
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(1, 100);
+  q.func = AggregateFunction::kMin;
+  Rng rng(7);
+  EXPECT_EQ(est.EstimateDirect(q, rng).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+// ---- Difference (AQP++) path ------------------------------------------------
+
+TEST_F(EstimatorTest, IdenticalPreGivesExactAnswer) {
+  // Subsumption: pre == q makes AQP++ return pre(D) exactly with a zero
+  // interval (Section 4.2's "AQP++ subsumes AggPre").
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(10, 40);
+  double truth = *executor_->Execute(q);
+  PreValues pre{truth, 0, 0};
+  Rng rng(8);
+  auto ci = est.EstimateWithPre(q, q.predicate, pre, rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_NEAR(ci->estimate, truth, 1e-6);
+  EXPECT_NEAR(ci->half_width, 0.0, 1e-6);
+}
+
+TEST_F(EstimatorTest, PhiPreEqualsDirect) {
+  // Subsumption: pre == phi makes AQP++ identical to AQP.
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(10, 40);
+  RangePredicate phi;
+  phi.Add({0, 1, 0});  // always false
+  Rng rng(9);
+  auto with_phi = est.EstimateWithPre(q, phi, PreValues{}, rng);
+  auto direct = est.EstimateDirect(q, rng);
+  ASSERT_TRUE(with_phi.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_NEAR(with_phi->estimate, direct->estimate, 1e-9);
+  EXPECT_NEAR(with_phi->half_width, direct->half_width, 1e-9);
+}
+
+TEST_F(EstimatorTest, CorrelatedPreShrinksInterval) {
+  // The Section 4.2 analysis: an overlapping pre (high Cov(q̂, p̂re)) must
+  // beat phi; a disjoint pre must not help.
+  SampleEstimator est(&sample_);
+  RangeQuery q = SumQuery(10, 40);
+  Rng rng(10);
+  auto direct = est.EstimateDirect(q, rng);
+  ASSERT_TRUE(direct.ok());
+
+  // Overlapping pre: [11, 40] (the paper's introduction example shape).
+  RangeQuery pre_query = SumQuery(11, 40);
+  double pre_truth = *executor_->Execute(pre_query);
+  auto with_close_pre =
+      est.EstimateWithPre(q, pre_query.predicate, PreValues{pre_truth, 0, 0},
+                          rng);
+  ASSERT_TRUE(with_close_pre.ok());
+  EXPECT_LT(with_close_pre->half_width, direct->half_width * 0.5);
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(with_close_pre->estimate, truth,
+              4 * with_close_pre->half_width + 1e-9);
+
+  // Disjoint pre: [60, 90] shares nothing with q; variance adds instead.
+  RangeQuery far = SumQuery(60, 90);
+  double far_truth = *executor_->Execute(far);
+  auto with_far_pre =
+      est.EstimateWithPre(q, far.predicate, PreValues{far_truth, 0, 0}, rng);
+  ASSERT_TRUE(with_far_pre.ok());
+  EXPECT_GT(with_far_pre->half_width, direct->half_width);
+}
+
+TEST_F(EstimatorTest, DifferenceEstimatorUnbiased) {
+  // Lemma 2: E[pre(D) + q̂ - p̂re] = q(D), checked across many sample draws.
+  RangeQuery q = SumQuery(15, 55);
+  RangeQuery pre_q = SumQuery(21, 60);
+  double truth = *executor_->Execute(q);
+  double pre_truth = *executor_->Execute(pre_q);
+  Rng rng(11);
+  double mean_est = 0;
+  constexpr int kDraws = 50;
+  for (int d = 0; d < kDraws; ++d) {
+    auto s = CreateUniformSample(*table_, 0.02, rng);
+    ASSERT_TRUE(s.ok());
+    SampleEstimator est(&*s);
+    auto ci = est.EstimateWithPre(q, pre_q.predicate,
+                                  PreValues{pre_truth, 0, 0}, rng);
+    ASSERT_TRUE(ci.ok());
+    mean_est += ci->estimate / kDraws;
+  }
+  EXPECT_NEAR(mean_est, truth, std::fabs(truth) * 0.01);
+}
+
+TEST_F(EstimatorTest, CoverageTracksConfidenceLevel) {
+  // Property: 95% CIs contain the truth ~95% of the time.
+  RangeQuery q = SumQuery(25, 65);
+  double truth = *executor_->Execute(q);
+  Rng rng(12);
+  int covered = 0;
+  constexpr int kDraws = 120;
+  for (int d = 0; d < kDraws; ++d) {
+    auto s = CreateUniformSample(*table_, 0.02, rng);
+    ASSERT_TRUE(s.ok());
+    SampleEstimator est(&*s);
+    auto ci = est.EstimateDirect(q, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->Contains(truth)) ++covered;
+  }
+  // Binomial(120, 0.95): expect >= 104 with overwhelming probability.
+  EXPECT_GE(covered, 104);
+}
+
+TEST_F(EstimatorTest, CountDifferencePath) {
+  RangeQuery q = SumQuery(10, 50);
+  q.func = AggregateFunction::kCount;
+  RangeQuery pre_q = SumQuery(15, 50);
+  pre_q.func = AggregateFunction::kCount;
+  double pre_count = *executor_->Execute(pre_q);
+  SampleEstimator est(&sample_);
+  Rng rng(13);
+  auto ci = est.EstimateWithPre(q, pre_q.predicate,
+                                PreValues{0, pre_count, 0}, rng);
+  ASSERT_TRUE(ci.ok());
+  double truth = *executor_->Execute(q);
+  EXPECT_NEAR(ci->estimate, truth, 4 * ci->half_width + 1e-9);
+  // And the pre helps vs direct.
+  auto direct = est.EstimateDirect(q, rng);
+  EXPECT_LT(ci->half_width, direct->half_width);
+}
+
+TEST_F(EstimatorTest, AvgAndVarDifferencePaths) {
+  RangeQuery q = SumQuery(10, 50);
+  RangeQuery pre_q = SumQuery(12, 48);
+  double pre_sum = *executor_->Execute(pre_q);
+  RangeQuery pre_cnt = pre_q;
+  pre_cnt.func = AggregateFunction::kCount;
+  double pre_count = *executor_->Execute(pre_cnt);
+  double pre_ss = 0;
+  for (size_t i = 0; i < table_->num_rows(); ++i) {
+    int64_t c = table_->column(0).GetInt64(i);
+    if (c >= 12 && c <= 48) {
+      double a = table_->column(2).GetDouble(i);
+      pre_ss += a * a;
+    }
+  }
+  PreValues pre{pre_sum, pre_count, pre_ss};
+  SampleEstimator est(&sample_);
+  Rng rng(14);
+
+  RangeQuery avg_q = q;
+  avg_q.func = AggregateFunction::kAvg;
+  auto avg_ci = est.EstimateWithPre(avg_q, pre_q.predicate, pre, rng);
+  ASSERT_TRUE(avg_ci.ok());
+  double avg_truth = *executor_->Execute(avg_q);
+  EXPECT_NEAR(avg_ci->estimate, avg_truth, std::fabs(avg_truth) * 0.02);
+
+  RangeQuery var_q = q;
+  var_q.func = AggregateFunction::kVar;
+  auto var_ci = est.EstimateWithPre(var_q, pre_q.predicate, pre, rng);
+  ASSERT_TRUE(var_ci.ok());
+  double var_truth = *executor_->Execute(var_q);
+  EXPECT_NEAR(var_ci->estimate, var_truth, var_truth * 0.25);
+}
+
+// ---- Stratified estimation ----------------------------------------------------
+
+TEST(StratifiedEstimatorTest, PerStratumEstimation) {
+  // Build a table with wildly different group sizes; stratified estimation
+  // must stay accurate for the small group.
+  Schema schema({{"g", DataType::kInt64},
+                 {"c", DataType::kInt64},
+                 {"a", DataType::kDouble}});
+  auto t = std::make_shared<Table>(schema);
+  Rng gen(15);
+  for (int i = 0; i < 40; ++i) {
+    t->AddRow().Int64(0).Int64(gen.NextInt(1, 100)).Double(500.0 +
+                                                           gen.NextGaussian());
+  }
+  for (int i = 0; i < 20000; ++i) {
+    t->AddRow().Int64(1).Int64(gen.NextInt(1, 100)).Double(10.0 +
+                                                           gen.NextGaussian());
+  }
+  Rng rng(16);
+  auto s = CreateStratifiedSample(*t, {0}, 0.02, rng);
+  ASSERT_TRUE(s.ok());
+  SampleEstimator est(&*s);
+
+  // SUM over the tiny group only.
+  RangeQuery q;
+  q.func = AggregateFunction::kSum;
+  q.agg_column = 2;
+  q.predicate.Add({0, 0, 0});
+  Rng rng2(17);
+  auto ci = est.EstimateDirect(q, rng2);
+  ASSERT_TRUE(ci.ok());
+  ExactExecutor ex(t.get());
+  double truth = *ex.Execute(q);
+  // The tiny stratum is fully sampled, so the estimate is near-exact.
+  EXPECT_NEAR(ci->estimate, truth, std::fabs(truth) * 0.01);
+}
+
+// ---- Measure-biased estimation --------------------------------------------------
+
+TEST(MeasureBiasedEstimatorTest, OutlierQueriesAccurate) {
+  Schema schema({{"c", DataType::kInt64}, {"a", DataType::kDouble}});
+  auto t = std::make_shared<Table>(schema);
+  Rng gen(18);
+  for (int i = 0; i < 50000; ++i) {
+    // 0.5% outliers worth 500x the base value.
+    double v = gen.NextBernoulli(0.005) ? 5000.0 : 10.0 * gen.NextDouble();
+    t->AddRow().Int64(gen.NextInt(1, 1000)).Double(v);
+  }
+  ExactExecutor ex(t.get());
+  RangeQuery q;
+  q.func = AggregateFunction::kSum;
+  q.agg_column = 1;
+  q.predicate.Add({0, 100, 400});
+  double truth = *ex.Execute(q);
+
+  Rng rng(19);
+  auto uniform = CreateUniformSample(*t, 0.01, rng);
+  auto biased = CreateMeasureBiasedSample(*t, 1, 0.01, rng);
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(biased.ok());
+  SampleEstimator est_u(&*uniform), est_b(&*biased);
+  Rng rng2(20);
+  auto ci_u = est_u.EstimateDirect(q, rng2);
+  auto ci_b = est_b.EstimateDirect(q, rng2);
+  ASSERT_TRUE(ci_u.ok());
+  ASSERT_TRUE(ci_b.ok());
+  // Measure-biased sampling should produce a much tighter interval on this
+  // outlier-dominated workload (the Section 7.4 motivation).
+  EXPECT_LT(ci_b->half_width, ci_u->half_width * 0.8);
+  EXPECT_NEAR(ci_b->estimate, truth, 5 * ci_b->half_width + 1e-9);
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -1,0 +1,193 @@
+// Tests for the MIN/MAX extension (Section 8 future work): block extrema
+// grids and their deterministic bounds, plus the engine's MIN/MAX path.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "cube/extrema_grid.h"
+#include "exec/executor.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class ExtremaGridTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 30000, .dom1 = 100, .dom2 = 50,
+                            .seed = 1101});
+    scheme_ = PartitionScheme({DimensionPartition{0, {20, 40, 60, 80, 100}},
+                               DimensionPartition{1, {10, 20, 30, 40, 50}}});
+    grid_ = std::move(ExtremaGrid::Build(*table_, scheme_, 2)).value();
+    executor_ = std::make_unique<ExactExecutor>(table_.get());
+  }
+
+  RangePredicate Pred(int64_t lo1, int64_t hi1, int64_t lo2, int64_t hi2) {
+    RangePredicate p;
+    p.Add({0, lo1, hi1});
+    p.Add({1, lo2, hi2});
+    return p;
+  }
+
+  double Exact(AggregateFunction f, const RangePredicate& p) {
+    RangeQuery q;
+    q.func = f;
+    q.agg_column = 2;
+    q.predicate = p;
+    return *executor_->Execute(q);
+  }
+
+  std::shared_ptr<Table> table_;
+  PartitionScheme scheme_;
+  std::shared_ptr<ExtremaGrid> grid_;
+  std::unique_ptr<ExactExecutor> executor_;
+};
+
+TEST_F(ExtremaGridTest, AlignedQueryIsExact) {
+  // Query exactly covering blocks (block boundaries at 20/40/... and
+  // 10/20/...): bounds must collapse to the true extremum.
+  RangePredicate p = Pred(21, 80, 11, 40);
+  auto max_b = grid_->MaxBounds(p);
+  ASSERT_TRUE(max_b.ok()) << max_b.status();
+  EXPECT_TRUE(max_b->exact);
+  EXPECT_DOUBLE_EQ(max_b->lower, max_b->upper);
+  EXPECT_DOUBLE_EQ(max_b->upper, Exact(AggregateFunction::kMax, p));
+
+  auto min_b = grid_->MinBounds(p);
+  ASSERT_TRUE(min_b.ok());
+  EXPECT_TRUE(min_b->exact);
+  EXPECT_DOUBLE_EQ(min_b->lower, Exact(AggregateFunction::kMin, p));
+}
+
+TEST_F(ExtremaGridTest, MisalignedQueryBracketsTruth) {
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    int64_t lo1 = rng.NextInt(1, 50);
+    int64_t hi1 = lo1 + rng.NextInt(25, 49);
+    int64_t lo2 = rng.NextInt(1, 25);
+    int64_t hi2 = lo2 + rng.NextInt(12, 24);
+    RangePredicate p = Pred(lo1, std::min<int64_t>(hi1, 100), lo2,
+                            std::min<int64_t>(hi2, 50));
+    double true_max = Exact(AggregateFunction::kMax, p);
+    double true_min = Exact(AggregateFunction::kMin, p);
+    auto max_b = grid_->MaxBounds(p);
+    auto min_b = grid_->MinBounds(p);
+    ASSERT_TRUE(max_b.ok());
+    ASSERT_TRUE(min_b.ok());
+    EXPECT_LE(true_max, max_b->upper + 1e-9);
+    if (max_b->has_lower) EXPECT_GE(true_max, max_b->lower - 1e-9);
+    EXPECT_GE(true_min, min_b->lower - 1e-9);
+    if (min_b->has_lower) EXPECT_LE(true_min, min_b->upper + 1e-9);
+  }
+}
+
+TEST_F(ExtremaGridTest, UnboundedConditionsHandled) {
+  RangePredicate p;
+  p.Add({0, 30, std::numeric_limits<int64_t>::max()});
+  auto max_b = grid_->MaxBounds(p);
+  ASSERT_TRUE(max_b.ok());
+  double true_max = Exact(AggregateFunction::kMax, p);
+  EXPECT_LE(true_max, max_b->upper + 1e-9);
+  if (max_b->has_lower) EXPECT_GE(true_max, max_b->lower - 1e-9);
+
+  // No conditions at all: the whole domain, necessarily exact.
+  RangePredicate all;
+  auto all_b = grid_->MaxBounds(all);
+  ASSERT_TRUE(all_b.ok());
+  EXPECT_TRUE(all_b->exact);
+  RangeQuery q;
+  q.func = AggregateFunction::kMax;
+  q.agg_column = 2;
+  EXPECT_DOUBLE_EQ(all_b->upper, *executor_->Execute(q));
+}
+
+TEST_F(ExtremaGridTest, TinyQueryHasNoInnerBound) {
+  // A query inside one block: only a one-sided (outer) bound exists.
+  RangePredicate p = Pred(21, 25, 11, 13);
+  auto max_b = grid_->MaxBounds(p);
+  ASSERT_TRUE(max_b.ok());
+  EXPECT_FALSE(max_b->has_lower);
+  EXPECT_FALSE(max_b->exact);
+  EXPECT_LE(Exact(AggregateFunction::kMax, p), max_b->upper + 1e-9);
+}
+
+TEST_F(ExtremaGridTest, RejectsUncoveredColumns) {
+  RangePredicate p;
+  p.Add({2, 0, 10});  // the measure column is not a grid dimension
+  EXPECT_FALSE(grid_->MaxBounds(p).ok());
+}
+
+TEST_F(ExtremaGridTest, EmptyPredicateErrors) {
+  RangePredicate p;
+  p.Add({0, 10, 5});  // lo > hi
+  EXPECT_FALSE(grid_->MaxBounds(p).ok());
+}
+
+TEST_F(ExtremaGridTest, CostAccounting) {
+  EXPECT_EQ(grid_->NumCells(), 25u);
+  EXPECT_EQ(grid_->MemoryUsage(), 2u * 25u * sizeof(double));
+}
+
+// ---- Engine MIN/MAX path ---------------------------------------------------
+
+TEST(EngineExtremaTest, MinMaxThroughEngine) {
+  auto table = MakeSynthetic({.rows = 30000, .dom1 = 100, .dom2 = 50,
+                              .seed = 1102});
+  ExactExecutor exact(table.get());
+  EngineOptions opts;
+  opts.sample_rate = 0.05;
+  opts.cube_budget = 256;
+  opts.enable_extrema = true;
+  auto engine = std::move(AqppEngine::Create(table, opts)).value();
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 2;
+  tmpl.condition_columns = {0, 1};
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+  ASSERT_NE(engine->extrema_grid(), nullptr);
+
+  RangeQuery q;
+  q.func = AggregateFunction::kMax;
+  q.agg_column = 2;
+  q.predicate.Add({0, 15, 85});
+  q.predicate.Add({1, 8, 42});
+  auto r = engine->Execute(q);
+  ASSERT_TRUE(r.ok()) << r.status();
+  double truth = *exact.Execute(q);
+  // Deterministic interval: truth must be inside, level 1.0.
+  EXPECT_DOUBLE_EQ(r->ci.level, 1.0);
+  EXPECT_GE(truth, r->ci.lower() - 1e-9);
+  EXPECT_LE(truth, r->ci.upper() + 1e-9);
+
+  q.func = AggregateFunction::kMin;
+  r = engine->Execute(q);
+  ASSERT_TRUE(r.ok());
+  truth = *exact.Execute(q);
+  EXPECT_GE(truth, r->ci.lower() - 1e-9);
+  EXPECT_LE(truth, r->ci.upper() + 1e-9);
+}
+
+TEST(EngineExtremaTest, MinMaxWithoutGridUnimplemented) {
+  auto table = MakeSynthetic({.rows = 5000, .seed = 1103});
+  EngineOptions opts;
+  opts.sample_rate = 0.05;
+  auto engine = std::move(AqppEngine::Create(table, opts)).value();
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 2;
+  tmpl.condition_columns = {0};
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+  RangeQuery q;
+  q.func = AggregateFunction::kMax;
+  q.agg_column = 2;
+  q.predicate.Add({0, 10, 90});
+  EXPECT_EQ(engine->Execute(q).status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace aqpp

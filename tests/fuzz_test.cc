@@ -1,0 +1,199 @@
+// Randomized robustness suites: no input — however malformed — may crash,
+// hang, or return an invalid structure. Every component that consumes
+// external input (SQL text, CSV bytes, arbitrary queries) is hammered with
+// structured noise.
+
+#include <cmath>
+#include <fstream>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "storage/io.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+// ---- SQL text fuzz -------------------------------------------------------------
+
+std::string RandomAsciiString(Rng& rng, size_t max_len) {
+  size_t len = static_cast<size_t>(rng.NextBounded(max_len + 1));
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s += static_cast<char>(32 + rng.NextBounded(95));  // printable ASCII
+  }
+  return s;
+}
+
+TEST(SqlFuzzTest, RandomTextNeverCrashesLexer) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = RandomAsciiString(rng, 120);
+    auto tokens = Tokenize(input);  // must return ok or a clean error
+    if (tokens.ok()) {
+      EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+    }
+  }
+}
+
+TEST(SqlFuzzTest, RandomTokenSoupNeverCrashesParser) {
+  // Sequences assembled from valid SQL fragments in random order.
+  const char* fragments[] = {"SELECT", "SUM",   "(",     ")",    "FROM",
+                             "WHERE",  "AND",   "GROUP", "BY",   "BETWEEN",
+                             "t",      "a",     "b",     "*",    ",",
+                             "42",     "3.14",  "'s'",   "<=",   ">=",
+                             "<",      ">",     "=",     "<>",   "-7"};
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    std::string sql;
+    size_t parts = 1 + rng.NextBounded(14);
+    for (size_t p = 0; p < parts; ++p) {
+      sql += fragments[rng.NextBounded(std::size(fragments))];
+      sql += ' ';
+    }
+    (void)ParseSelect(sql);  // ok or error; never crash
+  }
+}
+
+TEST(SqlFuzzTest, BinderSurvivesArbitraryParsedQueries) {
+  auto table = MakeSynthetic({.rows = 200, .seed = 3});
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("t", table).ok());
+  const char* columns[] = {"c1", "c2", "a", "nope"};
+  const char* aggs[] = {"SUM", "COUNT", "AVG", "VAR", "MIN", "MAX", "FROB"};
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    SelectStatement stmt;
+    stmt.aggregate = aggs[rng.NextBounded(std::size(aggs))];
+    if (rng.NextBernoulli(0.8)) {
+      stmt.column = columns[rng.NextBounded(std::size(columns))];
+    }
+    stmt.table = rng.NextBernoulli(0.9) ? "t" : "ghost";
+    size_t conds = rng.NextBounded(4);
+    for (size_t c = 0; c < conds; ++c) {
+      SqlCondition cond;
+      cond.column = columns[rng.NextBounded(std::size(columns))];
+      cond.op = static_cast<SqlCompareOp>(rng.NextBounded(5));
+      switch (rng.NextBounded(3)) {
+        case 0:
+          cond.value.kind = SqlLiteral::Kind::kInt;
+          cond.value.int_value = rng.NextInt(-1000, 1000);
+          break;
+        case 1:
+          cond.value.kind = SqlLiteral::Kind::kFloat;
+          cond.value.float_value = rng.NextDouble() * 100;
+          break;
+        default:
+          cond.value.kind = SqlLiteral::Kind::kString;
+          cond.value.string_value = RandomAsciiString(rng, 6);
+      }
+      stmt.conditions.push_back(std::move(cond));
+    }
+    if (rng.NextBernoulli(0.3)) {
+      stmt.group_by.push_back(columns[rng.NextBounded(std::size(columns))]);
+    }
+    (void)Bind(stmt, catalog);  // ok or error; never crash
+  }
+}
+
+// ---- CSV byte fuzz --------------------------------------------------------------
+
+TEST(CsvFuzzTest, RandomBytesNeverCrashReader) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "aqpp_fuzz";
+  fs::create_directories(dir);
+  Schema schema({{"x", DataType::kInt64}, {"y", DataType::kDouble}});
+  Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    fs::path p = dir / ("f" + std::to_string(i) + ".csv");
+    {
+      std::ofstream out(p);
+      out << "x,y\n";
+      size_t lines = rng.NextBounded(8);
+      for (size_t l = 0; l < lines; ++l) {
+        out << RandomAsciiString(rng, 40) << "\n";
+      }
+    }
+    (void)ReadCsv(p.string(), schema);  // ok or error; never crash
+  }
+  fs::remove_all(dir);
+}
+
+// ---- Engine query fuzz -----------------------------------------------------------
+
+TEST(EngineFuzzTest, ArbitraryQueriesProduceFiniteResultsOrCleanErrors) {
+  auto table = MakeSynthetic({.rows = 20000, .dom1 = 100, .dom2 = 50,
+                              .seed = 6});
+  EngineOptions opts;
+  opts.sample_rate = 0.05;
+  opts.cube_budget = 64;
+  auto engine = std::move(AqppEngine::Create(table, opts)).value();
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 2;
+  tmpl.condition_columns = {0, 1};
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+
+  Rng rng(7);
+  int executed = 0;
+  for (int i = 0; i < 300; ++i) {
+    RangeQuery q;
+    q.func = static_cast<AggregateFunction>(rng.NextBounded(6));
+    q.agg_column = rng.NextBounded(4);  // may be out of range
+    size_t conds = rng.NextBounded(4);
+    for (size_t c = 0; c < conds; ++c) {
+      RangeCondition rc;
+      rc.column = rng.NextBounded(4);  // may be the DOUBLE column / invalid
+      rc.lo = rng.NextInt(-50, 150);
+      rc.hi = rng.NextInt(-50, 150);  // may be empty (lo > hi)
+      q.predicate.Add(rc);
+    }
+    auto r = engine->Execute(q);
+    if (r.ok()) {
+      ++executed;
+      EXPECT_TRUE(std::isfinite(r->ci.estimate));
+      EXPECT_TRUE(std::isfinite(r->ci.half_width));
+      EXPECT_GE(r->ci.half_width, 0.0);
+    } else {
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+  EXPECT_GT(executed, 50);  // plenty of the random queries are valid
+}
+
+TEST(EngineFuzzTest, ExplainSurvivesTheSameFuzz) {
+  auto table = MakeSynthetic({.rows = 5000, .seed = 8});
+  EngineOptions opts;
+  opts.sample_rate = 0.1;
+  opts.cube_budget = 32;
+  auto engine = std::move(AqppEngine::Create(table, opts)).value();
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 2;
+  tmpl.condition_columns = {0};
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    RangeQuery q;
+    q.func = AggregateFunction::kSum;
+    q.agg_column = 2;
+    RangeCondition rc;
+    rc.column = rng.NextBounded(3);
+    rc.lo = rng.NextInt(-50, 150);
+    rc.hi = rng.NextInt(-50, 150);
+    q.predicate.Add(rc);
+    (void)engine->Explain(q);  // ok or error; never crash
+  }
+}
+
+}  // namespace
+}  // namespace aqpp

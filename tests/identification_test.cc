@@ -1,0 +1,282 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/identification.h"
+#include "exec/executor.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class IdentificationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 40000, .dom1 = 100, .dom2 = 50,
+                            .seed = 301});
+    Rng rng(1);
+    sample_ = std::move(CreateUniformSample(*table_, 0.05, rng)).value();
+  }
+
+  std::shared_ptr<PrefixCube> Build1DCube(std::vector<int64_t> cuts) {
+    PartitionScheme scheme({DimensionPartition{0, std::move(cuts)}});
+    return std::move(PrefixCube::Build(
+                         *table_, scheme,
+                         {MeasureSpec::Sum(2), MeasureSpec::Count(),
+                          MeasureSpec::SumSquares(2)}))
+        .value();
+  }
+
+  std::shared_ptr<PrefixCube> Build2DCube() {
+    PartitionScheme scheme({DimensionPartition{0, {20, 40, 60, 80, 100}},
+                            DimensionPartition{1, {10, 20, 30, 40, 50}}});
+    return std::move(PrefixCube::Build(
+                         *table_, scheme,
+                         {MeasureSpec::Sum(2), MeasureSpec::Count(),
+                          MeasureSpec::SumSquares(2)}))
+        .value();
+  }
+
+  RangeQuery SumQuery(int64_t lo, int64_t hi) {
+    RangeQuery q;
+    q.func = AggregateFunction::kSum;
+    q.agg_column = 2;
+    q.predicate.Add({0, lo, hi});
+    return q;
+  }
+
+  std::shared_ptr<Table> table_;
+  Sample sample_;
+};
+
+// ---- Candidate enumeration (Equation 6/7) -----------------------------------
+
+TEST_F(IdentificationTest, OneDimensionalCandidateSet) {
+  auto cube = Build1DCube({20, 40, 60, 80, 100});
+  Rng rng(2);
+  AggregateIdentifier ident(cube.get(), &sample_, {}, rng);
+
+  // q = SUM(25 : 70): x-1=24 brackets to cuts {20, 40} -> indices {1, 2};
+  // y=70 brackets to {60, 80} -> indices {3, 4}. 4 boxes + phi.
+  auto cands = ident.EnumerateCandidates(SumQuery(25, 70));
+  EXPECT_EQ(cands.size(), 5u);
+  std::set<std::pair<size_t, size_t>> boxes;
+  for (const auto& c : cands) {
+    if (!c.IsEmpty()) boxes.insert({c.lo[0], c.hi[0]});
+  }
+  EXPECT_TRUE(boxes.count({1, 3}));
+  EXPECT_TRUE(boxes.count({1, 4}));
+  EXPECT_TRUE(boxes.count({2, 3}));
+  EXPECT_TRUE(boxes.count({2, 4}));
+}
+
+TEST_F(IdentificationTest, AlignedEndpointsCollapseCandidates) {
+  auto cube = Build1DCube({20, 40, 60, 80, 100});
+  Rng rng(3);
+  AggregateIdentifier ident(cube.get(), &sample_, {}, rng);
+  // q = SUM(21 : 60) is exactly the box (cut 20, cut 60]: both endpoints
+  // aligned, so only 1 box + phi.
+  auto cands = ident.EnumerateCandidates(SumQuery(21, 60));
+  EXPECT_EQ(cands.size(), 2u);
+}
+
+TEST_F(IdentificationTest, TwoDimensionalCandidateBound) {
+  auto cube = Build2DCube();
+  Rng rng(4);
+  AggregateIdentifier ident(cube.get(), &sample_, {}, rng);
+  RangeQuery q = SumQuery(25, 70);
+  q.predicate.Add({1, 12, 33});
+  // |P-| <= 4^2 + 1 = 17 (Section 5.2).
+  auto cands = ident.EnumerateCandidates(q);
+  EXPECT_LE(cands.size(), 17u);
+  EXPECT_GE(cands.size(), 10u);  // generic misaligned query: near the bound
+}
+
+TEST_F(IdentificationTest, MissingDimensionUsesFullRange) {
+  auto cube = Build2DCube();
+  Rng rng(5);
+  AggregateIdentifier ident(cube.get(), &sample_, {}, rng);
+  // No condition on c2: candidates must span the full second dimension.
+  auto cands = ident.EnumerateCandidates(SumQuery(25, 70));
+  for (const auto& c : cands) {
+    if (c.IsEmpty()) continue;
+    EXPECT_EQ(c.lo[1], 0u);
+    EXPECT_EQ(c.hi[1], 5u);
+  }
+}
+
+TEST_F(IdentificationTest, QueryBeyondDomainClamps) {
+  auto cube = Build1DCube({20, 40, 60, 80, 100});
+  Rng rng(6);
+  AggregateIdentifier ident(cube.get(), &sample_, {}, rng);
+  auto cands = ident.EnumerateCandidates(SumQuery(90, 5000));
+  for (const auto& c : cands) {
+    if (c.IsEmpty()) continue;
+    EXPECT_LE(c.hi[0], 5u);
+  }
+  EXPECT_GE(cands.size(), 2u);
+}
+
+// ---- Identification quality ---------------------------------------------------
+
+TEST_F(IdentificationTest, IdentifiedPreBeatsPhiOnMisalignedQuery) {
+  auto cube = Build1DCube({20, 40, 60, 80, 100});
+  Rng rng(7);
+  IdentificationOptions opts;
+  opts.score_on_full_sample = true;  // deterministic comparison
+  AggregateIdentifier ident(cube.get(), &sample_, opts, rng);
+  RangeQuery q = SumQuery(22, 78);  // near-aligned: huge overlap with (20,80]
+  auto best = ident.Identify(q, rng);
+  ASSERT_TRUE(best.ok());
+  EXPECT_FALSE(best->pre.IsEmpty());
+  EXPECT_EQ(best->pre.lo[0], 1u);  // (20, 80]
+  EXPECT_EQ(best->pre.hi[0], 4u);
+}
+
+TEST_F(IdentificationTest, TinyQueryPrefersPhi) {
+  auto cube = Build1DCube({50, 100});
+  Rng rng(8);
+  IdentificationOptions opts;
+  opts.score_on_full_sample = true;
+  AggregateIdentifier ident(cube.get(), &sample_, opts, rng);
+  // A query far narrower than any cube box: estimating the difference
+  // against the giant (0, 50] box is worse than direct estimation.
+  RangeQuery q = SumQuery(24, 26);
+  auto best = ident.Identify(q, rng);
+  ASSERT_TRUE(best.ok());
+  EXPECT_TRUE(best->pre.IsEmpty());
+}
+
+TEST_F(IdentificationTest, SubsampleIdentificationAgreesWithFullSample) {
+  // The subsample scorer should pick a candidate whose *full-sample* error
+  // is close to the best candidate's (Section 5.2's effectiveness claim).
+  auto cube = Build1DCube({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  Rng rng(9);
+  IdentificationOptions sub_opts;  // default: subsampled scoring
+  AggregateIdentifier sub_ident(cube.get(), &sample_, sub_opts, rng);
+  IdentificationOptions full_opts;
+  full_opts.score_on_full_sample = true;
+  AggregateIdentifier full_ident(cube.get(), &sample_, full_opts, rng);
+
+  SampleEstimator est(&sample_);
+  int agreements = 0;
+  constexpr int kQueries = 20;
+  Rng qrng(10);
+  for (int i = 0; i < kQueries; ++i) {
+    int64_t lo = qrng.NextInt(1, 50);
+    int64_t hi = lo + qrng.NextInt(20, 49);
+    RangeQuery q = SumQuery(lo, std::min<int64_t>(hi, 100));
+    auto sub_best = sub_ident.Identify(q, rng);
+    auto full_best = full_ident.Identify(q, rng);
+    ASSERT_TRUE(sub_best.ok());
+    ASSERT_TRUE(full_best.ok());
+    // Evaluate the subsample's winner on the full sample.
+    RangePredicate pred = sub_best->pre.ToPredicate(cube->scheme());
+    auto ci = est.EstimateWithPre(q, pred, sub_best->values, rng);
+    ASSERT_TRUE(ci.ok());
+    if (ci->half_width <= full_best->scored_error * 1.5 + 1e-9) ++agreements;
+  }
+  EXPECT_GE(agreements, kQueries * 8 / 10);
+}
+
+// ---- Lemma 3: P- is sufficient -------------------------------------------------
+
+TEST_F(IdentificationTest, Lemma3BruteForceComparison1D) {
+  // On (near-)independent data, the best of P- must match the best of the
+  // whole of P+ (scored on the same sample).
+  auto cube = Build1DCube({20, 40, 60, 80, 100});
+  Rng rng(11);
+  IdentificationOptions opts;
+  opts.score_on_full_sample = true;
+  AggregateIdentifier ident(cube.get(), &sample_, opts, rng);
+
+  Rng qrng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    int64_t lo = qrng.NextInt(1, 60);
+    int64_t hi = lo + qrng.NextInt(15, 39);
+    RangeQuery q = SumQuery(lo, std::min<int64_t>(hi, 100));
+    Rng r1(100 + trial), r2(100 + trial);
+    auto fast = ident.Identify(q, r1);
+    auto brute = ident.IdentifyBruteForce(q, r2);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(brute.ok());
+    EXPECT_GT(brute->num_candidates, fast->num_candidates);
+    // P- must achieve (nearly) the same minimum error as P+.
+    EXPECT_LE(fast->scored_error, brute->scored_error * 1.05 + 1e-9)
+        << "query [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST_F(IdentificationTest, GreedyFallbackHandlesHighDimensionality) {
+  // Build an 8-dimensional cube; full enumeration would need 4^8 + 1 = 65537
+  // candidates, far past the guard, so Identify must switch to the greedy
+  // path and still return a sane aggregate.
+  Schema schema({{"d0", DataType::kInt64},
+                 {"d1", DataType::kInt64},
+                 {"d2", DataType::kInt64},
+                 {"d3", DataType::kInt64},
+                 {"d4", DataType::kInt64},
+                 {"d5", DataType::kInt64},
+                 {"d6", DataType::kInt64},
+                 {"d7", DataType::kInt64},
+                 {"a", DataType::kDouble}});
+  auto t = std::make_shared<Table>(schema);
+  Rng gen(77);
+  for (int i = 0; i < 30000; ++i) {
+    auto row = t->AddRow();
+    for (int d = 0; d < 8; ++d) row.Int64(gen.NextInt(1, 16));
+    row.Double(100.0 + 10.0 * gen.NextGaussian());
+  }
+  std::vector<DimensionPartition> dims;
+  for (size_t d = 0; d < 8; ++d) {
+    dims.push_back(DimensionPartition{d, {4, 8, 12, 16}});
+  }
+  auto cube = std::move(PrefixCube::Build(
+                            *t, PartitionScheme(std::move(dims)),
+                            {MeasureSpec::Sum(8), MeasureSpec::Count(),
+                             MeasureSpec::SumSquares(8)}))
+                  .value();
+  Rng rng(78);
+  auto s = CreateUniformSample(*t, 0.2, rng);
+  ASSERT_TRUE(s.ok());
+  AggregateIdentifier ident(cube.get(), &*s, {}, rng);
+
+  RangeQuery q;
+  q.func = AggregateFunction::kSum;
+  q.agg_column = 8;
+  for (size_t d = 0; d < 8; ++d) {
+    q.predicate.Add({d, 3, 14});
+  }
+  auto best = ident.Identify(q, rng);
+  ASSERT_TRUE(best.ok()) << best.status();
+  // Greedy scores O(4d) candidates, not 4^d.
+  EXPECT_LE(best->num_candidates, 60u);
+  // The identified box must be drawn from the bracket sets.
+  if (!best->pre.IsEmpty()) {
+    for (size_t d = 0; d < 8; ++d) {
+      EXPECT_LE(best->pre.lo[d], 1u);
+      EXPECT_GE(best->pre.hi[d], 3u);
+    }
+  }
+}
+
+TEST_F(IdentificationTest, CandidateCountIndependentOfCubeSize) {
+  // |P-| = 4^d + 1 regardless of k (the core efficiency claim of Section 5).
+  std::vector<int64_t> many_cuts;
+  for (int64_t v = 2; v <= 100; v += 2) many_cuts.push_back(v);
+  auto big_cube = Build1DCube(many_cuts);  // k = 50
+  auto small_cube = Build1DCube({50, 100});  // k = 2
+  Rng rng(13);
+  AggregateIdentifier big_ident(big_cube.get(), &sample_, {}, rng);
+  AggregateIdentifier small_ident(small_cube.get(), &sample_, {}, rng);
+  RangeQuery q = SumQuery(33, 77);
+  EXPECT_LE(big_ident.EnumerateCandidates(q).size(), 5u);
+  EXPECT_LE(small_ident.EnumerateCandidates(q).size(), 5u);
+}
+
+}  // namespace
+}  // namespace aqpp

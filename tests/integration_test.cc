@@ -1,0 +1,206 @@
+// End-to-end integration tests: the full paper pipeline at small scale —
+// generate a benchmark dataset, prepare AQP and AQP++ engines, run a
+// selectivity-controlled workload, and check the paper's headline claims
+// hold directionally (AQP++ more accurate than AQP at tiny extra cost).
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baseline/aggpre.h"
+#include "baseline/aqp.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "sql/binder.h"
+#include "workload/metrics.h"
+#include "workload/query_gen.h"
+#include "workload/tpcd_skew.h"
+
+namespace aqpp {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    table_ = std::move(GenerateTpcdSkew({.rows = 200000, .seed = 601})).value();
+    executor_ = new ExactExecutor(table_.get());
+  }
+  static void TearDownTestSuite() {
+    delete executor_;
+    executor_ = nullptr;
+    table_.reset();
+  }
+
+  static std::shared_ptr<Table> table_;
+  static ExactExecutor* executor_;
+};
+
+std::shared_ptr<Table> IntegrationTest::table_;
+ExactExecutor* IntegrationTest::executor_ = nullptr;
+
+TEST_F(IntegrationTest, AqppBeatsAqpOnTpcdSkew) {
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;              // l_extendedprice
+  tmpl.condition_columns = {7, 8};   // l_shipdate, l_commitdate (correlated)
+
+  EngineOptions opts;
+  opts.sample_rate = 0.02;
+  opts.cube_budget = 50000;
+  opts.seed = 21;
+  auto aqpp = std::move(AqppEngine::Create(table_, opts)).value();
+  ASSERT_TRUE(aqpp->Prepare(tmpl).ok());
+  auto aqp = std::move(AqpEngine::Create(table_, opts)).value();
+  ASSERT_TRUE(aqp->Prepare(tmpl).ok());
+
+  QueryGenerator gen(table_.get(), tmpl, {}, 22);
+  auto queries = gen.GenerateMany(40);
+  ASSERT_TRUE(queries.ok());
+  auto truths = ComputeTruths(*queries, *executor_);
+  ASSERT_TRUE(truths.ok());
+
+  auto aqpp_summary = RunWorkloadWithTruth(
+      *queries, *truths,
+      [&](const RangeQuery& q) { return aqpp->Execute(q); });
+  auto aqp_summary = RunWorkloadWithTruth(
+      *queries, *truths, [&](const RangeQuery& q) { return aqp->Execute(q); });
+  ASSERT_TRUE(aqpp_summary.ok());
+  ASSERT_TRUE(aqp_summary.ok());
+
+  // Headline claim (Table 1 direction): AQP++ is substantially more
+  // accurate than AQP with the same sample.
+  EXPECT_LT(aqpp_summary->median_relative_error,
+            aqp_summary->median_relative_error * 0.6)
+      << "AQP++: " << aqpp_summary->ToString()
+      << "\nAQP:   " << aqp_summary->ToString();
+  // Intervals remain usable. Note: identification picks the candidate with
+  // the smallest *estimated* interval, which biases realized coverage below
+  // the nominal level at tiny sample sizes (winner's curse); we assert a
+  // defensible floor rather than the nominal 95%.
+  EXPECT_GE(aqpp_summary->coverage, 0.70);
+  EXPECT_GE(aqp_summary->coverage, 0.85);
+}
+
+TEST_F(IntegrationTest, PreprocessingCostOrdering) {
+  // AQP < AQP++ << AggPre in preprocessing cost (Table 1's cost columns).
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;
+  tmpl.condition_columns = {0, 2};  // l_orderkey, l_suppkey
+
+  EngineOptions opts;
+  opts.sample_rate = 0.01;
+  opts.cube_budget = 512;
+  auto aqpp = std::move(AqppEngine::Create(table_, opts)).value();
+  ASSERT_TRUE(aqpp->Prepare(tmpl).ok());
+  AggPreOptions agg_opts;
+  agg_opts.max_materialized_cells = 1000;  // force cost-model-only
+  auto aggpre = std::move(AggPreEngine::Create(table_, agg_opts)).value();
+  ASSERT_TRUE(aggpre->Prepare(tmpl).ok());
+
+  // AQP++'s cube is tiny next to the full P-Cube.
+  double full_cells = aggpre->cost().cells;
+  EXPECT_GT(full_cells,
+            static_cast<double>(aqpp->prepare_stats().cube_cells) * 100);
+  EXPECT_GT(aggpre->cost().bytes,
+            static_cast<double>(aqpp->prepare_stats().cube_bytes) * 100);
+}
+
+TEST_F(IntegrationTest, SqlFrontEndDrivesEngine) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("lineitem", table_).ok());
+  auto bound = ParseAndBind(
+      "SELECT SUM(l_extendedprice) FROM lineitem "
+      "WHERE l_shipdate BETWEEN 200 AND 900",
+      catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+
+  EngineOptions opts;
+  opts.sample_rate = 0.01;
+  opts.cube_budget = 256;
+  auto engine = std::move(AqppEngine::Create(bound->table, opts)).value();
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = bound->query.agg_column;
+  tmpl.condition_columns = {7};
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+
+  auto r = engine->Execute(bound->query);
+  ASSERT_TRUE(r.ok());
+  double truth = *executor_->Execute(bound->query);
+  EXPECT_NEAR(r->ci.estimate, truth, 4 * r->ci.half_width + 1e-9);
+}
+
+TEST_F(IntegrationTest, SqlGroupByThroughEngine) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("li", table_).ok());
+  auto bound = ParseAndBind(
+      "SELECT SUM(l_extendedprice) FROM li "
+      "WHERE l_shipdate BETWEEN 100 AND 1500 "
+      "GROUP BY l_returnflag, l_linestatus",
+      catalog);
+  ASSERT_TRUE(bound.ok()) << bound.status();
+
+  EngineOptions opts;
+  opts.sample_rate = 0.02;
+  opts.cube_budget = 2048;
+  opts.sampling = SamplingMethod::kStratified;
+  opts.stratify_columns = bound->query.group_by;
+  auto engine = std::move(AqppEngine::Create(bound->table, opts)).value();
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = bound->query.agg_column;
+  tmpl.condition_columns = {7};
+  tmpl.group_columns = bound->query.group_by;
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+
+  auto results = engine->ExecuteGroupBy(bound->query);
+  ASSERT_TRUE(results.ok()) << results.status();
+  auto exact_groups = executor_->ExecuteGroupBy(bound->query);
+  ASSERT_TRUE(exact_groups.ok());
+  ASSERT_EQ(results->size(), exact_groups->size());
+  for (size_t g = 0; g < results->size(); ++g) {
+    double truth = (*exact_groups)[g].value;
+    if (std::fabs(truth) < 1) continue;
+    double rel_dev =
+        std::fabs((*results)[g].result.ci.estimate - truth) / std::fabs(truth);
+    EXPECT_LT(rel_dev, 0.25) << "group " << g;
+  }
+}
+
+TEST_F(IntegrationTest, CorrelationDrivesAccuracyGain) {
+  // Section 4.2's analysis, measured end to end: the closer the pre to the
+  // query, the tighter the interval.
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;
+  tmpl.condition_columns = {7};
+
+  EngineOptions opts;
+  opts.sample_rate = 0.01;
+  opts.cube_budget = 64;
+  auto engine = std::move(AqppEngine::Create(table_, opts)).value();
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+  const auto& dim = engine->cube()->scheme().dim(0);
+  ASSERT_GE(dim.num_cuts(), 8u);
+
+  // Query aligned to cuts except shifted by a growing offset.
+  int64_t base_lo = dim.CutValue(2) + 1;
+  int64_t base_hi = dim.CutValue(6);
+  double prev_width = -1;
+  for (int64_t offset : {0, 37, 96}) {
+    RangeQuery q;
+    q.func = AggregateFunction::kSum;
+    q.agg_column = 10;
+    q.predicate.Add({7, base_lo + offset, base_hi + offset});
+    auto r = engine->Execute(q);
+    ASSERT_TRUE(r.ok());
+    if (prev_width >= 0) {
+      EXPECT_GE(r->ci.half_width, prev_width * 0.7);
+    }
+    prev_width = r->ci.half_width;
+  }
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -1,0 +1,136 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+
+namespace aqpp {
+namespace {
+
+TEST(MatrixTest, BasicOps) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  Matrix at = a.Transposed();
+  EXPECT_EQ(at.rows(), 3u);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+
+  Matrix id = Matrix::Identity(3);
+  Matrix prod = a.Multiply(id);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(prod(r, c), a(r, c));
+  }
+
+  auto v = a.MultiplyVector({1, 1, 1});
+  EXPECT_DOUBLE_EQ(v[0], 6.0);
+  EXPECT_DOUBLE_EQ(v[1], 15.0);
+}
+
+TEST(CholeskyTest, SolvesSpdSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  auto x = CholeskySolve(a, {10, 9});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 5;
+  a(1, 0) = 5;
+  a(1, 1) = 1;  // indefinite
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(CholeskyTest, DimensionMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(CholeskySolve(a, {1, 1}).ok());
+}
+
+TEST(LuTest, SolvesGeneralSystem) {
+  // Non-symmetric system with pivoting required.
+  Matrix a(3, 3);
+  a(0, 0) = 0;
+  a(0, 1) = 2;
+  a(0, 2) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = -2;
+  a(1, 2) = -3;
+  a(2, 0) = -1;
+  a(2, 1) = 1;
+  a(2, 2) = 2;
+  // x = [1, 2, 3] -> b = A x.
+  auto b = a.MultiplyVector({1, 2, 3});
+  auto x = LuSolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-9);
+  EXPECT_NEAR((*x)[2], 3.0, 1e-9);
+}
+
+TEST(LuTest, RejectsSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_FALSE(LuSolve(a, {1, 1}).ok());
+}
+
+TEST(ProjectionTest, SatisfiesConstraintsAndMinimizesDistance) {
+  // Project x0 onto {x : x_0 + x_1 + x_2 = 6}.
+  Matrix c(1, 3);
+  c(0, 0) = c(0, 1) = c(0, 2) = 1;
+  std::vector<double> x0{1, 1, 1};
+  auto x = EqualityConstrainedProjection(x0, c, {6});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0] + (*x)[1] + (*x)[2], 6.0, 1e-8);
+  // Minimum-norm adjustment spreads the correction evenly.
+  for (double v : *x) EXPECT_NEAR(v, 2.0, 1e-8);
+}
+
+TEST(ProjectionTest, MultipleConstraints) {
+  // {x : x_0 + x_1 = 4, x_1 + x_2 = 6} from x0 = 0.
+  Matrix c(2, 3);
+  c(0, 0) = 1;
+  c(0, 1) = 1;
+  c(1, 1) = 1;
+  c(1, 2) = 1;
+  auto x = EqualityConstrainedProjection({0, 0, 0}, c, {4, 6});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0] + (*x)[1], 4.0, 1e-6);
+  EXPECT_NEAR((*x)[1] + (*x)[2], 6.0, 1e-6);
+  // KKT optimality: the adjustment must lie in the row space of C, i.e.
+  // components orthogonal to it vanish: x = C^T mu.
+  // For this C, x0 = 0 implies x_0 = mu_0, x_1 = mu_0 + mu_1, x_2 = mu_1.
+  EXPECT_NEAR((*x)[1], (*x)[0] + (*x)[2], 1e-6);
+}
+
+TEST(ProjectionTest, FeasibleStartIsFixedPoint) {
+  Matrix c(1, 2);
+  c(0, 0) = 1;
+  c(0, 1) = 1;
+  auto x = EqualityConstrainedProjection({2, 3}, c, {5});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-8);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-8);
+}
+
+TEST(ProjectionTest, DimensionMismatch) {
+  Matrix c(1, 2);
+  EXPECT_FALSE(EqualityConstrainedProjection({1, 2, 3}, c, {5}).ok());
+  EXPECT_FALSE(EqualityConstrainedProjection({1, 2}, c, {5, 6}).ok());
+}
+
+}  // namespace
+}  // namespace aqpp

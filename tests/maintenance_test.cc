@@ -1,0 +1,230 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/maintenance.h"
+#include "exec/executor.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class CubeMaintainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = MakeSynthetic({.rows = 20000, .dom1 = 100, .dom2 = 50,
+                           .seed = 701});
+    scheme_ = PartitionScheme({DimensionPartition{0, {25, 50, 75, 100}},
+                               DimensionPartition{1, {25, 50}}});
+    cube_ = std::move(PrefixCube::Build(
+                          *base_, scheme_,
+                          {MeasureSpec::Sum(2), MeasureSpec::Count(),
+                           MeasureSpec::SumSquares(2)}))
+                .value();
+  }
+
+  // A batch with the same schema & in-domain values.
+  std::shared_ptr<Table> MakeBatch(size_t rows, uint64_t seed) {
+    return MakeSynthetic({.rows = rows, .dom1 = 100, .dom2 = 50,
+                          .seed = seed});
+  }
+
+  // Exact SUM over a box for base + absorbed batches.
+  double ExactCombined(const std::vector<std::shared_ptr<Table>>& tables,
+                       const PreAggregate& box) {
+    RangePredicate pred = box.ToPredicate(scheme_);
+    double total = 0;
+    for (const auto& t : tables) {
+      for (size_t r = 0; r < t->num_rows(); ++r) {
+        if (pred.Matches(*t, r)) total += t->column(2).GetDouble(r);
+      }
+    }
+    return total;
+  }
+
+  std::shared_ptr<Table> base_;
+  PartitionScheme scheme_;
+  std::shared_ptr<PrefixCube> cube_;
+};
+
+TEST_F(CubeMaintainerTest, MergeFromIsExact) {
+  auto batch = MakeBatch(5000, 702);
+  auto delta = PrefixCube::Build(*batch, scheme_,
+                                 {MeasureSpec::Sum(2), MeasureSpec::Count(),
+                                  MeasureSpec::SumSquares(2)});
+  ASSERT_TRUE(delta.ok());
+  ASSERT_TRUE(cube_->MergeFrom(**delta).ok());
+  PreAggregate box;
+  box.lo = {1, 0};
+  box.hi = {3, 2};
+  EXPECT_NEAR(cube_->BoxValue(box, 0), ExactCombined({base_, batch}, box),
+              1e-6);
+}
+
+TEST_F(CubeMaintainerTest, MergeFromRejectsMismatch) {
+  PartitionScheme other({DimensionPartition{0, {50, 100}},
+                         DimensionPartition{1, {25, 50}}});
+  auto delta = PrefixCube::Build(*base_, other, {MeasureSpec::Sum(2)});
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(cube_->MergeFrom(**delta).ok());
+}
+
+TEST_F(CubeMaintainerTest, AbsorbedRowsVisibleBeforeCompaction) {
+  CubeMaintainer maintainer(cube_, base_);
+  auto batch = MakeBatch(3000, 703);
+  ASSERT_TRUE(maintainer.Absorb(*batch).ok());
+  EXPECT_EQ(maintainer.pending_rows(), 3000u);
+
+  PreAggregate box;
+  box.lo = {0, 0};
+  box.hi = {2, 1};
+  EXPECT_NEAR(maintainer.BoxValue(box, 0),
+              ExactCombined({base_, batch}, box), 1e-6);
+}
+
+TEST_F(CubeMaintainerTest, CompactionPreservesAnswers) {
+  CubeMaintainer maintainer(cube_, base_);
+  auto batch1 = MakeBatch(3000, 704);
+  auto batch2 = MakeBatch(2000, 705);
+  ASSERT_TRUE(maintainer.Absorb(*batch1).ok());
+  ASSERT_TRUE(maintainer.Absorb(*batch2).ok());
+  PreAggregate box;
+  box.lo = {1, 1};
+  box.hi = {4, 2};
+  double before = maintainer.BoxValue(box, 0);
+  ASSERT_TRUE(maintainer.Compact().ok());
+  EXPECT_EQ(maintainer.pending_rows(), 0u);
+  EXPECT_NEAR(maintainer.BoxValue(box, 0), before, std::fabs(before) * 1e-12);
+  EXPECT_NEAR(before, ExactCombined({base_, batch1, batch2}, box), 1e-6);
+  EXPECT_EQ(maintainer.total_absorbed_rows(), 5000u);
+}
+
+TEST_F(CubeMaintainerTest, AutoCompactionAtThreshold) {
+  CubeMaintainer maintainer(cube_, base_, {.compact_threshold = 2500});
+  ASSERT_TRUE(maintainer.Absorb(*MakeBatch(2000, 706)).ok());
+  EXPECT_EQ(maintainer.pending_rows(), 2000u);
+  ASSERT_TRUE(maintainer.Absorb(*MakeBatch(1000, 707)).ok());
+  EXPECT_EQ(maintainer.pending_rows(), 0u);  // crossed threshold -> folded
+}
+
+TEST_F(CubeMaintainerTest, RejectsOutOfDomainValues) {
+  CubeMaintainer maintainer(cube_, base_);
+  // dom1 = 300 exceeds the last cut (100) on dimension 0.
+  auto bad = MakeSynthetic({.rows = 10, .dom1 = 300, .dom2 = 50, .seed = 708});
+  EXPECT_EQ(maintainer.Absorb(*bad).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(CubeMaintainerTest, RejectsSchemaMismatch) {
+  CubeMaintainer maintainer(cube_, base_);
+  Schema other({{"x", DataType::kInt64}});
+  Table bad(other);
+  bad.AddRow().Int64(1);
+  EXPECT_FALSE(maintainer.Absorb(bad).ok());
+}
+
+TEST_F(CubeMaintainerTest, CountAndSumSquaresPlanesMaintained) {
+  CubeMaintainer maintainer(cube_, base_);
+  auto batch = MakeBatch(1000, 709);
+  ASSERT_TRUE(maintainer.Absorb(*batch).ok());
+  ASSERT_TRUE(maintainer.Compact().ok());
+  PreAggregate all;
+  all.lo = {0, 0};
+  all.hi = {4, 2};
+  EXPECT_NEAR(maintainer.BoxValue(all, 1), 21000.0, 1e-9);  // COUNT
+  double ss = 0;
+  for (const auto& t : {base_, batch}) {
+    for (size_t r = 0; r < t->num_rows(); ++r) {
+      double a = t->column(2).GetDouble(r);
+      ss += a * a;
+    }
+  }
+  EXPECT_NEAR(maintainer.BoxValue(all, 2), ss, std::fabs(ss) * 1e-12);
+}
+
+// ---- ReservoirMaintainer -------------------------------------------------------
+
+TEST(ReservoirMaintainerTest, KeepsSizeAndUpdatesWeights) {
+  auto base = MakeSynthetic({.rows = 10000, .seed = 710});
+  Rng rng(1);
+  auto sample = std::move(CreateUniformSample(*base, 0.02, rng)).value();
+  ReservoirMaintainer maintainer(std::move(sample), 2);
+  auto batch = MakeSynthetic({.rows = 5000, .seed = 711});
+  ASSERT_TRUE(maintainer.Absorb(*batch).ok());
+  EXPECT_EQ(maintainer.sample().size(), 200u);
+  EXPECT_EQ(maintainer.rows_seen(), 15000u);
+  EXPECT_EQ(maintainer.sample().population_size, 15000u);
+  for (double w : maintainer.sample().weights) {
+    EXPECT_NEAR(w, 15000.0 / 200.0, 1e-9);
+  }
+}
+
+TEST(ReservoirMaintainerTest, StaysUnbiasedAcrossAppends) {
+  // Append data with a very different measure mean; the maintained sample
+  // must track the combined population total.
+  Schema schema({{"c", DataType::kInt64}, {"a", DataType::kDouble}});
+  auto base = std::make_shared<Table>(schema);
+  Rng gen(3);
+  double truth = 0;
+  for (int i = 0; i < 20000; ++i) {
+    double v = 10 + gen.NextGaussian();
+    base->AddRow().Int64(gen.NextInt(1, 100)).Double(v);
+    truth += v;
+  }
+  auto batch = std::make_shared<Table>(schema);
+  for (int i = 0; i < 20000; ++i) {
+    double v = 500 + gen.NextGaussian();
+    batch->AddRow().Int64(gen.NextInt(1, 100)).Double(v);
+    truth += v;
+  }
+
+  double mean_est = 0;
+  constexpr int kDraws = 40;
+  Rng rng(4);
+  for (int d = 0; d < kDraws; ++d) {
+    auto sample = std::move(CreateUniformSample(*base, 0.01, rng)).value();
+    ReservoirMaintainer maintainer(std::move(sample), 100 + d);
+    ASSERT_TRUE(maintainer.Absorb(*batch).ok());
+    const Sample& s = maintainer.sample();
+    double est = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+      est += s.weights[i] * s.rows->column(1).GetDouble(i);
+    }
+    mean_est += est / kDraws;
+  }
+  EXPECT_NEAR(mean_est, truth, truth * 0.03);
+}
+
+TEST(ReservoirMaintainerTest, RejectsUnknownDictionaryValues) {
+  Schema schema({{"flag", DataType::kString}, {"a", DataType::kDouble}});
+  auto base = std::make_shared<Table>(schema);
+  Rng gen(5);
+  for (int i = 0; i < 1000; ++i) {
+    base->AddRow().String(i % 2 == 0 ? "A" : "B").Double(gen.NextDouble());
+  }
+  base->FinalizeDictionaries();
+  Rng rng(6);
+  auto sample = std::move(CreateUniformSample(*base, 0.1, rng)).value();
+  ReservoirMaintainer maintainer(std::move(sample), 7);
+
+  auto batch = std::make_shared<Table>(schema);
+  for (int i = 0; i < 500; ++i) {
+    batch->AddRow().String("Z").Double(0.5);  // unseen category
+  }
+  batch->FinalizeDictionaries();
+  // Statistically certain to try an overwrite within 500 rows.
+  EXPECT_FALSE(maintainer.Absorb(*batch).ok());
+}
+
+TEST(ReservoirMaintainerTest, RequiresUniformSample) {
+  auto base = MakeSynthetic({.rows = 2000, .seed = 712});
+  Rng rng(8);
+  auto stratified =
+      std::move(CreateStratifiedSample(*base, {0}, 0.05, rng)).value();
+  EXPECT_DEATH(ReservoirMaintainer{std::move(stratified)}, "uniform");
+}
+
+}  // namespace
+}  // namespace aqpp

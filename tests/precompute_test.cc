@@ -1,0 +1,319 @@
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/precompute.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class HillClimbTest : public ::testing::Test {
+ protected:
+  std::shared_ptr<Table> MakeSample(const testutil::SyntheticOptions& opt,
+                                    double rate, size_t* population) {
+    auto table = MakeSynthetic(opt);
+    *population = table->num_rows();
+    Rng rng(1);
+    auto s = CreateUniformSample(*table, rate, rng);
+    return s->rows;
+  }
+};
+
+TEST_F(HillClimbTest, EqualPartitionRecoveredOnUniformIndependentData) {
+  // Theorem 1 regime: independent measure, near-duplicate-free condition.
+  size_t N;
+  auto sample = MakeSample({.rows = 40000, .dom1 = 5000, .correlated = false},
+                           0.25, &N);
+  HillClimbOptimizer opt(sample.get(), 0, 2, N);
+  auto eq = HillClimbOptimizer(sample.get(), 0, 2, N,
+                               {.equal_partition_only = true})
+                .Optimize(8);
+  auto hc = opt.Optimize(8);
+  ASSERT_TRUE(eq.ok());
+  ASSERT_TRUE(hc.ok());
+  // Hill climbing must not be (meaningfully) worse than P_eq, and on this
+  // data P_eq is already near-optimal so improvements are marginal.
+  EXPECT_LE(hc->error_up, eq->error_up * 1.0001);
+  EXPECT_GE(hc->error_up, eq->error_up * 0.5);
+}
+
+TEST_F(HillClimbTest, NeverWorseThanInitialization) {
+  for (bool correlated : {false, true}) {
+    for (bool skewed : {false, true}) {
+      size_t N;
+      auto sample = MakeSample({.rows = 30000, .dom1 = 300,
+                                .correlated = correlated, .skewed = skewed,
+                                .seed = 7},
+                               0.3, &N);
+      HillClimbOptimizer climber(sample.get(), 0, 2, N,
+                                 {.record_history = true});
+      auto eq = HillClimbOptimizer(sample.get(), 0, 2, N,
+                                   {.equal_partition_only = true})
+                    .Optimize(10);
+      auto hc = climber.Optimize(10);
+      ASSERT_TRUE(eq.ok());
+      ASSERT_TRUE(hc.ok());
+      EXPECT_LE(hc->error_up, eq->error_up + 1e-9)
+          << "correlated=" << correlated << " skewed=" << skewed;
+    }
+  }
+}
+
+TEST_F(HillClimbTest, ImprovesOnCorrelatedData) {
+  // Figure 4(b) regime: variance concentrated at high c1; hill climbing
+  // should beat equal partitioning by moving cuts into the noisy region.
+  size_t N;
+  auto sample = MakeSample(
+      {.rows = 50000, .dom1 = 400, .correlated = true, .seed = 11}, 0.3, &N);
+  auto eq = HillClimbOptimizer(sample.get(), 0, 2, N,
+                               {.equal_partition_only = true})
+                .Optimize(12);
+  auto hc = HillClimbOptimizer(sample.get(), 0, 2, N).Optimize(12);
+  ASSERT_TRUE(eq.ok());
+  ASSERT_TRUE(hc.ok());
+  EXPECT_LT(hc->error_up, eq->error_up * 0.98);
+}
+
+TEST_F(HillClimbTest, HistoryIsMonotoneNonIncreasing) {
+  size_t N;
+  auto sample = MakeSample(
+      {.rows = 30000, .dom1 = 300, .correlated = true, .seed = 13}, 0.3, &N);
+  HillClimbOptimizer climber(sample.get(), 0, 2, N, {.record_history = true});
+  auto hc = climber.Optimize(15);
+  ASSERT_TRUE(hc.ok());
+  ASSERT_GE(hc->history.size(), 1u);
+  for (size_t i = 1; i < hc->history.size(); ++i) {
+    EXPECT_LE(hc->history[i], hc->history[i - 1] + 1e-9);
+  }
+  EXPECT_EQ(hc->history.size(), hc->iterations + 1);
+}
+
+TEST_F(HillClimbTest, GlobalBeatsLocalOnCorrelatedData) {
+  // The Figure 8 comparison.
+  size_t N;
+  auto sample = MakeSample(
+      {.rows = 50000, .dom1 = 500, .correlated = true, .seed = 17}, 0.4, &N);
+  auto global =
+      HillClimbOptimizer(sample.get(), 0, 2, N, {.global_adjustment = true})
+          .Optimize(16);
+  auto local =
+      HillClimbOptimizer(sample.get(), 0, 2, N, {.global_adjustment = false})
+          .Optimize(16);
+  ASSERT_TRUE(global.ok());
+  ASSERT_TRUE(local.ok());
+  EXPECT_LE(global->error_up, local->error_up + 1e-9);
+}
+
+TEST_F(HillClimbTest, PartitionIsValidAndPinned) {
+  size_t N;
+  auto sample = MakeSample({.rows = 20000, .dom1 = 200, .skewed = true,
+                            .seed = 19},
+                           0.3, &N);
+  auto hc = HillClimbOptimizer(sample.get(), 0, 2, N).Optimize(9);
+  ASSERT_TRUE(hc.ok());
+  const auto& cuts = hc->partition.cuts;
+  ASSERT_FALSE(cuts.empty());
+  EXPECT_LE(cuts.size(), 9u);
+  for (size_t i = 1; i < cuts.size(); ++i) EXPECT_LT(cuts[i - 1], cuts[i]);
+  // Last cut pinned to the sample max (footnote 5).
+  EXPECT_EQ(cuts.back(), *sample->column(0).MaxInt64());
+}
+
+TEST_F(HillClimbTest, KLargerThanBoundariesIsZeroError) {
+  size_t N;
+  auto sample = MakeSample({.rows = 5000, .dom1 = 10}, 0.5, &N);
+  auto hc = HillClimbOptimizer(sample.get(), 0, 2, N).Optimize(100);
+  ASSERT_TRUE(hc.ok());
+  // Every boundary is a cut: nothing left to estimate.
+  EXPECT_NEAR(hc->error_up, 0.0, 1e-9);
+}
+
+TEST_F(HillClimbTest, EvaluateErrorUpConsistentWithOptimize) {
+  size_t N;
+  auto sample = MakeSample({.rows = 20000, .dom1 = 200, .seed = 23}, 0.3, &N);
+  HillClimbOptimizer climber(sample.get(), 0, 2, N);
+  auto hc = climber.Optimize(8);
+  ASSERT_TRUE(hc.ok());
+  auto eval = climber.EvaluateErrorUp(hc->partition.cuts);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(*eval, hc->error_up, hc->error_up * 1e-9 + 1e-12);
+}
+
+TEST_F(HillClimbTest, RandomCutsWorseThanHillClimb) {
+  size_t N;
+  auto sample = MakeSample(
+      {.rows = 40000, .dom1 = 400, .correlated = true, .seed = 29}, 0.3, &N);
+  HillClimbOptimizer climber(sample.get(), 0, 2, N);
+  auto hc = climber.Optimize(10);
+  ASSERT_TRUE(hc.ok());
+  Rng rng(31);
+  double random_best = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < 5; ++trial) {
+    std::set<int64_t> cuts;
+    while (cuts.size() < 9) cuts.insert(rng.NextInt(1, 400));
+    cuts.insert(400);
+    auto eu = climber.EvaluateErrorUp({cuts.begin(), cuts.end()});
+    ASSERT_TRUE(eu.ok());
+    random_best = std::min(random_best, *eu);
+  }
+  EXPECT_LE(hc->error_up, random_best);
+}
+
+// ---- ShapeOptimizer ----------------------------------------------------------
+
+class ShapeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 40000, .dom1 = 500, .dom2 = 100,
+                            .seed = 37});
+    Rng rng(2);
+    sample_ = std::move(CreateUniformSample(*table_, 0.2, rng)).value();
+  }
+  std::shared_ptr<Table> table_;
+  Sample sample_;
+};
+
+TEST_F(ShapeTest, ProductWithinBudget) {
+  ShapeOptimizer shaper(sample_.rows.get(), 2, table_->num_rows());
+  for (size_t k : {16u, 64u, 256u}) {
+    auto shape = shaper.DetermineShape({0, 1}, k);
+    ASSERT_TRUE(shape.ok());
+    size_t product = 1;
+    for (size_t s : shape->shape) product *= s;
+    EXPECT_LE(product, k);
+    EXPECT_GE(product, k / 4);  // budget should be mostly used
+  }
+}
+
+TEST_F(ShapeTest, OneDimensionGetsFullBudget) {
+  ShapeOptimizer shaper(sample_.rows.get(), 2, table_->num_rows());
+  auto shape = shaper.DetermineShape({0}, 50);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->shape.size(), 1u);
+  EXPECT_EQ(shape->shape[0], 50u);
+}
+
+TEST_F(ShapeTest, ProfilesDecreaseWithK) {
+  // Lemma 4: error_up ~ 1/sqrt(k).
+  ShapeOptimizer shaper(sample_.rows.get(), 2, table_->num_rows());
+  auto shape = shaper.DetermineShape({0, 1}, 100);
+  ASSERT_TRUE(shape.ok());
+  for (const auto& profile : shape->profiles) {
+    ASSERT_GE(profile.size(), 2u);
+    EXPECT_LT(profile.back().error_up, profile.front().error_up);
+  }
+}
+
+TEST_F(ShapeTest, TinyDomainDimensionClampsAndFreesBudget) {
+  // When one dimension has only a handful of distinct values, its k_i is
+  // clamped there and the remaining budget flows to the other dimension.
+  Schema schema({{"c1", DataType::kInt64},
+                 {"c2", DataType::kInt64},
+                 {"a", DataType::kDouble}});
+  auto t = std::make_shared<Table>(schema);
+  Rng gen(41);
+  for (int i = 0; i < 40000; ++i) {
+    t->AddRow()
+        .Int64(gen.NextInt(1, 500))
+        .Int64(gen.NextInt(1, 4))
+        .Double(100.0 + 10.0 * gen.NextGaussian());
+  }
+  Rng rng(43);
+  auto s = CreateUniformSample(*t, 0.2, rng);
+  ASSERT_TRUE(s.ok());
+  ShapeOptimizer shaper(s->rows.get(), 2, t->num_rows());
+  auto shape = shaper.DetermineShape({0, 1}, 64);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_LE(shape->shape[1], 4u);
+  EXPECT_GT(shape->shape[0], 8u);
+  EXPECT_LE(shape->shape[0] * shape->shape[1], 64u);
+}
+
+// ---- Precomputer (end to end) -------------------------------------------------
+
+TEST(PrecomputerTest, PipelineProducesValidCube) {
+  auto table = MakeSynthetic({.rows = 30000, .dom1 = 200, .dom2 = 80,
+                              .seed = 47});
+  Rng rng(3);
+  auto sample = CreateUniformSample(*table, 0.1, rng);
+  ASSERT_TRUE(sample.ok());
+  Precomputer pre(table.get(), &*sample, 2);
+  auto result = pre.Precompute({0, 1}, 64);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LE(result->scheme.NumCells(), 64u);
+  EXPECT_TRUE(result->scheme.Validate(*table).ok());
+  ASSERT_NE(result->cube, nullptr);
+  EXPECT_EQ(result->cube->num_measures(), 3u);
+  EXPECT_GT(result->stage2_seconds, 0.0);
+  EXPECT_EQ(result->per_dimension.size(), 2u);
+}
+
+TEST(PrecomputerTest, ExhaustiveColumnsGetAllDistinctValues) {
+  auto table = MakeSynthetic({.rows = 10000, .dom1 = 200, .dom2 = 6,
+                              .seed = 53});
+  Rng rng(4);
+  auto sample = CreateUniformSample(*table, 0.2, rng);
+  ASSERT_TRUE(sample.ok());
+  PrecomputeOptions opts;
+  opts.exhaustive_columns = {1};
+  Precomputer pre(table.get(), &*sample, 2, opts);
+  auto result = pre.Precompute({0, 1}, 60);
+  ASSERT_TRUE(result.ok());
+  // Dimension for column 1 must have one cut per distinct value.
+  bool found = false;
+  for (const auto& dim : result->scheme.dims()) {
+    if (dim.column == 1) {
+      found = true;
+      auto distinct = DistinctSorted(*table, 1);
+      EXPECT_EQ(dim.cuts, *distinct);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(PrecomputerTest, ForcedShapeHonored) {
+  auto table = MakeSynthetic({.rows = 10000, .seed = 59});
+  Rng rng(5);
+  auto sample = CreateUniformSample(*table, 0.2, rng);
+  ASSERT_TRUE(sample.ok());
+  PrecomputeOptions opts;
+  opts.forced_shape = {7, 3};
+  Precomputer pre(table.get(), &*sample, 2, opts);
+  auto result = pre.Precompute({0, 1}, 21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->scheme.dim(0).num_cuts(), 7u);
+  EXPECT_LE(result->scheme.dim(1).num_cuts(), 3u);
+}
+
+TEST(PrecomputerTest, CubeAnswersMatchExactForAlignedBoxes) {
+  auto table = MakeSynthetic({.rows = 20000, .seed = 61});
+  Rng rng(6);
+  auto sample = CreateUniformSample(*table, 0.2, rng);
+  ASSERT_TRUE(sample.ok());
+  Precomputer pre(table.get(), &*sample, 2);
+  auto result = pre.Precompute({0, 1}, 36);
+  ASSERT_TRUE(result.ok());
+  // Spot-check one aligned box against a manual scan.
+  const auto& scheme = result->scheme;
+  PreAggregate box;
+  box.lo = {0, 1};
+  box.hi = {scheme.dim(0).num_cuts(), scheme.dim(1).num_cuts()};
+  double expected = 0;
+  int64_t cut2_lo = scheme.dim(1).CutValue(1);
+  for (size_t i = 0; i < table->num_rows(); ++i) {
+    if (table->column(1).GetInt64(i) > cut2_lo) {
+      expected += table->column(2).GetDouble(i);
+    }
+  }
+  EXPECT_NEAR(result->cube->BoxValue(box, 0), expected,
+              std::fabs(expected) * 1e-9);
+}
+
+}  // namespace
+}  // namespace aqpp

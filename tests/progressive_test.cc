@@ -1,0 +1,148 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/progressive.h"
+#include "cube/prefix_cube.h"
+#include "exec/executor.h"
+#include "sampling/samplers.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class ProgressiveTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 60000, .dom1 = 100, .dom2 = 50,
+                            .seed = 1201});
+    Rng rng(1);
+    sample_ = std::move(CreateUniformSample(*table_, 0.1, rng)).value();
+    PartitionScheme scheme(
+        {DimensionPartition{0, {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}}});
+    cube_ = std::move(PrefixCube::Build(
+                          *table_, scheme,
+                          {MeasureSpec::Sum(2), MeasureSpec::Count(),
+                           MeasureSpec::SumSquares(2)}))
+                .value();
+    executor_ = std::make_unique<ExactExecutor>(table_.get());
+  }
+
+  RangeQuery SumQuery(int64_t lo, int64_t hi) {
+    RangeQuery q;
+    q.func = AggregateFunction::kSum;
+    q.agg_column = 2;
+    q.predicate.Add({0, lo, hi});
+    return q;
+  }
+
+  std::shared_ptr<Table> table_;
+  Sample sample_;
+  std::shared_ptr<PrefixCube> cube_;
+  std::unique_ptr<ExactExecutor> executor_;
+};
+
+TEST_F(ProgressiveTest, IntervalsTightenAsRowsAreConsumed) {
+  ProgressiveExecutor exec(&sample_, nullptr);
+  Rng rng(2);
+  auto steps = exec.Run(SumQuery(15, 65), rng);
+  ASSERT_TRUE(steps.ok()) << steps.status();
+  ASSERT_GE(steps->size(), 5u);
+  for (size_t i = 1; i < steps->size(); ++i) {
+    EXPECT_GT((*steps)[i].rows_used, (*steps)[i - 1].rows_used);
+  }
+  // Widths should shrink roughly as 1/sqrt(rows): the last step must be far
+  // tighter than the first, and monotone within noise.
+  EXPECT_LT(steps->back().ci.half_width,
+            steps->front().ci.half_width * 0.4);
+  EXPECT_EQ(steps->back().rows_used, sample_.size());
+}
+
+TEST_F(ProgressiveTest, FinalStepMatchesOneShotEstimator) {
+  ProgressiveExecutor exec(&sample_, nullptr);
+  Rng rng(3);
+  RangeQuery q = SumQuery(20, 70);
+  auto steps = exec.Run(q, rng);
+  ASSERT_TRUE(steps.ok());
+  SampleEstimator est(&sample_);
+  Rng rng2(4);
+  auto one_shot = est.EstimateDirect(q, rng2);
+  ASSERT_TRUE(one_shot.ok());
+  // Same rows, same formula: identical estimate and interval.
+  EXPECT_NEAR(steps->back().ci.estimate, one_shot->estimate,
+              std::fabs(one_shot->estimate) * 1e-9);
+  EXPECT_NEAR(steps->back().ci.half_width, one_shot->half_width,
+              one_shot->half_width * 1e-9);
+}
+
+TEST_F(ProgressiveTest, CubeShrinksEveryCheckpoint) {
+  RangeQuery q = SumQuery(12, 78);  // misaligned: difference estimation
+  ProgressiveExecutor plain(&sample_, nullptr);
+  ProgressiveExecutor with_cube(&sample_, cube_.get());
+  Rng rng_a(5), rng_b(5);
+  auto plain_steps = plain.Run(q, rng_a);
+  auto cube_steps = with_cube.Run(q, rng_b);
+  ASSERT_TRUE(plain_steps.ok());
+  ASSERT_TRUE(cube_steps.ok());
+  ASSERT_EQ(plain_steps->size(), cube_steps->size());
+  size_t tighter = 0;
+  for (size_t i = 0; i < plain_steps->size(); ++i) {
+    if ((*cube_steps)[i].ci.half_width <
+        (*plain_steps)[i].ci.half_width * 0.9) {
+      ++tighter;
+    }
+  }
+  // The pre helps at (essentially) every checkpoint.
+  EXPECT_GE(tighter, plain_steps->size() - 1);
+}
+
+TEST_F(ProgressiveTest, TruthCoveredAlongTheStream) {
+  RangeQuery q = SumQuery(25, 75);
+  double truth = *executor_->Execute(q);
+  ProgressiveExecutor exec(&sample_, cube_.get());
+  Rng rng(6);
+  auto steps = exec.Run(q, rng);
+  ASSERT_TRUE(steps.ok());
+  size_t covered = 0;
+  for (const auto& s : *steps) {
+    if (s.ci.Contains(truth)) ++covered;
+  }
+  // 95% coverage per step; allow one miss along the stream.
+  EXPECT_GE(covered + 1, steps->size());
+}
+
+TEST_F(ProgressiveTest, CustomCheckpoints) {
+  ProgressiveOptions opts;
+  opts.checkpoints = {0.5, 0.1, 1.0};  // unsorted on purpose
+  ProgressiveExecutor exec(&sample_, nullptr, opts);
+  Rng rng(7);
+  auto steps = exec.Run(SumQuery(30, 60), rng);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 3u);
+  EXPECT_EQ((*steps)[0].rows_used, sample_.size() / 10);
+  EXPECT_EQ((*steps)[1].rows_used, sample_.size() / 2);
+  EXPECT_EQ((*steps)[2].rows_used, sample_.size());
+}
+
+TEST_F(ProgressiveTest, RejectsUnsupportedInputs) {
+  ProgressiveExecutor exec(&sample_, nullptr);
+  Rng rng(8);
+  RangeQuery avg = SumQuery(10, 50);
+  avg.func = AggregateFunction::kAvg;
+  EXPECT_EQ(exec.Run(avg, rng).status().code(), StatusCode::kUnimplemented);
+
+  RangeQuery grouped = SumQuery(10, 50);
+  grouped.group_by = {1};
+  EXPECT_FALSE(exec.Run(grouped, rng).ok());
+
+  Rng srng(9);
+  auto stratified =
+      std::move(CreateStratifiedSample(*table_, {1}, 0.05, srng)).value();
+  ProgressiveExecutor strat_exec(&stratified, nullptr);
+  EXPECT_FALSE(strat_exec.Run(SumQuery(10, 50), srng).ok());
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -1,0 +1,233 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "storage/io.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace aqpp {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64},
+                 {"price", DataType::kDouble},
+                 {"flag", DataType::kString}});
+}
+
+std::shared_ptr<Table> TestTable() {
+  auto t = std::make_shared<Table>(TestSchema());
+  t->AddRow().Int64(1).Double(10.5).String("R");
+  t->AddRow().Int64(2).Double(20.0).String("A");
+  t->AddRow().Int64(3).Double(30.25).String("N");
+  t->AddRow().Int64(2).Double(5.0).String("A");
+  t->FinalizeDictionaries();
+  return t;
+}
+
+// ---- Schema ------------------------------------------------------------------
+
+TEST(SchemaTest, FindColumn) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  EXPECT_EQ(s.FindColumn("price"), 1);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+  EXPECT_TRUE(s.HasColumn("flag"));
+}
+
+TEST(SchemaTest, ToStringListsTypes) {
+  EXPECT_EQ(TestSchema().ToString(),
+            "(id: INT64, price: DOUBLE, flag: STRING)");
+}
+
+// ---- Column ------------------------------------------------------------------
+
+TEST(ColumnTest, Int64Access) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(5);
+  c.AppendInt64(-3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt64(1), -3);
+  EXPECT_DOUBLE_EQ(c.GetDouble(0), 5.0);
+  EXPECT_EQ(*c.MinInt64(), -3);
+  EXPECT_EQ(*c.MaxInt64(), 5);
+}
+
+TEST(ColumnTest, EmptyMinMaxErrors) {
+  Column c(DataType::kInt64);
+  EXPECT_FALSE(c.MinInt64().ok());
+  EXPECT_FALSE(c.MaxInt64().ok());
+}
+
+TEST(ColumnTest, DictionaryFinalizeSortsAlphabetically) {
+  Column c(DataType::kString);
+  // Insert out of alphabetical order.
+  c.AppendString("zebra");
+  c.AppendString("apple");
+  c.AppendString("mango");
+  c.AppendString("apple");
+  c.FinalizeDictionary();
+  // Codes must now follow alphabetical order (paper footnote 3).
+  ASSERT_EQ(c.dictionary().size(), 3u);
+  EXPECT_EQ(c.dictionary()[0], "apple");
+  EXPECT_EQ(c.dictionary()[1], "mango");
+  EXPECT_EQ(c.dictionary()[2], "zebra");
+  EXPECT_EQ(c.GetString(0), "zebra");
+  EXPECT_EQ(c.GetInt64(0), 2);  // zebra has the largest code
+  EXPECT_EQ(c.GetInt64(1), 0);
+  EXPECT_EQ(c.GetInt64(3), 0);
+  EXPECT_EQ(*c.LookupDictionary("mango"), 1);
+  EXPECT_FALSE(c.LookupDictionary("pear").ok());
+}
+
+TEST(ColumnTest, ToDoubleVector) {
+  Column c(DataType::kInt64);
+  c.AppendInt64(1);
+  c.AppendInt64(2);
+  auto v = c.ToDoubleVector();
+  EXPECT_EQ(v, (std::vector<double>{1.0, 2.0}));
+}
+
+// ---- Table -------------------------------------------------------------------
+
+TEST(TableTest, RowBuilderAndAccess) {
+  auto t = TestTable();
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->num_columns(), 3u);
+  ASSERT_TRUE(t->GetColumn("price").ok());
+  EXPECT_DOUBLE_EQ((*t->GetColumn("price"))->GetDouble(2), 30.25);
+  EXPECT_FALSE(t->GetColumn("missing").ok());
+  EXPECT_EQ(*t->GetColumnIndex("flag"), 2u);
+}
+
+TEST(TableTest, DictionaryCodesAreAlphabetical) {
+  auto t = TestTable();
+  const Column& flag = t->column(2);
+  // A < N < R alphabetically.
+  EXPECT_EQ(*flag.LookupDictionary("A"), 0);
+  EXPECT_EQ(*flag.LookupDictionary("N"), 1);
+  EXPECT_EQ(*flag.LookupDictionary("R"), 2);
+}
+
+TEST(TableTest, MemoryUsagePositive) {
+  EXPECT_GT(TestTable()->MemoryUsage(), 0u);
+}
+
+TEST(TakeRowsTest, SelectsAndPreservesDictionary) {
+  auto t = TestTable();
+  auto sub = TakeRows(*t, {2, 0});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ((*sub)->num_rows(), 2u);
+  EXPECT_EQ((*sub)->column(0).GetInt64(0), 3);
+  EXPECT_EQ((*sub)->column(0).GetInt64(1), 1);
+  EXPECT_EQ((*sub)->column(2).GetString(0), "N");
+  EXPECT_EQ((*sub)->column(2).GetString(1), "R");
+}
+
+TEST(TakeRowsTest, AllowsDuplicates) {
+  auto t = TestTable();
+  auto sub = TakeRows(*t, {1, 1, 1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ((*sub)->num_rows(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*sub)->column(0).GetInt64(i), 2);
+  }
+}
+
+TEST(TakeRowsTest, OutOfRangeErrors) {
+  auto t = TestTable();
+  EXPECT_FALSE(TakeRows(*t, {99}).ok());
+}
+
+// ---- Catalog ------------------------------------------------------------------
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog cat;
+  auto t = TestTable();
+  ASSERT_TRUE(cat.Register("t", t).ok());
+  EXPECT_FALSE(cat.Register("t", t).ok());  // duplicate
+  ASSERT_TRUE(cat.Get("t").ok());
+  EXPECT_EQ((*cat.Get("t"))->num_rows(), 4u);
+  EXPECT_FALSE(cat.Get("u").ok());
+  EXPECT_TRUE(cat.Contains("t"));
+  ASSERT_TRUE(cat.Drop("t").ok());
+  EXPECT_FALSE(cat.Drop("t").ok());
+  EXPECT_FALSE(cat.Contains("t"));
+}
+
+TEST(CatalogTest, TableNamesSorted) {
+  Catalog cat;
+  ASSERT_TRUE(cat.Register("zeta", TestTable()).ok());
+  ASSERT_TRUE(cat.Register("alpha", TestTable()).ok());
+  EXPECT_EQ(cat.TableNames(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+// ---- IO -----------------------------------------------------------------------
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "aqpp_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, CsvRoundTrip) {
+  auto t = TestTable();
+  ASSERT_TRUE(WriteCsv(*t, Path("t.csv")).ok());
+  auto back = ReadCsv(Path("t.csv"), TestSchema());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ((*back)->num_rows(), 4u);
+  EXPECT_EQ((*back)->column(0).GetInt64(3), 2);
+  EXPECT_DOUBLE_EQ((*back)->column(1).GetDouble(2), 30.25);
+  EXPECT_EQ((*back)->column(2).GetString(0), "R");
+}
+
+TEST_F(IoTest, CsvHeaderMismatchErrors) {
+  auto t = TestTable();
+  ASSERT_TRUE(WriteCsv(*t, Path("t.csv")).ok());
+  Schema wrong({{"x", DataType::kInt64},
+                {"price", DataType::kDouble},
+                {"flag", DataType::kString}});
+  EXPECT_FALSE(ReadCsv(Path("t.csv"), wrong).ok());
+}
+
+TEST_F(IoTest, CsvBadFieldErrors) {
+  FILE* f = fopen(Path("bad.csv").c_str(), "w");
+  fputs("id,price,flag\n1,notanumber,R\n", f);
+  fclose(f);
+  auto r = ReadCsv(Path("bad.csv"), TestSchema());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(IoTest, CsvMissingFileErrors) {
+  EXPECT_FALSE(ReadCsv(Path("absent.csv"), TestSchema()).ok());
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  auto t = TestTable();
+  ASSERT_TRUE(WriteBinary(*t, Path("t.bin")).ok());
+  auto back = ReadBinary(Path("t.bin"));
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ((*back)->num_rows(), 4u);
+  EXPECT_EQ((*back)->schema().ToString(), TestSchema().ToString());
+  EXPECT_EQ((*back)->column(0).GetInt64(1), 2);
+  EXPECT_DOUBLE_EQ((*back)->column(1).GetDouble(0), 10.5);
+  EXPECT_EQ((*back)->column(2).GetString(2), "N");
+  // Dictionary lookups survive round-tripping.
+  EXPECT_EQ(*(*back)->column(2).LookupDictionary("A"), 0);
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  FILE* f = fopen(Path("junk.bin").c_str(), "w");
+  fputs("this is not a table", f);
+  fclose(f);
+  EXPECT_FALSE(ReadBinary(Path("junk.bin")).ok());
+}
+
+}  // namespace
+}  // namespace aqpp

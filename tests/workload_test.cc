@@ -1,0 +1,238 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "workload/bigbench.h"
+#include "workload/metrics.h"
+#include "workload/query_gen.h"
+#include "workload/tlctrip.h"
+#include "workload/tpcd_skew.h"
+
+namespace aqpp {
+namespace {
+
+// ---- TPCD-Skew ------------------------------------------------------------------
+
+TEST(TpcdSkewTest, SchemaAndSize) {
+  auto t = GenerateTpcdSkew({.rows = 20000, .seed = 1});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 20000u);
+  EXPECT_EQ((*t)->schema().ToString(), TpcdSkewSchema().ToString());
+}
+
+TEST(TpcdSkewTest, KeysAreSkewed) {
+  auto t = GenerateTpcdSkew({.rows = 50000, .skew = 2.0, .seed = 2});
+  ASSERT_TRUE(t.ok());
+  // Under Zipf(2), key 1 should carry a dominant share of rows.
+  const auto& keys = (*t)->column(0).Int64Data();
+  size_t ones = 0;
+  for (int64_t k : keys) {
+    if (k == 1) ++ones;
+  }
+  EXPECT_GT(static_cast<double>(ones) / static_cast<double>(keys.size()),
+            0.3);
+}
+
+TEST(TpcdSkewTest, DatesAreConsistent) {
+  auto t = GenerateTpcdSkew({.rows = 10000, .seed = 3});
+  ASSERT_TRUE(t.ok());
+  const auto& ship = (*t)->column(7).Int64Data();
+  const auto& receipt = (*t)->column(9).Int64Data();
+  for (size_t i = 0; i < ship.size(); ++i) {
+    EXPECT_GE(receipt[i], ship[i]);
+    EXPECT_LE(receipt[i] - ship[i], 30);
+  }
+}
+
+TEST(TpcdSkewTest, PriceCorrelatedWithShipDate) {
+  // The generator injects a trend: later ship dates carry higher and more
+  // variable prices (the hill-climbing regime).
+  auto t = GenerateTpcdSkew({.rows = 100000, .seed = 4});
+  ASSERT_TRUE(t.ok());
+  const auto& ship = (*t)->column(7).Int64Data();
+  const auto& price = (*t)->column(10).DoubleData();
+  double early_sum = 0, late_sum = 0;
+  size_t early_n = 0, late_n = 0;
+  for (size_t i = 0; i < ship.size(); ++i) {
+    if (ship[i] < 600) {
+      early_sum += price[i];
+      ++early_n;
+    } else if (ship[i] > 1900) {
+      late_sum += price[i];
+      ++late_n;
+    }
+  }
+  ASSERT_GT(early_n, 100u);
+  ASSERT_GT(late_n, 100u);
+  EXPECT_GT(late_sum / late_n, 1.3 * early_sum / early_n);
+}
+
+TEST(TpcdSkewTest, ReturnFlagGroupsMatchTpchRules) {
+  auto t = GenerateTpcdSkew({.rows = 100000, .seed = 5});
+  ASSERT_TRUE(t.ok());
+  const Column& flag = (*t)->column(11);
+  const Column& status = (*t)->column(12);
+  std::set<std::pair<std::string, std::string>> groups;
+  size_t nf = 0;
+  for (size_t i = 0; i < (*t)->num_rows(); ++i) {
+    auto g = std::make_pair(flag.GetString(i), status.GetString(i));
+    groups.insert(g);
+    if (g.first == "N" && g.second == "F") ++nf;
+  }
+  EXPECT_GE(groups.size(), 4u);
+  // <N, F> exists but is tiny (Figure 10(b)'s small group).
+  EXPECT_GT(nf, 0u);
+  EXPECT_LT(static_cast<double>(nf) / static_cast<double>((*t)->num_rows()),
+            0.02);
+}
+
+// ---- BigBench ---------------------------------------------------------------------
+
+TEST(BigBenchTest, SchemaAndDomains) {
+  auto t = GenerateBigBench({.rows = 20000, .seed = 6});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->num_rows(), 20000u);
+  EXPECT_EQ((*t)->schema().ToString(), BigBenchSchema().ToString());
+  EXPECT_GE(*(*t)->column(2).MinInt64(), 1);   // visitDate
+  EXPECT_LE(*(*t)->column(2).MaxInt64(), 730);
+  // adRevenue positive and heavy-tailed.
+  const auto& rev = (*t)->column(5).DoubleData();
+  double max_rev = 0, sum = 0;
+  for (double r : rev) {
+    EXPECT_GT(r, 0.0);
+    max_rev = std::max(max_rev, r);
+    sum += r;
+  }
+  EXPECT_GT(max_rev, 20 * sum / static_cast<double>(rev.size()));
+}
+
+// ---- TLCTrip ----------------------------------------------------------------------
+
+TEST(TlcTripTest, SchemaAndStructure) {
+  auto t = GenerateTlcTrip({.rows = 20000, .seed = 7});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->schema().ToString(), TlcTripSchema().ToString());
+  // Fare correlates with distance.
+  const auto& fare = (*t)->column(4).Int64Data();
+  const auto& dist = (*t)->column(9).DoubleData();
+  double short_fare = 0, long_fare = 0;
+  size_t short_n = 0, long_n = 0;
+  for (size_t i = 0; i < fare.size(); ++i) {
+    if (dist[i] < 2.0) {
+      short_fare += static_cast<double>(fare[i]);
+      ++short_n;
+    } else if (dist[i] > 10.0) {
+      long_fare += static_cast<double>(fare[i]);
+      ++long_n;
+    }
+  }
+  ASSERT_GT(short_n, 100u);
+  ASSERT_GT(long_n, 10u);
+  EXPECT_GT(long_fare / static_cast<double>(long_n),
+            3 * short_fare / static_cast<double>(short_n));
+}
+
+TEST(TlcTripTest, PickupTimesBimodal) {
+  auto t = GenerateTlcTrip({.rows = 50000, .seed = 8});
+  ASSERT_TRUE(t.ok());
+  const auto& minutes = (*t)->column(1).Int64Data();
+  size_t morning = 0, midday = 0, evening = 0;
+  for (int64_t m : minutes) {
+    int64_t h = m / 60;
+    if (h >= 7 && h < 10) ++morning;
+    if (h >= 12 && h < 15) ++midday;
+    if (h >= 17 && h < 20) ++evening;
+  }
+  EXPECT_GT(morning, midday);
+  EXPECT_GT(evening, midday);
+}
+
+// ---- QueryGenerator --------------------------------------------------------------
+
+TEST(QueryGeneratorTest, SelectivityInBand) {
+  auto t = GenerateTpcdSkew({.rows = 100000, .seed = 9});
+  ASSERT_TRUE(t.ok());
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;                 // l_extendedprice
+  tmpl.condition_columns = {0, 2};      // l_orderkey, l_suppkey
+  QueryGenOptions opts;
+  QueryGenerator gen(t->get(), tmpl, opts, 10);
+  auto queries = gen.GenerateMany(50);
+  ASSERT_TRUE(queries.ok());
+  ExactExecutor ex(t->get());
+  size_t in_band = 0;
+  for (const auto& q : *queries) {
+    double sel = *ex.Selectivity(q.predicate);
+    if (sel >= opts.min_selectivity * 0.5 &&
+        sel <= opts.max_selectivity * 2.0) {
+      ++in_band;
+    }
+  }
+  // The calibration subset check keeps nearly all queries in (an expanded)
+  // band even on skewed data.
+  EXPECT_GE(in_band, 45u);
+}
+
+TEST(QueryGeneratorTest, CarriesTemplateGroupBy) {
+  auto t = GenerateTpcdSkew({.rows = 10000, .seed = 11});
+  ASSERT_TRUE(t.ok());
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;
+  tmpl.condition_columns = {0};
+  tmpl.group_columns = {11, 12};
+  QueryGenerator gen(t->get(), tmpl, {}, 12);
+  auto q = gen.Generate();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->group_by, (std::vector<size_t>{11, 12}));
+}
+
+// ---- Metrics ----------------------------------------------------------------------
+
+TEST(MetricsTest, SummaryComputation) {
+  auto t = GenerateTpcdSkew({.rows = 20000, .seed = 13});
+  ASSERT_TRUE(t.ok());
+  ExactExecutor ex(t->get());
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 10;
+  tmpl.condition_columns = {7};  // l_shipdate
+  QueryGenerator gen(t->get(), tmpl, {}, 14);
+  auto queries = gen.GenerateMany(10);
+  ASSERT_TRUE(queries.ok());
+
+  // A fake "engine" that returns truth +- 1%.
+  auto truths = ComputeTruths(*queries, ex);
+  ASSERT_TRUE(truths.ok());
+  size_t call = 0;
+  EngineFn fake = [&](const RangeQuery&) -> Result<ApproximateResult> {
+    ApproximateResult r;
+    double truth = (*truths)[call++];
+    r.ci.estimate = truth * 1.001;
+    r.ci.half_width = std::fabs(truth) * 0.01;
+    return r;
+  };
+  // Recompute per call ordering: run on the same query list.
+  auto summary = RunWorkloadWithTruth(*queries, *truths, fake);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->queries_run + summary->queries_skipped, 10u);
+  EXPECT_NEAR(summary->avg_relative_error, 0.01, 1e-9);
+  EXPECT_NEAR(summary->median_relative_error, 0.01, 1e-9);
+  EXPECT_DOUBLE_EQ(summary->coverage, 1.0);
+  EXPECT_FALSE(summary->ToString().empty());
+}
+
+TEST(MetricsTest, SizeMismatchErrors) {
+  EngineFn fake = [](const RangeQuery&) -> Result<ApproximateResult> {
+    return ApproximateResult{};
+  };
+  std::vector<RangeQuery> queries(2);
+  std::vector<double> truths(3);
+  EXPECT_FALSE(RunWorkloadWithTruth(queries, truths, fake).ok());
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -1,0 +1,244 @@
+// aqppcli — command-line front end for the AQP++ library.
+//
+//   aqppcli gen     --dataset tpcd|bigbench|tlctrip --rows N --out t.bin
+//                   [--skew z] [--csv]
+//   aqppcli info    --table t.bin
+//   aqppcli prepare --table t.bin --measure COL --dims C1,C2[,...]
+//                   [--k 50000] [--rate 0.02] --state DIR
+//   aqppcli query   --table t.bin --state DIR "SELECT ..." [--exact]
+//                   [--explain]
+//
+// `prepare` persists the sample + BP-Cube; `query` warm-starts from that
+// state and answers in sample time, printing the exact answer too when
+// --exact is given.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "exec/executor.h"
+#include "sql/binder.h"
+#include "storage/io.h"
+#include "workload/bigbench.h"
+#include "workload/tlctrip.h"
+#include "workload/tpcd_skew.h"
+
+namespace {
+
+using namespace aqpp;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "true";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+std::string FlagOr(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  auto it = args.flags.find(key);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  aqppcli gen --dataset tpcd|bigbench|tlctrip --rows N "
+               "--out t.bin [--skew z] [--csv]\n"
+               "  aqppcli info --table t.bin\n"
+               "  aqppcli prepare --table t.bin --measure COL --dims C1,C2 "
+               "[--k 50000] [--rate 0.02] --state DIR\n"
+               "  aqppcli query --table t.bin --state DIR \"SELECT ...\" "
+               "[--exact] [--explain]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int RunGen(const Args& args) {
+  std::string dataset = FlagOr(args, "dataset", "tpcd");
+  size_t rows = static_cast<size_t>(
+      std::atoll(FlagOr(args, "rows", "1000000").c_str()));
+  std::string out = FlagOr(args, "out", "");
+  if (out.empty()) return Usage();
+
+  Timer timer;
+  Result<std::shared_ptr<Table>> table = Status::InvalidArgument(
+      "unknown dataset '" + dataset + "' (tpcd | bigbench | tlctrip)");
+  if (dataset == "tpcd") {
+    double skew = std::atof(FlagOr(args, "skew", "1.0").c_str());
+    table = GenerateTpcdSkew({.rows = rows, .skew = skew});
+  } else if (dataset == "bigbench") {
+    table = GenerateBigBench({.rows = rows});
+  } else if (dataset == "tlctrip") {
+    table = GenerateTlcTrip({.rows = rows});
+  }
+  if (!table.ok()) return Fail(table.status());
+
+  Status st = FlagOr(args, "csv", "") == "true"
+                  ? WriteCsv(**table, out)
+                  : WriteBinary(**table, out);
+  if (!st.ok()) return Fail(st);
+  std::printf("wrote %zu rows (%s) to %s in %s\n", (*table)->num_rows(),
+              (*table)->schema().ToString().c_str(), out.c_str(),
+              FormatDuration(timer.ElapsedSeconds()).c_str());
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  std::string path = FlagOr(args, "table", "");
+  if (path.empty()) return Usage();
+  auto table = ReadBinary(path);
+  if (!table.ok()) return Fail(table.status());
+  std::printf("%s\nrows: %zu\nmemory: %s\n",
+              (*table)->schema().ToString().c_str(), (*table)->num_rows(),
+              FormatBytes(static_cast<double>((*table)->MemoryUsage()))
+                  .c_str());
+  for (size_t c = 0; c < (*table)->num_columns(); ++c) {
+    const Column& col = (*table)->column(c);
+    if (col.type() == DataType::kDouble) continue;
+    std::printf("  %-20s [%lld, %lld]\n",
+                (*table)->schema().column(c).name.c_str(),
+                static_cast<long long>(col.MinInt64().value_or(0)),
+                static_cast<long long>(col.MaxInt64().value_or(0)));
+  }
+  return 0;
+}
+
+int RunPrepare(const Args& args) {
+  std::string table_path = FlagOr(args, "table", "");
+  std::string measure = FlagOr(args, "measure", "");
+  std::string dims = FlagOr(args, "dims", "");
+  std::string state = FlagOr(args, "state", "");
+  if (table_path.empty() || measure.empty() || dims.empty() || state.empty()) {
+    return Usage();
+  }
+  auto table = ReadBinary(table_path);
+  if (!table.ok()) return Fail(table.status());
+
+  EngineOptions opts;
+  opts.sample_rate = std::atof(FlagOr(args, "rate", "0.02").c_str());
+  opts.cube_budget = static_cast<size_t>(
+      std::atoll(FlagOr(args, "k", "50000").c_str()));
+  auto engine = AqppEngine::Create(*table, opts);
+  if (!engine.ok()) return Fail(engine.status());
+
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  auto agg_idx = (*table)->GetColumnIndex(measure);
+  if (!agg_idx.ok()) return Fail(agg_idx.status());
+  tmpl.agg_column = *agg_idx;
+  for (const auto& name : SplitString(dims, ',')) {
+    auto idx = (*table)->GetColumnIndex(std::string(TrimWhitespace(name)));
+    if (!idx.ok()) return Fail(idx.status());
+    tmpl.condition_columns.push_back(*idx);
+  }
+
+  Timer timer;
+  Status st = (*engine)->Prepare(tmpl);
+  if (!st.ok()) return Fail(st);
+  st = (*engine)->SaveState(state);
+  if (!st.ok()) return Fail(st);
+  const auto& stats = (*engine)->prepare_stats();
+  std::printf("prepared in %s: sample %zu rows (%s), cube %zu cells (%s), "
+              "state saved to %s\n",
+              FormatDuration(timer.ElapsedSeconds()).c_str(),
+              (*engine)->sample().size(),
+              FormatBytes(static_cast<double>(stats.sample_bytes)).c_str(),
+              stats.cube_cells,
+              FormatBytes(static_cast<double>(stats.cube_bytes)).c_str(),
+              state.c_str());
+  return 0;
+}
+
+int RunQuery(const Args& args) {
+  std::string table_path = FlagOr(args, "table", "");
+  std::string state = FlagOr(args, "state", "");
+  if (table_path.empty() || args.positional.empty()) return Usage();
+  std::string sql = args.positional[0];
+
+  auto table = ReadBinary(table_path);
+  if (!table.ok()) return Fail(table.status());
+  Catalog catalog;
+  // Register under a generic name and the file stem so either works in SQL.
+  AQPP_CHECK_OK(catalog.Register("t", *table));
+  std::string stem = table_path;
+  size_t slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  if (stem != "t" && !stem.empty()) (void)catalog.Register(stem, *table);
+
+  auto bound = ParseAndBind(sql, catalog);
+  if (!bound.ok()) return Fail(bound.status());
+
+  EngineOptions opts;
+  opts.sample_rate = std::atof(FlagOr(args, "rate", "0.02").c_str());
+  auto engine = AqppEngine::Create(*table, opts);
+  if (!engine.ok()) return Fail(engine.status());
+  if (!state.empty()) {
+    Status st = (*engine)->LoadState(state);
+    if (!st.ok()) return Fail(st);
+  }
+
+  if (FlagOr(args, "explain", "") == "true") {
+    auto plan = (*engine)->Explain(bound->query);
+    if (!plan.ok()) return Fail(plan.status());
+    std::printf("%s", plan->c_str());
+    return 0;
+  }
+
+  Timer timer;
+  auto result = (*engine)->Execute(bound->query);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("AQP++: %s  (%s%s)\n", result->ci.ToString().c_str(),
+              FormatDuration(timer.ElapsedSeconds()).c_str(),
+              result->used_pre ? ", via BP-Cube" : ", plain sample");
+
+  if (FlagOr(args, "exact", "") == "true") {
+    Timer exact_timer;
+    ExactExecutor exact(table->get());
+    auto truth = exact.Execute(bound->query);
+    if (!truth.ok()) return Fail(truth.status());
+    std::printf("exact: %.10g  (%s, full scan)\n", *truth,
+                FormatDuration(exact_timer.ElapsedSeconds()).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "gen") return RunGen(args);
+  if (args.command == "info") return RunInfo(args);
+  if (args.command == "prepare") return RunPrepare(args);
+  if (args.command == "query") return RunQuery(args);
+  return Usage();
+}
