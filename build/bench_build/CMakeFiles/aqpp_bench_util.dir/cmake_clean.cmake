@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/aqpp_bench_util.dir/bench_util.cc.o.d"
+  "libaqpp_bench_util.a"
+  "libaqpp_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

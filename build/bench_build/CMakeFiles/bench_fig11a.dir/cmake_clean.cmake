@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11a"
+  "../bench/bench_fig11a.pdb"
+  "CMakeFiles/bench_fig11a.dir/bench_fig11a.cc.o"
+  "CMakeFiles/bench_fig11a.dir/bench_fig11a.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11b"
+  "../bench/bench_fig11b.pdb"
+  "CMakeFiles/bench_fig11b.dir/bench_fig11b.cc.o"
+  "CMakeFiles/bench_fig11b.dir/bench_fig11b.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_identification_ablation"
+  "../bench/bench_identification_ablation.pdb"
+  "CMakeFiles/bench_identification_ablation.dir/bench_identification_ablation.cc.o"
+  "CMakeFiles/bench_identification_ablation.dir/bench_identification_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_identification_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

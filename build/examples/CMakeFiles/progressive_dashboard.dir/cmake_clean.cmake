@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_dashboard.dir/progressive_dashboard.cpp.o"
+  "CMakeFiles/progressive_dashboard.dir/progressive_dashboard.cpp.o.d"
+  "progressive_dashboard"
+  "progressive_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

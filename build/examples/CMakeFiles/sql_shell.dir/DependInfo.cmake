@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sql_shell.cpp" "examples/CMakeFiles/sql_shell.dir/sql_shell.cpp.o" "gcc" "examples/CMakeFiles/sql_shell.dir/sql_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aqpp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/aqpp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/aqpp_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aqpp_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/aqpp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/aqpp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/aqpp_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aqpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/aqpp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aqpp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/aqpp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

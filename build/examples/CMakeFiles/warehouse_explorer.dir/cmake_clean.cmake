@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_explorer.dir/warehouse_explorer.cpp.o"
+  "CMakeFiles/warehouse_explorer.dir/warehouse_explorer.cpp.o.d"
+  "warehouse_explorer"
+  "warehouse_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

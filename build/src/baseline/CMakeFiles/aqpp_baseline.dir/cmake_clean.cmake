@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_baseline.dir/aggpre.cc.o"
+  "CMakeFiles/aqpp_baseline.dir/aggpre.cc.o.d"
+  "CMakeFiles/aqpp_baseline.dir/apa_plus.cc.o"
+  "CMakeFiles/aqpp_baseline.dir/apa_plus.cc.o.d"
+  "CMakeFiles/aqpp_baseline.dir/aqp.cc.o"
+  "CMakeFiles/aqpp_baseline.dir/aqp.cc.o.d"
+  "libaqpp_baseline.a"
+  "libaqpp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

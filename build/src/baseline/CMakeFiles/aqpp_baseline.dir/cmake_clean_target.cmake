@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaqpp_baseline.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_common.dir/logging.cc.o"
+  "CMakeFiles/aqpp_common.dir/logging.cc.o.d"
+  "CMakeFiles/aqpp_common.dir/parallel.cc.o"
+  "CMakeFiles/aqpp_common.dir/parallel.cc.o.d"
+  "CMakeFiles/aqpp_common.dir/random.cc.o"
+  "CMakeFiles/aqpp_common.dir/random.cc.o.d"
+  "CMakeFiles/aqpp_common.dir/status.cc.o"
+  "CMakeFiles/aqpp_common.dir/status.cc.o.d"
+  "CMakeFiles/aqpp_common.dir/string_util.cc.o"
+  "CMakeFiles/aqpp_common.dir/string_util.cc.o.d"
+  "libaqpp_common.a"
+  "libaqpp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/core/CMakeFiles/aqpp_core.dir/advisor.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/advisor.cc.o.d"
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/aqpp_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/aqpp_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/estimator.cc" "src/core/CMakeFiles/aqpp_core.dir/estimator.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/estimator.cc.o.d"
+  "/root/repo/src/core/identification.cc" "src/core/CMakeFiles/aqpp_core.dir/identification.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/identification.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/core/CMakeFiles/aqpp_core.dir/maintenance.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/maintenance.cc.o.d"
+  "/root/repo/src/core/multi_engine.cc" "src/core/CMakeFiles/aqpp_core.dir/multi_engine.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/multi_engine.cc.o.d"
+  "/root/repo/src/core/precompute.cc" "src/core/CMakeFiles/aqpp_core.dir/precompute.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/precompute.cc.o.d"
+  "/root/repo/src/core/progressive.cc" "src/core/CMakeFiles/aqpp_core.dir/progressive.cc.o" "gcc" "src/core/CMakeFiles/aqpp_core.dir/progressive.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqpp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aqpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/aqpp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqpp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/aqpp_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/cube/CMakeFiles/aqpp_cube.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_core.dir/advisor.cc.o"
+  "CMakeFiles/aqpp_core.dir/advisor.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/allocation.cc.o"
+  "CMakeFiles/aqpp_core.dir/allocation.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/engine.cc.o"
+  "CMakeFiles/aqpp_core.dir/engine.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/estimator.cc.o"
+  "CMakeFiles/aqpp_core.dir/estimator.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/identification.cc.o"
+  "CMakeFiles/aqpp_core.dir/identification.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/maintenance.cc.o"
+  "CMakeFiles/aqpp_core.dir/maintenance.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/multi_engine.cc.o"
+  "CMakeFiles/aqpp_core.dir/multi_engine.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/precompute.cc.o"
+  "CMakeFiles/aqpp_core.dir/precompute.cc.o.d"
+  "CMakeFiles/aqpp_core.dir/progressive.cc.o"
+  "CMakeFiles/aqpp_core.dir/progressive.cc.o.d"
+  "libaqpp_core.a"
+  "libaqpp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cube/extrema_grid.cc" "src/cube/CMakeFiles/aqpp_cube.dir/extrema_grid.cc.o" "gcc" "src/cube/CMakeFiles/aqpp_cube.dir/extrema_grid.cc.o.d"
+  "/root/repo/src/cube/partition.cc" "src/cube/CMakeFiles/aqpp_cube.dir/partition.cc.o" "gcc" "src/cube/CMakeFiles/aqpp_cube.dir/partition.cc.o.d"
+  "/root/repo/src/cube/prefix_cube.cc" "src/cube/CMakeFiles/aqpp_cube.dir/prefix_cube.cc.o" "gcc" "src/cube/CMakeFiles/aqpp_cube.dir/prefix_cube.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqpp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aqpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/aqpp_expr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_cube.dir/extrema_grid.cc.o"
+  "CMakeFiles/aqpp_cube.dir/extrema_grid.cc.o.d"
+  "CMakeFiles/aqpp_cube.dir/partition.cc.o"
+  "CMakeFiles/aqpp_cube.dir/partition.cc.o.d"
+  "CMakeFiles/aqpp_cube.dir/prefix_cube.cc.o"
+  "CMakeFiles/aqpp_cube.dir/prefix_cube.cc.o.d"
+  "libaqpp_cube.a"
+  "libaqpp_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

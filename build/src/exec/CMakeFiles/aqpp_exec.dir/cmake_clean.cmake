@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_exec.dir/executor.cc.o"
+  "CMakeFiles/aqpp_exec.dir/executor.cc.o.d"
+  "CMakeFiles/aqpp_exec.dir/hash_join.cc.o"
+  "CMakeFiles/aqpp_exec.dir/hash_join.cc.o.d"
+  "libaqpp_exec.a"
+  "libaqpp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_expr.dir/query.cc.o"
+  "CMakeFiles/aqpp_expr.dir/query.cc.o.d"
+  "libaqpp_expr.a"
+  "libaqpp_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_linalg.dir/matrix.cc.o"
+  "CMakeFiles/aqpp_linalg.dir/matrix.cc.o.d"
+  "libaqpp_linalg.a"
+  "libaqpp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/sample.cc" "src/sampling/CMakeFiles/aqpp_sampling.dir/sample.cc.o" "gcc" "src/sampling/CMakeFiles/aqpp_sampling.dir/sample.cc.o.d"
+  "/root/repo/src/sampling/sample_io.cc" "src/sampling/CMakeFiles/aqpp_sampling.dir/sample_io.cc.o" "gcc" "src/sampling/CMakeFiles/aqpp_sampling.dir/sample_io.cc.o.d"
+  "/root/repo/src/sampling/samplers.cc" "src/sampling/CMakeFiles/aqpp_sampling.dir/samplers.cc.o" "gcc" "src/sampling/CMakeFiles/aqpp_sampling.dir/samplers.cc.o.d"
+  "/root/repo/src/sampling/workload_sampler.cc" "src/sampling/CMakeFiles/aqpp_sampling.dir/workload_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/aqpp_sampling.dir/workload_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqpp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aqpp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/aqpp_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aqpp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

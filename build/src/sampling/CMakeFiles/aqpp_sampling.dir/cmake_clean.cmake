@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_sampling.dir/sample.cc.o"
+  "CMakeFiles/aqpp_sampling.dir/sample.cc.o.d"
+  "CMakeFiles/aqpp_sampling.dir/sample_io.cc.o"
+  "CMakeFiles/aqpp_sampling.dir/sample_io.cc.o.d"
+  "CMakeFiles/aqpp_sampling.dir/samplers.cc.o"
+  "CMakeFiles/aqpp_sampling.dir/samplers.cc.o.d"
+  "CMakeFiles/aqpp_sampling.dir/workload_sampler.cc.o"
+  "CMakeFiles/aqpp_sampling.dir/workload_sampler.cc.o.d"
+  "libaqpp_sampling.a"
+  "libaqpp_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

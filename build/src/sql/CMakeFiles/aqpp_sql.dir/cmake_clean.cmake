@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_sql.dir/binder.cc.o"
+  "CMakeFiles/aqpp_sql.dir/binder.cc.o.d"
+  "CMakeFiles/aqpp_sql.dir/formatter.cc.o"
+  "CMakeFiles/aqpp_sql.dir/formatter.cc.o.d"
+  "CMakeFiles/aqpp_sql.dir/lexer.cc.o"
+  "CMakeFiles/aqpp_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/aqpp_sql.dir/parser.cc.o"
+  "CMakeFiles/aqpp_sql.dir/parser.cc.o.d"
+  "libaqpp_sql.a"
+  "libaqpp_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/stats/CMakeFiles/aqpp_stats.dir/bootstrap.cc.o" "gcc" "src/stats/CMakeFiles/aqpp_stats.dir/bootstrap.cc.o.d"
+  "/root/repo/src/stats/confidence.cc" "src/stats/CMakeFiles/aqpp_stats.dir/confidence.cc.o" "gcc" "src/stats/CMakeFiles/aqpp_stats.dir/confidence.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/aqpp_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/aqpp_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/aqpp_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/aqpp_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/aqpp_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/aqpp_stats.dir/histogram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aqpp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aqpp_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

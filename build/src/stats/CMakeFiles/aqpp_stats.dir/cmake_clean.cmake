@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_stats.dir/bootstrap.cc.o"
+  "CMakeFiles/aqpp_stats.dir/bootstrap.cc.o.d"
+  "CMakeFiles/aqpp_stats.dir/confidence.cc.o"
+  "CMakeFiles/aqpp_stats.dir/confidence.cc.o.d"
+  "CMakeFiles/aqpp_stats.dir/descriptive.cc.o"
+  "CMakeFiles/aqpp_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/aqpp_stats.dir/distributions.cc.o"
+  "CMakeFiles/aqpp_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/aqpp_stats.dir/histogram.cc.o"
+  "CMakeFiles/aqpp_stats.dir/histogram.cc.o.d"
+  "libaqpp_stats.a"
+  "libaqpp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_storage.dir/column.cc.o"
+  "CMakeFiles/aqpp_storage.dir/column.cc.o.d"
+  "CMakeFiles/aqpp_storage.dir/io.cc.o"
+  "CMakeFiles/aqpp_storage.dir/io.cc.o.d"
+  "CMakeFiles/aqpp_storage.dir/table.cc.o"
+  "CMakeFiles/aqpp_storage.dir/table.cc.o.d"
+  "CMakeFiles/aqpp_storage.dir/types.cc.o"
+  "CMakeFiles/aqpp_storage.dir/types.cc.o.d"
+  "libaqpp_storage.a"
+  "libaqpp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

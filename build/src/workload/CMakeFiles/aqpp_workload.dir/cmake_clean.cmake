@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqpp_workload.dir/bigbench.cc.o"
+  "CMakeFiles/aqpp_workload.dir/bigbench.cc.o.d"
+  "CMakeFiles/aqpp_workload.dir/metrics.cc.o"
+  "CMakeFiles/aqpp_workload.dir/metrics.cc.o.d"
+  "CMakeFiles/aqpp_workload.dir/query_gen.cc.o"
+  "CMakeFiles/aqpp_workload.dir/query_gen.cc.o.d"
+  "CMakeFiles/aqpp_workload.dir/tlctrip.cc.o"
+  "CMakeFiles/aqpp_workload.dir/tlctrip.cc.o.d"
+  "CMakeFiles/aqpp_workload.dir/tpcd_skew.cc.o"
+  "CMakeFiles/aqpp_workload.dir/tpcd_skew.cc.o.d"
+  "libaqpp_workload.a"
+  "libaqpp_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqpp_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_engine_test.dir/multi_engine_test.cc.o"
+  "CMakeFiles/multi_engine_test.dir/multi_engine_test.cc.o.d"
+  "multi_engine_test"
+  "multi_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

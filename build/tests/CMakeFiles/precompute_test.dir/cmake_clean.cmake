@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precompute_test.dir/precompute_test.cc.o"
+  "CMakeFiles/precompute_test.dir/precompute_test.cc.o.d"
+  "precompute_test"
+  "precompute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precompute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

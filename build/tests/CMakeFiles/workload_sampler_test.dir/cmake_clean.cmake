@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_sampler_test.dir/workload_sampler_test.cc.o"
+  "CMakeFiles/workload_sampler_test.dir/workload_sampler_test.cc.o.d"
+  "workload_sampler_test"
+  "workload_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

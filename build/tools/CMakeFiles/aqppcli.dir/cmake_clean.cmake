@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aqppcli.dir/aqppcli.cpp.o"
+  "CMakeFiles/aqppcli.dir/aqppcli.cpp.o.d"
+  "aqppcli"
+  "aqppcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aqppcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aqppcli.
+# This may be replaced when dependencies are built.
