@@ -3,8 +3,14 @@
 // into — predicate scans, cube construction, cube lookups, sampling,
 // aggregate identification, and the difference estimator.
 
+#include <cstdlib>
+#include <fstream>
+#include <map>
+
 #include <benchmark/benchmark.h>
 
+#include "common/string_util.h"
+#include "common/timer.h"
 #include "core/engine.h"
 #include "core/estimator.h"
 #include "core/identification.h"
@@ -116,6 +122,73 @@ void BM_Identification(benchmark::State& state) {
 }
 BENCHMARK(BM_Identification);
 
+// ---- Identification scoring: batched pipeline vs legacy path ----------------
+
+// One prepared identification workload per dimensionality: a d-dimensional
+// BP-Cube over TPCD-Skew condition columns plus a misaligned d-range query.
+struct IdentSetup {
+  std::shared_ptr<PrefixCube> cube;
+  RangeQuery query;
+};
+
+const IdentSetup& IdentSetupFor(size_t d) {
+  static std::map<size_t, IdentSetup> cache;
+  auto it = cache.find(d);
+  if (it != cache.end()) return it->second;
+
+  // Condition columns and the per-dimension cube shapes/query ranges.
+  static const size_t kCols[] = {7, 4, 5, 6, 8};         // dates, qty, pct
+  static const size_t kShape[] = {32, 16, 8, 4, 4};
+  static const int64_t kQueryLo[] = {400, 10, 1, 0, 300};
+  static const int64_t kQueryHi[] = {1200, 40, 8, 5, 1500};
+
+  IdentSetup setup;
+  auto table = MicroTable();
+  auto& sample = MicroSample();
+  std::vector<size_t> shape(kShape, kShape + d);
+  std::vector<size_t> cols(kCols, kCols + d);
+  size_t budget = 1;
+  for (size_t s : shape) budget *= s;
+  Precomputer pre(table.get(), &sample, 10, {.forced_shape = shape});
+  setup.cube = std::move(pre.Precompute(cols, budget)).value().cube;
+
+  setup.query.func = AggregateFunction::kSum;
+  setup.query.agg_column = 10;
+  for (size_t i = 0; i < d; ++i) {
+    setup.query.predicate.Add({kCols[i], kQueryLo[i], kQueryHi[i]});
+  }
+  return cache.emplace(d, std::move(setup)).first->second;
+}
+
+// Args: (d, use_batched_scorer). Items processed = scoring-sample rows swept
+// per query (candidates * subsample size), so the counter reads as rows/sec
+// of candidate-scoring throughput; per-query latency is the iteration time.
+void BM_IdentificationScoring(benchmark::State& state) {
+  const size_t d = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  const IdentSetup& setup = IdentSetupFor(d);
+  IdentificationOptions opts;
+  opts.use_batched_scorer = batched;
+  Rng crng(40);
+  AggregateIdentifier ident(setup.cube.get(), &MicroSample(), opts, crng);
+  Rng rng(41);
+  auto first = ident.Identify(setup.query, rng);
+  const size_t candidates = first.ok() ? first->num_candidates : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(*ident.Identify(setup.query, rng));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(candidates * ident.scoring_sample().size()));
+  state.counters["candidates"] =
+      benchmark::Counter(static_cast<double>(candidates));
+}
+BENCHMARK(BM_IdentificationScoring)
+    ->Args({1, 0})->Args({1, 1})
+    ->Args({2, 0})->Args({2, 1})
+    ->Args({3, 0})->Args({3, 1})
+    ->Args({5, 0})->Args({5, 1});
+
 void BM_DifferenceEstimator(benchmark::State& state) {
   auto& sample = MicroSample();
   SampleEstimator est(&sample);
@@ -215,7 +288,112 @@ void BM_HillClimb(benchmark::State& state) {
 }
 BENCHMARK(BM_HillClimb)->Arg(32)->Arg(256);
 
+// Dedicated legacy-vs-batched comparison: measures per-query identification
+// latency for both scorer paths at d in {1, 2, 3, 5}, checks that they pick
+// the same winning pre with scores equal within 1e-9, and writes the whole
+// record (the PR's perf acceptance artifact) to BENCH_identification.json.
+void WriteIdentificationComparisonJson(const std::string& path) {
+  struct Row {
+    size_t d = 0;
+    size_t candidates = 0;
+    size_t scoring_rows = 0;
+    double legacy_seconds = 0;
+    double batched_seconds = 0;
+    bool winner_matches = false;
+    double score_diff = 0;
+  };
+  std::vector<Row> rows;
+  for (size_t d : {1u, 2u, 3u, 5u}) {
+    const IdentSetup& setup = IdentSetupFor(d);
+    IdentificationOptions batched_opts;
+    IdentificationOptions legacy_opts;
+    legacy_opts.use_batched_scorer = false;
+    // Score on the full sample (no subsampling) so the comparison measures
+    // the scoring pipeline itself rather than the subsample-rate policy;
+    // both paths see the identical row set.
+    batched_opts.score_on_full_sample = true;
+    legacy_opts.score_on_full_sample = true;
+    Rng c1(40), c2(40);
+    AggregateIdentifier batched(setup.cube.get(), &MicroSample(),
+                                batched_opts, c1);
+    AggregateIdentifier legacy(setup.cube.get(), &MicroSample(),
+                               legacy_opts, c2);
+
+    Row row;
+    row.d = d;
+    row.scoring_rows = batched.scoring_sample().size();
+    {
+      Rng r1(41), r2(41);
+      auto b = batched.Identify(setup.query, r1);
+      auto l = legacy.Identify(setup.query, r2);
+      if (!b.ok() || !l.ok()) continue;
+      row.candidates = b->num_candidates;
+      row.winner_matches =
+          b->pre.lo == l->pre.lo && b->pre.hi == l->pre.hi;
+      row.score_diff = std::abs(b->scored_error - l->scored_error) /
+                       std::max(1.0, std::abs(l->scored_error));
+    }
+    auto time_path = [&](const AggregateIdentifier& ident) {
+      // Warm, then time enough repetitions for a stable per-query latency.
+      Rng rng(42);
+      (void)ident.Identify(setup.query, rng);
+      size_t reps = 0;
+      Timer timer;
+      while (reps < 20 || (timer.ElapsedSeconds() < 0.25 && reps < 5000)) {
+        auto r = ident.Identify(setup.query, rng);
+        benchmark::DoNotOptimize(r);
+        ++reps;
+      }
+      return timer.ElapsedSeconds() / static_cast<double>(reps);
+    };
+    row.batched_seconds = time_path(batched);
+    row.legacy_seconds = time_path(legacy);
+    rows.push_back(row);
+  }
+
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"identification_scoring\",\n";
+  out << StrFormat("  \"table_rows\": %zu,\n", MicroTable()->num_rows());
+  out << StrFormat("  \"sample_rows\": %zu,\n", MicroSample().size());
+  out << "  \"equivalence\": \"same winner and relative |score delta| <= "
+         "1e-9 between batched and legacy scorer\",\n";
+  out << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    double scored_rows = static_cast<double>(r.candidates * r.scoring_rows);
+    out << StrFormat(
+        "    {\"d\": %zu, \"candidates\": %zu, \"scoring_rows\": %zu,\n"
+        "     \"legacy_query_seconds\": %.3e, \"batched_query_seconds\": "
+        "%.3e,\n"
+        "     \"legacy_rows_per_sec\": %.4g, \"batched_rows_per_sec\": "
+        "%.4g,\n"
+        "     \"speedup\": %.2f, \"winner_matches\": %s, \"score_diff\": "
+        "%.3e}%s\n",
+        r.d, r.candidates, r.scoring_rows, r.legacy_seconds,
+        r.batched_seconds, scored_rows / r.legacy_seconds,
+        scored_rows / r.batched_seconds,
+        r.legacy_seconds / r.batched_seconds,
+        r.winner_matches && r.score_diff <= 1e-9 ? "true" : "false",
+        r.score_diff, i + 1 < rows.size() ? "," : "");
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 }  // namespace aqpp
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  // The identification comparison artifact; set AQPP_BENCH_IDENT_JSON to
+  // change the output path, or =skip to disable.
+  const char* json_path = std::getenv("AQPP_BENCH_IDENT_JSON");
+  std::string path = json_path != nullptr ? json_path
+                                          : "BENCH_identification.json";
+  if (path != "skip") {
+    aqpp::WriteIdentificationComparisonJson(path);
+  }
+  return 0;
+}

@@ -4,32 +4,104 @@
 
 namespace aqpp {
 
+namespace {
+
+// Set while a thread is executing jobs of a pool region; nested regions
+// issued from such a thread run inline instead of re-entering the pool.
+thread_local bool t_inside_pool_region = false;
+
+}  // namespace
+
 size_t DefaultParallelism() {
   size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 1;
   return std::min<size_t>(hw, 16);
 }
 
-void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
-                 size_t min_chunk) {
-  if (n == 0) return;
-  size_t workers = DefaultParallelism();
-  // Don't spawn threads that would each get less than min_chunk items.
-  workers = std::min(workers, (n + min_chunk - 1) / min_chunk);
-  if (workers <= 1) {
-    body(0, n);
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t background = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(background);
+  for (size_t i = 0; i < background; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Run(size_t num_jobs, RawTask task, void* ctx) {
+  if (num_jobs == 0) return;
+  if (t_inside_pool_region || workers_.empty()) {
+    // Nested or single-threaded: execute inline, in order.
+    for (size_t j = 0; j < num_jobs; ++j) task(ctx, j);
     return;
   }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    size_t begin = w * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back([&body, begin, end] { body(begin, end); });
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = task;
+    ctx_ = ctx;
+    num_jobs_ = num_jobs;
+    next_job_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    ++generation_;
   }
-  for (auto& t : threads) t.join();
+  work_cv_.notify_all();
+
+  // The caller participates in the region.
+  t_inside_pool_region = true;
+  size_t job;
+  while ((job = next_job_.fetch_add(1, std::memory_order_relaxed)) <
+         num_jobs) {
+    task(ctx, job);
+  }
+  t_inside_pool_region = false;
+
+  // Wait for the background workers to drain their claimed jobs.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  task_ = nullptr;
+  ctx_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    RawTask task = task_;
+    void* ctx = ctx_;
+    const size_t num_jobs = num_jobs_;
+    lock.unlock();
+
+    t_inside_pool_region = true;
+    size_t job;
+    while ((job = next_job_.fetch_add(1, std::memory_order_relaxed)) <
+           num_jobs) {
+      task(ctx, job);
+    }
+    t_inside_pool_region = false;
+
+    lock.lock();
+    if (--active_workers_ == 0) done_cv_.notify_all();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Meyers singleton: workers are joined at process exit (leak-sanitizer
+  // clean).
+  static ThreadPool pool(DefaultParallelism());
+  return pool;
 }
 
 }  // namespace aqpp

@@ -1,24 +1,121 @@
-// Minimal data-parallel helpers for scan-heavy operators.
+// Pooled data-parallel helpers for scan-heavy operators and candidate
+// scoring.
+//
+// A ThreadPool owns a fixed set of persistent worker threads; parallel
+// regions are dispatched to it without spawning (or detaching) any thread
+// per call. The calling thread always participates, so a pool of size 1 runs
+// everything inline and a region never deadlocks on an exhausted pool.
+// Nested regions (a ParallelFor issued from inside a pool worker) degrade to
+// sequential execution on the issuing worker.
 
 #ifndef AQPP_COMMON_PARALLEL_H_
 #define AQPP_COMMON_PARALLEL_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <cstdint>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 namespace aqpp {
 
-// Number of worker threads used by ParallelFor (hardware concurrency,
+// Number of threads used by the process-global pool (hardware concurrency,
 // clamped to [1, 16]).
 size_t DefaultParallelism();
 
-// Runs body(begin, end) over disjoint chunks of [0, n) on multiple threads.
-// `body` must be safe to call concurrently on disjoint ranges. Falls back to
-// a single inline call for small n.
-void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& body,
-                 size_t min_chunk = 1 << 14);
+class ThreadPool {
+ public:
+  // Raw region callback: fn(ctx, job) for job in [0, num_jobs). Kept as a
+  // bare function pointer + context so the templated front-ends below incur
+  // no std::function allocation per dispatch.
+  using RawTask = void (*)(void* ctx, size_t job);
+
+  // Creates a pool with `num_threads` total execution slots: the caller of
+  // Run() plus num_threads - 1 persistent background workers.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total execution slots (background workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  // Runs task(ctx, job) for every job in [0, num_jobs); jobs are claimed
+  // dynamically so irregular job costs balance. Blocks until all jobs are
+  // done. Safe to call from multiple threads (regions are serialized) and
+  // from inside a pool worker (runs inline).
+  void Run(size_t num_jobs, RawTask task, void* ctx);
+
+  // The process-global pool (DefaultParallelism() threads, created once on
+  // first use and reused for the lifetime of the process).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex run_mu_;  // serializes concurrent Run() calls
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  RawTask task_ = nullptr;
+  void* ctx_ = nullptr;
+  size_t num_jobs_ = 0;
+  size_t active_workers_ = 0;
+  bool shutdown_ = false;
+  std::atomic<size_t> next_job_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+namespace parallel_internal {
+
+// Adapts any callable to ThreadPool::RawTask without owning or copying it;
+// the region is fully synchronous so borrowing the callable is safe.
+template <typename Body>
+void InvokeJob(void* ctx, size_t job) {
+  (*static_cast<Body*>(ctx))(job);
+}
+
+}  // namespace parallel_internal
+
+// Runs body(job) for every job in [0, num_jobs) on `pool` (the global pool
+// when null). Jobs are claimed dynamically — use this for coarse, irregular
+// work items such as per-candidate scoring.
+template <typename Body>
+void ParallelForEach(size_t num_jobs, Body&& body, ThreadPool* pool = nullptr) {
+  if (num_jobs == 0) return;
+  using Decayed = std::remove_reference_t<Body>;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  p.Run(num_jobs, &parallel_internal::InvokeJob<Decayed>,
+        const_cast<std::remove_const_t<Decayed>*>(&body));
+}
+
+// Runs body(begin, end) over disjoint chunks of [0, n). `body` must be safe
+// to call concurrently on disjoint ranges. Falls back to a single inline
+// call when n is too small to be worth splitting (< min_chunk per thread).
+template <typename Body>
+void ParallelFor(size_t n, Body&& body, size_t min_chunk = 1 << 14,
+                 ThreadPool* pool = nullptr) {
+  if (n == 0) return;
+  ThreadPool& p = pool != nullptr ? *pool : ThreadPool::Global();
+  size_t chunks = std::min(p.num_threads(), (n + min_chunk - 1) / min_chunk);
+  if (chunks <= 1) {
+    body(0, n);
+    return;
+  }
+  const size_t chunk = (n + chunks - 1) / chunks;
+  auto run_chunk = [&body, n, chunk](size_t c) {
+    size_t begin = c * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin < end) body(begin, end);
+  };
+  ParallelForEach(chunks, run_chunk, &p);
+}
 
 }  // namespace aqpp
 

@@ -84,6 +84,7 @@ Status AqppEngine::EnsureSample() {
   if (!sample.ok()) return sample.status();
   sample_ = std::move(sample).value();
   has_sample_ = true;
+  measure_cache_ = std::make_unique<MeasureCache>(sample_.rows.get());
   prepare_stats_.sample_seconds = timer.ElapsedSeconds();
   prepare_stats_.sample_bytes = sample_.MemoryUsage();
   return Status::OK();
@@ -204,6 +205,9 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query) {
   SampleEstimator estimator(
       &sample_, {.confidence_level = options_.confidence_level,
                  .bootstrap_resamples = options_.bootstrap_resamples});
+  if (measure_cache_ != nullptr) {
+    estimator.set_measure_cache(measure_cache_.get());
+  }
 
   if (cube_ == nullptr || identifier_ == nullptr) {
     Timer timer;
@@ -217,16 +221,22 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query) {
   out.identification_seconds = ident_timer.ElapsedSeconds();
   out.candidates_considered = identified.num_candidates;
 
+  // Final estimation reuses precomputed masks: the query mask is evaluated
+  // once here, and the winning box's mask comes straight from the
+  // identifier's cached cell-id matrix (no predicate re-evaluation).
   Timer est_timer;
+  AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
   if (identified.pre.IsEmpty()) {
-    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng_));
+    AQPP_ASSIGN_OR_RETURN(out.ci,
+                          estimator.EstimateDirectMasked(query, q_mask, rng_));
     out.used_pre = false;
     out.pre_description = "phi";
   } else {
-    RangePredicate pre_pred = identified.pre.ToPredicate(cube_->scheme());
+    std::vector<uint8_t> pre_mask =
+        identifier_->PreMaskOnSample(identified.pre);
     AQPP_ASSIGN_OR_RETURN(
-        out.ci, estimator.EstimateWithPre(query, pre_pred, identified.values,
-                                          rng_));
+        out.ci, estimator.EstimateWithPreMasked(query, q_mask, pre_mask,
+                                                identified.values, rng_));
     out.used_pre = true;
     out.pre_description =
         identified.pre.ToString(cube_->scheme(), table_->schema());
@@ -318,6 +328,7 @@ Status AqppEngine::LoadState(const std::string& dir) {
   }
   sample_ = std::move(sample);
   has_sample_ = true;
+  measure_cache_ = std::make_unique<MeasureCache>(sample_.rows.get());
   prepare_stats_.sample_bytes = sample_.MemoryUsage();
   template_ = tmpl;
 
@@ -409,6 +420,9 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
   SampleEstimator estimator(
       &sample_, {.confidence_level = options_.confidence_level,
                  .bootstrap_resamples = options_.bootstrap_resamples});
+  if (measure_cache_ != nullptr) {
+    estimator.set_measure_cache(measure_cache_.get());
+  }
 
   // Identify once on the group-stripped query (Appendix C's heuristic).
   RangeQuery scalar = query;
@@ -474,10 +488,13 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
         values.count = cube_->num_measures() > 1 ? cube_->BoxValue(pre, 1) : 0;
         values.sum_sq =
             cube_->num_measures() > 2 ? cube_->BoxValue(pre, 2) : 0;
-        RangePredicate pre_pred = pre.ToPredicate(cube_->scheme());
+        AQPP_ASSIGN_OR_RETURN(auto gq_mask,
+                              estimator.Mask(group_query.predicate));
+        std::vector<uint8_t> pre_mask = identifier_->PreMaskOnSample(pre);
         AQPP_ASSIGN_OR_RETURN(
-            gr.result.ci, estimator.EstimateWithPre(group_query, pre_pred,
-                                                    values, rng_));
+            gr.result.ci, estimator.EstimateWithPreMasked(group_query, gq_mask,
+                                                          pre_mask, values,
+                                                          rng_));
         gr.result.used_pre = true;
         gr.result.pre_description =
             pre.ToString(cube_->scheme(), table_->schema());

@@ -179,6 +179,10 @@ class AqppEngine {
   Rng rng_;
   Sample sample_;
   bool has_sample_ = false;
+  // Engine-level measure cache: double-materialized measure columns over the
+  // current sample, shared by every estimator the engine creates. Rebuilt
+  // whenever the sample changes.
+  std::unique_ptr<MeasureCache> measure_cache_;
   std::optional<QueryTemplate> template_;
   std::shared_ptr<PrefixCube> cube_;
   std::shared_ptr<ExtremaGrid> extrema_;

@@ -9,6 +9,20 @@
 
 namespace aqpp {
 
+Result<const std::vector<double>*> MeasureCache::Get(size_t column) {
+  if (column >= rows_->num_columns()) {
+    return Status::InvalidArgument("measure column out of range");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = columns_.find(column);
+  if (it == columns_.end()) {
+    auto values = std::make_unique<std::vector<double>>(
+        rows_->column(column).ToDoubleVector());
+    it = columns_.emplace(column, std::move(values)).first;
+  }
+  return it->second.get();
+}
+
 SampleEstimator::SampleEstimator(const Sample* sample,
                                  EstimatorOptions options)
     : sample_(sample),
@@ -65,10 +79,25 @@ Result<std::vector<uint8_t>> SampleEstimator::Mask(
 
 Result<std::vector<double>> SampleEstimator::MeasureValues(
     size_t column) const {
+  AQPP_ASSIGN_OR_RETURN(const std::vector<double>* values, MeasureRef(column));
+  return *values;
+}
+
+Result<const std::vector<double>*> SampleEstimator::MeasureRef(
+    size_t column) const {
+  if (measure_cache_ != nullptr) {
+    return measure_cache_->Get(column);
+  }
   if (column >= sample_->rows->num_columns()) {
     return Status::InvalidArgument("measure column out of range");
   }
-  return sample_->rows->column(column).ToDoubleVector();
+  auto it = local_measures_.find(column);
+  if (it == local_measures_.end()) {
+    auto values = std::make_unique<std::vector<double>>(
+        sample_->rows->column(column).ToDoubleVector());
+    it = local_measures_.emplace(column, std::move(values)).first;
+  }
+  return it->second.get();
 }
 
 namespace {
@@ -100,6 +129,82 @@ ConfidenceInterval SampleEstimator::SumDifferenceCI(
   return ci;
 }
 
+ConfidenceInterval AvgDifferenceBootstrapCI(
+    const std::vector<double>& s_contrib, const std::vector<double>& c_contrib,
+    const PreValues& pre, double confidence_level, size_t resamples,
+    Rng& rng) {
+  const size_t n = s_contrib.size();
+  auto ratio_of = [&](double s, double c) {
+    double den = pre.count + c;
+    return den != 0 ? (pre.sum + s) / den : 0.0;
+  };
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (size_t r = 0; r < resamples; ++r) {
+    double s = 0, c = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t j = static_cast<size_t>(rng.NextBounded(n));
+      s += s_contrib[j];
+      c += c_contrib[j];
+    }
+    estimates.push_back(ratio_of(s, c));
+  }
+  double s_full = 0, c_full = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s_full += s_contrib[i];
+    c_full += c_contrib[i];
+  }
+  std::sort(estimates.begin(), estimates.end());
+  double alpha = (1.0 - confidence_level) / 2.0;
+  double lo = Quantile(estimates, alpha);
+  double hi = Quantile(estimates, 1.0 - alpha);
+  ConfidenceInterval ci;
+  ci.level = confidence_level;
+  ci.estimate = ratio_of(s_full, c_full);
+  ci.half_width = (hi - lo) / 2.0;
+  return ci;
+}
+
+ConfidenceInterval VarDifferenceBootstrapCI(
+    const std::vector<double>& s2_contrib, const std::vector<double>& s_contrib,
+    const std::vector<double>& c_contrib, const PreValues& pre,
+    double confidence_level, size_t resamples, Rng& rng) {
+  const size_t n = s_contrib.size();
+  auto var_of = [&](double s2, double s, double c) {
+    double cnt = pre.count + c;
+    if (cnt <= 0) return 0.0;
+    double mean = (pre.sum + s) / cnt;
+    double ex2 = (pre.sum_sq + s2) / cnt;
+    return std::max(0.0, ex2 - mean * mean);
+  };
+  std::vector<double> estimates;
+  estimates.reserve(resamples);
+  for (size_t r = 0; r < resamples; ++r) {
+    double s2 = 0, s = 0, c = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t j = static_cast<size_t>(rng.NextBounded(n));
+      s2 += s2_contrib[j];
+      s += s_contrib[j];
+      c += c_contrib[j];
+    }
+    estimates.push_back(var_of(s2, s, c));
+  }
+  double s2f = 0, sf = 0, cf = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s2f += s2_contrib[i];
+    sf += s_contrib[i];
+    cf += c_contrib[i];
+  }
+  double alpha = (1.0 - confidence_level) / 2.0;
+  double lo = Quantile(estimates, alpha);
+  double hi = Quantile(estimates, 1.0 - alpha);
+  ConfidenceInterval ci;
+  ci.level = confidence_level;
+  ci.estimate = var_of(s2f, sf, cf);
+  ci.half_width = (hi - lo) / 2.0;
+  return ci;
+}
+
 Result<ConfidenceInterval> SampleEstimator::EstimateDirect(
     const RangeQuery& query, Rng& rng) const {
   if (!query.group_by.empty()) {
@@ -107,12 +212,24 @@ Result<ConfidenceInterval> SampleEstimator::EstimateDirect(
         "EstimateDirect handles scalar queries only");
   }
   AQPP_ASSIGN_OR_RETURN(auto mask, Mask(query.predicate));
+  return EstimateDirectMasked(query, mask, rng);
+}
+
+Result<ConfidenceInterval> SampleEstimator::EstimateDirectMasked(
+    const RangeQuery& query, const std::vector<uint8_t>& mask,
+    Rng& rng) const {
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "EstimateDirect handles scalar queries only");
+  }
   const size_t n = sample_->size();
+  AQPP_CHECK_EQ(mask.size(), n);
 
   switch (query.func) {
     case AggregateFunction::kSum: {
-      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
-      return SumCI(MaskedValues(measure, mask));
+      AQPP_ASSIGN_OR_RETURN(const std::vector<double>* measure,
+                            MeasureRef(query.agg_column));
+      return SumCI(MaskedValues(*measure, mask));
     }
     case AggregateFunction::kCount: {
       std::vector<double> y(n);
@@ -120,7 +237,9 @@ Result<ConfidenceInterval> SampleEstimator::EstimateDirect(
       return SumCI(y);
     }
     case AggregateFunction::kAvg: {
-      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      AQPP_ASSIGN_OR_RETURN(const std::vector<double>* measure_ptr,
+                            MeasureRef(query.agg_column));
+      const std::vector<double>& measure = *measure_ptr;
       // Ratio estimator R = (sum w a cond) / (sum w cond), linearized CI:
       // Var(R) ≈ Var( sum_i w_i cond_i (a_i - R) ) / (sum w cond)^2.
       double num = 0, den = 0;
@@ -143,7 +262,9 @@ Result<ConfidenceInterval> SampleEstimator::EstimateDirect(
       return ci;
     }
     case AggregateFunction::kVar: {
-      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      AQPP_ASSIGN_OR_RETURN(const std::vector<double>* measure_ptr,
+                            MeasureRef(query.agg_column));
+      const std::vector<double>& measure = *measure_ptr;
       // Plug-in weighted population variance, bootstrap CI.
       auto statistic = [&](const std::vector<size_t>& idx) {
         RunningMoments m;
@@ -181,23 +302,35 @@ Result<ConfidenceInterval> SampleEstimator::EstimateWithPre(
   }
   AQPP_ASSIGN_OR_RETURN(auto q_mask, Mask(query.predicate));
   AQPP_ASSIGN_OR_RETURN(auto pre_mask, Mask(pre_predicate));
+  return EstimateWithPreMasked(query, q_mask, pre_mask, pre, rng);
+}
+
+Result<ConfidenceInterval> SampleEstimator::EstimateWithPreMasked(
+    const RangeQuery& query, const std::vector<uint8_t>& q_mask,
+    const std::vector<uint8_t>& pre_mask, const PreValues& pre,
+    Rng& rng) const {
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument(
+        "EstimateWithPre handles scalar queries only");
+  }
   const size_t n = sample_->size();
+  AQPP_CHECK_EQ(q_mask.size(), n);
+  AQPP_CHECK_EQ(pre_mask.size(), n);
 
   switch (query.func) {
     case AggregateFunction::kSum: {
-      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
-      return SumDifferenceCI(measure, q_mask, pre_mask, pre.sum);
+      AQPP_ASSIGN_OR_RETURN(const std::vector<double>* measure,
+                            MeasureRef(query.agg_column));
+      return SumDifferenceCI(*measure, q_mask, pre_mask, pre.sum);
     }
     case AggregateFunction::kCount: {
       std::vector<double> ones(n, 1.0);
       return SumDifferenceCI(ones, q_mask, pre_mask, pre.count);
     }
     case AggregateFunction::kAvg: {
-      // AVG = SUM / COUNT with both numerator and denominator estimated by
-      // difference; CI by bootstrap over the paired per-row contributions
-      // (the paper's Section 4.2.2 bootstrap procedure, computing
-      // pre(D) + (q̂(S_i) - p̂re(S_i)) per resample).
-      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      AQPP_ASSIGN_OR_RETURN(const std::vector<double>* measure_ptr,
+                            MeasureRef(query.agg_column));
+      const std::vector<double>& measure = *measure_ptr;
       std::vector<double> s_contrib(n), c_contrib(n);
       for (size_t i = 0; i < n; ++i) {
         double diff = static_cast<double>(q_mask[i]) -
@@ -206,40 +339,14 @@ Result<ConfidenceInterval> SampleEstimator::EstimateWithPre(
         s_contrib[i] = w * measure[i] * diff;
         c_contrib[i] = w * diff;
       }
-      auto ratio_of = [&](double s, double c) {
-        double den = pre.count + c;
-        return den != 0 ? (pre.sum + s) / den : 0.0;
-      };
-      std::vector<double> estimates;
-      estimates.reserve(options_.bootstrap_resamples);
-      for (size_t r = 0; r < options_.bootstrap_resamples; ++r) {
-        double s = 0, c = 0;
-        for (size_t i = 0; i < n; ++i) {
-          size_t j = static_cast<size_t>(rng.NextBounded(n));
-          s += s_contrib[j];
-          c += c_contrib[j];
-        }
-        estimates.push_back(ratio_of(s, c));
-      }
-      double s_full = 0, c_full = 0;
-      for (size_t i = 0; i < n; ++i) {
-        s_full += s_contrib[i];
-        c_full += c_contrib[i];
-      }
-      std::sort(estimates.begin(), estimates.end());
-      double alpha = (1.0 - options_.confidence_level) / 2.0;
-      double lo = Quantile(estimates, alpha);
-      double hi = Quantile(estimates, 1.0 - alpha);
-      ConfidenceInterval ci;
-      ci.level = options_.confidence_level;
-      ci.estimate = ratio_of(s_full, c_full);
-      ci.half_width = (hi - lo) / 2.0;
-      return ci;
+      return AvgDifferenceBootstrapCI(s_contrib, c_contrib, pre,
+                                      options_.confidence_level,
+                                      options_.bootstrap_resamples, rng);
     }
     case AggregateFunction::kVar: {
-      // VAR = E[A^2] - E[A]^2 reconstructed from three difference-estimated
-      // sums (SUM(A^2), SUM(A), COUNT); CI by bootstrap.
-      AQPP_ASSIGN_OR_RETURN(auto measure, MeasureValues(query.agg_column));
+      AQPP_ASSIGN_OR_RETURN(const std::vector<double>* measure_ptr,
+                            MeasureRef(query.agg_column));
+      const std::vector<double>& measure = *measure_ptr;
       std::vector<double> s2_contrib(n), s_contrib(n), c_contrib(n);
       for (size_t i = 0; i < n; ++i) {
         double diff = static_cast<double>(q_mask[i]) -
@@ -249,39 +356,9 @@ Result<ConfidenceInterval> SampleEstimator::EstimateWithPre(
         s_contrib[i] = w * measure[i] * diff;
         c_contrib[i] = w * diff;
       }
-      auto var_of = [&](double s2, double s, double c) {
-        double cnt = pre.count + c;
-        if (cnt <= 0) return 0.0;
-        double mean = (pre.sum + s) / cnt;
-        double ex2 = (pre.sum_sq + s2) / cnt;
-        return std::max(0.0, ex2 - mean * mean);
-      };
-      std::vector<double> estimates;
-      estimates.reserve(options_.bootstrap_resamples);
-      for (size_t r = 0; r < options_.bootstrap_resamples; ++r) {
-        double s2 = 0, s = 0, c = 0;
-        for (size_t i = 0; i < n; ++i) {
-          size_t j = static_cast<size_t>(rng.NextBounded(n));
-          s2 += s2_contrib[j];
-          s += s_contrib[j];
-          c += c_contrib[j];
-        }
-        estimates.push_back(var_of(s2, s, c));
-      }
-      double s2f = 0, sf = 0, cf = 0;
-      for (size_t i = 0; i < n; ++i) {
-        s2f += s2_contrib[i];
-        sf += s_contrib[i];
-        cf += c_contrib[i];
-      }
-      double alpha = (1.0 - options_.confidence_level) / 2.0;
-      double lo = Quantile(estimates, alpha);
-      double hi = Quantile(estimates, 1.0 - alpha);
-      ConfidenceInterval ci;
-      ci.level = options_.confidence_level;
-      ci.estimate = var_of(s2f, sf, cf);
-      ci.half_width = (hi - lo) / 2.0;
-      return ci;
+      return VarDifferenceBootstrapCI(s2_contrib, s_contrib, c_contrib, pre,
+                                      options_.confidence_level,
+                                      options_.bootstrap_resamples, rng);
     }
     case AggregateFunction::kMin:
     case AggregateFunction::kMax:

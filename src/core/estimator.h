@@ -13,6 +13,9 @@
 #define AQPP_CORE_ESTIMATOR_H_
 
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/random.h"
@@ -36,6 +39,45 @@ struct PreValues {
   double sum_sq = 0.0;    // SUM(A^2) over the box
 };
 
+// Materialized double views of a table's measure columns, built once and
+// shared by every estimate over the same sample (the engine-level measure
+// cache). Thread-safe.
+class MeasureCache {
+ public:
+  // `rows` must outlive the cache.
+  explicit MeasureCache(const Table* rows) : rows_(rows) {}
+
+  // The double-materialized values of `column`; built on first use.
+  // The returned pointer stays valid for the cache's lifetime.
+  Result<const std::vector<double>*> Get(size_t column);
+
+ private:
+  const Table* rows_;
+  std::mutex mu_;
+  std::unordered_map<size_t, std::unique_ptr<std::vector<double>>> columns_;
+};
+
+// ---- Shared difference-CI kernels ------------------------------------------
+//
+// These are used verbatim by both SampleEstimator::EstimateWithPre and the
+// batched identification scorer, so the two paths produce bit-identical
+// intervals for the same per-row contributions and RNG state.
+
+// AVG = (pre.sum + ŝ) / (pre.count + ĉ) with numerator/denominator estimated
+// by difference; percentile-bootstrap CI over the paired per-row
+// contributions s_contrib[i] = w_i * A_i * diff_i, c_contrib[i] = w_i *
+// diff_i (the paper's Section 4.2.2 procedure).
+ConfidenceInterval AvgDifferenceBootstrapCI(
+    const std::vector<double>& s_contrib, const std::vector<double>& c_contrib,
+    const PreValues& pre, double confidence_level, size_t resamples, Rng& rng);
+
+// VAR = E[A^2] - E[A]^2 reconstructed from three difference-estimated sums
+// (SUM(A^2), SUM(A), COUNT); percentile-bootstrap CI.
+ConfidenceInterval VarDifferenceBootstrapCI(
+    const std::vector<double>& s2_contrib, const std::vector<double>& s_contrib,
+    const std::vector<double>& c_contrib, const PreValues& pre,
+    double confidence_level, size_t resamples, Rng& rng);
+
 class SampleEstimator {
  public:
   // `sample` must outlive the estimator.
@@ -43,6 +85,12 @@ class SampleEstimator {
 
   const Sample& sample() const { return *sample_; }
   const EstimatorOptions& options() const { return options_; }
+
+  // Borrows an external measure cache (e.g. the engine's); when set,
+  // repeated estimates over the same sample stop re-materializing the
+  // measure column. The cache must be built over this estimator's sample
+  // rows and must outlive the estimator.
+  void set_measure_cache(MeasureCache* cache) { measure_cache_ = cache; }
 
   // ---- Generic primitive --------------------------------------------------
 
@@ -59,6 +107,12 @@ class SampleEstimator {
   Result<ConfidenceInterval> EstimateDirect(const RangeQuery& query,
                                             Rng& rng) const;
 
+  // Same, with the query's row mask already computed (mask reuse across the
+  // identification → estimation pipeline).
+  Result<ConfidenceInterval> EstimateDirectMasked(
+      const RangeQuery& query, const std::vector<uint8_t>& mask,
+      Rng& rng) const;
+
   // ---- AQP++ (difference) path ---------------------------------------------
 
   // Estimates `query` as pre(D) + (q̂(S) - p̂re(S)). `pre_predicate` is the
@@ -69,6 +123,12 @@ class SampleEstimator {
                                              const PreValues& pre,
                                              Rng& rng) const;
 
+  // Same, with both row masks already computed (no predicate re-evaluation).
+  Result<ConfidenceInterval> EstimateWithPreMasked(
+      const RangeQuery& query, const std::vector<uint8_t>& q_mask,
+      const std::vector<uint8_t>& pre_mask, const PreValues& pre,
+      Rng& rng) const;
+
   // ---- Row-mask helpers (exposed for identification & tests) --------------
 
   // 0/1 mask of sample rows matching `predicate`.
@@ -78,6 +138,9 @@ class SampleEstimator {
   Result<std::vector<double>> MeasureValues(size_t column) const;
 
  private:
+  // Borrowed (cached) or lazily materialized measure column.
+  Result<const std::vector<double>*> MeasureRef(size_t column) const;
+
   // Shared implementation of the SUM/COUNT closed-form difference CI.
   ConfidenceInterval SumDifferenceCI(const std::vector<double>& measure,
                                      const std::vector<uint8_t>& q_mask,
@@ -87,6 +150,10 @@ class SampleEstimator {
   const Sample* sample_;
   EstimatorOptions options_;
   double lambda_;
+  MeasureCache* measure_cache_ = nullptr;
+  // Fallback materialization when no external cache is attached.
+  mutable std::unordered_map<size_t, std::unique_ptr<std::vector<double>>>
+      local_measures_;
 };
 
 }  // namespace aqpp

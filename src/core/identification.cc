@@ -2,14 +2,18 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
-#include <set>
+#include <mutex>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace aqpp {
 
 namespace {
+
+constexpr size_t kNoJob = std::numeric_limits<size_t>::max();
 
 // Canonical phi: an all-empty box.
 PreAggregate MakePhi(size_t d) {
@@ -22,6 +26,29 @@ PreAggregate MakePhi(size_t d) {
 bool LessPre(const PreAggregate& a, const PreAggregate& b) {
   if (a.lo != b.lo) return a.lo < b.lo;
   return a.hi < b.hi;
+}
+
+// Deterministic per-candidate RNG seed: SplitMix64-mixes the candidate box
+// into the query's base seed. A pure function of (base_seed, box), so a
+// candidate's score never depends on which thread picks it up or in what
+// order — parallel identification is bit-identical to sequential.
+uint64_t CandidateSeed(uint64_t base_seed, const PreAggregate& pre) {
+  uint64_t h = base_seed;
+  auto mix = [&h](uint64_t v) {
+    h += 0x9e3779b97f4a7c15ULL + v;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    h ^= h >> 31;
+  };
+  for (size_t v : pre.lo) mix(static_cast<uint64_t>(v));
+  for (size_t v : pre.hi) mix(static_cast<uint64_t>(v));
+  return h;
+}
+
+std::vector<size_t> MemoKey(const PreAggregate& pre) {
+  std::vector<size_t> key = pre.lo;
+  key.insert(key.end(), pre.hi.begin(), pre.hi.end());
+  return key;
 }
 
 }  // namespace
@@ -51,6 +78,21 @@ AggregateIdentifier::AggregateIdentifier(const PrefixCube* cube,
     AQPP_CHECK(sub.ok()) << sub.status().ToString();
     scoring_sample_ = std::move(sub).value();
   }
+  scorer_ = std::make_unique<BatchCandidateScorer>(
+      &scoring_sample_, &cube_->scheme(), options_.confidence_level,
+      /*bootstrap_resamples=*/40);
+  if (scoring_sample_.rows.get() == sample_->rows.get()) {
+    full_cells_ = &scorer_->cell_index();
+  } else {
+    full_cells_owned_ =
+        std::make_unique<CellIndex>(*sample_->rows, cube_->scheme());
+    full_cells_ = full_cells_owned_.get();
+  }
+}
+
+std::vector<uint8_t> AggregateIdentifier::PreMaskOnSample(
+    const PreAggregate& pre) const {
+  return full_cells_->BoxMask(pre);
 }
 
 void AggregateIdentifier::BracketQuery(
@@ -93,19 +135,39 @@ void AggregateIdentifier::BracketQuery(
 
 std::vector<PreAggregate> AggregateIdentifier::EnumerateCandidates(
     const RangeQuery& query) const {
-  const size_t d = cube_->scheme().num_dims();
+  const PartitionScheme& scheme = cube_->scheme();
+  const size_t d = scheme.num_dims();
   std::vector<std::vector<size_t>> u_cands, v_cands;
   BracketQuery(query, &u_cands, &v_cands);
 
   // Cartesian product across dimensions (Equation 7).
-  std::vector<PreAggregate> out;
   std::vector<size_t> arity(d);
   size_t total = 1;
   for (size_t i = 0; i < d; ++i) {
     arity[i] = u_cands[i].size() * v_cands[i].size();
     total *= arity[i];
   }
-  std::set<std::vector<size_t>> seen;  // dedup on (lo || hi) concatenation
+
+  // Dedup on the packed (lo || hi) key: every coordinate is at most
+  // num_cuts + 1, so for realistic dimensionalities all 2d coordinates pack
+  // into one uint64 and dedup is a sort + std::unique over flat integers
+  // instead of a node-per-key red-black tree of vectors.
+  size_t max_coord = 1;
+  for (size_t i = 0; i < d; ++i) {
+    max_coord = std::max(max_coord, scheme.dim(i).num_cuts());
+  }
+  unsigned width = 1;
+  while ((uint64_t{1} << width) <= max_coord) ++width;
+  const bool packable = 2 * d * width <= 64;
+  const uint64_t coord_mask = (uint64_t{1} << width) - 1;
+
+  std::vector<uint64_t> keys;
+  std::vector<PreAggregate> raw;  // fallback when keys do not fit in 64 bits
+  if (packable) {
+    keys.reserve(total);
+  } else {
+    raw.reserve(total);
+  }
   for (size_t combo = 0; combo < total; ++combo) {
     size_t rem = combo;
     PreAggregate pre;
@@ -122,11 +184,43 @@ std::vector<PreAggregate> AggregateIdentifier::EnumerateCandidates(
       pre.hi[i] = v;
     }
     if (empty) continue;  // normalized into the single phi below
-    std::vector<size_t> key = pre.lo;
-    key.insert(key.end(), pre.hi.begin(), pre.hi.end());
-    if (seen.insert(std::move(key)).second) {
+    if (packable) {
+      uint64_t key = 0;
+      for (size_t i = 0; i < d; ++i) key = (key << width) | pre.lo[i];
+      for (size_t i = 0; i < d; ++i) key = (key << width) | pre.hi[i];
+      keys.push_back(key);
+    } else {
+      raw.push_back(std::move(pre));
+    }
+  }
+
+  std::vector<PreAggregate> out;
+  if (packable) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    out.reserve(keys.size() + 1);
+    for (uint64_t key : keys) {
+      PreAggregate pre;
+      pre.lo.resize(d);
+      pre.hi.resize(d);
+      for (size_t i = d; i-- > 0;) {
+        pre.hi[i] = static_cast<size_t>(key & coord_mask);
+        key >>= width;
+      }
+      for (size_t i = d; i-- > 0;) {
+        pre.lo[i] = static_cast<size_t>(key & coord_mask);
+        key >>= width;
+      }
       out.push_back(std::move(pre));
     }
+  } else {
+    std::sort(raw.begin(), raw.end(), LessPre);
+    raw.erase(std::unique(raw.begin(), raw.end(),
+                          [](const PreAggregate& a, const PreAggregate& b) {
+                            return a.lo == b.lo && a.hi == b.hi;
+                          }),
+              raw.end());
+    out = std::move(raw);
   }
   out.push_back(MakePhi(d));
   return out;
@@ -155,11 +249,133 @@ Result<double> AggregateIdentifier::ScoreCandidate(const RangeQuery& query,
   return ci.half_width;
 }
 
+Result<std::vector<double>> AggregateIdentifier::ScoreBatch(
+    const RangeQuery& query, const BatchCandidateScorer::QueryContext* ctx,
+    const std::vector<PreAggregate>& cands, uint64_t base_seed,
+    ScoreMemo* memo) const {
+  std::vector<double> scores(cands.size(), 0.0);
+
+  // Collapse memo hits and intra-batch duplicates down to one scoring job
+  // per distinct box. With memo == nullptr (caller guarantees the batch is
+  // already deduplicated, e.g. EnumerateCandidates output) the key/map
+  // machinery is skipped entirely and every candidate is one job.
+  struct Job {
+    size_t cand;
+    uint64_t seed;
+  };
+  std::vector<Job> jobs;
+  std::vector<size_t> job_of(cands.size(), kNoJob);
+  std::map<std::vector<size_t>, size_t> pending;
+  if (memo == nullptr) {
+    jobs.reserve(cands.size());
+    for (size_t i = 0; i < cands.size(); ++i) {
+      job_of[i] = jobs.size();
+      jobs.push_back({i, CandidateSeed(base_seed, cands[i])});
+    }
+  } else {
+    for (size_t i = 0; i < cands.size(); ++i) {
+      std::vector<size_t> key = MemoKey(cands[i]);
+      auto hit = memo->find(key);
+      if (hit != memo->end()) {
+        scores[i] = hit->second;
+        continue;
+      }
+      auto [it, fresh] = pending.emplace(std::move(key), jobs.size());
+      job_of[i] = it->second;
+      if (fresh) jobs.push_back({i, CandidateSeed(base_seed, cands[i])});
+    }
+  }
+
+  std::vector<double> job_scores(jobs.size(), 0.0);
+  if (ctx != nullptr) {
+    // Hull of the batch's non-empty boxes: a row outside both the query and
+    // the hull has an exactly-zero difference for every job, so one sweep
+    // here lets each Score call walk only the rows that can matter.
+    PreAggregate hull;
+    bool have_hull = false;
+    for (const Job& job : jobs) {
+      const PreAggregate& pre = cands[job.cand];
+      bool box_empty = false;
+      for (size_t i = 0; i < pre.lo.size(); ++i) {
+        if (pre.lo[i] >= pre.hi[i]) {
+          box_empty = true;
+          break;
+        }
+      }
+      if (box_empty) continue;
+      if (!have_hull) {
+        hull = pre;
+        have_hull = true;
+      } else {
+        for (size_t i = 0; i < pre.lo.size(); ++i) {
+          hull.lo[i] = std::min(hull.lo[i], pre.lo[i]);
+          hull.hi[i] = std::max(hull.hi[i], pre.hi[i]);
+        }
+      }
+    }
+    // Cell grouping costs one sort of the active rows; it only pays for
+    // itself once enough candidates reuse the groups.
+    constexpr size_t kGroupMinJobs = 12;
+    const BatchCandidateScorer::ActiveSet active =
+        jobs.empty() ? BatchCandidateScorer::ActiveSet{}
+                     : scorer_->ActiveRows(*ctx, have_hull ? &hull : nullptr,
+                                           /*group=*/jobs.size() >= kGroupMinJobs);
+
+    // Batched path: each job derives its candidate mask from the cell-id
+    // matrix and accumulates moments in one fused sweep over the active
+    // rows, in parallel on the pool. Seeding is per-job, so the schedule
+    // cannot change any score.
+    std::mutex err_mu;
+    Status status = Status::OK();
+    ParallelForEach(
+        jobs.size(),
+        [&](size_t j) {
+          const PreAggregate& pre = cands[jobs[j].cand];
+          Rng job_rng(jobs[j].seed);
+          PreValues values = ReadPreValues(pre);
+          auto score = scorer_->Score(*ctx, pre, values, job_rng, &active);
+          if (score.ok()) {
+            job_scores[j] = *score;
+          } else {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (status.ok()) status = score.status();
+          }
+        },
+        options_.scoring_pool);
+    AQPP_RETURN_NOT_OK(status);
+  } else {
+    // Legacy reference path: per-candidate predicate re-evaluation through
+    // the estimator, same per-job seeds (bit-identical scores).
+    for (size_t j = 0; j < jobs.size(); ++j) {
+      Rng job_rng(jobs[j].seed);
+      AQPP_ASSIGN_OR_RETURN(
+          job_scores[j], ScoreCandidate(query, cands[jobs[j].cand], job_rng));
+    }
+  }
+
+  if (memo != nullptr) {
+    for (const auto& [key, j] : pending) memo->emplace(key, job_scores[j]);
+  }
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (job_of[i] != kNoJob) scores[i] = job_scores[job_of[i]];
+  }
+  return scores;
+}
+
 Result<IdentifiedAggregate> AggregateIdentifier::IdentifyGreedy(
     const RangeQuery& query, Rng& rng) const {
   const size_t d = cube_->scheme().num_dims();
   std::vector<std::vector<size_t>> u_cands, v_cands;
   BracketQuery(query, &u_cands, &v_cands);
+
+  const uint64_t base_seed = rng.Next();
+  ScoreMemo memo;
+  BatchCandidateScorer::QueryContext ctx_storage;
+  const BatchCandidateScorer::QueryContext* ctx = nullptr;
+  if (options_.use_batched_scorer) {
+    AQPP_ASSIGN_OR_RETURN(ctx_storage, scorer_->Prepare(query));
+    ctx = &ctx_storage;
+  }
 
   // Start from the loosest box (every dimension at its outer brackets) and
   // refine one dimension at a time, keeping the subsample-scored best.
@@ -174,38 +390,43 @@ Result<IdentifiedAggregate> AggregateIdentifier::IdentifyGreedy(
       current.hi[i] = cube_->scheme().dim(i).num_cuts();
     }
   }
-  size_t scored = 0;
   for (size_t i = 0; i < d; ++i) {
-    double best_err = std::numeric_limits<double>::infinity();
-    std::pair<size_t, size_t> best_pair{current.lo[i], current.hi[i]};
+    std::vector<PreAggregate> trials;
+    std::vector<std::pair<size_t, size_t>> pairs;
     for (size_t u : u_cands[i]) {
       for (size_t v : v_cands[i]) {
         if (u >= v) continue;
         PreAggregate trial = current;
         trial.lo[i] = u;
         trial.hi[i] = v;
-        AQPP_ASSIGN_OR_RETURN(double err, ScoreCandidate(query, trial, rng));
-        ++scored;
-        if (err < best_err) {
-          best_err = err;
-          best_pair = {u, v};
-        }
+        trials.push_back(std::move(trial));
+        pairs.emplace_back(u, v);
+      }
+    }
+    if (trials.empty()) continue;
+    AQPP_ASSIGN_OR_RETURN(std::vector<double> errs,
+                          ScoreBatch(query, ctx, trials, base_seed, &memo));
+    double best_err = std::numeric_limits<double>::infinity();
+    std::pair<size_t, size_t> best_pair{current.lo[i], current.hi[i]};
+    for (size_t t = 0; t < trials.size(); ++t) {
+      if (errs[t] < best_err) {
+        best_err = errs[t];
+        best_pair = pairs[t];
       }
     }
     current.lo[i] = best_pair.first;
     current.hi[i] = best_pair.second;
   }
-  // Final sanity comparison against phi.
-  AQPP_ASSIGN_OR_RETURN(double final_err, ScoreCandidate(query, current, rng));
-  PreAggregate phi = MakePhi(d);
-  AQPP_ASSIGN_OR_RETURN(double phi_err, ScoreCandidate(query, phi, rng));
-  scored += 2;
+  // Final sanity comparison against phi (both usually memo hits by now).
+  AQPP_ASSIGN_OR_RETURN(
+      std::vector<double> finals,
+      ScoreBatch(query, ctx, {current, MakePhi(d)}, base_seed, &memo));
 
   IdentifiedAggregate best;
-  best.pre = phi_err < final_err ? phi : current;
-  best.scored_error = std::min(phi_err, final_err);
+  best.pre = finals[1] < finals[0] ? MakePhi(d) : current;
+  best.scored_error = std::min(finals[0], finals[1]);
   best.values = ReadPreValues(best.pre);
-  best.num_candidates = scored;
+  best.num_candidates = memo.size();
   return best;
 }
 
@@ -232,13 +453,27 @@ Result<IdentifiedAggregate> AggregateIdentifier::Identify(
   }
   std::vector<PreAggregate> candidates = EnumerateCandidates(query);
   AQPP_CHECK(!candidates.empty());
+
+  const uint64_t base_seed = rng.Next();
+  BatchCandidateScorer::QueryContext ctx_storage;
+  const BatchCandidateScorer::QueryContext* ctx = nullptr;
+  if (options_.use_batched_scorer) {
+    AQPP_ASSIGN_OR_RETURN(ctx_storage, scorer_->Prepare(query));
+    ctx = &ctx_storage;
+  }
+  // EnumerateCandidates output is already deduplicated; no memo needed.
+  AQPP_ASSIGN_OR_RETURN(
+      std::vector<double> scores,
+      ScoreBatch(query, ctx, candidates, base_seed, /*memo=*/nullptr));
+
+  // Sequential argmin with first-wins ties: deterministic regardless of how
+  // the scoring jobs were scheduled.
   IdentifiedAggregate best;
   double best_error = std::numeric_limits<double>::infinity();
-  for (const auto& pre : candidates) {
-    AQPP_ASSIGN_OR_RETURN(double err, ScoreCandidate(query, pre, rng));
-    if (err < best_error) {
-      best_error = err;
-      best.pre = pre;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (scores[i] < best_error) {
+      best_error = scores[i];
+      best.pre = candidates[i];
     }
   }
   best.values = ReadPreValues(best.pre);
@@ -267,13 +502,34 @@ Result<std::vector<ScoredCandidate>> AggregateIdentifier::ScoreAll(
     // High d: report only the greedy winner and phi.
     AQPP_ASSIGN_OR_RETURN(auto greedy, IdentifyGreedy(query, rng));
     scored.push_back({greedy.pre, greedy.scored_error});
-    PreAggregate phi = MakePhi(cube_->scheme().num_dims());
-    AQPP_ASSIGN_OR_RETURN(double phi_err, ScoreCandidate(query, phi, rng));
-    if (!greedy.pre.IsEmpty()) scored.push_back({phi, phi_err});
+    if (!greedy.pre.IsEmpty()) {
+      const uint64_t base_seed = rng.Next();
+      BatchCandidateScorer::QueryContext ctx_storage;
+      const BatchCandidateScorer::QueryContext* ctx = nullptr;
+      if (options_.use_batched_scorer) {
+        AQPP_ASSIGN_OR_RETURN(ctx_storage, scorer_->Prepare(query));
+        ctx = &ctx_storage;
+      }
+      PreAggregate phi = MakePhi(cube_->scheme().num_dims());
+      AQPP_ASSIGN_OR_RETURN(
+          std::vector<double> phi_err,
+          ScoreBatch(query, ctx, {phi}, base_seed, /*memo=*/nullptr));
+      scored.push_back({phi, phi_err[0]});
+    }
   } else {
-    for (const auto& pre : EnumerateCandidates(query)) {
-      AQPP_ASSIGN_OR_RETURN(double err, ScoreCandidate(query, pre, rng));
-      scored.push_back({pre, err});
+    std::vector<PreAggregate> candidates = EnumerateCandidates(query);
+    const uint64_t base_seed = rng.Next();
+    BatchCandidateScorer::QueryContext ctx_storage;
+    const BatchCandidateScorer::QueryContext* ctx = nullptr;
+    if (options_.use_batched_scorer) {
+      AQPP_ASSIGN_OR_RETURN(ctx_storage, scorer_->Prepare(query));
+      ctx = &ctx_storage;
+    }
+    AQPP_ASSIGN_OR_RETURN(
+        std::vector<double> errs,
+        ScoreBatch(query, ctx, candidates, base_seed, /*memo=*/nullptr));
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      scored.push_back({candidates[i], errs[i]});
     }
   }
   std::sort(scored.begin(), scored.end(),

@@ -6,15 +6,26 @@
 // bracketing each range endpoint need to be considered; each candidate is
 // scored by estimating its CI on a cheap subsample (Section 5.2), and the
 // winner is used for the final full-sample estimate.
+//
+// Scoring runs through the batched pipeline of core/scoring.h by default:
+// the query mask and measure column are computed once per query, candidate
+// pre-masks are derived from a precomputed cell-id matrix, and candidates
+// are scored concurrently on the persistent thread pool. Every candidate's
+// RNG is seeded purely from (query base seed, candidate box), so results
+// are bit-identical regardless of thread count or schedule.
 
 #ifndef AQPP_CORE_IDENTIFICATION_H_
 #define AQPP_CORE_IDENTIFICATION_H_
 
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "common/parallel.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "core/estimator.h"
+#include "core/scoring.h"
 #include "cube/partition.h"
 #include "cube/prefix_cube.h"
 #include "expr/query.h"
@@ -36,6 +47,16 @@ struct IdentificationOptions {
   // through d = 4); keeps
   // identification tractable at d ~ 10 (Figure 7's upper range).
   size_t max_enumerated_candidates = 320;
+  // Score candidates through the batched single-pass pipeline (cell-id
+  // matrix, shared query mask/measure, pooled parallel scoring). False
+  // falls back to per-candidate predicate evaluation — the legacy reference
+  // path kept for equivalence tests and ablation benchmarks. Both paths
+  // produce bit-identical scores for the same seed.
+  bool use_batched_scorer = true;
+  // Thread pool for parallel candidate scoring; nullptr uses the
+  // process-global pool. Tests inject fixed-size pools here to assert
+  // schedule independence.
+  ThreadPool* scoring_pool = nullptr;
 };
 
 struct IdentifiedAggregate {
@@ -44,7 +65,7 @@ struct IdentifiedAggregate {
   PreValues values;
   // The subsample-estimated error that won the comparison.
   double scored_error = 0.0;
-  // Candidate-set size actually scored (|P-| after dedup).
+  // Candidate-set size actually scored (|P-| after dedup and memoization).
   size_t num_candidates = 0;
 };
 
@@ -57,7 +78,9 @@ struct ScoredCandidate {
 class AggregateIdentifier {
  public:
   // `cube` and `sample` must outlive the identifier. The subsample used for
-  // scoring is drawn once at construction (it is query-independent).
+  // scoring is drawn once at construction (it is query-independent), and the
+  // cell-id matrices for both the scoring subsample and the full sample are
+  // built here too.
   AggregateIdentifier(const PrefixCube* cube, const Sample* sample,
                       IdentificationOptions options, Rng& rng);
 
@@ -81,15 +104,37 @@ class AggregateIdentifier {
   Result<IdentifiedAggregate> IdentifyBruteForce(const RangeQuery& query,
                                                  Rng& rng) const;
 
+  // 0/1 mask of `pre` over the *full* estimation sample, derived from the
+  // cached cell-id matrix. Lets the engine feed the identified box straight
+  // into SampleEstimator::EstimateWithPreMasked without re-evaluating the
+  // box predicate.
+  std::vector<uint8_t> PreMaskOnSample(const PreAggregate& pre) const;
+
   const Sample& scoring_sample() const { return scoring_sample_; }
 
  private:
+  // Memoized candidate scores within one query, keyed by (lo || hi).
+  using ScoreMemo = std::map<std::vector<size_t>, double>;
+
   // Reads all measure planes of `pre` from the cube.
   PreValues ReadPreValues(const PreAggregate& pre) const;
 
-  // CI half-width of `query` w.r.t. `pre` on the scoring sample.
+  // CI half-width of `query` w.r.t. `pre` on the scoring sample — the
+  // legacy per-candidate path (predicate re-evaluation, fresh vectors).
   Result<double> ScoreCandidate(const RangeQuery& query,
                                 const PreAggregate& pre, Rng& rng) const;
+
+  // Scores every candidate in `cands`, memoizing by box within the query
+  // and scoring unmemoized boxes in parallel on the pool (batched path).
+  // `ctx` is the prepared batched query context, or nullptr for the legacy
+  // path. `memo` may be nullptr when the batch is known to be deduplicated
+  // (skips the key/map machinery). Deterministic either way: each box's RNG
+  // is seeded from (base_seed, box), so memo hits, dedup and scheduling can
+  // never change a score.
+  Result<std::vector<double>> ScoreBatch(
+      const RangeQuery& query, const BatchCandidateScorer::QueryContext* ctx,
+      const std::vector<PreAggregate>& cands, uint64_t base_seed,
+      ScoreMemo* memo) const;
 
   // Per-dimension bracket candidates (the {l,h} pairs of Equation 7).
   void BracketQuery(const RangeQuery& query,
@@ -97,7 +142,7 @@ class AggregateIdentifier {
                     std::vector<std::vector<size_t>>* v_cands) const;
 
   // Greedy fallback for high d: fixes one dimension's bracket pair at a
-  // time, scoring each option on the subsample.
+  // time, scoring each option on the subsample (scores memoized per query).
   Result<IdentifiedAggregate> IdentifyGreedy(const RangeQuery& query,
                                              Rng& rng) const;
 
@@ -105,6 +150,12 @@ class AggregateIdentifier {
   const Sample* sample_;
   IdentificationOptions options_;
   Sample scoring_sample_;
+  // Batched scorer over the scoring subsample.
+  std::unique_ptr<BatchCandidateScorer> scorer_;
+  // Cell-id matrix over the full sample (for PreMaskOnSample). Points into
+  // scorer_'s index when the scoring sample IS the full sample.
+  std::unique_ptr<CellIndex> full_cells_owned_;
+  const CellIndex* full_cells_ = nullptr;
 };
 
 }  // namespace aqpp

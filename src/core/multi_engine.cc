@@ -41,6 +41,7 @@ Status MultiTemplateEngine::Prepare(
     AQPP_ASSIGN_OR_RETURN(
         sample_, CreateUniformSample(*table_, options_.sample_rate, rng_));
     has_sample_ = true;
+    measure_cache_ = std::make_unique<MeasureCache>(sample_.rows.get());
   }
 
   // Error-equalizing budget split (Appendix C).
@@ -127,6 +128,9 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   SampleEstimator estimator(
       &sample_, {.confidence_level = options_.confidence_level,
                  .bootstrap_resamples = options_.bootstrap_resamples});
+  if (measure_cache_ != nullptr) {
+    estimator.set_measure_cache(measure_cache_.get());
+  }
   ApproximateResult out;
   int route = RouteFor(query);
   if (route < 0) {
@@ -142,14 +146,19 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   out.identification_seconds = ident_timer.ElapsedSeconds();
   out.candidates_considered = identified.num_candidates;
 
+  // Mask reuse as in AqppEngine::Execute: one query-mask evaluation, pre
+  // mask from the identifier's cell-id matrix.
   Timer est_timer;
+  AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
   if (identified.pre.IsEmpty()) {
-    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng_));
+    AQPP_ASSIGN_OR_RETURN(out.ci,
+                          estimator.EstimateDirectMasked(query, q_mask, rng_));
   } else {
-    RangePredicate pre_pred = identified.pre.ToPredicate(prep.cube->scheme());
+    std::vector<uint8_t> pre_mask =
+        prep.identifier->PreMaskOnSample(identified.pre);
     AQPP_ASSIGN_OR_RETURN(
-        out.ci, estimator.EstimateWithPre(query, pre_pred, identified.values,
-                                          rng_));
+        out.ci, estimator.EstimateWithPreMasked(query, q_mask, pre_mask,
+                                                identified.values, rng_));
     out.used_pre = true;
     out.pre_description =
         identified.pre.ToString(prep.cube->scheme(), table_->schema());

@@ -76,6 +76,8 @@ class MultiTemplateEngine {
   Rng rng_;
   Sample sample_;
   bool has_sample_ = false;
+  // Shared double-materialized measure columns over the session sample.
+  std::unique_ptr<MeasureCache> measure_cache_;
   std::vector<PreparedTemplate> prepared_;
 };
 

@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <atomic>
 #include <set>
 #include <thread>
 
@@ -238,6 +239,53 @@ TEST(ParallelForTest, HandlesSmallAndZero) {
     for (size_t i = b; i < e; ++i) ++hits[i];
   });
   EXPECT_EQ(hits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ThreadPoolTest, ReusedAcrossManyRegions) {
+  // One pool, many parallel regions: every region must cover each job
+  // exactly once (workers are persistent, not respawned per call).
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  for (int round = 0; round < 50; ++round) {
+    constexpr size_t kJobs = 257;
+    std::vector<std::atomic<int>> hits(kJobs);
+    for (auto& h : hits) h.store(0);
+    ParallelForEach(kJobs, [&](size_t j) { hits[j].fetch_add(1); }, &pool);
+    for (size_t j = 0; j < kJobs; ++j) ASSERT_EQ(hits[j].load(), 1) << j;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::thread::id caller = std::this_thread::get_id();
+  ParallelForEach(16, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  }, &pool);
+}
+
+TEST(ThreadPoolTest, NestedRegionsFallBackInline) {
+  // A parallel region launched from inside a pool worker must not deadlock:
+  // the inner region runs inline on the calling worker.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  ParallelForEach(8, [&](size_t outer) {
+    ParallelForEach(8, [&](size_t inner) {
+      hits[outer * 8 + inner].fetch_add(1);
+    }, &pool);
+  }, &pool);
+  for (size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+  std::atomic<size_t> sum{0};
+  ParallelForEach(100, [&](size_t j) { sum.fetch_add(j + 1); });
+  EXPECT_EQ(sum.load(), 5050u);
 }
 
 }  // namespace
