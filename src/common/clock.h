@@ -1,0 +1,63 @@
+// Monotonic clock and deadline helpers shared by the service layer.
+//
+// A Deadline is a point on the steady clock (or "infinite"); requests carry
+// one through the admission queue and into engine execution, where it is
+// checked cooperatively at phase boundaries (see core/cancellation.h).
+
+#ifndef AQPP_COMMON_CLOCK_H_
+#define AQPP_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <limits>
+
+namespace aqpp {
+
+using SteadyClock = std::chrono::steady_clock;
+using SteadyTime = SteadyClock::time_point;
+
+inline SteadyTime SteadyNow() { return SteadyClock::now(); }
+
+// Seconds between two steady-clock points (b - a).
+inline double SecondsBetween(SteadyTime a, SteadyTime b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+class Deadline {
+ public:
+  // Default-constructed deadlines never expire.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  static Deadline At(SteadyTime t) {
+    Deadline d;
+    d.finite_ = true;
+    d.at_ = t;
+    return d;
+  }
+
+  // A deadline `seconds` from now. Non-positive values are already expired.
+  static Deadline After(double seconds) {
+    return At(SteadyNow() + std::chrono::duration_cast<SteadyClock::duration>(
+                                std::chrono::duration<double>(seconds)));
+  }
+
+  bool infinite() const { return !finite_; }
+  bool expired() const { return finite_ && SteadyNow() >= at_; }
+
+  // Seconds until expiry: +inf when infinite, <= 0 when expired.
+  double remaining_seconds() const {
+    if (!finite_) return std::numeric_limits<double>::infinity();
+    return SecondsBetween(SteadyNow(), at_);
+  }
+
+  SteadyTime time() const { return at_; }
+
+ private:
+  bool finite_ = false;
+  SteadyTime at_{};
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_COMMON_CLOCK_H_

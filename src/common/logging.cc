@@ -1,13 +1,29 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstring>
+#include <mutex>
 
 namespace aqpp {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarning)};
+
+// Serializes emission so concurrent service threads never interleave the
+// bytes of two log lines. Each message is fully formatted in its own buffer
+// first and leaves as exactly one write.
+std::mutex& EmitMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+void EmitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::fflush(stderr);
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -50,7 +66,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    EmitLine(stream_.str());
   }
 }
 
@@ -60,7 +76,7 @@ FatalLogMessage::FatalLogMessage(const char* file, int line) {
 
 FatalLogMessage::~FatalLogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  EmitLine(stream_.str());
   std::abort();
 }
 

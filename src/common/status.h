@@ -25,6 +25,11 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  // Service-layer codes: a request withdrawn by its owner, a request whose
+  // deadline passed, and backpressure (queue/session limits reached).
+  kCancelled,
+  kDeadlineExceeded,
+  kResourceExhausted,
 };
 
 // Returns a short human-readable name for `code`, e.g. "InvalidArgument".
@@ -63,6 +68,15 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

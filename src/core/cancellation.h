@@ -1,0 +1,60 @@
+// Cooperative cancellation for engine execution.
+//
+// A CancellationToken is shared between a request owner (the service layer)
+// and the worker executing it. The worker polls ShouldStop() at phase
+// boundaries — never mid-scan, so a poll costs one atomic load plus one
+// clock read — and bails out with Status::Cancelled / DeadlineExceeded.
+// The owner may Cancel() at any time from any thread, and/or attach a
+// deadline at construction so long-running queries time out without the
+// owner doing anything.
+
+#ifndef AQPP_CORE_CANCELLATION_H_
+#define AQPP_CORE_CANCELLATION_H_
+
+#include <atomic>
+
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace aqpp {
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  explicit CancellationToken(Deadline deadline) : deadline_(deadline) {}
+
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  bool expired() const { return deadline_.expired(); }
+  bool ShouldStop() const { return cancelled() || expired(); }
+
+  // The status a cooperative check should return; call only when
+  // ShouldStop() is true.
+  Status StopStatus() const {
+    if (cancelled()) return Status::Cancelled("query cancelled");
+    return Status::DeadlineExceeded("query deadline expired");
+  }
+
+  const Deadline& deadline() const { return deadline_; }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  Deadline deadline_;
+};
+
+// Polls `token` (which may be null) and propagates the stop status.
+#define AQPP_RETURN_IF_STOPPED(token)                          \
+  do {                                                         \
+    if ((token) != nullptr && (token)->ShouldStop())           \
+      return (token)->StopStatus();                            \
+  } while (0)
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_CANCELLATION_H_

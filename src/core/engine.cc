@@ -146,31 +146,48 @@ Status AqppEngine::Prepare(const QueryTemplate& tmpl) {
 
 void AqppEngine::RecordQuery(const RangeQuery& query) {
   constexpr size_t kMaxRecorded = 1024;
+  std::lock_guard<std::mutex> lock(workload_mu_);
   if (recorded_workload_.size() >= kMaxRecorded) {
     recorded_workload_.erase(recorded_workload_.begin());
   }
   recorded_workload_.push_back(query);
 }
 
+std::vector<RangeQuery> AqppEngine::recorded_workload() const {
+  std::lock_guard<std::mutex> lock(workload_mu_);
+  return recorded_workload_;
+}
+
 Status AqppEngine::AdaptToWorkload() {
   if (!template_.has_value()) {
     return Status::FailedPrecondition("no prepared template to adapt");
   }
-  if (recorded_workload_.empty()) {
+  std::vector<RangeQuery> history = recorded_workload();
+  if (history.empty()) {
     return Status::FailedPrecondition("no recorded workload to adapt to");
   }
   options_.sampling = SamplingMethod::kWorkloadAware;
-  options_.workload_history = recorded_workload_;
+  options_.workload_history = std::move(history);
   has_sample_ = false;  // force a redraw with the boosted probabilities
   return Prepare(*template_);
 }
 
 Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query) {
+  return Execute(query, ExecuteControl{});
+}
+
+Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
+                                              const ExecuteControl& control) {
   if (!query.group_by.empty()) {
     return Status::InvalidArgument("use ExecuteGroupBy for group-by queries");
   }
   AQPP_RETURN_NOT_OK(EnsureSample());
-  RecordQuery(query);
+  if (control.record) RecordQuery(query);
+  AQPP_RETURN_IF_STOPPED(control.cancel);
+  // A seeded call runs on its own RNG (thread-safe, replayable); an
+  // unseeded one consumes the engine's session RNG as before.
+  Rng local_rng(control.seed.value_or(0));
+  Rng& rng = control.seed.has_value() ? local_rng : rng_;
   ApproximateResult out;
 
   // MIN/MAX: sampling cannot estimate extrema; the extrema grid returns
@@ -211,15 +228,16 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query) {
 
   if (cube_ == nullptr || identifier_ == nullptr) {
     Timer timer;
-    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng_));
+    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng));
     out.estimation_seconds = timer.ElapsedSeconds();
     return out;
   }
 
   Timer ident_timer;
-  AQPP_ASSIGN_OR_RETURN(auto identified, identifier_->Identify(query, rng_));
+  AQPP_ASSIGN_OR_RETURN(auto identified, identifier_->Identify(query, rng));
   out.identification_seconds = ident_timer.ElapsedSeconds();
   out.candidates_considered = identified.num_candidates;
+  AQPP_RETURN_IF_STOPPED(control.cancel);
 
   // Final estimation reuses precomputed masks: the query mask is evaluated
   // once here, and the winning box's mask comes straight from the
@@ -228,7 +246,7 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query) {
   AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
   if (identified.pre.IsEmpty()) {
     AQPP_ASSIGN_OR_RETURN(out.ci,
-                          estimator.EstimateDirectMasked(query, q_mask, rng_));
+                          estimator.EstimateDirectMasked(query, q_mask, rng));
     out.used_pre = false;
     out.pre_description = "phi";
   } else {
@@ -236,7 +254,7 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query) {
         identifier_->PreMaskOnSample(identified.pre);
     AQPP_ASSIGN_OR_RETURN(
         out.ci, estimator.EstimateWithPreMasked(query, q_mask, pre_mask,
-                                                identified.values, rng_));
+                                                identified.values, rng));
     out.used_pre = true;
     out.pre_description =
         identified.pre.ToString(cube_->scheme(), table_->schema());
@@ -384,11 +402,19 @@ Result<std::string> AqppEngine::Explain(const RangeQuery& query) {
 
 Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
     const RangeQuery& query) {
+  return ExecuteGroupBy(query, ExecuteControl{});
+}
+
+Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
+    const RangeQuery& query, const ExecuteControl& control) {
   if (query.group_by.empty()) {
     return Status::InvalidArgument("query has no group-by columns");
   }
   AQPP_RETURN_NOT_OK(EnsureSample());
-  RecordQuery(query);
+  if (control.record) RecordQuery(query);
+  AQPP_RETURN_IF_STOPPED(control.cancel);
+  Rng local_rng(control.seed.value_or(0));
+  Rng& rng = control.seed.has_value() ? local_rng : rng_;
 
   // Locate each group-by column as a cube dimension (when a cube exists).
   std::vector<size_t> group_dims(query.group_by.size(),
@@ -432,7 +458,7 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
   double ident_seconds = 0;
   if (cube_covers_groups && identifier_ != nullptr) {
     Timer t;
-    AQPP_ASSIGN_OR_RETURN(identified, identifier_->Identify(scalar, rng_));
+    AQPP_ASSIGN_OR_RETURN(identified, identifier_->Identify(scalar, rng));
     ident_seconds = t.ElapsedSeconds();
     have_pre = !identified.pre.IsEmpty();
   }
@@ -459,7 +485,7 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
       // Appendix C's "more effective" variant: identify against the
       // group-pinned query itself. The group dimensions are exhaustive, so
       // the group value's slice is always exactly bracketable.
-      auto per_group = identifier_->Identify(group_query, rng_);
+      auto per_group = identifier_->Identify(group_query, rng);
       if (per_group.ok()) {
         group_identified = std::move(*per_group);
         group_have_pre = !group_identified.pre.IsEmpty();
@@ -494,17 +520,17 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
         AQPP_ASSIGN_OR_RETURN(
             gr.result.ci, estimator.EstimateWithPreMasked(group_query, gq_mask,
                                                           pre_mask, values,
-                                                          rng_));
+                                                          rng));
         gr.result.used_pre = true;
         gr.result.pre_description =
             pre.ToString(cube_->scheme(), table_->schema());
       } else {
         AQPP_ASSIGN_OR_RETURN(gr.result.ci,
-                              estimator.EstimateDirect(group_query, rng_));
+                              estimator.EstimateDirect(group_query, rng));
       }
     } else {
       AQPP_ASSIGN_OR_RETURN(gr.result.ci,
-                            estimator.EstimateDirect(group_query, rng_));
+                            estimator.EstimateDirect(group_query, rng));
     }
     gr.result.estimation_seconds = est_timer.ElapsedSeconds();
     gr.result.identification_seconds =

@@ -14,12 +14,14 @@
 #define AQPP_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/cancellation.h"
 #include "core/estimator.h"
 #include "core/identification.h"
 #include "core/precompute.h"
@@ -113,6 +115,26 @@ struct GroupApproximateResult {
   ApproximateResult result;
 };
 
+// Per-call execution control for service-style callers.
+//
+// `cancel` is polled cooperatively at phase boundaries (request entry,
+// before identification, between identification and estimation) — a stopped
+// call returns Status::Cancelled / DeadlineExceeded instead of a result.
+//
+// When `seed` is set the call draws from a private RNG seeded by it instead
+// of consuming the engine's session RNG. That makes the call a pure
+// function of (prepared state, query, seed) — required both for concurrent
+// Execute calls from service workers (the session RNG is not thread-safe)
+// and for the service result cache's bit-identical-replay guarantee.
+//
+// `record` = false skips the engine-level query log; service sessions keep
+// their own per-session logs instead.
+struct ExecuteControl {
+  const CancellationToken* cancel = nullptr;
+  std::optional<uint64_t> seed;
+  bool record = true;
+};
+
 class AqppEngine {
  public:
   static Result<std::unique_ptr<AqppEngine>> Create(
@@ -127,21 +149,34 @@ class AqppEngine {
   // prepared cube (without, it is plain AQP).
   Result<ApproximateResult> Execute(const RangeQuery& query);
 
+  // Scalar query with per-call control (cancellation, deterministic seed,
+  // log opt-out). Calls that set `control.seed` are safe to run
+  // concurrently with each other from multiple threads once the engine is
+  // prepared; calls without a seed share the session RNG and must stay
+  // single-threaded.
+  Result<ApproximateResult> Execute(const RangeQuery& query,
+                                    const ExecuteControl& control);
+
   // Group-by query (Appendix C): one identification pass on the
   // group-stripped query, then per-group difference estimation against the
   // group-pinned cube slice.
   Result<std::vector<GroupApproximateResult>> ExecuteGroupBy(
       const RangeQuery& query);
 
+  // Group-by with per-call control; same concurrency contract as the
+  // scalar overload.
+  Result<std::vector<GroupApproximateResult>> ExecuteGroupBy(
+      const RangeQuery& query, const ExecuteControl& control);
+
   // Human-readable plan: the candidate set P- with per-candidate scored
   // errors (best first) and the execution strategy the engine would pick.
   Result<std::string> Explain(const RangeQuery& query);
 
   // The query log recorded by Execute/ExecuteGroupBy (bounded; newest
-  // last). Feeds AdaptToWorkload().
-  const std::vector<RangeQuery>& recorded_workload() const {
-    return recorded_workload_;
-  }
+  // last). Feeds AdaptToWorkload(). Returns a snapshot copy: the ring is
+  // mutex-guarded so concurrent Execute calls (service workers) cannot race
+  // it, and a reference would dangle under concurrent eviction.
+  std::vector<RangeQuery> recorded_workload() const;
 
   // Redraws the sample with workload-aware boosting from the recorded log
   // and re-prepares the cube for the current template — the Section 8
@@ -188,9 +223,12 @@ class AqppEngine {
   std::shared_ptr<ExtremaGrid> extrema_;
   std::unique_ptr<AggregateIdentifier> identifier_;
   PrepareStats prepare_stats_;
+  // Bounded query-log ring, guarded: Execute may be called concurrently
+  // from service workers (with per-call seeds), and all of them record here.
+  mutable std::mutex workload_mu_;
   std::vector<RangeQuery> recorded_workload_;
 
-  // Appends to the bounded query log.
+  // Appends to the bounded query log (thread-safe).
   void RecordQuery(const RangeQuery& query);
 };
 

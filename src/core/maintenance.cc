@@ -106,8 +106,9 @@ Status CubeMaintainer::Absorb(const Table& batch) {
   total_absorbed_ += batch.num_rows();
 
   if (pending_->num_rows() >= options_.compact_threshold) {
-    return Compact();
+    AQPP_RETURN_NOT_OK(Compact());
   }
+  if (observer_) observer_();
   return Status::OK();
 }
 
@@ -191,6 +192,7 @@ Status ReservoirMaintainer::Absorb(const Table& batch) {
   std::fill(sample_.weights.begin(), sample_.weights.end(), w);
   sample_.sampling_fraction =
       static_cast<double>(n) / static_cast<double>(rows_seen_);
+  if (observer_) observer_();
   return Status::OK();
 }
 

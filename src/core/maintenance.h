@@ -16,6 +16,7 @@
 #ifndef AQPP_CORE_MAINTENANCE_H_
 #define AQPP_CORE_MAINTENANCE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -61,12 +62,20 @@ class CubeMaintainer {
   size_t total_absorbed_rows() const { return total_absorbed_; }
   const PrefixCube& cube() const { return *cube_; }
 
+  // Invoked after every Absorb() that changed state. The service layer
+  // registers result-cache invalidation here, so an appended batch can
+  // never leave stale cached aggregates servable.
+  void set_update_observer(std::function<void()> observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   std::shared_ptr<PrefixCube> cube_;
   std::shared_ptr<Table> reference_;
   CubeMaintainerOptions options_;
   std::shared_ptr<Table> pending_;
   size_t total_absorbed_ = 0;
+  std::function<void()> observer_;
 };
 
 // Keeps a fixed-size uniform sample representative of base + appends.
@@ -89,12 +98,18 @@ class ReservoirMaintainer {
 
   size_t rows_seen() const { return rows_seen_; }
 
+  // Invoked after every Absorb() (see CubeMaintainer::set_update_observer).
+  void set_update_observer(std::function<void()> observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   Status OverwriteRow(size_t slot, const Table& batch, size_t row);
 
   Sample sample_;
   size_t rows_seen_;
   Rng rng_;
+  std::function<void()> observer_;
 };
 
 }  // namespace aqpp

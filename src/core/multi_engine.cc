@@ -118,6 +118,11 @@ int MultiTemplateEngine::RouteFor(const RangeQuery& query) const {
 
 Result<ApproximateResult> MultiTemplateEngine::Execute(
     const RangeQuery& query) {
+  return Execute(query, ExecuteControl{});
+}
+
+Result<ApproximateResult> MultiTemplateEngine::Execute(
+    const RangeQuery& query, const ExecuteControl& control) {
   if (!query.group_by.empty()) {
     return Status::Unimplemented(
         "multi-template sessions currently cover scalar queries");
@@ -125,6 +130,9 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   if (!has_sample_) {
     return Status::FailedPrecondition("call Prepare() first");
   }
+  AQPP_RETURN_IF_STOPPED(control.cancel);
+  Rng local_rng(control.seed.value_or(0));
+  Rng& rng = control.seed.has_value() ? local_rng : rng_;
   SampleEstimator estimator(
       &sample_, {.confidence_level = options_.confidence_level,
                  .bootstrap_resamples = options_.bootstrap_resamples});
@@ -135,16 +143,17 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   int route = RouteFor(query);
   if (route < 0) {
     Timer timer;
-    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng_));
+    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng));
     out.estimation_seconds = timer.ElapsedSeconds();
     return out;
   }
   PreparedTemplate& prep = prepared_[static_cast<size_t>(route)];
   Timer ident_timer;
   AQPP_ASSIGN_OR_RETURN(auto identified,
-                        prep.identifier->Identify(query, rng_));
+                        prep.identifier->Identify(query, rng));
   out.identification_seconds = ident_timer.ElapsedSeconds();
   out.candidates_considered = identified.num_candidates;
+  AQPP_RETURN_IF_STOPPED(control.cancel);
 
   // Mask reuse as in AqppEngine::Execute: one query-mask evaluation, pre
   // mask from the identifier's cell-id matrix.
@@ -152,13 +161,13 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
   if (identified.pre.IsEmpty()) {
     AQPP_ASSIGN_OR_RETURN(out.ci,
-                          estimator.EstimateDirectMasked(query, q_mask, rng_));
+                          estimator.EstimateDirectMasked(query, q_mask, rng));
   } else {
     std::vector<uint8_t> pre_mask =
         prep.identifier->PreMaskOnSample(identified.pre);
     AQPP_ASSIGN_OR_RETURN(
         out.ci, estimator.EstimateWithPreMasked(query, q_mask, pre_mask,
-                                                identified.values, rng_));
+                                                identified.values, rng));
     out.used_pre = true;
     out.pre_description =
         identified.pre.ToString(prep.cube->scheme(), table_->schema());

@@ -49,11 +49,18 @@ class MultiTemplateEngine {
   // covers any of the query's condition columns.
   Result<ApproximateResult> Execute(const RangeQuery& query);
 
+  // Per-call control (cancellation, deterministic seed) — same contract as
+  // AqppEngine::Execute: seeded calls are safe to run concurrently.
+  Result<ApproximateResult> Execute(const RangeQuery& query,
+                                    const ExecuteControl& control);
+
   // Index of the template Execute() would route `query` to, or -1 for the
   // direct AQP path.
   int RouteFor(const RangeQuery& query) const;
 
   size_t num_templates() const { return prepared_.size(); }
+  const Table& table() const { return *table_; }
+  const MultiEngineOptions& options() const { return options_; }
   const Sample& sample() const { return sample_; }
   // Budget actually allocated to template t.
   size_t budget_of(size_t t) const { return prepared_[t].budget; }

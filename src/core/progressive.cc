@@ -18,7 +18,7 @@ ProgressiveExecutor::ProgressiveExecutor(const Sample* sample,
 }
 
 Result<std::vector<ProgressiveStep>> ProgressiveExecutor::Run(
-    const RangeQuery& query, Rng& rng) {
+    const RangeQuery& query, Rng& rng, const CancellationToken* cancel) {
   if (!query.group_by.empty()) {
     return Status::InvalidArgument("progressive mode covers scalar queries");
   }
@@ -101,6 +101,7 @@ Result<std::vector<ProgressiveStep>> ProgressiveExecutor::Run(
     step.ci.half_width =
         lambda * std::sqrt(z.variance_sample() / static_cast<double>(consumed));
     steps.push_back(step);
+    if (cancel != nullptr && cancel->ShouldStop()) break;
   }
   return steps;
 }

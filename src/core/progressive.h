@@ -17,6 +17,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "core/cancellation.h"
 #include "core/estimator.h"
 #include "core/identification.h"
 #include "cube/prefix_cube.h"
@@ -49,7 +50,15 @@ class ProgressiveExecutor {
   // Runs `query` through the checkpoint schedule. When a cube is present,
   // the pre is identified once (on the full sample) and reused at every
   // checkpoint, so the stream is monotone in information, not in choices.
-  Result<std::vector<ProgressiveStep>> Run(const RangeQuery& query, Rng& rng);
+  //
+  // `cancel` (optional) is polled after every checkpoint: a stopped run
+  // returns the steps produced so far instead of an error, so a timed-out
+  // service request still gets a (wide) partial estimate. The first
+  // checkpoint is always produced, even when the token is already stopped
+  // on entry — "some answer with an honest interval" is the contract.
+  Result<std::vector<ProgressiveStep>> Run(const RangeQuery& query, Rng& rng,
+                                           const CancellationToken* cancel =
+                                               nullptr);
 
  private:
   const Sample* sample_;

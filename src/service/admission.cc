@@ -1,0 +1,131 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+
+namespace aqpp {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)) {
+  size_t n = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AdmissionController::~AdmissionController() { Stop(); }
+
+double AdmissionController::RetryAfterLocked() const {
+  // Rough drain time of the current backlog: one EWMA service time per
+  // queued request, divided across the workers, plus one for the retrier.
+  double per_job = stats_.ewma_service_seconds;
+  double backlog = static_cast<double>(total_queued_ + 1) /
+                   static_cast<double>(workers_.size());
+  return std::max(options_.retry_floor_seconds, per_job * backlog);
+}
+
+Status AdmissionController::Submit(uint64_t session_id, Job job,
+                                   double* retry_after_seconds) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::FailedPrecondition("admission controller stopped");
+    }
+    std::deque<Job>& queue = queues_[session_id];
+    if (total_queued_ >= options_.max_queue_depth ||
+        queue.size() >= options_.max_per_session) {
+      if (retry_after_seconds != nullptr) {
+        *retry_after_seconds = RetryAfterLocked();
+      }
+      ++stats_.rejected;
+      if (queue.empty()) queues_.erase(session_id);
+      return Status::ResourceExhausted(
+          total_queued_ >= options_.max_queue_depth
+              ? "request queue full"
+              : "per-session queue full");
+    }
+    if (queue.empty()) round_robin_.push_back(session_id);
+    queue.push_back(std::move(job));
+    ++total_queued_;
+    ++stats_.admitted;
+    stats_.queue_depth = total_queued_;
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, total_queued_);
+  }
+  cv_.notify_one();
+  return Status::OK();
+}
+
+void AdmissionController::WorkerLoop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || total_queued_ > 0; });
+      if (stopping_) return;  // leftovers are drained by Stop()
+      uint64_t sid = round_robin_.front();
+      round_robin_.pop_front();
+      auto it = queues_.find(sid);
+      job = std::move(it->second.front());
+      it->second.pop_front();
+      --total_queued_;
+      stats_.queue_depth = total_queued_;
+      if (it->second.empty()) {
+        queues_.erase(it);
+      } else {
+        round_robin_.push_back(sid);  // fairness: back of the rotation
+      }
+    }
+    if (options_.worker_hook) options_.worker_hook();
+    SteadyTime start = SteadyNow();
+    job.run();
+    double seconds = SecondsBetween(start, SteadyNow());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.ewma_service_seconds =
+          stats_.ewma_service_seconds == 0
+              ? seconds
+              : 0.8 * stats_.ewma_service_seconds + 0.2 * seconds;
+      ++stats_.completed;
+    }
+  }
+}
+
+void AdmissionController::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  // Fulfill every queued job with its cancellation path so no submitter
+  // waits forever on a promise that nobody will set.
+  std::vector<Job> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [sid, queue] : queues_) {
+      for (Job& j : queue) leftovers.push_back(std::move(j));
+    }
+    queues_.clear();
+    round_robin_.clear();
+    total_queued_ = 0;
+    stats_.queue_depth = 0;
+  }
+  for (Job& j : leftovers) {
+    if (j.token != nullptr) j.token->Cancel();
+    j.run();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.drained;
+  }
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,110 @@
+// Admission control: a bounded, session-fair queue in front of the engine.
+//
+// The engine's scans already fan out across cores (the global ThreadPool),
+// so the service must not oversubscribe the machine by running every request
+// at once — and it must not queue without bound either, or a burst turns
+// into unbounded latency. AdmissionController therefore:
+//
+//  * runs a fixed pool of dedicated worker threads (the fork-join ThreadPool
+//    in common/ is the wrong shape here: its Run() blocks the caller, while
+//    admission needs fire-and-signal tasks with its own queue discipline);
+//  * bounds the queue globally and per session, rejecting overflow with
+//    ResourceExhausted plus a retry-after hint derived from an EWMA of
+//    observed service times — explicit backpressure instead of a hang;
+//  * drains sessions round-robin, so one chatty client cannot starve the
+//    others (per-session FIFO, cross-session fairness);
+//  * on Stop(), cancels whatever is still queued and runs it anyway — every
+//    job's promise is fulfilled (with Cancelled), so no waiter is left
+//    hanging.
+//
+// Deadlines are not enforced here: the job's CancellationToken carries them
+// into the engine, which checks cooperatively (core/cancellation.h). The
+// controller only hands the token to Stop()'s drain path.
+
+#ifndef AQPP_SERVICE_ADMISSION_H_
+#define AQPP_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cancellation.h"
+
+namespace aqpp {
+
+struct AdmissionOptions {
+  size_t num_workers = 2;
+  // Total queued (not yet running) requests across all sessions.
+  size_t max_queue_depth = 64;
+  // Queued requests per session; the fairness bound.
+  size_t max_per_session = 16;
+  // Lower bound on the retry-after hint.
+  double retry_floor_seconds = 0.01;
+  // Test seam: invoked by a worker right before it runs a job.
+  std::function<void()> worker_hook;
+};
+
+struct AdmissionStats {
+  size_t queue_depth = 0;
+  size_t peak_queue_depth = 0;
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  // Jobs cancelled-and-run by Stop()'s drain.
+  uint64_t drained = 0;
+  double ewma_service_seconds = 0;
+};
+
+class AdmissionController {
+ public:
+  struct Job {
+    // Cancelled by Stop() before the drain runs the job; may be null.
+    std::shared_ptr<CancellationToken> token;
+    // Must not throw; fulfills whatever promise the submitter waits on.
+    std::function<void()> run;
+  };
+
+  explicit AdmissionController(AdmissionOptions options);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  // Enqueues `job` for `session_id`. On overflow returns ResourceExhausted
+  // and, when `retry_after_seconds` is non-null, a backoff hint; the job is
+  // NOT run in that case. FailedPrecondition after Stop().
+  Status Submit(uint64_t session_id, Job job,
+                double* retry_after_seconds = nullptr);
+
+  // Stops the workers, then cancels and runs every still-queued job on the
+  // calling thread. Idempotent.
+  void Stop();
+
+  AdmissionStats stats() const;
+
+ private:
+  void WorkerLoop();
+  double RetryAfterLocked() const;
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  size_t total_queued_ = 0;
+  std::unordered_map<uint64_t, std::deque<Job>> queues_;
+  // Sessions with pending work, in service order (rotated on each pop).
+  std::deque<uint64_t> round_robin_;
+  AdmissionStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_SERVICE_ADMISSION_H_

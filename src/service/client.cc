@@ -1,0 +1,197 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+Status StatusFromWire(const Response& response) {
+  std::string code = response.Find("code").value_or("Internal");
+  std::string msg = response.message.empty() ? code : response.message;
+  if (code == "ResourceExhausted") return Status::ResourceExhausted(msg);
+  if (code == "DeadlineExceeded") return Status::DeadlineExceeded(msg);
+  if (code == "Cancelled") return Status::Cancelled(msg);
+  if (code == "InvalidArgument") return Status::InvalidArgument(msg);
+  if (code == "NotFound") return Status::NotFound(msg);
+  if (code == "FailedPrecondition") return Status::FailedPrecondition(msg);
+  if (code == "Unimplemented") return Status::Unimplemented(msg);
+  if (code == "IOError") return Status::IOError(msg);
+  return Status::Internal(code + ": " + msg);
+}
+
+Result<QueryReply> ParseQueryReply(const Response& r) {
+  QueryReply reply;
+  AQPP_ASSIGN_OR_RETURN(reply.estimate, r.GetDouble("estimate"));
+  AQPP_ASSIGN_OR_RETURN(reply.lo, r.GetDouble("lo"));
+  AQPP_ASSIGN_OR_RETURN(reply.hi, r.GetDouble("hi"));
+  AQPP_ASSIGN_OR_RETURN(reply.half_width, r.GetDouble("half_width"));
+  AQPP_ASSIGN_OR_RETURN(reply.level, r.GetDouble("level"));
+  reply.cache_hit = r.Find("cache_hit").value_or("0") == "1";
+  reply.partial = r.Find("partial").value_or("0") == "1";
+  if (auto rows = r.Find("rows_used")) {
+    reply.rows_used = std::strtoull(rows->c_str(), nullptr, 10);
+  }
+  reply.used_pre = r.Find("pre").value_or("0") == "1";
+  if (auto q = r.Find("queue_ms")) reply.queue_ms = std::atof(q->c_str());
+  if (auto e = r.Find("exec_ms")) reply.exec_ms = std::atof(e->c_str());
+  return reply;
+}
+
+}  // namespace
+
+Result<ServiceClient> ServiceClient::Connect(const std::string& host,
+                                             int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::IOError(StrFormat("connect %s:%d: %s", host.c_str(),
+                                          port, std::strerror(errno)));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ServiceClient client;
+  client.fd_ = fd;
+  return client;
+}
+
+ServiceClient::~ServiceClient() { Close(); }
+
+ServiceClient::ServiceClient(ServiceClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+ServiceClient& ServiceClient::operator=(ServiceClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void ServiceClient::Close() {
+  if (fd_ < 0) return;
+  std::string quit = "QUIT\n";
+  (void)::send(fd_, quit.data(), quit.size(), MSG_NOSIGNAL);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+Result<std::string> ServiceClient::ReadLine() {
+  char chunk[4096];
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<Response> ServiceClient::Call(const std::string& request_line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string line = request_line;
+  line += '\n';
+  size_t sent = 0;
+  while (sent < line.size()) {
+    ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError("send failed; connection lost");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  AQPP_ASSIGN_OR_RETURN(std::string reply, ReadLine());
+  return ParseResponse(reply);
+}
+
+Result<uint64_t> ServiceClient::Hello(const std::string& name) {
+  AQPP_ASSIGN_OR_RETURN(Response r,
+                        Call(name.empty() ? "HELLO" : "HELLO " + name));
+  if (!r.ok) return StatusFromWire(r);
+  return r.GetUint("session");
+}
+
+Status ServiceClient::Ping() {
+  AQPP_ASSIGN_OR_RETURN(Response r, Call("PING"));
+  if (!r.ok) return StatusFromWire(r);
+  return Status::OK();
+}
+
+Status ServiceClient::SetTimeoutMs(int64_t ms) {
+  AQPP_ASSIGN_OR_RETURN(
+      Response r,
+      Call(StrFormat("SET TIMEOUT_MS %lld", static_cast<long long>(ms))));
+  if (!r.ok) return StatusFromWire(r);
+  return Status::OK();
+}
+
+Result<QueryReply> ServiceClient::Query(const std::string& sql) {
+  AQPP_ASSIGN_OR_RETURN(Response r, Call("QUERY " + sql));
+  if (!r.ok) return StatusFromWire(r);
+  return ParseQueryReply(r);
+}
+
+Result<QueryReply> ServiceClient::QueryWithRetry(const std::string& sql,
+                                                 int max_attempts) {
+  for (int attempt = 1;; ++attempt) {
+    AQPP_ASSIGN_OR_RETURN(Response r, Call("QUERY " + sql));
+    if (r.ok) return ParseQueryReply(r);
+    Status st = StatusFromWire(r);
+    if (st.code() != StatusCode::kResourceExhausted ||
+        attempt >= max_attempts) {
+      return st;
+    }
+    double retry_ms = 10.0;
+    if (auto hint = r.GetUint("retry_after_ms"); hint.ok()) {
+      retry_ms = static_cast<double>(*hint);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(retry_ms));
+  }
+}
+
+Result<std::vector<std::pair<std::string, std::string>>>
+ServiceClient::Stats() {
+  AQPP_ASSIGN_OR_RETURN(Response r, Call("STATS"));
+  if (!r.ok) return StatusFromWire(r);
+  return r.fields;
+}
+
+}  // namespace aqpp

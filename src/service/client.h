@@ -1,0 +1,79 @@
+// ServiceClient: a small blocking client for the service line protocol.
+//
+// One TCP connection == one session. Query() parses the OK fields into a
+// QueryReply; QueryWithRetry() honors the server's backpressure contract by
+// sleeping out the advertised retry_after and resubmitting — the loop every
+// well-behaved client of a reject-with-retry-after service runs.
+
+#ifndef AQPP_SERVICE_CLIENT_H_
+#define AQPP_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "service/protocol.h"
+
+namespace aqpp {
+
+struct QueryReply {
+  double estimate = 0;
+  double lo = 0;
+  double hi = 0;
+  double half_width = 0;
+  double level = 0;
+  bool cache_hit = false;
+  bool partial = false;
+  uint64_t rows_used = 0;
+  bool used_pre = false;
+  double queue_ms = 0;
+  double exec_ms = 0;
+};
+
+class ServiceClient {
+ public:
+  static Result<ServiceClient> Connect(const std::string& host, int port);
+
+  ServiceClient() = default;
+  ~ServiceClient();
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  // Sends one request line and reads one response line.
+  Result<Response> Call(const std::string& request_line);
+
+  // HELLO [name] -> session id.
+  Result<uint64_t> Hello(const std::string& name = "");
+  Status Ping();
+  Status SetTimeoutMs(int64_t ms);
+
+  // QUERY <sql>; server-side errors come back as the matching Status code.
+  Result<QueryReply> Query(const std::string& sql);
+
+  // Query(), but on ResourceExhausted sleeps the server's retry_after hint
+  // and resubmits, up to `max_attempts` total attempts.
+  Result<QueryReply> QueryWithRetry(const std::string& sql,
+                                    int max_attempts = 10);
+
+  // STATS as ordered key=value pairs.
+  Result<std::vector<std::pair<std::string, std::string>>> Stats();
+
+  // QUIT (best effort) + close.
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Result<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_SERVICE_CLIENT_H_

@@ -1,0 +1,80 @@
+// The service's line protocol (one request line -> one response line).
+//
+// Requests (case-insensitive verb, rest of line is the argument):
+//
+//   HELLO [name]            open a session           -> OK session=<id>
+//   PING                    liveness                 -> OK pong=1
+//   SET TIMEOUT_MS <n>      session default deadline -> OK timeout_ms=<n>
+//   QUERY <sql>             execute                  -> OK estimate=... ...
+//   STATS                   service statistics       -> OK queries=... ...
+//   QUIT                    close session            -> OK bye=1
+//
+// Responses are a verdict token followed by space-separated key=value
+// fields; values never contain spaces except the trailing msg= field of an
+// error, which consumes the rest of the line:
+//
+//   OK key=value key=value ...
+//   ERR code=DeadlineExceeded retry_after_ms=40 msg=free text here
+//
+// Doubles are formatted with %.17g so a round-trip through the wire
+// reproduces the exact binary64 value — the cache's bit-identical guarantee
+// survives the protocol. See docs/service.md for the full grammar.
+
+#ifndef AQPP_SERVICE_PROTOCOL_H_
+#define AQPP_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aqpp {
+
+enum class RequestType { kHello, kPing, kSet, kQuery, kStats, kQuit };
+
+struct Request {
+  RequestType type = RequestType::kPing;
+  std::string name;       // HELLO
+  std::string set_key;    // SET
+  std::string set_value;  // SET
+  std::string sql;        // QUERY
+};
+
+// Parses one request line (newline already stripped). Unknown verbs and
+// malformed SET/QUERY arguments are InvalidArgument.
+Result<Request> ParseRequest(const std::string& line);
+
+struct Response {
+  bool ok = true;
+  // Ordered key=value fields; keys may repeat (they don't in practice).
+  std::vector<std::pair<std::string, std::string>> fields;
+  // ERR only: free text, rendered last as msg=...
+  std::string message;
+
+  void Add(const std::string& key, const std::string& value) {
+    fields.emplace_back(key, value);
+  }
+  void AddUint(const std::string& key, uint64_t value);
+  void AddDouble(const std::string& key, double value);  // %.17g
+  std::optional<std::string> Find(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<uint64_t> GetUint(const std::string& key) const;
+
+  static Response Error(const std::string& code, const std::string& message);
+};
+
+// One line, no trailing newline.
+std::string FormatResponse(const Response& response);
+
+// Inverse of FormatResponse (used by the client and the round-trip tests).
+Result<Response> ParseResponse(const std::string& line);
+
+// %.17g — shortest text that round-trips binary64 exactly.
+std::string FormatDoubleExact(double v);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SERVICE_PROTOCOL_H_

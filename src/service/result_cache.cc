@@ -1,0 +1,155 @@
+#include "service/result_cache.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+uint64_t Fnv1a64(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+QueryCanonicalizer::QueryCanonicalizer(const Table* table) {
+  domains_.resize(table->num_columns());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    const Column& col = table->column(c);
+    if (col.type() == DataType::kDouble || col.size() == 0) continue;
+    auto lo = col.MinInt64();
+    auto hi = col.MaxInt64();
+    if (!lo.ok() || !hi.ok()) continue;
+    domains_[c] = {true, *lo, *hi};
+  }
+}
+
+CanonicalQuery QueryCanonicalizer::Canonicalize(const RangeQuery& query) const {
+  CanonicalQuery out;
+  out.query.func = query.func;
+  // COUNT reads no measure: queries differing only in agg_column are the
+  // same count.
+  out.query.agg_column =
+      query.func == AggregateFunction::kCount ? 0 : query.agg_column;
+  out.query.group_by = query.group_by;
+
+  // Intersect same-column conditions, then clamp to the column domain.
+  std::map<size_t, RangeCondition> merged;
+  for (const RangeCondition& c : query.predicate.conditions()) {
+    auto [it, inserted] = merged.emplace(c.column, c);
+    if (!inserted) {
+      it->second.lo = std::max(it->second.lo, c.lo);
+      it->second.hi = std::min(it->second.hi, c.hi);
+    }
+  }
+  bool unsatisfiable = false;
+  for (auto& [col, cond] : merged) {
+    if (col < domains_.size() && domains_[col].known) {
+      cond.lo = std::max(cond.lo, domains_[col].lo);
+      cond.hi = std::min(cond.hi, domains_[col].hi);
+    }
+    if (cond.IsEmpty()) unsatisfiable = true;
+  }
+
+  if (unsatisfiable) {
+    // Any empty conjunct empties the whole predicate; all such queries are
+    // one cache slot.
+    out.query.predicate.Add({0, 1, 0});
+  } else {
+    for (const auto& [col, cond] : merged) {  // std::map: sorted by column
+      if (col < domains_.size() && domains_[col].known &&
+          cond.lo <= domains_[col].lo && cond.hi >= domains_[col].hi) {
+        continue;  // vacuous
+      }
+      out.query.predicate.Add(cond);
+    }
+  }
+
+  std::string key = StrFormat("f=%d a=%zu", static_cast<int>(out.query.func),
+                              out.query.agg_column);
+  for (size_t g : out.query.group_by) key += StrFormat(" g=%zu", g);
+  for (const RangeCondition& c : out.query.predicate.conditions()) {
+    key += StrFormat(" c=%zu:%lld:%lld", c.column,
+                     static_cast<long long>(c.lo),
+                     static_cast<long long>(c.hi));
+  }
+  out.key = std::move(key);
+  out.seed = Fnv1a64(out.key);
+  // Seed 0 means "use the engine session RNG" in ExecuteControl semantics
+  // downstream; keep canonical seeds nonzero.
+  if (out.seed == 0) out.seed = 0x9e3779b97f4a7c15ULL;
+  return out;
+}
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
+
+std::optional<ApproximateResult> ResultCache::Lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  return it->second.result;
+}
+
+void ResultCache::Insert(const std::string& key, int template_id,
+                         const ApproximateResult& result) {
+  if (options_.capacity == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.result = result;
+    it->second.template_id = template_id;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  while (entries_.size() >= options_.capacity) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{result, template_id, lru_.begin()};
+  ++stats_.insertions;
+}
+
+void ResultCache::InvalidateTemplate(int template_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.template_id == template_id) {
+      lru_.erase(it->second.lru_it);
+      it = entries_.erase(it);
+      ++stats_.invalidated;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ResultCache::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.invalidated += entries_.size();
+  entries_.clear();
+  lru_.clear();
+}
+
+ResultCacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ResultCacheStats s = stats_;
+  s.size = entries_.size();
+  return s;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace aqpp

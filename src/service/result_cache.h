@@ -1,0 +1,125 @@
+// Semantic result cache for the query service.
+//
+// Two syntactically different queries often denote the same aggregate: ranges
+// written past the column's domain clamp to the same rectangle, duplicate
+// conditions on one column intersect, and full-domain conditions are
+// vacuous. `QueryCanonicalizer` rewrites a RangeQuery into that normal form
+// and derives a stable text key plus an execution seed from it, so
+//
+//  * equivalent queries share one cache slot (semantic, not textual, hits),
+//  * a miss is executed with `ExecuteControl.seed = canonical seed`, which
+//    makes the fresh result a pure function of (prepared state, canonical
+//    query) — a later hit replays it bit-identically.
+//
+// `ResultCache` is an LRU map from canonical key to ApproximateResult with
+// hit/miss/eviction/invalidation accounting. Entries carry the template id
+// they were answered from, so maintenance can invalidate one template's
+// entries (cube rebuilt) or everything (data appended). All methods are
+// thread-safe.
+
+#ifndef AQPP_SERVICE_RESULT_CACHE_H_
+#define AQPP_SERVICE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "expr/query.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// A query in service normal form, with its cache key and execution seed.
+struct CanonicalQuery {
+  RangeQuery query;
+  std::string key;
+  uint64_t seed = 0;
+};
+
+// FNV-1a over `s`; the cache's key hash and the seed derivation.
+uint64_t Fnv1a64(const std::string& s);
+
+class QueryCanonicalizer {
+ public:
+  // Precomputes per-column domains of `table` (ordinal columns only);
+  // `table` must outlive the canonicalizer.
+  explicit QueryCanonicalizer(const Table* table);
+
+  // Normal form: conditions clamped to the column domain, same-column
+  // conditions intersected, vacuous (full-domain) conditions dropped,
+  // remaining conditions sorted by column; an unsatisfiable predicate
+  // collapses to the single marker condition {0, 1, 0}; COUNT ignores the
+  // aggregate column (canonicalized to 0).
+  CanonicalQuery Canonicalize(const RangeQuery& query) const;
+
+ private:
+  struct Domain {
+    bool known = false;
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+  std::vector<Domain> domains_;
+};
+
+struct ResultCacheOptions {
+  // Maximum resident entries; 0 disables insertion entirely.
+  size_t capacity = 1024;
+};
+
+struct ResultCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  // Entries dropped by InvalidateTemplate / InvalidateAll.
+  uint64_t invalidated = 0;
+  size_t size = 0;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  // Returns the cached result and refreshes its recency; counts a hit or a
+  // miss either way.
+  std::optional<ApproximateResult> Lookup(const std::string& key);
+
+  // Inserts (or overwrites) `key`, evicting the least recently used entry
+  // when at capacity. `template_id` tags the entry for invalidation (-1 =
+  // answered without a cube).
+  void Insert(const std::string& key, int template_id,
+              const ApproximateResult& result);
+
+  // Drops every entry answered from `template_id`.
+  void InvalidateTemplate(int template_id);
+
+  // Drops everything (data-update hook: appended rows change every answer).
+  void InvalidateAll();
+
+  ResultCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    ApproximateResult result;
+    int template_id = -1;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  ResultCacheOptions options_;
+  mutable std::mutex mu_;
+  // Front = most recently used.
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, Entry> entries_;
+  ResultCacheStats stats_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_SERVICE_RESULT_CACHE_H_

@@ -1,0 +1,288 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "service/protocol.h"
+#include "sql/binder.h"
+
+namespace aqpp {
+
+namespace {
+
+// Writes all of `s` (blocking socket); false on a broken connection.
+bool SendAll(int fd, const std::string& s) {
+  size_t sent = 0;
+  while (sent < s.size()) {
+    ssize_t n = ::send(fd, s.data() + sent, s.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+ServiceServer::ServiceServer(QueryService* service, const Catalog* catalog,
+                             ServerOptions options)
+    : service_(service), catalog_(catalog), options_(std::move(options)) {}
+
+ServiceServer::~ServiceServer() { Stop(); }
+
+Status ServiceServer::Start() {
+  if (running_.load()) return Status::FailedPrecondition("already started");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad host '" + options_.host + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Status::IOError(std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) {
+    Status st = Status::IOError(std::string("listen: ") +
+                                std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ServiceServer::AcceptLoop() {
+  while (running_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket closed by Stop()
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (!running_.load() || active_fds_.size() >= options_.max_connections) {
+      SendAll(fd, FormatResponse(Response::Error(
+                      "ResourceExhausted", "connection limit reached")) +
+                      "\n");
+      ::close(fd);
+      continue;
+    }
+    active_fds_.insert(fd);
+    conn_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+  }
+}
+
+std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
+                                      const std::string& line, bool* quit) {
+  (void)fd;
+  auto req = ParseRequest(line);
+  if (!req.ok()) {
+    return FormatResponse(Response::Error(
+        StatusCodeToString(req.status().code()), req.status().message()));
+  }
+  Response resp;
+  switch (req->type) {
+    case RequestType::kHello: {
+      // The accept path already opened a session; HELLO just reports it (a
+      // second HELLO with a name opens a fresh, named one).
+      if (!req->name.empty()) {
+        auto opened = service_->sessions().Open(req->name);
+        if (!opened.ok()) {
+          return FormatResponse(
+              Response::Error(StatusCodeToString(opened.status().code()),
+                              opened.status().message()));
+        }
+        (void)service_->sessions().Close(*session_id);
+        *session_id = (*opened)->id();
+      }
+      resp.AddUint("session", *session_id);
+      return FormatResponse(resp);
+    }
+    case RequestType::kPing:
+      resp.AddUint("pong", 1);
+      return FormatResponse(resp);
+    case RequestType::kSet: {
+      if (req->set_key != "timeout_ms") {
+        return FormatResponse(Response::Error(
+            "InvalidArgument", "unknown setting '" + req->set_key + "'"));
+      }
+      auto session = service_->sessions().Get(*session_id);
+      if (!session.ok()) {
+        return FormatResponse(
+            Response::Error(StatusCodeToString(session.status().code()),
+                            session.status().message()));
+      }
+      long long ms = std::atoll(req->set_value.c_str());
+      (*session)->set_default_timeout_seconds(
+          ms <= 0 ? 0.0 : static_cast<double>(ms) / 1000.0);
+      resp.AddUint("timeout_ms", ms <= 0 ? 0 : static_cast<uint64_t>(ms));
+      return FormatResponse(resp);
+    }
+    case RequestType::kQuery: {
+      auto bound = ParseAndBind(req->sql, *catalog_);
+      if (!bound.ok()) {
+        return FormatResponse(
+            Response::Error(StatusCodeToString(bound.status().code()),
+                            bound.status().message()));
+      }
+      QueryOutcome out = service_->Execute(*session_id, bound->query);
+      if (!out.status.ok()) {
+        Response err = Response::Error(StatusCodeToString(out.status.code()),
+                                       out.status.message());
+        if (out.status.code() == StatusCode::kResourceExhausted) {
+          // retry_after_ms must precede msg=; insert after code=.
+          err.fields.emplace_back(
+              "retry_after_ms",
+              StrFormat("%lld", static_cast<long long>(
+                                    out.retry_after_seconds * 1000.0 + 0.5)));
+        }
+        return FormatResponse(err);
+      }
+      resp.AddDouble("estimate", out.ci.estimate);
+      resp.AddDouble("lo", out.ci.lower());
+      resp.AddDouble("hi", out.ci.upper());
+      resp.AddDouble("half_width", out.ci.half_width);
+      resp.AddDouble("level", out.ci.level);
+      resp.AddUint("cache_hit", out.cache_hit ? 1 : 0);
+      resp.AddUint("partial", out.partial ? 1 : 0);
+      if (out.partial) resp.AddUint("rows_used", out.partial_rows_used);
+      resp.AddUint("pre", out.used_pre ? 1 : 0);
+      resp.AddDouble("queue_ms", out.queue_seconds * 1000.0);
+      resp.AddDouble("exec_ms", out.exec_seconds * 1000.0);
+      return FormatResponse(resp);
+    }
+    case RequestType::kStats: {
+      ServiceStats s = service_->stats();
+      resp.AddUint("queries", s.queries);
+      resp.AddUint("completed", s.completed);
+      resp.AddUint("cache_hits", s.cache_hits);
+      resp.AddUint("rejected", s.rejected);
+      resp.AddUint("timed_out", s.timed_out);
+      resp.AddUint("partial", s.partial);
+      resp.AddUint("cancelled", s.cancelled);
+      resp.AddUint("failed", s.failed);
+      resp.AddUint("queue_depth", s.admission.queue_depth);
+      resp.AddUint("peak_queue_depth", s.admission.peak_queue_depth);
+      resp.AddDouble("p50_ms", s.p50_latency_seconds * 1000.0);
+      resp.AddDouble("p95_ms", s.p95_latency_seconds * 1000.0);
+      resp.AddDouble("p99_ms", s.p99_latency_seconds * 1000.0);
+      resp.AddDouble("cache_hit_rate", s.cache_hit_rate);
+      resp.AddUint("cache_size", s.cache.size);
+      resp.AddUint("cache_evictions", s.cache.evictions);
+      resp.AddUint("cache_invalidated", s.cache.invalidated);
+      resp.AddUint("sessions_active", s.sessions_active);
+      resp.AddUint("sessions_opened", s.sessions_opened);
+      return FormatResponse(resp);
+    }
+    case RequestType::kQuit:
+      *quit = true;
+      resp.AddUint("bye", 1);
+      return FormatResponse(resp);
+  }
+  return FormatResponse(Response::Error("Internal", "unhandled verb"));
+}
+
+void ServiceServer::HandleConnection(int fd) {
+  auto session = service_->sessions().Open("");
+  if (!session.ok()) {
+    SendAll(fd, FormatResponse(Response::Error(
+                    StatusCodeToString(session.status().code()),
+                    session.status().message())) +
+                    "\n");
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    active_fds_.erase(fd);
+    return;
+  }
+  uint64_t session_id = (*session)->id();
+
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // disconnect or Stop()
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t nl;
+    while (!quit && (nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (TrimWhitespace(line).empty()) continue;
+      std::string reply = HandleLine(fd, &session_id, line, &quit);
+      if (!SendAll(fd, reply + "\n")) {
+        quit = true;
+      }
+    }
+  }
+  (void)service_->sessions().Close(session_id);
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_fds_.erase(fd);
+}
+
+size_t ServiceServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  return active_fds_.size();
+}
+
+void ServiceServer::Stop() {
+  bool was_running = running_.exchange(false);
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    // Unblock recv() in every connection thread.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  (void)was_running;
+}
+
+}  // namespace aqpp

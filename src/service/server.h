@@ -1,0 +1,78 @@
+// ServiceServer: a line-protocol TCP front end over QueryService.
+//
+// One accept thread plus one thread per connection (connections are bounded;
+// the per-request concurrency cap is the admission controller's job, not
+// the socket layer's). Each connection is one session: opened on accept,
+// closed on QUIT / disconnect. SQL arrives via the QUERY verb, is bound
+// against the catalog, and is executed through QueryService::Execute — so
+// every protocol client goes through admission, deadlines, and the result
+// cache exactly like an in-process caller.
+//
+// Binding to port 0 picks an ephemeral port; port() reports the real one
+// (how the tests avoid collisions).
+
+#ifndef AQPP_SERVICE_SERVER_H_
+#define AQPP_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "service/service.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral
+  int backlog = 64;
+  // Above this, new connections get one ERR line and are closed.
+  size_t max_connections = 64;
+};
+
+class ServiceServer {
+ public:
+  // `service` and `catalog` are borrowed and must outlive the server.
+  ServiceServer(QueryService* service, const Catalog* catalog,
+                ServerOptions options = {});
+  ~ServiceServer();
+
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  // Binds, listens, and starts the accept thread.
+  Status Start();
+
+  // Unblocks every connection and joins all threads. Idempotent.
+  void Stop();
+
+  // The bound port (valid after Start()).
+  int port() const { return port_; }
+  size_t active_connections() const;
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  std::string HandleLine(int fd, uint64_t* session_id, const std::string& line,
+                         bool* quit);
+
+  QueryService* service_;
+  const Catalog* catalog_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  mutable std::mutex conn_mu_;
+  std::unordered_set<int> active_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_SERVICE_SERVER_H_

@@ -1,0 +1,294 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <utility>
+
+namespace aqpp {
+
+Result<ApproximateResult> EngineRef::Execute(
+    const RangeQuery& query, const ExecuteControl& control) const {
+  if (single_ != nullptr) return single_->Execute(query, control);
+  return multi_->Execute(query, control);
+}
+
+int EngineRef::TemplateFor(const RangeQuery& query) const {
+  if (single_ != nullptr) return single_->has_cube() ? 0 : -1;
+  return multi_->RouteFor(query);
+}
+
+const Table& EngineRef::table() const {
+  if (single_ != nullptr) return single_->table();
+  return multi_->table();
+}
+
+const Sample& EngineRef::sample() const {
+  if (single_ != nullptr) return single_->sample();
+  return multi_->sample();
+}
+
+const PrefixCube* EngineRef::ProgressiveCube(const RangeQuery& query) const {
+  if (single_ != nullptr) return single_->cube();
+  int route = multi_->RouteFor(query);
+  return route >= 0 ? &multi_->cube_of(static_cast<size_t>(route)) : nullptr;
+}
+
+double EngineRef::confidence_level() const {
+  if (single_ != nullptr) return single_->options().confidence_level;
+  return multi_->options().confidence_level;
+}
+
+void EngineRef::Warmup() const {
+  if (single_ == nullptr) return;  // MultiTemplateEngine: Prepare() draws it
+  RangeQuery count_all;
+  count_all.func = AggregateFunction::kCount;
+  ExecuteControl control;
+  control.record = false;
+  (void)single_->Execute(count_all, control);
+}
+
+QueryService::QueryService(EngineRef engine, ServiceOptions options)
+    : engine_(engine),
+      options_(std::move(options)),
+      canonicalizer_(&engine_.table()),
+      sessions_(options_.sessions),
+      cache_(options_.cache),
+      admission_(options_.admission) {
+  engine_.Warmup();
+  latencies_.resize(std::max<size_t>(1, options_.latency_window), 0.0);
+}
+
+QueryService::~QueryService() { Stop(); }
+
+void QueryService::Stop() { admission_.Stop(); }
+
+void QueryService::WireMaintenance(CubeMaintainer* cube,
+                                   ReservoirMaintainer* reservoir) {
+  if (cube != nullptr) {
+    cube->set_update_observer([this] { cache_.InvalidateAll(); });
+  }
+  if (reservoir != nullptr) {
+    reservoir->set_update_observer([this] { cache_.InvalidateAll(); });
+  }
+}
+
+void QueryService::RecordLatency(double seconds) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latencies_[latency_next_] = seconds;
+  latency_next_ = (latency_next_ + 1) % latencies_.size();
+  if (latency_next_ == 0) latency_full_ = true;
+}
+
+void QueryService::AccountOutcome(const QueryOutcome& outcome,
+                                  Session& session) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (outcome.status.ok()) {
+    ++completed_;
+    session.OnCompleted();
+    if (outcome.cache_hit) {
+      ++cache_hits_;
+      session.OnCacheHit();
+    }
+    if (outcome.partial) {
+      ++timed_out_;
+      ++partial_;
+      session.OnTimedOut();
+    }
+    return;
+  }
+  switch (outcome.status.code()) {
+    case StatusCode::kResourceExhausted:
+      ++rejected_;
+      session.OnRejected();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      ++timed_out_;
+      session.OnTimedOut();
+      break;
+    case StatusCode::kCancelled:
+      ++cancelled_;
+      break;
+    default:
+      ++failed_;
+      session.OnFailed();
+      break;
+  }
+}
+
+QueryOutcome QueryService::Execute(uint64_t session_id,
+                                   const RangeQuery& query,
+                                   double timeout_seconds) {
+  QueryOutcome out;
+  auto session_or = sessions_.Get(session_id);
+  if (!session_or.ok()) {
+    out.status = session_or.status();
+    return out;
+  }
+  std::shared_ptr<Session> session = *session_or;
+  session->OnSubmitted();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++queries_;
+  }
+  SteadyTime start = SteadyNow();
+
+  if (!query.group_by.empty()) {
+    out.status = Status::Unimplemented(
+        "the service answers scalar queries; run GROUP BY through the "
+        "engine directly");
+    AccountOutcome(out, *session);
+    return out;
+  }
+
+  CanonicalQuery canon = canonicalizer_.Canonicalize(query);
+  session->RecordQuery(canon.query);
+
+  if (options_.enable_cache) {
+    if (auto hit = cache_.Lookup(canon.key)) {
+      out.ci = hit->ci;
+      out.used_pre = hit->used_pre;
+      out.pre_description = hit->pre_description;
+      out.cache_hit = true;
+      AccountOutcome(out, *session);
+      RecordLatency(SecondsBetween(start, SteadyNow()));
+      return out;
+    }
+  }
+
+  double timeout = timeout_seconds;
+  if (timeout < 0) timeout = session->default_timeout_seconds();
+  if (timeout <= 0) timeout = options_.default_timeout_seconds;
+  auto token = std::make_shared<CancellationToken>(
+      timeout > 0 ? Deadline::After(timeout) : Deadline::Infinite());
+
+  int template_id = engine_.TemplateFor(canon.query);
+  struct Pending {
+    QueryOutcome out;
+    std::promise<void> done;
+  };
+  auto pending = std::make_shared<Pending>();
+  AdmissionController::Job job;
+  job.token = token;
+  job.run = [this, pending, canon, template_id, token,
+             enqueued = SteadyNow()] {
+    pending->out = RunOnWorker(canon, template_id, token.get(), enqueued);
+    pending->done.set_value();
+  };
+  double retry_after = 0;
+  Status admitted = admission_.Submit(session_id, std::move(job),
+                                      &retry_after);
+  if (!admitted.ok()) {
+    out.status = std::move(admitted);
+    out.retry_after_seconds = retry_after;
+    AccountOutcome(out, *session);
+    return out;
+  }
+  pending->done.get_future().wait();
+  out = std::move(pending->out);
+  AccountOutcome(out, *session);
+  RecordLatency(SecondsBetween(start, SteadyNow()));
+  return out;
+}
+
+QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
+                                       int template_id,
+                                       const CancellationToken* token,
+                                       SteadyTime enqueued) {
+  QueryOutcome out;
+  out.queue_seconds = SecondsBetween(enqueued, SteadyNow());
+  SteadyTime start = SteadyNow();
+
+  Status stop = Status::OK();
+  if (token->ShouldStop()) {
+    // The deadline burned out in the queue (or Stop() cancelled us) — skip
+    // straight to the fallback / error path without touching the engine.
+    stop = token->StopStatus();
+  } else {
+    ExecuteControl control;
+    control.cancel = token;
+    control.seed = canon.seed;
+    control.record = false;
+    auto result = engine_.Execute(canon.query, control);
+    if (result.ok()) {
+      out.ci = result->ci;
+      out.used_pre = result->used_pre;
+      out.pre_description = result->pre_description;
+      out.exec_seconds = SecondsBetween(start, SteadyNow());
+      if (options_.enable_cache) {
+        cache_.Insert(canon.key, template_id, *result);
+      }
+      return out;
+    }
+    stop = result.status();
+  }
+
+  if (options_.progressive_fallback &&
+      stop.code() == StatusCode::kDeadlineExceeded) {
+    auto partial = RunProgressive(canon, token);
+    if (partial.ok()) {
+      out.ci = partial->ci;
+      out.partial = true;
+      out.partial_rows_used = partial->rows_used;
+      out.exec_seconds = SecondsBetween(start, SteadyNow());
+      return out;  // partial answers are NOT cached: different precision
+    }
+  }
+  out.status = std::move(stop);
+  out.exec_seconds = SecondsBetween(start, SteadyNow());
+  return out;
+}
+
+Result<ProgressiveStep> QueryService::RunProgressive(
+    const CanonicalQuery& canon, const CancellationToken* token) {
+  ProgressiveOptions popts;
+  popts.confidence_level = engine_.confidence_level();
+  ProgressiveExecutor executor(&engine_.sample(),
+                               engine_.ProgressiveCube(canon.query), popts);
+  Rng rng(canon.seed);
+  AQPP_ASSIGN_OR_RETURN(auto steps, executor.Run(canon.query, rng, token));
+  if (steps.empty()) {
+    return Status::Internal("progressive run produced no checkpoints");
+  }
+  return steps.back();
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.queries = queries_;
+    s.completed = completed_;
+    s.cache_hits = cache_hits_;
+    s.rejected = rejected_;
+    s.timed_out = timed_out_;
+    s.partial = partial_;
+    s.cancelled = cancelled_;
+    s.failed = failed_;
+    size_t n = latency_full_ ? latencies_.size() : latency_next_;
+    if (n > 0) {
+      std::vector<double> sorted(latencies_.begin(),
+                                 latencies_.begin() + n);
+      std::sort(sorted.begin(), sorted.end());
+      auto pct = [&](double q) {
+        size_t idx = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(n)));
+        return sorted[std::min(n - 1, idx == 0 ? 0 : idx - 1)];
+      };
+      s.p50_latency_seconds = pct(0.50);
+      s.p95_latency_seconds = pct(0.95);
+      s.p99_latency_seconds = pct(0.99);
+    }
+  }
+  s.cache = cache_.stats();
+  uint64_t probes = s.cache.hits + s.cache.misses;
+  s.cache_hit_rate =
+      probes == 0 ? 0 : static_cast<double>(s.cache.hits) /
+                            static_cast<double>(probes);
+  s.admission = admission_.stats();
+  s.sessions_active = sessions_.active();
+  s.sessions_opened = sessions_.total_opened();
+  return s;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,65 @@
+#include "service/session.h"
+
+#include <algorithm>
+
+namespace aqpp {
+
+void Session::RecordQuery(const RangeQuery& query) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (log_.size() >= max_recorded_queries_) {
+    log_.erase(log_.begin());
+  }
+  log_.push_back(query);
+}
+
+std::vector<RangeQuery> Session::recorded_queries() const {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  return log_;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Open(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.size() >= options_.max_sessions) {
+    return Status::ResourceExhausted("session limit reached");
+  }
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_shared<Session>(
+      id, name.empty() ? "session-" + std::to_string(id) : name,
+      options_.max_recorded_queries_per_session);
+  sessions_[id] = session;
+  return session;
+}
+
+Result<std::shared_ptr<Session>> SessionManager::Get(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status SessionManager::Close(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(id) == 0) {
+    return Status::NotFound("no session with id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+size_t SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) out.push_back(s);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a->id() < b->id(); });
+  return out;
+}
+
+}  // namespace aqpp

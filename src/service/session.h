@@ -1,0 +1,128 @@
+// Sessions: per-client state over the shared engine.
+//
+// A session owns nothing heavyweight — the sample and cube live in the
+// engine, shared by everyone. What a session carries is the per-client
+// surface: a default deadline, counters (submitted / completed / cache hits
+// / rejections / timeouts), and a bounded log of the queries it ran (the
+// per-session analogue of the engine's workload log; the engine-level log is
+// bypassed by service executions, which set `ExecuteControl.record = false`).
+//
+// SessionManager hands out monotonically increasing ids and keeps sessions
+// alive via shared_ptr: a worker holding a session outlives a concurrent
+// Close() without dangling. All methods on both classes are thread-safe.
+
+#ifndef AQPP_SERVICE_SESSION_H_
+#define AQPP_SERVICE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/query.h"
+
+namespace aqpp {
+
+struct SessionCounters {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t rejected = 0;
+  uint64_t timed_out = 0;
+  uint64_t failed = 0;
+};
+
+class Session {
+ public:
+  Session(uint64_t id, std::string name, size_t max_recorded_queries)
+      : id_(id), name_(std::move(name)),
+        max_recorded_queries_(max_recorded_queries) {}
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // Default deadline applied when a request carries none; <= 0 = none.
+  double default_timeout_seconds() const {
+    return default_timeout_seconds_.load(std::memory_order_relaxed);
+  }
+  void set_default_timeout_seconds(double seconds) {
+    default_timeout_seconds_.store(seconds, std::memory_order_relaxed);
+  }
+
+  void OnSubmitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void OnCompleted() { completed_.fetch_add(1, std::memory_order_relaxed); }
+  void OnCacheHit() { cache_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void OnRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void OnTimedOut() { timed_out_.fetch_add(1, std::memory_order_relaxed); }
+  void OnFailed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+
+  SessionCounters counters() const {
+    SessionCounters c;
+    c.submitted = submitted_.load(std::memory_order_relaxed);
+    c.completed = completed_.load(std::memory_order_relaxed);
+    c.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    c.rejected = rejected_.load(std::memory_order_relaxed);
+    c.timed_out = timed_out_.load(std::memory_order_relaxed);
+    c.failed = failed_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+  // Bounded query log (oldest dropped first).
+  void RecordQuery(const RangeQuery& query);
+  std::vector<RangeQuery> recorded_queries() const;
+
+ private:
+  const uint64_t id_;
+  const std::string name_;
+  const size_t max_recorded_queries_;
+  std::atomic<double> default_timeout_seconds_{0.0};
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> failed_{0};
+  mutable std::mutex log_mu_;
+  std::vector<RangeQuery> log_;
+};
+
+struct SessionManagerOptions {
+  size_t max_sessions = 256;
+  size_t max_recorded_queries_per_session = 256;
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionManagerOptions options = {})
+      : options_(options) {}
+
+  // Opens a session; ResourceExhausted when at max_sessions.
+  Result<std::shared_ptr<Session>> Open(const std::string& name);
+
+  Result<std::shared_ptr<Session>> Get(uint64_t id) const;
+
+  Status Close(uint64_t id);
+
+  size_t active() const;
+  uint64_t total_opened() const {
+    return next_id_.load(std::memory_order_relaxed) - 1;
+  }
+  std::vector<std::shared_ptr<Session>> List() const;
+
+ private:
+  SessionManagerOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  std::atomic<uint64_t> next_id_{1};
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_SERVICE_SESSION_H_

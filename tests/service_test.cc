@@ -1,0 +1,374 @@
+// Sessions, the line protocol, and the TCP front end: round-trips,
+// concurrent client sessions over real sockets, backpressure ridden out by
+// the client retry loop, and bit-identical replies across the wire.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "service/client.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "service/session.h"
+#include "sql/binder.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using namespace std::chrono_literals;
+
+bool WaitFor(const std::function<bool()>& pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(SessionManagerTest, OpenGetCloseAndLimit) {
+  SessionManager manager({.max_sessions = 2});
+  auto a = manager.Open("alice");
+  auto b = manager.Open("bob");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(manager.active(), 2u);
+  EXPECT_EQ(manager.Open("carol").status().code(),
+            StatusCode::kResourceExhausted);
+
+  auto got = manager.Get((*a)->id());
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ((*got)->name(), "alice");
+
+  ASSERT_TRUE(manager.Close((*a)->id()).ok());
+  EXPECT_EQ(manager.Get((*a)->id()).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(manager.active(), 1u);
+
+  // Slot freed: a new session fits, and ids keep increasing.
+  auto c = manager.Open("carol");
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT((*c)->id(), (*b)->id());
+  EXPECT_EQ(manager.total_opened(), 3u);
+}
+
+TEST(SessionTest, CountersAndBoundedQueryLog) {
+  Session session(7, "s", 3);
+  session.OnSubmitted();
+  session.OnSubmitted();
+  session.OnCompleted();
+  session.OnRejected();
+  SessionCounters c = session.counters();
+  EXPECT_EQ(c.submitted, 2u);
+  EXPECT_EQ(c.completed, 1u);
+  EXPECT_EQ(c.rejected, 1u);
+
+  for (int64_t i = 0; i < 5; ++i) {
+    RangeQuery q;
+    q.predicate.Add({0, i, i + 10});
+    session.RecordQuery(q);
+  }
+  auto log = session.recorded_queries();
+  ASSERT_EQ(log.size(), 3u);  // oldest two dropped
+  EXPECT_EQ(log.front().predicate.conditions()[0].lo, 2);
+  EXPECT_EQ(log.back().predicate.conditions()[0].lo, 4);
+}
+
+TEST(ProtocolTest, ParseRequestVariants) {
+  auto hello = ParseRequest("hello analytics-ui");
+  ASSERT_TRUE(hello.ok());
+  EXPECT_EQ(hello->type, RequestType::kHello);
+  EXPECT_EQ(hello->name, "analytics-ui");
+
+  auto bare_hello = ParseRequest("HELLO");
+  ASSERT_TRUE(bare_hello.ok());
+  EXPECT_TRUE(bare_hello->name.empty());
+
+  auto set = ParseRequest("set TIMEOUT_MS 250");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->type, RequestType::kSet);
+  EXPECT_EQ(set->set_key, "timeout_ms");
+  EXPECT_EQ(set->set_value, "250");
+
+  auto query = ParseRequest("QUERY SELECT SUM(a) FROM t WHERE c1 >= 10");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->type, RequestType::kQuery);
+  EXPECT_EQ(query->sql, "SELECT SUM(a) FROM t WHERE c1 >= 10");
+
+  EXPECT_EQ(ParseRequest("ping")->type, RequestType::kPing);
+  EXPECT_EQ(ParseRequest("STATS")->type, RequestType::kStats);
+  EXPECT_EQ(ParseRequest("quit")->type, RequestType::kQuit);
+
+  EXPECT_EQ(ParseRequest("FROBNICATE").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("SET timeout_ms").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("QUERY").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseRequest("   ").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, ResponseRoundTripPreservesExactDoubles) {
+  Response r;
+  r.AddDouble("estimate", 123456789.12345679);
+  r.AddDouble("third", 1.0 / 3.0);
+  r.AddDouble("tiny", 4.9406564584124654e-324);  // denormal min
+  r.AddUint("n", 18446744073709551615ull);
+
+  auto parsed = ParseResponse(FormatResponse(r));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->ok);
+  EXPECT_EQ(*parsed->GetDouble("estimate"), 123456789.12345679);
+  EXPECT_EQ(*parsed->GetDouble("third"), 1.0 / 3.0);
+  EXPECT_EQ(*parsed->GetDouble("tiny"), 4.9406564584124654e-324);
+  EXPECT_EQ(*parsed->GetUint("n"), 18446744073709551615ull);
+  EXPECT_EQ(parsed->GetDouble("absent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ProtocolTest, ErrorResponseCarriesCodeAndFreeTextMessage) {
+  Response err = Response::Error("DeadlineExceeded",
+                                 "ran out of time at phase 2");
+  std::string line = FormatResponse(err);
+  EXPECT_EQ(line, "ERR code=DeadlineExceeded msg=ran out of time at phase 2");
+
+  auto parsed = ParseResponse(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->ok);
+  EXPECT_EQ(parsed->Find("code").value(), "DeadlineExceeded");
+  EXPECT_EQ(parsed->message, "ran out of time at phase 2");
+
+  // Newlines in the status text must not break the one-line framing.
+  std::string multi = FormatResponse(Response::Error("Internal", "a\nb"));
+  EXPECT_EQ(multi.find('\n'), std::string::npos);
+}
+
+// Shared scaffolding for the socket tests: a prepared engine, a catalog
+// exposing it as "t", a QueryService, and a ServiceServer on an ephemeral
+// port.
+struct TestServer {
+  explicit TestServer(ServiceOptions sopts = {}) {
+    table = testutil::MakeSynthetic({.rows = 20000});
+    EngineOptions eopts;
+    eopts.sample_rate = 0.05;
+    eopts.cube_budget = 400;
+    auto created = AqppEngine::Create(table, eopts);
+    AQPP_CHECK_OK(created.status());
+    engine = std::shared_ptr<AqppEngine>(std::move(*created));
+    QueryTemplate tmpl;
+    tmpl.agg_column = 2;
+    tmpl.condition_columns = {0, 1};
+    AQPP_CHECK_OK(engine->Prepare(tmpl));
+    AQPP_CHECK_OK(catalog.Register("t", table));
+    service = std::make_unique<QueryService>(EngineRef(engine.get()), sopts);
+    server = std::make_unique<ServiceServer>(service.get(), &catalog);
+    AQPP_CHECK_OK(server->Start());
+  }
+
+  ~TestServer() {
+    server->Stop();
+    service->Stop();
+  }
+
+  std::shared_ptr<Table> table;
+  std::shared_ptr<AqppEngine> engine;
+  Catalog catalog;
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<ServiceServer> server;
+};
+
+TEST(ServiceServerTest, ProtocolVerbsOverTheWire) {
+  TestServer ts;
+  auto client = ServiceClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(client.ok());
+
+  ASSERT_TRUE(client->Ping().ok());
+  auto sid = client->Hello("wire-test");
+  ASSERT_TRUE(sid.ok());
+  EXPECT_GT(*sid, 0u);
+  ASSERT_TRUE(client->SetTimeoutMs(5000).ok());
+
+  // Malformed input gets an ERR line, not a dropped connection.
+  auto bogus = client->Call("FROBNICATE now");
+  ASSERT_TRUE(bogus.ok());
+  EXPECT_FALSE(bogus->ok);
+  EXPECT_EQ(bogus->Find("code").value(), "InvalidArgument");
+  auto bad_sql = client->Call("QUERY SELECT FROM t");
+  ASSERT_TRUE(bad_sql.ok());
+  EXPECT_FALSE(bad_sql->ok);
+
+  // A real query, twice: the second reply is a cache hit and bit-identical
+  // after its %.17g round-trip.
+  const std::string sql = "SELECT SUM(a) FROM t WHERE c1 >= 10 AND c1 <= 60";
+  auto first = client->Query(sql);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+  auto second = client->Query(sql);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(first->estimate, second->estimate);
+  EXPECT_EQ(first->half_width, second->half_width);
+
+  client->Close();
+}
+
+TEST(ServiceServerTest, EightConcurrentSessions) {
+  constexpr int kClients = 8;
+  constexpr int kQueriesPerClient = 10;
+  ServiceOptions sopts;
+  sopts.admission.num_workers = 4;
+  TestServer ts(sopts);
+
+  const std::vector<std::string> sqls = {
+      "SELECT SUM(a) FROM t WHERE c1 >= 10 AND c1 <= 60",
+      "SELECT SUM(a) FROM t WHERE c1 >= 20 AND c1 <= 80",
+      "SELECT SUM(a) FROM t WHERE c2 >= 5 AND c2 <= 25",
+      "SELECT COUNT(*) FROM t WHERE c1 >= 30 AND c1 <= 70",
+  };
+
+  struct ClientResult {
+    std::vector<std::string> errors;
+    // sql index -> estimates observed (exact doubles off the wire).
+    std::map<size_t, std::vector<double>> estimates;
+    int cache_hits = 0;
+  };
+  std::vector<ClientResult> results(kClients);
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&ts, &sqls, &results, i] {
+      ClientResult& r = results[static_cast<size_t>(i)];
+      auto client = ServiceClient::Connect("127.0.0.1", ts.server->port());
+      if (!client.ok()) {
+        r.errors.push_back(client.status().ToString());
+        return;
+      }
+      auto sid = client->Hello("client-" + std::to_string(i));
+      if (!sid.ok()) {
+        r.errors.push_back(sid.status().ToString());
+        return;
+      }
+      for (int j = 0; j < kQueriesPerClient; ++j) {
+        size_t which = static_cast<size_t>(i + j) % sqls.size();
+        auto reply = client->QueryWithRetry(sqls[which]);
+        if (!reply.ok()) {
+          r.errors.push_back(reply.status().ToString());
+          continue;
+        }
+        r.estimates[which].push_back(reply->estimate);
+        if (reply->cache_hit) ++r.cache_hits;
+      }
+      client->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  int total_replies = 0;
+  int total_hits = 0;
+  std::map<size_t, double> reference;
+  for (const ClientResult& r : results) {
+    for (const std::string& e : r.errors) ADD_FAILURE() << e;
+    total_hits += r.cache_hits;
+    for (const auto& [which, values] : r.estimates) {
+      for (double v : values) {
+        ++total_replies;
+        // Every session sees the same bits for the same canonical query —
+        // the cache guarantee, across threads AND the text protocol.
+        auto [it, inserted] = reference.emplace(which, v);
+        if (!inserted) {
+          EXPECT_EQ(it->second, v) << "sql #" << which;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(total_replies, kClients * kQueriesPerClient);
+  EXPECT_GT(total_hits, 0);
+
+  // Let the server retire the client connections, then audit its stats.
+  ASSERT_TRUE(
+      WaitFor([&ts] { return ts.server->active_connections() == 0; }));
+  auto control = ServiceClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(control.ok());
+  auto stats = control->Stats();
+  ASSERT_TRUE(stats.ok());
+  std::map<std::string, std::string> fields(stats->begin(), stats->end());
+  auto uint_field = [&fields](const std::string& key) {
+    auto it = fields.find(key);
+    EXPECT_NE(it, fields.end()) << key;
+    return it == fields.end() ? 0ull : std::strtoull(it->second.c_str(),
+                                                     nullptr, 10);
+  };
+  EXPECT_EQ(uint_field("queries"),
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(uint_field("completed"),
+            static_cast<uint64_t>(kClients * kQueriesPerClient));
+  EXPECT_EQ(uint_field("cache_hits"), static_cast<uint64_t>(total_hits));
+  EXPECT_EQ(uint_field("failed"), 0u);
+  EXPECT_EQ(uint_field("cancelled"), 0u);
+  EXPECT_EQ(uint_field("timed_out"), 0u);
+  EXPECT_LE(uint_field("peak_queue_depth"),
+            sopts.admission.max_queue_depth);
+  // 8 anonymous accept-sessions, 8 named HELLO replacements, our control
+  // connection; everything but the control session is closed again.
+  EXPECT_EQ(uint_field("sessions_opened"),
+            static_cast<uint64_t>(2 * kClients + 1));
+  EXPECT_EQ(uint_field("sessions_active"), 1u);
+  control->Close();
+}
+
+TEST(ServiceServerTest, ClientsRideOutBackpressureViaRetryAfter) {
+  constexpr int kClients = 6;
+  ServiceOptions sopts;
+  sopts.enable_cache = false;  // every request must take a worker slot
+  sopts.admission.num_workers = 1;
+  sopts.admission.max_queue_depth = 1;
+  sopts.admission.max_per_session = 4;
+  sopts.admission.worker_hook = [] { std::this_thread::sleep_for(30ms); };
+  TestServer ts(sopts);
+
+  std::vector<std::string> errors(kClients);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&ts, &errors, i] {
+      auto client = ServiceClient::Connect("127.0.0.1", ts.server->port());
+      if (!client.ok()) {
+        errors[static_cast<size_t>(i)] = client.status().ToString();
+        return;
+      }
+      // Distinct ranges per client, so nothing is absorbed by caching.
+      std::string sql = "SELECT SUM(a) FROM t WHERE c1 >= " +
+                        std::to_string(2 + i) + " AND c1 <= " +
+                        std::to_string(50 + i);
+      for (int j = 0; j < 2; ++j) {
+        auto reply = client->QueryWithRetry(sql, /*max_attempts=*/50);
+        if (!reply.ok()) {
+          errors[static_cast<size_t>(i)] = reply.status().ToString();
+          return;
+        }
+      }
+      client->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const std::string& e : errors) EXPECT_TRUE(e.empty()) << e;
+
+  // With 6 clients hammering a single worker and a one-slot queue, the
+  // server must have pushed back at least once — and every client still
+  // finished by honoring the retry-after hints.
+  ServiceStats stats = ts.service->stats();
+  EXPECT_GE(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(2 * kClients));
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_LE(stats.admission.peak_queue_depth, 1u);
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -7,13 +7,18 @@
 //                   [--k 50000] [--rate 0.02] --state DIR
 //   aqppcli query   --table t.bin --state DIR "SELECT ..." [--exact]
 //                   [--explain]
+//   aqppcli connect [--host 127.0.0.1] [--port 7878] ["SELECT ..."]
 //
 // `prepare` persists the sample + BP-Cube; `query` warm-starts from that
 // state and answers in sample time, printing the exact answer too when
-// --exact is given.
+// --exact is given. `connect` talks to a running aqppd: with a SQL
+// argument it runs one query (retrying through backpressure) and exits;
+// without one it reads protocol lines from stdin (bare SQL is wrapped in
+// QUERY) — an interactive session against the shared service.
 
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +27,7 @@
 #include "common/timer.h"
 #include "core/engine.h"
 #include "exec/executor.h"
+#include "service/client.h"
 #include "sql/binder.h"
 #include "storage/io.h"
 #include "workload/bigbench.h"
@@ -72,7 +78,9 @@ int Usage() {
                "  aqppcli prepare --table t.bin --measure COL --dims C1,C2 "
                "[--k 50000] [--rate 0.02] --state DIR\n"
                "  aqppcli query --table t.bin --state DIR \"SELECT ...\" "
-               "[--exact] [--explain]\n");
+               "[--exact] [--explain]\n"
+               "  aqppcli connect [--host 127.0.0.1] [--port 7878] "
+               "[\"SELECT ...\"]\n");
   return 2;
 }
 
@@ -232,6 +240,55 @@ int RunQuery(const Args& args) {
   return 0;
 }
 
+void PrintReply(const QueryReply& reply) {
+  std::printf("%.10g ± %.10g  [%.10g, %.10g] @%.0f%%%s%s%s  "
+              "(queue %.1f ms, exec %.1f ms)\n",
+              reply.estimate, reply.half_width, reply.lo, reply.hi,
+              reply.level * 100, reply.used_pre ? ", via BP-Cube" : "",
+              reply.cache_hit ? ", cached" : "",
+              reply.partial ? ", PARTIAL (deadline)" : "", reply.queue_ms,
+              reply.exec_ms);
+}
+
+int RunConnect(const Args& args) {
+  std::string host = FlagOr(args, "host", "127.0.0.1");
+  int port = std::atoi(FlagOr(args, "port", "7878").c_str());
+  auto client = ServiceClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  auto session = client->Hello("aqppcli");
+  if (!session.ok()) return Fail(session.status());
+
+  if (!args.positional.empty()) {
+    // One-shot: run the query (riding out backpressure) and exit.
+    auto reply = client->QueryWithRetry(args.positional[0]);
+    if (!reply.ok()) return Fail(reply.status());
+    PrintReply(*reply);
+    return 0;
+  }
+
+  std::printf("connected to %s:%d (session %llu); SQL or "
+              "PING/SET/STATS/QUIT\n",
+              host.c_str(), port,
+              static_cast<unsigned long long>(*session));
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string_view trimmed = TrimWhitespace(line);
+    if (trimmed.empty()) continue;
+    std::string verb = ToLowerAscii(
+        trimmed.substr(0, trimmed.find(' ')));
+    bool is_protocol = verb == "ping" || verb == "set" || verb == "stats" ||
+                       verb == "quit" || verb == "hello" || verb == "query";
+    std::string request =
+        is_protocol ? std::string(trimmed) : "QUERY " + std::string(trimmed);
+    auto response = client->Call(request);
+    if (!response.ok()) return Fail(response.status());
+    std::printf("%s\n", FormatResponse(*response).c_str());
+    if (verb == "quit") break;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,5 +297,6 @@ int main(int argc, char** argv) {
   if (args.command == "info") return RunInfo(args);
   if (args.command == "prepare") return RunPrepare(args);
   if (args.command == "query") return RunQuery(args);
+  if (args.command == "connect") return RunConnect(args);
   return Usage();
 }

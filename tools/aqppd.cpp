@@ -1,0 +1,183 @@
+// aqppd — the AQP++ query daemon.
+//
+//   aqppd --table t.bin [--state DIR | --measure COL --dims C1,C2]
+//         [--host 127.0.0.1] [--port 7878] [--rate 0.02] [--k 50000]
+//         [--workers 4] [--queue 64] [--per-session 16]
+//         [--timeout-ms 0] [--cache 1024]
+//
+// Loads the table, prepares (or warm-starts) the engine, and serves the
+// line protocol (docs/service.md) until SIGINT/SIGTERM. Clients: `aqppcli
+// connect --port 7878 ["SQL"]` or anything that can speak
+// newline-delimited key=value over TCP (nc works fine).
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "storage/io.h"
+
+namespace {
+
+using namespace aqpp;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+struct Args {
+  std::map<std::string, std::string> flags;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "true";
+      }
+    }
+  }
+  return args;
+}
+
+std::string FlagOr(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  auto it = args.flags.find(key);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  aqppd --table t.bin [--state DIR | --measure COL "
+               "--dims C1,C2]\n"
+               "        [--host 127.0.0.1] [--port 7878] [--rate 0.02] "
+               "[--k 50000]\n"
+               "        [--workers 4] [--queue 64] [--per-session 16]\n"
+               "        [--timeout-ms 0] [--cache 1024]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  std::string table_path = FlagOr(args, "table", "");
+  if (table_path.empty()) return Usage();
+
+  auto table = ReadBinary(table_path);
+  if (!table.ok()) return Fail(table.status());
+  std::printf("loaded %zu rows from %s\n", (*table)->num_rows(),
+              table_path.c_str());
+
+  Catalog catalog;
+  AQPP_CHECK_OK(catalog.Register("t", *table));
+  std::string stem = table_path;
+  size_t slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem = stem.substr(0, dot);
+  if (stem != "t" && !stem.empty()) (void)catalog.Register(stem, *table);
+
+  EngineOptions eopts;
+  eopts.sample_rate = std::atof(FlagOr(args, "rate", "0.02").c_str());
+  eopts.cube_budget =
+      static_cast<size_t>(std::atoll(FlagOr(args, "k", "50000").c_str()));
+  auto engine = AqppEngine::Create(*table, eopts);
+  if (!engine.ok()) return Fail(engine.status());
+
+  std::string state = FlagOr(args, "state", "");
+  std::string measure = FlagOr(args, "measure", "");
+  std::string dims = FlagOr(args, "dims", "");
+  Timer prep_timer;
+  if (!state.empty()) {
+    Status st = (*engine)->LoadState(state);
+    if (!st.ok()) return Fail(st);
+    std::printf("warm-started from %s in %s\n", state.c_str(),
+                FormatDuration(prep_timer.ElapsedSeconds()).c_str());
+  } else if (!measure.empty() && !dims.empty()) {
+    QueryTemplate tmpl;
+    tmpl.func = AggregateFunction::kSum;
+    auto agg_idx = (*table)->GetColumnIndex(measure);
+    if (!agg_idx.ok()) return Fail(agg_idx.status());
+    tmpl.agg_column = *agg_idx;
+    for (const auto& name : SplitString(dims, ',')) {
+      auto idx = (*table)->GetColumnIndex(std::string(TrimWhitespace(name)));
+      if (!idx.ok()) return Fail(idx.status());
+      tmpl.condition_columns.push_back(*idx);
+    }
+    Status st = (*engine)->Prepare(tmpl);
+    if (!st.ok()) return Fail(st);
+    std::printf("prepared %s in %s\n",
+                tmpl.ToString((*table)->schema()).c_str(),
+                FormatDuration(prep_timer.ElapsedSeconds()).c_str());
+  } else {
+    std::printf("no --state/--measure+--dims: serving plain AQP\n");
+  }
+
+  ServiceOptions sopts;
+  sopts.admission.num_workers = static_cast<size_t>(
+      std::atoll(FlagOr(args, "workers", "4").c_str()));
+  sopts.admission.max_queue_depth = static_cast<size_t>(
+      std::atoll(FlagOr(args, "queue", "64").c_str()));
+  sopts.admission.max_per_session = static_cast<size_t>(
+      std::atoll(FlagOr(args, "per-session", "16").c_str()));
+  sopts.cache.capacity = static_cast<size_t>(
+      std::atoll(FlagOr(args, "cache", "1024").c_str()));
+  long long timeout_ms = std::atoll(FlagOr(args, "timeout-ms", "0").c_str());
+  sopts.default_timeout_seconds =
+      timeout_ms <= 0 ? 0 : static_cast<double>(timeout_ms) / 1000.0;
+  QueryService service(EngineRef(engine->get()), sopts);
+
+  ServerOptions server_opts;
+  server_opts.host = FlagOr(args, "host", "127.0.0.1");
+  server_opts.port = static_cast<int>(
+      std::atoll(FlagOr(args, "port", "7878").c_str()));
+  ServiceServer server(&service, &catalog, server_opts);
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  std::printf("aqppd listening on %s:%d (workers=%zu queue=%zu cache=%zu)\n",
+              server_opts.host.c_str(), server.port(),
+              sopts.admission.num_workers, sopts.admission.max_queue_depth,
+              sopts.cache.capacity);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("shutting down\n");
+  server.Stop();
+  service.Stop();
+  ServiceStats stats = service.stats();
+  std::printf("served %llu queries (%llu cache hits, %llu rejected, "
+              "%llu timed out)\n",
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.timed_out));
+  return 0;
+}
