@@ -410,6 +410,12 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
   if (query.group_by.empty()) {
     return Status::InvalidArgument("query has no group-by columns");
   }
+  for (size_t g : query.group_by) {
+    if (g >= table_->num_columns() ||
+        table_->column(g).type() == DataType::kDouble) {
+      return Status::InvalidArgument("group-by column must be ordinal");
+    }
+  }
   AQPP_RETURN_NOT_OK(EnsureSample());
   if (control.record) RecordQuery(query);
   AQPP_RETURN_IF_STOPPED(control.cancel);
@@ -433,14 +439,19 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
     }
   }
 
-  // Enumerate the groups observed in the sample.
+  // Enumerate the groups observed in the sample (raw ordinal spans; the
+  // group-by columns were validated ordinal above).
+  std::vector<const int64_t*> group_data(query.group_by.size());
+  for (size_t g = 0; g < query.group_by.size(); ++g) {
+    group_data[g] = sample_.rows->column(query.group_by[g]).Int64Data().data();
+  }
   std::set<std::vector<int64_t>> group_values;
+  std::vector<int64_t> vals(query.group_by.size());
   for (size_t r = 0; r < sample_.rows->num_rows(); ++r) {
-    std::vector<int64_t> vals(query.group_by.size());
     for (size_t g = 0; g < query.group_by.size(); ++g) {
-      vals[g] = sample_.rows->column(query.group_by[g]).GetInt64(r);
+      vals[g] = group_data[g][r];
     }
-    group_values.insert(std::move(vals));
+    group_values.insert(vals);
   }
 
   SampleEstimator estimator(

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
+#include "kernels/elementwise.h"
 #include "stats/bootstrap.h"
 #include "stats/descriptive.h"
 
@@ -13,11 +15,14 @@ Result<const std::vector<double>*> MeasureCache::Get(size_t column) {
   if (column >= rows_->num_columns()) {
     return Status::InvalidArgument("measure column out of range");
   }
+  const Column& col = rows_->column(column);
+  // kDouble columns are already the double span we need: borrow in place.
+  if (col.type() == DataType::kDouble) return &col.DoubleData();
   std::lock_guard<std::mutex> lock(mu_);
   auto it = columns_.find(column);
   if (it == columns_.end()) {
-    auto values = std::make_unique<std::vector<double>>(
-        rows_->column(column).ToDoubleVector());
+    auto values =
+        std::make_unique<std::vector<double>>(col.ToDoubleVector());
     it = columns_.emplace(column, std::move(values)).first;
   }
   return it->second.get();
@@ -91,10 +96,12 @@ Result<const std::vector<double>*> SampleEstimator::MeasureRef(
   if (column >= sample_->rows->num_columns()) {
     return Status::InvalidArgument("measure column out of range");
   }
+  const Column& col = sample_->rows->column(column);
+  if (col.type() == DataType::kDouble) return &col.DoubleData();
   auto it = local_measures_.find(column);
   if (it == local_measures_.end()) {
-    auto values = std::make_unique<std::vector<double>>(
-        sample_->rows->column(column).ToDoubleVector());
+    auto values =
+        std::make_unique<std::vector<double>>(col.ToDoubleVector());
     it = local_measures_.emplace(column, std::move(values)).first;
   }
   return it->second.get();
@@ -106,9 +113,8 @@ namespace {
 std::vector<double> MaskedValues(const std::vector<double>& measure,
                                  const std::vector<uint8_t>& mask) {
   std::vector<double> y(measure.size());
-  for (size_t i = 0; i < measure.size(); ++i) {
-    y[i] = mask[i] ? measure[i] : 0.0;
-  }
+  kernels::MaskedMeasure(measure.data(), mask.data(), measure.size(),
+                         y.data());
   return y;
 }
 
@@ -119,11 +125,8 @@ ConfidenceInterval SampleEstimator::SumDifferenceCI(
     const std::vector<uint8_t>& pre_mask, double pre_value) const {
   // y_i = A_i * (cond_q - cond_pre): Example 3's A * cond(C = 0) pattern.
   std::vector<double> y(measure.size());
-  for (size_t i = 0; i < measure.size(); ++i) {
-    double diff = static_cast<double>(q_mask[i]) -
-                  static_cast<double>(pre_mask[i]);
-    y[i] = measure[i] * diff;
-  }
+  kernels::DifferenceSeries(measure.data(), q_mask.data(), pre_mask.data(),
+                            measure.size(), y.data());
   ConfidenceInterval ci = SumCI(y);
   ci.estimate += pre_value;  // pre(D) is a known constant
   return ci;
@@ -140,20 +143,18 @@ ConfidenceInterval AvgDifferenceBootstrapCI(
   };
   std::vector<double> estimates;
   estimates.reserve(resamples);
+  std::vector<uint32_t> idx(n);
   for (size_t r = 0; r < resamples; ++r) {
-    double s = 0, c = 0;
     for (size_t i = 0; i < n; ++i) {
-      size_t j = static_cast<size_t>(rng.NextBounded(n));
-      s += s_contrib[j];
-      c += c_contrib[j];
+      idx[i] = static_cast<uint32_t>(rng.NextBounded(n));
     }
+    double s = kernels::GatherSum(s_contrib.data(), idx.data(), n);
+    double c = kernels::GatherSum(c_contrib.data(), idx.data(), n);
     estimates.push_back(ratio_of(s, c));
   }
-  double s_full = 0, c_full = 0;
-  for (size_t i = 0; i < n; ++i) {
-    s_full += s_contrib[i];
-    c_full += c_contrib[i];
-  }
+  std::iota(idx.begin(), idx.end(), 0u);
+  double s_full = kernels::GatherSum(s_contrib.data(), idx.data(), n);
+  double c_full = kernels::GatherSum(c_contrib.data(), idx.data(), n);
   std::sort(estimates.begin(), estimates.end());
   double alpha = (1.0 - confidence_level) / 2.0;
   double lo = Quantile(estimates, alpha);
@@ -179,22 +180,20 @@ ConfidenceInterval VarDifferenceBootstrapCI(
   };
   std::vector<double> estimates;
   estimates.reserve(resamples);
+  std::vector<uint32_t> idx(n);
   for (size_t r = 0; r < resamples; ++r) {
-    double s2 = 0, s = 0, c = 0;
     for (size_t i = 0; i < n; ++i) {
-      size_t j = static_cast<size_t>(rng.NextBounded(n));
-      s2 += s2_contrib[j];
-      s += s_contrib[j];
-      c += c_contrib[j];
+      idx[i] = static_cast<uint32_t>(rng.NextBounded(n));
     }
+    double s2 = kernels::GatherSum(s2_contrib.data(), idx.data(), n);
+    double s = kernels::GatherSum(s_contrib.data(), idx.data(), n);
+    double c = kernels::GatherSum(c_contrib.data(), idx.data(), n);
     estimates.push_back(var_of(s2, s, c));
   }
-  double s2f = 0, sf = 0, cf = 0;
-  for (size_t i = 0; i < n; ++i) {
-    s2f += s2_contrib[i];
-    sf += s_contrib[i];
-    cf += c_contrib[i];
-  }
+  std::iota(idx.begin(), idx.end(), 0u);
+  double s2f = kernels::GatherSum(s2_contrib.data(), idx.data(), n);
+  double sf = kernels::GatherSum(s_contrib.data(), idx.data(), n);
+  double cf = kernels::GatherSum(c_contrib.data(), idx.data(), n);
   double alpha = (1.0 - confidence_level) / 2.0;
   double lo = Quantile(estimates, alpha);
   double hi = Quantile(estimates, 1.0 - alpha);
@@ -233,7 +232,7 @@ Result<ConfidenceInterval> SampleEstimator::EstimateDirectMasked(
     }
     case AggregateFunction::kCount: {
       std::vector<double> y(n);
-      for (size_t i = 0; i < n; ++i) y[i] = mask[i] ? 1.0 : 0.0;
+      kernels::MaskToDouble(mask.data(), n, y.data());
       return SumCI(y);
     }
     case AggregateFunction::kAvg: {
@@ -332,13 +331,9 @@ Result<ConfidenceInterval> SampleEstimator::EstimateWithPreMasked(
                             MeasureRef(query.agg_column));
       const std::vector<double>& measure = *measure_ptr;
       std::vector<double> s_contrib(n), c_contrib(n);
-      for (size_t i = 0; i < n; ++i) {
-        double diff = static_cast<double>(q_mask[i]) -
-                      static_cast<double>(pre_mask[i]);
-        double w = sample_->weights[i];
-        s_contrib[i] = w * measure[i] * diff;
-        c_contrib[i] = w * diff;
-      }
+      kernels::WeightedDifferenceContribs(
+          measure.data(), sample_->weights.data(), q_mask.data(),
+          pre_mask.data(), n, s_contrib.data(), c_contrib.data());
       return AvgDifferenceBootstrapCI(s_contrib, c_contrib, pre,
                                       options_.confidence_level,
                                       options_.bootstrap_resamples, rng);
@@ -348,14 +343,10 @@ Result<ConfidenceInterval> SampleEstimator::EstimateWithPreMasked(
                             MeasureRef(query.agg_column));
       const std::vector<double>& measure = *measure_ptr;
       std::vector<double> s2_contrib(n), s_contrib(n), c_contrib(n);
-      for (size_t i = 0; i < n; ++i) {
-        double diff = static_cast<double>(q_mask[i]) -
-                      static_cast<double>(pre_mask[i]);
-        double w = sample_->weights[i];
-        s2_contrib[i] = w * measure[i] * measure[i] * diff;
-        s_contrib[i] = w * measure[i] * diff;
-        c_contrib[i] = w * diff;
-      }
+      kernels::WeightedDifferenceContribs2(
+          measure.data(), sample_->weights.data(), q_mask.data(),
+          pre_mask.data(), n, s2_contrib.data(), s_contrib.data(),
+          c_contrib.data());
       return VarDifferenceBootstrapCI(s2_contrib, s_contrib, c_contrib, pre,
                                       options_.confidence_level,
                                       options_.bootstrap_resamples, rng);

@@ -236,6 +236,10 @@ PreValues AggregateIdentifier::ReadPreValues(const PreAggregate& pre) const {
   return v;
 }
 
+// Legacy single-candidate scorer (ScoreBatch is the production path). Its
+// predicate evaluation rides the chunked kernel layer transitively through
+// RangePredicate::EvaluateMask, so it stays a faithful-but-slower oracle for
+// the batched scorer without any separate scan code.
 Result<double> AggregateIdentifier::ScoreCandidate(const RangeQuery& query,
                                                    const PreAggregate& pre,
                                                    Rng& rng) const {

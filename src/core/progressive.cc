@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "kernels/elementwise.h"
 #include "stats/confidence.h"
 #include "stats/descriptive.h"
 
@@ -68,12 +69,13 @@ Result<std::vector<ProgressiveStep>> ProgressiveExecutor::Run(
   const double pre_constant = is_count ? pre_values.count : pre_values.sum;
   const double population = static_cast<double>(sample_->population_size);
 
+  // Difference series over the measure's raw double view (borrowed for
+  // kDouble columns, materialized once otherwise).
+  Column::DoubleView view;
+  if (!is_count) view = measure->AsDoubleView();
   std::vector<double> y(n);
-  for (size_t i = 0; i < n; ++i) {
-    double diff = static_cast<double>(q_mask[i]) -
-                  (have_pre ? static_cast<double>(pre_mask[i]) : 0.0);
-    y[i] = (is_count ? 1.0 : measure->GetDouble(i)) * diff;
-  }
+  kernels::DifferenceSeries(is_count ? nullptr : view.data, q_mask.data(),
+                            have_pre ? pre_mask.data() : nullptr, n, y.data());
 
   // Checkpoint schedule.
   std::vector<double> fractions = options_.checkpoints;

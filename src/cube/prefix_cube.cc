@@ -1,14 +1,16 @@
 #include "cube/prefix_cube.h"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <limits>
-#include <mutex>
 
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "kernels/binning.h"
+#include "kernels/kernels.h"
 
 namespace aqpp {
 
@@ -55,55 +57,73 @@ Result<std::shared_ptr<PrefixCube>> PrefixCube::Build(
 
   cube->planes_.assign(measures.size(), std::vector<double>(total, 0.0));
 
-  // Pass 1: one scan, accumulate each row into its bucket cell. The scan is
-  // parallelized over row ranges with per-thread partial planes (prefix
-  // sums are linear, so partials simply add) when the extra memory is
-  // cheap; otherwise it runs single-threaded.
+  // Pass 1: one binning scan, accumulating each row into its bucket cell
+  // chunk by chunk through the cell-id kernels. The scan shards the table on
+  // a grid derived only from (rows, plane memory) — never the thread count —
+  // and per-shard partial planes (prefix sums are linear, so partials simply
+  // add) merge in shard-index order, so the cube's cells are bit-identical
+  // however many threads run the build.
   const size_t n = table.num_rows();
-  std::vector<const Column*> measure_cols(measures.size(), nullptr);
-  for (size_t m = 0; m < measures.size(); ++m) {
-    if (!measures[m].is_count()) {
-      measure_cols[m] = &table.column(static_cast<size_t>(measures[m].column));
-    }
-  }
-  std::vector<const std::vector<int64_t>*> dim_data(d);
+  std::vector<kernels::BinDimension> bin_dims(d);
   for (size_t i = 0; i < d; ++i) {
-    dim_data[i] = &table.column(cube->scheme_.dim(i).column).Int64Data();
+    const auto& dim = cube->scheme_.dim(i);
+    bin_dims[i].codes = table.column(dim.column).Int64Data().data();
+    bin_dims[i].cuts = dim.cuts.data();
+    bin_dims[i].num_cuts = dim.cuts.size();
+    bin_dims[i].stride = cube->strides_[i];
   }
-
+  auto bind_measures = [&](std::vector<std::vector<double>>& planes) {
+    std::vector<kernels::BinMeasure> bound(measures.size());
+    for (size_t m = 0; m < measures.size(); ++m) {
+      bound[m].squared = measures[m].squared;
+      bound[m].plane = planes[m].data();
+      if (measures[m].is_count()) continue;
+      const Column& col = table.column(static_cast<size_t>(measures[m].column));
+      if (col.type() == DataType::kDouble) {
+        bound[m].dbl = col.DoubleData().data();
+      } else {
+        bound[m].i64 = col.Int64Data().data();
+      }
+    }
+    return bound;
+  };
   auto accumulate = [&](std::vector<std::vector<double>>& planes,
                         size_t begin, size_t end) {
-    for (size_t r = begin; r < end; ++r) {
-      size_t flat = 0;
-      for (size_t i = 0; i < d; ++i) {
-        size_t bucket = cube->scheme_.dim(i).BucketOf((*dim_data[i])[r]);
-        flat += bucket * cube->strides_[i];
-      }
-      for (size_t m = 0; m < measures.size(); ++m) {
-        double v =
-            measures[m].is_count() ? 1.0 : measure_cols[m]->GetDouble(r);
-        if (measures[m].squared) v *= v;
-        planes[m][flat] += v;
-      }
+    std::vector<kernels::BinMeasure> bound = bind_measures(planes);
+    alignas(64) uint32_t flat[kernels::kChunkRows];
+    for (size_t base = begin; base < end; base += kernels::kChunkRows) {
+      const size_t stop = std::min(end, base + kernels::kChunkRows);
+      kernels::ComputeCellIds(bin_dims, base, stop, flat);
+      kernels::ScatterAddMeasures(bound, flat, base, stop);
     }
   };
 
-  const size_t workers = DefaultParallelism();
+  // Partial-plane count bounded by a 64 MiB scratch budget (and 16 shards);
+  // huge cubes degrade to one shard, i.e. direct sequential accumulation.
   const size_t partial_bytes = total * measures.size() * sizeof(double);
-  if (workers > 1 && n >= size_t{1} << 17 &&
-      partial_bytes * (workers - 1) <= size_t{64} << 20) {
-    std::mutex mu;
-    ParallelFor(n, [&](size_t begin, size_t end) {
-      std::vector<std::vector<double>> partial(
-          measures.size(), std::vector<double>(total, 0.0));
-      accumulate(partial, begin, end);
-      std::lock_guard<std::mutex> lock(mu);
+  const size_t max_partials =
+      std::clamp<size_t>((size_t{64} << 20) / partial_bytes, 1, 16);
+  const size_t row_shards =
+      n == 0 ? 0 : (n + kernels::kShardRows - 1) / kernels::kShardRows;
+  const size_t num_shards = std::min(row_shards, max_partials);
+  if (num_shards > 1) {
+    const size_t per_shard =
+        ((n + num_shards - 1) / num_shards + kernels::kChunkRows - 1) /
+        kernels::kChunkRows * kernels::kChunkRows;
+    std::vector<std::vector<std::vector<double>>> partials(num_shards);
+    ParallelForEach(num_shards, [&](size_t s) {
+      partials[s].assign(measures.size(), std::vector<double>(total, 0.0));
+      const size_t begin = s * per_shard;
+      const size_t end = std::min(n, begin + per_shard);
+      if (begin < end) accumulate(partials[s], begin, end);
+    });
+    for (size_t s = 0; s < num_shards; ++s) {  // shard-index order
       for (size_t m = 0; m < measures.size(); ++m) {
         for (size_t c = 0; c < total; ++c) {
-          cube->planes_[m][c] += partial[m][c];
+          cube->planes_[m][c] += partials[s][m][c];
         }
       }
-    });
+    }
   } else {
     accumulate(cube->planes_, 0, n);
   }

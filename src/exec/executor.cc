@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <mutex>
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 #include "stats/descriptive.h"
 
 namespace aqpp {
@@ -68,16 +68,74 @@ Result<double> ExactExecutor::Execute(const RangeQuery& query) const {
         return Status::FailedPrecondition("MIN/MAX over empty selection");
     }
   }
+  return options_.use_kernels ? ExecuteKernel(query) : ExecuteLegacy(query);
+}
 
+Result<double> ExactExecutor::ExecuteKernel(const RangeQuery& query) const {
+  kernels::ScanProfile profile = kernels::ScanProfile::kCount;
+  switch (query.func) {
+    case AggregateFunction::kCount:
+      profile = kernels::ScanProfile::kCount;
+      break;
+    case AggregateFunction::kSum:
+    case AggregateFunction::kAvg:
+      profile = kernels::ScanProfile::kSum;
+      break;
+    case AggregateFunction::kVar:
+      profile = kernels::ScanProfile::kMoments;
+      break;
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      profile = kernels::ScanProfile::kMinMax;
+      break;
+  }
+  kernels::ValueRef values;
+  if (query.func != AggregateFunction::kCount) {
+    values = kernels::ValueRef::FromColumn(table_->column(query.agg_column));
+  }
+  AQPP_ASSIGN_OR_RETURN(
+      kernels::ScanStats stats,
+      kernels::ScanAggregate(*table_, query.predicate.conditions(), values,
+                             profile, ScanOpts(), &stats_));
+  switch (query.func) {
+    case AggregateFunction::kSum:
+      return stats.sum;
+    case AggregateFunction::kCount:
+      return stats.count;
+    case AggregateFunction::kAvg:
+      return stats.mean();
+    case AggregateFunction::kVar:
+      return stats.variance_population();
+    case AggregateFunction::kMin:
+      if (stats.count == 0) {
+        return Status::FailedPrecondition("MIN over empty selection");
+      }
+      return stats.min;
+    case AggregateFunction::kMax:
+      if (stats.count == 0) {
+        return Status::FailedPrecondition("MAX over empty selection");
+      }
+      return stats.max;
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<double> ExactExecutor::ExecuteLegacy(const RangeQuery& query) const {
   const size_t n = table_->num_rows();
   const bool needs_value = query.func != AggregateFunction::kCount;
   const Column* agg = needs_value ? &table_->column(query.agg_column) : nullptr;
   const auto& conditions = query.predicate.conditions();
 
-  std::mutex mu;
-  ScanAccumulator total;
-  ParallelFor(n, [&](size_t begin, size_t end) {
-    ScanAccumulator local;
+  // Shards are the fixed kernels::kShardRows grid and partials merge in
+  // shard-index order, so the result does not depend on the thread count or
+  // on which thread finished first (the old completion-order merge did).
+  const size_t num_shards =
+      n == 0 ? 0 : (n + kernels::kShardRows - 1) / kernels::kShardRows;
+  std::vector<ScanAccumulator> shards(num_shards);
+  auto scan_shard = [&](size_t s) {
+    const size_t begin = s * kernels::kShardRows;
+    const size_t end = std::min(n, begin + kernels::kShardRows);
+    ScanAccumulator& local = shards[s];
     for (size_t i = begin; i < end; ++i) {
       bool match = true;
       for (const auto& c : conditions) {
@@ -93,9 +151,16 @@ Result<double> ExactExecutor::Execute(const RangeQuery& query) const {
       local.min = std::min(local.min, x);
       local.max = std::max(local.max, x);
     }
-    std::lock_guard<std::mutex> lock(mu);
-    total.Merge(local);
-  });
+  };
+  ThreadPool& pool =
+      options_.pool != nullptr ? *options_.pool : ThreadPool::Global();
+  if (options_.parallel && num_shards > 1 && pool.num_threads() > 1) {
+    ParallelForEach(num_shards, scan_shard, &pool);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) scan_shard(s);
+  }
+  ScanAccumulator total;
+  for (const ScanAccumulator& s : shards) total.Merge(s);
 
   switch (query.func) {
     case AggregateFunction::kSum:
@@ -129,30 +194,46 @@ Result<std::vector<GroupResult>> ExactExecutor::ExecuteGroupBy(
   const size_t n = table_->num_rows();
   const bool needs_value = query.func != AggregateFunction::kCount;
   const Column* agg = needs_value ? &table_->column(query.agg_column) : nullptr;
-  const auto& conditions = query.predicate.conditions();
 
   std::unordered_map<GroupKey, ScanAccumulator, GroupKeyHash> groups;
-  if (!query.predicate.IsEmpty()) {
+  if (!query.predicate.IsEmpty() && n > 0) {
+    // Group-by columns as raw ordinal spans (validated ordinal above).
+    std::vector<const int64_t*> group_data(query.group_by.size());
+    for (size_t g = 0; g < query.group_by.size(); ++g) {
+      group_data[g] = table_->column(query.group_by[g]).Int64Data().data();
+    }
+    AQPP_ASSIGN_OR_RETURN(
+        kernels::BoundPredicate pred,
+        kernels::BindConditions(*table_, query.predicate.conditions(),
+                                &stats_));
     GroupKey key;
     key.values.resize(query.group_by.size());
-    for (size_t i = 0; i < n; ++i) {
-      bool match = true;
-      for (const auto& c : conditions) {
-        int64_t v = table_->column(c.column).GetInt64(i);
-        if (v < c.lo || v > c.hi) {
-          match = false;
-          break;
+    // Chunked scan: the predicate kernels produce each chunk's selection,
+    // then selected rows are folded into their group accumulators in row
+    // order (same order as the old row loop, so results are unchanged).
+    alignas(64) int64_t mask[kernels::kChunkRows];
+    alignas(64) uint32_t sel[kernels::kChunkRows];
+    for (size_t base = 0; base < n; base += kernels::kChunkRows) {
+      const size_t stop = std::min(n, base + kernels::kChunkRows);
+      size_t k;
+      if (options_.use_kernels) {
+        k = kernels::EvaluateChunk(pred, base, stop, mask);
+      } else {
+        k = kernels::FillMaskScalar(pred, base, stop, mask);
+      }
+      if (k == 0) continue;
+      k = kernels::MaskToSelection(mask, stop - base, sel);
+      for (size_t j = 0; j < k; ++j) {
+        const size_t i = base + sel[j];
+        for (size_t g = 0; g < query.group_by.size(); ++g) {
+          key.values[g] = group_data[g][i];
         }
+        auto& acc = groups[key];
+        double x = needs_value ? agg->GetDouble(i) : 1.0;
+        acc.moments.Add(x);
+        acc.min = std::min(acc.min, x);
+        acc.max = std::max(acc.max, x);
       }
-      if (!match) continue;
-      for (size_t g = 0; g < query.group_by.size(); ++g) {
-        key.values[g] = table_->column(query.group_by[g]).GetInt64(i);
-      }
-      auto& acc = groups[key];
-      double x = needs_value ? agg->GetDouble(i) : 1.0;
-      acc.moments.Add(x);
-      acc.min = std::min(acc.min, x);
-      acc.max = std::max(acc.max, x);
     }
   }
 
@@ -192,6 +273,8 @@ Result<std::vector<GroupResult>> ExactExecutor::ExecuteGroupBy(
 
 Result<size_t> ExactExecutor::CountMatching(
     const RangePredicate& predicate) const {
+  // COUNT, Selectivity, and Execute(kCount) all funnel through the same
+  // kernel entry point instead of three hand-rolled predicate scans.
   RangeQuery q;
   q.func = AggregateFunction::kCount;
   q.predicate = predicate;

@@ -2,7 +2,12 @@
 //
 // This is the ground-truth path: benchmarks use it to compute true answers
 // and relative errors, and the AggPre baseline uses it when a query cannot
-// be answered from the cube. Scans are parallelized over row ranges.
+// be answered from the cube. Scalar scans run on the vectorized kernel layer
+// (src/kernels/) by default; the original row-at-a-time implementation stays
+// available behind ExecutorOptions::use_kernels = false as an ablation
+// baseline and test oracle. Both paths shard the table on the fixed
+// kernels::kShardRows grid and merge shard results in shard-index order, so
+// answers are bit-identical run-to-run and across thread counts.
 
 #ifndef AQPP_EXEC_EXECUTOR_H_
 #define AQPP_EXEC_EXECUTOR_H_
@@ -12,6 +17,7 @@
 
 #include "common/status.h"
 #include "expr/query.h"
+#include "kernels/scan.h"
 #include "storage/table.h"
 
 namespace aqpp {
@@ -21,9 +27,21 @@ struct GroupResult {
   double value = 0.0;
 };
 
+struct ExecutorOptions {
+  // Vectorized kernel scans; false selects the legacy row-at-a-time loop.
+  bool use_kernels = true;
+  // Chunk aggregation strategy for the kernel path (ablation knob).
+  kernels::ScanStrategy strategy = kernels::ScanStrategy::kAdaptive;
+  // Pool for shard dispatch (process-global pool when null).
+  ThreadPool* pool = nullptr;
+  // Sequential shard processing when false; results are identical either way.
+  bool parallel = true;
+};
+
 class ExactExecutor {
  public:
-  explicit ExactExecutor(const Table* table) : table_(table) {}
+  explicit ExactExecutor(const Table* table, ExecutorOptions options = {})
+      : table_(table), options_(options), stats_(table) {}
 
   // Evaluates a scalar (non-group-by) query. COUNT ignores agg_column.
   // VAR is the population variance of the selected values. MIN/MAX over an
@@ -40,8 +58,24 @@ class ExactExecutor {
   // Fraction of rows matching the predicate.
   Result<double> Selectivity(const RangePredicate& predicate) const;
 
+  const ExecutorOptions& options() const { return options_; }
+
  private:
+  Result<double> ExecuteKernel(const RangeQuery& query) const;
+  Result<double> ExecuteLegacy(const RangeQuery& query) const;
+  kernels::ScanOptions ScanOpts() const {
+    kernels::ScanOptions opts;
+    opts.strategy = options_.strategy;
+    opts.pool = options_.pool;
+    opts.parallel = options_.parallel;
+    return opts;
+  }
+
   const Table* table_;
+  ExecutorOptions options_;
+  // Lazily built per-column min/max for bind-time full-range elision;
+  // thread-safe, shared across queries against the same table.
+  mutable kernels::ColumnStatsCache stats_;
 };
 
 }  // namespace aqpp

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "kernels/kernels.h"
 
 namespace aqpp {
 
@@ -49,25 +50,9 @@ bool RangePredicate::Matches(const Table& table, size_t row) const {
 
 Result<std::vector<uint8_t>> RangePredicate::EvaluateMask(
     const Table& table) const {
-  const size_t n = table.num_rows();
-  std::vector<uint8_t> mask(n, 1);
-  for (const auto& c : conditions_) {
-    if (c.column >= table.num_columns()) {
-      return Status::InvalidArgument("condition references missing column");
-    }
-    const Column& col = table.column(c.column);
-    if (col.type() == DataType::kDouble) {
-      return Status::InvalidArgument(
-          "range conditions require an ordinal column; '" +
-          table.schema().column(c.column).name + "' is DOUBLE");
-    }
-    const std::vector<int64_t>& data = col.Int64Data();
-    for (size_t i = 0; i < n; ++i) {
-      mask[i] = static_cast<uint8_t>(mask[i] &&
-                                     (data[i] >= c.lo && data[i] <= c.hi));
-    }
-  }
-  return mask;
+  // Chunked word-mask kernels with per-chunk short-circuiting; replaces the
+  // old per-condition full-column byte loops. Same validation, same output.
+  return kernels::EvaluateMask(table, conditions_);
 }
 
 std::string RangePredicate::ToString(const Schema& schema) const {

@@ -1,0 +1,102 @@
+#include "kernels/binning.h"
+
+#include <algorithm>
+
+namespace aqpp {
+namespace kernels {
+
+namespace {
+
+// 1-based index of the smallest cut >= v: DimensionPartition::BucketOf over
+// a raw cut span. Callers guarantee v <= cuts[num_cuts - 1] (the scheme is
+// validated against the column max before a build starts).
+inline size_t BucketSearch(const int64_t* cuts, size_t num_cuts, int64_t v) {
+  return static_cast<size_t>(std::lower_bound(cuts, cuts + num_cuts, v) -
+                             cuts) +
+         1;
+}
+
+// For short cut lists a branch-free comparison count beats binary search and
+// lets the whole pass vectorize: bucket(v) = 1 + |{j : cuts[j] < v}|, which
+// equals the lower_bound index + 1.
+constexpr size_t kLinearCutLimit = 64;
+
+template <bool kFirstDim>
+void AccumulateDim(const BinDimension& dim, size_t begin, size_t end,
+                   uint32_t* flat) {
+  const int64_t* codes = dim.codes + begin;
+  const size_t m = end - begin;
+  const uint32_t stride = static_cast<uint32_t>(dim.stride);
+  if (dim.num_cuts <= kLinearCutLimit) {
+    for (size_t i = 0; i < m; ++i) {
+      const int64_t v = codes[i];
+      uint32_t below = 0;
+      for (size_t j = 0; j < dim.num_cuts; ++j) {
+        below += dim.cuts[j] < v ? 1u : 0u;
+      }
+      const uint32_t cell = (below + 1) * stride;
+      if (kFirstDim) {
+        flat[i] = cell;
+      } else {
+        flat[i] += cell;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      const uint32_t cell = static_cast<uint32_t>(
+          BucketSearch(dim.cuts, dim.num_cuts, codes[i]) * dim.stride);
+      if (kFirstDim) {
+        flat[i] = cell;
+      } else {
+        flat[i] += cell;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ComputeCellIds(const std::vector<BinDimension>& dims, size_t begin,
+                    size_t end, uint32_t* flat) {
+  if (dims.empty()) {
+    std::fill(flat, flat + (end - begin), 0u);
+    return;
+  }
+  AccumulateDim</*kFirstDim=*/true>(dims[0], begin, end, flat);
+  for (size_t i = 1; i < dims.size(); ++i) {
+    AccumulateDim</*kFirstDim=*/false>(dims[i], begin, end, flat);
+  }
+}
+
+void ScatterAddMeasures(const std::vector<BinMeasure>& measures,
+                        const uint32_t* flat, size_t begin, size_t end) {
+  const size_t m = end - begin;
+  for (const BinMeasure& meas : measures) {
+    double* plane = meas.plane;
+    if (meas.dbl != nullptr) {
+      const double* v = meas.dbl + begin;
+      if (meas.squared) {
+        for (size_t i = 0; i < m; ++i) plane[flat[i]] += v[i] * v[i];
+      } else {
+        for (size_t i = 0; i < m; ++i) plane[flat[i]] += v[i];
+      }
+    } else if (meas.i64 != nullptr) {
+      const int64_t* v = meas.i64 + begin;
+      if (meas.squared) {
+        for (size_t i = 0; i < m; ++i) {
+          const double x = static_cast<double>(v[i]);
+          plane[flat[i]] += x * x;
+        }
+      } else {
+        for (size_t i = 0; i < m; ++i) {
+          plane[flat[i]] += static_cast<double>(v[i]);
+        }
+      }
+    } else {
+      for (size_t i = 0; i < m; ++i) plane[flat[i]] += 1.0;
+    }
+  }
+}
+
+}  // namespace kernels
+}  // namespace aqpp

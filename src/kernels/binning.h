@@ -1,0 +1,52 @@
+// Cell-id binning kernels for prefix-cube construction.
+//
+// Pass 1 of a cube build maps every row to its flat cell index (one bucket
+// search per dimension) and scatter-adds each measure into that cell. The
+// kernels below do this chunk-at-a-time over raw column spans: a per-dim
+// pass accumulates stride-scaled bucket ids into a chunk-local cell-id
+// buffer, then each measure is scattered in row order. Shard-ordered merging
+// of partial planes (see prefix_cube.cc) keeps the resulting cube
+// bit-identical across thread counts.
+
+#ifndef AQPP_KERNELS_BINNING_H_
+#define AQPP_KERNELS_BINNING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aqpp {
+namespace kernels {
+
+// One cube dimension bound to raw storage.
+struct BinDimension {
+  const int64_t* codes = nullptr;  // the dimension column's ordinal codes
+  const int64_t* cuts = nullptr;   // strictly increasing cut values
+  size_t num_cuts = 0;
+  size_t stride = 0;  // row-major stride of this dimension in the plane
+};
+
+// One measure plane to fill.
+struct BinMeasure {
+  // Value source: dbl, else i64, else an implicit 1.0 (COUNT plane).
+  const double* dbl = nullptr;
+  const int64_t* i64 = nullptr;
+  bool squared = false;  // accumulate v * v instead of v
+  double* plane = nullptr;
+};
+
+// flat[i] = sum over dims of stride_d * bucket_d(codes_d[begin + i]) for
+// rows [begin, end); `flat` must hold end - begin entries. bucket(v) is the
+// 1-based index of the smallest cut >= v (cuts must cover every value).
+void ComputeCellIds(const std::vector<BinDimension>& dims, size_t begin,
+                    size_t end, uint32_t* flat);
+
+// plane[flat[i]] += value(begin + i) for every measure, in ascending row
+// order within the chunk.
+void ScatterAddMeasures(const std::vector<BinMeasure>& measures,
+                        const uint32_t* flat, size_t begin, size_t end);
+
+}  // namespace kernels
+}  // namespace aqpp
+
+#endif  // AQPP_KERNELS_BINNING_H_

@@ -1,0 +1,206 @@
+#include "kernels/kernels.h"
+
+#include <algorithm>
+#include <limits>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace aqpp {
+namespace kernels {
+
+const ColumnStatsCache::MinMax* ColumnStatsCache::Get(size_t column) {
+  if (column >= table_->num_columns()) return nullptr;
+  const Column& col = table_->column(column);
+  if (col.type() == DataType::kDouble || col.size() == 0) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stats_.find(column);
+  if (it == stats_.end()) {
+    const std::vector<int64_t>& data = col.Int64Data();
+    int64_t mn = data[0], mx = data[0];
+    for (int64_t v : data) {
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    it = stats_.emplace(column, MinMax{mn, mx}).first;
+  }
+  return &it->second;
+}
+
+Result<BoundPredicate> BindConditions(const Table& table,
+                                      const std::vector<RangeCondition>& conds,
+                                      ColumnStatsCache* stats) {
+  BoundPredicate out;
+  out.conds.reserve(conds.size());
+  for (const auto& c : conds) {
+    if (c.column >= table.num_columns()) {
+      return Status::InvalidArgument("condition references missing column");
+    }
+    const Column& col = table.column(c.column);
+    if (col.type() == DataType::kDouble) {
+      return Status::InvalidArgument(
+          "range conditions require an ordinal column; '" +
+          table.schema().column(c.column).name + "' is DOUBLE");
+    }
+    if (c.lo > c.hi) {
+      out.never_matches = true;
+      continue;
+    }
+    // Full-range fast path: the open int64 range always covers the domain;
+    // with stats, any range containing the observed [min, max] does too.
+    if (c.lo == std::numeric_limits<int64_t>::min() &&
+        c.hi == std::numeric_limits<int64_t>::max()) {
+      continue;
+    }
+    if (stats != nullptr) {
+      if (const auto* mm = stats->Get(c.column)) {
+        if (c.lo <= mm->min && c.hi >= mm->max) continue;
+        if (c.hi < mm->min || c.lo > mm->max) {
+          out.never_matches = true;
+          continue;
+        }
+      }
+    }
+    out.conds.push_back({col.Int64Data().data(), c.lo, c.hi});
+  }
+  return out;
+}
+
+size_t FillMask(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                int64_t* mask) {
+  int64_t neg_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t m = -static_cast<int64_t>(data[i] >= lo && data[i] <= hi);
+    mask[i] = m;
+    neg_count += m;
+  }
+  return static_cast<size_t>(-neg_count);
+}
+
+size_t AndMask(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+               int64_t* mask) {
+  int64_t neg_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    int64_t m = mask[i] & -static_cast<int64_t>(data[i] >= lo && data[i] <= hi);
+    mask[i] = m;
+    neg_count += m;
+  }
+  return static_cast<size_t>(-neg_count);
+}
+
+size_t FillMaskScalar(const BoundPredicate& pred, size_t begin, size_t end,
+                      int64_t* mask) {
+  size_t count = 0;
+  for (size_t i = begin; i < end; ++i) {
+    bool match = !pred.never_matches;
+    for (const auto& c : pred.conds) {
+      int64_t v = c.data[i];
+      if (v < c.lo || v > c.hi) {
+        match = false;
+        break;
+      }
+    }
+    mask[i - begin] = -static_cast<int64_t>(match);
+    count += match;
+  }
+  return count;
+}
+
+size_t MaskToSelection(const int64_t* mask, size_t n, uint32_t* sel) {
+  size_t k = 0;
+  for (size_t i = 0; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += static_cast<size_t>(mask[i] & 1);
+  }
+  return k;
+}
+
+size_t FillSelection(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                     uint32_t* sel) {
+  size_t k = 0;
+  size_t i = 0;
+#if defined(__AVX512F__)
+  // vpcompressd writes the offsets of selected lanes contiguously in
+  // ascending lane order — the same output the scalar loop below produces,
+  // 16 rows per iteration. Only the AVX512F subset is required.
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  __m512i vidx = _mm512_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                   13, 14, 15);
+  const __m512i vstep = _mm512_set1_epi32(16);
+  for (; i + 16 <= n; i += 16) {
+    const __m512i v0 = _mm512_loadu_si512(data + i);
+    const __m512i v1 = _mm512_loadu_si512(data + i + 8);
+    const __mmask8 m0 = _mm512_cmple_epi64_mask(vlo, v0) &
+                        _mm512_cmple_epi64_mask(v0, vhi);
+    const __mmask8 m1 = _mm512_cmple_epi64_mask(vlo, v1) &
+                        _mm512_cmple_epi64_mask(v1, vhi);
+    const __mmask16 m =
+        static_cast<__mmask16>(m0) | static_cast<__mmask16>(m1 << 8);
+    _mm512_mask_compressstoreu_epi32(sel + k, m, vidx);
+    k += static_cast<size_t>(__builtin_popcount(m));
+    vidx = _mm512_add_epi32(vidx, vstep);
+  }
+#endif
+  for (; i < n; ++i) {
+    sel[k] = static_cast<uint32_t>(i);
+    k += static_cast<size_t>(data[i] >= lo && data[i] <= hi);
+  }
+  return k;
+}
+
+size_t CountRange(const int64_t* data, size_t n, int64_t lo, int64_t hi) {
+  int64_t neg_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    neg_count += -static_cast<int64_t>(data[i] >= lo && data[i] <= hi);
+  }
+  return static_cast<size_t>(-neg_count);
+}
+
+size_t EvaluateChunk(const BoundPredicate& pred, size_t begin, size_t end,
+                     int64_t* mask) {
+  const size_t n = end - begin;
+  if (pred.never_matches) {
+    std::fill(mask, mask + n, int64_t{0});
+    return 0;
+  }
+  if (pred.conds.empty()) {
+    std::fill(mask, mask + n, int64_t{-1});
+    return n;
+  }
+  size_t count = FillMask(pred.conds[0].data + begin, n, pred.conds[0].lo,
+                          pred.conds[0].hi, mask);
+  for (size_t c = 1; c < pred.conds.size() && count > 0; ++c) {
+    count = AndMask(pred.conds[c].data + begin, n, pred.conds[c].lo,
+                    pred.conds[c].hi, mask);
+  }
+  return count;
+}
+
+Result<std::vector<uint8_t>> EvaluateMask(
+    const Table& table, const std::vector<RangeCondition>& conds) {
+  AQPP_ASSIGN_OR_RETURN(BoundPredicate pred, BindConditions(table, conds));
+  const size_t n = table.num_rows();
+  std::vector<uint8_t> out(n);
+  if (pred.never_matches) return out;  // zero-filled
+  if (pred.conds.empty()) {
+    std::fill(out.begin(), out.end(), uint8_t{1});
+    return out;
+  }
+  int64_t mask[kChunkRows];
+  for (size_t base = 0; base < n; base += kChunkRows) {
+    const size_t end = std::min(n, base + kChunkRows);
+    const size_t m = end - base;
+    size_t count = EvaluateChunk(pred, base, end, mask);
+    uint8_t* o = out.data() + base;
+    if (count == 0) continue;  // out is zero-initialized
+    for (size_t i = 0; i < m; ++i) {
+      o[i] = static_cast<uint8_t>(mask[i] & 1);
+    }
+  }
+  return out;
+}
+
+}  // namespace kernels
+}  // namespace aqpp

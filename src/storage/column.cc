@@ -66,6 +66,20 @@ std::vector<double> Column::ToDoubleVector() const {
   return out;
 }
 
+Column::DoubleView Column::AsDoubleView() const {
+  DoubleView view;
+  if (type_ == DataType::kDouble) {
+    view.data = doubles_.data();
+    view.size = doubles_.size();
+    return view;
+  }
+  auto owned = std::make_shared<std::vector<double>>(ToDoubleVector());
+  view.data = owned->data();
+  view.size = owned->size();
+  view.owned = std::move(owned);
+  return view;
+}
+
 Result<int64_t> Column::MinInt64() const {
   if (ints_.empty()) return Status::FailedPrecondition("empty column");
   return *std::min_element(ints_.begin(), ints_.end());

@@ -9,6 +9,7 @@
 #define AQPP_STORAGE_COLUMN_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -90,6 +91,16 @@ class Column {
 
   // Materializes the whole column as doubles (copies for int columns).
   std::vector<double> ToDoubleVector() const;
+
+  // A double view of the column: kDouble columns are borrowed in place (no
+  // copy, valid while the column lives); ordinal columns are materialized
+  // once into a buffer owned by the view.
+  struct DoubleView {
+    const double* data = nullptr;
+    size_t size = 0;
+    std::shared_ptr<const std::vector<double>> owned;  // null when borrowed
+  };
+  DoubleView AsDoubleView() const;
 
   // Minimum / maximum value as int64 (ordinal columns). Errors on empty.
   Result<int64_t> MinInt64() const;
