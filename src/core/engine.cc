@@ -225,16 +225,22 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
   if (measure_cache_ != nullptr) {
     estimator.set_measure_cache(measure_cache_.get());
   }
+  estimator.set_trace(control.trace);
 
   if (cube_ == nullptr || identifier_ == nullptr) {
     Timer timer;
+    obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
     AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng));
+    est_span.Stop();
     out.estimation_seconds = timer.ElapsedSeconds();
     return out;
   }
 
   Timer ident_timer;
-  AQPP_ASSIGN_OR_RETURN(auto identified, identifier_->Identify(query, rng));
+  obs::SpanTimer ident_span(obs::Phase::kIdentification, control.trace);
+  AQPP_ASSIGN_OR_RETURN(auto identified,
+                        identifier_->Identify(query, rng, control.trace));
+  ident_span.Stop();
   out.identification_seconds = ident_timer.ElapsedSeconds();
   out.candidates_considered = identified.num_candidates;
   AQPP_RETURN_IF_STOPPED(control.cancel);
@@ -243,6 +249,7 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
   // once here, and the winning box's mask comes straight from the
   // identifier's cached cell-id matrix (no predicate re-evaluation).
   Timer est_timer;
+  obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
   AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
   if (identified.pre.IsEmpty()) {
     AQPP_ASSIGN_OR_RETURN(out.ci,
@@ -259,6 +266,7 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
     out.pre_description =
         identified.pre.ToString(cube_->scheme(), table_->schema());
   }
+  est_span.Stop();
   out.estimation_seconds = est_timer.ElapsedSeconds();
   return out;
 }
@@ -460,6 +468,7 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
   if (measure_cache_ != nullptr) {
     estimator.set_measure_cache(measure_cache_.get());
   }
+  estimator.set_trace(control.trace);
 
   // Identify once on the group-stripped query (Appendix C's heuristic).
   RangeQuery scalar = query;
@@ -469,11 +478,15 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
   double ident_seconds = 0;
   if (cube_covers_groups && identifier_ != nullptr) {
     Timer t;
-    AQPP_ASSIGN_OR_RETURN(identified, identifier_->Identify(scalar, rng));
+    obs::SpanTimer ident_span(obs::Phase::kIdentification, control.trace);
+    AQPP_ASSIGN_OR_RETURN(identified,
+                          identifier_->Identify(scalar, rng, control.trace));
+    ident_span.Stop();
     ident_seconds = t.ElapsedSeconds();
     have_pre = !identified.pre.IsEmpty();
   }
 
+  obs::SpanTimer groups_span(obs::Phase::kSampleEstimation, control.trace);
   std::vector<GroupApproximateResult> results;
   for (const auto& vals : group_values) {
     GroupApproximateResult gr;
@@ -549,6 +562,7 @@ Result<std::vector<GroupApproximateResult>> AqppEngine::ExecuteGroupBy(
     gr.result.candidates_considered = identified.num_candidates;
     results.push_back(std::move(gr));
   }
+  groups_span.Stop();
   std::sort(results.begin(), results.end(),
             [](const GroupApproximateResult& a,
                const GroupApproximateResult& b) {

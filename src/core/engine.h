@@ -28,6 +28,7 @@
 #include "cube/extrema_grid.h"
 #include "cube/prefix_cube.h"
 #include "expr/query.h"
+#include "obs/trace.h"
 #include "sampling/sample.h"
 #include "sampling/samplers.h"
 #include "storage/table.h"
@@ -129,10 +130,17 @@ struct GroupApproximateResult {
 //
 // `record` = false skips the engine-level query log; service sessions keep
 // their own per-session logs instead.
+//
+// `trace`, when non-null, collects the query's per-phase spans
+// (identification, scoring, cube probe, sample estimation, CI construction)
+// — threaded through the pipeline the same way `cancel` is. The trace is
+// owned by the caller and must outlive the call; it is single-threaded, so
+// each concurrent Execute needs its own.
 struct ExecuteControl {
   const CancellationToken* cancel = nullptr;
   std::optional<uint64_t> seed;
   bool record = true;
+  obs::QueryTrace* trace = nullptr;
 };
 
 class AqppEngine {

@@ -127,7 +127,9 @@ ConfidenceInterval SampleEstimator::SumDifferenceCI(
   std::vector<double> y(measure.size());
   kernels::DifferenceSeries(measure.data(), q_mask.data(), pre_mask.data(),
                             measure.size(), y.data());
+  obs::SpanTimer ci_span(obs::Phase::kCiConstruction, trace_);
   ConfidenceInterval ci = SumCI(y);
+  ci_span.Stop();
   ci.estimate += pre_value;  // pre(D) is a known constant
   return ci;
 }
@@ -228,11 +230,14 @@ Result<ConfidenceInterval> SampleEstimator::EstimateDirectMasked(
     case AggregateFunction::kSum: {
       AQPP_ASSIGN_OR_RETURN(const std::vector<double>* measure,
                             MeasureRef(query.agg_column));
-      return SumCI(MaskedValues(*measure, mask));
+      std::vector<double> y = MaskedValues(*measure, mask);
+      obs::SpanTimer ci_span(obs::Phase::kCiConstruction, trace_);
+      return SumCI(y);
     }
     case AggregateFunction::kCount: {
       std::vector<double> y(n);
       kernels::MaskToDouble(mask.data(), n, y.data());
+      obs::SpanTimer ci_span(obs::Phase::kCiConstruction, trace_);
       return SumCI(y);
     }
     case AggregateFunction::kAvg: {
@@ -255,7 +260,9 @@ Result<ConfidenceInterval> SampleEstimator::EstimateDirectMasked(
       for (size_t i = 0; i < n; ++i) {
         resid[i] = mask[i] ? (measure[i] - ratio) : 0.0;
       }
+      obs::SpanTimer ci_span(obs::Phase::kCiConstruction, trace_);
       ConfidenceInterval resid_ci = SumCI(resid);
+      ci_span.Stop();
       ci.estimate = ratio;
       ci.half_width = resid_ci.half_width / den;
       return ci;
@@ -275,7 +282,9 @@ Result<ConfidenceInterval> SampleEstimator::EstimateDirectMasked(
       BootstrapOptions bopt;
       bopt.num_resamples = options_.bootstrap_resamples;
       bopt.confidence_level = options_.confidence_level;
+      obs::SpanTimer ci_span(obs::Phase::kCiConstruction, trace_);
       ConfidenceInterval ci = BootstrapCI(n, statistic, rng, bopt);
+      ci_span.Stop();
       // Center on the full-sample plug-in value.
       RunningMoments m;
       for (size_t i = 0; i < n; ++i) {
@@ -334,6 +343,7 @@ Result<ConfidenceInterval> SampleEstimator::EstimateWithPreMasked(
       kernels::WeightedDifferenceContribs(
           measure.data(), sample_->weights.data(), q_mask.data(),
           pre_mask.data(), n, s_contrib.data(), c_contrib.data());
+      obs::SpanTimer ci_span(obs::Phase::kCiConstruction, trace_);
       return AvgDifferenceBootstrapCI(s_contrib, c_contrib, pre,
                                       options_.confidence_level,
                                       options_.bootstrap_resamples, rng);
@@ -347,6 +357,7 @@ Result<ConfidenceInterval> SampleEstimator::EstimateWithPreMasked(
           measure.data(), sample_->weights.data(), q_mask.data(),
           pre_mask.data(), n, s2_contrib.data(), s_contrib.data(),
           c_contrib.data());
+      obs::SpanTimer ci_span(obs::Phase::kCiConstruction, trace_);
       return VarDifferenceBootstrapCI(s2_contrib, s_contrib, c_contrib, pre,
                                       options_.confidence_level,
                                       options_.bootstrap_resamples, rng);

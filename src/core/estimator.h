@@ -21,6 +21,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "expr/query.h"
+#include "obs/trace.h"
 #include "sampling/sample.h"
 #include "stats/confidence.h"
 
@@ -92,6 +93,11 @@ class SampleEstimator {
   // rows and must outlive the estimator.
   void set_measure_cache(MeasureCache* cache) { measure_cache_ = cache; }
 
+  // Attaches a per-query trace; the final CI-producing computation of each
+  // estimate records one kCiConstruction span (the matching global phase
+  // histogram is observed regardless).
+  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
+
   // ---- Generic primitive --------------------------------------------------
 
   // CI for the population sum of y, where y_values[i] is y evaluated on
@@ -151,6 +157,7 @@ class SampleEstimator {
   EstimatorOptions options_;
   double lambda_;
   MeasureCache* measure_cache_ = nullptr;
+  obs::QueryTrace* trace_ = nullptr;
   // Fallback materialization when no external cache is attached.
   mutable std::unordered_map<size_t, std::unique_ptr<std::vector<double>>>
       local_measures_;

@@ -367,7 +367,7 @@ Result<std::vector<double>> AggregateIdentifier::ScoreBatch(
 }
 
 Result<IdentifiedAggregate> AggregateIdentifier::IdentifyGreedy(
-    const RangeQuery& query, Rng& rng) const {
+    const RangeQuery& query, Rng& rng, obs::QueryTrace* trace) const {
   const size_t d = cube_->scheme().num_dims();
   std::vector<std::vector<size_t>> u_cands, v_cands;
   BracketQuery(query, &u_cands, &v_cands);
@@ -408,8 +408,10 @@ Result<IdentifiedAggregate> AggregateIdentifier::IdentifyGreedy(
       }
     }
     if (trials.empty()) continue;
+    obs::SpanTimer score_span(obs::Phase::kScoring, trace);
     AQPP_ASSIGN_OR_RETURN(std::vector<double> errs,
                           ScoreBatch(query, ctx, trials, base_seed, &memo));
+    score_span.Stop();
     double best_err = std::numeric_limits<double>::infinity();
     std::pair<size_t, size_t> best_pair{current.lo[i], current.hi[i]};
     for (size_t t = 0; t < trials.size(); ++t) {
@@ -422,20 +424,25 @@ Result<IdentifiedAggregate> AggregateIdentifier::IdentifyGreedy(
     current.hi[i] = best_pair.second;
   }
   // Final sanity comparison against phi (both usually memo hits by now).
+  obs::SpanTimer final_span(obs::Phase::kScoring, trace);
   AQPP_ASSIGN_OR_RETURN(
       std::vector<double> finals,
       ScoreBatch(query, ctx, {current, MakePhi(d)}, base_seed, &memo));
+  final_span.Stop();
 
   IdentifiedAggregate best;
   best.pre = finals[1] < finals[0] ? MakePhi(d) : current;
   best.scored_error = std::min(finals[0], finals[1]);
-  best.values = ReadPreValues(best.pre);
+  {
+    obs::SpanTimer probe_span(obs::Phase::kCubeProbe, trace);
+    best.values = ReadPreValues(best.pre);
+  }
   best.num_candidates = memo.size();
   return best;
 }
 
 Result<IdentifiedAggregate> AggregateIdentifier::Identify(
-    const RangeQuery& query, Rng& rng) const {
+    const RangeQuery& query, Rng& rng, obs::QueryTrace* trace) const {
   {
     // Candidate-count guard: 4^d blows up around d ~ 6; use the greedy
     // per-dimension refinement there instead.
@@ -452,7 +459,7 @@ Result<IdentifiedAggregate> AggregateIdentifier::Identify(
       total *= arity;
     }
     if (overflow || total > options_.max_enumerated_candidates) {
-      return IdentifyGreedy(query, rng);
+      return IdentifyGreedy(query, rng, trace);
     }
   }
   std::vector<PreAggregate> candidates = EnumerateCandidates(query);
@@ -466,9 +473,11 @@ Result<IdentifiedAggregate> AggregateIdentifier::Identify(
     ctx = &ctx_storage;
   }
   // EnumerateCandidates output is already deduplicated; no memo needed.
+  obs::SpanTimer score_span(obs::Phase::kScoring, trace);
   AQPP_ASSIGN_OR_RETURN(
       std::vector<double> scores,
       ScoreBatch(query, ctx, candidates, base_seed, /*memo=*/nullptr));
+  score_span.Stop();
 
   // Sequential argmin with first-wins ties: deterministic regardless of how
   // the scoring jobs were scheduled.
@@ -480,7 +489,10 @@ Result<IdentifiedAggregate> AggregateIdentifier::Identify(
       best.pre = candidates[i];
     }
   }
-  best.values = ReadPreValues(best.pre);
+  {
+    obs::SpanTimer probe_span(obs::Phase::kCubeProbe, trace);
+    best.values = ReadPreValues(best.pre);
+  }
   best.scored_error = best_error;
   best.num_candidates = candidates.size();
   return best;
@@ -504,7 +516,8 @@ Result<std::vector<ScoredCandidate>> AggregateIdentifier::ScoreAll(
   }
   if (overflow || total > options_.max_enumerated_candidates) {
     // High d: report only the greedy winner and phi.
-    AQPP_ASSIGN_OR_RETURN(auto greedy, IdentifyGreedy(query, rng));
+    AQPP_ASSIGN_OR_RETURN(auto greedy,
+                          IdentifyGreedy(query, rng, /*trace=*/nullptr));
     scored.push_back({greedy.pre, greedy.scored_error});
     if (!greedy.pre.IsEmpty()) {
       const uint64_t base_seed = rng.Next();

@@ -29,6 +29,7 @@
 #include "cube/partition.h"
 #include "cube/prefix_cube.h"
 #include "expr/query.h"
+#include "obs/trace.h"
 #include "sampling/sample.h"
 
 namespace aqpp {
@@ -90,8 +91,12 @@ class AggregateIdentifier {
   std::vector<PreAggregate> EnumerateCandidates(const RangeQuery& query) const;
 
   // Full identification: enumerate P-, score each candidate's CI width on
-  // the subsample, return the argmin.
-  Result<IdentifiedAggregate> Identify(const RangeQuery& query, Rng& rng) const;
+  // the subsample, return the argmin. `trace`, when non-null, receives
+  // kScoring spans around the batched scoring sweeps and one kCubeProbe
+  // span around the winner's cube read; the matching global phase
+  // histograms are observed either way.
+  Result<IdentifiedAggregate> Identify(const RangeQuery& query, Rng& rng,
+                                       obs::QueryTrace* trace = nullptr) const;
 
   // Scores the whole candidate set and returns it sorted best-first
   // (EXPLAIN support). Falls back to the greedy path's visited candidates
@@ -143,8 +148,8 @@ class AggregateIdentifier {
 
   // Greedy fallback for high d: fixes one dimension's bracket pair at a
   // time, scoring each option on the subsample (scores memoized per query).
-  Result<IdentifiedAggregate> IdentifyGreedy(const RangeQuery& query,
-                                             Rng& rng) const;
+  Result<IdentifiedAggregate> IdentifyGreedy(const RangeQuery& query, Rng& rng,
+                                             obs::QueryTrace* trace) const;
 
   const PrefixCube* cube_;
   const Sample* sample_;

@@ -139,18 +139,23 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   if (measure_cache_ != nullptr) {
     estimator.set_measure_cache(measure_cache_.get());
   }
+  estimator.set_trace(control.trace);
   ApproximateResult out;
   int route = RouteFor(query);
   if (route < 0) {
     Timer timer;
+    obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
     AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng));
+    est_span.Stop();
     out.estimation_seconds = timer.ElapsedSeconds();
     return out;
   }
   PreparedTemplate& prep = prepared_[static_cast<size_t>(route)];
   Timer ident_timer;
+  obs::SpanTimer ident_span(obs::Phase::kIdentification, control.trace);
   AQPP_ASSIGN_OR_RETURN(auto identified,
-                        prep.identifier->Identify(query, rng));
+                        prep.identifier->Identify(query, rng, control.trace));
+  ident_span.Stop();
   out.identification_seconds = ident_timer.ElapsedSeconds();
   out.candidates_considered = identified.num_candidates;
   AQPP_RETURN_IF_STOPPED(control.cancel);
@@ -158,6 +163,7 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   // Mask reuse as in AqppEngine::Execute: one query-mask evaluation, pre
   // mask from the identifier's cell-id matrix.
   Timer est_timer;
+  obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
   AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
   if (identified.pre.IsEmpty()) {
     AQPP_ASSIGN_OR_RETURN(out.ci,
@@ -172,6 +178,7 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
     out.pre_description =
         identified.pre.ToString(prep.cube->scheme(), table_->schema());
   }
+  est_span.Stop();
   out.estimation_seconds = est_timer.ElapsedSeconds();
   return out;
 }

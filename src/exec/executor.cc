@@ -6,7 +6,9 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "common/timer.h"
 #include "kernels/kernels.h"
+#include "obs/metrics.h"
 #include "stats/descriptive.h"
 
 namespace aqpp {
@@ -54,6 +56,29 @@ struct ScanAccumulator {
 
 }  // namespace
 
+namespace {
+
+// Full-table scans are the expensive fallback the approximate paths exist to
+// avoid; counting them (and their latency) makes accidental exact-path
+// traffic visible in the exposition.
+struct ScanMetrics {
+  obs::Counter* scans;
+  obs::Histogram* seconds;
+  static const ScanMetrics& Get() {
+    static const ScanMetrics m = {
+        obs::Registry::Global().GetCounter(
+            "aqpp_exact_scans_total", "",
+            "Full-table exact aggregation scans executed."),
+        obs::Registry::Global().GetHistogram(
+            "aqpp_exact_scan_seconds", "", {},
+            "Wall-clock seconds per full-table exact scan."),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 Result<double> ExactExecutor::Execute(const RangeQuery& query) const {
   AQPP_RETURN_NOT_OK(ValidateQuery(*table_, query));
   if (query.predicate.IsEmpty()) {
@@ -68,7 +93,13 @@ Result<double> ExactExecutor::Execute(const RangeQuery& query) const {
         return Status::FailedPrecondition("MIN/MAX over empty selection");
     }
   }
-  return options_.use_kernels ? ExecuteKernel(query) : ExecuteLegacy(query);
+  const ScanMetrics& metrics = ScanMetrics::Get();
+  metrics.scans->Increment();
+  Timer timer;
+  Result<double> out =
+      options_.use_kernels ? ExecuteKernel(query) : ExecuteLegacy(query);
+  metrics.seconds->Observe(timer.ElapsedSeconds());
+  return out;
 }
 
 Result<double> ExactExecutor::ExecuteKernel(const RangeQuery& query) const {

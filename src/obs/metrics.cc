@@ -1,0 +1,226 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+}  // namespace
+
+bool Enabled() {
+  if constexpr (!kCompiledIn) return false;
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  AQPP_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::ObserveAlways(double v) {
+  // First bucket whose upper bound is >= v; everything past the last bound
+  // lands in the implicit +Inf bucket.
+  size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old_bits = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    double updated = std::bit_cast<double>(old_bits) + v;
+    if (sum_bits_.compare_exchange_weak(old_bits,
+                                        std::bit_cast<uint64_t>(updated),
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  AQPP_CHECK_LE(i, bounds_.size());
+  return buckets_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  return {1e-6,   2.5e-6, 5e-6,   1e-5,   2.5e-5, 5e-5,   1e-4,
+          2.5e-4, 5e-4,   1e-3,   2.5e-3, 5e-3,   1e-2,   2.5e-2,
+          5e-2,   1e-1,   2.5e-1, 5e-1,   1.0,    2.5,    5.0,
+          10.0};
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Registry::Entry* Registry::FindOrCreateLocked(const std::string& name,
+                                              const std::string& labels,
+                                              Kind kind,
+                                              const std::string& help) {
+  auto& family = families_[name];
+  auto it = family.find(labels);
+  if (it != family.end()) {
+    AQPP_CHECK(it->second.kind == kind);
+    return &it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  // One help string per family; adopt the first non-empty one offered.
+  entry.help = help;
+  if (help.empty() && !family.empty()) {
+    entry.help = family.begin()->second.help;
+  }
+  it = family.emplace(labels, std::move(entry)).first;
+  return &it->second;
+}
+
+Counter* Registry::GetCounter(const std::string& name,
+                              const std::string& labels,
+                              const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, labels, Kind::kCounter, help);
+  if (e->counter == nullptr) e->counter = std::make_unique<Counter>();
+  return e->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const std::string& labels,
+                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, labels, Kind::kGauge, help);
+  if (e->gauge == nullptr) e->gauge = std::make_unique<Gauge>();
+  return e->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::string& labels,
+                                  std::vector<double> upper_bounds,
+                                  const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* e = FindOrCreateLocked(name, labels, Kind::kHistogram, help);
+  if (e->histogram == nullptr) {
+    if (upper_bounds.empty()) {
+      upper_bounds = Histogram::DefaultLatencyBounds();
+    }
+    e->histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return e->histogram.get();
+}
+
+namespace {
+
+// %.17g — shortest text that round-trips binary64 exactly (the same
+// convention the service protocol uses for doubles).
+std::string ExactDouble(double v) { return StrFormat("%.17g", v); }
+
+std::string Labeled(const std::string& name, const std::string& labels) {
+  if (labels.empty()) return name;
+  return name + "{" + labels + "}";
+}
+
+std::string LabeledWith(const std::string& name, const std::string& labels,
+                        const std::string& extra) {
+  std::string merged = labels.empty() ? extra : labels + "," + extra;
+  return name + "{" + merged + "}";
+}
+
+}  // namespace
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (family.empty()) continue;
+    const Entry& first = family.begin()->second;
+    if (!first.help.empty()) {
+      out += "# HELP " + name + " " + first.help + "\n";
+    }
+    const char* type = first.kind == Kind::kCounter   ? "counter"
+                       : first.kind == Kind::kGauge   ? "gauge"
+                                                      : "histogram";
+    out += "# TYPE " + name + " " + type + "\n";
+    for (const auto& [labels, entry] : family) {
+      switch (entry.kind) {
+        case Kind::kCounter:
+          out += Labeled(name, labels) + " " +
+                 StrFormat("%llu", static_cast<unsigned long long>(
+                                       entry.counter->value())) +
+                 "\n";
+          break;
+        case Kind::kGauge:
+          out += Labeled(name, labels) + " " +
+                 StrFormat("%lld",
+                           static_cast<long long>(entry.gauge->value())) +
+                 "\n";
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *entry.histogram;
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += h.bucket_count(i);
+            out += LabeledWith(name + "_bucket", labels,
+                               "le=\"" + ExactDouble(h.bounds()[i]) + "\"") +
+                   " " +
+                   StrFormat("%llu",
+                             static_cast<unsigned long long>(cumulative)) +
+                   "\n";
+          }
+          cumulative += h.bucket_count(h.bounds().size());
+          out += LabeledWith(name + "_bucket", labels, "le=\"+Inf\"") + " " +
+                 StrFormat("%llu",
+                           static_cast<unsigned long long>(cumulative)) +
+                 "\n";
+          out += Labeled(name + "_sum", labels) + " " +
+                 ExactDouble(h.sum()) + "\n";
+          out += Labeled(name + "_count", labels) + " " +
+                 StrFormat("%llu",
+                           static_cast<unsigned long long>(h.count())) +
+                 "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, family] : families_) {
+    for (auto& [labels, entry] : family) {
+      if (entry.counter != nullptr) entry.counter->Reset();
+      if (entry.gauge != nullptr) entry.gauge->Reset();
+      if (entry.histogram != nullptr) entry.histogram->Reset();
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace aqpp

@@ -1,0 +1,176 @@
+// Low-overhead engine metrics: atomic counters, gauges and fixed-bucket
+// histograms behind a process-global registry with Prometheus text
+// exposition.
+//
+// Design constraints (this layer sits on the query hot path):
+//
+//  * Recording is lock-free: counters/gauges are single relaxed atomic RMWs,
+//    a histogram observation is one bounded search over a fixed bucket table
+//    plus three relaxed atomic RMWs. No allocation, no locks, ever.
+//  * Registration (name -> metric) is mutex-guarded and expected to happen
+//    once at startup; callers cache the returned pointer, which stays valid
+//    for the registry's lifetime.
+//  * A runtime kill switch (`SetEnabled(false)`) turns every recording call
+//    into a single relaxed load + branch, and a compile-time switch
+//    (-DAQPP_OBS_DISABLED, CMake option AQPP_DISABLE_OBS) compiles the
+//    recording bodies out entirely so the disabled path costs nothing on
+//    kernel-adjacent hot loops.
+//
+// The disabled path performs zero heap allocations per query — enforced by
+// the instrumented-allocator guard in tests/obs_test.cc.
+
+#ifndef AQPP_OBS_METRICS_H_
+#define AQPP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aqpp {
+namespace obs {
+
+#ifdef AQPP_OBS_DISABLED
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+
+// Runtime kill switch (default on). With AQPP_OBS_DISABLED the compile-time
+// constant wins and Enabled() folds to false.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if constexpr (!kCompiledIn) return;
+    if (!Enabled()) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous signed level (queue depth, active sessions).
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if constexpr (!kCompiledIn) return;
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if constexpr (!kCompiledIn) return;
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+// (Prometheus `le` semantics); one implicit +Inf bucket catches the rest.
+// Bounds are fixed at registration, so recording never allocates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double v) {
+    if constexpr (!kCompiledIn) return;
+    if (!Enabled()) return;
+    ObserveAlways(v);
+  }
+  // Recording body without the enable check (tests exercise it directly).
+  void ObserveAlways(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  // Non-cumulative count of bucket i; i == bounds().size() is +Inf.
+  uint64_t bucket_count(size_t i) const;
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  void Reset();
+
+  // 1us .. 10s, roughly 1-2.5-5 per decade — wide enough for both kernel
+  // scans and full service round-trips.
+  static std::vector<double> DefaultLatencyBounds();
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending, immutable
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  // Sum kept as an atomic bit pattern; updated with a CAS loop (portable
+  // alternative to C++20 atomic<double>::fetch_add).
+  std::atomic<uint64_t> sum_bits_{0};
+};
+
+// Name + rendered label set, e.g. {"aqpp_query_phase_seconds",
+// "phase=\"identification\""}. Labels are preformatted because the registry
+// never needs to match on individual label values.
+class Registry {
+ public:
+  // The process-global registry every subsystem records into.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Get-or-create; the returned pointer is stable for the registry's
+  // lifetime. `help` is kept from the first registration of `name`.
+  Counter* GetCounter(const std::string& name, const std::string& labels = "",
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "",
+                  const std::string& help = "");
+  // Bounds are fixed by the first registration of (name, labels).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::string& labels = "",
+                          std::vector<double> upper_bounds = {},
+                          const std::string& help = "");
+
+  // Prometheus text exposition (one # HELP/# TYPE block per family, then
+  // one sample line per labeled instance, histograms expanded into
+  // _bucket/_sum/_count). Deterministically ordered by name then labels.
+  std::string RenderPrometheus() const;
+
+  // Zeroes every registered metric, keeping registrations (and therefore
+  // cached pointers) intact. Test isolation only.
+  void ResetAllForTest();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrCreateLocked(const std::string& name, const std::string& labels,
+                            Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;
+  // name -> labels -> entry; std::map keeps the exposition deterministic.
+  std::map<std::string, std::map<std::string, Entry>> families_;
+};
+
+}  // namespace obs
+}  // namespace aqpp
+
+#endif  // AQPP_OBS_METRICS_H_

@@ -1,0 +1,63 @@
+#include "obs/slow_query_log.h"
+
+#include "common/string_util.h"
+
+namespace aqpp {
+namespace obs {
+
+SlowQueryLog::SlowQueryLog(double threshold_seconds, size_t capacity)
+    : threshold_seconds_(threshold_seconds), capacity_(capacity) {}
+
+bool SlowQueryLog::MaybeRecord(const std::string& session_id,
+                               const std::string& sql, double total_seconds,
+                               const QueryTrace& trace) {
+  if (total_seconds < threshold_seconds_) return false;
+  SlowQueryEntry entry;
+  entry.session_id = session_id;
+  entry.sql = sql;
+  entry.total_seconds = total_seconds;
+  entry.phase_seconds.resize(kNumPhases, 0.0);
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    entry.phase_seconds[i] = trace.PhaseSeconds(static_cast<Phase>(i));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.sequence = total_recorded_++;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+  return true;
+}
+
+uint64_t SlowQueryLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_recorded_;
+}
+
+std::vector<SlowQueryEntry> SlowQueryLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryEntry>(entries_.begin(), entries_.end());
+}
+
+std::string SlowQueryLog::Render() const {
+  std::vector<SlowQueryEntry> snapshot = Snapshot();
+  std::string out;
+  for (auto it = snapshot.rbegin(); it != snapshot.rend(); ++it) {
+    out += StrFormat("#%llu session=%s total=%.3fms",
+                     static_cast<unsigned long long>(it->sequence),
+                     it->session_id.c_str(), it->total_seconds * 1e3);
+    for (size_t i = 0; i < it->phase_seconds.size(); ++i) {
+      if (it->phase_seconds[i] <= 0.0) continue;
+      out += StrFormat(" %s=%.3fms", PhaseName(static_cast<Phase>(i)),
+                       it->phase_seconds[i] * 1e3);
+    }
+    out += " sql=" + it->sql + "\n";
+  }
+  return out;
+}
+
+void SlowQueryLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace obs
+}  // namespace aqpp

@@ -1,0 +1,61 @@
+// Bounded in-memory log of queries whose total execution time exceeded a
+// threshold, capturing the full per-phase breakdown so "where did the time
+// go" is answerable after the fact without re-running the query.
+
+#ifndef AQPP_OBS_SLOW_QUERY_LOG_H_
+#define AQPP_OBS_SLOW_QUERY_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace aqpp {
+namespace obs {
+
+struct SlowQueryEntry {
+  std::string session_id;
+  std::string sql;
+  double total_seconds = 0.0;
+  // Seconds per phase, indexed by static_cast<size_t>(Phase).
+  std::vector<double> phase_seconds;
+  uint64_t sequence = 0;  // monotonically increasing across the log lifetime
+};
+
+// Thread-safe ring of the most recent slow queries. Recording a fast query
+// is a single comparison; only entries over the threshold take the lock.
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(double threshold_seconds, size_t capacity = 64);
+
+  double threshold_seconds() const { return threshold_seconds_; }
+
+  // Records the query if total_seconds >= threshold. Returns true if logged.
+  bool MaybeRecord(const std::string& session_id, const std::string& sql,
+                   double total_seconds, const QueryTrace& trace);
+
+  // Number of queries ever recorded (not bounded by capacity).
+  uint64_t total_recorded() const;
+
+  std::vector<SlowQueryEntry> Snapshot() const;
+
+  // Human-readable rendering, newest first.
+  std::string Render() const;
+
+  void Clear();
+
+ private:
+  const double threshold_seconds_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<SlowQueryEntry> entries_;
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace obs
+}  // namespace aqpp
+
+#endif  // AQPP_OBS_SLOW_QUERY_LOG_H_

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <array>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+namespace obs {
+
+namespace {
+
+// Enough for the straight-line pipeline plus nested scoring/probe/CI spans;
+// the vector still grows (and allocates) in the unlikely overflow case.
+constexpr size_t kReservedSpans = 24;
+
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kParse:
+      return "parse";
+    case Phase::kQueue:
+      return "queue";
+    case Phase::kIdentification:
+      return "identification";
+    case Phase::kScoring:
+      return "scoring";
+    case Phase::kCubeProbe:
+      return "cube_probe";
+    case Phase::kSampleEstimation:
+      return "sample_estimation";
+    case Phase::kCiConstruction:
+      return "ci_construction";
+    case Phase::kProgressive:
+      return "progressive";
+    case Phase::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+QueryTrace::QueryTrace() : epoch_(SteadyNow()) {
+  spans_.reserve(kReservedSpans);
+}
+
+double QueryTrace::PhaseSeconds(Phase phase) const {
+  double total = 0.0;
+  for (const Span& s : spans_) {
+    if (s.phase == phase) total += s.duration_seconds;
+  }
+  return total;
+}
+
+size_t QueryTrace::PhaseCount(Phase phase) const {
+  size_t n = 0;
+  for (const Span& s : spans_) {
+    if (s.phase == phase) ++n;
+  }
+  return n;
+}
+
+std::string QueryTrace::ToString() const {
+  std::string out;
+  for (const Span& s : spans_) {
+    for (int d = 0; d < s.depth; ++d) out += "  ";
+    out += StrFormat("%s start=%.6fms dur=%.6fms\n", PhaseName(s.phase),
+                     s.start_seconds * 1e3, s.duration_seconds * 1e3);
+  }
+  return out;
+}
+
+void QueryTrace::Clear() {
+  spans_.clear();
+  open_depth_ = 0;
+  epoch_ = SteadyNow();
+}
+
+Histogram* PhaseHistogram(Phase phase) {
+  // One pointer per phase, resolved on first use; the registry keeps the
+  // histograms alive for the process lifetime, so caching is safe.
+  static const std::array<Histogram*, kNumPhases>* table = [] {
+    auto* t = new std::array<Histogram*, kNumPhases>();
+    for (size_t i = 0; i < kNumPhases; ++i) {
+      Phase p = static_cast<Phase>(i);
+      (*t)[i] = Registry::Global().GetHistogram(
+          "aqpp_query_phase_seconds",
+          std::string("phase=\"") + PhaseName(p) + "\"", {},
+          "Wall-clock seconds spent per query-execution phase.");
+    }
+    return t;
+  }();
+  return (*table)[static_cast<size_t>(phase)];
+}
+
+SpanTimer::SpanTimer(Phase phase, QueryTrace* trace)
+    : phase_(phase), trace_(trace), start_(SteadyNow()) {
+  if (trace_ != nullptr) depth_ = trace_->open_depth_++;
+}
+
+double SpanTimer::Stop() {
+  if (stopped_) return 0.0;
+  stopped_ = true;
+  double duration = SecondsBetween(start_, SteadyNow());
+  PhaseHistogram(phase_)->Observe(duration);
+  if (trace_ != nullptr) {
+    trace_->open_depth_--;
+    AQPP_CHECK_GE(trace_->open_depth_, 0);
+    Span s;
+    s.phase = phase_;
+    s.start_seconds = SecondsBetween(trace_->epoch_, start_);
+    s.duration_seconds = duration;
+    s.depth = depth_;
+    trace_->spans_.push_back(s);
+  }
+  return duration;
+}
+
+void QueryTrace::Record(Phase phase, double seconds) {
+  Span s;
+  s.phase = phase;
+  s.start_seconds = Elapsed() - seconds;
+  s.duration_seconds = seconds;
+  s.depth = 0;
+  spans_.push_back(s);
+}
+
+void RecordPhase(QueryTrace* trace, Phase phase, double seconds) {
+  PhaseHistogram(phase)->Observe(seconds);
+  if (trace != nullptr) trace->Record(phase, seconds);
+}
+
+}  // namespace obs
+}  // namespace aqpp

@@ -1,0 +1,129 @@
+// Per-query phase tracing: a QueryTrace collects timed spans for one query's
+// journey through the engine (parse -> identification -> candidate scoring ->
+// cube probe -> sample estimation -> CI construction), threaded through
+// ExecuteControl the same way CancellationToken is.
+//
+// SpanTimer is the sole recording primitive: an RAII scope that, on close,
+// (a) appends a Span to the trace (if one is attached) and (b) observes the
+// global per-phase latency histogram aqpp_query_phase_seconds{phase="..."}.
+// The histogram pointers are resolved once per process and cached, so a span
+// costs two clock reads plus one lock-free histogram observation.
+//
+// QueryTrace pre-reserves span storage at construction, so recording into an
+// attached trace performs no heap allocation (guarded by obs_test.cc).
+
+#ifndef AQPP_OBS_TRACE_H_
+#define AQPP_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "obs/metrics.h"
+
+namespace aqpp {
+namespace obs {
+
+// Phases of one query's execution, in rough pipeline order. kTotal covers the
+// whole service-side execution (queue wait excluded; that is kQueue).
+enum class Phase : uint8_t {
+  kParse = 0,
+  kQueue,
+  kIdentification,
+  kScoring,
+  kCubeProbe,
+  kSampleEstimation,
+  kCiConstruction,
+  kProgressive,
+  kTotal,
+};
+
+inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kTotal) + 1;
+
+// Stable lowercase snake_case name used as the `phase` label value.
+const char* PhaseName(Phase phase);
+
+// One closed timed region. `start_seconds` is relative to the trace epoch,
+// `depth` is the nesting level at open time (0 = top-level).
+struct Span {
+  Phase phase;
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+  int depth = 0;
+};
+
+// Ordered record of the spans recorded for a single query. Spans are appended
+// when they CLOSE, so a nested span precedes its enclosing span; order within
+// a depth level follows completion time. Not thread-safe: a trace belongs to
+// the one thread executing its query (the service worker blocks the caller,
+// so a stack-allocated trace is safe to hand across the queue).
+class QueryTrace {
+ public:
+  QueryTrace();
+
+  QueryTrace(const QueryTrace&) = delete;
+  QueryTrace& operator=(const QueryTrace&) = delete;
+
+  const std::vector<Span>& spans() const { return spans_; }
+
+  // Sum of recorded durations for `phase` (0.0 if never recorded).
+  double PhaseSeconds(Phase phase) const;
+  // Number of closed spans recorded for `phase`.
+  size_t PhaseCount(Phase phase) const;
+
+  // Seconds since the trace was constructed.
+  double Elapsed() const { return SecondsBetween(epoch_, SteadyNow()); }
+
+  // Human-readable one-line-per-span breakdown, indented by depth.
+  std::string ToString() const;
+
+  // Append an already-measured top-level span (e.g. queue wait timed by the
+  // admission layer). Does NOT touch the global histograms; see RecordPhase.
+  void Record(Phase phase, double seconds);
+
+  void Clear();
+
+ private:
+  friend class SpanTimer;
+
+  SteadyTime epoch_;
+  std::vector<Span> spans_;
+  int open_depth_ = 0;
+};
+
+// RAII span scope. Opens on construction, closes (and records) on
+// destruction or on an explicit Stop(). Always observes the global per-phase
+// histogram (subject to the usual Enabled()/kCompiledIn gating inside
+// Histogram::Observe); additionally appends to `trace` when non-null.
+class SpanTimer {
+ public:
+  explicit SpanTimer(Phase phase, QueryTrace* trace = nullptr);
+  ~SpanTimer() { Stop(); }
+
+  SpanTimer(const SpanTimer&) = delete;
+  SpanTimer& operator=(const SpanTimer&) = delete;
+
+  // Close the span now; idempotent. Returns the span duration in seconds.
+  double Stop();
+
+ private:
+  Phase phase_;
+  QueryTrace* trace_;
+  SteadyTime start_;
+  int depth_ = 0;
+  bool stopped_ = false;
+};
+
+// The global per-phase latency histogram for `phase`
+// (aqpp_query_phase_seconds{phase="<name>"}). Resolved once and cached.
+Histogram* PhaseHistogram(Phase phase);
+
+// Record a duration against a phase without a SpanTimer scope (used when the
+// duration was measured externally, e.g. queue wait).
+void RecordPhase(QueryTrace* trace, Phase phase, double seconds);
+
+}  // namespace obs
+}  // namespace aqpp
+
+#endif  // AQPP_OBS_TRACE_H_

@@ -3,8 +3,34 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "obs/metrics.h"
 
 namespace aqpp {
+
+namespace {
+
+struct AdmissionMetrics {
+  obs::Gauge* queue_depth;
+  obs::Counter* admitted;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  static const AdmissionMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const AdmissionMetrics m = {
+        reg.GetGauge("aqpp_admission_queue_depth", "",
+                     "Requests currently waiting in the admission queue."),
+        reg.GetCounter("aqpp_admission_admitted_total", "",
+                       "Requests admitted to the worker queue."),
+        reg.GetCounter("aqpp_admission_rejected_total", "",
+                       "Requests rejected with retry-after backpressure."),
+        reg.GetCounter("aqpp_admission_completed_total", "",
+                       "Requests completed by admission workers."),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(std::move(options)) {
@@ -40,6 +66,7 @@ Status AdmissionController::Submit(uint64_t session_id, Job job,
         *retry_after_seconds = RetryAfterLocked();
       }
       ++stats_.rejected;
+      AdmissionMetrics::Get().rejected->Increment();
       if (queue.empty()) queues_.erase(session_id);
       return Status::ResourceExhausted(
           total_queued_ >= options_.max_queue_depth
@@ -52,6 +79,9 @@ Status AdmissionController::Submit(uint64_t session_id, Job job,
     ++stats_.admitted;
     stats_.queue_depth = total_queued_;
     stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, total_queued_);
+    AdmissionMetrics::Get().admitted->Increment();
+    AdmissionMetrics::Get().queue_depth->Set(
+        static_cast<int64_t>(total_queued_));
   }
   cv_.notify_one();
   return Status::OK();
@@ -71,6 +101,8 @@ void AdmissionController::WorkerLoop() {
       it->second.pop_front();
       --total_queued_;
       stats_.queue_depth = total_queued_;
+      AdmissionMetrics::Get().queue_depth->Set(
+          static_cast<int64_t>(total_queued_));
       if (it->second.empty()) {
         queues_.erase(it);
       } else {
@@ -89,6 +121,7 @@ void AdmissionController::WorkerLoop() {
               : 0.8 * stats_.ewma_service_seconds + 0.2 * seconds;
       ++stats_.completed;
     }
+    AdmissionMetrics::Get().completed->Increment();
   }
 }
 
@@ -114,6 +147,7 @@ void AdmissionController::Stop() {
     round_robin_.clear();
     total_queued_ = 0;
     stats_.queue_depth = 0;
+    AdmissionMetrics::Get().queue_depth->Set(0);
   }
   for (Job& j : leftovers) {
     if (j.token != nullptr) j.token->Cancel();

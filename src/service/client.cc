@@ -194,4 +194,18 @@ ServiceClient::Stats() {
   return r.fields;
 }
 
+Result<std::string> ServiceClient::Metrics() {
+  AQPP_ASSIGN_OR_RETURN(Response r, Call("METRICS"));
+  if (!r.ok) return StatusFromWire(r);
+  AQPP_ASSIGN_OR_RETURN(uint64_t lines, r.GetUint("lines"));
+  std::string text;
+  for (uint64_t i = 0; i <= lines; ++i) {
+    AQPP_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    if (line == "# EOF") return text;
+    text += line;
+    text += '\n';
+  }
+  return Status::Internal("METRICS block missing its # EOF terminator");
+}
+
 }  // namespace aqpp

@@ -62,6 +62,10 @@ class ServiceClient {
   // STATS as ordered key=value pairs.
   Result<std::vector<std::pair<std::string, std::string>>> Stats();
 
+  // METRICS: the raw Prometheus exposition text (the "# EOF" terminator is
+  // consumed, not returned).
+  Result<std::string> Metrics();
+
   // QUIT (best effort) + close.
   void Close();
 

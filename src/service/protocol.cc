@@ -46,6 +46,10 @@ Result<Request> ParseRequest(const std::string& line) {
     req.type = RequestType::kStats;
     return req;
   }
+  if (verb == "metrics") {
+    req.type = RequestType::kMetrics;
+    return req;
+  }
   if (verb == "quit") {
     req.type = RequestType::kQuit;
     return req;

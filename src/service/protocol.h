@@ -7,6 +7,8 @@
 //   SET TIMEOUT_MS <n>      session default deadline -> OK timeout_ms=<n>
 //   QUERY <sql>             execute                  -> OK estimate=... ...
 //   STATS                   service statistics       -> OK queries=... ...
+//   METRICS                 Prometheus exposition    -> OK lines=<n> then
+//                           <n> raw text lines ending with a "# EOF" line
 //   QUIT                    close session            -> OK bye=1
 //
 // Responses are a verdict token followed by space-separated key=value
@@ -33,7 +35,7 @@
 
 namespace aqpp {
 
-enum class RequestType { kHello, kPing, kSet, kQuery, kStats, kQuit };
+enum class RequestType { kHello, kPing, kSet, kQuery, kStats, kMetrics, kQuit };
 
 struct Request {
   RequestType type = RequestType::kPing;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace aqpp {
 
@@ -85,6 +86,35 @@ CanonicalQuery QueryCanonicalizer::Canonicalize(const RangeQuery& query) const {
   return out;
 }
 
+namespace {
+
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* insertions;
+  obs::Counter* evictions;
+  obs::Counter* invalidated;
+  static const CacheMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const CacheMetrics m = {
+        reg.GetCounter("aqpp_cache_hits_total", "",
+                       "Result-cache lookups answered from cache."),
+        reg.GetCounter("aqpp_cache_misses_total", "",
+                       "Result-cache lookups that fell through."),
+        reg.GetCounter("aqpp_cache_insertions_total", "",
+                       "Results inserted into the cache."),
+        reg.GetCounter("aqpp_cache_evictions_total", "",
+                       "Entries evicted by LRU capacity pressure."),
+        reg.GetCounter("aqpp_cache_invalidated_total", "",
+                       "Entries dropped by template/maintenance "
+                       "invalidation."),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
 ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {}
 
 std::optional<ApproximateResult> ResultCache::Lookup(const std::string& key) {
@@ -92,9 +122,11 @@ std::optional<ApproximateResult> ResultCache::Lookup(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    CacheMetrics::Get().misses->Increment();
     return std::nullopt;
   }
   ++stats_.hits;
+  CacheMetrics::Get().hits->Increment();
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   return it->second.result;
 }
@@ -114,10 +146,12 @@ void ResultCache::Insert(const std::string& key, int template_id,
     entries_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    CacheMetrics::Get().evictions->Increment();
   }
   lru_.push_front(key);
   entries_[key] = Entry{result, template_id, lru_.begin()};
   ++stats_.insertions;
+  CacheMetrics::Get().insertions->Increment();
 }
 
 void ResultCache::InvalidateTemplate(int template_id) {
@@ -127,6 +161,7 @@ void ResultCache::InvalidateTemplate(int template_id) {
       lru_.erase(it->second.lru_it);
       it = entries_.erase(it);
       ++stats_.invalidated;
+      CacheMetrics::Get().invalidated->Increment();
     } else {
       ++it;
     }
@@ -136,6 +171,7 @@ void ResultCache::InvalidateTemplate(int template_id) {
 void ResultCache::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.invalidated += entries_.size();
+  CacheMetrics::Get().invalidated->Increment(entries_.size());
   entries_.clear();
   lru_.clear();
 }

@@ -11,6 +11,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/protocol.h"
 #include "sql/binder.h"
 
@@ -42,41 +44,37 @@ ServiceServer::~ServiceServer() { Stop(); }
 
 Status ServiceServer::Start() {
   if (running_.load()) return Status::FailedPrecondition("already started");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return Status::InvalidArgument("bad host '" + options_.host + "'");
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     Status st = Status::IOError(std::string("bind: ") + std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return st;
   }
-  if (::listen(listen_fd_, options_.backlog) < 0) {
+  if (::listen(fd, options_.backlog) < 0) {
     Status st = Status::IOError(std::string("listen: ") +
                                 std::strerror(errno));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+    ::close(fd);
     return st;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
     port_ = ntohs(bound.sin_port);
   }
+  listen_fd_.store(fd);
   running_.store(true);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
@@ -84,7 +82,7 @@ Status ServiceServer::Start() {
 
 void ServiceServer::AcceptLoop() {
   while (running_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listen socket closed by Stop()
@@ -151,13 +149,20 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
       return FormatResponse(resp);
     }
     case RequestType::kQuery: {
+      // The trace outlives the Execute call (the worker writes into it while
+      // this thread blocks); spans recorded here land in the same global
+      // phase histograms the engine phases do.
+      obs::QueryTrace trace;
+      obs::SpanTimer parse_span(obs::Phase::kParse, &trace);
       auto bound = ParseAndBind(req->sql, *catalog_);
+      parse_span.Stop();
       if (!bound.ok()) {
         return FormatResponse(
             Response::Error(StatusCodeToString(bound.status().code()),
                             bound.status().message()));
       }
-      QueryOutcome out = service_->Execute(*session_id, bound->query);
+      QueryOutcome out = service_->Execute(*session_id, bound->query,
+                                           /*timeout_seconds=*/-1, &trace);
       if (!out.status.ok()) {
         Response err = Response::Error(StatusCodeToString(out.status.code()),
                                        out.status.message());
@@ -204,7 +209,31 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
       resp.AddUint("cache_invalidated", s.cache.invalidated);
       resp.AddUint("sessions_active", s.sessions_active);
       resp.AddUint("sessions_opened", s.sessions_opened);
+      resp.AddUint("slow_queries", s.slow_queries);
+      // This connection's per-session counters.
+      if (auto session = service_->sessions().Get(*session_id);
+          session.ok()) {
+        SessionCounters c = (*session)->counters();
+        resp.AddUint("session_submitted", c.submitted);
+        resp.AddUint("session_completed", c.completed);
+        resp.AddUint("session_cache_hits", c.cache_hits);
+        resp.AddUint("session_rejected", c.rejected);
+        resp.AddUint("session_timed_out", c.timed_out);
+        resp.AddUint("session_failed", c.failed);
+      }
       return FormatResponse(resp);
+    }
+    case RequestType::kMetrics: {
+      // Multi-line framing: the header response counts the raw Prometheus
+      // text lines that follow; a literal "# EOF" line terminates the block
+      // (OpenMetrics convention) so clients need no length bookkeeping.
+      std::string text = obs::Registry::Global().RenderPrometheus();
+      uint64_t lines = 0;
+      for (char c : text) {
+        if (c == '\n') ++lines;
+      }
+      resp.AddUint("lines", lines);
+      return FormatResponse(resp) + "\n" + text + "# EOF";
     }
     case RequestType::kQuit:
       *quit = true;
@@ -263,10 +292,11 @@ size_t ServiceServer::active_connections() const {
 
 void ServiceServer::Stop() {
   bool was_running = running_.exchange(false);
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  // Close before resetting so a racing accept() fails rather than blocking;
+  // the slot is reset only after the accept thread can no longer read it.
+  if (int fd = listen_fd_.exchange(-1); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   {

@@ -64,7 +64,10 @@ class ServiceServer {
   QueryService* service_;
   const Catalog* catalog_;
   ServerOptions options_;
-  int listen_fd_ = -1;
+  // Atomic: Stop() resets it from the caller's thread while AcceptLoop()
+  // reads it for accept(); the fd value itself stays valid until the accept
+  // thread is joined because Stop() closes before resetting.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};
   std::thread accept_thread_;

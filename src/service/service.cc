@@ -3,9 +3,46 @@
 #include <algorithm>
 #include <cmath>
 #include <future>
+#include <limits>
+#include <optional>
 #include <utility>
 
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
 namespace aqpp {
+
+namespace {
+
+// Service-level counters/histograms, resolved once per process.
+struct ServiceMetrics {
+  obs::Counter* queries;
+  obs::Counter* deadline_expiries;
+  obs::Counter* partials;
+  obs::Counter* slow_queries;
+  obs::Histogram* latency;
+  static const ServiceMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const ServiceMetrics m = {
+        reg.GetCounter("aqpp_service_queries_total", "",
+                       "Queries submitted to the service front door."),
+        reg.GetCounter("aqpp_service_deadline_expiries_total", "",
+                       "Queries whose deadline fired (partial answers "
+                       "included)."),
+        reg.GetCounter("aqpp_service_partial_total", "",
+                       "Deadline-expired queries answered from a "
+                       "progressive prefix."),
+        reg.GetCounter("aqpp_service_slow_queries_total", "",
+                       "Queries over the slow-query threshold."),
+        reg.GetHistogram("aqpp_service_query_seconds", "", {},
+                         "End-to-end service latency per query (cache hits "
+                         "included)."),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 Result<ApproximateResult> EngineRef::Execute(
     const RangeQuery& query, const ExecuteControl& control) const {
@@ -51,6 +88,10 @@ void EngineRef::Warmup() const {
 QueryService::QueryService(EngineRef engine, ServiceOptions options)
     : engine_(engine),
       options_(std::move(options)),
+      slow_log_(options_.slow_query_threshold_seconds > 0
+                    ? options_.slow_query_threshold_seconds
+                    : std::numeric_limits<double>::infinity(),
+                options_.slow_query_capacity),
       canonicalizer_(&engine_.table()),
       sessions_(options_.sessions),
       cache_(options_.cache),
@@ -74,6 +115,7 @@ void QueryService::WireMaintenance(CubeMaintainer* cube,
 }
 
 void QueryService::RecordLatency(double seconds) {
+  ServiceMetrics::Get().latency->Observe(seconds);
   std::lock_guard<std::mutex> lock(stats_mu_);
   latencies_[latency_next_] = seconds;
   latency_next_ = (latency_next_ + 1) % latencies_.size();
@@ -94,6 +136,8 @@ void QueryService::AccountOutcome(const QueryOutcome& outcome,
       ++timed_out_;
       ++partial_;
       session.OnTimedOut();
+      ServiceMetrics::Get().deadline_expiries->Increment();
+      ServiceMetrics::Get().partials->Increment();
     }
     return;
   }
@@ -105,6 +149,7 @@ void QueryService::AccountOutcome(const QueryOutcome& outcome,
     case StatusCode::kDeadlineExceeded:
       ++timed_out_;
       session.OnTimedOut();
+      ServiceMetrics::Get().deadline_expiries->Increment();
       break;
     case StatusCode::kCancelled:
       ++cancelled_;
@@ -118,7 +163,8 @@ void QueryService::AccountOutcome(const QueryOutcome& outcome,
 
 QueryOutcome QueryService::Execute(uint64_t session_id,
                                    const RangeQuery& query,
-                                   double timeout_seconds) {
+                                   double timeout_seconds,
+                                   obs::QueryTrace* trace) {
   QueryOutcome out;
   auto session_or = sessions_.Get(session_id);
   if (!session_or.ok()) {
@@ -127,11 +173,22 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
   }
   std::shared_ptr<Session> session = *session_or;
   session->OnSubmitted();
+  ServiceMetrics::Get().queries->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++queries_;
   }
   SteadyTime start = SteadyNow();
+  // Without a caller-provided trace, record into a local one (when
+  // observability is on) so the slow-query log still sees phase breakdowns.
+  // The trace lives on this stack frame; the worker writes into it while we
+  // block on the promise below, so there is no concurrent access.
+  std::optional<obs::QueryTrace> local_trace;
+  if (trace == nullptr && obs::Enabled()) {
+    local_trace.emplace();
+    trace = &*local_trace;
+  }
+  obs::SpanTimer total_span(obs::Phase::kTotal, trace);
 
   if (!query.group_by.empty()) {
     out.status = Status::Unimplemented(
@@ -151,6 +208,7 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
       out.pre_description = hit->pre_description;
       out.cache_hit = true;
       AccountOutcome(out, *session);
+      total_span.Stop();
       RecordLatency(SecondsBetween(start, SteadyNow()));
       return out;
     }
@@ -170,9 +228,10 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
   auto pending = std::make_shared<Pending>();
   AdmissionController::Job job;
   job.token = token;
-  job.run = [this, pending, canon, template_id, token,
+  job.run = [this, pending, canon, template_id, token, trace,
              enqueued = SteadyNow()] {
-    pending->out = RunOnWorker(canon, template_id, token.get(), enqueued);
+    pending->out =
+        RunOnWorker(canon, template_id, token.get(), enqueued, trace);
     pending->done.set_value();
   };
   double retry_after = 0;
@@ -187,16 +246,25 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
   pending->done.get_future().wait();
   out = std::move(pending->out);
   AccountOutcome(out, *session);
+  double total_seconds = total_span.Stop();
   RecordLatency(SecondsBetween(start, SteadyNow()));
+  if (trace != nullptr &&
+      slow_log_.MaybeRecord(StrFormat("%llu", static_cast<unsigned long long>(
+                                                  session_id)),
+                            canon.key, total_seconds, *trace)) {
+    ServiceMetrics::Get().slow_queries->Increment();
+  }
   return out;
 }
 
 QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
                                        int template_id,
                                        const CancellationToken* token,
-                                       SteadyTime enqueued) {
+                                       SteadyTime enqueued,
+                                       obs::QueryTrace* trace) {
   QueryOutcome out;
   out.queue_seconds = SecondsBetween(enqueued, SteadyNow());
+  obs::RecordPhase(trace, obs::Phase::kQueue, out.queue_seconds);
   SteadyTime start = SteadyNow();
 
   Status stop = Status::OK();
@@ -209,6 +277,7 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
     control.cancel = token;
     control.seed = canon.seed;
     control.record = false;
+    control.trace = trace;
     auto result = engine_.Execute(canon.query, control);
     if (result.ok()) {
       out.ci = result->ci;
@@ -225,6 +294,7 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
 
   if (options_.progressive_fallback &&
       stop.code() == StatusCode::kDeadlineExceeded) {
+    obs::SpanTimer progressive_span(obs::Phase::kProgressive, trace);
     auto partial = RunProgressive(canon, token);
     if (partial.ok()) {
       out.ci = partial->ci;
@@ -288,6 +358,7 @@ ServiceStats QueryService::stats() const {
   s.admission = admission_.stats();
   s.sessions_active = sessions_.active();
   s.sessions_opened = sessions_.total_opened();
+  s.slow_queries = slow_log_.total_recorded();
   return s;
 }
 

@@ -44,6 +44,8 @@
 #include "core/maintenance.h"
 #include "core/multi_engine.h"
 #include "core/progressive.h"
+#include "obs/slow_query_log.h"
+#include "obs/trace.h"
 #include "service/admission.h"
 #include "service/result_cache.h"
 #include "service/session.h"
@@ -89,6 +91,11 @@ struct ServiceOptions {
   bool progressive_fallback = true;
   // Latency samples retained for the p50/p95/p99 estimates.
   size_t latency_window = 4096;
+  // Queries whose end-to-end service time reaches this land in the slow-query
+  // log with their full phase breakdown; <= 0 disables the log.
+  double slow_query_threshold_seconds = 0.5;
+  // Most recent slow queries retained.
+  size_t slow_query_capacity = 64;
 };
 
 struct QueryOutcome {
@@ -122,6 +129,7 @@ struct ServiceStats {
   double cache_hit_rate = 0;  // hits / (hits + misses), 0 when no probes
   uint64_t sessions_active = 0;
   uint64_t sessions_opened = 0;
+  uint64_t slow_queries = 0;  // queries over the slow-query threshold
   ResultCacheStats cache;
   AdmissionStats admission;
 };
@@ -145,8 +153,16 @@ class QueryService {
   // (admitted work runs on the admission workers). `timeout_seconds` < 0
   // defers to the session default, then the service default. Scalar queries
   // only; group-by is reported Unimplemented.
+  //
+  // `trace`, when non-null, receives the query's full span breakdown
+  // (queue wait, engine phases, total). When null and observability is
+  // enabled, the service records into an internal trace so the slow-query
+  // log still captures phase breakdowns.
   QueryOutcome Execute(uint64_t session_id, const RangeQuery& query,
-                       double timeout_seconds = -1);
+                       double timeout_seconds = -1,
+                       obs::QueryTrace* trace = nullptr);
+
+  const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
 
   // Cache invalidation surface; WireMaintenance registers InvalidateAll as
   // the update observer of either maintainer (append → nothing cached stays
@@ -165,8 +181,8 @@ class QueryService {
 
  private:
   QueryOutcome RunOnWorker(const CanonicalQuery& canon, int template_id,
-                           const CancellationToken* token,
-                           SteadyTime enqueued);
+                           const CancellationToken* token, SteadyTime enqueued,
+                           obs::QueryTrace* trace);
   Result<ProgressiveStep> RunProgressive(const CanonicalQuery& canon,
                                          const CancellationToken* token);
   void RecordLatency(double seconds);
@@ -174,6 +190,7 @@ class QueryService {
 
   EngineRef engine_;
   ServiceOptions options_;
+  obs::SlowQueryLog slow_log_;
   QueryCanonicalizer canonicalizer_;
   SessionManager sessions_;
   ResultCache cache_;

@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace aqpp {
+
+namespace {
+
+struct SessionMetrics {
+  obs::Gauge* active;
+  obs::Counter* opened;
+  static const SessionMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const SessionMetrics m = {
+        reg.GetGauge("aqpp_sessions_active", "",
+                     "Sessions currently open."),
+        reg.GetCounter("aqpp_sessions_opened_total", "",
+                       "Sessions opened over the process lifetime."),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 void Session::RecordQuery(const RangeQuery& query) {
   std::lock_guard<std::mutex> lock(log_mu_);
@@ -27,6 +48,8 @@ Result<std::shared_ptr<Session>> SessionManager::Open(const std::string& name) {
       id, name.empty() ? "session-" + std::to_string(id) : name,
       options_.max_recorded_queries_per_session);
   sessions_[id] = session;
+  SessionMetrics::Get().opened->Increment();
+  SessionMetrics::Get().active->Set(static_cast<int64_t>(sessions_.size()));
   return session;
 }
 
@@ -44,6 +67,7 @@ Status SessionManager::Close(uint64_t id) {
   if (sessions_.erase(id) == 0) {
     return Status::NotFound("no session with id " + std::to_string(id));
   }
+  SessionMetrics::Get().active->Set(static_cast<int64_t>(sessions_.size()));
   return Status::OK();
 }
 

@@ -35,7 +35,7 @@ std::string RandomAsciiString(Rng& rng, size_t max_len) {
 }
 
 TEST(SqlFuzzTest, RandomTextNeverCrashesLexer) {
-  Rng rng(1);
+  Rng rng = testutil::MakeTestRng(1);
   for (int i = 0; i < 2000; ++i) {
     std::string input = RandomAsciiString(rng, 120);
     auto tokens = Tokenize(input);  // must return ok or a clean error
@@ -52,7 +52,7 @@ TEST(SqlFuzzTest, RandomTokenSoupNeverCrashesParser) {
                              "t",      "a",     "b",     "*",    ",",
                              "42",     "3.14",  "'s'",   "<=",   ">=",
                              "<",      ">",     "=",     "<>",   "-7"};
-  Rng rng(2);
+  Rng rng = testutil::MakeTestRng(2);
   for (int i = 0; i < 2000; ++i) {
     std::string sql;
     size_t parts = 1 + rng.NextBounded(14);
@@ -70,7 +70,7 @@ TEST(SqlFuzzTest, BinderSurvivesArbitraryParsedQueries) {
   ASSERT_TRUE(catalog.Register("t", table).ok());
   const char* columns[] = {"c1", "c2", "a", "nope"};
   const char* aggs[] = {"SUM", "COUNT", "AVG", "VAR", "MIN", "MAX", "FROB"};
-  Rng rng(4);
+  Rng rng = testutil::MakeTestRng(4);
   for (int i = 0; i < 500; ++i) {
     SelectStatement stmt;
     stmt.aggregate = aggs[rng.NextBounded(std::size(aggs))];
@@ -112,7 +112,7 @@ TEST(CsvFuzzTest, RandomBytesNeverCrashReader) {
   fs::path dir = fs::temp_directory_path() / "aqpp_fuzz";
   fs::create_directories(dir);
   Schema schema({{"x", DataType::kInt64}, {"y", DataType::kDouble}});
-  Rng rng(5);
+  Rng rng = testutil::MakeTestRng(5);
   for (int i = 0; i < 60; ++i) {
     fs::path p = dir / ("f" + std::to_string(i) + ".csv");
     {
@@ -143,7 +143,7 @@ TEST(EngineFuzzTest, ArbitraryQueriesProduceFiniteResultsOrCleanErrors) {
   tmpl.condition_columns = {0, 1};
   ASSERT_TRUE(engine->Prepare(tmpl).ok());
 
-  Rng rng(7);
+  Rng rng = testutil::MakeTestRng(7);
   int executed = 0;
   for (int i = 0; i < 300; ++i) {
     RangeQuery q;
@@ -181,7 +181,7 @@ TEST(EngineFuzzTest, ExplainSurvivesTheSameFuzz) {
   tmpl.agg_column = 2;
   tmpl.condition_columns = {0};
   ASSERT_TRUE(engine->Prepare(tmpl).ok());
-  Rng rng(9);
+  Rng rng = testutil::MakeTestRng(9);
   for (int i = 0; i < 100; ++i) {
     RangeQuery q;
     q.func = AggregateFunction::kSum;

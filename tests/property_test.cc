@@ -77,7 +77,7 @@ TEST_P(EstimatorPropertyTest, DirectEstimateTracksTruth) {
   ExactExecutor exact(table_.get());
   double truth = *exact.Execute(q);
 
-  Rng rng(1000 + static_cast<uint64_t>(method) * 7 +
+  Rng rng = testutil::MakeTestRng(1000 + static_cast<uint64_t>(method) * 7 +
           static_cast<uint64_t>(func));
   auto sample = Draw(method, rng);
   ASSERT_TRUE(sample.ok()) << sample.status();
@@ -98,7 +98,7 @@ TEST_P(EstimatorPropertyTest, SubsumptionPhiEqualsDirect) {
   q.func = func;
   q.agg_column = 2;
   q.predicate.Add({0, 10, 60});
-  Rng rng(2000 + static_cast<uint64_t>(method) * 7 +
+  Rng rng = testutil::MakeTestRng(2000 + static_cast<uint64_t>(method) * 7 +
           static_cast<uint64_t>(func));
   auto sample = Draw(method, rng);
   ASSERT_TRUE(sample.ok());
@@ -216,7 +216,7 @@ TEST_P(HillClimbPropertyTest, NeverWorseThanEqualDepthAndValid) {
   auto table = MakeSynthetic({.rows = 25000, .dom1 = 250,
                               .correlated = correlated, .skewed = skewed,
                               .seed = 55});
-  Rng rng(56);
+  Rng rng = testutil::MakeTestRng(56);
   auto sample = CreateUniformSample(*table, 0.3, rng);
   ASSERT_TRUE(sample.ok());
   HillClimbOptimizer climber(sample->rows.get(), 0, 2, table->num_rows());
@@ -251,7 +251,7 @@ class IdentificationPropertyTest : public ::testing::TestWithParam<int> {};
 TEST_P(IdentificationPropertyTest, IdentifiedPreNeverWorseThanPhi) {
   int width = GetParam();
   auto table = MakeSynthetic({.rows = 30000, .dom1 = 100, .seed = 77});
-  Rng rng(78);
+  Rng rng = testutil::MakeTestRng(78);
   auto sample = CreateUniformSample(*table, 0.1, rng);
   ASSERT_TRUE(sample.ok());
   PartitionScheme scheme(
@@ -306,7 +306,8 @@ TEST_P(ExtremaPropertyTest, BoundsAlwaysBracketTruth) {
   auto grid = std::move(ExtremaGrid::Build(*table, scheme, 2)).value();
   ExactExecutor exact(table.get());
 
-  Rng rng(static_cast<uint64_t>(blocks * 1000 + width));
+  Rng rng = testutil::MakeTestRng(
+      static_cast<uint64_t>(blocks * 1000 + width));
   for (int trial = 0; trial < 15; ++trial) {
     int64_t lo = rng.NextInt(1, 120 - width);
     RangePredicate pred;

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/client.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -322,6 +324,119 @@ TEST(ServiceServerTest, EightConcurrentSessions) {
             static_cast<uint64_t>(2 * kClients + 1));
   EXPECT_EQ(uint_field("sessions_active"), 1u);
   control->Close();
+}
+
+TEST(ServiceServerTest, MetricsVerbExposesPerPhaseHistogramsOverTheWire) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::SetEnabled(true);
+  TestServer ts;
+  auto client = ServiceClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Hello("metrics-test").ok());
+
+  // Snapshot the global per-phase histogram counts, issue N DISTINCT
+  // queries (cache hits skip the engine phases and would break the
+  // one-span-per-phase-per-query invariant), and check the deltas.
+  const std::array<obs::Phase, 7> phases = {
+      obs::Phase::kParse,          obs::Phase::kQueue,
+      obs::Phase::kIdentification, obs::Phase::kCubeProbe,
+      obs::Phase::kSampleEstimation, obs::Phase::kCiConstruction,
+      obs::Phase::kTotal};
+  std::map<obs::Phase, uint64_t> before;
+  for (obs::Phase p : phases) before[p] = obs::PhaseHistogram(p)->count();
+  uint64_t scoring_before =
+      obs::PhaseHistogram(obs::Phase::kScoring)->count();
+
+  constexpr uint64_t kQueries = 5;
+  for (uint64_t i = 0; i < kQueries; ++i) {
+    std::string sql = "SELECT SUM(a) FROM t WHERE c1 >= " +
+                      std::to_string(3 + i) + " AND c1 <= " +
+                      std::to_string(61 + i);
+    auto reply = client->Query(sql);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_FALSE(reply->cache_hit);
+  }
+
+  // Exactly one span per straight-line phase per query; scoring runs at
+  // least one batched sweep per identification.
+  for (obs::Phase p : phases) {
+    EXPECT_EQ(obs::PhaseHistogram(p)->count(), before[p] + kQueries)
+        << "phase " << obs::PhaseName(p);
+  }
+  EXPECT_GE(obs::PhaseHistogram(obs::Phase::kScoring)->count(),
+            scoring_before + kQueries);
+
+  // The same counts must round-trip through the METRICS verb's Prometheus
+  // text: one _count sample per phase with the exact current value.
+  auto text = client->Metrics();
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  for (obs::Phase p : phases) {
+    std::string want =
+        std::string("aqpp_query_phase_seconds_count{phase=\"") +
+        obs::PhaseName(p) + "\"} " +
+        std::to_string(obs::PhaseHistogram(p)->count()) + "\n";
+    EXPECT_NE(text->find(want), std::string::npos) << want;
+  }
+  EXPECT_NE(text->find("# TYPE aqpp_query_phase_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text->find("aqpp_service_queries_total"), std::string::npos);
+  EXPECT_NE(text->find("aqpp_cache_misses_total"), std::string::npos);
+  EXPECT_NE(text->find("aqpp_sessions_active"), std::string::npos);
+
+  // STATS grew the slow-query tally and this connection's own counters.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  std::map<std::string, std::string> fields(stats->begin(), stats->end());
+  ASSERT_TRUE(fields.count("slow_queries"));
+  ASSERT_TRUE(fields.count("session_submitted"));
+  EXPECT_EQ(fields["session_submitted"], std::to_string(kQueries));
+  EXPECT_EQ(fields["session_completed"], std::to_string(kQueries));
+  EXPECT_EQ(fields["session_cache_hits"], "0");
+
+  // A cache hit records ONLY the total phase (no engine work, no parse loop
+  // re-entry is still a parse, though — the server parses before the cache
+  // lookup, so parse advances too).
+  uint64_t total_before = obs::PhaseHistogram(obs::Phase::kTotal)->count();
+  uint64_t ident_before =
+      obs::PhaseHistogram(obs::Phase::kIdentification)->count();
+  auto hit = client->Query("SELECT SUM(a) FROM t WHERE c1 >= 3 AND c1 <= 61");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+  EXPECT_EQ(obs::PhaseHistogram(obs::Phase::kTotal)->count(),
+            total_before + 1);
+  EXPECT_EQ(obs::PhaseHistogram(obs::Phase::kIdentification)->count(),
+            ident_before);
+
+  client->Close();
+}
+
+TEST(ServiceServerTest, SlowQueryLogCapturesPhaseBreakdown) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  obs::SetEnabled(true);
+  ServiceOptions sopts;
+  // <= 0 disables the log entirely, so use a vanishingly small positive
+  // threshold to classify every query as slow.
+  sopts.slow_query_threshold_seconds = 1e-12;
+  TestServer ts(sopts);
+  auto client = ServiceClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Query("SELECT SUM(a) FROM t WHERE c1 >= 12 AND c1 <= 77")
+                  .ok());
+  EXPECT_EQ(ts.service->stats().slow_queries, 1u);
+  auto snap = ts.service->slow_query_log().Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_GT(snap[0].total_seconds, 0.0);
+  // The captured breakdown has real engine phases, not just the total.
+  EXPECT_GT(snap[0].phase_seconds[static_cast<size_t>(
+                obs::Phase::kIdentification)],
+            0.0);
+  EXPECT_GT(snap[0].phase_seconds[static_cast<size_t>(
+                obs::Phase::kSampleEstimation)],
+            0.0);
+  // The log keys on the canonical query form (the cache key), which encodes
+  // the predicate ranges.
+  EXPECT_NE(snap[0].sql.find("c=0:12:77"), std::string::npos) << snap[0].sql;
+  client->Close();
 }
 
 TEST(ServiceServerTest, ClientsRideOutBackpressureViaRetryAfter) {

@@ -4,11 +4,14 @@
 //         [--host 127.0.0.1] [--port 7878] [--rate 0.02] [--k 50000]
 //         [--workers 4] [--queue 64] [--per-session 16]
 //         [--timeout-ms 0] [--cache 1024]
+//         [--slow-ms 500] [--metrics] [--no-obs]
 //
 // Loads the table, prepares (or warm-starts) the engine, and serves the
 // line protocol (docs/service.md) until SIGINT/SIGTERM. Clients: `aqppcli
 // connect --port 7878 ["SQL"]` or anything that can speak
-// newline-delimited key=value over TCP (nc works fine).
+// newline-delimited key=value over TCP (nc works fine). Live metrics are
+// served over the METRICS verb; --metrics additionally dumps the Prometheus
+// exposition (and the slow-query log) to stdout at shutdown.
 
 #include <chrono>
 #include <csignal>
@@ -23,6 +26,7 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 #include "core/engine.h"
 #include "service/server.h"
 #include "service/service.h"
@@ -70,7 +74,8 @@ int Usage() {
                "        [--host 127.0.0.1] [--port 7878] [--rate 0.02] "
                "[--k 50000]\n"
                "        [--workers 4] [--queue 64] [--per-session 16]\n"
-               "        [--timeout-ms 0] [--cache 1024]\n");
+               "        [--timeout-ms 0] [--cache 1024]\n"
+               "        [--slow-ms 500] [--metrics] [--no-obs]\n");
   return 2;
 }
 
@@ -148,6 +153,11 @@ int main(int argc, char** argv) {
   long long timeout_ms = std::atoll(FlagOr(args, "timeout-ms", "0").c_str());
   sopts.default_timeout_seconds =
       timeout_ms <= 0 ? 0 : static_cast<double>(timeout_ms) / 1000.0;
+  long long slow_ms = std::atoll(FlagOr(args, "slow-ms", "500").c_str());
+  sopts.slow_query_threshold_seconds =
+      slow_ms <= 0 ? 0 : static_cast<double>(slow_ms) / 1000.0;
+  if (FlagOr(args, "no-obs", "") == "true") obs::SetEnabled(false);
+  bool dump_metrics = FlagOr(args, "metrics", "") == "true";
   QueryService service(EngineRef(engine->get()), sopts);
 
   ServerOptions server_opts;
@@ -174,10 +184,20 @@ int main(int argc, char** argv) {
   service.Stop();
   ServiceStats stats = service.stats();
   std::printf("served %llu queries (%llu cache hits, %llu rejected, "
-              "%llu timed out)\n",
+              "%llu timed out, %llu slow)\n",
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.cache_hits),
               static_cast<unsigned long long>(stats.rejected),
-              static_cast<unsigned long long>(stats.timed_out));
+              static_cast<unsigned long long>(stats.timed_out),
+              static_cast<unsigned long long>(stats.slow_queries));
+  if (dump_metrics) {
+    std::printf("--- metrics ---\n%s",
+                obs::Registry::Global().RenderPrometheus().c_str());
+    std::string slow = service.slow_query_log().Render();
+    if (!slow.empty()) {
+      std::printf("--- slow queries (threshold %lld ms) ---\n%s",
+                  static_cast<long long>(slow_ms), slow.c_str());
+    }
+  }
   return 0;
 }
