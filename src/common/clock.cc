@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace aqpp {
+
+namespace detail {
+std::atomic<SimClock*> g_sim_clock{nullptr};
+}  // namespace detail
+
+void InstallSimClock(SimClock* clock) {
+  detail::g_sim_clock.store(clock, std::memory_order_release);
+}
+
+void SleepFor(double seconds) {
+  if (seconds <= 0) return;
+  if (SimClock* sim = InstalledSimClock()) {
+    sim->Advance(seconds);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace aqpp

@@ -3,10 +3,19 @@
 // A Deadline is a point on the steady clock (or "infinite"); requests carry
 // one through the admission queue and into engine execution, where it is
 // checked cooperatively at phase boundaries (see core/cancellation.h).
+//
+// Every time read goes through SteadyNow(), which normally forwards to
+// std::chrono::steady_clock but can be redirected to a SimClock — a manually
+// advanced virtual clock — for tests. Under a SimClock, deadline expiry,
+// retry backoff, EWMA service times and slow-query thresholds are all driven
+// by explicit Advance() calls (or by SleepFor(), which advances the virtual
+// clock instead of blocking), so timing-dependent logic is testable in
+// microseconds of wall time and produces the same behaviour on every run.
 
 #ifndef AQPP_COMMON_CLOCK_H_
 #define AQPP_COMMON_CLOCK_H_
 
+#include <atomic>
 #include <chrono>
 #include <limits>
 
@@ -15,7 +24,68 @@ namespace aqpp {
 using SteadyClock = std::chrono::steady_clock;
 using SteadyTime = SteadyClock::time_point;
 
-inline SteadyTime SteadyNow() { return SteadyClock::now(); }
+// A virtual clock: time moves only when someone calls Advance(). Thread-safe;
+// reads are one relaxed atomic load.
+class SimClock {
+ public:
+  // Starts at an arbitrary fixed epoch (not the real clock), so virtual
+  // timestamps are reproducible across runs.
+  SimClock() : now_ns_(0) {}
+
+  SteadyTime Now() const {
+    return SteadyTime(SteadyClock::duration(
+        now_ns_.load(std::memory_order_relaxed)));
+  }
+
+  void Advance(double seconds) {
+    if (seconds <= 0) return;
+    now_ns_.fetch_add(
+        static_cast<SteadyClock::rep>(seconds * 1e9),
+        std::memory_order_relaxed);
+  }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(now_ns_.load(std::memory_order_relaxed)) / 1e9;
+  }
+
+ private:
+  std::atomic<SteadyClock::rep> now_ns_;
+};
+
+namespace detail {
+// Non-null while a SimClock is installed (tests only; see ScopedSimClock).
+extern std::atomic<SimClock*> g_sim_clock;
+}  // namespace detail
+
+inline SimClock* InstalledSimClock() {
+  return detail::g_sim_clock.load(std::memory_order_acquire);
+}
+
+// The one clock read the library uses. Real steady clock unless a SimClock
+// is installed.
+inline SteadyTime SteadyNow() {
+  if (SimClock* sim = InstalledSimClock()) return sim->Now();
+  return SteadyClock::now();
+}
+
+// Blocks for `seconds` of real time — or, under a SimClock, advances the
+// virtual clock by `seconds` and returns immediately. All backoff/latency
+// sleeps in the library route through here so tests never wait on the wall.
+void SleepFor(double seconds);
+
+// Installs `clock` as the process-wide time source (nullptr = real clock).
+// Test-only: installation is not synchronized against concurrent time reads
+// beyond the atomic pointer itself, so install before spinning up traffic.
+void InstallSimClock(SimClock* clock);
+
+// RAII installer for tests.
+class ScopedSimClock {
+ public:
+  explicit ScopedSimClock(SimClock* clock) { InstallSimClock(clock); }
+  ~ScopedSimClock() { InstallSimClock(nullptr); }
+  ScopedSimClock(const ScopedSimClock&) = delete;
+  ScopedSimClock& operator=(const ScopedSimClock&) = delete;
+};
 
 // Seconds between two steady-clock points (b - a).
 inline double SecondsBetween(SteadyTime a, SteadyTime b) {

@@ -1,0 +1,157 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/clock.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+namespace fail {
+
+namespace {
+
+uint64_t HashName(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : s) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix(uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+void Registry::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+void Registry::Enable(const std::string& name, Trigger trigger, Action action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[name];
+  if (!p.active) active_count_.fetch_add(1, std::memory_order_release);
+  p.trigger = trigger;
+  p.action = std::move(action);
+  p.rng = Rng(Mix(seed_ ^ HashName(name)));
+  p.evaluations = 0;
+  p.fires = 0;
+  p.active = true;
+}
+
+void Registry::Disable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end() || !it->second.active) return;
+  it->second.active = false;
+  active_count_.fetch_sub(1, std::memory_order_release);
+}
+
+void Registry::DisableAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, p] : points_) p.active = false;
+  active_count_.store(0, std::memory_order_release);
+}
+
+std::optional<Fired> Registry::Evaluate(const char* name) {
+  if (active_count_.load(std::memory_order_acquire) == 0) return std::nullopt;
+  Action action;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(name);
+    if (it == points_.end() || !it->second.active) return std::nullopt;
+    Point& p = it->second;
+    ++p.evaluations;
+    bool fire = false;
+    switch (p.trigger.mode) {
+      case Trigger::Mode::kAlways:
+        fire = true;
+        break;
+      case Trigger::Mode::kProbability:
+        fire = p.rng.NextBernoulli(p.trigger.probability);
+        break;
+      case Trigger::Mode::kEveryNth:
+        fire = p.evaluations % p.trigger.n == 0;
+        break;
+      case Trigger::Mode::kOneShot:
+        fire = p.evaluations == p.trigger.n;
+        break;
+    }
+    if (!fire) return std::nullopt;
+    ++p.fires;
+    action = p.action;
+  }
+  // Outside the lock: latency may sleep and abort never returns.
+  switch (action.kind) {
+    case ActionKind::kInjectLatency:
+      SleepFor(action.latency_seconds);
+      return std::nullopt;
+    case ActionKind::kAbort:
+      std::fprintf(stderr, "[failpoint] '%s' fired kAbort: %s\n", name,
+                   action.message.c_str());
+      std::abort();
+    case ActionKind::kReturnError: {
+      Fired f;
+      f.kind = ActionKind::kReturnError;
+      f.error = Status(action.code,
+                       action.message + " (injected at '" + name + "')");
+      return f;
+    }
+    case ActionKind::kPartialIo: {
+      Fired f;
+      f.kind = ActionKind::kPartialIo;
+      f.io_fraction = std::clamp(action.io_fraction, 0.0, 1.0);
+      return f;
+    }
+  }
+  return std::nullopt;
+}
+
+PointStats Registry::stats(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(name);
+  if (it == points_.end()) return {};
+  return {it->second.evaluations, it->second.fires};
+}
+
+std::string Registry::TripLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, p] : points_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  std::string out;
+  for (const std::string& name : names) {
+    const Point& p = points_.at(name);
+    out += StrFormat("%s evaluations=%llu fires=%llu\n", name.c_str(),
+                     static_cast<unsigned long long>(p.evaluations),
+                     static_cast<unsigned long long>(p.fires));
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  for (const auto& [name, p] : points_) {
+    if (p.active) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace fail
+}  // namespace aqpp

@@ -1,0 +1,200 @@
+// Deterministic fault injection: named failpoints threaded through the real
+// I/O, service and maintenance seams.
+//
+// A failpoint is a named hook compiled into production code. In ordinary
+// builds (AQPP_ENABLE_FAILPOINTS=OFF, the default) every hook macro expands
+// to `((void)0)` — zero code, zero symbols, zero argument evaluation — so
+// hot paths pay nothing. In fault builds (-DAQPP_ENABLE_FAILPOINTS=ON) a
+// hook consults the process-global fail::Registry: tests activate points by
+// name with a *trigger* (when to fire) and an *action* (what to do), and the
+// production code experiences the failure exactly where a real one would
+// land.
+//
+// Triggers (all deterministic given the registry seed and the per-point
+// evaluation count):
+//   kAlways        every evaluation
+//   kProbability   seeded Bernoulli(p) per evaluation (per-point RNG derived
+//                  from the registry seed and the point name)
+//   kEveryNth      evaluations n, 2n, 3n, ...
+//   kOneShot       evaluation number n exactly once
+//
+// Actions:
+//   kReturnError    the site returns the configured Status
+//   kInjectLatency  SleepFor(latency_seconds) — virtual under a SimClock —
+//                   then continue normally
+//   kPartialIo      the site performs only `io_fraction` of the requested
+//                   I/O and reports the resulting short read/write
+//   kAbort          std::abort() (crash-recovery testing; use sparingly)
+//
+// Latency and abort are executed inside Evaluate(); return-error and
+// partial-io must be interpreted by the site, which is what the macros
+// below encode.
+
+#ifndef AQPP_COMMON_FAILPOINT_H_
+#define AQPP_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace aqpp {
+namespace fail {
+
+#ifdef AQPP_FAILPOINTS_ENABLED
+inline constexpr bool kCompiledIn = true;
+#else
+inline constexpr bool kCompiledIn = false;
+#endif
+
+enum class ActionKind { kReturnError, kInjectLatency, kPartialIo, kAbort };
+
+struct Action {
+  ActionKind kind = ActionKind::kReturnError;
+  // kReturnError: the status the site returns.
+  StatusCode code = StatusCode::kIOError;
+  std::string message = "injected fault";
+  // kInjectLatency: virtual (SimClock) or real seconds to stall.
+  double latency_seconds = 0.0;
+  // kPartialIo: fraction of the requested bytes actually transferred.
+  double io_fraction = 0.5;
+};
+
+struct Trigger {
+  enum class Mode { kAlways, kProbability, kEveryNth, kOneShot };
+  Mode mode = Mode::kAlways;
+  double probability = 1.0;  // kProbability
+  uint64_t n = 1;            // kEveryNth period / kOneShot evaluation index
+
+  static Trigger Always() { return {}; }
+  static Trigger Probability(double p) {
+    Trigger t;
+    t.mode = Mode::kProbability;
+    t.probability = p;
+    return t;
+  }
+  static Trigger EveryNth(uint64_t n) {
+    Trigger t;
+    t.mode = Mode::kEveryNth;
+    t.n = n == 0 ? 1 : n;
+    return t;
+  }
+  static Trigger OneShot(uint64_t on_evaluation = 1) {
+    Trigger t;
+    t.mode = Mode::kOneShot;
+    t.n = on_evaluation == 0 ? 1 : on_evaluation;
+    return t;
+  }
+};
+
+// What a fired failpoint asks the site to do. Only the kinds a site must
+// interpret itself appear here; latency has already been slept and abort
+// never returns.
+struct Fired {
+  ActionKind kind = ActionKind::kReturnError;
+  Status error = Status::OK();  // kReturnError
+  double io_fraction = 1.0;     // kPartialIo
+};
+
+// Per-point observability for tests and the chaos trip log.
+struct PointStats {
+  uint64_t evaluations = 0;
+  uint64_t fires = 0;
+};
+
+class Registry {
+ public:
+  // The process-global registry every AQPP_FAILPOINT macro consults.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Activates `name`. Re-enabling replaces trigger/action and resets the
+  // point's counters and RNG (reseeded from the registry seed + name).
+  void Enable(const std::string& name, Trigger trigger, Action action);
+  void Disable(const std::string& name);
+  void DisableAll();
+
+  // Seeds the per-point RNG derivation. Applies to subsequently enabled
+  // points; call before Enable for a fully deterministic scenario.
+  void SetSeed(uint64_t seed);
+
+  // The hook body: returns the action when `name` is active and its trigger
+  // fires. Latency is slept and abort is executed inside; the returned Fired
+  // only ever carries kReturnError or kPartialIo.
+  std::optional<Fired> Evaluate(const char* name);
+
+  PointStats stats(const std::string& name) const;
+  // Deterministically ordered "name evaluations=<n> fires=<m>" lines for
+  // every point enabled since the last DisableAll-with-reset.
+  std::string TripLog() const;
+  // Active point names, sorted.
+  std::vector<std::string> active() const;
+
+ private:
+  struct Point {
+    Trigger trigger;
+    Action action;
+    Rng rng{0};
+    uint64_t evaluations = 0;
+    uint64_t fires = 0;
+    bool active = false;  // kept after Disable so TripLog survives
+  };
+
+  mutable std::mutex mu_;
+  uint64_t seed_ = 0;
+  std::unordered_map<std::string, Point> points_;
+  // Fast path: hooks skip the mutex entirely while nothing is enabled.
+  std::atomic<size_t> active_count_{0};
+};
+
+// Free-function hook used by the macros; no-op stub when compiled out so the
+// types above stay usable in tests regardless of build flavor.
+#ifdef AQPP_FAILPOINTS_ENABLED
+inline std::optional<Fired> Evaluate(const char* name) {
+  return Registry::Global().Evaluate(name);
+}
+#else
+inline std::optional<Fired> Evaluate(const char*) { return std::nullopt; }
+#endif
+
+}  // namespace fail
+}  // namespace aqpp
+
+#ifdef AQPP_FAILPOINTS_ENABLED
+
+// Side-effect-only hook: latency/abort actions apply; return-error and
+// partial-io are ignored (the site has no error channel).
+#define AQPP_FAILPOINT(name) ((void)::aqpp::fail::Registry::Global().Evaluate(name))
+
+// In functions returning Status or Result<T>: returns the injected error
+// when the point fires with a return-error action.
+#define AQPP_FAILPOINT_RETURN_STATUS(name)                                  \
+  do {                                                                      \
+    if (auto _aqpp_fired = ::aqpp::fail::Registry::Global().Evaluate(name); \
+        _aqpp_fired.has_value() &&                                          \
+        _aqpp_fired->kind == ::aqpp::fail::ActionKind::kReturnError)        \
+      return _aqpp_fired->error;                                            \
+  } while (0)
+
+// Expression form handing the fired action (if any) to site code that needs
+// custom handling (partial I/O, connection drops).
+#define AQPP_FAILPOINT_EVAL(name) (::aqpp::fail::Registry::Global().Evaluate(name))
+
+#else
+
+#define AQPP_FAILPOINT(name) ((void)0)
+#define AQPP_FAILPOINT_RETURN_STATUS(name) ((void)0)
+#define AQPP_FAILPOINT_EVAL(name) (::std::optional<::aqpp::fail::Fired>{})
+
+#endif  // AQPP_FAILPOINTS_ENABLED
+
+#endif  // AQPP_COMMON_FAILPOINT_H_

@@ -30,6 +30,9 @@ enum class StatusCode {
   kCancelled,
   kDeadlineExceeded,
   kResourceExhausted,
+  // The service stayed saturated past the caller's retry budget (attempts or
+  // total deadline); the terminal form of repeated kResourceExhausted.
+  kUnavailable,
 };
 
 // Returns a short human-readable name for `code`, e.g. "InvalidArgument".
@@ -77,6 +80,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -59,6 +60,7 @@ CubeMaintainer::CubeMaintainer(std::shared_ptr<PrefixCube> cube,
 
 Status CubeMaintainer::Absorb(const Table& batch) {
   AQPP_RETURN_NOT_OK(SchemasMatch(reference_->schema(), batch.schema()));
+  AQPP_FAILPOINT_RETURN_STATUS("core/maintenance/cube_absorb");
   // Domain-coverage guard: every partition-column value must fall under the
   // dimension's last cut (footnote 5's t_k = |dom(C)| invariant).
   for (const auto& dim : cube_->scheme().dims()) {
@@ -76,6 +78,21 @@ Status CubeMaintainer::Absorb(const Table& batch) {
     }
   }
 
+  // Stage every ordinal translation before touching pending_: a failure on
+  // any column (e.g. a string value missing from a non-dimension column's
+  // dictionary) must reject the whole batch, not leave pending_ with ragged
+  // columns that abort the next SetRowCountFromColumns.
+  std::vector<std::vector<int64_t>> staged(batch.num_columns());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    if (batch.column(c).type() == DataType::kDouble) continue;
+    staged[c].reserve(batch.num_rows());
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      AQPP_ASSIGN_OR_RETURN(int64_t v,
+                            TranslateOrdinal(*reference_, batch, c, r));
+      staged[c].push_back(v);
+    }
+  }
+
   if (pending_ == nullptr) {
     pending_ = std::make_shared<Table>(reference_->schema());
     // Share the reference dictionaries so ordinal codes line up.
@@ -86,6 +103,7 @@ Status CubeMaintainer::Absorb(const Table& batch) {
       }
     }
   }
+  // Commit phase: nothing below can fail.
   for (size_t c = 0; c < batch.num_columns(); ++c) {
     Column& dst = pending_->mutable_column(c);
     const Column& src = batch.column(c);
@@ -95,11 +113,7 @@ Status CubeMaintainer::Absorb(const Table& batch) {
       data.insert(data.end(), sdata.begin(), sdata.end());
     } else {
       auto& data = dst.MutableInt64Data();
-      for (size_t r = 0; r < batch.num_rows(); ++r) {
-        AQPP_ASSIGN_OR_RETURN(int64_t v,
-                              TranslateOrdinal(*reference_, batch, c, r));
-        data.push_back(v);
-      }
+      data.insert(data.end(), staged[c].begin(), staged[c].end());
     }
   }
   pending_->SetRowCountFromColumns();
@@ -176,8 +190,26 @@ Status ReservoirMaintainer::OverwriteRow(size_t slot, const Table& batch,
 
 Status ReservoirMaintainer::Absorb(const Table& batch) {
   AQPP_RETURN_NOT_OK(SchemasMatch(sample_.rows->schema(), batch.schema()));
+  AQPP_FAILPOINT_RETURN_STATUS("core/maintenance/reservoir_absorb");
   const size_t n = sample_.size();
   AQPP_CHECK_GT(n, 0u);
+  // Pre-validate every string value against the sample dictionaries so the
+  // sampling loop below cannot fail: an unknown category used to surface
+  // mid-batch from OverwriteRow, leaving a half-overwritten sample row and
+  // rows_seen_ advanced past rows that were never absorbed.
+  const Table& rows = *sample_.rows;
+  for (size_t c = 0; c < rows.num_columns(); ++c) {
+    if (rows.column(c).type() != DataType::kString) continue;
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      if (!rows.column(c).LookupDictionary(batch.column(c).GetString(r)).ok()) {
+        return Status::InvalidArgument(
+            "appended value '" + batch.column(c).GetString(r) +
+            "' is not in the sample dictionary of column '" +
+            rows.schema().column(c).name +
+            "'; new categories require re-preparation");
+      }
+    }
+  }
   for (size_t r = 0; r < batch.num_rows(); ++r) {
     ++rows_seen_;
     // Algorithm R: the new row replaces a uniformly random slot with

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/clock.h"
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace aqpp {
@@ -54,6 +55,19 @@ double AdmissionController::RetryAfterLocked() const {
 
 Status AdmissionController::Submit(uint64_t session_id, Job job,
                                    double* retry_after_seconds) {
+  // Injected admission failure: rejected requests still carry a retry-after
+  // hint when the injected code is the backpressure one, so clients exercise
+  // their real retry loop.
+  if (auto fired = AQPP_FAILPOINT_EVAL("service/admission/enqueue");
+      fired.has_value() && fired->kind == fail::ActionKind::kReturnError) {
+    if (retry_after_seconds != nullptr &&
+        fired->error.code() == StatusCode::kResourceExhausted) {
+      std::lock_guard<std::mutex> lock(mu_);
+      *retry_after_seconds = RetryAfterLocked();
+      ++stats_.rejected;
+    }
+    return fired->error;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -110,6 +124,9 @@ void AdmissionController::WorkerLoop() {
       }
     }
     if (options_.worker_hook) options_.worker_hook();
+    // Latency injection here stalls the worker between dequeue and execute —
+    // the window where a slow engine pushes queued requests past deadline.
+    AQPP_FAILPOINT("service/admission/worker");
     SteadyTime start = SteadyNow();
     job.run();
     double seconds = SecondsBetween(start, SteadyNow());

@@ -6,12 +6,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <thread>
 
+#include "common/clock.h"
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace aqpp {
@@ -29,6 +30,7 @@ Status StatusFromWire(const Response& response) {
   if (code == "FailedPrecondition") return Status::FailedPrecondition(msg);
   if (code == "Unimplemented") return Status::Unimplemented(msg);
   if (code == "IOError") return Status::IOError(msg);
+  if (code == "Unavailable") return Status::Unavailable(msg);
   return Status::Internal(code + ": " + msg);
 }
 
@@ -169,22 +171,52 @@ Result<QueryReply> ServiceClient::Query(const std::string& sql) {
 }
 
 Result<QueryReply> ServiceClient::QueryWithRetry(const std::string& sql,
-                                                 int max_attempts) {
-  for (int attempt = 1;; ++attempt) {
+                                                 const RetryPolicy& policy) {
+  const int max_attempts = std::max(1, policy.max_attempts);
+  Deadline deadline = policy.total_deadline_seconds > 0
+                          ? Deadline::After(policy.total_deadline_seconds)
+                          : Deadline::Infinite();
+  Rng rng(policy.seed == 0 ? 1 : policy.seed);
+  double backoff = std::max(0.0, policy.initial_backoff_seconds);
+  Status last_reject = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     AQPP_ASSIGN_OR_RETURN(Response r, Call("QUERY " + sql));
     if (r.ok) return ParseQueryReply(r);
     Status st = StatusFromWire(r);
-    if (st.code() != StatusCode::kResourceExhausted ||
-        attempt >= max_attempts) {
-      return st;
-    }
-    double retry_ms = 10.0;
+    if (st.code() != StatusCode::kResourceExhausted) return st;
+    last_reject = std::move(st);
+    if (attempt == max_attempts) break;
+    double sleep_seconds = backoff;
     if (auto hint = r.GetUint("retry_after_ms"); hint.ok()) {
-      retry_ms = static_cast<double>(*hint);
+      sleep_seconds = static_cast<double>(*hint) / 1000.0;
     }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::milli>(retry_ms));
+    sleep_seconds = std::min(sleep_seconds, policy.max_backoff_seconds);
+    if (policy.jitter_fraction > 0) {
+      double j = std::min(policy.jitter_fraction, 1.0);
+      sleep_seconds *= 1.0 - j + 2.0 * j * rng.NextDouble();
+    }
+    if (sleep_seconds > deadline.remaining_seconds()) {
+      return Status::Unavailable(StrFormat(
+          "service saturated: retry budget of %.3fs exhausted after %d "
+          "attempts (last rejection: %s)",
+          policy.total_deadline_seconds, attempt,
+          last_reject.message().c_str()));
+    }
+    if (policy.on_backoff) policy.on_backoff(attempt, sleep_seconds);
+    SleepFor(sleep_seconds);
+    backoff = std::min(backoff * 2.0, policy.max_backoff_seconds);
   }
+  return Status::Unavailable(StrFormat(
+      "service saturated: still rejected after %d attempts (last rejection: "
+      "%s)",
+      max_attempts, last_reject.message().c_str()));
+}
+
+Result<QueryReply> ServiceClient::QueryWithRetry(const std::string& sql,
+                                                 int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  return QueryWithRetry(sql, policy);
 }
 
 Result<std::vector<std::pair<std::string, std::string>>>

@@ -3,12 +3,15 @@
 // One TCP connection == one session. Query() parses the OK fields into a
 // QueryReply; QueryWithRetry() honors the server's backpressure contract by
 // sleeping out the advertised retry_after and resubmitting — the loop every
-// well-behaved client of a reject-with-retry-after service runs.
+// well-behaved client of a reject-with-retry-after service runs. The loop is
+// bounded (attempts, per-sleep cap, total deadline) and jittered with a
+// seeded RNG so stampeding clients decorrelate deterministically in tests.
 
 #ifndef AQPP_SERVICE_CLIENT_H_
 #define AQPP_SERVICE_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -17,6 +20,30 @@
 #include "service/protocol.h"
 
 namespace aqpp {
+
+// Bounds and shapes the QueryWithRetry backoff loop. All sleeps route
+// through SleepFor(), so under a SimClock the whole loop runs in virtual
+// time.
+struct RetryPolicy {
+  // Total submission attempts (>= 1); exhausting them yields kUnavailable.
+  int max_attempts = 10;
+  // Sleep before the first retry when the server sent no retry_after hint;
+  // doubles per attempt up to max_backoff_seconds.
+  double initial_backoff_seconds = 0.01;
+  // Hard cap on any single sleep, hinted or not. A saturated server can
+  // advertise arbitrarily long drain times; the client stays bounded.
+  double max_backoff_seconds = 2.0;
+  // Budget for the whole loop (submissions + sleeps); <= 0 = unbounded.
+  // When the budget cannot cover the next sleep the loop stops early with
+  // kUnavailable rather than overshooting.
+  double total_deadline_seconds = 0;
+  // Each sleep is scaled by a uniform factor in [1-j, 1+j].
+  double jitter_fraction = 0.2;
+  // Seed for the jitter RNG: same seed => same sleep sequence.
+  uint64_t seed = 1;
+  // Test hook observing every backoff decision.
+  std::function<void(int attempt, double sleep_seconds)> on_backoff;
+};
 
 struct QueryReply {
   double estimate = 0;
@@ -54,8 +81,15 @@ class ServiceClient {
   // QUERY <sql>; server-side errors come back as the matching Status code.
   Result<QueryReply> Query(const std::string& sql);
 
-  // Query(), but on ResourceExhausted sleeps the server's retry_after hint
-  // and resubmits, up to `max_attempts` total attempts.
+  // Query(), but on ResourceExhausted sleeps (server hint, else exponential
+  // backoff; capped, jittered) and resubmits under `policy`'s bounds.
+  // Exhausting the attempt budget or the total deadline while the server
+  // still rejects yields kUnavailable — the terminal "saturated" error —
+  // carrying the last rejection's message.
+  Result<QueryReply> QueryWithRetry(const std::string& sql,
+                                    const RetryPolicy& policy);
+
+  // Legacy shorthand: default policy with `max_attempts` attempts.
   Result<QueryReply> QueryWithRetry(const std::string& sql,
                                     int max_attempts = 10);
 

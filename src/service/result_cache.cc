@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 
@@ -134,7 +135,30 @@ std::optional<ApproximateResult> ResultCache::Lookup(const std::string& key) {
 void ResultCache::Insert(const std::string& key, int template_id,
                          const ApproximateResult& result) {
   if (options_.capacity == 0) return;
+  AQPP_FAILPOINT("service/cache/insert");
   std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, template_id, result);
+}
+
+void ResultCache::InsertIfCurrent(const std::string& key, int template_id,
+                                  const ApproximateResult& result,
+                                  uint64_t observed_generation) {
+  if (options_.capacity == 0) return;
+  AQPP_FAILPOINT("service/cache/insert");
+  std::lock_guard<std::mutex> lock(mu_);
+  // An invalidation ran after this result was computed: the result reflects
+  // pre-maintenance data and must not outlive the wipe.
+  if (generation_ != observed_generation) return;
+  InsertLocked(key, template_id, result);
+}
+
+uint64_t ResultCache::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+void ResultCache::InsertLocked(const std::string& key, int template_id,
+                               const ApproximateResult& result) {
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     it->second.result = result;
@@ -156,6 +180,9 @@ void ResultCache::Insert(const std::string& key, int template_id,
 
 void ResultCache::InvalidateTemplate(int template_id) {
   std::lock_guard<std::mutex> lock(mu_);
+  // Bump the generation even when nothing matched: a result computed from
+  // this template before the rebuild is stale whether or not it was cached.
+  ++generation_;
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.template_id == template_id) {
       lru_.erase(it->second.lru_it);
@@ -170,6 +197,7 @@ void ResultCache::InvalidateTemplate(int template_id) {
 
 void ResultCache::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
   stats_.invalidated += entries_.size();
   CacheMetrics::Get().invalidated->Increment(entries_.size());
   entries_.clear();

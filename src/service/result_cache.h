@@ -96,6 +96,19 @@ class ResultCache {
   void Insert(const std::string& key, int template_id,
               const ApproximateResult& result);
 
+  // Race-safe insert for results computed outside the cache lock: the caller
+  // snapshots generation() before executing and the insert is dropped if any
+  // invalidation ran in between. Without this guard a worker that finished
+  // against pre-maintenance data could re-populate the cache with a stale
+  // answer just after InvalidateAll() cleared it.
+  void InsertIfCurrent(const std::string& key, int template_id,
+                       const ApproximateResult& result,
+                       uint64_t observed_generation);
+
+  // Monotonic count of invalidation events; bumped by InvalidateTemplate
+  // (when it dropped anything) and InvalidateAll.
+  uint64_t generation() const;
+
   // Drops every entry answered from `template_id`.
   void InvalidateTemplate(int template_id);
 
@@ -112,12 +125,16 @@ class ResultCache {
     std::list<std::string>::iterator lru_it;
   };
 
+  void InsertLocked(const std::string& key, int template_id,
+                    const ApproximateResult& result);
+
   ResultCacheOptions options_;
   mutable std::mutex mu_;
   // Front = most recently used.
   std::list<std::string> lru_;
   std::unordered_map<std::string, Entry> entries_;
   ResultCacheStats stats_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace aqpp

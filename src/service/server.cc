@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -20,18 +21,29 @@ namespace aqpp {
 
 namespace {
 
-// Writes all of `s` (blocking socket); false on a broken connection.
+// Writes all of `s` (blocking socket); false on a broken connection. The
+// service/server/send failpoint simulates a peer that vanished mid-reply:
+// partial-io transmits a prefix and then reports the connection broken, so
+// tests can verify clients treat truncated frames as connection errors.
 bool SendAll(int fd, const std::string& s) {
+  size_t limit = s.size();
+  if (auto fired = AQPP_FAILPOINT_EVAL("service/server/send")) {
+    if (fired->kind == fail::ActionKind::kReturnError) return false;
+    if (fired->kind == fail::ActionKind::kPartialIo) {
+      limit = static_cast<size_t>(static_cast<double>(s.size()) *
+                                  fired->io_fraction);
+    }
+  }
   size_t sent = 0;
-  while (sent < s.size()) {
-    ssize_t n = ::send(fd, s.data() + sent, s.size() - sent, MSG_NOSIGNAL);
+  while (sent < limit) {
+    ssize_t n = ::send(fd, s.data() + sent, limit - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       return false;
     }
     sent += static_cast<size_t>(n);
   }
-  return true;
+  return sent == s.size();
 }
 
 }  // namespace
@@ -86,6 +98,13 @@ void ServiceServer::AcceptLoop() {
     if (fd < 0) {
       if (errno == EINTR) continue;
       break;  // listen socket closed by Stop()
+    }
+    // Simulated accept-path failure: the kernel handed us a connection but
+    // the server drops it before registering (e.g. fd-limit pressure).
+    if (auto fired = AQPP_FAILPOINT_EVAL("service/server/accept");
+        fired.has_value() && fired->kind == fail::ActionKind::kReturnError) {
+      ::close(fd);
+      continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -261,6 +280,11 @@ void ServiceServer::HandleConnection(int fd) {
   char chunk[4096];
   bool quit = false;
   while (!quit) {
+    // Simulated mid-session connection drop on the read side.
+    if (auto fired = AQPP_FAILPOINT_EVAL("service/server/recv");
+        fired.has_value() && fired->kind == fail::ActionKind::kReturnError) {
+      break;
+    }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;

@@ -201,6 +201,10 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
   CanonicalQuery canon = canonicalizer_.Canonicalize(query);
   session->RecordQuery(canon.query);
 
+  // Snapshot the invalidation generation before executing: if maintenance
+  // wipes the cache while the query runs, the stale result must not be
+  // re-inserted after the wipe (InsertIfCurrent drops it).
+  uint64_t cache_generation = cache_.generation();
   if (options_.enable_cache) {
     if (auto hit = cache_.Lookup(canon.key)) {
       out.ci = hit->ci;
@@ -228,10 +232,10 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
   auto pending = std::make_shared<Pending>();
   AdmissionController::Job job;
   job.token = token;
-  job.run = [this, pending, canon, template_id, token, trace,
+  job.run = [this, pending, canon, template_id, token, trace, cache_generation,
              enqueued = SteadyNow()] {
-    pending->out =
-        RunOnWorker(canon, template_id, token.get(), enqueued, trace);
+    pending->out = RunOnWorker(canon, template_id, token.get(), enqueued,
+                               cache_generation, trace);
     pending->done.set_value();
   };
   double retry_after = 0;
@@ -261,6 +265,7 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
                                        int template_id,
                                        const CancellationToken* token,
                                        SteadyTime enqueued,
+                                       uint64_t cache_generation,
                                        obs::QueryTrace* trace) {
   QueryOutcome out;
   out.queue_seconds = SecondsBetween(enqueued, SteadyNow());
@@ -285,7 +290,8 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
       out.pre_description = result->pre_description;
       out.exec_seconds = SecondsBetween(start, SteadyNow());
       if (options_.enable_cache) {
-        cache_.Insert(canon.key, template_id, *result);
+        cache_.InsertIfCurrent(canon.key, template_id, *result,
+                               cache_generation);
       }
       return out;
     }

@@ -182,7 +182,7 @@ class QueryService {
  private:
   QueryOutcome RunOnWorker(const CanonicalQuery& canon, int template_id,
                            const CancellationToken* token, SteadyTime enqueued,
-                           obs::QueryTrace* trace);
+                           uint64_t cache_generation, obs::QueryTrace* trace);
   Result<ProgressiveStep> RunProgressive(const CanonicalQuery& canon,
                                          const CancellationToken* token);
   void RecordLatency(double seconds);

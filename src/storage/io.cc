@@ -1,10 +1,18 @@
 #include "storage/io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -13,6 +21,17 @@ namespace aqpp {
 namespace {
 
 constexpr char kBinaryMagic[8] = {'A', 'Q', 'P', 'P', 'T', 'B', 'L', '1'};
+
+// Sanity bounds for length fields read from (possibly corrupt) files. A
+// truncated or bit-flipped header must produce a clean IOError, never a
+// multi-gigabyte resize or a crash.
+constexpr uint64_t kMaxColumns = 1u << 20;
+constexpr uint64_t kMaxDictEntries = 1u << 28;
+
+std::string ErrnoDetail() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno)
+                    : std::string();
+}
 
 Status ParseField(const std::string& field, DataType type, Column* col) {
   switch (type) {
@@ -43,28 +62,207 @@ Status ParseField(const std::string& field, DataType type, Column* col) {
   return Status::Internal("unreachable");
 }
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+// Checked binary writer over cstdio. Every Write verifies the full byte
+// count (fwrite's short-write case is a real failure mode on full disks);
+// Sync() forces the data to stable storage before the commit rename. The
+// storage/io/write and storage/io/fsync failpoints land here so fault tests
+// exercise exactly the code paths a failing disk would.
+class CheckedWriter {
+ public:
+  ~CheckedWriter() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Open(const std::string& path) {
+    errno = 0;
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) {
+      return Status::IOError("cannot open '" + path + "' for writing" +
+                             ErrnoDetail());
+    }
+    path_ = path;
+    return Status::OK();
+  }
+
+  Status Write(const void* data, size_t n) {
+    if (n == 0) return Status::OK();
+    size_t want = n;
+    if (auto fired = AQPP_FAILPOINT_EVAL("storage/io/write")) {
+      if (fired->kind == fail::ActionKind::kReturnError) return fired->error;
+      // Partial I/O: transfer only a fraction, then report the short write
+      // exactly as a full disk would.
+      want = static_cast<size_t>(static_cast<double>(n) * fired->io_fraction);
+    }
+    errno = 0;
+    size_t wrote = std::fwrite(data, 1, want, file_);
+    if (wrote != n) {
+      return Status::IOError(StrFormat(
+          "short write to '%s': wrote %zu of %zu bytes%s", path_.c_str(),
+          wrote, n, ErrnoDetail().c_str()));
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status WritePod(const T& v) {
+    return Write(&v, sizeof(T));
+  }
+
+  Status WriteLengthPrefixed(const std::string& s) {
+    AQPP_RETURN_NOT_OK(WritePod<uint64_t>(s.size()));
+    return Write(s.data(), s.size());
+  }
+
+  // Flushes libc buffers and fsyncs the fd: after OK, the bytes are on
+  // stable storage (the precondition for the atomic-rename commit).
+  Status Sync() {
+    AQPP_FAILPOINT_RETURN_STATUS("storage/io/fsync");
+    errno = 0;
+    if (std::fflush(file_) != 0) {
+      return Status::IOError("flush failed for '" + path_ + "'" +
+                             ErrnoDetail());
+    }
+    errno = 0;
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::IOError("fsync failed for '" + path_ + "'" +
+                             ErrnoDetail());
+    }
+    return Status::OK();
+  }
+
+  Status Close() {
+    if (file_ == nullptr) return Status::OK();
+    errno = 0;
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) {
+      return Status::IOError("close failed for '" + path_ + "'" +
+                             ErrnoDetail());
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+// Checked binary reader: every Read verifies the full byte count and length
+// fields are validated against the file's actual size before any allocation,
+// so truncated or corrupt files fail loudly instead of crashing.
+class CheckedReader {
+ public:
+  ~CheckedReader() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Open(const std::string& path) {
+    errno = 0;
+    file_ = std::fopen(path.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::IOError("cannot open '" + path + "'" + ErrnoDetail());
+    }
+    path_ = path;
+    struct stat st{};
+    if (::fstat(::fileno(file_), &st) != 0) {
+      return Status::IOError("cannot stat '" + path + "'" + ErrnoDetail());
+    }
+    file_size_ = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+  uint64_t file_size() const { return file_size_; }
+
+  Status Read(void* data, size_t n) {
+    if (n == 0) return Status::OK();
+    size_t want = n;
+    if (auto fired = AQPP_FAILPOINT_EVAL("storage/io/read")) {
+      if (fired->kind == fail::ActionKind::kReturnError) return fired->error;
+      want = static_cast<size_t>(static_cast<double>(n) * fired->io_fraction);
+    }
+    errno = 0;
+    size_t got = std::fread(data, 1, want, file_);
+    if (got != n) {
+      return Status::IOError(StrFormat(
+          "short read from '%s': got %zu of %zu bytes%s (truncated file?)",
+          path_.c_str(), got, n, ErrnoDetail().c_str()));
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPod(T* v) {
+    return Read(v, sizeof(T));
+  }
+
+  // Reads a u64 length field and validates it against `limit` and the file
+  // size, so a corrupt length can never drive a huge allocation.
+  Status ReadLength(uint64_t* len, uint64_t limit, const char* what) {
+    AQPP_RETURN_NOT_OK(ReadPod(len));
+    if (*len > limit || *len > file_size_) {
+      return Status::IOError(StrFormat(
+          "corrupt %s length %llu in '%s' (file is %llu bytes)", what,
+          static_cast<unsigned long long>(*len), path_.c_str(),
+          static_cast<unsigned long long>(file_size_)));
+    }
+    return Status::OK();
+  }
+
+  Status ReadLengthPrefixed(std::string* s) {
+    uint64_t len = 0;
+    AQPP_RETURN_NOT_OK(ReadLength(&len, file_size_, "string"));
+    s->resize(len);
+    return Read(s->data(), len);
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t file_size_ = 0;
+};
+
+// Commits `tmp_path` over `path` (atomic on POSIX). The caller has already
+// synced tmp_path, so after OK the destination holds the complete new
+// contents; on any earlier failure the destination still holds its previous
+// contents — never a torn mix.
+Status CommitRename(const std::string& tmp_path, const std::string& path) {
+  errno = 0;
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    Status st = Status::IOError("rename '" + tmp_path + "' -> '" + path +
+                                "' failed" + ErrnoDetail());
+    std::remove(tmp_path.c_str());
+    return st;
+  }
+  return Status::OK();
 }
 
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return in.good();
-}
-
-void WriteString(std::ofstream& out, const std::string& s) {
-  WritePod<uint64_t>(out, s.size());
-  out.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-bool ReadString(std::ifstream& in, std::string* s) {
-  uint64_t len = 0;
-  if (!ReadPod(in, &len)) return false;
-  s->resize(len);
-  in.read(s->data(), static_cast<std::streamsize>(len));
-  return in.good() || len == 0;
+Status WriteBinaryImpl(const Table& table, CheckedWriter& out) {
+  AQPP_RETURN_NOT_OK(out.Write(kBinaryMagic, sizeof(kBinaryMagic)));
+  const Schema& schema = table.schema();
+  AQPP_RETURN_NOT_OK(out.WritePod<uint64_t>(schema.num_columns()));
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    AQPP_RETURN_NOT_OK(out.WriteLengthPrefixed(schema.column(c).name));
+    AQPP_RETURN_NOT_OK(
+        out.WritePod<int32_t>(static_cast<int32_t>(schema.column(c).type)));
+  }
+  AQPP_RETURN_NOT_OK(out.WritePod<uint64_t>(table.num_rows()));
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const Column& col = table.column(c);
+    if (col.type() == DataType::kDouble) {
+      AQPP_RETURN_NOT_OK(out.Write(col.DoubleData().data(),
+                                   table.num_rows() * sizeof(double)));
+    } else {
+      AQPP_RETURN_NOT_OK(out.Write(col.Int64Data().data(),
+                                   table.num_rows() * sizeof(int64_t)));
+      if (col.type() == DataType::kString) {
+        AQPP_RETURN_NOT_OK(out.WritePod<uint64_t>(col.dictionary().size()));
+        for (const auto& s : col.dictionary()) {
+          AQPP_RETURN_NOT_OK(out.WriteLengthPrefixed(s));
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -115,6 +313,9 @@ Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
       }
     }
   }
+  if (in.bad()) {
+    return Status::IOError("read failed for '" + path + "'" + ErrnoDetail());
+  }
   table->SetRowCountFromColumns();
   table->FinalizeDictionaries();
   return table;
@@ -122,8 +323,13 @@ Result<std::shared_ptr<Table>> ReadCsv(const std::string& path,
 
 Status WriteCsv(const Table& table, const std::string& path,
                 const CsvOptions& options) {
+  AQPP_FAILPOINT_RETURN_STATUS("storage/io/write");
+  errno = 0;
   std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  if (!out) {
+    return Status::IOError("cannot open '" + path + "' for writing" +
+                           ErrnoDetail());
+  }
   const Schema& schema = table.schema();
   if (options.has_header) {
     for (size_t c = 0; c < schema.num_columns(); ++c) {
@@ -150,86 +356,86 @@ Status WriteCsv(const Table& table, const std::string& path,
     }
     out << '\n';
   }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed for '" + path + "'" + ErrnoDetail());
+  }
   return Status::OK();
 }
 
 Status WriteBinary(const Table& table, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out.write(kBinaryMagic, sizeof(kBinaryMagic));
-  const Schema& schema = table.schema();
-  WritePod<uint64_t>(out, schema.num_columns());
-  for (size_t c = 0; c < schema.num_columns(); ++c) {
-    WriteString(out, schema.column(c).name);
-    WritePod<int32_t>(out, static_cast<int32_t>(schema.column(c).type));
+  // Write-to-temp, fsync, rename: a crash or injected fault mid-write leaves
+  // the destination either absent or holding its previous complete contents
+  // — a reader can never observe a torn table.
+  const std::string tmp_path = path + ".tmp";
+  CheckedWriter out;
+  AQPP_RETURN_NOT_OK(out.Open(tmp_path));
+  Status st = WriteBinaryImpl(table, out);
+  if (st.ok()) st = out.Sync();
+  if (st.ok()) st = out.Close();
+  if (!st.ok()) {
+    (void)out.Close();
+    std::remove(tmp_path.c_str());
+    return st;
   }
-  WritePod<uint64_t>(out, table.num_rows());
-  for (size_t c = 0; c < schema.num_columns(); ++c) {
-    const Column& col = table.column(c);
-    if (col.type() == DataType::kDouble) {
-      out.write(reinterpret_cast<const char*>(col.DoubleData().data()),
-                static_cast<std::streamsize>(table.num_rows() * sizeof(double)));
-    } else {
-      out.write(reinterpret_cast<const char*>(col.Int64Data().data()),
-                static_cast<std::streamsize>(table.num_rows() * sizeof(int64_t)));
-      if (col.type() == DataType::kString) {
-        WritePod<uint64_t>(out, col.dictionary().size());
-        for (const auto& s : col.dictionary()) WriteString(out, s);
-      }
-    }
-  }
-  if (!out) return Status::IOError("write failed for '" + path + "'");
-  return Status::OK();
+  return CommitRename(tmp_path, path);
 }
 
 Result<std::shared_ptr<Table>> ReadBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("cannot open '" + path + "'");
+  CheckedReader in;
+  AQPP_RETURN_NOT_OK(in.Open(path));
   char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
+  // An I/O failure reading the header is not the same condition as a
+  // well-read header that isn't ours; keep the error codes distinct.
+  AQPP_RETURN_NOT_OK(in.Read(magic, sizeof(magic)));
+  if (std::memcmp(magic, kBinaryMagic, sizeof(magic)) != 0) {
     return Status::InvalidArgument("'" + path + "' is not an AQPP table file");
   }
   uint64_t num_cols = 0;
-  if (!ReadPod(in, &num_cols)) return Status::IOError("truncated file");
+  AQPP_RETURN_NOT_OK(in.ReadLength(&num_cols, kMaxColumns, "column count"));
   std::vector<ColumnSchema> cols;
   cols.reserve(num_cols);
   for (uint64_t c = 0; c < num_cols; ++c) {
     std::string name;
     int32_t type = 0;
-    if (!ReadString(in, &name) || !ReadPod(in, &type)) {
-      return Status::IOError("truncated schema");
+    AQPP_RETURN_NOT_OK(in.ReadLengthPrefixed(&name));
+    AQPP_RETURN_NOT_OK(in.ReadPod(&type));
+    if (type < 0 || type > static_cast<int32_t>(DataType::kString)) {
+      return Status::IOError(
+          StrFormat("corrupt column type %d in '%s'", type, path.c_str()));
     }
     cols.push_back({std::move(name), static_cast<DataType>(type)});
   }
   uint64_t num_rows = 0;
-  if (!ReadPod(in, &num_rows)) return Status::IOError("truncated file");
+  // Each row needs at least 8 bytes in some column; bounding by file size
+  // rejects corrupt row counts before the resize below can explode.
+  AQPP_RETURN_NOT_OK(in.ReadLength(&num_rows, in.file_size() / sizeof(int64_t),
+                                   "row count"));
   auto table = std::make_shared<Table>(Schema(std::move(cols)));
   for (size_t c = 0; c < table->num_columns(); ++c) {
     Column& col = table->mutable_column(c);
     if (col.type() == DataType::kDouble) {
       col.MutableDoubleData().resize(num_rows);
-      in.read(reinterpret_cast<char*>(col.MutableDoubleData().data()),
-              static_cast<std::streamsize>(num_rows * sizeof(double)));
+      AQPP_RETURN_NOT_OK(in.Read(col.MutableDoubleData().data(),
+                                 num_rows * sizeof(double)));
     } else {
       col.MutableInt64Data().resize(num_rows);
-      in.read(reinterpret_cast<char*>(col.MutableInt64Data().data()),
-              static_cast<std::streamsize>(num_rows * sizeof(int64_t)));
+      AQPP_RETURN_NOT_OK(in.Read(col.MutableInt64Data().data(),
+                                 num_rows * sizeof(int64_t)));
       if (col.type() == DataType::kString) {
         uint64_t dict_size = 0;
-        if (!ReadPod(in, &dict_size)) return Status::IOError("truncated dict");
+        AQPP_RETURN_NOT_OK(
+            in.ReadLength(&dict_size, kMaxDictEntries, "dictionary"));
         std::vector<std::string> dict;
         dict.reserve(dict_size);
         for (uint64_t d = 0; d < dict_size; ++d) {
           std::string s;
-          if (!ReadString(in, &s)) return Status::IOError("truncated dict");
+          AQPP_RETURN_NOT_OK(in.ReadLengthPrefixed(&s));
           dict.push_back(std::move(s));
         }
         col.SetDictionary(std::move(dict));
       }
     }
-    if (!in) return Status::IOError("truncated column data");
   }
   table->SetRowCountFromColumns();
   return table;

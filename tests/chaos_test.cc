@@ -1,0 +1,145 @@
+// The chaos battery: seeded fault schedules driven against the full service
+// stack (src/testing/chaos.h).
+//
+// Determinism contract under test: the same seed must produce the same
+// schedule fingerprint and bit-identical surviving answers on every run and
+// at every admission worker count. Fault phases only do real damage when
+// failpoints are compiled in; without them the runner degrades to a clean
+// concurrency soak, which is still asserted.
+//
+// ChaosSoakTest is the nightly long-runner: it no-ops unless AQPP_CHAOS_SOAK
+// is set (the dedicated `chaos_soak` ctest entry sets it; see
+// tests/CMakeLists.txt).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "test_util.h"
+#include "testing/chaos.h"
+
+namespace aqpp {
+namespace testing {
+namespace {
+
+TEST(ChaosScheduleTest, PureFunctionOfSeed) {
+  ChaosOptions options;
+  options.seed = testutil::TestSeed(4242);
+
+  ChaosRunner runner(options);
+  ChaosSchedule s1 = runner.BuildSchedule();
+  ChaosSchedule s2 = runner.BuildSchedule();
+  EXPECT_EQ(ChaosRunner::Fingerprint(s1), ChaosRunner::Fingerprint(s2));
+  EXPECT_EQ(s1.queries, s2.queries);
+  ASSERT_EQ(s1.phases.size(), options.num_phases);
+  // The last phase is always the fault-free recovery phase.
+  EXPECT_TRUE(s1.phases.back().faults.empty());
+
+  ChaosOptions other = options;
+  other.seed = options.seed + 1;
+  ChaosSchedule s3 = ChaosRunner(other).BuildSchedule();
+  EXPECT_NE(ChaosRunner::Fingerprint(s1), ChaosRunner::Fingerprint(s3));
+}
+
+TEST(ChaosScheduleTest, WorkerCountDoesNotLeakIntoSchedule) {
+  ChaosOptions options;
+  options.seed = testutil::TestSeed(777);
+  ChaosOptions more_workers = options;
+  more_workers.admission_workers = 8;
+  EXPECT_EQ(ChaosRunner::Fingerprint(ChaosRunner(options).BuildSchedule()),
+            ChaosRunner::Fingerprint(
+                ChaosRunner(more_workers).BuildSchedule()));
+}
+
+TEST(ChaosRunTest, DeterministicAcrossWorkerCounts) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out (AQPP_ENABLE_FAILPOINTS=OFF)";
+  }
+  ChaosOptions options;
+  options.seed = testutil::TestSeed(1337);
+
+  std::vector<ChaosReport> reports;
+  for (size_t workers : {size_t{1}, size_t{4}, size_t{8}}) {
+    ChaosOptions o = options;
+    o.admission_workers = workers;
+    ChaosReport report = ChaosRunner(o).Run();
+    for (const std::string& v : report.violations) {
+      ADD_FAILURE() << "workers=" << workers << ": " << v;
+    }
+    EXPECT_GT(report.total, 0u) << "workers=" << workers;
+    reports.push_back(std::move(report));
+  }
+
+  // Same seed => same schedule and bit-identical surviving answers, no
+  // matter how the worker count interleaved the faults.
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[i].schedule_fingerprint,
+              reports[0].schedule_fingerprint);
+    EXPECT_EQ(reports[i].final_answers, reports[0].final_answers);
+  }
+
+  // The battery must have actually hurt something: at least one failpoint
+  // fired, and at least one request saw a fault (error or injected reject).
+  EXPECT_NE(reports[0].trip_log.find("fires="), std::string::npos);
+  EXPECT_GT(reports[0].rejected + reports[0].io_errors +
+                reports[0].unavailable + reports[0].deadline +
+                reports[0].partial,
+            0u)
+      << "no request ever observed a fault; trip log:\n"
+      << reports[0].trip_log;
+}
+
+TEST(ChaosRunTest, SameSeedSameReportTwice) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out (AQPP_ENABLE_FAILPOINTS=OFF)";
+  }
+  ChaosOptions options;
+  options.seed = testutil::TestSeed(90210);
+  ChaosReport a = ChaosRunner(options).Run();
+  ChaosReport b = ChaosRunner(options).Run();
+  EXPECT_TRUE(a.violations.empty());
+  EXPECT_TRUE(b.violations.empty());
+  EXPECT_EQ(a.schedule_fingerprint, b.schedule_fingerprint);
+  EXPECT_EQ(a.final_answers, b.final_answers);
+}
+
+TEST(ChaosRunTest, CleanSoakWhenFailpointsCompiledOut) {
+  if (fail::kCompiledIn) {
+    GTEST_SKIP() << "covered by the fault-injecting variants above";
+  }
+  // Without failpoints the phases run faultless; the battery reduces to a
+  // concurrency soak whose every answer must match the baseline.
+  ChaosOptions options;
+  options.seed = testutil::TestSeed(11);
+  ChaosReport report = ChaosRunner(options).Run();
+  for (const std::string& v : report.violations) ADD_FAILURE() << v;
+  EXPECT_GT(report.ok, 0u);
+  EXPECT_EQ(report.rejected + report.io_errors + report.unavailable, 0u);
+}
+
+// Nightly soak: many seeds, longer phases. Gated on AQPP_CHAOS_SOAK so the
+// default `chaos_test` invocation stays fast.
+TEST(ChaosSoakTest, ManySeeds) {
+  if (std::getenv("AQPP_CHAOS_SOAK") == nullptr) {
+    GTEST_SKIP() << "set AQPP_CHAOS_SOAK=1 (the chaos_soak ctest entry does)";
+  }
+  uint64_t base = testutil::TestSeed(5150);
+  for (uint64_t i = 0; i < 8; ++i) {
+    ChaosOptions options;
+    options.seed = base + i * 1000003;
+    options.num_phases = 6;
+    options.queries_per_client = 10;
+    ChaosReport report = ChaosRunner(options).Run();
+    for (const std::string& v : report.violations) {
+      ADD_FAILURE() << "seed=" << options.seed << ": " << v;
+    }
+    EXPECT_GT(report.total, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace aqpp

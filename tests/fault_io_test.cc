@@ -1,0 +1,346 @@
+// Storage-layer fault tests: hostile files must fail cleanly, and injected
+// I/O faults (failpoint builds) must never leave a torn destination file.
+//
+// The corruption tests run in every build flavor. The injection tests are
+// skipped when failpoints are compiled out (the default build) — they
+// exercise the same write/fsync/read seams the chaos battery leans on.
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "sampling/sample_io.h"
+#include "sampling/samplers.h"
+#include "storage/io.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+class FaultIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "aqpp_fault_io_test";
+    std::filesystem::create_directories(dir_);
+    fail::Registry::Global().DisableAll();
+  }
+  void TearDown() override {
+    fail::Registry::Global().DisableAll();
+    std::filesystem::remove_all(dir_);
+  }
+  std::string Path(const char* name) { return (dir_ / name).string(); }
+
+  // A small table with an INT64, a STRING (so a dictionary is serialized)
+  // and a DOUBLE column.
+  std::shared_ptr<Table> MakeTable(size_t rows, uint64_t seed) {
+    Schema schema({{"c1", DataType::kInt64},
+                   {"s", DataType::kString},
+                   {"a", DataType::kDouble}});
+    auto t = std::make_shared<Table>(schema);
+    Rng gen(seed);
+    for (size_t i = 0; i < rows; ++i) {
+      t->AddRow()
+          .Int64(gen.NextInt(1, 50))
+          .String(i % 3 == 0 ? "x" : (i % 3 == 1 ? "y" : "zz"))
+          .Double(gen.NextDouble());
+    }
+    t->FinalizeDictionaries();
+    return t;
+  }
+
+  // Overwrites sizeof(v) bytes at `offset` of `path`.
+  static void Patch(const std::string& path, uint64_t offset, uint64_t v) {
+    std::fstream f(path,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+    ASSERT_TRUE(f.good());
+  }
+
+  static void Truncate(const std::string& path, uint64_t new_size) {
+    std::filesystem::resize_file(path, new_size);
+  }
+
+  std::filesystem::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Hostile-file tests (every build flavor).
+// ---------------------------------------------------------------------------
+
+TEST_F(FaultIoTest, TruncatedBinaryFileFailsCleanly) {
+  auto table = MakeTable(200, 11);
+  std::string path = Path("t.bin");
+  ASSERT_TRUE(WriteBinary(*table, path).ok());
+  uint64_t full = std::filesystem::file_size(path);
+  // Cut the file at a spread of offsets: inside the magic, the header, the
+  // column data and one byte short of complete. Every cut must surface as a
+  // clean error — never a crash, hang or partially-populated table.
+  for (uint64_t size : {uint64_t{3}, uint64_t{10}, uint64_t{40}, full / 2,
+                        full - 1}) {
+    std::string cut = Path("cut.bin");
+    std::filesystem::copy_file(
+        path, cut, std::filesystem::copy_options::overwrite_existing);
+    Truncate(cut, size);
+    auto result = ReadBinary(cut);
+    EXPECT_FALSE(result.ok()) << "truncation at " << size << " was accepted";
+  }
+}
+
+// Regression (production defect): length fields used to be trusted verbatim,
+// so a corrupt column count / string length / row count triggered a
+// multi-gigabyte allocation (or std::bad_alloc) instead of an error. Lengths
+// are now validated against hard caps and the actual file size.
+TEST_F(FaultIoTest, OversizedLengthFieldsRejectedWithoutAllocation) {
+  auto table = MakeTable(100, 12);
+  std::string path = Path("t.bin");
+  ASSERT_TRUE(WriteBinary(*table, path).ok());
+
+  // Offset 8: column count (u64, right after the 8-byte magic).
+  {
+    std::string bad = Path("bad_cols.bin");
+    std::filesystem::copy_file(
+        path, bad, std::filesystem::copy_options::overwrite_existing);
+    Patch(bad, 8, UINT64_MAX);
+    auto result = ReadBinary(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+  // Offset 16: first column-name length (u64).
+  {
+    std::string bad = Path("bad_name.bin");
+    std::filesystem::copy_file(
+        path, bad, std::filesystem::copy_options::overwrite_existing);
+    Patch(bad, 16, uint64_t{1} << 60);
+    auto result = ReadBinary(bad);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  }
+}
+
+TEST_F(FaultIoTest, NotATableFileIsInvalidArgument) {
+  std::string path = Path("junk.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "definitely not an aqpp table";
+  }
+  auto result = ReadBinary(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FaultIoTest, MissingFileIsIOErrorWithPath) {
+  auto result = ReadBinary(Path("no_such_file.bin"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("no_such_file.bin"),
+            std::string::npos);
+}
+
+// Regression (production defect): sample metadata lengths (vector sizes,
+// stratum counts) were trusted verbatim, with the same giant-allocation
+// failure mode as the table reader.
+TEST_F(FaultIoTest, CorruptSampleMetaRejectedWithoutAllocation) {
+  auto base = MakeSynthetic({.rows = 2000, .seed = 13});
+  Rng rng(14);
+  auto sample = std::move(CreateUniformSample(*base, 0.1, rng)).value();
+  std::string prefix = Path("s");
+  ASSERT_TRUE(SaveSample(sample, prefix).ok());
+
+  // Meta layout: magic(8) method(4) population(8) fraction(8), then the
+  // length-prefixed weights and strata vectors and the stratum-info count.
+  // Blow up each length field in turn; the loader must reject, not allocate.
+  std::string meta = prefix + ".meta";
+  uint64_t weights_len_off = 8 + 4 + 8 + 8;
+  uint64_t strata_len_off =
+      weights_len_off + 8 + sample.weights.size() * sizeof(double);
+  uint64_t stratum_count_off =
+      strata_len_off + 8 + sample.strata.size() * sizeof(int32_t);
+  for (uint64_t offset :
+       {weights_len_off, strata_len_off, stratum_count_off}) {
+    std::string bad_prefix = Path("bad");
+    std::filesystem::copy_file(
+        prefix + ".rows", bad_prefix + ".rows",
+        std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::copy_file(
+        meta, bad_prefix + ".meta",
+        std::filesystem::copy_options::overwrite_existing);
+    Patch(bad_prefix + ".meta", offset, uint64_t{1} << 61);
+    auto result = LoadSample(bad_prefix);
+    EXPECT_FALSE(result.ok())
+        << "corrupt length at meta offset " << offset << " was accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failpoint-driven tests (need -DAQPP_ENABLE_FAILPOINTS=ON).
+// ---------------------------------------------------------------------------
+
+#define SKIP_WITHOUT_FAILPOINTS()                                    \
+  do {                                                               \
+    if (!fail::kCompiledIn)                                          \
+      GTEST_SKIP() << "failpoints compiled out (AQPP_ENABLE_FAILPOINTS=OFF)"; \
+  } while (0)
+
+TEST_F(FaultIoTest, WriteFaultLeavesPreviousFileIntact) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto v1 = MakeTable(100, 21);
+  auto v2 = MakeTable(300, 22);
+  std::string path = Path("t.bin");
+  ASSERT_TRUE(WriteBinary(*v1, path).ok());
+
+  fail::Registry::Global().Enable(
+      "storage/io/write", fail::Trigger::Always(),
+      {.kind = fail::ActionKind::kReturnError,
+       .code = StatusCode::kIOError,
+       .message = "injected write failure"});
+  Status st = WriteBinary(*v2, path);
+  fail::Registry::Global().DisableAll();
+  ASSERT_FALSE(st.ok());
+
+  // tmp+rename atomicity: the destination still holds v1, bit for bit, and
+  // no temp litter survives the failure.
+  auto reloaded = ReadBinary(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->num_rows(), v1->num_rows());
+  EXPECT_EQ((*reloaded)->column(2).DoubleData(), v1->column(2).DoubleData());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FaultIoTest, FsyncFaultLeavesPreviousFileIntact) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto v1 = MakeTable(100, 23);
+  auto v2 = MakeTable(300, 24);
+  std::string path = Path("t.bin");
+  ASSERT_TRUE(WriteBinary(*v1, path).ok());
+
+  fail::Registry::Global().Enable(
+      "storage/io/fsync", fail::Trigger::Always(),
+      {.kind = fail::ActionKind::kReturnError,
+       .code = StatusCode::kIOError,
+       .message = "injected fsync failure"});
+  Status st = WriteBinary(*v2, path);
+  fail::Registry::Global().DisableAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("injected fsync failure"), std::string::npos);
+
+  auto reloaded = ReadBinary(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->num_rows(), v1->num_rows());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST_F(FaultIoTest, PartialWriteFaultIsShortWriteNotSilentTruncation) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto v1 = MakeTable(100, 25);
+  auto v2 = MakeTable(2000, 26);
+  std::string path = Path("t.bin");
+  ASSERT_TRUE(WriteBinary(*v1, path).ok());
+
+  // Fire once, mid-stream, transferring only 30% of that one write call.
+  fail::Registry::Global().Enable(
+      "storage/io/write", fail::Trigger::OneShot(3),
+      {.kind = fail::ActionKind::kPartialIo, .io_fraction = 0.3});
+  Status st = WriteBinary(*v2, path);
+  fail::Registry::Global().DisableAll();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("short write"), std::string::npos);
+
+  auto reloaded = ReadBinary(path);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->num_rows(), v1->num_rows());
+}
+
+TEST_F(FaultIoTest, ReadFaultSurfacesInjectedError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto table = MakeTable(100, 27);
+  std::string path = Path("t.bin");
+  ASSERT_TRUE(WriteBinary(*table, path).ok());
+
+  fail::Registry::Global().Enable(
+      "storage/io/read", fail::Trigger::Always(),
+      {.kind = fail::ActionKind::kReturnError,
+       .code = StatusCode::kIOError,
+       .message = "injected read failure"});
+  auto result = ReadBinary(path);
+  fail::Registry::Global().DisableAll();
+  ASSERT_FALSE(result.ok());
+
+  // The file itself is untouched; a clean retry succeeds.
+  auto retry = ReadBinary(path);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ((*retry)->num_rows(), table->num_rows());
+}
+
+TEST_F(FaultIoTest, SampleSaveFaultLeavesPreviousSampleLoadable) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto base = MakeSynthetic({.rows = 2000, .seed = 28});
+  Rng rng(29);
+  auto sample = std::move(CreateUniformSample(*base, 0.1, rng)).value();
+  std::string prefix = Path("s");
+  ASSERT_TRUE(SaveSample(sample, prefix).ok());
+  size_t rows_before = sample.rows->num_rows();
+
+  auto base2 = MakeSynthetic({.rows = 4000, .seed = 30});
+  Rng rng2(31);
+  auto sample2 = std::move(CreateUniformSample(*base2, 0.1, rng2)).value();
+  fail::Registry::Global().Enable(
+      "storage/io/write", fail::Trigger::Always(),
+      {.kind = fail::ActionKind::kReturnError,
+       .code = StatusCode::kIOError,
+       .message = "injected write failure"});
+  Status st = SaveSample(sample2, prefix);
+  fail::Registry::Global().DisableAll();
+  ASSERT_FALSE(st.ok());
+
+  auto reloaded = LoadSample(prefix);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded->rows->num_rows(), rows_before);
+  EXPECT_EQ(reloaded->population_size, sample.population_size);
+}
+
+TEST_F(FaultIoTest, SampleLoadFaultIsTypedError) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto base = MakeSynthetic({.rows = 2000, .seed = 32});
+  Rng rng(33);
+  auto sample = std::move(CreateUniformSample(*base, 0.1, rng)).value();
+  std::string prefix = Path("s");
+  ASSERT_TRUE(SaveSample(sample, prefix).ok());
+
+  fail::Registry::Global().Enable(
+      "storage/io/read", fail::Trigger::Always(),
+      {.kind = fail::ActionKind::kReturnError,
+       .code = StatusCode::kIOError,
+       .message = "injected read failure"});
+  auto result = LoadSample(prefix);
+  fail::Registry::Global().DisableAll();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FaultIoTest, EveryNthTriggerFiresDeterministically) {
+  SKIP_WITHOUT_FAILPOINTS();
+  auto table = MakeTable(50, 34);
+  std::string path = Path("t.bin");
+  fail::Registry::Global().Enable(
+      "storage/io/write", fail::Trigger::EveryNth(1000000),
+      {.kind = fail::ActionKind::kReturnError,
+       .code = StatusCode::kIOError});
+  // Far below the period: the point evaluates but never fires.
+  ASSERT_TRUE(WriteBinary(*table, path).ok());
+  auto stats = fail::Registry::Global().stats("storage/io/write");
+  EXPECT_GT(stats.evaluations, 0u);
+  EXPECT_EQ(stats.fires, 0u);
+  fail::Registry::Global().DisableAll();
+}
+
+}  // namespace
+}  // namespace aqpp

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "service/protocol.h"
 #include "sql/binder.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -126,6 +127,90 @@ TEST(CsvFuzzTest, RandomBytesNeverCrashReader) {
     (void)ReadCsv(p.string(), schema);  // ok or error; never crash
   }
   fs::remove_all(dir);
+}
+
+// ---- Service protocol fuzz -------------------------------------------------------
+
+std::string RandomByteString(Rng& rng, size_t max_len) {
+  size_t len = static_cast<size_t>(rng.NextBounded(max_len + 1));
+  std::string s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s += static_cast<char>(rng.NextBounded(256));  // full byte range, NULs too
+  }
+  return s;
+}
+
+TEST(ProtocolFuzzTest, RandomBytesNeverCrashRequestParser) {
+  Rng rng = testutil::MakeTestRng(10);
+  for (int i = 0; i < 4000; ++i) {
+    std::string line = rng.NextBernoulli(0.5) ? RandomByteString(rng, 200)
+                                              : RandomAsciiString(rng, 200);
+    auto request = ParseRequest(line);  // ok or error; never crash
+    if (!request.ok()) {
+      EXPECT_FALSE(request.status().message().empty());
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, RandomBytesNeverCrashResponseParser) {
+  Rng rng = testutil::MakeTestRng(11);
+  const char* prefixes[] = {"", "OK ", "ERR ", "OK", "ERR", "ok ", "MAYBE "};
+  for (int i = 0; i < 4000; ++i) {
+    std::string line = prefixes[rng.NextBounded(std::size(prefixes))];
+    line += rng.NextBernoulli(0.5) ? RandomByteString(rng, 200)
+                                   : RandomAsciiString(rng, 200);
+    (void)ParseResponse(line);  // ok or error; never crash
+  }
+}
+
+TEST(ProtocolFuzzTest, TruncatedAndOversizedFramesFailCleanly) {
+  // Truncations of a real frame at every byte boundary must parse or reject
+  // cleanly, and an absurdly long frame must not hang or blow up.
+  std::string frame =
+      "OK estimate=12345.6789 lo=1 hi=2 half_width=0.5 level=0.95 "
+      "cache_hit=0 partial=0 rows_used=1000 pre=1 queue_ms=0.1 exec_ms=2.5";
+  for (size_t cut = 0; cut <= frame.size(); ++cut) {
+    (void)ParseResponse(frame.substr(0, cut));
+  }
+  std::string giant = "QUERY SELECT SUM(a) FROM t WHERE c1 >= ";
+  giant.append(1 << 20, '9');  // a ~1MB literal
+  auto request = ParseRequest(giant);
+  if (request.ok()) {
+    EXPECT_EQ(request->type, RequestType::kQuery);
+  }
+  std::string giant_response = "ERR code=Internal msg=";
+  giant_response.append(1 << 20, 'x');
+  (void)ParseResponse(giant_response);
+}
+
+TEST(ProtocolFuzzTest, HostileFieldValuesRoundTrip) {
+  // Build responses whose values contain hostile-looking text and check the
+  // formatter/parser pair never mangles the verdict or crashes. Values with
+  // spaces are not legal on the wire (only the trailing msg= may hold them),
+  // so generated values here are space-free but otherwise arbitrary bytes.
+  Rng rng = testutil::MakeTestRng(12);
+  for (int i = 0; i < 1000; ++i) {
+    Response r;
+    r.ok = rng.NextBernoulli(0.5);
+    size_t fields = rng.NextBounded(6);
+    for (size_t f = 0; f < fields; ++f) {
+      std::string key = "k" + std::to_string(f);
+      std::string value;
+      size_t len = rng.NextBounded(12);
+      for (size_t b = 0; b < len; ++b) {
+        char c = static_cast<char>(1 + rng.NextBounded(255));
+        if (c == ' ' || c == '\n' || c == '\r' || c == '=') c = '_';
+        value += c;
+      }
+      r.Add(key, value);
+    }
+    if (!r.ok) r.message = RandomAsciiString(rng, 40);
+    auto parsed = ParseResponse(FormatResponse(r));
+    ASSERT_TRUE(parsed.ok()) << "formatted response failed to re-parse";
+    EXPECT_EQ(parsed->ok, r.ok);
+    EXPECT_EQ(parsed->fields.size(), r.fields.size());
+  }
 }
 
 // ---- Engine query fuzz -----------------------------------------------------------

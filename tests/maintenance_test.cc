@@ -226,5 +226,106 @@ TEST(ReservoirMaintainerTest, RequiresUniformSample) {
   EXPECT_DEATH(ReservoirMaintainer{std::move(stratified)}, "uniform");
 }
 
+// Regression (production defect): a batch whose string value is missing from
+// a NON-dimension column's dictionary used to fail in the middle of the
+// append loop, after the first columns were already copied into the pending
+// buffer. The ragged buffer then aborted the next SetRowCountFromColumns().
+// Absorb must reject the whole batch without mutating any state.
+TEST(MaintenanceAtomicityTest, CubeAbsorbRejectsUnknownCategoryWithoutPartialState) {
+  Schema schema({{"c1", DataType::kInt64},
+                 {"s", DataType::kString},
+                 {"a", DataType::kDouble}});
+  auto base = std::make_shared<Table>(schema);
+  Rng gen(801);
+  for (int i = 0; i < 2000; ++i) {
+    base->AddRow()
+        .Int64(gen.NextInt(1, 100))
+        .String(i % 2 == 0 ? "x" : "y")
+        .Double(gen.NextDouble());
+  }
+  base->FinalizeDictionaries();
+  // The cube partitions only c1, so the domain-coverage guard never looks at
+  // the string column — the old failure happened later, mid-append.
+  PartitionScheme scheme({DimensionPartition{0, {50, 100}}});
+  auto cube = std::move(PrefixCube::Build(
+                            *base, scheme,
+                            {MeasureSpec::Sum(2), MeasureSpec::Count()}))
+                  .value();
+  CubeMaintainer maintainer(cube, base);
+
+  auto good = std::make_shared<Table>(schema);
+  good->AddRow().Int64(10).String("x").Double(1.0);
+  good->FinalizeDictionaries();
+  ASSERT_TRUE(maintainer.Absorb(*good).ok());
+  ASSERT_EQ(maintainer.pending_rows(), 1u);
+
+  auto bad = std::make_shared<Table>(schema);
+  bad->AddRow().Int64(20).String("x").Double(2.0);
+  bad->AddRow().Int64(30).String("zzz").Double(3.0);  // unknown category
+  bad->FinalizeDictionaries();
+  Status st = maintainer.Absorb(*bad);
+  EXPECT_FALSE(st.ok());
+  // Nothing from the rejected batch may be visible: row count, totals, and
+  // every pending column stay exactly as before.
+  EXPECT_EQ(maintainer.pending_rows(), 1u);
+  EXPECT_EQ(maintainer.total_absorbed_rows(), 1u);
+
+  // The maintainer is still usable — the old defect aborted the process here.
+  auto good2 = std::make_shared<Table>(schema);
+  good2->AddRow().Int64(40).String("y").Double(4.0);
+  good2->FinalizeDictionaries();
+  ASSERT_TRUE(maintainer.Absorb(*good2).ok());
+  EXPECT_EQ(maintainer.pending_rows(), 2u);
+}
+
+// Regression (production defect): an unknown category used to surface from
+// OverwriteRow mid-batch, after earlier columns of the victim sample row
+// were already overwritten (torn row) and rows_seen_ had advanced past rows
+// that were never absorbed. Absorb must pre-validate and reject the batch
+// with the sample bit-identical to before.
+TEST(MaintenanceAtomicityTest, ReservoirAbsorbRejectsUnknownCategoryWithoutTearingRows) {
+  // Double column FIRST: the old code overwrote it before discovering the
+  // bad string value in the second column.
+  Schema schema({{"a", DataType::kDouble}, {"s", DataType::kString}});
+  auto base = std::make_shared<Table>(schema);
+  Rng gen(802);
+  for (int i = 0; i < 1000; ++i) {
+    base->AddRow().Double(gen.NextDouble()).String(i % 2 == 0 ? "x" : "y");
+  }
+  base->FinalizeDictionaries();
+  Rng rng(803);
+  auto sample = std::move(CreateUniformSample(*base, 0.1, rng)).value();
+  ReservoirMaintainer maintainer(std::move(sample), 804);
+
+  const Sample& before = maintainer.sample();
+  std::vector<double> before_a = before.rows->column(0).DoubleData();
+  std::vector<int64_t> before_s = before.rows->column(1).Int64Data();
+  size_t before_population = before.population_size;
+  std::vector<double> before_weights = before.weights;
+
+  auto bad = std::make_shared<Table>(schema);
+  for (int i = 0; i < 500; ++i) {
+    bad->AddRow().Double(12345.0).String("zzz");  // unseen category
+  }
+  bad->FinalizeDictionaries();
+  EXPECT_FALSE(maintainer.Absorb(*bad).ok());
+
+  const Sample& after = maintainer.sample();
+  EXPECT_EQ(after.rows->column(0).DoubleData(), before_a);
+  EXPECT_EQ(after.rows->column(1).Int64Data(), before_s);
+  EXPECT_EQ(after.population_size, before_population);
+  EXPECT_EQ(after.weights, before_weights);
+
+  // A subsequent valid batch is accounted from the pre-failure population —
+  // the old defect had silently advanced rows_seen_ by the rejected rows.
+  auto good = std::make_shared<Table>(schema);
+  for (int i = 0; i < 10; ++i) {
+    good->AddRow().Double(1.0).String("x");
+  }
+  good->FinalizeDictionaries();
+  ASSERT_TRUE(maintainer.Absorb(*good).ok());
+  EXPECT_EQ(maintainer.sample().population_size, before_population + 10);
+}
+
 }  // namespace
 }  // namespace aqpp
