@@ -114,5 +114,22 @@ std::string RatioCell(double base, double improved) {
   return StrFormat("%.2fx", base / improved);
 }
 
+size_t PeakRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  size_t bytes = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    // "VmHWM:    123456 kB" — the high-water mark of the resident set.
+    unsigned long long kb = 0;
+    if (std::sscanf(line, "VmHWM: %llu", &kb) == 1) {
+      bytes = static_cast<size_t>(kb) * 1024;
+      break;
+    }
+  }
+  std::fclose(f);
+  return bytes;
+}
+
 }  // namespace bench
 }  // namespace aqpp

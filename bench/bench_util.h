@@ -53,6 +53,11 @@ struct EngineRun {
 // Formats seconds/bytes/percentages consistently across benches.
 std::string Pct(double fraction);
 
+// Peak resident set size of this process in bytes (VmHWM from
+// /proc/self/status), so memory-bounded claims are machine-checkable in the
+// emitted JSON. Returns 0 on platforms without procfs.
+size_t PeakRssBytes();
+
 // "<base>/<improved>" as a ratio cell; prints "exact" when the improved
 // error is (numerically) zero.
 std::string RatioCell(double base, double improved);

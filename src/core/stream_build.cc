@@ -1,0 +1,283 @@
+#include "core/stream_build.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "kernels/binning.h"
+#include "kernels/kernels.h"
+
+namespace aqpp {
+
+namespace {
+
+// Mirror of PartitionScheme::Validate against a ColumnSource: ordinal
+// columns, strictly increasing cuts, last cut covering the column max. The
+// max comes from ColumnMinMax, which extent-backed sources answer from the
+// footer zone maps without reading any data.
+Status ValidateScheme(ColumnSource& source, const PartitionScheme& scheme) {
+  if (scheme.num_dims() == 0) return Status::InvalidArgument("no dimensions");
+  const Schema& schema = source.schema();
+  for (const auto& d : scheme.dims()) {
+    if (d.column >= schema.num_columns()) {
+      return Status::InvalidArgument("partition column out of range");
+    }
+    if (schema.column(d.column).type == DataType::kDouble) {
+      return Status::InvalidArgument("partition column '" +
+                                     schema.column(d.column).name +
+                                     "' must be ordinal");
+    }
+    if (d.cuts.empty()) {
+      return Status::InvalidArgument("dimension has no cuts");
+    }
+    for (size_t j = 1; j < d.cuts.size(); ++j) {
+      if (d.cuts[j] <= d.cuts[j - 1]) {
+        return Status::InvalidArgument("cuts must be strictly increasing");
+      }
+    }
+    int64_t mn = 0, mx = 0;
+    if (source.ColumnMinMax(d.column, &mn, &mx) && d.cuts.back() < mx) {
+      return Status::InvalidArgument(StrFormat(
+          "last cut (%lld) of column '%s' below column max (%lld)",
+          static_cast<long long>(d.cuts.back()),
+          schema.column(d.column).name.c_str(), static_cast<long long>(mx)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StreamBuildResult> BuildCubeAndSampleFromSource(
+    ColumnSource& source, PartitionScheme scheme,
+    const std::vector<MeasureSpec>& measures, Rng& rng,
+    const StreamBuildOptions& options) {
+  AQPP_RETURN_NOT_OK(ValidateScheme(source, scheme));
+  if (measures.empty()) {
+    return Status::InvalidArgument("at least one measure required");
+  }
+  const Schema& schema = source.schema();
+  const size_t num_cols = schema.num_columns();
+  for (const auto& m : measures) {
+    if (!m.is_count()) {
+      if (m.column < 0 || static_cast<size_t>(m.column) >= num_cols) {
+        return Status::InvalidArgument("measure column out of range");
+      }
+    }
+  }
+
+  const uint64_t n = source.num_rows();
+  const size_t ns =
+      static_cast<size_t>(std::min<uint64_t>(options.sample_size, n));
+  if (options.sample_size > 0 && n == 0) {
+    return Status::FailedPrecondition("empty table");
+  }
+
+  Timer timer;
+  AQPP_ASSIGN_OR_RETURN(PrefixCube::Layout layout, PrefixCube::LayoutFor(scheme));
+  const size_t total = layout.total_cells;
+  const size_t d = scheme.num_dims();
+
+  // Same partial-plane grid as the in-memory build; merged in shard-index
+  // order below, so the raw planes come out bit-identical.
+  const PrefixCube::AccumulationPlan plan =
+      PrefixCube::PlanFor(static_cast<size_t>(n), total, measures.size());
+  std::vector<std::vector<std::vector<double>>> partials(
+      std::max<size_t>(plan.num_shards, 1));
+  for (auto& p : partials) {
+    p.assign(measures.size(), std::vector<double>(total, 0.0));
+  }
+
+  // Reservoir state: slot -> global row id, plus the staged row values of
+  // each slot's current winner (overwritten whenever the slot is re-won).
+  std::vector<uint64_t> slot_row(ns);
+  std::vector<std::vector<int64_t>> staged_ints(num_cols);
+  std::vector<std::vector<double>> staged_dbls(num_cols);
+  if (ns > 0) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (schema.column(c).type == DataType::kDouble) {
+        staged_dbls[c].resize(ns);
+      } else {
+        staged_ints[c].resize(ns);
+      }
+    }
+  }
+  std::vector<size_t> touched;  // slots won during the current extent
+
+  // Per-extent pin cache so a column shared between dimensions, measures and
+  // the sampler decodes once.
+  std::vector<ColumnSource::PinnedColumn> pins(num_cols);
+  std::vector<uint8_t> have_pin(num_cols, 0);
+  auto pin_col = [&](size_t e,
+                     size_t c) -> Result<const ColumnSource::PinnedColumn*> {
+    if (!have_pin[c]) {
+      AQPP_ASSIGN_OR_RETURN(pins[c], source.Pin(e, c));
+      have_pin[c] = 1;
+    }
+    return &pins[c];
+  };
+
+  std::vector<kernels::BinDimension> bin_dims(d);
+  for (size_t i = 0; i < d; ++i) {
+    bin_dims[i].cuts = scheme.dim(i).cuts.data();
+    bin_dims[i].num_cuts = scheme.dim(i).cuts.size();
+    bin_dims[i].stride = layout.strides[i];
+  }
+  std::vector<kernels::BinMeasure> bound(measures.size());
+  for (size_t m = 0; m < measures.size(); ++m) {
+    bound[m].squared = measures[m].squared;
+  }
+
+  const size_t num_extents = source.num_extents();
+  alignas(64) uint32_t flat[kernels::kChunkRows];
+  for (size_t e = 0; e < num_extents; ++e) {
+    const uint64_t base = static_cast<uint64_t>(e) * kExtentRows;
+    const size_t rows = source.ExtentRows(e);
+    std::fill(have_pin.begin(), have_pin.end(), 0);
+
+    // Bind this extent's raw spans.
+    for (size_t i = 0; i < d; ++i) {
+      AQPP_ASSIGN_OR_RETURN(const ColumnSource::PinnedColumn* p,
+                            pin_col(e, scheme.dim(i).column));
+      bin_dims[i].codes = p->ints;
+    }
+    for (size_t m = 0; m < measures.size(); ++m) {
+      bound[m].dbl = nullptr;
+      bound[m].i64 = nullptr;
+      if (measures[m].is_count()) continue;
+      AQPP_ASSIGN_OR_RETURN(
+          const ColumnSource::PinnedColumn* p,
+          pin_col(e, static_cast<size_t>(measures[m].column)));
+      if (p->type == DataType::kDouble) {
+        bound[m].dbl = p->dbls;
+      } else {
+        bound[m].i64 = p->ints;
+      }
+    }
+
+    // Accumulate chunk by chunk. kExtentRows is a multiple of kChunkRows and
+    // rows_per_shard is chunk-aligned, so every chunk lands wholly inside
+    // one partial plane — the same chunk -> shard assignment the in-memory
+    // build's per-shard loops produce.
+    for (size_t local = 0; local < rows; local += kernels::kChunkRows) {
+      const size_t stop = std::min(rows, local + kernels::kChunkRows);
+      const size_t shard =
+          plan.num_shards > 1
+              ? static_cast<size_t>((base + local) / plan.rows_per_shard)
+              : 0;
+      AQPP_DCHECK_LT(shard, partials.size());
+      kernels::ComputeCellIds(bin_dims, local, stop, flat);
+      for (size_t m = 0; m < measures.size(); ++m) {
+        bound[m].plane = partials[shard][m].data();
+      }
+      kernels::ScatterAddMeasures(bound, flat, local, stop);
+    }
+
+    // Reservoir pass over the same rows: identical draw sequence to
+    // CreateReservoirSample (one NextBounded(i + 1) per row i >= ns).
+    if (ns > 0) {
+      touched.clear();
+      const uint64_t ext_end = base + rows;
+      uint64_t i = base;
+      for (const uint64_t seed_stop = std::min<uint64_t>(ns, ext_end);
+           i < seed_stop; ++i) {
+        slot_row[static_cast<size_t>(i)] = i;
+        touched.push_back(static_cast<size_t>(i));
+      }
+      for (; i < ext_end; ++i) {
+        const uint64_t j = rng.NextBounded(i + 1);
+        if (j < ns) {
+          slot_row[static_cast<size_t>(j)] = i;
+          touched.push_back(static_cast<size_t>(j));
+        }
+      }
+      if (!touched.empty()) {
+        std::sort(touched.begin(), touched.end());
+        touched.erase(std::unique(touched.begin(), touched.end()),
+                      touched.end());
+        for (size_t c = 0; c < num_cols; ++c) {
+          AQPP_ASSIGN_OR_RETURN(const ColumnSource::PinnedColumn* p,
+                                pin_col(e, c));
+          if (p->type == DataType::kDouble) {
+            for (size_t j : touched) {
+              staged_dbls[c][j] =
+                  p->dbls[static_cast<size_t>(slot_row[j] - base)];
+            }
+          } else {
+            for (size_t j : touched) {
+              staged_ints[c][j] =
+                  p->ints[static_cast<size_t>(slot_row[j] - base)];
+            }
+          }
+        }
+      }
+    }
+
+    std::fill(pins.begin(), pins.end(), ColumnSource::PinnedColumn());
+    if (options.release_consumed_extents) source.ReleaseBefore(e + 1);
+  }
+
+  // Merge in shard-index order (bit-identical to the in-memory build: with a
+  // single shard Build accumulates directly into the final planes, so the
+  // lone partial IS the raw plane set).
+  std::vector<std::vector<double>> planes;
+  if (plan.num_shards > 1) {
+    planes.assign(measures.size(), std::vector<double>(total, 0.0));
+    for (size_t s = 0; s < plan.num_shards; ++s) {
+      for (size_t m = 0; m < measures.size(); ++m) {
+        for (size_t c = 0; c < total; ++c) {
+          planes[m][c] += partials[s][m][c];
+        }
+      }
+    }
+  } else {
+    planes = std::move(partials[0]);
+  }
+  partials.clear();
+
+  StreamBuildResult result;
+  result.extents_streamed = num_extents;
+  AQPP_ASSIGN_OR_RETURN(
+      result.cube,
+      PrefixCube::FromRawPlanes(std::move(scheme), measures, std::move(planes),
+                                timer.ElapsedSeconds()));
+
+  if (ns > 0) {
+    // Materialize slots in ascending row order — the order TakeRows sees
+    // after CreateReservoirSample sorts the reservoir.
+    std::vector<size_t> order(ns);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return slot_row[a] < slot_row[b];
+    });
+    auto rows_tbl = std::make_shared<Table>(schema);
+    for (size_t c = 0; c < num_cols; ++c) {
+      Column& dst = rows_tbl->mutable_column(c);
+      if (schema.column(c).type == DataType::kDouble) {
+        auto& data = dst.MutableDoubleData();
+        data.reserve(ns);
+        for (size_t k : order) data.push_back(staged_dbls[c][k]);
+      } else {
+        auto& data = dst.MutableInt64Data();
+        data.reserve(ns);
+        for (size_t k : order) data.push_back(staged_ints[c][k]);
+        if (schema.column(c).type == DataType::kString) {
+          dst.SetDictionary(source.dictionary(c));
+        }
+      }
+    }
+    rows_tbl->SetRowCountFromColumns();
+    result.sample.rows = std::move(rows_tbl);
+    result.sample.weights.assign(
+        ns, static_cast<double>(n) / static_cast<double>(ns));
+    result.sample.population_size = static_cast<size_t>(n);
+    result.sample.sampling_fraction =
+        static_cast<double>(ns) / static_cast<double>(n);
+    result.sample.method = SamplingMethod::kUniform;
+  }
+  return result;
+}
+
+}  // namespace aqpp

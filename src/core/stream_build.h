@@ -1,0 +1,63 @@
+// One-pass out-of-core precomputation: stream a ColumnSource's extents once
+// and build both the BP-Cube and the reservoir sample from that single scan.
+//
+// Peak memory is bounded by the cube's partial planes (<= 64 MiB + the final
+// planes, see PrefixCube::PlanFor), one extent's pinned columns, and the
+// staged sample values — independent of the table size. Between extents the
+// source is told to release everything already consumed (ReleaseBefore), so
+// a 100M-row table builds in a few hundred MiB of resident memory.
+//
+// Determinism contract:
+//   * The cube is bit-identical to PrefixCube::Build over the materialized
+//     table: chunks are binned on the same kChunkRows grid into the same
+//     partial planes (PrefixCube::AccumulationPlan), partials merge in
+//     shard-index order, and the prefix sweeps are shared code
+//     (PrefixCube::FromRawPlanes).
+//   * The sample is row-identical to CreateReservoirSample with the same
+//     Rng state: one NextBounded(i + 1) draw per row i >= n, in row order,
+//     which is exactly Vitter's Algorithm R. Replacement values are staged
+//     as slots are won, so no second pass over the data is needed.
+
+#ifndef AQPP_CORE_STREAM_BUILD_H_
+#define AQPP_CORE_STREAM_BUILD_H_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "cube/prefix_cube.h"
+#include "sampling/sample.h"
+#include "storage/column_source.h"
+
+namespace aqpp {
+
+struct StreamBuildOptions {
+  // Rows in the reservoir sample; 0 skips sampling entirely.
+  size_t sample_size = 0;
+  // Tell the source to drop decoded/mapped extents behind the scan cursor.
+  // Disable only to keep a shared reader's cache warm for later queries.
+  bool release_consumed_extents = true;
+};
+
+struct StreamBuildResult {
+  std::shared_ptr<PrefixCube> cube;
+  // Empty (rows == nullptr) when options.sample_size == 0.
+  Sample sample;
+  size_t extents_streamed = 0;
+};
+
+// Builds the cube for `scheme` (and, if requested, a reservoir sample of the
+// whole table) in one sequential pass over `source`. Validates the scheme
+// against the source with the same rules PartitionScheme::Validate applies
+// to a table, using footer zone maps instead of column scans when the source
+// is extent-backed.
+Result<StreamBuildResult> BuildCubeAndSampleFromSource(
+    ColumnSource& source, PartitionScheme scheme,
+    const std::vector<MeasureSpec>& measures, Rng& rng,
+    const StreamBuildOptions& options = StreamBuildOptions());
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_STREAM_BUILD_H_

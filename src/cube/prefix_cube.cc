@@ -14,6 +14,103 @@
 
 namespace aqpp {
 
+Result<PrefixCube::Layout> PrefixCube::LayoutFor(const PartitionScheme& scheme) {
+  if (scheme.num_dims() == 0) return Status::InvalidArgument("no dimensions");
+  Layout layout;
+  const size_t d = scheme.num_dims();
+  layout.extents.resize(d);
+  layout.strides.resize(d);
+  layout.total_cells = 1;
+  for (size_t i = 0; i < d; ++i) {
+    layout.extents[i] = scheme.dim(i).num_cuts() + 1;
+    // Overflow / memory guard: refuse cubes over ~256M cells.
+    if (layout.total_cells > (size_t{1} << 28) / layout.extents[i]) {
+      return Status::InvalidArgument(
+          StrFormat("cube too large (> 2^28 cells)"));
+    }
+    layout.total_cells *= layout.extents[i];
+  }
+  // Row-major strides, last dimension fastest.
+  size_t stride = 1;
+  for (size_t i = d; i-- > 0;) {
+    layout.strides[i] = stride;
+    stride *= layout.extents[i];
+  }
+  return layout;
+}
+
+PrefixCube::AccumulationPlan PrefixCube::PlanFor(size_t rows, size_t cells,
+                                                 size_t num_measures) {
+  // Partial-plane count bounded by a 64 MiB scratch budget (and 16 shards);
+  // huge cubes degrade to one shard, i.e. direct sequential accumulation.
+  AccumulationPlan plan;
+  const size_t partial_bytes = cells * num_measures * sizeof(double);
+  const size_t max_partials =
+      std::clamp<size_t>((size_t{64} << 20) / partial_bytes, 1, 16);
+  const size_t row_shards =
+      rows == 0 ? 0 : (rows + kernels::kShardRows - 1) / kernels::kShardRows;
+  plan.num_shards = std::min(row_shards, max_partials);
+  if (plan.num_shards > 1) {
+    plan.rows_per_shard =
+        ((rows + plan.num_shards - 1) / plan.num_shards +
+         kernels::kChunkRows - 1) /
+        kernels::kChunkRows * kernels::kChunkRows;
+  }
+  return plan;
+}
+
+void PrefixCube::PrefixSweepAll() {
+  // After sweeping dimension i, each cell holds the sum over all bucket
+  // indices <= its index along dimensions swept so far.
+  const size_t d = scheme_.num_dims();
+  for (size_t m = 0; m < planes_.size(); ++m) {
+    auto& plane = planes_[m];
+    for (size_t i = 0; i < d; ++i) {
+      const size_t stride_i = strides_[i];
+      const size_t extent_i = extents_[i];
+      // Iterate over all cells whose index along dim i is >= 1 and add the
+      // predecessor along dim i.
+      const size_t block = stride_i * extent_i;
+      for (size_t base = 0; base < plane.size(); base += block) {
+        for (size_t j = 1; j < extent_i; ++j) {
+          size_t row_start = base + j * stride_i;
+          size_t prev_start = row_start - stride_i;
+          for (size_t off = 0; off < stride_i; ++off) {
+            plane[row_start + off] += plane[prev_start + off];
+          }
+        }
+      }
+    }
+  }
+}
+
+Result<std::shared_ptr<PrefixCube>> PrefixCube::FromRawPlanes(
+    PartitionScheme scheme, std::vector<MeasureSpec> measures,
+    std::vector<std::vector<double>> raw_planes, double accumulate_seconds) {
+  if (measures.empty()) {
+    return Status::InvalidArgument("at least one measure required");
+  }
+  if (raw_planes.size() != measures.size()) {
+    return Status::InvalidArgument("one raw plane per measure required");
+  }
+  AQPP_ASSIGN_OR_RETURN(Layout layout, LayoutFor(scheme));
+  for (const auto& plane : raw_planes) {
+    if (plane.size() != layout.total_cells) {
+      return Status::InvalidArgument("plane size does not match the scheme");
+    }
+  }
+  Timer timer;
+  auto cube = std::shared_ptr<PrefixCube>(new PrefixCube());
+  cube->scheme_ = std::move(scheme);
+  cube->measures_ = std::move(measures);
+  cube->extents_ = std::move(layout.extents);
+  cube->strides_ = std::move(layout.strides);
+  cube->planes_ = std::move(raw_planes);
+  cube->PrefixSweepAll();
+  cube->build_seconds_ = accumulate_seconds + timer.ElapsedSeconds();
+  return cube;
+}
+
 Result<std::shared_ptr<PrefixCube>> PrefixCube::Build(
     const Table& table, PartitionScheme scheme,
     const std::vector<MeasureSpec>& measures) {
@@ -36,24 +133,10 @@ Result<std::shared_ptr<PrefixCube>> PrefixCube::Build(
   cube->measures_ = measures;
 
   const size_t d = cube->scheme_.num_dims();
-  cube->extents_.resize(d);
-  cube->strides_.resize(d);
-  size_t total = 1;
-  for (size_t i = 0; i < d; ++i) {
-    cube->extents_[i] = cube->scheme_.dim(i).num_cuts() + 1;
-    // Overflow / memory guard: refuse cubes over ~256M cells.
-    if (total > (size_t{1} << 28) / cube->extents_[i]) {
-      return Status::InvalidArgument(
-          StrFormat("cube too large (> 2^28 cells)"));
-    }
-    total *= cube->extents_[i];
-  }
-  // Row-major strides, last dimension fastest.
-  size_t stride = 1;
-  for (size_t i = d; i-- > 0;) {
-    cube->strides_[i] = stride;
-    stride *= cube->extents_[i];
-  }
+  AQPP_ASSIGN_OR_RETURN(Layout layout, LayoutFor(cube->scheme_));
+  cube->extents_ = std::move(layout.extents);
+  cube->strides_ = std::move(layout.strides);
+  const size_t total = layout.total_cells;
 
   cube->planes_.assign(measures.size(), std::vector<double>(total, 0.0));
 
@@ -98,26 +181,17 @@ Result<std::shared_ptr<PrefixCube>> PrefixCube::Build(
     }
   };
 
-  // Partial-plane count bounded by a 64 MiB scratch budget (and 16 shards);
-  // huge cubes degrade to one shard, i.e. direct sequential accumulation.
-  const size_t partial_bytes = total * measures.size() * sizeof(double);
-  const size_t max_partials =
-      std::clamp<size_t>((size_t{64} << 20) / partial_bytes, 1, 16);
-  const size_t row_shards =
-      n == 0 ? 0 : (n + kernels::kShardRows - 1) / kernels::kShardRows;
-  const size_t num_shards = std::min(row_shards, max_partials);
-  if (num_shards > 1) {
-    const size_t per_shard =
-        ((n + num_shards - 1) / num_shards + kernels::kChunkRows - 1) /
-        kernels::kChunkRows * kernels::kChunkRows;
-    std::vector<std::vector<std::vector<double>>> partials(num_shards);
-    ParallelForEach(num_shards, [&](size_t s) {
+  const AccumulationPlan plan = PlanFor(n, total, measures.size());
+  if (plan.num_shards > 1) {
+    const size_t per_shard = plan.rows_per_shard;
+    std::vector<std::vector<std::vector<double>>> partials(plan.num_shards);
+    ParallelForEach(plan.num_shards, [&](size_t s) {
       partials[s].assign(measures.size(), std::vector<double>(total, 0.0));
       const size_t begin = s * per_shard;
       const size_t end = std::min(n, begin + per_shard);
       if (begin < end) accumulate(partials[s], begin, end);
     });
-    for (size_t s = 0; s < num_shards; ++s) {  // shard-index order
+    for (size_t s = 0; s < plan.num_shards; ++s) {  // shard-index order
       for (size_t m = 0; m < measures.size(); ++m) {
         for (size_t c = 0; c < total; ++c) {
           cube->planes_[m][c] += partials[s][m][c];
@@ -128,28 +202,8 @@ Result<std::shared_ptr<PrefixCube>> PrefixCube::Build(
     accumulate(cube->planes_, 0, n);
   }
 
-  // Pass 2: d prefix-sum sweeps. After sweeping dimension i, each cell holds
-  // the sum over all bucket indices <= its index along dimensions swept so
-  // far.
-  for (size_t m = 0; m < measures.size(); ++m) {
-    auto& plane = cube->planes_[m];
-    for (size_t i = 0; i < d; ++i) {
-      const size_t stride_i = cube->strides_[i];
-      const size_t extent_i = cube->extents_[i];
-      // Iterate over all cells whose index along dim i is >= 1 and add the
-      // predecessor along dim i.
-      const size_t block = stride_i * extent_i;
-      for (size_t base = 0; base < plane.size(); base += block) {
-        for (size_t j = 1; j < extent_i; ++j) {
-          size_t row_start = base + j * stride_i;
-          size_t prev_start = row_start - stride_i;
-          for (size_t off = 0; off < stride_i; ++off) {
-            plane[row_start + off] += plane[prev_start + off];
-          }
-        }
-      }
-    }
-  }
+  // Pass 2: d prefix-sum sweeps.
+  cube->PrefixSweepAll();
 
   cube->build_seconds_ = timer.ElapsedSeconds();
   return cube;

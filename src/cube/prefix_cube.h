@@ -44,6 +44,40 @@ class PrefixCube {
       const Table& table, PartitionScheme scheme,
       const std::vector<MeasureSpec>& measures);
 
+  // Cell-array geometry of a scheme: per-dimension extents (num_cuts + 1),
+  // row-major strides (last dimension fastest), and the total cell count.
+  // Errors on empty schemes and on cubes over the 2^28-cell budget.
+  struct Layout {
+    std::vector<size_t> extents;
+    std::vector<size_t> strides;
+    size_t total_cells = 1;
+  };
+  static Result<Layout> LayoutFor(const PartitionScheme& scheme);
+
+  // The pass-1 shard plan Build uses: how many partial planes to accumulate
+  // into and how many (kChunkRows-aligned) rows each covers. The grid depends
+  // only on (rows, cells, measures) — never the thread count — so any
+  // accumulator that bins chunk `[b, b + kChunkRows)` into partial
+  // `b / rows_per_shard` and merges partials in shard-index order produces
+  // bit-identical raw planes. The out-of-core build (core/stream_build.h)
+  // replicates this plan while streaming extents.
+  struct AccumulationPlan {
+    size_t num_shards = 1;
+    // Rows per partial plane; 0 when num_shards <= 1 (direct accumulation).
+    size_t rows_per_shard = 0;
+  };
+  static AccumulationPlan PlanFor(size_t rows, size_t cells,
+                                  size_t num_measures);
+
+  // Assembles a cube from already-accumulated *raw* (pre-prefix-sum) measure
+  // planes and runs the d prefix sweeps — the second half of Build. The
+  // caller vouches that the planes were accumulated under `scheme`'s layout
+  // and that the cuts cover the data (PartitionScheme::Validate semantics).
+  // `accumulate_seconds` is added to the sweep time for build_seconds().
+  static Result<std::shared_ptr<PrefixCube>> FromRawPlanes(
+      PartitionScheme scheme, std::vector<MeasureSpec> measures,
+      std::vector<std::vector<double>> raw_planes, double accumulate_seconds);
+
   const PartitionScheme& scheme() const { return scheme_; }
   size_t num_measures() const { return measures_.size(); }
   const std::vector<MeasureSpec>& measures() const { return measures_; }
@@ -81,6 +115,9 @@ class PrefixCube {
   PrefixCube() = default;
 
   size_t FlatIndex(const std::vector<size_t>& idx) const;
+
+  // Pass 2: in-place prefix-sum sweep of every plane along every dimension.
+  void PrefixSweepAll();
 
   PartitionScheme scheme_;
   std::vector<MeasureSpec> measures_;

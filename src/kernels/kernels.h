@@ -107,6 +107,19 @@ class ColumnStatsCache {
   std::unordered_map<size_t, MinMax> stats_;
 };
 
+// Bind-time classification of one inclusive range [lo, hi] against a value
+// domain. `mm` is the column's observed [min, max] when known (whole-column
+// stats at bind time, a single extent's zone map at scan time) or nullptr.
+// Shared by BindConditions and the extent-source scan so in-memory and
+// out-of-core paths elide and prune with identical rules.
+enum class ConditionClass {
+  kNeverMatches,  // empty range, or disjoint from the domain
+  kFullRange,     // covers the whole domain: the condition can be dropped
+  kEffective,     // must be evaluated
+};
+ConditionClass ClassifyCondition(int64_t lo, int64_t hi,
+                                 const ColumnStatsCache::MinMax* mm);
+
 // Resolves `conds` against `table`: validates that every referenced column
 // is ordinal and in range, drops conditions that cover the full column
 // domain (always for the open int64 range; with `stats`, also for ranges

@@ -28,6 +28,22 @@ const ColumnStatsCache::MinMax* ColumnStatsCache::Get(size_t column) {
   return &it->second;
 }
 
+ConditionClass ClassifyCondition(int64_t lo, int64_t hi,
+                                 const ColumnStatsCache::MinMax* mm) {
+  if (lo > hi) return ConditionClass::kNeverMatches;
+  // The open int64 range always covers the domain; with stats, any range
+  // containing the observed [min, max] does too.
+  if (lo == std::numeric_limits<int64_t>::min() &&
+      hi == std::numeric_limits<int64_t>::max()) {
+    return ConditionClass::kFullRange;
+  }
+  if (mm != nullptr) {
+    if (lo <= mm->min && hi >= mm->max) return ConditionClass::kFullRange;
+    if (hi < mm->min || lo > mm->max) return ConditionClass::kNeverMatches;
+  }
+  return ConditionClass::kEffective;
+}
+
 Result<BoundPredicate> BindConditions(const Table& table,
                                       const std::vector<RangeCondition>& conds,
                                       ColumnStatsCache* stats) {
@@ -43,24 +59,20 @@ Result<BoundPredicate> BindConditions(const Table& table,
           "range conditions require an ordinal column; '" +
           table.schema().column(c.column).name + "' is DOUBLE");
     }
-    if (c.lo > c.hi) {
-      out.never_matches = true;
-      continue;
+    // Stats are consulted (and lazily computed) only for conditions the
+    // range alone can't classify.
+    ConditionClass cls = ClassifyCondition(c.lo, c.hi, nullptr);
+    if (cls == ConditionClass::kEffective && stats != nullptr) {
+      cls = ClassifyCondition(c.lo, c.hi, stats->Get(c.column));
     }
-    // Full-range fast path: the open int64 range always covers the domain;
-    // with stats, any range containing the observed [min, max] does too.
-    if (c.lo == std::numeric_limits<int64_t>::min() &&
-        c.hi == std::numeric_limits<int64_t>::max()) {
-      continue;
-    }
-    if (stats != nullptr) {
-      if (const auto* mm = stats->Get(c.column)) {
-        if (c.lo <= mm->min && c.hi >= mm->max) continue;
-        if (c.hi < mm->min || c.lo > mm->max) {
-          out.never_matches = true;
-          continue;
-        }
-      }
+    switch (cls) {
+      case ConditionClass::kNeverMatches:
+        out.never_matches = true;
+        continue;
+      case ConditionClass::kFullRange:
+        continue;
+      case ConditionClass::kEffective:
+        break;
     }
     out.conds.push_back({col.Int64Data().data(), c.lo, c.hi});
   }

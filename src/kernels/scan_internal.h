@@ -1,0 +1,279 @@
+// Shard-level scan machinery shared by the in-memory scan entry points
+// (scan.cc) and the extent-source scan (source_scan.cc).
+//
+// Everything here IS the determinism contract: per-shard lane accumulators,
+// the chunk accumulation kernels that feed lane (chunk_row %
+// kAccumulatorLanes) in ascending row order, the shard scan loop with its
+// fixed 2048-row chunk grid, and the shard-index-order / lane-order final
+// merge. Any caller that (a) hands ScanShard spans covering the same global
+// row ranges on the same kShardRows grid and (b) merges with Finalize gets
+// bit-identical results to every other such caller, regardless of where the
+// bytes came from or how many threads ran.
+
+#ifndef AQPP_KERNELS_SCAN_INTERNAL_H_
+#define AQPP_KERNELS_SCAN_INTERNAL_H_
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "kernels/scan.h"
+
+namespace aqpp {
+namespace kernels {
+namespace internal {
+
+constexpr size_t kLanes = kAccumulatorLanes;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Per-shard lane accumulators. Lanes are merged across shards in shard-index
+// order and reduced to scalars in lane order, so the final result does not
+// depend on which thread ran which shard.
+struct ShardAccum {
+  double sum[kLanes];
+  double sum_sq[kLanes];
+  double mn[kLanes];
+  double mx[kLanes];
+  size_t count = 0;
+
+  ShardAccum() {
+    for (size_t l = 0; l < kLanes; ++l) {
+      sum[l] = 0.0;
+      sum_sq[l] = 0.0;
+      mn[l] = kInf;
+      mx[l] = -kInf;
+    }
+  }
+
+  void MergeFrom(const ShardAccum& o) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      sum[l] += o.sum[l];
+      sum_sq[l] += o.sum_sq[l];
+      mn[l] = std::min(mn[l], o.mn[l]);
+      mx[l] = std::max(mx[l], o.mx[l]);
+    }
+    count += o.count;
+  }
+};
+
+// Value of row j as a double (the same cast Column::GetDouble performs).
+template <typename T>
+inline double LoadValue(const T* v, size_t j) {
+  return static_cast<double>(v[j]);
+}
+
+// Masked value: the row's value when mask[j] is all-ones, +0.0 otherwise.
+// Done with a bitwise AND (not a multiply) so unselected doubles contribute
+// an exact +0.0 and the loop vectorizes without blends.
+inline double MaskedLoad(const double* v, const int64_t* mask, size_t j) {
+  uint64_t bits;
+  std::memcpy(&bits, v + j, sizeof bits);
+  bits &= static_cast<uint64_t>(mask[j]);
+  double x;
+  std::memcpy(&x, &bits, sizeof x);
+  return x;
+}
+inline double MaskedLoad(const int64_t* v, const int64_t* mask, size_t j) {
+  return static_cast<double>(v[j] & mask[j]);
+}
+
+// ---- Chunk accumulators ---------------------------------------------------
+// All three accumulators feed lane (chunk_row % kLanes) in ascending row
+// order; the masked variant additionally adds +0.0 (sum/sum_sq) or compares
+// against +/-inf (min/max) for unselected rows, which leaves lane values
+// bit-unchanged. This is what makes the strategies interchangeable.
+
+template <bool kNeedSum, bool kNeedSumSq, bool kNeedMinMax, bool kMaskedRows,
+          typename T>
+void AccumChunk(const T* v, const int64_t* mask, size_t n, ShardAccum& a) {
+  double s[kLanes], q[kLanes], mn[kLanes], mx[kLanes];
+  for (size_t l = 0; l < kLanes; ++l) {
+    s[l] = a.sum[l];
+    q[l] = a.sum_sq[l];
+    mn[l] = a.mn[l];
+    mx[l] = a.mx[l];
+  }
+  size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (size_t l = 0; l < kLanes; ++l) {
+      double x =
+          kMaskedRows ? MaskedLoad(v, mask, i + l) : LoadValue(v, i + l);
+      if constexpr (kNeedSum) s[l] += x;
+      if constexpr (kNeedSumSq) q[l] += x * x;
+      if constexpr (kNeedMinMax) {
+        const bool sel = !kMaskedRows || mask[i + l] != 0;
+        double lo = sel ? x : kInf;
+        double hi = sel ? x : -kInf;
+        mn[l] = std::min(mn[l], lo);
+        mx[l] = std::max(mx[l], hi);
+      }
+    }
+  }
+  for (; i < n; ++i) {
+    if (kMaskedRows && mask[i] == 0) continue;
+    const size_t l = i % kLanes;
+    double x = LoadValue(v, i);
+    if constexpr (kNeedSum) s[l] += x;
+    if constexpr (kNeedSumSq) q[l] += x * x;
+    if constexpr (kNeedMinMax) {
+      mn[l] = std::min(mn[l], x);
+      mx[l] = std::max(mx[l], x);
+    }
+  }
+  for (size_t l = 0; l < kLanes; ++l) {
+    a.sum[l] = s[l];
+    a.sum_sq[l] = q[l];
+    a.mn[l] = mn[l];
+    a.mx[l] = mx[l];
+  }
+}
+
+template <bool kNeedSum, bool kNeedSumSq, bool kNeedMinMax, typename T>
+void AccumSelection(const T* v, const uint32_t* sel, size_t k, ShardAccum& a) {
+  for (size_t j = 0; j < k; ++j) {
+    const uint32_t r = sel[j];
+    const size_t l = r % kLanes;
+    double x = LoadValue(v, r);
+    if constexpr (kNeedSum) a.sum[l] += x;
+    if constexpr (kNeedSumSq) a.sum_sq[l] += x * x;
+    if constexpr (kNeedMinMax) {
+      a.mn[l] = std::min(a.mn[l], x);
+      a.mx[l] = std::max(a.mx[l], x);
+    }
+  }
+}
+
+// ---- Shard scan -----------------------------------------------------------
+
+template <bool kNeedSum, bool kNeedSumSq, bool kNeedMinMax, typename T>
+void ScanShardTyped(const BoundPredicate& pred, const T* values, size_t begin,
+                    size_t end, ScanStrategy strategy, ShardAccum& acc) {
+  alignas(64) int64_t mask[kChunkRows];
+  alignas(64) uint32_t sel[kChunkRows];
+  const bool count_only = !kNeedSum && !kNeedSumSq && !kNeedMinMax;
+  const bool single_cond =
+      pred.conds.size() == 1 && strategy != ScanStrategy::kScalarRows;
+  // Sparse/dense prediction for the fused single-condition path: the previous
+  // chunk's match count decides whether the next chunk builds a selection
+  // vector directly (one pass, no mask) or goes through the mask pipeline.
+  // The prediction is shard-local state with a fixed initial value, so it is
+  // independent of the thread count; a misprediction only changes which
+  // accumulator runs, never the result bits (all strategies feed the lanes in
+  // ascending row order).
+  size_t prev_k = 0;
+  size_t prev_m = kChunkRows;
+  for (size_t base = begin; base < end; base += kChunkRows) {
+    const size_t stop = std::min(end, base + kChunkRows);
+    const size_t m = stop - base;
+    // Full-range fast path: no surviving conditions means every row is
+    // selected and the mask machinery is skipped outright.
+    if (pred.conds.empty() && !pred.never_matches) {
+      acc.count += m;
+      if (!count_only) {
+        AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
+            values + base, mask, m, acc);
+      }
+      continue;
+    }
+    if (single_cond) {
+      const BoundCondition& c = pred.conds[0];
+      if (count_only) {
+        acc.count += CountRange(c.data + base, m, c.lo, c.hi);
+        continue;
+      }
+      const bool predict_selection =
+          strategy == ScanStrategy::kSelectionVector ||
+          (strategy == ScanStrategy::kAdaptive && prev_k * 8 < prev_m);
+      if (predict_selection) {
+        const size_t k = FillSelection(c.data + base, m, c.lo, c.hi, sel);
+        prev_k = k;
+        prev_m = m;
+        acc.count += k;
+        if (k == 0) continue;
+        if (k == m) {
+          AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
+              values + base, mask, m, acc);
+        } else {
+          AccumSelection<kNeedSum, kNeedSumSq, kNeedMinMax>(values + base, sel,
+                                                            k, acc);
+        }
+        continue;
+      }
+      // Dense prediction falls through to the mask pipeline below.
+    }
+    const size_t k = strategy == ScanStrategy::kScalarRows
+                         ? FillMaskScalar(pred, base, stop, mask)
+                         : EvaluateChunk(pred, base, stop, mask);
+    prev_k = k;
+    prev_m = m;
+    acc.count += k;
+    if (k == 0 || count_only) continue;  // short-circuit empty chunks
+    if (k == m) {
+      AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
+          values + base, mask, m, acc);
+      continue;
+    }
+    // Selectivity-adaptive switch. The choice depends only on (k, m), so it
+    // is reproducible; forced strategies pin it for ablation and testing.
+    bool use_selection = k * 8 < m;
+    if (strategy == ScanStrategy::kMasked) use_selection = false;
+    if (strategy == ScanStrategy::kSelectionVector) use_selection = true;
+    if (use_selection) {
+      const size_t ks = MaskToSelection(mask, m, sel);
+      AccumSelection<kNeedSum, kNeedSumSq, kNeedMinMax>(values + base, sel, ks,
+                                                        acc);
+    } else {
+      AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/true>(
+          values + base, mask, m, acc);
+    }
+  }
+}
+
+template <typename T>
+void ScanShard(const BoundPredicate& pred, const T* values, size_t begin,
+               size_t end, ScanProfile profile, ScanStrategy strategy,
+               ShardAccum& acc) {
+  switch (profile) {
+    case ScanProfile::kCount:
+      ScanShardTyped<false, false, false>(pred, values, begin, end, strategy,
+                                          acc);
+      return;
+    case ScanProfile::kSum:
+      ScanShardTyped<true, false, false>(pred, values, begin, end, strategy,
+                                         acc);
+      return;
+    case ScanProfile::kMoments:
+      ScanShardTyped<true, true, false>(pred, values, begin, end, strategy,
+                                        acc);
+      return;
+    case ScanProfile::kMinMax:
+      ScanShardTyped<false, false, true>(pred, values, begin, end, strategy,
+                                         acc);
+      return;
+    case ScanProfile::kFull:
+      ScanShardTyped<true, true, true>(pred, values, begin, end, strategy,
+                                       acc);
+      return;
+  }
+}
+
+inline ScanStats Finalize(const std::vector<ShardAccum>& shards) {
+  ShardAccum total;
+  for (const ShardAccum& s : shards) total.MergeFrom(s);  // shard-index order
+  ScanStats out;
+  out.count = static_cast<double>(total.count);
+  for (size_t l = 0; l < kLanes; ++l) {  // lane order
+    out.sum += total.sum[l];
+    out.sum_sq += total.sum_sq[l];
+    out.min = std::min(out.min, total.mn[l]);
+    out.max = std::max(out.max, total.mx[l]);
+  }
+  return out;
+}
+
+}  // namespace internal
+}  // namespace kernels
+}  // namespace aqpp
+
+#endif  // AQPP_KERNELS_SCAN_INTERNAL_H_

@@ -1,0 +1,64 @@
+// Fused filter + aggregate scans over a ColumnSource, with zone-map extent
+// skipping.
+//
+// This is the out-of-core twin of ScanAggregate: the same conjunction of
+// range conditions, the same profiles, and — because one extent is exactly
+// one shard of the fixed chunk/shard/lane grid — bit-identical results to
+// the in-memory path at any thread count. Per extent, each condition is
+// classified against the extent's zone map with the same rules bind-time
+// elision uses (ClassifyCondition):
+//
+//   * disjoint from the zone  -> the whole extent is skipped: nothing is
+//     pinned or decoded, and the accumulators are untouched, exactly as if
+//     every chunk had evaluated to an empty selection;
+//   * covering the zone       -> the condition is dropped for this extent
+//     (every row passes it), saving a mask pass;
+//   * otherwise               -> evaluated by the normal chunk kernels.
+//
+// Both reductions share the accumulation kernels, so pruning changes which
+// code runs, never the result bits (up to the documented ±0.0 strategy
+// caveat, which cannot trigger unless aggregated values include -0.0).
+
+#ifndef AQPP_KERNELS_SOURCE_SCAN_H_
+#define AQPP_KERNELS_SOURCE_SCAN_H_
+
+#include "kernels/scan.h"
+#include "storage/column_source.h"
+
+namespace aqpp {
+namespace kernels {
+
+struct SourceScanOptions {
+  ScanStrategy strategy = ScanStrategy::kAdaptive;
+  ThreadPool* pool = nullptr;
+  bool parallel = true;
+  // Ablation/testing knob: false scans every extent (zone maps ignored).
+  bool zone_map_pruning = true;
+};
+
+struct SourceScanResult {
+  ScanStats stats;
+  size_t extents_total = 0;
+  // Extents proven empty by zone maps alone (never pinned or decoded).
+  size_t extents_skipped = 0;
+  size_t extents_scanned = 0;
+};
+
+// Scans `source` with the conjunction `conds`, aggregating `value_column`
+// under `profile` (pass a negative value_column for COUNT-only scans).
+Result<SourceScanResult> ScanAggregateSource(
+    ColumnSource& source, const std::vector<RangeCondition>& conds,
+    int value_column, ScanProfile profile,
+    const SourceScanOptions& opts = SourceScanOptions());
+
+// Executes a scalar RangeQuery against the source: the ColumnSource
+// counterpart of ExactExecutor::Execute, with identical aggregate-function
+// semantics (COUNT/SUM/AVG/VAR of an empty selection are 0, MIN/MAX error).
+Result<double> ExecuteQueryOnSource(
+    ColumnSource& source, const RangeQuery& query,
+    const SourceScanOptions& opts = SourceScanOptions());
+
+}  // namespace kernels
+}  // namespace aqpp
+
+#endif  // AQPP_KERNELS_SOURCE_SCAN_H_

@@ -57,8 +57,15 @@ Result<int64_t> Column::LookupDictionary(const std::string& value) const {
   return it->second;
 }
 
+void Column::AdoptDoubleData(std::shared_ptr<const std::vector<double>> data) {
+  AQPP_DCHECK(type_ == DataType::kDouble);
+  doubles_.clear();
+  doubles_.shrink_to_fit();
+  adopted_dbls_ = std::move(data);
+}
+
 std::vector<double> Column::ToDoubleVector() const {
-  if (type_ == DataType::kDouble) return doubles_;
+  if (type_ == DataType::kDouble) return DoubleData();
   std::vector<double> out(ints_.size());
   for (size_t i = 0; i < ints_.size(); ++i) {
     out[i] = static_cast<double>(ints_[i]);
@@ -69,8 +76,13 @@ std::vector<double> Column::ToDoubleVector() const {
 Column::DoubleView Column::AsDoubleView() const {
   DoubleView view;
   if (type_ == DataType::kDouble) {
-    view.data = doubles_.data();
-    view.size = doubles_.size();
+    // Contiguous already (in place or adopted from a decoded extent):
+    // borrow, don't convert. Adopted storage is handed on as the owner so
+    // the view cannot dangle.
+    const std::vector<double>& data = DoubleData();
+    view.data = data.data();
+    view.size = data.size();
+    view.owned = adopted_dbls_;
     return view;
   }
   auto owned = std::make_shared<std::vector<double>>(ToDoubleVector());
@@ -93,6 +105,7 @@ Result<int64_t> Column::MaxInt64() const {
 size_t Column::MemoryUsage() const {
   size_t bytes = ints_.capacity() * sizeof(int64_t) +
                  doubles_.capacity() * sizeof(double);
+  if (adopted_dbls_) bytes += adopted_dbls_->capacity() * sizeof(double);
   for (const auto& s : dictionary_) bytes += s.capacity() + sizeof(s);
   return bytes;
 }

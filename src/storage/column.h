@@ -26,7 +26,7 @@ class Column {
 
   DataType type() const { return type_; }
   size_t size() const {
-    return type_ == DataType::kDouble ? doubles_.size() : ints_.size();
+    return type_ == DataType::kDouble ? DoubleData().size() : ints_.size();
   }
 
   // ---- Construction -------------------------------------------------------
@@ -37,7 +37,7 @@ class Column {
   }
   void AppendDouble(double v) {
     AQPP_DCHECK(type_ == DataType::kDouble);
-    doubles_.push_back(v);
+    MutableDoubleData().push_back(v);
   }
   // Appends a string value, interning it in the dictionary. Codes are
   // provisional until FinalizeDictionary() re-assigns them alphabetically.
@@ -45,11 +45,18 @@ class Column {
 
   void Reserve(size_t n) {
     if (type_ == DataType::kDouble) {
-      doubles_.reserve(n);
+      MutableDoubleData().reserve(n);
     } else {
       ints_.reserve(n);
     }
   }
+
+  // Adopts externally owned contiguous doubles as this column's storage
+  // without copying — e.g. the decode buffer of an extent (kDouble columns
+  // only, replaces any existing values). The column borrows until a mutation
+  // forces a private copy; AsDoubleView hands the shared buffer on so views
+  // stay valid even past the column's lifetime.
+  void AdoptDoubleData(std::shared_ptr<const std::vector<double>> data);
 
   // Re-encodes dictionary codes so that code order == lexicographic order.
   // No-op for non-string columns. Must be called before ordinal use.
@@ -62,7 +69,7 @@ class Column {
     return ints_[i];
   }
   double GetDouble(size_t i) const {
-    return type_ == DataType::kDouble ? doubles_[i]
+    return type_ == DataType::kDouble ? DoubleData()[i]
                                       : static_cast<double>(ints_[i]);
   }
   // String value for row i (kString columns only).
@@ -74,9 +81,18 @@ class Column {
   // Raw storage views. Int64Data is valid for kInt64/kString; DoubleData for
   // kDouble.
   const std::vector<int64_t>& Int64Data() const { return ints_; }
-  const std::vector<double>& DoubleData() const { return doubles_; }
+  const std::vector<double>& DoubleData() const {
+    return adopted_dbls_ ? *adopted_dbls_ : doubles_;
+  }
   std::vector<int64_t>& MutableInt64Data() { return ints_; }
-  std::vector<double>& MutableDoubleData() { return doubles_; }
+  // Mutable access detaches adopted storage (copy-on-write).
+  std::vector<double>& MutableDoubleData() {
+    if (adopted_dbls_) {
+      doubles_ = *adopted_dbls_;
+      adopted_dbls_.reset();
+    }
+    return doubles_;
+  }
 
   // Dictionary for kString columns (code -> value, alphabetical after
   // FinalizeDictionary).
@@ -112,7 +128,10 @@ class Column {
  private:
   DataType type_;
   std::vector<int64_t> ints_;     // kInt64 values or kString codes
-  std::vector<double> doubles_;   // kDouble values
+  std::vector<double> doubles_;   // kDouble values (unless adopted)
+  // Borrowed contiguous storage (AdoptDoubleData); when set, doubles_ is
+  // empty and all reads go through DoubleData().
+  std::shared_ptr<const std::vector<double>> adopted_dbls_;
   std::vector<std::string> dictionary_;
   std::unordered_map<std::string, int64_t> dict_index_;
 };

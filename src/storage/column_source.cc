@@ -1,0 +1,94 @@
+#include "storage/column_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace aqpp {
+
+Result<ColumnSource::PinnedColumn> TableColumnSource::Pin(size_t extent,
+                                                          size_t col) {
+  if (extent >= num_extents() || col >= table_->num_columns()) {
+    return Status::InvalidArgument("extent index out of range");
+  }
+  const Column& c = table_->column(col);
+  const size_t begin = extent * kExtentRows;
+  PinnedColumn out;
+  out.type = c.type();
+  out.rows = ExtentRows(extent);
+  if (c.type() == DataType::kDouble) {
+    out.dbls = c.DoubleData().data() + begin;
+  } else {
+    out.ints = c.Int64Data().data() + begin;
+  }
+  return out;
+}
+
+bool TableColumnSource::ColumnMinMax(size_t col, int64_t* mn, int64_t* mx) {
+  if (col >= table_->num_columns()) return false;
+  const Column& c = table_->column(col);
+  if (c.type() == DataType::kDouble || c.size() == 0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = minmax_.find(col);
+  if (it == minmax_.end()) {
+    const std::vector<int64_t>& data = c.Int64Data();
+    int64_t lo = data[0], hi = data[0];
+    for (int64_t v : data) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    it = minmax_.emplace(col, std::make_pair(lo, hi)).first;
+  }
+  *mn = it->second.first;
+  *mx = it->second.second;
+  return true;
+}
+
+Result<ColumnSource::PinnedColumn> ExtentColumnSource::Pin(size_t extent,
+                                                           size_t col) {
+  AQPP_ASSIGN_OR_RETURN(ExtentFileReader::DecodedColumn d,
+                        reader_->Pin(extent, col));
+  PinnedColumn out;
+  out.type = d.type;
+  out.rows = d.rows;
+  if (d.type == DataType::kDouble) {
+    out.dbls = d.dbl_data();
+    out.owner = d.dbls;
+  } else {
+    out.ints = d.int_data();
+    out.owner = d.ints;
+  }
+  return out;
+}
+
+bool ExtentColumnSource::ZoneMap(size_t extent, size_t col, int64_t* mn,
+                                 int64_t* mx) const {
+  if (extent >= reader_->num_extents() || col >= reader_->num_columns()) {
+    return false;
+  }
+  const ExtentBlobInfo& b = reader_->blob(extent, col);
+  if (b.type == DataType::kDouble) return false;
+  *mn = b.min_bits;
+  *mx = b.max_bits;
+  return true;
+}
+
+bool ExtentColumnSource::ColumnMinMax(size_t col, int64_t* mn, int64_t* mx) {
+  if (col >= reader_->num_columns() || reader_->num_extents() == 0) {
+    return false;
+  }
+  if (reader_->schema().column(col).type == DataType::kDouble) return false;
+  // Fold of the footer zone maps: exact (each zone map is the exact min/max
+  // of its extent) and free of extent reads.
+  int64_t lo = reader_->blob(0, col).min_bits;
+  int64_t hi = reader_->blob(0, col).max_bits;
+  for (size_t e = 1; e < reader_->num_extents(); ++e) {
+    const ExtentBlobInfo& b = reader_->blob(e, col);
+    lo = std::min(lo, b.min_bits);
+    hi = std::max(hi, b.max_bits);
+  }
+  *mn = lo;
+  *mx = hi;
+  return true;
+}
+
+}  // namespace aqpp

@@ -1,0 +1,126 @@
+// Extent-granular access to a table's columns, independent of where the
+// bytes live.
+//
+// A ColumnSource presents a table as a sequence of fixed-size extents
+// (kExtentRows rows each, last one ragged) whose column data can be pinned
+// one (extent, column) pair at a time. Two implementations exist:
+//
+//   * TableColumnSource — zero-copy views into an in-memory Table,
+//   * ExtentColumnSource — decode-on-demand views over an extent file.
+//
+// The scan layer (kernels/source_scan.h) consumes this interface to run the
+// same chunk/shard/lane aggregation grid over either, which is what makes
+// out-of-core scans bit-identical to in-memory ones. Zone maps (per-extent
+// min/max for ordinal columns) let that layer skip whole extents before
+// pinning them.
+
+#ifndef AQPP_STORAGE_COLUMN_SOURCE_H_
+#define AQPP_STORAGE_COLUMN_SOURCE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/extent_file.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+class ColumnSource {
+ public:
+  virtual ~ColumnSource() = default;
+
+  virtual const Schema& schema() const = 0;
+  virtual uint64_t num_rows() const = 0;
+
+  size_t num_extents() const {
+    return static_cast<size_t>((num_rows() + kExtentRows - 1) / kExtentRows);
+  }
+  size_t ExtentRows(size_t e) const {
+    const uint64_t begin = static_cast<uint64_t>(e) * kExtentRows;
+    return static_cast<size_t>(
+        std::min<uint64_t>(kExtentRows, num_rows() - begin));
+  }
+
+  // A pinned view of one column over one extent. `owner` keeps any backing
+  // decode buffer alive; in-memory sources leave it null (the Table outlives
+  // the scan by contract).
+  struct PinnedColumn {
+    DataType type = DataType::kInt64;
+    size_t rows = 0;
+    const int64_t* ints = nullptr;  // ordinal types (kInt64 / kString codes)
+    const double* dbls = nullptr;   // kDouble
+    std::shared_ptr<const void> owner;
+  };
+
+  virtual Result<PinnedColumn> Pin(size_t extent, size_t col) = 0;
+
+  // Per-extent zone map for an ordinal column: true and [*mn, *mx] when
+  // known, false when unavailable (double columns; in-memory tables).
+  virtual bool ZoneMap(size_t extent, size_t col, int64_t* mn,
+                      int64_t* mx) const = 0;
+
+  // Exact whole-column [min, max] for an ordinal column; false for double
+  // or empty columns. May compute lazily; thread-safe.
+  virtual bool ColumnMinMax(size_t col, int64_t* mn, int64_t* mx) = 0;
+
+  virtual const std::vector<std::string>& dictionary(size_t col) const = 0;
+
+  // Hint that extents before `e` will not be revisited (sequential streaming
+  // passes); sources backed by caches/mappings release them. Default no-op.
+  virtual void ReleaseBefore(size_t e) { (void)e; }
+};
+
+// In-memory adapter: extents are windows into the Table's contiguous column
+// vectors. The table must outlive the source.
+class TableColumnSource : public ColumnSource {
+ public:
+  explicit TableColumnSource(const Table* table) : table_(table) {}
+
+  const Schema& schema() const override { return table_->schema(); }
+  uint64_t num_rows() const override { return table_->num_rows(); }
+  Result<PinnedColumn> Pin(size_t extent, size_t col) override;
+  bool ZoneMap(size_t, size_t, int64_t*, int64_t*) const override {
+    return false;  // whole-column stats only; scans touch every extent
+  }
+  bool ColumnMinMax(size_t col, int64_t* mn, int64_t* mx) override;
+  const std::vector<std::string>& dictionary(size_t col) const override {
+    return table_->column(col).dictionary();
+  }
+
+ private:
+  const Table* table_;
+  std::mutex mu_;
+  std::unordered_map<size_t, std::pair<int64_t, int64_t>> minmax_;
+};
+
+// Out-of-core adapter over an extent file. Zone maps and column min/max come
+// from the footer directory, so pruning decisions read no extent data.
+class ExtentColumnSource : public ColumnSource {
+ public:
+  explicit ExtentColumnSource(std::shared_ptr<ExtentFileReader> reader)
+      : reader_(std::move(reader)) {}
+
+  const Schema& schema() const override { return reader_->schema(); }
+  uint64_t num_rows() const override { return reader_->num_rows(); }
+  Result<PinnedColumn> Pin(size_t extent, size_t col) override;
+  bool ZoneMap(size_t extent, size_t col, int64_t* mn,
+               int64_t* mx) const override;
+  bool ColumnMinMax(size_t col, int64_t* mn, int64_t* mx) override;
+  const std::vector<std::string>& dictionary(size_t col) const override {
+    return reader_->dictionary(col);
+  }
+  void ReleaseBefore(size_t e) override { reader_->ReleaseBefore(e); }
+
+  const std::shared_ptr<ExtentFileReader>& reader() const { return reader_; }
+
+ private:
+  std::shared_ptr<ExtentFileReader> reader_;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_STORAGE_COLUMN_SOURCE_H_

@@ -1,0 +1,402 @@
+#include "storage/extent.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+// Dictionary encoding is only probed up to this many distinct values; past
+// it the value table stops paying for itself against FOR.
+constexpr size_t kMaxDictValues = 4096;
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Bytes needed to hold an unsigned delta range; 8 means "doesn't fit any
+// packed width" (caller falls back to raw).
+uint8_t WidthForRange(uint64_t range) {
+  if (range == 0) return 0;
+  if (range <= 0xFFull) return 1;
+  if (range <= 0xFFFFull) return 2;
+  if (range <= 0xFFFFFFFFull) return 4;
+  return 8;
+}
+
+// Packed little-endian writes/reads, independent of host struct layout.
+void AppendPackedU64(std::string* out, uint64_t v, uint8_t width) {
+  for (uint8_t b = 0; b < width; ++b) {
+    out->push_back(static_cast<char>((v >> (8 * b)) & 0xFFu));
+  }
+}
+
+uint64_t LoadPackedU64(const uint8_t* p, uint8_t width) {
+  uint64_t v = 0;
+  for (uint8_t b = 0; b < width; ++b) {
+    v |= static_cast<uint64_t>(p[b]) << (8 * b);
+  }
+  return v;
+}
+
+void AppendHeader(std::string* out, const ExtentHeader& h) {
+  out->append(reinterpret_cast<const char*>(&h), sizeof(h));
+}
+
+Status CorruptExtent(const char* what) {
+  return Status::IOError(std::string("corrupt extent: ") + what);
+}
+
+}  // namespace
+
+const char* ExtentEncodingName(ExtentEncoding e) {
+  switch (e) {
+    case ExtentEncoding::kInt64Raw:
+      return "int64_raw";
+    case ExtentEncoding::kInt64For:
+      return "int64_for";
+    case ExtentEncoding::kInt64DeltaFor:
+      return "int64_delta_for";
+    case ExtentEncoding::kInt64Dict:
+      return "int64_dict";
+    case ExtentEncoding::kDoubleRaw:
+      return "double_raw";
+  }
+  return "unknown";
+}
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status EncodeExtent(const int64_t* values, size_t rows, DataType type,
+                    std::string* out, ExtentHeader* header) {
+  if (rows == 0 || rows > kExtentRows) {
+    return Status::InvalidArgument("extent rows must be in [1, 65536]");
+  }
+  if (type == DataType::kDouble) {
+    return Status::InvalidArgument("int64 encoder given a double column");
+  }
+
+  int64_t mn = values[0];
+  int64_t mx = values[0];
+  for (size_t i = 1; i < rows; ++i) {
+    mn = std::min(mn, values[i]);
+    mx = std::max(mx, values[i]);
+  }
+  // Two's-complement subtraction in uint64 gives the exact range even when
+  // (mx - mn) would overflow int64.
+  const uint64_t range =
+      static_cast<uint64_t>(mx) - static_cast<uint64_t>(mn);
+  const uint8_t for_width = WidthForRange(range);
+
+  constexpr size_t kNoFit = std::numeric_limits<size_t>::max();
+  size_t for_bytes = kNoFit;
+  if (for_width <= 4) for_bytes = 1 + 8 + rows * for_width;
+
+  // Delta-FOR: only when the value range fits int64, so every successive
+  // delta is exactly representable.
+  size_t delta_bytes = kNoFit;
+  uint8_t delta_width = 8;
+  int64_t delta_ref = 0;
+  if (rows >= 2 &&
+      range <= static_cast<uint64_t>(std::numeric_limits<int64_t>::max())) {
+    int64_t dmn = values[1] - values[0];
+    int64_t dmx = dmn;
+    for (size_t i = 2; i < rows; ++i) {
+      int64_t d = values[i] - values[i - 1];
+      dmn = std::min(dmn, d);
+      dmx = std::max(dmx, d);
+    }
+    delta_width = WidthForRange(static_cast<uint64_t>(dmx) -
+                                static_cast<uint64_t>(dmn));
+    if (delta_width >= 1 && delta_width <= 4) {
+      delta_bytes = 1 + 8 + 8 + (rows - 1) * delta_width;
+      delta_ref = dmn;
+    }
+  }
+
+  // Dictionary: probed only when FOR needs > 1 byte/row (a 1-byte FOR is
+  // already at the dictionary index floor, so the value table can't win).
+  size_t dict_bytes = kNoFit;
+  std::vector<int64_t> dict_values;
+  if (for_width > 1) {
+    std::unordered_set<int64_t> distinct;
+    distinct.reserve(kMaxDictValues * 2);
+    for (size_t i = 0; i < rows; ++i) {
+      distinct.insert(values[i]);
+      if (distinct.size() > kMaxDictValues) break;
+    }
+    if (distinct.size() <= kMaxDictValues) {
+      dict_values.assign(distinct.begin(), distinct.end());
+      std::sort(dict_values.begin(), dict_values.end());
+      const uint8_t idx_width = dict_values.size() <= 256 ? 1 : 2;
+      dict_bytes = 1 + 4 + dict_values.size() * 8 + rows * idx_width;
+    }
+  }
+
+  const size_t raw_bytes = rows * 8;
+
+  ExtentEncoding enc = ExtentEncoding::kInt64Raw;
+  size_t best = raw_bytes;
+  // Priority on ties: FOR (cheapest decode) > delta-FOR > dict > raw.
+  if (dict_bytes < best) {
+    enc = ExtentEncoding::kInt64Dict;
+    best = dict_bytes;
+  }
+  if (delta_bytes < best) {
+    enc = ExtentEncoding::kInt64DeltaFor;
+    best = delta_bytes;
+  }
+  if (for_bytes <= best) {
+    enc = ExtentEncoding::kInt64For;
+    best = for_bytes;
+  }
+
+  std::string payload;
+  payload.reserve(best);
+  switch (enc) {
+    case ExtentEncoding::kInt64For: {
+      payload.push_back(static_cast<char>(for_width));
+      AppendPackedU64(&payload, static_cast<uint64_t>(mn), 8);
+      for (size_t i = 0; i < rows; ++i) {
+        AppendPackedU64(&payload,
+                        static_cast<uint64_t>(values[i]) -
+                            static_cast<uint64_t>(mn),
+                        for_width);
+      }
+      break;
+    }
+    case ExtentEncoding::kInt64DeltaFor: {
+      payload.push_back(static_cast<char>(delta_width));
+      AppendPackedU64(&payload, static_cast<uint64_t>(values[0]), 8);
+      AppendPackedU64(&payload, static_cast<uint64_t>(delta_ref), 8);
+      for (size_t i = 1; i < rows; ++i) {
+        int64_t d = values[i] - values[i - 1];
+        AppendPackedU64(&payload,
+                        static_cast<uint64_t>(d) -
+                            static_cast<uint64_t>(delta_ref),
+                        delta_width);
+      }
+      break;
+    }
+    case ExtentEncoding::kInt64Dict: {
+      const uint8_t idx_width = dict_values.size() <= 256 ? 1 : 2;
+      payload.push_back(static_cast<char>(idx_width));
+      AppendPackedU64(&payload, dict_values.size(), 4);
+      for (int64_t v : dict_values) {
+        AppendPackedU64(&payload, static_cast<uint64_t>(v), 8);
+      }
+      for (size_t i = 0; i < rows; ++i) {
+        auto it = std::lower_bound(dict_values.begin(), dict_values.end(),
+                                   values[i]);
+        AppendPackedU64(
+            &payload,
+            static_cast<uint64_t>(it - dict_values.begin()), idx_width);
+      }
+      break;
+    }
+    case ExtentEncoding::kInt64Raw:
+    default:
+      payload.assign(reinterpret_cast<const char*>(values), rows * 8);
+      break;
+  }
+
+  ExtentHeader h;
+  h.encoding = static_cast<uint8_t>(enc);
+  h.type = static_cast<uint8_t>(type);
+  h.rows = static_cast<uint32_t>(rows);
+  h.encoded_bytes = static_cast<uint32_t>(payload.size());
+  h.checksum = Crc32(payload.data(), payload.size());
+  h.min_bits = mn;
+  h.max_bits = mx;
+  AppendHeader(out, h);
+  out->append(payload);
+  if (header != nullptr) *header = h;
+  return Status::OK();
+}
+
+Status EncodeExtent(const double* values, size_t rows, std::string* out,
+                    ExtentHeader* header) {
+  if (rows == 0 || rows > kExtentRows) {
+    return Status::InvalidArgument("extent rows must be in [1, 65536]");
+  }
+  // Zone map over non-NaN values (an all-NaN extent keeps NaN bounds, which
+  // no range predicate matches anyway).
+  double mn = std::numeric_limits<double>::quiet_NaN();
+  double mx = std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < rows; ++i) {
+    double v = values[i];
+    if (std::isnan(v)) continue;
+    if (std::isnan(mn) || v < mn) mn = v;
+    if (std::isnan(mx) || v > mx) mx = v;
+  }
+
+  ExtentHeader h;
+  h.encoding = static_cast<uint8_t>(ExtentEncoding::kDoubleRaw);
+  h.type = static_cast<uint8_t>(DataType::kDouble);
+  h.rows = static_cast<uint32_t>(rows);
+  h.encoded_bytes = static_cast<uint32_t>(rows * 8);
+  h.checksum = Crc32(values, rows * 8);
+  std::memcpy(&h.min_bits, &mn, 8);
+  std::memcpy(&h.max_bits, &mx, 8);
+  AppendHeader(out, h);
+  out->append(reinterpret_cast<const char*>(values), rows * 8);
+  if (header != nullptr) *header = h;
+  return Status::OK();
+}
+
+Status ValidateExtentHeader(const ExtentHeader& h,
+                            uint64_t max_payload_bytes) {
+  if (h.magic != ExtentHeader::kMagic) {
+    return Status::InvalidArgument("bad extent magic (not an AQPP extent)");
+  }
+  if (h.encoding > static_cast<uint8_t>(ExtentEncoding::kDoubleRaw)) {
+    return CorruptExtent("unknown encoding");
+  }
+  if (h.type > static_cast<uint8_t>(DataType::kString)) {
+    return CorruptExtent("unknown column type");
+  }
+  const bool is_double = h.type == static_cast<uint8_t>(DataType::kDouble);
+  const bool double_enc =
+      h.encoding == static_cast<uint8_t>(ExtentEncoding::kDoubleRaw);
+  if (is_double != double_enc) {
+    return CorruptExtent("encoding does not match column type");
+  }
+  if (h.rows == 0 || h.rows > kExtentRows) {
+    return CorruptExtent("row count out of range");
+  }
+  if (h.encoded_bytes > max_payload_bytes) {
+    return Status::IOError(StrFormat(
+        "corrupt extent: payload length %u exceeds available %llu bytes",
+        h.encoded_bytes,
+        static_cast<unsigned long long>(max_payload_bytes)));
+  }
+  if (h.null_count > h.rows) {
+    return CorruptExtent("null count exceeds row count");
+  }
+  return Status::OK();
+}
+
+Status DecodeExtent(const ExtentHeader& h, const uint8_t* payload,
+                    std::vector<int64_t>* ints, std::vector<double>* dbls) {
+  AQPP_RETURN_NOT_OK(ValidateExtentHeader(h, h.encoded_bytes));
+  const uint32_t crc = Crc32(payload, h.encoded_bytes);
+  if (crc != h.checksum) {
+    return Status::IOError(StrFormat(
+        "extent checksum mismatch: payload crc32 %08x, header says %08x",
+        crc, h.checksum));
+  }
+  const size_t rows = h.rows;
+  const size_t n = h.encoded_bytes;
+
+  switch (static_cast<ExtentEncoding>(h.encoding)) {
+    case ExtentEncoding::kInt64Raw: {
+      if (n != rows * 8) return CorruptExtent("raw int payload size");
+      ints->resize(rows);
+      std::memcpy(ints->data(), payload, n);
+      return Status::OK();
+    }
+    case ExtentEncoding::kInt64For: {
+      if (n < 9) return CorruptExtent("FOR payload too short");
+      const uint8_t width = payload[0];
+      if (width != 0 && width != 1 && width != 2 && width != 4) {
+        return CorruptExtent("FOR width");
+      }
+      if (n != 9 + rows * width) return CorruptExtent("FOR payload size");
+      const uint64_t ref = LoadPackedU64(payload + 1, 8);
+      ints->resize(rows);
+      int64_t* out = ints->data();
+      const uint8_t* p = payload + 9;
+      if (width == 0) {
+        std::fill(out, out + rows, static_cast<int64_t>(ref));
+      } else {
+        for (size_t i = 0; i < rows; ++i) {
+          out[i] = static_cast<int64_t>(ref + LoadPackedU64(p, width));
+          p += width;
+        }
+      }
+      return Status::OK();
+    }
+    case ExtentEncoding::kInt64DeltaFor: {
+      if (n < 17) return CorruptExtent("delta-FOR payload too short");
+      const uint8_t width = payload[0];
+      if (width != 1 && width != 2 && width != 4) {
+        return CorruptExtent("delta-FOR width");
+      }
+      if (n != 17 + (rows - 1) * width) {
+        return CorruptExtent("delta-FOR payload size");
+      }
+      const uint64_t first = LoadPackedU64(payload + 1, 8);
+      const uint64_t ref = LoadPackedU64(payload + 9, 8);
+      ints->resize(rows);
+      int64_t* out = ints->data();
+      out[0] = static_cast<int64_t>(first);
+      uint64_t acc = first;
+      const uint8_t* p = payload + 17;
+      for (size_t i = 1; i < rows; ++i) {
+        acc += ref + LoadPackedU64(p, width);
+        p += width;
+        out[i] = static_cast<int64_t>(acc);
+      }
+      return Status::OK();
+    }
+    case ExtentEncoding::kInt64Dict: {
+      if (n < 5) return CorruptExtent("dict payload too short");
+      const uint8_t idx_width = payload[0];
+      if (idx_width != 1 && idx_width != 2) {
+        return CorruptExtent("dict index width");
+      }
+      const uint64_t k = LoadPackedU64(payload + 1, 4);
+      if (k == 0 || k > kMaxDictValues) {
+        return CorruptExtent("dict value count");
+      }
+      if (idx_width == 1 && k > 256) {
+        return CorruptExtent("dict value count vs index width");
+      }
+      if (n != 5 + k * 8 + rows * idx_width) {
+        return CorruptExtent("dict payload size");
+      }
+      const uint8_t* vals = payload + 5;
+      const uint8_t* idx = vals + k * 8;
+      ints->resize(rows);
+      int64_t* out = ints->data();
+      for (size_t i = 0; i < rows; ++i) {
+        const uint64_t j = LoadPackedU64(idx + i * idx_width, idx_width);
+        if (j >= k) return CorruptExtent("dict index out of range");
+        out[i] = static_cast<int64_t>(LoadPackedU64(vals + j * 8, 8));
+      }
+      return Status::OK();
+    }
+    case ExtentEncoding::kDoubleRaw: {
+      if (n != rows * 8) return CorruptExtent("raw double payload size");
+      dbls->resize(rows);
+      std::memcpy(dbls->data(), payload, n);
+      return Status::OK();
+    }
+  }
+  return CorruptExtent("unknown encoding");
+}
+
+}  // namespace aqpp

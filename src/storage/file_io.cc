@@ -1,0 +1,163 @@
+#include "storage/file_io.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace aqpp {
+
+std::string ErrnoDetail() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno)
+                    : std::string();
+}
+
+CheckedWriter::~CheckedWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CheckedWriter::Open(const std::string& path) {
+  errno = 0;
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open '" + path + "' for writing" +
+                           ErrnoDetail());
+  }
+  path_ = path;
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status CheckedWriter::Write(const void* data, size_t n) {
+  if (n == 0) return Status::OK();
+  size_t want = n;
+  if (auto fired = AQPP_FAILPOINT_EVAL("storage/io/write")) {
+    if (fired->kind == fail::ActionKind::kReturnError) return fired->error;
+    // Partial I/O: transfer only a fraction, then report the short write
+    // exactly as a full disk would.
+    want = static_cast<size_t>(static_cast<double>(n) * fired->io_fraction);
+  }
+  errno = 0;
+  size_t wrote = std::fwrite(data, 1, want, file_);
+  bytes_written_ += wrote;
+  if (wrote != n) {
+    return Status::IOError(StrFormat(
+        "short write to '%s': wrote %zu of %zu bytes%s", path_.c_str(),
+        wrote, n, ErrnoDetail().c_str()));
+  }
+  return Status::OK();
+}
+
+Status CheckedWriter::WriteLengthPrefixed(const std::string& s) {
+  AQPP_RETURN_NOT_OK(WritePod<uint64_t>(s.size()));
+  return Write(s.data(), s.size());
+}
+
+Status CheckedWriter::Sync() {
+  AQPP_FAILPOINT_RETURN_STATUS("storage/io/fsync");
+  errno = 0;
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("flush failed for '" + path_ + "'" +
+                           ErrnoDetail());
+  }
+  errno = 0;
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError("fsync failed for '" + path_ + "'" +
+                           ErrnoDetail());
+  }
+  return Status::OK();
+}
+
+Status CheckedWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  errno = 0;
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) {
+    return Status::IOError("close failed for '" + path_ + "'" +
+                           ErrnoDetail());
+  }
+  return Status::OK();
+}
+
+CheckedReader::~CheckedReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status CheckedReader::Open(const std::string& path) {
+  errno = 0;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open '" + path + "'" + ErrnoDetail());
+  }
+  path_ = path;
+  struct stat st{};
+  if (::fstat(::fileno(file_), &st) != 0) {
+    return Status::IOError("cannot stat '" + path + "'" + ErrnoDetail());
+  }
+  file_size_ = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Status CheckedReader::Seek(uint64_t offset) {
+  errno = 0;
+  if (::fseeko(file_, static_cast<off_t>(offset), SEEK_SET) != 0) {
+    return Status::IOError(StrFormat("seek to %llu failed in '%s'%s",
+                                     static_cast<unsigned long long>(offset),
+                                     path_.c_str(), ErrnoDetail().c_str()));
+  }
+  return Status::OK();
+}
+
+Status CheckedReader::Read(void* data, size_t n) {
+  if (n == 0) return Status::OK();
+  size_t want = n;
+  if (auto fired = AQPP_FAILPOINT_EVAL("storage/io/read")) {
+    if (fired->kind == fail::ActionKind::kReturnError) return fired->error;
+    want = static_cast<size_t>(static_cast<double>(n) * fired->io_fraction);
+  }
+  errno = 0;
+  size_t got = std::fread(data, 1, want, file_);
+  if (got != n) {
+    return Status::IOError(StrFormat(
+        "short read from '%s': got %zu of %zu bytes%s (truncated file?)",
+        path_.c_str(), got, n, ErrnoDetail().c_str()));
+  }
+  return Status::OK();
+}
+
+Status CheckedReader::ReadLength(uint64_t* len, uint64_t limit,
+                                 const char* what) {
+  AQPP_RETURN_NOT_OK(ReadPod(len));
+  if (*len > limit || *len > file_size_) {
+    return Status::IOError(StrFormat(
+        "corrupt %s length %llu in '%s' (file is %llu bytes)", what,
+        static_cast<unsigned long long>(*len), path_.c_str(),
+        static_cast<unsigned long long>(file_size_)));
+  }
+  return Status::OK();
+}
+
+Status CheckedReader::ReadLengthPrefixed(std::string* s) {
+  uint64_t len = 0;
+  AQPP_RETURN_NOT_OK(ReadLength(&len, file_size_, "string"));
+  s->resize(len);
+  return Read(s->data(), len);
+}
+
+Status CommitRename(const std::string& tmp_path, const std::string& path) {
+  errno = 0;
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    Status st = Status::IOError("rename '" + tmp_path + "' -> '" + path +
+                                "' failed" + ErrnoDetail());
+    std::remove(tmp_path.c_str());
+    return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace aqpp

@@ -1,0 +1,99 @@
+// Checked low-level file I/O shared by the binary table format (io.cc) and
+// the extent format (extent_file.cc).
+//
+// Every Write/Read verifies the full byte count (fwrite/fread short transfers
+// are real failure modes on full disks and truncated files), length fields
+// are validated before any allocation, and Sync() forces data to stable
+// storage before an atomic-rename commit. The storage/io/{read,write,fsync}
+// failpoints land here, so fault tests exercise exactly the code paths a
+// failing disk would, for every on-disk format at once.
+
+#ifndef AQPP_STORAGE_FILE_IO_H_
+#define AQPP_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace aqpp {
+
+// ": <strerror>" when errno is set, empty otherwise.
+std::string ErrnoDetail();
+
+// Checked binary writer over cstdio. See file comment for guarantees.
+class CheckedWriter {
+ public:
+  CheckedWriter() = default;
+  ~CheckedWriter();
+  CheckedWriter(const CheckedWriter&) = delete;
+  CheckedWriter& operator=(const CheckedWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Write(const void* data, size_t n);
+
+  template <typename T>
+  Status WritePod(const T& v) {
+    return Write(&v, sizeof(T));
+  }
+
+  Status WriteLengthPrefixed(const std::string& s);
+
+  // Bytes successfully written so far (the current file offset).
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Flushes libc buffers and fsyncs the fd: after OK, the bytes are on
+  // stable storage (the precondition for the atomic-rename commit).
+  Status Sync();
+  Status Close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+// Checked binary reader: every Read verifies the full byte count and length
+// fields are validated against the file's actual size before any allocation,
+// so truncated or corrupt files fail loudly instead of crashing.
+class CheckedReader {
+ public:
+  CheckedReader() = default;
+  ~CheckedReader();
+  CheckedReader(const CheckedReader&) = delete;
+  CheckedReader& operator=(const CheckedReader&) = delete;
+
+  Status Open(const std::string& path);
+  uint64_t file_size() const { return file_size_; }
+
+  // Repositions the read cursor (absolute byte offset).
+  Status Seek(uint64_t offset);
+
+  Status Read(void* data, size_t n);
+
+  template <typename T>
+  Status ReadPod(T* v) {
+    return Read(v, sizeof(T));
+  }
+
+  // Reads a u64 length field and validates it against `limit` and the file
+  // size, so a corrupt length can never drive a huge allocation.
+  Status ReadLength(uint64_t* len, uint64_t limit, const char* what);
+  Status ReadLengthPrefixed(std::string* s);
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t file_size_ = 0;
+};
+
+// Commits `tmp_path` over `path` (atomic on POSIX). The caller has already
+// synced tmp_path, so after OK the destination holds the complete new
+// contents; on any earlier failure the destination still holds its previous
+// contents — never a torn mix.
+Status CommitRename(const std::string& tmp_path, const std::string& path);
+
+}  // namespace aqpp
+
+#endif  // AQPP_STORAGE_FILE_IO_H_

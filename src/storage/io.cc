@@ -1,9 +1,5 @@
 #include "storage/io.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +11,7 @@
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "storage/file_io.h"
 
 namespace aqpp {
 
@@ -27,11 +24,6 @@ constexpr char kBinaryMagic[8] = {'A', 'Q', 'P', 'P', 'T', 'B', 'L', '1'};
 // multi-gigabyte resize or a crash.
 constexpr uint64_t kMaxColumns = 1u << 20;
 constexpr uint64_t kMaxDictEntries = 1u << 28;
-
-std::string ErrnoDetail() {
-  return errno != 0 ? std::string(": ") + std::strerror(errno)
-                    : std::string();
-}
 
 Status ParseField(const std::string& field, DataType type, Column* col) {
   switch (type) {
@@ -60,180 +52,6 @@ Status ParseField(const std::string& field, DataType type, Column* col) {
       return Status::OK();
   }
   return Status::Internal("unreachable");
-}
-
-// Checked binary writer over cstdio. Every Write verifies the full byte
-// count (fwrite's short-write case is a real failure mode on full disks);
-// Sync() forces the data to stable storage before the commit rename. The
-// storage/io/write and storage/io/fsync failpoints land here so fault tests
-// exercise exactly the code paths a failing disk would.
-class CheckedWriter {
- public:
-  ~CheckedWriter() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-
-  Status Open(const std::string& path) {
-    errno = 0;
-    file_ = std::fopen(path.c_str(), "wb");
-    if (file_ == nullptr) {
-      return Status::IOError("cannot open '" + path + "' for writing" +
-                             ErrnoDetail());
-    }
-    path_ = path;
-    return Status::OK();
-  }
-
-  Status Write(const void* data, size_t n) {
-    if (n == 0) return Status::OK();
-    size_t want = n;
-    if (auto fired = AQPP_FAILPOINT_EVAL("storage/io/write")) {
-      if (fired->kind == fail::ActionKind::kReturnError) return fired->error;
-      // Partial I/O: transfer only a fraction, then report the short write
-      // exactly as a full disk would.
-      want = static_cast<size_t>(static_cast<double>(n) * fired->io_fraction);
-    }
-    errno = 0;
-    size_t wrote = std::fwrite(data, 1, want, file_);
-    if (wrote != n) {
-      return Status::IOError(StrFormat(
-          "short write to '%s': wrote %zu of %zu bytes%s", path_.c_str(),
-          wrote, n, ErrnoDetail().c_str()));
-    }
-    return Status::OK();
-  }
-
-  template <typename T>
-  Status WritePod(const T& v) {
-    return Write(&v, sizeof(T));
-  }
-
-  Status WriteLengthPrefixed(const std::string& s) {
-    AQPP_RETURN_NOT_OK(WritePod<uint64_t>(s.size()));
-    return Write(s.data(), s.size());
-  }
-
-  // Flushes libc buffers and fsyncs the fd: after OK, the bytes are on
-  // stable storage (the precondition for the atomic-rename commit).
-  Status Sync() {
-    AQPP_FAILPOINT_RETURN_STATUS("storage/io/fsync");
-    errno = 0;
-    if (std::fflush(file_) != 0) {
-      return Status::IOError("flush failed for '" + path_ + "'" +
-                             ErrnoDetail());
-    }
-    errno = 0;
-    if (::fsync(::fileno(file_)) != 0) {
-      return Status::IOError("fsync failed for '" + path_ + "'" +
-                             ErrnoDetail());
-    }
-    return Status::OK();
-  }
-
-  Status Close() {
-    if (file_ == nullptr) return Status::OK();
-    errno = 0;
-    int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (rc != 0) {
-      return Status::IOError("close failed for '" + path_ + "'" +
-                             ErrnoDetail());
-    }
-    return Status::OK();
-  }
-
- private:
-  std::FILE* file_ = nullptr;
-  std::string path_;
-};
-
-// Checked binary reader: every Read verifies the full byte count and length
-// fields are validated against the file's actual size before any allocation,
-// so truncated or corrupt files fail loudly instead of crashing.
-class CheckedReader {
- public:
-  ~CheckedReader() {
-    if (file_ != nullptr) std::fclose(file_);
-  }
-
-  Status Open(const std::string& path) {
-    errno = 0;
-    file_ = std::fopen(path.c_str(), "rb");
-    if (file_ == nullptr) {
-      return Status::IOError("cannot open '" + path + "'" + ErrnoDetail());
-    }
-    path_ = path;
-    struct stat st{};
-    if (::fstat(::fileno(file_), &st) != 0) {
-      return Status::IOError("cannot stat '" + path + "'" + ErrnoDetail());
-    }
-    file_size_ = static_cast<uint64_t>(st.st_size);
-    return Status::OK();
-  }
-
-  uint64_t file_size() const { return file_size_; }
-
-  Status Read(void* data, size_t n) {
-    if (n == 0) return Status::OK();
-    size_t want = n;
-    if (auto fired = AQPP_FAILPOINT_EVAL("storage/io/read")) {
-      if (fired->kind == fail::ActionKind::kReturnError) return fired->error;
-      want = static_cast<size_t>(static_cast<double>(n) * fired->io_fraction);
-    }
-    errno = 0;
-    size_t got = std::fread(data, 1, want, file_);
-    if (got != n) {
-      return Status::IOError(StrFormat(
-          "short read from '%s': got %zu of %zu bytes%s (truncated file?)",
-          path_.c_str(), got, n, ErrnoDetail().c_str()));
-    }
-    return Status::OK();
-  }
-
-  template <typename T>
-  Status ReadPod(T* v) {
-    return Read(v, sizeof(T));
-  }
-
-  // Reads a u64 length field and validates it against `limit` and the file
-  // size, so a corrupt length can never drive a huge allocation.
-  Status ReadLength(uint64_t* len, uint64_t limit, const char* what) {
-    AQPP_RETURN_NOT_OK(ReadPod(len));
-    if (*len > limit || *len > file_size_) {
-      return Status::IOError(StrFormat(
-          "corrupt %s length %llu in '%s' (file is %llu bytes)", what,
-          static_cast<unsigned long long>(*len), path_.c_str(),
-          static_cast<unsigned long long>(file_size_)));
-    }
-    return Status::OK();
-  }
-
-  Status ReadLengthPrefixed(std::string* s) {
-    uint64_t len = 0;
-    AQPP_RETURN_NOT_OK(ReadLength(&len, file_size_, "string"));
-    s->resize(len);
-    return Read(s->data(), len);
-  }
-
- private:
-  std::FILE* file_ = nullptr;
-  std::string path_;
-  uint64_t file_size_ = 0;
-};
-
-// Commits `tmp_path` over `path` (atomic on POSIX). The caller has already
-// synced tmp_path, so after OK the destination holds the complete new
-// contents; on any earlier failure the destination still holds its previous
-// contents — never a torn mix.
-Status CommitRename(const std::string& tmp_path, const std::string& path) {
-  errno = 0;
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    Status st = Status::IOError("rename '" + tmp_path + "' -> '" + path +
-                                "' failed" + ErrnoDetail());
-    std::remove(tmp_path.c_str());
-    return st;
-  }
-  return Status::OK();
 }
 
 Status WriteBinaryImpl(const Table& table, CheckedWriter& out) {
