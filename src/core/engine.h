@@ -199,6 +199,15 @@ class AqppEngine {
   Status SaveState(const std::string& dir) const;
   Status LoadState(const std::string& dir);
 
+  // Adopts already-built prepared state (e.g. from the one-pass streaming
+  // builder) instead of re-sampling and re-precomputing — the shard-worker
+  // path, where cube and sample come out of BuildCubeAndSampleFromSource
+  // over the shard's slab. Wiring matches LoadState: the sample's schema
+  // must match the engine's table, and a null cube leaves the engine in
+  // plain-AQP mode.
+  Status AdoptPrepared(const QueryTemplate& tmpl, Sample sample,
+                       std::shared_ptr<PrefixCube> cube);
+
   const Table& table() const { return *table_; }
   const Sample& sample() const { return sample_; }
   bool has_cube() const { return cube_ != nullptr; }

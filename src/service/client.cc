@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -43,6 +44,7 @@ Result<QueryReply> ParseQueryReply(const Response& r) {
   AQPP_ASSIGN_OR_RETURN(reply.level, r.GetDouble("level"));
   reply.cache_hit = r.Find("cache_hit").value_or("0") == "1";
   reply.partial = r.Find("partial").value_or("0") == "1";
+  reply.degraded = r.Find("degraded").value_or("0") == "1";
   if (auto rows = r.Find("rows_used")) {
     reply.rows_used = std::strtoull(rows->c_str(), nullptr, 10);
   }
@@ -119,6 +121,10 @@ Result<std::string> ServiceClient::ReadLine() {
     if (n == 0) return Status::IOError("server closed the connection");
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::DeadlineExceeded(
+            "recv timed out (SO_RCVTIMEO); connection is now desynchronized");
+      }
       return Status::IOError(std::string("recv: ") + std::strerror(errno));
     }
     buffer_.append(chunk, static_cast<size_t>(n));
@@ -141,6 +147,24 @@ Result<Response> ServiceClient::Call(const std::string& request_line) {
   }
   AQPP_ASSIGN_OR_RETURN(std::string reply, ReadLine());
   return ParseResponse(reply);
+}
+
+Status ServiceClient::SetRecvTimeout(double seconds) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec =
+        static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) *
+                                 1e6);
+    // A strictly positive timeout must not round down to {0,0} ("forever").
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return Status::IOError(std::string("setsockopt(SO_RCVTIMEO): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
 }
 
 Result<uint64_t> ServiceClient::Hello(const std::string& name) {
@@ -179,16 +203,30 @@ Result<QueryReply> ServiceClient::QueryWithRetry(const std::string& sql,
   Rng rng(policy.seed == 0 ? 1 : policy.seed);
   double backoff = std::max(0.0, policy.initial_backoff_seconds);
   Status last_reject = Status::OK();
+  // Degraded coordinator answers are OK-but-flagged; with retry_degraded the
+  // loop resubmits for a full answer but keeps the best degraded reply as
+  // the fallback — a widened CI beats an error when the shard stays down.
+  std::optional<QueryReply> last_degraded;
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     AQPP_ASSIGN_OR_RETURN(Response r, Call("QUERY " + sql));
-    if (r.ok) return ParseQueryReply(r);
-    Status st = StatusFromWire(r);
-    if (st.code() != StatusCode::kResourceExhausted) return st;
-    last_reject = std::move(st);
-    if (attempt == max_attempts) break;
+    bool degraded_retry = false;
+    if (r.ok) {
+      AQPP_ASSIGN_OR_RETURN(QueryReply reply, ParseQueryReply(r));
+      if (!reply.degraded || !policy.retry_degraded) return reply;
+      last_degraded = std::move(reply);
+      degraded_retry = true;
+      if (attempt == max_attempts) break;
+    } else {
+      Status st = StatusFromWire(r);
+      if (st.code() != StatusCode::kResourceExhausted) return st;
+      last_reject = std::move(st);
+      if (attempt == max_attempts) break;
+    }
     double sleep_seconds = backoff;
-    if (auto hint = r.GetUint("retry_after_ms"); hint.ok()) {
-      sleep_seconds = static_cast<double>(*hint) / 1000.0;
+    if (!degraded_retry) {
+      if (auto hint = r.GetUint("retry_after_ms"); hint.ok()) {
+        sleep_seconds = static_cast<double>(*hint) / 1000.0;
+      }
     }
     sleep_seconds = std::min(sleep_seconds, policy.max_backoff_seconds);
     if (policy.jitter_fraction > 0) {
@@ -196,6 +234,7 @@ Result<QueryReply> ServiceClient::QueryWithRetry(const std::string& sql,
       sleep_seconds *= 1.0 - j + 2.0 * j * rng.NextDouble();
     }
     if (sleep_seconds > deadline.remaining_seconds()) {
+      if (last_degraded.has_value()) return *last_degraded;
       return Status::Unavailable(StrFormat(
           "service saturated: retry budget of %.3fs exhausted after %d "
           "attempts (last rejection: %s)",
@@ -206,6 +245,7 @@ Result<QueryReply> ServiceClient::QueryWithRetry(const std::string& sql,
     SleepFor(sleep_seconds);
     backoff = std::min(backoff * 2.0, policy.max_backoff_seconds);
   }
+  if (last_degraded.has_value()) return *last_degraded;
   return Status::Unavailable(StrFormat(
       "service saturated: still rejected after %d attempts (last rejection: "
       "%s)",

@@ -41,6 +41,13 @@ struct RetryPolicy {
   double jitter_fraction = 0.2;
   // Seed for the jitter RNG: same seed => same sleep sequence.
   uint64_t seed = 1;
+  // Opt-in handling of coordinator degraded answers (degraded=1 on the
+  // wire: some shards were missing and the CI was widened). When false a
+  // degraded reply is returned as-is — it is still an OK answer, just
+  // flagged. When true the loop treats it like a rejection: back off and
+  // resubmit for a full answer, returning the last degraded reply only if
+  // every attempt stayed degraded.
+  bool retry_degraded = false;
   // Test hook observing every backoff decision.
   std::function<void(int attempt, double sleep_seconds)> on_backoff;
 };
@@ -53,6 +60,10 @@ struct QueryReply {
   double level = 0;
   bool cache_hit = false;
   bool partial = false;
+  // Coordinator answers only: true when shards were missing and the answer
+  // was extrapolated with a widened CI (degraded=1 on the wire). Distinct
+  // from `partial`, the single-engine deadline semantics.
+  bool degraded = false;
   uint64_t rows_used = 0;
   bool used_pre = false;
   double queue_ms = 0;
@@ -72,6 +83,13 @@ class ServiceClient {
 
   // Sends one request line and reads one response line.
   Result<Response> Call(const std::string& request_line);
+
+  // Caps how long a blocking read on this connection may wait (SO_RCVTIMEO;
+  // <= 0 restores "wait forever"). A timed-out Call returns
+  // DeadlineExceeded and the connection should be considered poisoned (a
+  // late reply would desynchronize the line protocol). The coordinator's
+  // per-shard deadlines ride on this.
+  Status SetRecvTimeout(double seconds);
 
   // HELLO [name] -> session id.
   Result<uint64_t> Hello(const std::string& name = "");

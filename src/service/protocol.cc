@@ -54,6 +54,18 @@ Result<Request> ParseRequest(const std::string& line) {
     req.type = RequestType::kQuit;
     return req;
   }
+  if (verb == "shardinfo") {
+    req.type = RequestType::kShardInfo;
+    return req;
+  }
+  if (verb == "partial") {
+    req.type = RequestType::kPartial;
+    if (rest.empty()) {
+      return Status::InvalidArgument("PARTIAL wants a query spec");
+    }
+    req.args = std::string(rest);
+    return req;
+  }
   return Status::InvalidArgument("unknown verb '" + verb + "'");
 }
 

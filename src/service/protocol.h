@@ -11,6 +11,14 @@
 //                           <n> raw text lines ending with a "# EOF" line
 //   QUIT                    close session            -> OK bye=1
 //
+// Shard-worker verbs (src/shard/, served by aqpp-shardd):
+//
+//   SHARDINFO               shard registration info  -> OK shard=<i>
+//                           shards=<n> rows=<r> ... (see docs/sharding.md)
+//   PARTIAL <spec>          per-shard partial aggregates for one canonical
+//                           query; <spec> is space-separated key=value text
+//                           parsed by ParsePartialSpec (src/shard/partial.h)
+//
 // Responses are a verdict token followed by space-separated key=value
 // fields; values never contain spaces except the trailing msg= field of an
 // error, which consumes the rest of the line:
@@ -35,7 +43,17 @@
 
 namespace aqpp {
 
-enum class RequestType { kHello, kPing, kSet, kQuery, kStats, kMetrics, kQuit };
+enum class RequestType {
+  kHello,
+  kPing,
+  kSet,
+  kQuery,
+  kStats,
+  kMetrics,
+  kQuit,
+  kShardInfo,
+  kPartial,
+};
 
 struct Request {
   RequestType type = RequestType::kPing;
@@ -43,6 +61,7 @@ struct Request {
   std::string set_key;    // SET
   std::string set_value;  // SET
   std::string sql;        // QUERY
+  std::string args;       // PARTIAL (rest of line, the partial spec)
 };
 
 // Parses one request line (newline already stripped). Unknown verbs and

@@ -30,6 +30,17 @@ QueryCanonicalizer::QueryCanonicalizer(const Table* table) {
   }
 }
 
+QueryCanonicalizer QueryCanonicalizer::FromDomains(
+    size_t num_columns, const std::vector<ColumnDomainSpec>& domains) {
+  QueryCanonicalizer canon;
+  canon.domains_.resize(num_columns);
+  for (const ColumnDomainSpec& d : domains) {
+    if (d.column >= num_columns) continue;
+    canon.domains_[d.column] = {true, d.lo, d.hi};
+  }
+  return canon;
+}
+
 CanonicalQuery QueryCanonicalizer::Canonicalize(const RangeQuery& query) const {
   CanonicalQuery out;
   out.query.func = query.func;

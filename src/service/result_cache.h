@@ -45,11 +45,26 @@ struct CanonicalQuery {
 // FNV-1a over `s`; the cache's key hash and the seed derivation.
 uint64_t Fnv1a64(const std::string& s);
 
+// One column's known ordinal domain, for building a canonicalizer without
+// an in-process table (the shard coordinator learns these over SHARDINFO).
+struct ColumnDomainSpec {
+  size_t column = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
 class QueryCanonicalizer {
  public:
   // Precomputes per-column domains of `table` (ordinal columns only);
   // `table` must outlive the canonicalizer.
   explicit QueryCanonicalizer(const Table* table);
+
+  // Builds from externally supplied domains instead of a table. Columns not
+  // listed have unknown domains (their conditions pass through unclamped).
+  // Same canonical form as the table constructor when the domains match, so
+  // a coordinator and a single-engine service agree on keys and seeds.
+  static QueryCanonicalizer FromDomains(
+      size_t num_columns, const std::vector<ColumnDomainSpec>& domains);
 
   // Normal form: conditions clamped to the column domain, same-column
   // conditions intersected, vacuous (full-domain) conditions dropped,
@@ -59,6 +74,8 @@ class QueryCanonicalizer {
   CanonicalQuery Canonicalize(const RangeQuery& query) const;
 
  private:
+  QueryCanonicalizer() = default;
+
   struct Domain {
     bool known = false;
     int64_t lo = 0;

@@ -258,6 +258,11 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
       *quit = true;
       resp.AddUint("bye", 1);
       return FormatResponse(resp);
+    case RequestType::kShardInfo:
+    case RequestType::kPartial:
+      return FormatResponse(Response::Error(
+          "Unimplemented",
+          "shard verbs are served by aqpp-shardd, not the query service"));
   }
   return FormatResponse(Response::Error("Internal", "unhandled verb"));
 }

@@ -1,0 +1,373 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "service/client.h"
+#include "shard/partition.h"
+
+namespace aqpp {
+namespace shard {
+
+namespace {
+
+struct CoordMetrics {
+  obs::Counter* queries;
+  obs::Counter* scatters;
+  obs::Counter* failovers;
+  obs::Counter* shard_failures;
+  obs::Counter* degraded;
+  static const CoordMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const CoordMetrics m = {
+        reg.GetCounter("aqpp_coord_queries_total", "",
+                       "Queries answered by the shard coordinator."),
+        reg.GetCounter("aqpp_coord_scatter_total", "",
+                       "PARTIAL fetch attempts fanned out to shard workers."),
+        reg.GetCounter("aqpp_coord_failovers_total", "",
+                       "Fetches retried on another replica of the shard."),
+        reg.GetCounter("aqpp_coord_shard_failures_total", "",
+                       "Shards whose every replica failed for a query."),
+        reg.GetCounter("aqpp_coord_degraded_total", "",
+                       "Merged answers returned in degraded (partial) "
+                       "form."),
+    };
+    return m;
+  }
+};
+
+obs::Histogram* ShardLatency(uint32_t shard_index) {
+  return obs::Registry::Global().GetHistogram(
+      "aqpp_coord_shard_seconds",
+      StrFormat("shard=\"%u\"", shard_index), {},
+      "Per-shard PARTIAL round-trip seconds as seen by the coordinator.");
+}
+
+Status WireError(const Response& r) {
+  std::string code = r.Find("code").value_or("Internal");
+  std::string msg = r.message.empty() ? code : r.message;
+  if (code == "DeadlineExceeded") return Status::DeadlineExceeded(msg);
+  if (code == "InvalidArgument") return Status::InvalidArgument(msg);
+  if (code == "Unimplemented") return Status::Unimplemented(msg);
+  if (code == "FailedPrecondition") return Status::FailedPrecondition(msg);
+  return Status::Unavailable(code + ": " + msg);
+}
+
+PartialWants WantsForMode(MergeMode mode) {
+  PartialWants wants;
+  switch (mode) {
+    case MergeMode::kExact:
+      wants.exact = true;
+      break;
+    case MergeMode::kSample:
+      wants.sample = true;
+      break;
+    case MergeMode::kEngine:
+      wants.engine = true;
+      break;
+  }
+  return wants;
+}
+
+// Parses the SHARDINFO "domains" field: `col:min:max,col:min:max,...`.
+Result<std::vector<ColumnDomainSpec>> ParseDomains(const std::string& text) {
+  std::vector<ColumnDomainSpec> out;
+  if (text.empty()) return out;
+  for (const std::string& triple : SplitString(text, ',')) {
+    std::vector<std::string> parts = SplitString(triple, ':');
+    if (parts.size() != 3) {
+      return Status::FailedPrecondition("malformed domain triple '" + triple +
+                                        "'");
+    }
+    ColumnDomainSpec spec;
+    char* end = nullptr;
+    spec.column = static_cast<size_t>(std::strtoull(parts[0].c_str(), &end, 10));
+    if (end == parts[0].c_str() || *end != '\0') {
+      return Status::FailedPrecondition("bad domain column '" + parts[0] + "'");
+    }
+    spec.lo = std::strtoll(parts[1].c_str(), &end, 10);
+    if (end == parts[1].c_str() || *end != '\0') {
+      return Status::FailedPrecondition("bad domain lo '" + parts[1] + "'");
+    }
+    spec.hi = std::strtoll(parts[2].c_str(), &end, 10);
+    if (end == parts[2].c_str() || *end != '\0') {
+      return Status::FailedPrecondition("bad domain hi '" + parts[2] + "'");
+    }
+    out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(
+    std::vector<std::vector<ReplicaEndpoint>> replicas,
+    CoordinatorOptions options)
+    : replicas_(std::move(replicas)),
+      options_(options),
+      wants_(WantsForMode(options.mode)),
+      cache_(ResultCacheOptions{options.cache_capacity}) {}
+
+Status ShardCoordinator::Connect() {
+  if (replicas_.empty()) {
+    return Status::InvalidArgument("coordinator needs at least one shard");
+  }
+  const size_t n = replicas_.size();
+  topology_.assign(n, {});
+  std::vector<char> known(n, 0);
+  // Global domain = union over shards: min of mins, max of maxes. A query
+  // canonicalized against the union clamps exactly like the single-engine
+  // canonicalizer over the whole table would.
+  std::map<size_t, std::pair<int64_t, int64_t>> domain;
+  for (size_t i = 0; i < n; ++i) {
+    if (replicas_[i].empty()) {
+      return Status::InvalidArgument(
+          StrFormat("shard %zu has no replica endpoints", i));
+    }
+    Status last = Status::Unavailable("unreachable");
+    bool got = false;
+    for (const ReplicaEndpoint& ep : replicas_[i]) {
+      auto client = ServiceClient::Connect(ep.host, ep.port);
+      if (!client.ok()) {
+        last = client.status();
+        continue;
+      }
+      if (Status st = client->SetRecvTimeout(options_.shard_timeout_seconds);
+          !st.ok()) {
+        last = std::move(st);
+        continue;
+      }
+      auto r = client->Call("SHARDINFO");
+      if (!r.ok()) {
+        last = r.status();
+        continue;
+      }
+      if (!r->ok) {
+        last = WireError(*r);
+        continue;
+      }
+      auto shard = r->GetUint("shard");
+      auto shards = r->GetUint("shards");
+      auto rows = r->GetUint("rows");
+      auto row_begin = r->GetUint("row_begin");
+      auto sample_rows = r->GetUint("sample_rows");
+      if (!shard.ok() || !shards.ok() || !rows.ok() || !row_begin.ok() ||
+          !sample_rows.ok()) {
+        last = Status::FailedPrecondition("incomplete SHARDINFO reply");
+        continue;
+      }
+      if (*shard != i || *shards != n) {
+        return Status::FailedPrecondition(StrFormat(
+            "endpoint %s:%d identifies as shard %llu/%llu, expected %zu/%zu",
+            ep.host.c_str(), ep.port,
+            static_cast<unsigned long long>(*shard),
+            static_cast<unsigned long long>(*shards), i, n));
+      }
+      if (*rows == 0) {
+        return Status::FailedPrecondition(
+            StrFormat("shard %zu reports zero rows", i));
+      }
+      auto domains = ParseDomains(r->Find("domains").value_or(""));
+      if (!domains.ok()) {
+        last = domains.status();
+        continue;
+      }
+      topology_[i] = {*rows, *row_begin, *sample_rows};
+      for (const ColumnDomainSpec& d : *domains) {
+        auto [it, inserted] = domain.emplace(d.column,
+                                             std::make_pair(d.lo, d.hi));
+        if (!inserted) {
+          it->second.first = std::min(it->second.first, d.lo);
+          it->second.second = std::max(it->second.second, d.hi);
+        }
+      }
+      got = true;
+      break;
+    }
+    if (got) {
+      known[i] = 1;
+    } else if (!options_.allow_degraded) {
+      return Status::Unavailable(
+          StrFormat("shard %zu: every replica failed SHARDINFO (last: %s)", i,
+                    last.message().c_str()));
+    } else {
+      // Degraded boot: serve what is reachable. With the shard's row count
+      // unknown the merge falls back to covered-mean extrapolation
+      // (MergeOptions.total_rows == 0) until the shard comes back.
+      AQPP_LOG(Warning) << "shard " << i
+                        << " unreachable at connect; starting degraded "
+                           "(last: "
+                        << last.message() << ")";
+    }
+  }
+  const size_t known_count =
+      static_cast<size_t>(std::count(known.begin(), known.end(), 1));
+  if (known_count == 0) {
+    return Status::Unavailable("every shard failed SHARDINFO");
+  }
+  if (known_count == n) {
+    // Row ranges must tile [0, total) in shard order — the exact merge
+    // splices block sequences by position, so a gap or overlap would
+    // silently corrupt answers.
+    uint64_t expect_begin = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (topology_[i].row_begin != expect_begin) {
+        return Status::FailedPrecondition(StrFormat(
+            "shard %zu starts at row %llu, expected %llu (ranges must be "
+            "contiguous)",
+            i, static_cast<unsigned long long>(topology_[i].row_begin),
+            static_cast<unsigned long long>(expect_begin)));
+      }
+      expect_begin += topology_[i].rows;
+    }
+    total_rows_ = expect_begin;
+  } else {
+    total_rows_ = 0;  // unknown — merge extrapolates from the covered mean
+  }
+  size_t num_columns = 0;
+  std::vector<ColumnDomainSpec> specs;
+  specs.reserve(domain.size());
+  for (const auto& [col, range] : domain) {
+    specs.push_back({col, range.first, range.second});
+    num_columns = std::max(num_columns, col + 1);
+  }
+  canonicalizer_ = QueryCanonicalizer::FromDomains(num_columns, specs);
+  connected_ = true;
+  return Status::OK();
+}
+
+Result<ShardPartial> ShardCoordinator::FetchFrom(
+    const ReplicaEndpoint& endpoint, const std::string& request_line) const {
+  AQPP_ASSIGN_OR_RETURN(ServiceClient client,
+                        ServiceClient::Connect(endpoint.host, endpoint.port));
+  AQPP_RETURN_NOT_OK(client.SetRecvTimeout(options_.shard_timeout_seconds));
+  AQPP_ASSIGN_OR_RETURN(Response r, client.Call(request_line));
+  if (!r.ok) return WireError(r);
+  return ParsePartial(r);
+}
+
+Result<ShardPartial> ShardCoordinator::FetchShard(
+    uint32_t shard_index, const std::string& request_line,
+    uint64_t seed) const {
+  const CoordMetrics& metrics = CoordMetrics::Get();
+  const std::vector<ReplicaEndpoint>& reps = replicas_[shard_index];
+  const size_t num_replicas = reps.size();
+  // Same (coordinator seed, query seed, shard) => same first replica, so a
+  // repeated query exercises the same worker and chaos runs replay.
+  const size_t pick = static_cast<size_t>(
+      ShardSeed(options_.seed ^ seed, shard_index) % num_replicas);
+  Status last = Status::Unavailable("no replicas");
+  for (size_t attempt = 0; attempt < num_replicas; ++attempt) {
+    const ReplicaEndpoint& ep = reps[(pick + attempt) % num_replicas];
+    if (attempt > 0) metrics.failovers->Increment();
+    metrics.scatters->Increment();
+    Timer timer;
+    Result<ShardPartial> partial = FetchFrom(ep, request_line);
+    const double elapsed = timer.ElapsedSeconds();
+    ShardLatency(shard_index)->Observe(elapsed);
+    if (elapsed > options_.straggler_seconds) {
+      AQPP_LOG(Warning) << "straggler: shard " << shard_index << " replica "
+                        << ep.host << ":" << ep.port << " took " << elapsed
+                        << "s (budget " << options_.straggler_seconds << "s)";
+    }
+    if (partial.ok()) {
+      if (partial->shard_index != shard_index ||
+          partial->num_shards != replicas_.size()) {
+        last = Status::FailedPrecondition(StrFormat(
+            "replica %s:%d answered as shard %u/%u, expected %u/%zu",
+            ep.host.c_str(), ep.port, partial->shard_index,
+            partial->num_shards, shard_index, replicas_.size()));
+        continue;
+      }
+      return partial;
+    }
+    last = partial.status();
+  }
+  metrics.shard_failures->Increment();
+  return last;
+}
+
+std::vector<std::optional<ShardPartial>> ShardCoordinator::Scatter(
+    const RangeQuery& query, uint64_t seed) const {
+  PartialSpec spec;
+  spec.query = query;
+  spec.wants = wants_;
+  spec.seed = seed;
+  const std::string line = "PARTIAL " + FormatPartialSpec(spec);
+  std::vector<std::optional<ShardPartial>> partials(replicas_.size());
+  auto fetch = [&](uint32_t i) {
+    Result<ShardPartial> r = FetchShard(i, line, seed);
+    if (r.ok()) {
+      partials[i] = std::move(r).value();
+    } else {
+      AQPP_LOG(Warning) << "shard " << i
+                        << " unavailable: " << r.status().ToString();
+    }
+  };
+  if (replicas_.size() > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(replicas_.size());
+    for (uint32_t i = 0; i < replicas_.size(); ++i) {
+      threads.emplace_back(fetch, i);
+    }
+    for (std::thread& t : threads) t.join();
+  } else {
+    fetch(0);
+  }
+  return partials;
+}
+
+Result<CoordinatorAnswer> ShardCoordinator::Query(const RangeQuery& query) {
+  if (!connected_) {
+    return Status::FailedPrecondition("coordinator is not connected");
+  }
+  const CoordMetrics& metrics = CoordMetrics::Get();
+  metrics.queries->Increment();
+  Timer timer;
+  CanonicalQuery canonical = canonicalizer_->Canonicalize(query);
+  CoordinatorAnswer answer;
+  answer.cache_key = canonical.key;
+  answer.seed = canonical.seed;
+  if (std::optional<ApproximateResult> hit = cache_.Lookup(canonical.key)) {
+    answer.cache_hit = true;
+    answer.merged.ci = hit->ci;
+    answer.merged.used_pre = hit->used_pre;
+    answer.merged.degraded = false;  // degraded answers are never cached
+    answer.merged.shards_total = static_cast<uint32_t>(replicas_.size());
+    answer.merged.shards_answered = static_cast<uint32_t>(replicas_.size());
+    answer.exec_seconds = timer.ElapsedSeconds();
+    return answer;
+  }
+  const uint64_t generation = cache_.generation();
+  std::vector<std::optional<ShardPartial>> partials =
+      Scatter(canonical.query, canonical.seed);
+  MergeOptions merge;
+  merge.mode = options_.mode;
+  merge.confidence_level = options_.confidence_level;
+  merge.total_rows = total_rows_;
+  merge.degraded_penalty = options_.degraded_penalty;
+  merge.allow_degraded = options_.allow_degraded;
+  AQPP_ASSIGN_OR_RETURN(answer.merged,
+                        MergePartials(canonical.query, partials, merge));
+  if (answer.merged.degraded) {
+    metrics.degraded->Increment();
+  } else {
+    ApproximateResult result;
+    result.ci = answer.merged.ci;
+    result.used_pre = answer.merged.used_pre;
+    cache_.InsertIfCurrent(canonical.key, /*template_id=*/-1, result,
+                           generation);
+  }
+  answer.exec_seconds = timer.ElapsedSeconds();
+  return answer;
+}
+
+}  // namespace shard
+}  // namespace aqpp

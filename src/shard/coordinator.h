@@ -1,0 +1,127 @@
+// ShardCoordinator: the merging front of the scatter-gather tier.
+//
+// The coordinator owns no data. It learns the topology over SHARDINFO
+// (per-shard row ranges + condition-column domains), canonicalizes each
+// query against the merged global domain with the same QueryCanonicalizer
+// the single-engine service uses (same keys, same derived seeds), scatters
+// PARTIAL requests to one replica per shard under a per-shard recv
+// deadline, and folds the partials in fixed shard-index order with
+// MergePartials — so the merged answer is a pure function of (shard data,
+// canonical query) regardless of worker count or arrival order.
+//
+// Replica fan-out: each shard may have R interchangeable replicas (same
+// slab, same ShardSeed => same reservoir bits). The replica tried first is
+// a deterministic function of (coordinator seed, canonical query seed,
+// shard index); on failure or timeout the others are tried in rotation.
+// Only when every replica of a shard fails does the merge degrade: the
+// answer is extrapolated, its CI widened, flagged `degraded`, and — by
+// contract, enforced here — never inserted into the result cache.
+#ifndef AQPP_SHARD_COORDINATOR_H_
+#define AQPP_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "service/result_cache.h"
+#include "shard/partial.h"
+
+namespace aqpp {
+namespace shard {
+
+struct ReplicaEndpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+struct CoordinatorOptions {
+  // Per-attempt recv deadline for SHARDINFO / PARTIAL calls. A replica that
+  // blows this deadline counts as failed and the next replica is tried.
+  double shard_timeout_seconds = 2.0;
+  // Shards slower than this get a straggler warning in the log.
+  double straggler_seconds = 0.5;
+  // Coordinator-level seed folded into the replica pick.
+  uint64_t seed = 42;
+  // Which partial view the merge runs on (the matching `want` is requested).
+  MergeMode mode = MergeMode::kSample;
+  double confidence_level = 0.95;
+  double degraded_penalty = 4.0;
+  // When false a missing shard fails the query instead of degrading it.
+  bool allow_degraded = true;
+  size_t cache_capacity = 1024;
+};
+
+struct CoordinatorAnswer {
+  MergedAnswer merged;
+  bool cache_hit = false;
+  std::string cache_key;
+  // The canonical execution seed (shipped to every shard).
+  uint64_t seed = 0;
+  double exec_seconds = 0;
+};
+
+class ShardCoordinator {
+ public:
+  // `replicas[i]` lists the interchangeable endpoints serving shard i.
+  explicit ShardCoordinator(std::vector<std::vector<ReplicaEndpoint>> replicas,
+                            CoordinatorOptions options = {});
+
+  // SHARDINFO handshake: contacts each shard (first reachable replica),
+  // validates that shard indices/counts/row ranges form one contiguous
+  // table, merges the per-shard condition-column domains into the global
+  // domain, and builds the canonicalizer. Must succeed before Query().
+  // With allow_degraded, shards unreachable at connect are tolerated (at
+  // least one must answer): queries start out degraded, and with the total
+  // row count unknown the merge imputes the missing mass from the covered
+  // mean until the shard returns.
+  Status Connect();
+
+  // Canonicalize -> cache lookup -> scatter -> merge -> (cache insert unless
+  // degraded). Thread-safe after Connect().
+  Result<CoordinatorAnswer> Query(const RangeQuery& query);
+
+  // Raw scatter of an already-canonical query (gate testing and chaos
+  // drills): no cache, no canonicalization; `partials[i]` is shard i or
+  // nullopt if every replica failed.
+  std::vector<std::optional<ShardPartial>> Scatter(const RangeQuery& query,
+                                                   uint64_t seed) const;
+
+  size_t num_shards() const { return replicas_.size(); }
+  uint64_t total_rows() const { return total_rows_; }
+  bool connected() const { return connected_; }
+  ResultCacheStats cache_stats() const { return cache_.stats(); }
+  const CoordinatorOptions& options() const { return options_; }
+
+ private:
+  struct ShardTopology {
+    uint64_t rows = 0;
+    uint64_t row_begin = 0;
+    uint64_t sample_rows = 0;
+  };
+
+  // One PARTIAL round-trip against one replica (fresh connection; a recv
+  // timeout poisons a line-protocol connection, so none are pooled).
+  Result<ShardPartial> FetchFrom(const ReplicaEndpoint& endpoint,
+                                 const std::string& request_line) const;
+  // Deterministic replica pick + rotation failover for one shard.
+  Result<ShardPartial> FetchShard(uint32_t shard_index,
+                                  const std::string& request_line,
+                                  uint64_t seed) const;
+
+  std::vector<std::vector<ReplicaEndpoint>> replicas_;
+  CoordinatorOptions options_;
+  PartialWants wants_;
+  bool connected_ = false;
+  uint64_t total_rows_ = 0;
+  std::vector<ShardTopology> topology_;
+  std::optional<QueryCanonicalizer> canonicalizer_;
+  ResultCache cache_;
+};
+
+}  // namespace shard
+}  // namespace aqpp
+
+#endif  // AQPP_SHARD_COORDINATOR_H_

@@ -1,0 +1,82 @@
+#include "shard/local_group.h"
+
+#include <thread>
+
+#include "common/clock.h"
+#include "common/logging.h"
+
+namespace aqpp {
+namespace shard {
+
+Result<std::unique_ptr<LocalShardGroup>> LocalShardGroup::Build(
+    std::shared_ptr<Table> table, const QueryTemplate& tmpl, size_t num_shards,
+    const LocalShardGroupOptions& options) {
+  AQPP_ASSIGN_OR_RETURN(ShardPlan plan,
+                        MakeShardPlan(table->num_rows(), num_shards));
+  auto group = std::unique_ptr<LocalShardGroup>(new LocalShardGroup());
+  group->plan_ = plan;
+  group->parallel_ = options.parallel;
+  for (size_t i = 0; i < plan.num_shards(); ++i) {
+    AQPP_ASSIGN_OR_RETURN(std::shared_ptr<Table> slice,
+                          SliceShard(*table, plan.shards[i]));
+    AQPP_ASSIGN_OR_RETURN(
+        std::unique_ptr<ShardWorker> worker,
+        ShardWorker::Build(std::move(slice), tmpl, static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(plan.num_shards()),
+                           plan.shards[i].row_begin, options.worker));
+    group->workers_.push_back(std::move(worker));
+  }
+  group->failed_.assign(group->workers_.size(), 0);
+  group->delays_.assign(group->workers_.size(), 0.0);
+  return group;
+}
+
+std::vector<std::optional<ShardPartial>> LocalShardGroup::Scatter(
+    const RangeQuery& query, const PartialWants& wants, uint64_t seed) const {
+  std::vector<std::optional<ShardPartial>> partials(workers_.size());
+  auto run = [&](size_t i) {
+    if (failed_[i]) return;
+    if (delays_[i] > 0) SleepFor(delays_[i]);
+    Result<ShardPartial> r = workers_[i]->Partial(query, wants, seed);
+    if (r.ok()) {
+      partials[i] = std::move(r).value();
+    } else {
+      AQPP_LOG(Warning) << "shard " << i
+                        << " partial failed: " << r.status().ToString();
+    }
+  };
+  if (parallel_ && workers_.size() > 1) {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      threads.emplace_back(run, i);
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    for (size_t i = 0; i < workers_.size(); ++i) run(i);
+  }
+  return partials;
+}
+
+Result<MergedAnswer> LocalShardGroup::Query(const RangeQuery& query,
+                                            const PartialWants& wants,
+                                            uint64_t seed,
+                                            MergeOptions options) const {
+  options.total_rows = plan_.total_rows;
+  std::vector<std::optional<ShardPartial>> partials =
+      Scatter(query, wants, seed);
+  return MergePartials(query, partials, options);
+}
+
+void LocalShardGroup::FailShard(uint32_t shard, bool fail) {
+  AQPP_CHECK_LT(shard, failed_.size());
+  failed_[shard] = fail ? 1 : 0;
+}
+
+void LocalShardGroup::SetShardDelay(uint32_t shard, double seconds) {
+  AQPP_CHECK_LT(shard, delays_.size());
+  delays_[shard] = seconds;
+}
+
+}  // namespace shard
+}  // namespace aqpp

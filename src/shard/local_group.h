@@ -1,0 +1,76 @@
+// An in-process scatter-gather group: the reference implementation of the
+// shard tier, and the bench driver.
+//
+// LocalShardGroup splits one table into an aligned shard plan, builds a
+// ShardWorker per shard (same build path as aqpp-shardd over a slab), and
+// answers queries by scattering PARTIAL work to every worker and folding
+// with MergePartials. Because the merge is shard-index-ordered, the result
+// is bit-identical whether workers ran sequentially, on threads, or behind
+// TCP — the coordinator tests pin TCP answers against this group.
+//
+// Chaos hooks (per shard): FailShard makes a worker's scatter leg return an
+// error, SetShardDelay sleeps on the clock (virtual under SimClock) before
+// the worker computes — deterministic stand-ins for killed and straggling
+// workers.
+
+#ifndef AQPP_SHARD_LOCAL_GROUP_H_
+#define AQPP_SHARD_LOCAL_GROUP_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "core/engine.h"
+#include "shard/partial.h"
+#include "shard/partition.h"
+#include "shard/worker.h"
+
+namespace aqpp {
+namespace shard {
+
+struct LocalShardGroupOptions {
+  ShardWorkerOptions worker;
+  // Scatter on one thread per shard; the fold is ordered either way, so
+  // this only changes wall-clock, never bits.
+  bool parallel = true;
+};
+
+class LocalShardGroup {
+ public:
+  static Result<std::unique_ptr<LocalShardGroup>> Build(
+      std::shared_ptr<Table> table, const QueryTemplate& tmpl,
+      size_t num_shards, const LocalShardGroupOptions& options);
+
+  // Scatter + ordered merge. `options.total_rows` is filled in by the group.
+  Result<MergedAnswer> Query(const RangeQuery& query, const PartialWants& wants,
+                             uint64_t seed, MergeOptions options) const;
+
+  // The raw scatter (failed/disabled shards come back nullopt) — lets tests
+  // permute arrival order and merge by hand.
+  std::vector<std::optional<ShardPartial>> Scatter(const RangeQuery& query,
+                                                   const PartialWants& wants,
+                                                   uint64_t seed) const;
+
+  void FailShard(uint32_t shard, bool fail);
+  void SetShardDelay(uint32_t shard, double seconds);
+
+  size_t num_shards() const { return workers_.size(); }
+  uint64_t total_rows() const { return plan_.total_rows; }
+  const ShardPlan& plan() const { return plan_; }
+  const ShardWorker& worker(size_t i) const { return *workers_[i]; }
+
+ private:
+  LocalShardGroup() = default;
+
+  ShardPlan plan_;
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+  std::vector<char> failed_;
+  std::vector<double> delays_;
+  bool parallel_ = true;
+};
+
+}  // namespace shard
+}  // namespace aqpp
+
+#endif  // AQPP_SHARD_LOCAL_GROUP_H_

@@ -1,0 +1,167 @@
+#include "shard/partition.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "common/string_util.h"
+#include "kernels/kernels.h"
+#include "storage/extent_file.h"
+#include "storage/types.h"
+
+namespace aqpp {
+namespace shard {
+
+Result<ShardPlan> MakeShardPlan(uint64_t total_rows, size_t num_shards) {
+  if (total_rows == 0) return Status::InvalidArgument("empty table");
+  if (num_shards == 0) return Status::InvalidArgument("need at least 1 shard");
+  const uint64_t grid = kernels::kShardRows;
+  const uint64_t blocks = (total_rows + grid - 1) / grid;
+  if (blocks < num_shards) {
+    return Status::InvalidArgument(StrFormat(
+        "%llu rows span only %llu grid blocks of %llu rows — cannot cut %zu "
+        "aligned shards",
+        static_cast<unsigned long long>(total_rows),
+        static_cast<unsigned long long>(blocks),
+        static_cast<unsigned long long>(grid), num_shards));
+  }
+  ShardPlan plan;
+  plan.total_rows = total_rows;
+  const uint64_t base = blocks / num_shards;
+  const uint64_t extra = blocks % num_shards;
+  uint64_t begin = 0;
+  for (size_t i = 0; i < num_shards; ++i) {
+    uint64_t nblocks = base + (i < extra ? 1 : 0);
+    uint64_t end = std::min(total_rows, (begin / grid + nblocks) * grid);
+    plan.shards.push_back(ShardRange{begin, end});
+    begin = end;
+  }
+  plan.shards.back().row_end = total_rows;
+  return plan;
+}
+
+uint64_t ShardSeed(uint64_t base_seed, uint32_t shard_index) {
+  // splitmix64 finalizer over (base, index) — decorrelated, reproducible.
+  uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (shard_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Result<std::shared_ptr<Table>> SliceShard(const Table& table,
+                                          const ShardRange& range) {
+  if (range.row_end > table.num_rows() || range.row_begin >= range.row_end) {
+    return Status::InvalidArgument("shard range outside table");
+  }
+  std::vector<size_t> rows(static_cast<size_t>(range.rows()));
+  std::iota(rows.begin(), rows.end(), static_cast<size_t>(range.row_begin));
+  return TakeRows(table, rows);
+}
+
+Result<std::vector<ShardSlabInfo>> PackShardSlabs(const Table& table,
+                                                  const ShardPlan& plan,
+                                                  const std::string& dir) {
+  if (plan.total_rows != table.num_rows()) {
+    return Status::InvalidArgument("plan was made for a different table");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir " + dir + ": " + std::strerror(errno));
+  }
+  std::vector<ShardSlabInfo> infos;
+  for (size_t i = 0; i < plan.num_shards(); ++i) {
+    const ShardRange& range = plan.shards[i];
+    AQPP_ASSIGN_OR_RETURN(std::shared_ptr<Table> slice,
+                          SliceShard(table, range));
+    ShardSlabInfo info;
+    info.shard_index = static_cast<uint32_t>(i);
+    info.num_shards = static_cast<uint32_t>(plan.num_shards());
+    info.row_begin = range.row_begin;
+    info.rows = range.rows();
+    info.path = StrFormat("shard-%zu.ext", i);
+    AQPP_ASSIGN_OR_RETURN(
+        std::unique_ptr<ExtentFileWriter> writer,
+        ExtentFileWriter::Create(dir + "/" + info.path, table.schema()));
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (table.schema().column(c).type == DataType::kString) {
+        AQPP_RETURN_NOT_OK(
+            writer->SetDictionary(c, table.column(c).dictionary()));
+      }
+    }
+    AQPP_RETURN_NOT_OK(writer->Append(*slice));
+    AQPP_RETURN_NOT_OK(writer->Finish());
+    infos.push_back(std::move(info));
+  }
+  // MANIFEST: one "shard <i> <n> <row_begin> <rows> <path>" line per shard.
+  std::string tmp = dir + "/MANIFEST.tmp";
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+  }
+  std::fprintf(f, "# aqpp shard manifest v1\n");
+  for (const ShardSlabInfo& info : infos) {
+    std::fprintf(f, "shard %u %u %llu %llu %s\n", info.shard_index,
+                 info.num_shards,
+                 static_cast<unsigned long long>(info.row_begin),
+                 static_cast<unsigned long long>(info.rows),
+                 info.path.c_str());
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IOError("close " + tmp + ": " + std::strerror(errno));
+  }
+  if (std::rename(tmp.c_str(), (dir + "/MANIFEST").c_str()) != 0) {
+    return Status::IOError("rename MANIFEST: " + std::string(strerror(errno)));
+  }
+  return infos;
+}
+
+Result<std::vector<ShardSlabInfo>> ReadShardManifest(const std::string& dir) {
+  std::string path = dir + "/MANIFEST";
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("no shard manifest at " + path);
+  }
+  std::vector<ShardSlabInfo> infos;
+  char line[1024];
+  Status st = Status::OK();
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string_view s = TrimWhitespace(line);
+    if (s.empty() || s[0] == '#') continue;
+    auto fields = SplitString(s, ' ');
+    unsigned shard = 0, shards = 0;
+    unsigned long long begin = 0, rows = 0;
+    if (fields.size() != 6 || fields[0] != "shard" ||
+        std::sscanf(fields[1].c_str(), "%u", &shard) != 1 ||
+        std::sscanf(fields[2].c_str(), "%u", &shards) != 1 ||
+        std::sscanf(fields[3].c_str(), "%llu", &begin) != 1 ||
+        std::sscanf(fields[4].c_str(), "%llu", &rows) != 1) {
+      st = Status::FailedPrecondition("malformed manifest line: " + std::string(s));
+      break;
+    }
+    ShardSlabInfo info;
+    info.shard_index = shard;
+    info.num_shards = shards;
+    info.row_begin = begin;
+    info.rows = rows;
+    info.path = fields[5];
+    infos.push_back(std::move(info));
+  }
+  std::fclose(f);
+  AQPP_RETURN_NOT_OK(st);
+  if (infos.empty()) return Status::FailedPrecondition("empty shard manifest");
+  uint64_t next_begin = 0;
+  for (size_t i = 0; i < infos.size(); ++i) {
+    if (infos[i].shard_index != i || infos[i].num_shards != infos.size() ||
+        infos[i].row_begin != next_begin || infos[i].rows == 0) {
+      return Status::FailedPrecondition(StrFormat(
+          "manifest shard %zu is out of order or leaves a row gap", i));
+    }
+    next_begin += infos[i].rows;
+  }
+  return infos;
+}
+
+}  // namespace shard
+}  // namespace aqpp

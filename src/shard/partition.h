@@ -1,0 +1,78 @@
+// Row-range sharding of a table into per-shard extent slabs.
+//
+// Shards are contiguous row ranges whose boundaries sit on the kernel
+// layer's kShardRows grid (which equals kExtentRows, so one extent is one
+// kernel shard block). That alignment is what lets a worker's per-block
+// moment partials concatenate into exactly the block sequence a
+// single-table scan would have produced — the foundation of the exact-path
+// bit-identity guarantee (see src/shard/partial.h).
+//
+// `table_pack shard` uses PackShardSlabs to split a packed table into
+// shard-<i>.ext slabs plus a small text MANIFEST that aqpp-shardd and the
+// coordinator read back.
+
+#ifndef AQPP_SHARD_PARTITION_H_
+#define AQPP_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+namespace shard {
+
+struct ShardRange {
+  uint64_t row_begin = 0;
+  uint64_t row_end = 0;  // exclusive
+  uint64_t rows() const { return row_end - row_begin; }
+};
+
+struct ShardPlan {
+  uint64_t total_rows = 0;
+  std::vector<ShardRange> shards;
+  size_t num_shards() const { return shards.size(); }
+};
+
+// Splits [0, total_rows) into `num_shards` contiguous ranges with every
+// interior boundary on the kernels::kShardRows grid and block counts spread
+// as evenly as the grid allows (earlier shards take the remainder). Errors
+// if total_rows == 0, num_shards == 0, or there are fewer grid blocks than
+// shards (a shard must own at least one block).
+Result<ShardPlan> MakeShardPlan(uint64_t total_rows, size_t num_shards);
+
+// Deterministic per-shard RNG seed derived from a base seed (splitmix64
+// finalizer), so shard workers draw independent but reproducible samples.
+uint64_t ShardSeed(uint64_t base_seed, uint32_t shard_index);
+
+// Materializes one shard's rows as an in-memory table (same schema, string
+// dictionaries copied so codes stay valid).
+Result<std::shared_ptr<Table>> SliceShard(const Table& table,
+                                          const ShardRange& range);
+
+// One line per shard in the MANIFEST file.
+struct ShardSlabInfo {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 0;
+  uint64_t row_begin = 0;
+  uint64_t rows = 0;
+  std::string path;  // slab path, relative to the manifest's directory
+};
+
+// Writes shard-<i>.ext slabs for every shard of `plan` into `dir` (created
+// if needed) plus `dir`/MANIFEST. Returns the manifest entries.
+Result<std::vector<ShardSlabInfo>> PackShardSlabs(const Table& table,
+                                                  const ShardPlan& plan,
+                                                  const std::string& dir);
+
+// Reads `dir`/MANIFEST back. Validates shard indices are dense [0, n) and
+// row ranges are contiguous from 0.
+Result<std::vector<ShardSlabInfo>> ReadShardManifest(const std::string& dir);
+
+}  // namespace shard
+}  // namespace aqpp
+
+#endif  // AQPP_SHARD_PARTITION_H_

@@ -1,0 +1,287 @@
+#include "shard/worker.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "stats/descriptive.h"
+#include "core/stream_build.h"
+#include "shard/partition.h"
+#include "cube/partition.h"
+#include "kernels/scan_internal.h"
+#include "storage/column_source.h"
+#include "storage/extent_file.h"
+
+namespace aqpp {
+namespace shard {
+namespace {
+
+// Cuts per dimension so the cube stays within `budget` cells: the paper's
+// uniform split of the partition budget across condition attributes.
+size_t CutsPerDimension(size_t budget, size_t dims) {
+  double per = std::floor(std::pow(static_cast<double>(budget),
+                                   1.0 / static_cast<double>(dims)));
+  return std::max<size_t>(2, static_cast<size_t>(per));
+}
+
+kernels::ScanProfile ProfileFor(AggregateFunction func) {
+  switch (func) {
+    case AggregateFunction::kCount:
+      return kernels::ScanProfile::kCount;
+    case AggregateFunction::kSum:
+    case AggregateFunction::kAvg:
+      return kernels::ScanProfile::kSum;
+    default:
+      return kernels::ScanProfile::kMoments;
+  }
+}
+
+Status ValidateQuery(const RangeQuery& query, const Table& table) {
+  if (!query.group_by.empty()) {
+    return Status::InvalidArgument("shard partials are scalar-only");
+  }
+  if (query.func == AggregateFunction::kMin ||
+      query.func == AggregateFunction::kMax) {
+    return Status::InvalidArgument("shard partials do not support MIN/MAX");
+  }
+  if (query.func != AggregateFunction::kCount &&
+      query.agg_column >= table.num_columns()) {
+    return Status::InvalidArgument("aggregate column out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::Build(
+    std::shared_ptr<Table> table, const QueryTemplate& tmpl,
+    uint32_t shard_index, uint32_t num_shards, uint64_t row_begin,
+    const ShardWorkerOptions& options) {
+  if (table == nullptr || table->num_rows() == 0) {
+    return Status::InvalidArgument("shard table is empty");
+  }
+  if (num_shards == 0 || shard_index >= num_shards) {
+    return Status::InvalidArgument("bad shard index");
+  }
+  if (row_begin % kernels::kShardRows != 0) {
+    return Status::InvalidArgument(StrFormat(
+        "shard row_begin %llu is not aligned to the %zu-row kernel grid",
+        static_cast<unsigned long long>(row_begin), kernels::kShardRows));
+  }
+  if (tmpl.condition_columns.empty()) {
+    return Status::InvalidArgument(
+        "shard worker needs at least one condition column in the template");
+  }
+  if (options.cube_budget == 0 || options.sample_size == 0) {
+    return Status::InvalidArgument(
+        "shard worker needs a cube budget and a sample size");
+  }
+
+  // Equal-depth partition scheme over the template's condition columns.
+  size_t cuts =
+      CutsPerDimension(options.cube_budget, tmpl.condition_columns.size());
+  std::vector<DimensionPartition> dims;
+  for (size_t col : tmpl.condition_columns) {
+    AQPP_ASSIGN_OR_RETURN(
+        DimensionPartition dim,
+        PartitionScheme::EqualDepthPartition(*table, col, cuts));
+    dims.push_back(std::move(dim));
+  }
+  PartitionScheme scheme(std::move(dims));
+
+  // One-pass cube + reservoir build, seeded per shard so every replica of
+  // this shard draws the same reservoir.
+  std::vector<MeasureSpec> measures = {MeasureSpec::Sum(tmpl.agg_column),
+                                       MeasureSpec::Count(),
+                                       MeasureSpec::SumSquares(tmpl.agg_column)};
+  TableColumnSource source(table.get());
+  Rng rng(ShardSeed(options.base_seed, shard_index));
+  StreamBuildOptions build_opts;
+  build_opts.sample_size = options.sample_size;
+  build_opts.release_consumed_extents = false;
+  AQPP_ASSIGN_OR_RETURN(
+      StreamBuildResult built,
+      BuildCubeAndSampleFromSource(source, std::move(scheme), measures, rng,
+                                   build_opts));
+
+  EngineOptions eopts;
+  eopts.confidence_level = options.confidence_level;
+  eopts.seed = ShardSeed(options.base_seed, shard_index);
+  AQPP_ASSIGN_OR_RETURN(std::unique_ptr<AqppEngine> engine,
+                        AqppEngine::Create(table, eopts));
+  AQPP_RETURN_NOT_OK(
+      engine->AdoptPrepared(tmpl, std::move(built.sample), built.cube));
+
+  auto worker = std::unique_ptr<ShardWorker>(new ShardWorker());
+  worker->table_ = std::move(table);
+  worker->engine_ = std::move(engine);
+  worker->template_ = tmpl;
+  worker->shard_index_ = shard_index;
+  worker->num_shards_ = num_shards;
+  worker->row_begin_ = row_begin;
+  for (size_t col : tmpl.condition_columns) {
+    const auto& data = worker->table_->column(col).Int64Data();
+    ColumnDomain d;
+    d.column = col;
+    d.min = data[0];
+    d.max = data[0];
+    for (int64_t v : data) {
+      d.min = std::min(d.min, v);
+      d.max = std::max(d.max, v);
+    }
+    worker->domains_.push_back(d);
+  }
+  return worker;
+}
+
+Result<std::unique_ptr<ShardWorker>> ShardWorker::BuildFromSlab(
+    const std::string& slab_path, const QueryTemplate& tmpl,
+    uint32_t shard_index, uint32_t num_shards, uint64_t row_begin,
+    const ShardWorkerOptions& options) {
+  AQPP_ASSIGN_OR_RETURN(std::shared_ptr<ExtentFileReader> reader,
+                        ExtentFileReader::Open(slab_path));
+  // Materialize the slab: the worker serves exact partials from raw column
+  // pointers, and the one-pass builder over the materialized table is
+  // bit-identical to streaming the extent file (PR 6 contract).
+  AQPP_ASSIGN_OR_RETURN(std::shared_ptr<Table> table, reader->ReadTable());
+  return Build(std::move(table), tmpl, shard_index, num_shards, row_begin,
+               options);
+}
+
+Result<ShardPartial> ShardWorker::Partial(
+    const RangeQuery& query, const PartialWants& wants, uint64_t seed,
+    const CancellationToken* cancel) const {
+  AQPP_RETURN_NOT_OK(ValidateQuery(query, *table_));
+  if (!wants.exact && !wants.sample && !wants.engine) {
+    return Status::InvalidArgument("partial request wants no views");
+  }
+  Timer timer;
+  ShardPartial out;
+  out.shard_index = shard_index_;
+  out.num_shards = num_shards_;
+  out.rows = table_->num_rows();
+  if (wants.exact) {
+    AQPP_RETURN_IF_STOPPED(cancel);
+    AQPP_RETURN_NOT_OK(ComputeExact(query, &out));
+  }
+  if (wants.sample) {
+    AQPP_RETURN_IF_STOPPED(cancel);
+    AQPP_RETURN_NOT_OK(ComputeSample(query, &out));
+  }
+  if (wants.engine) {
+    AQPP_RETURN_IF_STOPPED(cancel);
+    AQPP_RETURN_NOT_OK(ComputeEngine(query, seed, cancel, &out));
+  }
+  out.exec_seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+Status ShardWorker::ComputeExact(const RangeQuery& query,
+                                 ShardPartial* out) const {
+  AQPP_ASSIGN_OR_RETURN(
+      kernels::BoundPredicate pred,
+      kernels::BindConditions(*table_, query.predicate.conditions()));
+  kernels::ScanProfile profile = ProfileFor(query.func);
+  kernels::ValueRef values;
+  if (query.func != AggregateFunction::kCount) {
+    values = kernels::ValueRef::FromColumn(table_->column(query.agg_column));
+  }
+  const size_t n = table_->num_rows();
+  const size_t nblocks = (n + kernels::kShardRows - 1) / kernels::kShardRows;
+  out->blocks.assign(nblocks, BlockMoments{});
+  const kernels::ScanStrategy strategy = kernels::ScanStrategy::kAdaptive;
+  for (size_t b = 0; b < nblocks; ++b) {
+    const size_t begin = b * kernels::kShardRows;
+    const size_t end = std::min(n, begin + kernels::kShardRows);
+    kernels::internal::ShardAccum acc;
+    if (!pred.never_matches) {
+      if (values.dbl != nullptr) {
+        kernels::internal::ScanShard<double>(pred, values.dbl, begin, end,
+                                             profile, strategy, acc);
+      } else {
+        kernels::internal::ScanShard<int64_t>(pred, values.i64, begin, end,
+                                              profile, strategy, acc);
+      }
+    }
+    BlockMoments& blk = out->blocks[b];
+    blk.count = acc.count;
+    for (size_t l = 0; l < kernels::kAccumulatorLanes; ++l) {
+      blk.sum[l] = acc.sum[l];
+      blk.sum_sq[l] = acc.sum_sq[l];
+    }
+  }
+  out->has_exact = true;
+  return Status::OK();
+}
+
+Status ShardWorker::ComputeSample(const RangeQuery& query,
+                                  ShardPartial* out) const {
+  const Sample& sample = engine_->sample();
+  AQPP_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
+                        query.predicate.EvaluateMask(*sample.rows));
+  const size_t n = sample.size();
+  // Measure doubles materialized exactly like the estimator's MeasureCache
+  // (static_cast for ordinal columns), so the stratified witness in the
+  // tests reproduces these bits.
+  const bool need_measure = query.func != AggregateFunction::kCount;
+  const double* dbl = nullptr;
+  const int64_t* i64 = nullptr;
+  if (need_measure) {
+    const Column& col = sample.rows->column(query.agg_column);
+    if (col.type() == DataType::kDouble) {
+      dbl = col.DoubleData().data();
+    } else {
+      i64 = col.Int64Data().data();
+    }
+  }
+  RunningMoments mc, ms, mq;
+  RunningCovariance ccs, ccq, csq;
+  for (size_t i = 0; i < n; ++i) {
+    const bool hit = mask[i] != 0;
+    const double a =
+        !need_measure ? 0.0
+                      : (dbl != nullptr ? dbl[i]
+                                        : static_cast<double>(i64[i]));
+    const double c = hit ? 1.0 : 0.0;
+    const double s = hit ? a : 0.0;
+    const double q = hit ? a * a : 0.0;
+    mc.Add(c);
+    ms.Add(s);
+    mq.Add(q);
+    ccs.Add(c, s);
+    ccq.Add(c, q);
+    csq.Add(s, q);
+  }
+  StratumPartial& st = out->stratum;
+  st.sample_rows = n;
+  st.population_rows = table_->num_rows();
+  st.mean_c = mc.mean();
+  st.mean_s = ms.mean();
+  st.mean_q = mq.mean();
+  st.var_c = mc.variance_sample();
+  st.var_s = ms.variance_sample();
+  st.var_q = mq.variance_sample();
+  st.cov_cs = ccs.covariance_sample();
+  st.cov_cq = ccq.covariance_sample();
+  st.cov_sq = csq.covariance_sample();
+  out->has_sample = true;
+  return Status::OK();
+}
+
+Status ShardWorker::ComputeEngine(const RangeQuery& query, uint64_t seed,
+                                  const CancellationToken* cancel,
+                                  ShardPartial* out) const {
+  ExecuteControl control;
+  control.cancel = cancel;
+  control.seed = seed;
+  control.record = false;
+  AQPP_ASSIGN_OR_RETURN(ApproximateResult r, engine_->Execute(query, control));
+  out->engine_estimate = r.ci.estimate;
+  out->engine_half_width = r.ci.half_width;
+  out->engine_used_pre = r.used_pre;
+  out->has_engine = true;
+  return Status::OK();
+}
+
+}  // namespace shard
+}  // namespace aqpp

@@ -1,0 +1,107 @@
+// A shard worker: one AqppEngine over one row-range shard, answering
+// PARTIAL requests with the three partial views the coordinator knows how
+// to merge (src/shard/partial.h).
+//
+// Build paths:
+//   * Build(table, ...)        — in-memory shard slice (tests, local groups)
+//   * BuildFromSlab(path, ...) — a table_pack shard slab; the slab is
+//     materialized and the cube + reservoir are built from the same one-pass
+//     streaming builder the single-engine out-of-core path uses.
+//
+// Both paths build identical state from identical data: the BP-Cube scheme
+// is equal-depth over the template's condition columns (the paper's P_eq)
+// with the cut budget spread evenly across dimensions, the cube and sample
+// come from BuildCubeAndSampleFromSource, and the engine adopts them via
+// AqppEngine::AdoptPrepared. The per-shard sample seed must come from
+// ShardSeed(base, shard_index) so replicas of the same shard draw the same
+// reservoir — that is what makes replica answers interchangeable bits.
+
+#ifndef AQPP_SHARD_WORKER_H_
+#define AQPP_SHARD_WORKER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/cancellation.h"
+#include "core/engine.h"
+#include "shard/partial.h"
+#include "storage/table.h"
+
+namespace aqpp {
+namespace shard {
+
+struct ShardWorkerOptions {
+  // Reservoir rows drawn from this shard (one stratum of the global
+  // stratified-by-shard sample).
+  size_t sample_size = 4096;
+  // BP-Cube cell budget for this shard; cuts per dimension are
+  // max(2, floor(budget^(1/d))). 0 disables the cube (plain-AQP shard).
+  size_t cube_budget = 1024;
+  double confidence_level = 0.95;
+  // Base seed; the shard's sample RNG is seeded with
+  // ShardSeed(base_seed, shard_index).
+  uint64_t base_seed = 42;
+};
+
+// Per-condition-column value range, reported over SHARDINFO so the
+// coordinator can canonicalize queries against the merged global domain.
+struct ColumnDomain {
+  size_t column = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
+class ShardWorker {
+ public:
+  static Result<std::unique_ptr<ShardWorker>> Build(
+      std::shared_ptr<Table> table, const QueryTemplate& tmpl,
+      uint32_t shard_index, uint32_t num_shards, uint64_t row_begin,
+      const ShardWorkerOptions& options);
+
+  static Result<std::unique_ptr<ShardWorker>> BuildFromSlab(
+      const std::string& slab_path, const QueryTemplate& tmpl,
+      uint32_t shard_index, uint32_t num_shards, uint64_t row_begin,
+      const ShardWorkerOptions& options);
+
+  // Computes the requested partial views for a canonical scalar query.
+  // Deterministic: a pure function of (shard data, query, wants, seed).
+  Result<ShardPartial> Partial(const RangeQuery& query,
+                               const PartialWants& wants, uint64_t seed,
+                               const CancellationToken* cancel = nullptr) const;
+
+  uint32_t shard_index() const { return shard_index_; }
+  uint32_t num_shards() const { return num_shards_; }
+  uint64_t row_begin() const { return row_begin_; }
+  uint64_t rows() const { return table_->num_rows(); }
+  uint64_t sample_rows() const { return engine_->sample().size(); }
+  const QueryTemplate& query_template() const { return template_; }
+  const Table& table() const { return *table_; }
+  const AqppEngine& engine() const { return *engine_; }
+  // Observed min/max per template condition column on this shard.
+  const std::vector<ColumnDomain>& domains() const { return domains_; }
+
+ private:
+  ShardWorker() = default;
+
+  Status ComputeExact(const RangeQuery& query, ShardPartial* out) const;
+  Status ComputeSample(const RangeQuery& query, ShardPartial* out) const;
+  Status ComputeEngine(const RangeQuery& query, uint64_t seed,
+                       const CancellationToken* cancel,
+                       ShardPartial* out) const;
+
+  std::shared_ptr<Table> table_;
+  std::unique_ptr<AqppEngine> engine_;
+  QueryTemplate template_;
+  std::vector<ColumnDomain> domains_;
+  uint32_t shard_index_ = 0;
+  uint32_t num_shards_ = 1;
+  uint64_t row_begin_ = 0;
+};
+
+}  // namespace shard
+}  // namespace aqpp
+
+#endif  // AQPP_SHARD_WORKER_H_

@@ -59,6 +59,15 @@ struct ExtentMetrics {
   }
 };
 
+// Gauge-safe hit rate: 0 before the first Pin() instead of a division by
+// zero (the gauge is also published as 0 at reader open, so scrapes that
+// race the first read see a defined value).
+int64_t HitRatePercent(uint64_t hits, uint64_t misses) {
+  const uint64_t total = hits + misses;
+  if (total == 0) return 0;
+  return static_cast<int64_t>(hits * 100 / total);
+}
+
 uint64_t CacheKey(size_t e, size_t col) {
   return (static_cast<uint64_t>(e) << 20) | static_cast<uint64_t>(col);
 }
@@ -421,6 +430,8 @@ Result<std::shared_ptr<ExtentFileReader>> ExtentFileReader::Open(
   }
   reader->map_ = static_cast<const uint8_t*>(map);
   reader->map_size_ = file_size;
+  ExtentMetrics::Get().cache_hit_rate->Set(
+      HitRatePercent(reader->hits_, reader->misses_));
   return reader;
 }
 
@@ -445,8 +456,7 @@ Result<ExtentFileReader::DecodedColumn> ExtentFileReader::Pin(size_t e,
       lru_.splice(lru_.begin(), lru_, it->second);
       ++hits_;
       metrics.cache_hits->Increment();
-      metrics.cache_hit_rate->Set(
-          static_cast<int64_t>(hits_ * 100 / (hits_ + misses_)));
+      metrics.cache_hit_rate->Set(HitRatePercent(hits_, misses_));
       return it->second->value;
     }
   }
@@ -495,8 +505,7 @@ Result<ExtentFileReader::DecodedColumn> ExtentFileReader::Pin(size_t e,
   std::lock_guard<std::mutex> lock(mu_);
   ++misses_;
   metrics.cache_misses->Increment();
-  metrics.cache_hit_rate->Set(
-      static_cast<int64_t>(hits_ * 100 / (hits_ + misses_)));
+  metrics.cache_hit_rate->Set(HitRatePercent(hits_, misses_));
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);

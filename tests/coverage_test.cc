@@ -25,10 +25,13 @@
 // AQPP_TEST_SEED reproduces any failure.
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -37,6 +40,7 @@
 #include "core/engine.h"
 #include "exec/executor.h"
 #include "expr/query.h"
+#include "shard/partial.h"
 #include "test_util.h"
 
 namespace aqpp {
@@ -188,6 +192,145 @@ INSTANTIATE_TEST_SUITE_P(
                       ShapeParam{AggregateFunction::kAvg, 1},
                       ShapeParam{AggregateFunction::kAvg, 2}),
     ShapeName);
+
+// ---- Shard-merge coverage --------------------------------------------------
+//
+// The scatter-gather tier's merged answer is a stratified-by-shard estimator
+// (src/shard/partial.h): each shard is one stratum, reporting Welford
+// moments of its per-row match/value series over an independent per-shard
+// sample; MergePartials folds est = sum_h N_h * mean_h,
+// var = sum_h N_h^2 s_h^2 / n_h. Its nominal-coverage claim deserves the
+// same empirical check as the single-engine estimators — and it must hold
+// at every shard count, since sharding is supposed to be statistically
+// invisible. Strata here are built directly from table slices (with-
+// replacement per-stratum draws, so the CLT variance is the exact sampling
+// variance and only the normal approximation separates realized from
+// nominal coverage).
+
+struct ShardShapeParam {
+  AggregateFunction func;
+  size_t shards;
+};
+
+std::string ShardShapeName(
+    const ::testing::TestParamInfo<ShardShapeParam>& info) {
+  return std::string(AggregateFunctionToString(info.param.func)) + "_s" +
+         std::to_string(info.param.shards);
+}
+
+class ShardCoverageTest : public ::testing::TestWithParam<ShardShapeParam> {};
+
+TEST_P(ShardCoverageTest, MergedStratifiedEstimatorCoversNominally) {
+  const auto [func, shards] = GetParam();
+  const int draws = CoverageDraws();
+  const int datasets = 10;
+  const int per_dataset = (draws + datasets - 1) / datasets;
+  const size_t per_stratum_sample = 100;
+
+  uint64_t shape_tag = 8000 + static_cast<uint64_t>(func) * 10 +
+                       static_cast<uint64_t>(shards);
+  Rng master = testutil::MakeTestRng(shape_tag);
+
+  int total = 0;
+  int hits = 0;
+  for (int ds = 0; ds < datasets && total < draws; ++ds) {
+    auto table = MakeSynthetic({.rows = 4000,
+                                .dom1 = 100,
+                                .dom2 = 50,
+                                .correlated = (ds % 2 == 1),
+                                .seed = master.Next()});
+    ExactExecutor exact(table.get());
+    const auto& c1 = table->column(0).Int64Data();
+    const auto& a = table->column(2).DoubleData();
+    const size_t rows = table->num_rows();
+
+    for (int t = 0; t < per_dataset && total < draws; ++t) {
+      RangeQuery q;
+      q.func = func;
+      q.agg_column = 2;
+      {
+        int64_t width = master.NextInt(30, 60);
+        int64_t lo = master.NextInt(1, 100 - width);
+        q.predicate.Add({0, lo, lo + width});
+      }
+      double truth = *exact.Execute(q);
+
+      // One partial per shard: contiguous row slices as strata, an
+      // independent with-replacement sample per stratum, Welford moments of
+      // c_i = match_i and s_i = match_i * a_i.
+      std::vector<std::optional<shard::ShardPartial>> partials(shards);
+      for (size_t h = 0; h < shards; ++h) {
+        const size_t begin = rows * h / shards;
+        const size_t end = rows * (h + 1) / shards;
+        double n = 0, mean_c = 0, m2_c = 0, mean_s = 0, m2_s = 0;
+        for (size_t k = 0; k < per_stratum_sample; ++k) {
+          const size_t row =
+              begin + static_cast<size_t>(master.NextInt(
+                          0, static_cast<int64_t>(end - begin - 1)));
+          const double match =
+              q.predicate.conditions()[0].Matches(c1[row]) ? 1.0 : 0.0;
+          const double s = match * a[row];
+          n += 1.0;
+          double dc = match - mean_c;
+          mean_c += dc / n;
+          m2_c += dc * (match - mean_c);
+          double dsv = s - mean_s;
+          mean_s += dsv / n;
+          m2_s += dsv * (s - mean_s);
+        }
+        shard::ShardPartial p;
+        p.shard_index = static_cast<uint32_t>(h);
+        p.num_shards = static_cast<uint32_t>(shards);
+        p.rows = end - begin;
+        p.has_sample = true;
+        p.stratum.sample_rows = per_stratum_sample;
+        p.stratum.population_rows = end - begin;
+        p.stratum.mean_c = mean_c;
+        p.stratum.mean_s = mean_s;
+        p.stratum.var_c = m2_c / (n - 1.0);
+        p.stratum.var_s = m2_s / (n - 1.0);
+        partials[h] = std::move(p);
+      }
+
+      shard::MergeOptions mopt;
+      mopt.mode = shard::MergeMode::kSample;
+      mopt.total_rows = rows;
+      auto merged = shard::MergePartials(q, partials, mopt);
+      ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+      ASSERT_FALSE(merged->degraded);
+
+      ++total;
+      if (std::fabs(merged->ci.estimate - truth) <=
+          merged->ci.half_width * (1 + 1e-12) + 1e-9) {
+        ++hits;
+      }
+    }
+  }
+
+  ASSERT_GE(total, std::min(draws, 200));
+  const double cov = static_cast<double>(hits) / total;
+  std::fprintf(stderr, "[coverage] shard-merge %s shards=%zu n=%d cov=%.3f\n",
+               AggregateFunctionToString(func), shards, total, cov);
+
+  const double nominal = 0.95;
+  const double sd = std::sqrt(nominal * (1 - nominal) / total);
+  // With-replacement strata make the variance formula exact, so the only
+  // systematic allowance is the normal approximation at ~100 draws per
+  // stratum (a few points at most, worst for the discrete COUNT series).
+  EXPECT_GE(cov, nominal - 4 * sd - 0.05)
+      << "merged stratified estimator undercovers: " << cov;
+  EXPECT_LE(cov, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardShapes, ShardCoverageTest,
+    ::testing::Values(ShardShapeParam{AggregateFunction::kSum, 2},
+                      ShardShapeParam{AggregateFunction::kSum, 4},
+                      ShardShapeParam{AggregateFunction::kSum, 8},
+                      ShardShapeParam{AggregateFunction::kCount, 2},
+                      ShardShapeParam{AggregateFunction::kCount, 4},
+                      ShardShapeParam{AggregateFunction::kCount, 8}),
+    ShardShapeName);
 
 }  // namespace
 }  // namespace aqpp

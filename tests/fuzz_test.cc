@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
+#include "kernels/kernels.h"
 #include "service/protocol.h"
+#include "shard/partial.h"
 #include "sql/binder.h"
 #include "sql/lexer.h"
 #include "sql/parser.h"
@@ -210,6 +212,183 @@ TEST(ProtocolFuzzTest, HostileFieldValuesRoundTrip) {
     ASSERT_TRUE(parsed.ok()) << "formatted response failed to re-parse";
     EXPECT_EQ(parsed->ok, r.ok);
     EXPECT_EQ(parsed->fields.size(), r.fields.size());
+  }
+}
+
+// ---- Shard wire fuzz -------------------------------------------------------
+//
+// The shard verbs and partial payloads face the network between coordinator
+// and workers: a malformed partial must surface as a clean protocol error,
+// never crash, and never parse into a structure that would silently skew
+// the merge (truncated moment vectors, shard-count mismatches, non-finite
+// moments).
+
+shard::ShardPartial ValidPartial() {
+  shard::ShardPartial p;
+  p.shard_index = 1;
+  p.num_shards = 4;
+  p.rows = kernels::kShardRows + 100;
+  p.has_exact = true;
+  p.blocks.resize(2);
+  p.blocks[0].count = kernels::kShardRows;
+  p.blocks[1].count = 100;
+  for (size_t l = 0; l < kernels::kAccumulatorLanes; ++l) {
+    p.blocks[0].sum[l] = 1.5 * static_cast<double>(l);
+    p.blocks[0].sum_sq[l] = 2.25 * static_cast<double>(l);
+    p.blocks[1].sum[l] = 0.125;
+    p.blocks[1].sum_sq[l] = 0.25;
+  }
+  p.has_sample = true;
+  p.stratum.sample_rows = 64;
+  p.stratum.population_rows = p.rows;
+  p.stratum.mean_c = 0.5;
+  p.stratum.mean_s = 10.0;
+  p.stratum.var_c = 0.25;
+  p.stratum.var_s = 4.0;
+  return p;
+}
+
+TEST(ShardFuzzTest, ShardVerbsParseAndRandomArgsNeverCrash) {
+  auto info = ParseRequest("SHARDINFO");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->type, RequestType::kShardInfo);
+  auto partial =
+      ParseRequest("PARTIAL func=SUM agg=2 conds=0:10:90 want=s seed=7");
+  ASSERT_TRUE(partial.ok());
+  EXPECT_EQ(partial->type, RequestType::kPartial);
+
+  Rng rng = testutil::MakeTestRng(13);
+  const char* verbs[] = {"PARTIAL ", "SHARDINFO ", "PARTIAL", "SHARDINFO"};
+  for (int i = 0; i < 4000; ++i) {
+    std::string line = verbs[rng.NextBounded(std::size(verbs))];
+    line += rng.NextBernoulli(0.5) ? RandomByteString(rng, 200)
+                                   : RandomAsciiString(rng, 200);
+    auto request = ParseRequest(line);  // ok or error; never crash
+    if (request.ok() && request->type == RequestType::kPartial) {
+      (void)shard::ParsePartialSpec(request->args);  // ditto
+    }
+  }
+}
+
+TEST(ShardFuzzTest, PartialSpecRejectsMutationsCleanly) {
+  shard::PartialSpec spec;
+  spec.query.func = AggregateFunction::kSum;
+  spec.query.agg_column = 2;
+  spec.query.predicate.Add({0, 10, 90});
+  spec.query.predicate.Add({1, 1, 25});
+  spec.wants = {.exact = true, .sample = true, .engine = true};
+  spec.seed = 99;
+  const std::string good = shard::FormatPartialSpec(spec);
+  ASSERT_TRUE(shard::ParsePartialSpec(good).ok());
+
+  // Every single-character corruption and truncation parses or rejects —
+  // with a message — and never crashes.
+  Rng rng = testutil::MakeTestRng(14);
+  for (size_t cut = 0; cut <= good.size(); ++cut) {
+    (void)shard::ParsePartialSpec(good.substr(0, cut));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = good;
+    size_t pos = rng.NextBounded(mutated.size());
+    mutated[pos] = static_cast<char>(32 + rng.NextBounded(95));
+    auto parsed = shard::ParsePartialSpec(mutated);
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+  // Structured hostile specs.
+  for (const char* bad : {
+           "func=SUM agg=2 conds=0:10:90 want=s seed=7 extra=1",
+           "func=EXPLODE agg=2 want=s seed=7",
+           "func=SUM agg=99999999999999999999 want=s seed=7",
+           "func=SUM agg=2 conds=0:90:10:5 want=s seed=7",
+           "func=SUM agg=2 conds=0:a:b want=s seed=7",
+           "func=SUM agg=2 want=xyz seed=7",
+           "func=SUM agg=2 want=s seed=-3",
+           "agg=2 want=s seed=7",
+       }) {
+    EXPECT_FALSE(shard::ParsePartialSpec(bad).ok()) << bad;
+  }
+}
+
+TEST(ShardFuzzTest, MalformedPartialPayloadsRejectNeverCrash) {
+  const shard::ShardPartial valid = ValidPartial();
+  Response base;
+  shard::EncodePartial(valid, &base);
+  ASSERT_TRUE(shard::ParsePartial(base).ok());
+
+  auto with_field = [&](const std::string& key, const std::string& value) {
+    Response r;
+    for (const auto& [k, v] : base.fields) {
+      r.Add(k, k == key ? value : v);
+    }
+    return r;
+  };
+  auto find = [&](const std::string& key) {
+    return base.Find(key).value_or("");
+  };
+
+  // Shard-count and identity mismatches.
+  EXPECT_FALSE(shard::ParsePartial(with_field("shard", "4")).ok());
+  EXPECT_FALSE(shard::ParsePartial(with_field("shards", "0")).ok());
+  EXPECT_FALSE(shard::ParsePartial(with_field("shard", "-1")).ok());
+  EXPECT_FALSE(
+      shard::ParsePartial(with_field("shards", "99999999999999999999")).ok());
+
+  // Truncated moment vector: drop one block, then drop lanes within one.
+  const std::string mv = find("mv");
+  const size_t semi = mv.find(';');
+  ASSERT_NE(semi, std::string::npos);
+  EXPECT_FALSE(shard::ParsePartial(with_field("mv", mv.substr(0, semi))).ok())
+      << "block count must match ceil(rows / kShardRows)";
+  for (size_t cut = 0; cut < mv.size(); cut += 7) {
+    (void)shard::ParsePartial(with_field("mv", mv.substr(0, cut)));
+  }
+  // Non-finite and overflowing moments.
+  EXPECT_FALSE(
+      shard::ParsePartial(with_field("mv", mv.substr(0, semi) + ";nan")).ok());
+  for (const char* hostile : {"inf", "-inf", "nan", "1e999", "0x1p1024"}) {
+    std::string corrupted = mv;
+    corrupted.replace(corrupted.rfind(':') + 1, std::string::npos, hostile);
+    EXPECT_FALSE(shard::ParsePartial(with_field("mv", corrupted)).ok())
+        << hostile;
+  }
+
+  // Stratum invariants: population must equal rows, sample <= population,
+  // variances non-negative.
+  const std::string strat = find("strat");
+  {
+    std::string s = strat;
+    s.replace(s.find(':') + 1, s.find(':', s.find(':') + 1) - s.find(':') - 1,
+              "12345");
+    EXPECT_FALSE(shard::ParsePartial(with_field("strat", s)).ok());
+  }
+  EXPECT_FALSE(shard::ParsePartial(with_field("strat", "truncated")).ok());
+  EXPECT_FALSE(shard::ParsePartial(
+                   with_field("strat", strat + ":1:2:3"))
+                   .ok());
+
+  // Random mutations of the full frame: re-parse of the formatted line then
+  // ParsePartial — either clean success or clean error, never a crash.
+  const std::string frame = FormatResponse(base);
+  Rng rng = testutil::MakeTestRng(15);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = frame;
+    size_t edits = 1 + rng.NextBounded(4);
+    for (size_t e = 0; e < edits; ++e) {
+      mutated[rng.NextBounded(mutated.size())] =
+          static_cast<char>(32 + rng.NextBounded(95));
+    }
+    auto reparsed = ParseResponse(mutated);
+    if (reparsed.ok()) {
+      (void)shard::ParsePartial(*reparsed);
+    }
+  }
+  for (size_t cut = 0; cut <= frame.size(); cut += 3) {
+    auto reparsed = ParseResponse(frame.substr(0, cut));
+    if (reparsed.ok()) {
+      (void)shard::ParsePartial(*reparsed);
+    }
   }
 }
 

@@ -15,9 +15,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "storage/extent_file.h"
+#include "storage/table.h"
 
 // ---- Instrumented allocator ------------------------------------------------
 //
@@ -468,6 +472,46 @@ TEST(SlowQueryLogTest, ThresholdCapacityAndRendering) {
   log.Clear();
   EXPECT_TRUE(log.Snapshot().empty());
   EXPECT_EQ(log.total_recorded(), 3u) << "Clear drops entries, not the tally";
+}
+
+
+// ---------------------------------------------------------------------------
+// Extent-cache hit-rate gauge: defined before the first read.
+// ---------------------------------------------------------------------------
+
+// The gauge divides hits by (hits + misses). Before any Pin() both are zero;
+// a naive ratio would divide by zero the moment a scrape-triggered publish
+// ran ahead of the first read. The contract pinned here: opening a reader
+// publishes the gauge as exactly 0, the first miss keeps it at 0, and the
+// ratio only moves once hits arrive.
+TEST(ExtentCacheGaugeTest, HitRateIsZeroBeforeFirstReadAndTracksRatio) {
+  if (!obs::kCompiledIn) GTEST_SKIP() << "obs compiled out";
+  namespace fs = std::filesystem;
+  fs::path dir = fs::temp_directory_path() / "aqpp_obs_gauge_test";
+  fs::create_directories(dir);
+  std::string path = (dir / "t.ext").string();
+
+  Schema schema({{"k", DataType::kInt64}});
+  Table table(schema);
+  for (int i = 0; i < 100; ++i) table.AddRow().Int64(i);
+  ASSERT_TRUE(WriteExtentFile(table, path).ok());
+
+  obs::Gauge* gauge = obs::Registry::Global().GetGauge(
+      "aqpp_extent_cache_hit_rate_percent", "",
+      "Decoded-extent cache hit rate since process start (percent)");
+  gauge->Set(77);  // poison: Open() must overwrite this with a defined 0
+
+  auto reader = ExtentFileReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(gauge->value(), 0) << "fresh reader must publish 0, not a stale "
+                                  "value or a division by zero";
+
+  ASSERT_TRUE((*reader)->Pin(0, 0).ok());
+  EXPECT_EQ(gauge->value(), 0) << "one miss, zero hits -> 0%";
+  ASSERT_TRUE((*reader)->Pin(0, 0).ok());
+  EXPECT_EQ(gauge->value(), 50) << "one hit, one miss -> 50%";
+
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -1,0 +1,358 @@
+// aqpp-coordd — the scatter-gather coordinator daemon and its merge gate.
+//
+// Serve mode:
+//   aqpp-coordd --workers h:p[/h:p...],h:p,... --schema slab.ext
+//               [--host 127.0.0.1] [--port 7979] [--mode sample|exact|engine]
+//               [--timeout 2.0] [--seed 42] [--cache 1024]
+//
+//   `--workers` lists one comma-separated entry per shard; replicas of the
+//   same shard are '/'-separated within the entry. `--schema` points at any
+//   shard slab: its schema + string dictionaries (which table_pack shard
+//   copies in full to every slab) bind incoming SQL; its rows are not read.
+//
+// Gate mode (CI):
+//   aqpp-coordd --workers ... --gate --ref full.ext --measure COL
+//               --dims C1,C2 [--mode exact] [--expect-degraded]
+//
+//   Runs a fixed query battery and enforces the merge contracts:
+//     * exact mode: every merged answer is bit-identical (memcmp of the
+//       doubles) to a single-table ExactExecutor run over --ref;
+//     * determinism: two cache-bypassing scatters fingerprint identically;
+//     * --expect-degraded (run after killing a worker): every answer is
+//       flagged degraded, covers fewer shards than the topology, and is
+//       never cached.
+//   Exits nonzero on the first violated invariant.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <csignal>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "exec/executor.h"
+#include "service/result_cache.h"
+#include "shard/coordinator.h"
+#include "shard/coordinator_server.h"
+#include "storage/extent_file.h"
+
+namespace {
+
+using namespace aqpp;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: aqpp-coordd --workers h:p[/h:p...],h:p,... \\\n"
+      "         ( --schema slab.ext [--host H] [--port P] "
+      "[--mode sample|exact|engine]\n"
+      "           [--timeout SEC] [--seed S] [--cache N]\n"
+      "         | --gate --ref full.ext --measure COL --dims C1,C2\n"
+      "           [--mode exact] [--expect-degraded] )\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<std::vector<std::vector<shard::ReplicaEndpoint>>> ParseWorkers(
+    const std::string& spec) {
+  std::vector<std::vector<shard::ReplicaEndpoint>> shards;
+  for (const std::string& entry : SplitString(spec, ',')) {
+    std::vector<shard::ReplicaEndpoint> replicas;
+    for (const std::string& hp : SplitString(entry, '/')) {
+      size_t colon = hp.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 == hp.size()) {
+        return Status::InvalidArgument("bad endpoint '" + hp +
+                                       "' (want host:port)");
+      }
+      shard::ReplicaEndpoint ep;
+      ep.host = hp.substr(0, colon);
+      ep.port = static_cast<int>(std::atoll(hp.c_str() + colon + 1));
+      replicas.push_back(std::move(ep));
+    }
+    if (replicas.empty()) {
+      return Status::InvalidArgument("empty shard entry in --workers");
+    }
+    shards.push_back(std::move(replicas));
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument("--workers listed no shards");
+  }
+  return shards;
+}
+
+Result<shard::MergeMode> ParseMode(const std::string& mode) {
+  if (mode == "sample") return shard::MergeMode::kSample;
+  if (mode == "exact") return shard::MergeMode::kExact;
+  if (mode == "engine") return shard::MergeMode::kEngine;
+  return Status::InvalidArgument("unknown --mode '" + mode + "'");
+}
+
+bool SameBits(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// The gate battery: full-table aggregates plus half- and quarter-domain
+// range restrictions on the first one or two template dimensions.
+std::vector<RangeQuery> GateBattery(size_t agg_column,
+                                    const std::vector<size_t>& dims,
+                                    const Table& ref) {
+  std::vector<RangeQuery> battery;
+  auto scalar = [&](AggregateFunction func) {
+    RangeQuery q;
+    q.func = func;
+    q.agg_column = agg_column;
+    return q;
+  };
+  battery.push_back(scalar(AggregateFunction::kCount));
+  battery.push_back(scalar(AggregateFunction::kSum));
+  battery.push_back(scalar(AggregateFunction::kAvg));
+  battery.push_back(scalar(AggregateFunction::kVar));
+  if (!dims.empty()) {
+    const Column& col = ref.column(dims[0]);
+    auto lo = col.MinInt64();
+    auto hi = col.MaxInt64();
+    if (lo.ok() && hi.ok() && *lo < *hi) {
+      int64_t mid = *lo + (*hi - *lo) / 2;
+      RangeQuery q = scalar(AggregateFunction::kSum);
+      q.predicate.Add({dims[0], *lo, mid});
+      battery.push_back(q);
+      q = scalar(AggregateFunction::kCount);
+      q.predicate.Add({dims[0], mid, *hi});
+      battery.push_back(q);
+      if (dims.size() > 1) {
+        const Column& col2 = ref.column(dims[1]);
+        auto lo2 = col2.MinInt64();
+        auto hi2 = col2.MaxInt64();
+        if (lo2.ok() && hi2.ok() && *lo2 < *hi2) {
+          q = scalar(AggregateFunction::kAvg);
+          q.predicate.Add({dims[0], *lo, mid});
+          q.predicate.Add({dims[1], *lo2 + (*hi2 - *lo2) / 4, *hi2});
+          battery.push_back(q);
+        }
+      }
+    }
+  }
+  return battery;
+}
+
+int RunGate(shard::ShardCoordinator& coordinator,
+            const std::map<std::string, std::string>& flags) {
+  const std::string ref_path = FlagOr(flags, "ref", "");
+  const std::string measure = FlagOr(flags, "measure", "");
+  const std::string dims_flag = FlagOr(flags, "dims", "");
+  if (ref_path.empty() || measure.empty() || dims_flag.empty()) {
+    return Usage();
+  }
+  const bool expect_degraded = FlagOr(flags, "expect-degraded", "") == "true";
+
+  auto reader = ExtentFileReader::Open(ref_path);
+  if (!reader.ok()) return Fail(reader.status());
+  auto ref = (*reader)->ReadTable();
+  if (!ref.ok()) return Fail(ref.status());
+  auto agg = (*ref)->GetColumnIndex(measure);
+  if (!agg.ok()) return Fail(agg.status());
+  std::vector<size_t> dims;
+  for (const auto& name : SplitString(dims_flag, ',')) {
+    auto idx = (*ref)->GetColumnIndex(std::string(TrimWhitespace(name)));
+    if (!idx.ok()) return Fail(idx.status());
+    dims.push_back(*idx);
+  }
+
+  if (coordinator.total_rows() != (*ref)->num_rows() && !expect_degraded) {
+    return Fail(Status::FailedPrecondition(StrFormat(
+        "topology covers %llu rows but --ref holds %zu",
+        static_cast<unsigned long long>(coordinator.total_rows()),
+        (*ref)->num_rows())));
+  }
+
+  ExactExecutor exact(ref->get());
+  std::vector<RangeQuery> battery = GateBattery(*agg, dims, **ref);
+  int failures = 0;
+  uint64_t fingerprint[2] = {0, 0};
+  for (size_t qi = 0; qi < battery.size(); ++qi) {
+    const RangeQuery& query = battery[qi];
+    const std::string label = query.ToString((*ref)->schema());
+
+    if (expect_degraded) {
+      for (int round = 0; round < 2; ++round) {
+        auto answer = coordinator.Query(query);
+        if (!answer.ok()) {
+          std::fprintf(stderr, "FAIL [%s]: degraded query errored: %s\n",
+                       label.c_str(), answer.status().ToString().c_str());
+          ++failures;
+          break;
+        }
+        if (!answer->merged.degraded ||
+            answer->merged.shards_answered >= answer->merged.shards_total) {
+          std::fprintf(stderr,
+                       "FAIL [%s]: expected a degraded partial answer, got "
+                       "degraded=%d shards=%u/%u\n",
+                       label.c_str(), answer->merged.degraded ? 1 : 0,
+                       answer->merged.shards_answered,
+                       answer->merged.shards_total);
+          ++failures;
+        }
+        if (answer->cache_hit) {
+          std::fprintf(stderr,
+                       "FAIL [%s]: degraded answer was served from cache\n",
+                       label.c_str());
+          ++failures;
+        }
+        if (answer->merged.ci.half_width < 0) {
+          std::fprintf(stderr, "FAIL [%s]: negative half width\n",
+                       label.c_str());
+          ++failures;
+        }
+      }
+      continue;
+    }
+
+    // Bit-identity leg: merged exact answer == single-table executor.
+    auto truth = exact.Execute(query);
+    if (!truth.ok()) return Fail(truth.status());
+    auto answer = coordinator.Query(query);
+    if (!answer.ok()) {
+      std::fprintf(stderr, "FAIL [%s]: %s\n", label.c_str(),
+                   answer.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    if (!SameBits(answer->merged.ci.estimate, *truth)) {
+      std::fprintf(stderr,
+                   "FAIL [%s]: merged %.17g != single-engine %.17g\n",
+                   label.c_str(), answer->merged.ci.estimate, *truth);
+      ++failures;
+    }
+    if (answer->merged.degraded) {
+      std::fprintf(stderr, "FAIL [%s]: unexpected degraded answer\n",
+                   label.c_str());
+      ++failures;
+    }
+    // Determinism leg: two cache-bypassing scatters, merged independently,
+    // must fingerprint identically.
+    for (int round = 0; round < 2; ++round) {
+      auto partials = coordinator.Scatter(query, answer->seed);
+      shard::MergeOptions merge;
+      merge.mode = coordinator.options().mode;
+      merge.total_rows = coordinator.total_rows();
+      auto merged = shard::MergePartials(query, partials, merge);
+      if (!merged.ok()) {
+        std::fprintf(stderr, "FAIL [%s]: re-scatter errored: %s\n",
+                     label.c_str(), merged.status().ToString().c_str());
+        ++failures;
+        continue;
+      }
+      std::string row =
+          StrFormat("%zu %.17g %.17g %d", qi, merged->ci.estimate,
+                    merged->ci.half_width, merged->degraded ? 1 : 0);
+      fingerprint[round] ^= Fnv1a64(row);
+    }
+    std::printf("ok [%s] estimate=%.17g\n", label.c_str(),
+                answer->merged.ci.estimate);
+  }
+  if (!expect_degraded && fingerprint[0] != fingerprint[1]) {
+    std::fprintf(stderr,
+                 "FAIL: scatter fingerprints differ across rounds "
+                 "(%llx vs %llx)\n",
+                 static_cast<unsigned long long>(fingerprint[0]),
+                 static_cast<unsigned long long>(fingerprint[1]));
+    ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "GATE FAILED: %d violation(s)\n", failures);
+    return 1;
+  }
+  std::printf("GATE OK: %zu queries, fingerprint %llx\n", battery.size(),
+              static_cast<unsigned long long>(fingerprint[0]));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags[key] = argv[++i];
+      } else {
+        flags[key] = "true";
+      }
+    }
+  }
+  const std::string workers = FlagOr(flags, "workers", "");
+  if (workers.empty()) return Usage();
+  auto endpoints = ParseWorkers(workers);
+  if (!endpoints.ok()) return Fail(endpoints.status());
+
+  shard::CoordinatorOptions copts;
+  auto mode = ParseMode(FlagOr(
+      flags, "mode", FlagOr(flags, "gate", "") == "true" ? "exact" : "sample"));
+  if (!mode.ok()) return Fail(mode.status());
+  copts.mode = *mode;
+  copts.shard_timeout_seconds = std::atof(FlagOr(flags, "timeout", "2.0").c_str());
+  copts.seed =
+      static_cast<uint64_t>(std::atoll(FlagOr(flags, "seed", "42").c_str()));
+  copts.cache_capacity =
+      static_cast<size_t>(std::atoll(FlagOr(flags, "cache", "1024").c_str()));
+
+  shard::ShardCoordinator coordinator(*endpoints, copts);
+  if (Status st = coordinator.Connect(); !st.ok()) return Fail(st);
+  std::fprintf(stderr, "connected: %zu shards, %llu rows\n",
+               coordinator.num_shards(),
+               static_cast<unsigned long long>(coordinator.total_rows()));
+
+  if (FlagOr(flags, "gate", "") == "true") {
+    return RunGate(coordinator, flags);
+  }
+
+  const std::string schema_path = FlagOr(flags, "schema", "");
+  if (schema_path.empty()) return Usage();
+  auto reader = ExtentFileReader::Open(schema_path);
+  if (!reader.ok()) return Fail(reader.status());
+  auto schema_table = (*reader)->ReadTable();
+  if (!schema_table.ok()) return Fail(schema_table.status());
+  Catalog catalog;
+  AQPP_CHECK_OK(catalog.Register("t", *schema_table));
+
+  shard::CoordinatorServerOptions sopts;
+  sopts.host = FlagOr(flags, "host", "127.0.0.1");
+  sopts.port =
+      static_cast<int>(std::atoll(FlagOr(flags, "port", "7979").c_str()));
+  shard::CoordinatorServer server(&coordinator, &catalog, sopts);
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  std::printf("listening on %s:%d\n", sopts.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "coordinator shutting down\n");
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,157 @@
+// aqpp-shardd — one shard worker daemon.
+//
+//   aqpp-shardd --dir DIR --shard I --measure COL --dims C1,C2
+//               [--host 127.0.0.1] [--port 0] [--sample 4096] [--k 1024]
+//               [--seed 42] [--level 0.95]
+//
+// Loads shard I's slab from DIR/MANIFEST (written by `table_pack shard`),
+// builds the shard's BP-Cube + reservoir in one streaming pass, and serves
+// the shard verbs (SHARDINFO / PARTIAL, docs/sharding.md) until
+// SIGINT/SIGTERM. With --port 0 the kernel picks a free port; the chosen
+// port is printed as `listening on HOST:PORT` so launch scripts can scrape
+// it.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "shard/partition.h"
+#include "shard/worker.h"
+#include "shard/worker_server.h"
+#include "storage/extent_file.h"
+
+namespace {
+
+using namespace aqpp;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aqpp-shardd --dir DIR --shard I --measure COL "
+               "--dims C1,C2\n"
+               "                   [--host 127.0.0.1] [--port 0] "
+               "[--sample 4096]\n"
+               "                   [--k 1024] [--seed 42] [--level 0.95]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      std::string key = a.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        flags[key] = argv[++i];
+      } else {
+        flags[key] = "true";
+      }
+    }
+  }
+  const std::string dir = FlagOr(flags, "dir", "");
+  const std::string shard_flag = FlagOr(flags, "shard", "");
+  const std::string measure = FlagOr(flags, "measure", "");
+  const std::string dims = FlagOr(flags, "dims", "");
+  if (dir.empty() || shard_flag.empty() || measure.empty() || dims.empty()) {
+    return Usage();
+  }
+  const uint32_t shard_index =
+      static_cast<uint32_t>(std::atoll(shard_flag.c_str()));
+
+  auto manifest = shard::ReadShardManifest(dir);
+  if (!manifest.ok()) return Fail(manifest.status());
+  if (shard_index >= manifest->size()) {
+    return Fail(Status::InvalidArgument(
+        StrFormat("shard %u not in manifest (%zu shards)", shard_index,
+                  manifest->size())));
+  }
+  const shard::ShardSlabInfo& info = (*manifest)[shard_index];
+  const std::string slab_path = dir + "/" + info.path;
+
+  // Resolve template column names against the slab's schema.
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  {
+    auto reader = ExtentFileReader::Open(slab_path);
+    if (!reader.ok()) return Fail(reader.status());
+    const Schema& schema = (*reader)->schema();
+    auto index_of = [&schema](const std::string& name) -> Result<size_t> {
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        if (schema.column(c).name == name) return c;
+      }
+      return Status::NotFound("no column named '" + name + "'");
+    };
+    auto agg = index_of(measure);
+    if (!agg.ok()) return Fail(agg.status());
+    tmpl.agg_column = *agg;
+    for (const auto& name : SplitString(dims, ',')) {
+      auto idx = index_of(std::string(TrimWhitespace(name)));
+      if (!idx.ok()) return Fail(idx.status());
+      tmpl.condition_columns.push_back(*idx);
+    }
+  }
+
+  shard::ShardWorkerOptions wopts;
+  wopts.sample_size =
+      static_cast<size_t>(std::atoll(FlagOr(flags, "sample", "4096").c_str()));
+  wopts.cube_budget =
+      static_cast<size_t>(std::atoll(FlagOr(flags, "k", "1024").c_str()));
+  wopts.base_seed =
+      static_cast<uint64_t>(std::atoll(FlagOr(flags, "seed", "42").c_str()));
+  wopts.confidence_level = std::atof(FlagOr(flags, "level", "0.95").c_str());
+
+  Timer build_timer;
+  auto worker = shard::ShardWorker::BuildFromSlab(
+      slab_path, tmpl, shard_index, info.num_shards, info.row_begin, wopts);
+  if (!worker.ok()) return Fail(worker.status());
+  std::fprintf(stderr,
+               "shard %u/%u: %llu rows [%llu, %llu), %llu sample rows, "
+               "built in %.2fs\n",
+               shard_index, info.num_shards,
+               static_cast<unsigned long long>((*worker)->rows()),
+               static_cast<unsigned long long>(info.row_begin),
+               static_cast<unsigned long long>(info.row_begin + info.rows),
+               static_cast<unsigned long long>((*worker)->sample_rows()),
+               build_timer.ElapsedSeconds());
+
+  shard::WorkerServerOptions sopts;
+  sopts.host = FlagOr(flags, "host", "127.0.0.1");
+  sopts.port = static_cast<int>(std::atoll(FlagOr(flags, "port", "0").c_str()));
+  shard::WorkerServer server(worker->get(), sopts);
+  if (Status st = server.Start(); !st.ok()) return Fail(st);
+  std::printf("listening on %s:%d\n", sopts.host.c_str(), server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "shard %u shutting down\n", shard_index);
+  server.Stop();
+  return 0;
+}

@@ -10,6 +10,10 @@
 //       and print a per-encoding summary. Exits nonzero on any corruption.
 //   table_pack unpack <input.ext> <output.bin>
 //       Materialize an extent file back into a WriteBinary table file.
+//   table_pack shard <input.ext> <outdir> --shards N
+//       Split a packed table into N row-range shard slabs (boundaries on
+//       the extent grid) plus <outdir>/MANIFEST, the layout aqpp-shardd
+//       and aqpp-coordd consume (docs/sharding.md).
 
 #include <cinttypes>
 #include <cstdio>
@@ -24,6 +28,7 @@
 #include "storage/column_source.h"
 #include "storage/extent_file.h"
 #include "storage/io.h"
+#include "shard/partition.h"
 #include "storage/table.h"
 #include "workload/tpcd_skew.h"
 
@@ -36,8 +41,9 @@ int Usage(const char* argv0) {
       "usage: %s pack <input.bin> <output.ext>\n"
       "       %s gen --rows N [--skew Z] [--seed S] [--batch B] <output.ext>\n"
       "       %s verify <file.ext>\n"
-      "       %s unpack <input.ext> <output.bin>\n",
-      argv0, argv0, argv0, argv0);
+      "       %s unpack <input.ext> <output.bin>\n"
+      "       %s shard <input.ext> <outdir> --shards N\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -182,10 +188,36 @@ int RunVerify(const std::string& path) {
   return 0;
 }
 
+int RunShard(const std::string& in, const std::string& dir,
+             size_t num_shards) {
+  Timer timer;
+  auto reader = ExtentFileReader::Open(in);
+  if (!reader.ok()) return Fail(reader.status());
+  auto table = (*reader)->ReadTable();
+  if (!table.ok()) return Fail(table.status());
+  auto plan = shard::MakeShardPlan((*table)->num_rows(), num_shards);
+  if (!plan.ok()) return Fail(plan.status());
+  auto slabs = shard::PackShardSlabs(**table, *plan, dir);
+  if (!slabs.ok()) return Fail(slabs.status());
+  for (const shard::ShardSlabInfo& s : *slabs) {
+    std::fprintf(stderr, "  shard %u: rows [%" PRIu64 ", %" PRIu64 ") -> %s\n",
+                 s.shard_index, s.row_begin, s.row_begin + s.rows,
+                 s.path.c_str());
+  }
+  std::fprintf(stderr, "sharded %zu rows into %zu slabs in %.2fs -> %s\n",
+               (*table)->num_rows(), slabs->size(), timer.ElapsedSeconds(),
+               dir.c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const std::string cmd = argv[1];
   if (cmd == "pack" && argc == 4) return RunPack(argv[2], argv[3]);
+  if (cmd == "shard" && argc == 6 && std::string(argv[4]) == "--shards") {
+    return RunShard(argv[2], argv[3],
+                    static_cast<size_t>(std::atoll(argv[5])));
+  }
   if (cmd == "unpack" && argc == 4) return RunUnpack(argv[2], argv[3]);
   if (cmd == "verify" && argc == 3) return RunVerify(argv[2]);
   if (cmd == "gen") {
