@@ -230,7 +230,15 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
   if (cube_ == nullptr || identifier_ == nullptr) {
     Timer timer;
     obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
-    AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng));
+    // EstimateDirect is exactly Mask + EstimateDirectMasked, so handing in a
+    // precomputed mask changes where the mask pass ran, never the bits.
+    if (control.query_mask != nullptr) {
+      AQPP_ASSIGN_OR_RETURN(
+          out.ci,
+          estimator.EstimateDirectMasked(query, *control.query_mask, rng));
+    } else {
+      AQPP_ASSIGN_OR_RETURN(out.ci, estimator.EstimateDirect(query, rng));
+    }
     est_span.Stop();
     out.estimation_seconds = timer.ElapsedSeconds();
     return out;
@@ -250,7 +258,12 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
   // identifier's cached cell-id matrix (no predicate re-evaluation).
   Timer est_timer;
   obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
-  AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
+  std::vector<uint8_t> q_mask_storage;
+  if (control.query_mask == nullptr) {
+    AQPP_ASSIGN_OR_RETURN(q_mask_storage, estimator.Mask(query.predicate));
+  }
+  const std::vector<uint8_t>& q_mask =
+      control.query_mask != nullptr ? *control.query_mask : q_mask_storage;
   if (identified.pre.IsEmpty()) {
     AQPP_ASSIGN_OR_RETURN(out.ci,
                           estimator.EstimateDirectMasked(query, q_mask, rng));

@@ -141,6 +141,14 @@ struct ExecuteControl {
   std::optional<uint64_t> seed;
   bool record = true;
   obs::QueryTrace* trace = nullptr;
+  // Precomputed sample-side query mask: one byte per sample row, 1 iff the
+  // row passes the query's predicate — exactly what SampleEstimator::Mask
+  // returns. When set, the engine uses it instead of running its own mask
+  // pass; everything downstream is untouched, so the result is bit-identical
+  // to the unset case. This is the seam the batched service path uses to
+  // evaluate all batch members' sample masks in one fused scan. Must outlive
+  // the call. Ignored by the MIN/MAX extrema path (no sample involved).
+  const std::vector<uint8_t>* query_mask = nullptr;
 };
 
 class AqppEngine {

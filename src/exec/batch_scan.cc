@@ -1,0 +1,330 @@
+#include "exec/batch_scan.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "kernels/kernels.h"
+#include "kernels/multi_scan.h"
+#include "obs/metrics.h"
+
+namespace aqpp {
+
+namespace {
+
+// Identical to ExactExecutor's validation (executor.cc); duplicated so a
+// batch member fails with byte-identical messages to its solo run.
+Status ValidateQuery(const Table& table, const RangeQuery& query) {
+  if (query.func != AggregateFunction::kCount &&
+      query.agg_column >= table.num_columns()) {
+    return Status::InvalidArgument("aggregate column out of range");
+  }
+  for (const auto& c : query.predicate.conditions()) {
+    if (c.column >= table.num_columns()) {
+      return Status::InvalidArgument("condition column out of range");
+    }
+    if (table.column(c.column).type() == DataType::kDouble) {
+      return Status::InvalidArgument(
+          "condition column '" + table.schema().column(c.column).name +
+          "' must be ordinal (INT64 or STRING)");
+    }
+  }
+  for (size_t g : query.group_by) {
+    if (g >= table.num_columns()) {
+      return Status::InvalidArgument("group-by column out of range");
+    }
+    if (table.column(g).type() == DataType::kDouble) {
+      return Status::InvalidArgument("group-by column must be ordinal");
+    }
+  }
+  return Status::OK();
+}
+
+kernels::ScanProfile ProfileFor(AggregateFunction func) {
+  switch (func) {
+    case AggregateFunction::kCount:
+      return kernels::ScanProfile::kCount;
+    case AggregateFunction::kSum:
+    case AggregateFunction::kAvg:
+      return kernels::ScanProfile::kSum;
+    case AggregateFunction::kVar:
+      return kernels::ScanProfile::kMoments;
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      return kernels::ScanProfile::kMinMax;
+  }
+  return kernels::ScanProfile::kCount;
+}
+
+// Same final mapping ExactExecutor::ExecuteKernel / ExecuteQueryOnSource
+// apply to their ScanStats.
+Result<double> FinishStats(AggregateFunction func,
+                           const kernels::ScanStats& stats) {
+  switch (func) {
+    case AggregateFunction::kSum:
+      return stats.sum;
+    case AggregateFunction::kCount:
+      return stats.count;
+    case AggregateFunction::kAvg:
+      return stats.mean();
+    case AggregateFunction::kVar:
+      return stats.variance_population();
+    case AggregateFunction::kMin:
+      if (stats.count == 0) {
+        return Status::FailedPrecondition("MIN over empty selection");
+      }
+      return stats.min;
+    case AggregateFunction::kMax:
+      if (stats.count == 0) {
+        return Status::FailedPrecondition("MAX over empty selection");
+      }
+      return stats.max;
+  }
+  return Status::Internal("unreachable");
+}
+
+// Empty-predicate short circuit shared by both solo paths: aggregates of an
+// empty selection without touching any data.
+bool EmptyPredicateAnswer(const RangeQuery& query, Result<double>* out) {
+  if (!query.predicate.IsEmpty()) return false;
+  switch (query.func) {
+    case AggregateFunction::kSum:
+    case AggregateFunction::kCount:
+    case AggregateFunction::kAvg:
+    case AggregateFunction::kVar:
+      *out = 0.0;
+      return true;
+    case AggregateFunction::kMin:
+    case AggregateFunction::kMax:
+      *out = Status::FailedPrecondition("MIN/MAX over empty selection");
+      return true;
+  }
+  return false;
+}
+
+struct BatchMetrics {
+  obs::Counter* fused;
+  obs::Histogram* batch_size;
+  // Same series ExactExecutor feeds: a fused pass is one exact scan.
+  obs::Counter* scans;
+  obs::Histogram* seconds;
+  static const BatchMetrics& Get() {
+    static const BatchMetrics m = {
+        obs::Registry::Global().GetCounter(
+            "aqpp_batch_queries_fused_total", "",
+            "Member queries answered by fused shared-scan batch passes."),
+        obs::Registry::Global().GetHistogram(
+            "aqpp_batch_size", "", {1, 2, 4, 8, 16, 32, 64},
+            "Queries fused per shared-scan batch pass."),
+        obs::Registry::Global().GetCounter(
+            "aqpp_exact_scans_total", "",
+            "Full-table exact aggregation scans executed."),
+        obs::Registry::Global().GetHistogram(
+            "aqpp_exact_scan_seconds", "", {},
+            "Wall-clock seconds per full-table exact scan."),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+std::vector<Result<double>> BatchScanExecutor::ExecuteBatch(
+    const std::vector<RangeQuery>& queries) const {
+  const size_t q = queries.size();
+  // The fused path is kernel-only; the legacy row-at-a-time executor and the
+  // fuse_batches=false ablation both fall back to per-member solo runs.
+  if (!options_.fuse_batches || !options_.use_kernels) {
+    std::vector<Result<double>> out;
+    out.reserve(q);
+    for (const RangeQuery& query : queries) out.push_back(solo_.Execute(query));
+    return out;
+  }
+
+  std::vector<Status> statuses(q, Status::OK());
+  std::vector<double> values(q, 0.0);
+  std::vector<uint8_t> done(q, 0);
+
+  // Pre-scan stage: validation, empty-predicate short circuits, binding.
+  // Every rejection here is byte-identical to the solo rejection, and never
+  // affects sibling members.
+  std::vector<kernels::BoundPredicate> preds(q);
+  std::vector<kernels::MultiScanMember> members(q);
+  std::vector<uint8_t> scans(q, 0);
+  size_t num_scanned = 0;
+  for (size_t i = 0; i < q; ++i) {
+    const RangeQuery& query = queries[i];
+    Status st = ValidateQuery(*table_, query);
+    if (!st.ok()) {
+      statuses[i] = std::move(st);
+      done[i] = 1;
+      continue;
+    }
+    Result<double> early = 0.0;
+    if (EmptyPredicateAnswer(query, &early)) {
+      if (early.ok()) {
+        values[i] = *early;
+      } else {
+        statuses[i] = early.status();
+      }
+      done[i] = 1;
+      continue;
+    }
+    kernels::ValueRef vref;
+    if (query.func != AggregateFunction::kCount) {
+      vref = kernels::ValueRef::FromColumn(table_->column(query.agg_column));
+    }
+    const kernels::ScanProfile profile = ProfileFor(query.func);
+    if (profile != kernels::ScanProfile::kCount && vref.empty()) {
+      // Same guard ScanAggregate applies before binding.
+      statuses[i] =
+          Status::InvalidArgument("scan profile requires aggregation values");
+      done[i] = 1;
+      continue;
+    }
+    auto bound = kernels::BindConditions(*table_, query.predicate.conditions(),
+                                         &stats_);
+    if (!bound.ok()) {
+      statuses[i] = bound.status();
+      done[i] = 1;
+      continue;
+    }
+    preds[i] = std::move(*bound);
+    members[i] = {&preds[i], vref, profile};
+    scans[i] = 1;
+    ++num_scanned;
+  }
+
+  if (num_scanned > 0) {
+    // Compact to the members that actually scan; one fused pass for all.
+    std::vector<kernels::MultiScanMember> active;
+    std::vector<size_t> idx;
+    active.reserve(num_scanned);
+    idx.reserve(num_scanned);
+    for (size_t i = 0; i < q; ++i) {
+      if (!scans[i]) continue;
+      active.push_back(members[i]);
+      idx.push_back(i);
+    }
+    const BatchMetrics& metrics = BatchMetrics::Get();
+    metrics.scans->Increment();
+    metrics.fused->Increment(num_scanned);
+    metrics.batch_size->Observe(static_cast<double>(num_scanned));
+    Timer timer;
+    kernels::ScanOptions opts;
+    opts.strategy = options_.strategy;
+    opts.pool = options_.pool;
+    opts.parallel = options_.parallel;
+    const std::vector<kernels::ScanStats> stats =
+        kernels::MultiScanBound(active, table_->num_rows(), opts);
+    metrics.seconds->Observe(timer.ElapsedSeconds());
+    for (size_t j = 0; j < idx.size(); ++j) {
+      const size_t i = idx[j];
+      Result<double> r = FinishStats(queries[i].func, stats[j]);
+      if (r.ok()) {
+        values[i] = *r;
+      } else {
+        statuses[i] = r.status();
+      }
+      done[i] = 1;
+    }
+  }
+
+  std::vector<Result<double>> out;
+  out.reserve(q);
+  for (size_t i = 0; i < q; ++i) {
+    if (statuses[i].ok()) {
+      out.emplace_back(values[i]);
+    } else {
+      out.emplace_back(statuses[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<Result<double>> ExecuteQueriesOnSource(
+    ColumnSource& source, const std::vector<RangeQuery>& queries,
+    const kernels::SourceScanOptions& opts, bool fuse) {
+  const size_t q = queries.size();
+  if (!fuse) {
+    std::vector<Result<double>> out;
+    out.reserve(q);
+    for (const RangeQuery& query : queries) {
+      out.push_back(kernels::ExecuteQueryOnSource(source, query, opts));
+    }
+    return out;
+  }
+
+  std::vector<Status> statuses(q, Status::OK());
+  std::vector<double> values(q, 0.0);
+  std::vector<uint8_t> scans(q, 0);
+  std::vector<kernels::MultiSourceMember> members(q);
+  size_t num_scanned = 0;
+  for (size_t i = 0; i < q; ++i) {
+    const RangeQuery& query = queries[i];
+    if (query.func != AggregateFunction::kCount &&
+        query.agg_column >= source.schema().num_columns()) {
+      statuses[i] = Status::InvalidArgument("aggregate column out of range");
+      continue;
+    }
+    Result<double> early = 0.0;
+    if (EmptyPredicateAnswer(query, &early)) {
+      if (early.ok()) {
+        values[i] = *early;
+      } else {
+        statuses[i] = early.status();
+      }
+      continue;
+    }
+    members[i].conds = query.predicate.conditions();
+    members[i].profile = ProfileFor(query.func);
+    members[i].value_column = query.func == AggregateFunction::kCount
+                                  ? -1
+                                  : static_cast<int>(query.agg_column);
+    scans[i] = 1;
+    ++num_scanned;
+  }
+
+  if (num_scanned > 0) {
+    std::vector<kernels::MultiSourceMember> active;
+    std::vector<size_t> idx;
+    active.reserve(num_scanned);
+    idx.reserve(num_scanned);
+    for (size_t i = 0; i < q; ++i) {
+      if (!scans[i]) continue;
+      active.push_back(std::move(members[i]));
+      idx.push_back(i);
+    }
+    const BatchMetrics& metrics = BatchMetrics::Get();
+    metrics.fused->Increment(num_scanned);
+    metrics.batch_size->Observe(static_cast<double>(num_scanned));
+    const kernels::MultiSourceScanResult r =
+        kernels::MultiScanSource(source, active, opts);
+    for (size_t j = 0; j < idx.size(); ++j) {
+      const size_t i = idx[j];
+      const kernels::MultiSourceMemberResult& mr = r.members[j];
+      if (!mr.status.ok()) {
+        statuses[i] = mr.status;
+        continue;
+      }
+      Result<double> v = FinishStats(queries[i].func, mr.stats);
+      if (v.ok()) {
+        values[i] = *v;
+      } else {
+        statuses[i] = v.status();
+      }
+    }
+  }
+
+  std::vector<Result<double>> out;
+  out.reserve(q);
+  for (size_t i = 0; i < q; ++i) {
+    if (statuses[i].ok()) {
+      out.emplace_back(values[i]);
+    } else {
+      out.emplace_back(statuses[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace aqpp

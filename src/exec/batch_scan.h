@@ -1,0 +1,68 @@
+// Shared-scan batch execution: N scalar queries against one table answered
+// in a single pass.
+//
+// ExactExecutor::Execute streams the whole table once per query; a batch of
+// N concurrent queries on the same table therefore pays N memory passes over
+// identical bytes. BatchScanExecutor fuses them: one walk of the fixed
+// chunk/shard grid (or the extent grid for ColumnSource-backed tables)
+// evaluates every member's predicate and feeds every member's accumulator
+// lanes per chunk, so the data travels the memory hierarchy once per batch.
+//
+// Semantics per member are EXACTLY ExactExecutor::Execute /
+// ExecuteQueryOnSource: same validation, same empty-predicate and empty
+// selection rules, and bit-identical numeric results at any thread count and
+// batch composition (see kernels/multi_scan.h for the argument). Member
+// failures are isolated — one invalid query or one IO error never poisons
+// sibling results.
+//
+// ExecutorOptions::fuse_batches = false degrades both entry points to a
+// sequential per-member loop over the solo paths: the ablation baseline the
+// batch bench and equivalence tests compare against.
+
+#ifndef AQPP_EXEC_BATCH_SCAN_H_
+#define AQPP_EXEC_BATCH_SCAN_H_
+
+#include <vector>
+
+#include "exec/executor.h"
+#include "kernels/source_scan.h"
+#include "storage/column_source.h"
+
+namespace aqpp {
+
+class BatchScanExecutor {
+ public:
+  explicit BatchScanExecutor(const Table* table, ExecutorOptions options = {})
+      : table_(table), options_(options), solo_(table, options), stats_(table) {}
+
+  // Evaluates every scalar query in `queries` (index-aligned results) with
+  // one fused pass over the table. Each element is exactly what
+  // ExactExecutor::Execute would return for that query alone.
+  std::vector<Result<double>> ExecuteBatch(
+      const std::vector<RangeQuery>& queries) const;
+
+  const ExecutorOptions& options() const { return options_; }
+
+ private:
+  const Table* table_;
+  ExecutorOptions options_;
+  // Solo executor for the ablation path (it keeps its own stats cache).
+  ExactExecutor solo_;
+  // Lazily built per-column min/max for bind-time full-range elision;
+  // thread-safe, shared across batches against the same table.
+  mutable kernels::ColumnStatsCache stats_;
+};
+
+// ColumnSource twin: evaluates every query with one fused pass over the
+// extent grid (zone maps classified once per extent per batch, each needed
+// column pinned once per extent for the whole batch). Each element is
+// exactly what ExecuteQueryOnSource would return for that query alone.
+// `fuse` = false is the per-query ablation baseline.
+std::vector<Result<double>> ExecuteQueriesOnSource(
+    ColumnSource& source, const std::vector<RangeQuery>& queries,
+    const kernels::SourceScanOptions& opts = kernels::SourceScanOptions(),
+    bool fuse = true);
+
+}  // namespace aqpp
+
+#endif  // AQPP_EXEC_BATCH_SCAN_H_

@@ -36,6 +36,10 @@ struct ExecutorOptions {
   ThreadPool* pool = nullptr;
   // Sequential shard processing when false; results are identical either way.
   bool parallel = true;
+  // Shared-scan batching (BatchScanExecutor): fuse concurrent same-table
+  // queries into one pass. False is the per-query ablation baseline; results
+  // are bit-identical either way, this is purely a scheduling knob.
+  bool fuse_batches = true;
 };
 
 class ExactExecutor {

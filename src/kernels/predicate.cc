@@ -79,26 +79,62 @@ Result<BoundPredicate> BindConditions(const Table& table,
   return out;
 }
 
+#if defined(__AVX512F__)
+// Range test for 8 rows: all-ones lane where lo <= data[i] <= hi.
+inline __mmask8 RangeMask8(const __m512i v, const __m512i vlo,
+                           const __m512i vhi) {
+  return _mm512_cmple_epi64_mask(vlo, v) & _mm512_cmple_epi64_mask(v, vhi);
+}
+#endif
+
 size_t FillMask(const int64_t* data, size_t n, int64_t lo, int64_t hi,
                 int64_t* mask) {
+  size_t i = 0;
+  size_t count = 0;
+#if defined(__AVX512F__)
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  const __m512i ones = _mm512_set1_epi64(-1);
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 m = RangeMask8(_mm512_loadu_si512(data + i), vlo, vhi);
+    _mm512_storeu_si512(mask + i,
+                        _mm512_maskz_mov_epi64(m, ones));
+    count += static_cast<size_t>(__builtin_popcount(m));
+  }
+#endif
   int64_t neg_count = 0;
-  for (size_t i = 0; i < n; ++i) {
+  for (; i < n; ++i) {
     int64_t m = -static_cast<int64_t>(data[i] >= lo && data[i] <= hi);
     mask[i] = m;
     neg_count += m;
   }
-  return static_cast<size_t>(-neg_count);
+  return count + static_cast<size_t>(-neg_count);
 }
 
 size_t AndMask(const int64_t* data, size_t n, int64_t lo, int64_t hi,
                int64_t* mask) {
+  size_t i = 0;
+  size_t count = 0;
+#if defined(__AVX512F__)
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  const __m512i zero = _mm512_setzero_si512();
+  for (; i + 8 <= n; i += 8) {
+    const __mmask8 in = RangeMask8(_mm512_loadu_si512(data + i), vlo, vhi);
+    const __m512i prev = _mm512_loadu_si512(mask + i);
+    const __m512i out = _mm512_maskz_mov_epi64(in, prev);
+    _mm512_storeu_si512(mask + i, out);
+    count += static_cast<size_t>(
+        __builtin_popcount(_mm512_cmpneq_epi64_mask(out, zero)));
+  }
+#endif
   int64_t neg_count = 0;
-  for (size_t i = 0; i < n; ++i) {
+  for (; i < n; ++i) {
     int64_t m = mask[i] & -static_cast<int64_t>(data[i] >= lo && data[i] <= hi);
     mask[i] = m;
     neg_count += m;
   }
-  return static_cast<size_t>(-neg_count);
+  return count + static_cast<size_t>(-neg_count);
 }
 
 size_t FillMaskScalar(const BoundPredicate& pred, size_t begin, size_t end,
@@ -163,11 +199,23 @@ size_t FillSelection(const int64_t* data, size_t n, int64_t lo, int64_t hi,
 }
 
 size_t CountRange(const int64_t* data, size_t n, int64_t lo, int64_t hi) {
+  size_t i = 0;
+  size_t count = 0;
+#if defined(__AVX512F__)
+  const __m512i vlo = _mm512_set1_epi64(lo);
+  const __m512i vhi = _mm512_set1_epi64(hi);
+  for (; i + 16 <= n; i += 16) {
+    const __mmask8 m0 = RangeMask8(_mm512_loadu_si512(data + i), vlo, vhi);
+    const __mmask8 m1 = RangeMask8(_mm512_loadu_si512(data + i + 8), vlo, vhi);
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(m0) | (static_cast<unsigned>(m1) << 8)));
+  }
+#endif
   int64_t neg_count = 0;
-  for (size_t i = 0; i < n; ++i) {
+  for (; i < n; ++i) {
     neg_count += -static_cast<int64_t>(data[i] >= lo && data[i] <= hi);
   }
-  return static_cast<size_t>(-neg_count);
+  return count + static_cast<size_t>(-neg_count);
 }
 
 size_t EvaluateChunk(const BoundPredicate& pred, size_t begin, size_t end,

@@ -16,7 +16,12 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <type_traits>
 #include <vector>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 #include "kernels/scan.h"
 
@@ -131,16 +136,236 @@ void AccumChunk(const T* v, const int64_t* mask, size_t n, ShardAccum& a) {
 
 template <bool kNeedSum, bool kNeedSumSq, bool kNeedMinMax, typename T>
 void AccumSelection(const T* v, const uint32_t* sel, size_t k, ShardAccum& a) {
+  // Lanes live in registers for the loop (the compiler can't hoist them
+  // itself: `a` and `v` are both double-typed memory it must assume may
+  // alias). Per-lane add order is unchanged, so results are bit-identical
+  // to accumulating in place.
+  double s[kLanes], q[kLanes], mn[kLanes], mx[kLanes];
+  for (size_t l = 0; l < kLanes; ++l) {
+    s[l] = a.sum[l];
+    q[l] = a.sum_sq[l];
+    mn[l] = a.mn[l];
+    mx[l] = a.mx[l];
+  }
   for (size_t j = 0; j < k; ++j) {
     const uint32_t r = sel[j];
     const size_t l = r % kLanes;
     double x = LoadValue(v, r);
-    if constexpr (kNeedSum) a.sum[l] += x;
-    if constexpr (kNeedSumSq) a.sum_sq[l] += x * x;
+    if constexpr (kNeedSum) s[l] += x;
+    if constexpr (kNeedSumSq) q[l] += x * x;
     if constexpr (kNeedMinMax) {
-      a.mn[l] = std::min(a.mn[l], x);
-      a.mx[l] = std::max(a.mx[l], x);
+      mn[l] = std::min(mn[l], x);
+      mx[l] = std::max(mx[l], x);
     }
+  }
+  for (size_t l = 0; l < kLanes; ++l) {
+    a.sum[l] = s[l];
+    a.sum_sq[l] = q[l];
+    a.mn[l] = mn[l];
+    a.mx[l] = mx[l];
+  }
+}
+
+#if defined(__AVX512F__)
+// Fused compare + accumulate: one pass over the chunk that evaluates every
+// range condition and feeds the lane accumulators directly, skipping the
+// mask/selection materialization entirely. With both accumulate flags off it
+// is a pure multi-condition count that never touches the value column.
+//
+// Bit-identity: the lane layout (row i feeds lane i % kLanes) makes the
+// kLanes accumulators one vertical 8-wide vector; a masked vector add
+// contributes x to selected lanes and +0.0 to unselected ones — the exact
+// per-lane FP add sequence the masked AccumChunk runs. Condition masks are
+// boolean, so conjunction order cannot matter. The multiply feeding sum_sq
+// stays a separate mul + add (never an FMA; see -ffp-contract=off in the
+// kernel build).
+template <bool kNeedSum, bool kNeedSumSq>
+inline size_t FusedRangeAccumChunk(const BoundPredicate& pred, const double* v,
+                                   size_t base, size_t m, ShardAccum& a) {
+  static_assert(kLanes == 8, "lane accumulator is one zmm vector");
+  __m512d vs, vq;
+  if constexpr (kNeedSum) vs = _mm512_loadu_pd(a.sum);
+  if constexpr (kNeedSumSq) vq = _mm512_loadu_pd(a.sum_sq);
+  size_t i = 0;
+  size_t count = 0;
+  for (; i + kLanes <= m; i += kLanes) {
+    __mmask8 msk = 0xff;
+    for (const BoundCondition& c : pred.conds) {
+      const __m512i cv = _mm512_loadu_si512(c.data + base + i);
+      msk &= _mm512_cmple_epi64_mask(_mm512_set1_epi64(c.lo), cv) &
+             _mm512_cmple_epi64_mask(cv, _mm512_set1_epi64(c.hi));
+    }
+    if constexpr (kNeedSum || kNeedSumSq) {
+      const __m512d x = _mm512_maskz_mov_pd(msk, _mm512_loadu_pd(v + base + i));
+      if constexpr (kNeedSum) vs = _mm512_add_pd(vs, x);
+      if constexpr (kNeedSumSq) vq = _mm512_add_pd(vq, _mm512_mul_pd(x, x));
+    }
+    count += static_cast<size_t>(__builtin_popcount(msk));
+  }
+  if constexpr (kNeedSum) _mm512_storeu_pd(a.sum, vs);
+  if constexpr (kNeedSumSq) _mm512_storeu_pd(a.sum_sq, vq);
+  // Tail rows continue each lane's add sequence in row order (skipping an
+  // unselected row and adding its +0.0 leave the lane bit-unchanged alike).
+  for (; i < m; ++i) {
+    bool match = true;
+    for (const BoundCondition& c : pred.conds) {
+      const int64_t cv = c.data[base + i];
+      match = match && cv >= c.lo && cv <= c.hi;
+    }
+    if (match) {
+      if constexpr (kNeedSum || kNeedSumSq) {
+        const size_t l = i % kLanes;
+        const double x = v[base + i];
+        if constexpr (kNeedSum) a.sum[l] += x;
+        if constexpr (kNeedSumSq) a.sum_sq[l] += x * x;
+      }
+      ++count;
+    }
+  }
+  return count;
+}
+#endif  // __AVX512F__
+
+// ---- Chunk scan -----------------------------------------------------------
+
+// Sparse/dense prediction state for the fused single-condition fast path:
+// the previous chunk's match count decides whether the next chunk builds a
+// selection vector directly (one pass, no mask) or goes through the mask
+// pipeline. The state is shard-local with a fixed initial value, so it is
+// independent of the thread count; a misprediction only changes which
+// accumulator runs, never the result bits (all strategies feed the lanes in
+// ascending row order).
+//
+// The state is externalized (rather than a ScanShardTyped local) so the
+// multi-query scan can interleave several members chunk by chunk while each
+// member's prediction sequence stays exactly what its solo scan would have
+// produced — the keystone of the batch path's bit-identity guarantee.
+struct ChunkScanState {
+  size_t prev_k = 0;
+  size_t prev_m = kChunkRows;
+};
+
+// Scans one chunk [base, stop) — stop - base <= kChunkRows — of a shard.
+// `mask` / `sel` are caller-owned kChunkRows scratch buffers. Calling this
+// over a shard's chunks in ascending order with one ChunkScanState is
+// byte-for-byte the body ScanShardTyped always ran.
+template <bool kNeedSum, bool kNeedSumSq, bool kNeedMinMax, typename T>
+void ScanChunkTyped(const BoundPredicate& pred, const T* values, size_t base,
+                    size_t stop, ScanStrategy strategy, ChunkScanState& st,
+                    ShardAccum& acc, int64_t* mask, uint32_t* sel) {
+  const bool count_only = !kNeedSum && !kNeedSumSq && !kNeedMinMax;
+  const bool single_cond =
+      pred.conds.size() == 1 && strategy != ScanStrategy::kScalarRows;
+  const size_t m = stop - base;
+  // Full-range fast path: no surviving conditions means every row is
+  // selected and the mask machinery is skipped outright.
+  if (pred.conds.empty() && !pred.never_matches) {
+    acc.count += m;
+    if (!count_only) {
+      AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
+          values + base, mask, m, acc);
+    }
+    return;
+  }
+#if defined(__AVX512F__)
+  // Compare + accumulate in one pass (bit-identical to the mask/selection
+  // machinery; see FusedRangeAccumChunk). Only the adaptive strategy takes
+  // it, so forced-strategy ablations still measure the path they name.
+  // Single-condition counts stay on CountRange (16 rows/iteration beats the
+  // generic conjunction loop there).
+  if constexpr (std::is_same_v<T, double> && !kNeedMinMax) {
+    if (strategy == ScanStrategy::kAdaptive && !pred.never_matches &&
+        !pred.conds.empty() && !(count_only && pred.conds.size() == 1)) {
+      const size_t k = FusedRangeAccumChunk<kNeedSum, kNeedSumSq>(
+          pred, values, base, m, acc);
+      st.prev_k = k;
+      st.prev_m = m;
+      acc.count += k;
+      return;
+    }
+  }
+#endif
+  if (single_cond) {
+    const BoundCondition& c = pred.conds[0];
+    if (count_only) {
+      acc.count += CountRange(c.data + base, m, c.lo, c.hi);
+      return;
+    }
+    const bool predict_selection =
+        strategy == ScanStrategy::kSelectionVector ||
+        (strategy == ScanStrategy::kAdaptive && st.prev_k * 8 < st.prev_m);
+    if (predict_selection) {
+      const size_t k = FillSelection(c.data + base, m, c.lo, c.hi, sel);
+      st.prev_k = k;
+      st.prev_m = m;
+      acc.count += k;
+      if (k == 0) return;
+      if (k == m) {
+        AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
+            values + base, mask, m, acc);
+      } else {
+        AccumSelection<kNeedSum, kNeedSumSq, kNeedMinMax>(values + base, sel,
+                                                          k, acc);
+      }
+      return;
+    }
+    // Dense prediction falls through to the mask pipeline below.
+  }
+  const size_t k = strategy == ScanStrategy::kScalarRows
+                       ? FillMaskScalar(pred, base, stop, mask)
+                       : EvaluateChunk(pred, base, stop, mask);
+  st.prev_k = k;
+  st.prev_m = m;
+  acc.count += k;
+  if (k == 0 || count_only) return;  // short-circuit empty chunks
+  if (k == m) {
+    AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
+        values + base, mask, m, acc);
+    return;
+  }
+  // Selectivity-adaptive switch. The choice depends only on (k, m), so it
+  // is reproducible; forced strategies pin it for ablation and testing.
+  bool use_selection = k * 8 < m;
+  if (strategy == ScanStrategy::kMasked) use_selection = false;
+  if (strategy == ScanStrategy::kSelectionVector) use_selection = true;
+  if (use_selection) {
+    const size_t ks = MaskToSelection(mask, m, sel);
+    AccumSelection<kNeedSum, kNeedSumSq, kNeedMinMax>(values + base, sel, ks,
+                                                      acc);
+  } else {
+    AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/true>(
+        values + base, mask, m, acc);
+  }
+}
+
+// Runtime-profile dispatch of ScanChunkTyped (the multi-query scan carries
+// per-member profiles, so the profile cannot be a template parameter there).
+template <typename T>
+void ScanChunk(const BoundPredicate& pred, const T* values, size_t base,
+               size_t stop, ScanProfile profile, ScanStrategy strategy,
+               ChunkScanState& st, ShardAccum& acc, int64_t* mask,
+               uint32_t* sel) {
+  switch (profile) {
+    case ScanProfile::kCount:
+      ScanChunkTyped<false, false, false>(pred, values, base, stop, strategy,
+                                          st, acc, mask, sel);
+      return;
+    case ScanProfile::kSum:
+      ScanChunkTyped<true, false, false>(pred, values, base, stop, strategy,
+                                         st, acc, mask, sel);
+      return;
+    case ScanProfile::kMoments:
+      ScanChunkTyped<true, true, false>(pred, values, base, stop, strategy,
+                                        st, acc, mask, sel);
+      return;
+    case ScanProfile::kMinMax:
+      ScanChunkTyped<false, false, true>(pred, values, base, stop, strategy,
+                                         st, acc, mask, sel);
+      return;
+    case ScanProfile::kFull:
+      ScanChunkTyped<true, true, true>(pred, values, base, stop, strategy,
+                                       st, acc, mask, sel);
+      return;
   }
 }
 
@@ -151,82 +376,11 @@ void ScanShardTyped(const BoundPredicate& pred, const T* values, size_t begin,
                     size_t end, ScanStrategy strategy, ShardAccum& acc) {
   alignas(64) int64_t mask[kChunkRows];
   alignas(64) uint32_t sel[kChunkRows];
-  const bool count_only = !kNeedSum && !kNeedSumSq && !kNeedMinMax;
-  const bool single_cond =
-      pred.conds.size() == 1 && strategy != ScanStrategy::kScalarRows;
-  // Sparse/dense prediction for the fused single-condition path: the previous
-  // chunk's match count decides whether the next chunk builds a selection
-  // vector directly (one pass, no mask) or goes through the mask pipeline.
-  // The prediction is shard-local state with a fixed initial value, so it is
-  // independent of the thread count; a misprediction only changes which
-  // accumulator runs, never the result bits (all strategies feed the lanes in
-  // ascending row order).
-  size_t prev_k = 0;
-  size_t prev_m = kChunkRows;
+  ChunkScanState st;
   for (size_t base = begin; base < end; base += kChunkRows) {
     const size_t stop = std::min(end, base + kChunkRows);
-    const size_t m = stop - base;
-    // Full-range fast path: no surviving conditions means every row is
-    // selected and the mask machinery is skipped outright.
-    if (pred.conds.empty() && !pred.never_matches) {
-      acc.count += m;
-      if (!count_only) {
-        AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
-            values + base, mask, m, acc);
-      }
-      continue;
-    }
-    if (single_cond) {
-      const BoundCondition& c = pred.conds[0];
-      if (count_only) {
-        acc.count += CountRange(c.data + base, m, c.lo, c.hi);
-        continue;
-      }
-      const bool predict_selection =
-          strategy == ScanStrategy::kSelectionVector ||
-          (strategy == ScanStrategy::kAdaptive && prev_k * 8 < prev_m);
-      if (predict_selection) {
-        const size_t k = FillSelection(c.data + base, m, c.lo, c.hi, sel);
-        prev_k = k;
-        prev_m = m;
-        acc.count += k;
-        if (k == 0) continue;
-        if (k == m) {
-          AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
-              values + base, mask, m, acc);
-        } else {
-          AccumSelection<kNeedSum, kNeedSumSq, kNeedMinMax>(values + base, sel,
-                                                            k, acc);
-        }
-        continue;
-      }
-      // Dense prediction falls through to the mask pipeline below.
-    }
-    const size_t k = strategy == ScanStrategy::kScalarRows
-                         ? FillMaskScalar(pred, base, stop, mask)
-                         : EvaluateChunk(pred, base, stop, mask);
-    prev_k = k;
-    prev_m = m;
-    acc.count += k;
-    if (k == 0 || count_only) continue;  // short-circuit empty chunks
-    if (k == m) {
-      AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/false>(
-          values + base, mask, m, acc);
-      continue;
-    }
-    // Selectivity-adaptive switch. The choice depends only on (k, m), so it
-    // is reproducible; forced strategies pin it for ablation and testing.
-    bool use_selection = k * 8 < m;
-    if (strategy == ScanStrategy::kMasked) use_selection = false;
-    if (strategy == ScanStrategy::kSelectionVector) use_selection = true;
-    if (use_selection) {
-      const size_t ks = MaskToSelection(mask, m, sel);
-      AccumSelection<kNeedSum, kNeedSumSq, kNeedMinMax>(values + base, sel, ks,
-                                                        acc);
-    } else {
-      AccumChunk<kNeedSum, kNeedSumSq, kNeedMinMax, /*masked=*/true>(
-          values + base, mask, m, acc);
-    }
+    ScanChunkTyped<kNeedSum, kNeedSumSq, kNeedMinMax>(
+        pred, values, base, stop, strategy, st, acc, mask, sel);
   }
 }
 

@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +48,16 @@ struct AdmissionOptions {
   size_t max_per_session = 16;
   // Lower bound on the retry-after hint.
   double retry_floor_seconds = 0.01;
+  // Shared-scan batch formation. A worker that pops a job with a non-empty
+  // batch_key gathers every queued same-key job (across sessions) into one
+  // batch and hands them all to the popped job's run_batch. If the popped
+  // job is alone, the worker waits up to batch_window_seconds for company —
+  // any same-key arrival (or Stop()) ends the wait early, and a backlog that
+  // already holds same-key jobs skips it entirely (queue-depth trigger).
+  // 0 disables the wait; batches then form only from the existing backlog.
+  double batch_window_seconds = 0.001;
+  // Master switch: false degrades every job to solo run() (ablation).
+  bool enable_batching = true;
   // Test seam: invoked by a worker right before it runs a job.
   std::function<void()> worker_hook;
 };
@@ -59,6 +70,10 @@ struct AdmissionStats {
   uint64_t completed = 0;
   // Jobs cancelled-and-run by Stop()'s drain.
   uint64_t drained = 0;
+  // Multi-member batches formed by batch-key grouping, and the total member
+  // jobs (leaders included) those batches absorbed.
+  uint64_t batches_formed = 0;
+  uint64_t batch_members = 0;
   double ewma_service_seconds = 0;
 };
 
@@ -68,7 +83,22 @@ class AdmissionController {
     // Cancelled by Stop() before the drain runs the job; may be null.
     std::shared_ptr<CancellationToken> token;
     // Must not throw; fulfills whatever promise the submitter waits on.
+    // Every job must work standalone through run() — the solo path, the
+    // Stop() drain, and batching-disabled mode all use it.
     std::function<void()> run;
+    // Batch formation: jobs sharing a non-empty key may be grouped (across
+    // sessions) into one batch. Empty key = never batched. Keys must encode
+    // everything needed for the batch to share one pass (the service uses
+    // the target table's identity).
+    std::string batch_key;
+    // Runs the whole formed batch (this job first, then every gathered
+    // same-key job) and must fulfill every member's promise, isolating
+    // per-member failures. Only the popped leader's run_batch is invoked.
+    // Null degrades the job to solo run() even when batch_key is set.
+    std::function<void(std::vector<Job>&&)> run_batch;
+    // Opaque per-job context for run_batch (the service parks its canonical
+    // query / promise bundle here); never touched by the controller.
+    std::shared_ptr<void> batch_payload;
   };
 
   explicit AdmissionController(AdmissionOptions options);
@@ -92,6 +122,9 @@ class AdmissionController {
  private:
   void WorkerLoop();
   double RetryAfterLocked() const;
+  // Extracts every queued job whose batch_key == key into *batch, fixing the
+  // round-robin and depth bookkeeping. Caller holds mu_.
+  void CollectBatchLocked(const std::string& key, std::vector<Job>* batch);
 
   AdmissionOptions options_;
   mutable std::mutex mu_;
@@ -101,6 +134,9 @@ class AdmissionController {
   std::unordered_map<uint64_t, std::deque<Job>> queues_;
   // Sessions with pending work, in service order (rotated on each pop).
   std::deque<uint64_t> round_robin_;
+  // Queued (not yet popped) jobs per non-empty batch_key; lets the window
+  // wait and the queue-depth trigger check for company in O(1).
+  std::unordered_map<std::string, size_t> batchable_queued_;
   AdmissionStats stats_;
   std::vector<std::thread> workers_;
 };

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "kernels/multi_scan.h"
 #include "obs/metrics.h"
 
 namespace aqpp {
@@ -20,6 +21,7 @@ struct ServiceMetrics {
   obs::Counter* deadline_expiries;
   obs::Counter* partials;
   obs::Counter* slow_queries;
+  obs::Counter* single_flight;
   obs::Histogram* latency;
   static const ServiceMetrics& Get() {
     auto& reg = obs::Registry::Global();
@@ -34,6 +36,9 @@ struct ServiceMetrics {
                        "progressive prefix."),
         reg.GetCounter("aqpp_service_slow_queries_total", "",
                        "Queries over the slow-query threshold."),
+        reg.GetCounter("aqpp_single_flight_attached_total", "",
+                       "Queries answered by attaching to an identical "
+                       "in-flight execution."),
         reg.GetHistogram("aqpp_service_query_seconds", "", {},
                          "End-to-end service latency per query (cache hits "
                          "included)."),
@@ -42,7 +47,51 @@ struct ServiceMetrics {
   }
 };
 
+// Batch-pass metrics: same series the exec-layer BatchScanExecutor feeds.
+struct BatchServiceMetrics {
+  obs::Counter* fused;
+  obs::Histogram* batch_size;
+  static const BatchServiceMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const BatchServiceMetrics m = {
+        reg.GetCounter(
+            "aqpp_batch_queries_fused_total", "",
+            "Member queries answered by fused shared-scan batch passes."),
+        reg.GetHistogram("aqpp_batch_size", "", {1, 2, 4, 8, 16, 32, 64},
+                         "Queries fused per shared-scan batch pass."),
+    };
+    return m;
+  }
+};
+
+// Outcome slot one Execute() call blocks on; fulfilled by the solo worker
+// path, the batch path, or the Stop() drain.
+struct Pending {
+  QueryOutcome out;
+  std::promise<void> done;
+};
+
+// Per-query context parked on the admission job so RunBatch can execute the
+// whole formed batch (Job.batch_payload).
+struct BatchItem {
+  CanonicalQuery canon;
+  int template_id = -1;
+  std::shared_ptr<CancellationToken> token;
+  std::shared_ptr<Pending> pending;
+  SteadyTime enqueued;
+  uint64_t cache_generation = 0;
+  obs::QueryTrace* trace = nullptr;
+};
+
 }  // namespace
+
+// One in-flight canonical query. The leader executes and fans its outcome
+// out; attachers block on `future` and copy `out`.
+struct QueryService::Flight {
+  std::promise<void> done;
+  std::shared_future<void> future = done.get_future().share();
+  QueryOutcome out;
+};
 
 Result<ApproximateResult> EngineRef::Execute(
     const RangeQuery& query, const ExecuteControl& control) const {
@@ -218,6 +267,50 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
     }
   }
 
+  // Single-flight: if an identical canonical query is already executing,
+  // attach to it and share the leader's outcome instead of scanning again.
+  std::shared_ptr<Flight> flight;
+  bool flight_leader = false;
+  if (options_.enable_single_flight) {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    auto [it, inserted] = in_flight_.try_emplace(canon.key);
+    if (inserted) {
+      it->second = std::make_shared<Flight>();
+      flight_leader = true;
+    }
+    flight = it->second;
+  }
+  if (flight != nullptr && !flight_leader) {
+    flight->future.wait();
+    if (flight->out.status.ok()) {
+      out = flight->out;
+      out.single_flight = true;
+      ServiceMetrics::Get().single_flight->Increment();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++single_flight_attached_;
+      }
+      AccountOutcome(out, *session);
+      total_span.Stop();
+      RecordLatency(SecondsBetween(start, SteadyNow()));
+      return out;
+    }
+    // The leader failed (deadline, cancellation, rejection…). Don't fan the
+    // error out — fall through and execute this query on its own.
+    flight = nullptr;
+  }
+  // The leader must fan its outcome out on every post-creation return path,
+  // removing the table entry first so late arrivals start a fresh flight.
+  auto finish_flight = [&] {
+    if (!flight_leader) return;
+    {
+      std::lock_guard<std::mutex> lock(flight_mu_);
+      in_flight_.erase(canon.key);
+    }
+    flight->out = out;
+    flight->done.set_value();
+  };
+
   double timeout = timeout_seconds;
   if (timeout < 0) timeout = session->default_timeout_seconds();
   if (timeout <= 0) timeout = options_.default_timeout_seconds;
@@ -225,10 +318,6 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
       timeout > 0 ? Deadline::After(timeout) : Deadline::Infinite());
 
   int template_id = engine_.TemplateFor(canon.query);
-  struct Pending {
-    QueryOutcome out;
-    std::promise<void> done;
-  };
   auto pending = std::make_shared<Pending>();
   AdmissionController::Job job;
   job.token = token;
@@ -238,17 +327,37 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
                                cache_generation, trace);
     pending->done.set_value();
   };
+  if (options_.enable_batching) {
+    // Same-table cache misses that queue together fuse into one pass; the
+    // payload carries everything RunBatch needs to stand in for job.run.
+    auto item = std::make_shared<BatchItem>();
+    item->canon = canon;
+    item->template_id = template_id;
+    item->token = token;
+    item->pending = pending;
+    item->enqueued = SteadyNow();
+    item->cache_generation = cache_generation;
+    item->trace = trace;
+    job.batch_key =
+        StrFormat("tbl:%p", static_cast<const void*>(&engine_.table()));
+    job.batch_payload = std::move(item);
+    job.run_batch = [this](std::vector<AdmissionController::Job>&& jobs) {
+      RunBatch(std::move(jobs));
+    };
+  }
   double retry_after = 0;
   Status admitted = admission_.Submit(session_id, std::move(job),
                                       &retry_after);
   if (!admitted.ok()) {
     out.status = std::move(admitted);
     out.retry_after_seconds = retry_after;
+    finish_flight();
     AccountOutcome(out, *session);
     return out;
   }
   pending->done.get_future().wait();
   out = std::move(pending->out);
+  finish_flight();
   AccountOutcome(out, *session);
   double total_seconds = total_span.Stop();
   RecordLatency(SecondsBetween(start, SteadyNow()));
@@ -266,7 +375,8 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
                                        const CancellationToken* token,
                                        SteadyTime enqueued,
                                        uint64_t cache_generation,
-                                       obs::QueryTrace* trace) {
+                                       obs::QueryTrace* trace,
+                                       const std::vector<uint8_t>* query_mask) {
   QueryOutcome out;
   out.queue_seconds = SecondsBetween(enqueued, SteadyNow());
   obs::RecordPhase(trace, obs::Phase::kQueue, out.queue_seconds);
@@ -283,6 +393,7 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
     control.seed = canon.seed;
     control.record = false;
     control.trace = trace;
+    control.query_mask = query_mask;
     auto result = engine_.Execute(canon.query, control);
     if (result.ok()) {
       out.ci = result->ci;
@@ -315,6 +426,64 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
   return out;
 }
 
+void QueryService::RunBatch(std::vector<AdmissionController::Job>&& jobs) {
+  // Recover each member's context. A job without a payload (shouldn't happen
+  // on this path, but run_batch must never strand a promise) runs solo.
+  std::vector<std::shared_ptr<BatchItem>> items;
+  items.reserve(jobs.size());
+  for (AdmissionController::Job& j : jobs) {
+    auto item = std::static_pointer_cast<BatchItem>(j.batch_payload);
+    if (item == nullptr) {
+      if (j.run) j.run();
+      continue;
+    }
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) return;
+  BatchServiceMetrics::Get().batch_size->Observe(
+      static_cast<double>(items.size()));
+  BatchServiceMetrics::Get().fused->Increment(items.size());
+
+  // One fused pass over the sample evaluates every eligible member's
+  // predicate mask. MIN/MAX members use the extrema grid (no sample mask)
+  // and already-cancelled members skip straight to their error path, so
+  // neither joins the pass. A member whose mask fails to bind simply runs
+  // without one — the solo path reproduces the identical error, and no
+  // sibling is poisoned.
+  const Table& sample_rows = *engine_.sample().rows;
+  std::vector<size_t> mask_idx;
+  std::vector<std::vector<RangeCondition>> conds;
+  for (size_t i = 0; i < items.size(); ++i) {
+    const BatchItem& item = *items[i];
+    AggregateFunction func = item.canon.query.func;
+    if (item.token != nullptr && item.token->ShouldStop()) continue;
+    if (func == AggregateFunction::kMin || func == AggregateFunction::kMax) {
+      continue;
+    }
+    mask_idx.push_back(i);
+    conds.push_back(item.canon.query.predicate.conditions());
+  }
+  std::vector<std::optional<std::vector<uint8_t>>> masks(items.size());
+  if (!conds.empty()) {
+    auto fused = kernels::MultiEvaluateMask(sample_rows, conds);
+    for (size_t j = 0; j < mask_idx.size(); ++j) {
+      if (fused[j].ok()) masks[mask_idx[j]] = std::move(*fused[j]);
+    }
+  }
+
+  // Per-member execution under the shared masks: failures stay scoped to
+  // their member, and every promise is fulfilled exactly once.
+  for (size_t i = 0; i < items.size(); ++i) {
+    BatchItem& item = *items[i];
+    const std::vector<uint8_t>* mask =
+        masks[i].has_value() ? &*masks[i] : nullptr;
+    item.pending->out =
+        RunOnWorker(item.canon, item.template_id, item.token.get(),
+                    item.enqueued, item.cache_generation, item.trace, mask);
+    item.pending->done.set_value();
+  }
+}
+
 Result<ProgressiveStep> QueryService::RunProgressive(
     const CanonicalQuery& canon, const CancellationToken* token) {
   ProgressiveOptions popts;
@@ -341,6 +510,7 @@ ServiceStats QueryService::stats() const {
     s.partial = partial_;
     s.cancelled = cancelled_;
     s.failed = failed_;
+    s.single_flight_attached = single_flight_attached_;
     size_t n = latency_full_ ? latencies_.size() : latency_next_;
     if (n > 0) {
       std::vector<double> sorted(latencies_.begin(),

@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -96,6 +97,16 @@ struct ServiceOptions {
   double slow_query_threshold_seconds = 0.5;
   // Most recent slow queries retained.
   size_t slow_query_capacity = 64;
+  // Shared-scan batching: cache-miss queries that queue together are formed
+  // into one batch (admission batch_key grouping) whose sample-side predicate
+  // masks are evaluated in a single fused pass. Results are bit-identical to
+  // per-query execution; false is the ablation baseline.
+  bool enable_batching = true;
+  // Single-flight deduplication: a cache-miss whose canonical query is
+  // already executing attaches to that execution and shares its outcome
+  // instead of scanning again. A follower whose leader fails re-executes on
+  // its own, so errors never fan out.
+  bool enable_single_flight = true;
 };
 
 struct QueryOutcome {
@@ -104,6 +115,9 @@ struct QueryOutcome {
   Status status = Status::OK();
   ConfidenceInterval ci;
   bool cache_hit = false;
+  // True when this outcome was shared from an identical in-flight query
+  // (single-flight attach) rather than executed for this caller.
+  bool single_flight = false;
   // True when the deadline fired and `ci` comes from a progressive prefix.
   bool partial = false;
   size_t partial_rows_used = 0;
@@ -123,6 +137,8 @@ struct ServiceStats {
   uint64_t partial = 0;    // subset of timed_out answered progressively
   uint64_t cancelled = 0;
   uint64_t failed = 0;
+  // Queries answered by attaching to an identical in-flight execution.
+  uint64_t single_flight_attached = 0;
   double p50_latency_seconds = 0;
   double p95_latency_seconds = 0;
   double p99_latency_seconds = 0;
@@ -180,9 +196,17 @@ class QueryService {
   void Stop();
 
  private:
+  // One in-flight canonical query; identical cache-miss arrivals attach to
+  // it and share the leader's outcome (see service.cc for the definition).
+  struct Flight;
+
   QueryOutcome RunOnWorker(const CanonicalQuery& canon, int template_id,
                            const CancellationToken* token, SteadyTime enqueued,
-                           uint64_t cache_generation, obs::QueryTrace* trace);
+                           uint64_t cache_generation, obs::QueryTrace* trace,
+                           const std::vector<uint8_t>* query_mask = nullptr);
+  // Admission run_batch target: one fused sample-mask pass for the whole
+  // batch, then per-member engine execution with the precomputed masks.
+  void RunBatch(std::vector<AdmissionController::Job>&& jobs);
   Result<ProgressiveStep> RunProgressive(const CanonicalQuery& canon,
                                          const CancellationToken* token);
   void RecordLatency(double seconds);
@@ -196,6 +220,11 @@ class QueryService {
   ResultCache cache_;
   AdmissionController admission_;
 
+  // Single-flight table: canonical key -> the execution identical arrivals
+  // attach to. Entries are removed before the leader fans its outcome out.
+  std::mutex flight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> in_flight_;
+
   mutable std::mutex stats_mu_;
   uint64_t queries_ = 0;
   uint64_t completed_ = 0;
@@ -205,6 +234,7 @@ class QueryService {
   uint64_t partial_ = 0;
   uint64_t cancelled_ = 0;
   uint64_t failed_ = 0;
+  uint64_t single_flight_attached_ = 0;
   std::vector<double> latencies_;  // ring buffer
   size_t latency_next_ = 0;
   bool latency_full_ = false;

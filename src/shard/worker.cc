@@ -1,6 +1,8 @@
 #include "shard/worker.h"
 
+#include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -8,6 +10,7 @@
 #include "core/stream_build.h"
 #include "shard/partition.h"
 #include "cube/partition.h"
+#include "kernels/multi_scan.h"
 #include "kernels/scan_internal.h"
 #include "storage/column_source.h"
 #include "storage/extent_file.h"
@@ -170,10 +173,172 @@ Result<ShardPartial> ShardWorker::Partial(
   }
   if (wants.engine) {
     AQPP_RETURN_IF_STOPPED(cancel);
-    AQPP_RETURN_NOT_OK(ComputeEngine(query, seed, cancel, &out));
+    AQPP_RETURN_NOT_OK(ComputeEngine(query, seed, cancel, nullptr, &out));
   }
   out.exec_seconds = timer.ElapsedSeconds();
   return out;
+}
+
+std::vector<Result<ShardPartial>> ShardWorker::PartialBatch(
+    const std::vector<PartialRequest>& requests,
+    const CancellationToken* cancel) const {
+  const size_t q = requests.size();
+  Timer timer;
+  struct Member {
+    ShardPartial out;
+    Status status = Status::OK();
+    bool failed = false;
+  };
+  std::vector<Member> members(q);
+  auto fail = [&members](size_t i, Status st) {
+    members[i].status = std::move(st);
+    members[i].failed = true;
+  };
+  auto stopped = [cancel] { return cancel != nullptr && cancel->ShouldStop(); };
+
+  for (size_t i = 0; i < q; ++i) {
+    const PartialRequest& r = requests[i];
+    if (Status st = ValidateQuery(r.query, *table_); !st.ok()) {
+      fail(i, std::move(st));
+      continue;
+    }
+    if (!r.wants.exact && !r.wants.sample && !r.wants.engine) {
+      fail(i, Status::InvalidArgument("partial request wants no views"));
+      continue;
+    }
+    members[i].out.shard_index = shard_index_;
+    members[i].out.num_shards = num_shards_;
+    members[i].out.rows = table_->num_rows();
+  }
+
+  // ---- Exact view: one fused pass over the shard's block grid. Per block,
+  // every member gets a fresh accumulator and fresh adaptive-scan state, so
+  // its per-block moments are bit-identical to ComputeExact's.
+  if (stopped()) {
+    for (size_t i = 0; i < q; ++i) {
+      if (!members[i].failed) fail(i, cancel->StopStatus());
+    }
+  }
+  std::vector<kernels::BoundPredicate> preds(q);
+  std::vector<kernels::MultiScanMember> scan_members;
+  std::vector<size_t> scan_idx;
+  scan_members.reserve(q);
+  scan_idx.reserve(q);
+  for (size_t i = 0; i < q; ++i) {
+    if (members[i].failed || !requests[i].wants.exact) continue;
+    auto bound = kernels::BindConditions(
+        *table_, requests[i].query.predicate.conditions());
+    if (!bound.ok()) {
+      fail(i, bound.status());
+      continue;
+    }
+    preds[i] = std::move(*bound);
+    kernels::MultiScanMember m;
+    m.pred = &preds[i];
+    m.profile = ProfileFor(requests[i].query.func);
+    if (requests[i].query.func != AggregateFunction::kCount) {
+      m.values = kernels::ValueRef::FromColumn(
+          table_->column(requests[i].query.agg_column));
+    }
+    scan_members.push_back(m);
+    scan_idx.push_back(i);
+  }
+  if (!scan_members.empty()) {
+    const size_t n = table_->num_rows();
+    const size_t nblocks = (n + kernels::kShardRows - 1) / kernels::kShardRows;
+    for (size_t idx : scan_idx) {
+      members[idx].out.blocks.assign(nblocks, BlockMoments{});
+    }
+    std::vector<kernels::internal::ShardAccum> accs(scan_members.size());
+    for (size_t b = 0; b < nblocks; ++b) {
+      const size_t begin = b * kernels::kShardRows;
+      const size_t end = std::min(n, begin + kernels::kShardRows);
+      std::fill(accs.begin(), accs.end(), kernels::internal::ShardAccum{});
+      kernels::MultiScanBlock(scan_members, begin, end,
+                              kernels::ScanStrategy::kAdaptive, accs.data());
+      for (size_t j = 0; j < scan_members.size(); ++j) {
+        BlockMoments& blk = members[scan_idx[j]].out.blocks[b];
+        blk.count = accs[j].count;
+        for (size_t l = 0; l < kernels::kAccumulatorLanes; ++l) {
+          blk.sum[l] = accs[j].sum[l];
+          blk.sum_sq[l] = accs[j].sum_sq[l];
+        }
+      }
+    }
+    for (size_t idx : scan_idx) members[idx].out.has_exact = true;
+  }
+
+  // ---- Sample masks: one fused pass over the reservoir evaluates every
+  // remaining member's predicate; the mask feeds both the sample view and
+  // the engine view (ExecuteControl::query_mask).
+  std::vector<size_t> mask_idx;
+  std::vector<std::vector<RangeCondition>> conds;
+  for (size_t i = 0; i < q; ++i) {
+    if (members[i].failed) continue;
+    if (!requests[i].wants.sample && !requests[i].wants.engine) continue;
+    mask_idx.push_back(i);
+    conds.push_back(requests[i].query.predicate.conditions());
+  }
+  std::vector<std::optional<std::vector<uint8_t>>> masks(q);
+  std::vector<std::optional<Status>> mask_err(q);
+  if (!conds.empty() && !stopped()) {
+    auto fused = kernels::MultiEvaluateMask(*engine_->sample().rows, conds);
+    for (size_t j = 0; j < mask_idx.size(); ++j) {
+      if (fused[j].ok()) {
+        masks[mask_idx[j]] = std::move(*fused[j]);
+      } else {
+        mask_err[mask_idx[j]] = fused[j].status();
+      }
+    }
+  }
+
+  for (size_t i = 0; i < q; ++i) {
+    if (members[i].failed || !requests[i].wants.sample) continue;
+    if (stopped()) {
+      fail(i, cancel->StopStatus());
+      continue;
+    }
+    if (mask_err[i].has_value()) {
+      // Same status ComputeSample's own EvaluateMask would produce.
+      fail(i, *mask_err[i]);
+      continue;
+    }
+    if (Status st = ComputeSampleWithMask(requests[i].query, *masks[i],
+                                          &members[i].out);
+        !st.ok()) {
+      fail(i, std::move(st));
+    }
+  }
+
+  for (size_t i = 0; i < q; ++i) {
+    if (members[i].failed || !requests[i].wants.engine) continue;
+    if (stopped()) {
+      fail(i, cancel->StopStatus());
+      continue;
+    }
+    // A member whose mask failed to bind runs without one: the engine's own
+    // mask pass reproduces the identical error for this member alone.
+    const std::vector<uint8_t>* qm =
+        masks[i].has_value() ? &*masks[i] : nullptr;
+    if (Status st = ComputeEngine(requests[i].query, requests[i].seed, cancel,
+                                  qm, &members[i].out);
+        !st.ok()) {
+      fail(i, std::move(st));
+    }
+  }
+
+  std::vector<Result<ShardPartial>> results;
+  results.reserve(q);
+  const double elapsed = timer.ElapsedSeconds();
+  for (size_t i = 0; i < q; ++i) {
+    if (members[i].failed) {
+      results.push_back(members[i].status);
+    } else {
+      members[i].out.exec_seconds = elapsed;
+      results.push_back(std::move(members[i].out));
+    }
+  }
+  return results;
 }
 
 Status ShardWorker::ComputeExact(const RangeQuery& query,
@@ -216,9 +381,16 @@ Status ShardWorker::ComputeExact(const RangeQuery& query,
 
 Status ShardWorker::ComputeSample(const RangeQuery& query,
                                   ShardPartial* out) const {
+  AQPP_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> mask,
+      query.predicate.EvaluateMask(*engine_->sample().rows));
+  return ComputeSampleWithMask(query, mask, out);
+}
+
+Status ShardWorker::ComputeSampleWithMask(const RangeQuery& query,
+                                          const std::vector<uint8_t>& mask,
+                                          ShardPartial* out) const {
   const Sample& sample = engine_->sample();
-  AQPP_ASSIGN_OR_RETURN(std::vector<uint8_t> mask,
-                        query.predicate.EvaluateMask(*sample.rows));
   const size_t n = sample.size();
   // Measure doubles materialized exactly like the estimator's MeasureCache
   // (static_cast for ordinal columns), so the stratified witness in the
@@ -270,11 +442,13 @@ Status ShardWorker::ComputeSample(const RangeQuery& query,
 
 Status ShardWorker::ComputeEngine(const RangeQuery& query, uint64_t seed,
                                   const CancellationToken* cancel,
+                                  const std::vector<uint8_t>* query_mask,
                                   ShardPartial* out) const {
   ExecuteControl control;
   control.cancel = cancel;
   control.seed = seed;
   control.record = false;
+  control.query_mask = query_mask;
   AQPP_ASSIGN_OR_RETURN(ApproximateResult r, engine_->Execute(query, control));
   out->engine_estimate = r.ci.estimate;
   out->engine_half_width = r.ci.half_width;

@@ -72,6 +72,24 @@ class ShardWorker {
                                const PartialWants& wants, uint64_t seed,
                                const CancellationToken* cancel = nullptr) const;
 
+  // One member of a fused PARTIAL batch; mirrors Partial's arguments.
+  struct PartialRequest {
+    RangeQuery query;
+    PartialWants wants;
+    uint64_t seed = 0;
+  };
+
+  // Fused counterpart of Partial: one pass over the shard's block grid
+  // evaluates every member's exact view, and one pass over the sample
+  // evaluates every member's predicate mask (shared by the sample and
+  // engine views). results[i] is bit-identical to
+  // Partial(requests[i].query, requests[i].wants, requests[i].seed) —
+  // including error statuses — and one member's failure never affects its
+  // siblings.
+  std::vector<Result<ShardPartial>> PartialBatch(
+      const std::vector<PartialRequest>& requests,
+      const CancellationToken* cancel = nullptr) const;
+
   uint32_t shard_index() const { return shard_index_; }
   uint32_t num_shards() const { return num_shards_; }
   uint64_t row_begin() const { return row_begin_; }
@@ -88,8 +106,14 @@ class ShardWorker {
 
   Status ComputeExact(const RangeQuery& query, ShardPartial* out) const;
   Status ComputeSample(const RangeQuery& query, ShardPartial* out) const;
+  // Moments accumulation under a precomputed sample-row mask (what
+  // ComputeSample evaluates itself and PartialBatch shares across members).
+  Status ComputeSampleWithMask(const RangeQuery& query,
+                               const std::vector<uint8_t>& mask,
+                               ShardPartial* out) const;
   Status ComputeEngine(const RangeQuery& query, uint64_t seed,
                        const CancellationToken* cancel,
+                       const std::vector<uint8_t>* query_mask,
                        ShardPartial* out) const;
 
   std::shared_ptr<Table> table_;

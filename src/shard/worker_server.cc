@@ -7,8 +7,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 
+#include "common/clock.h"
 #include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -18,6 +21,103 @@
 
 namespace aqpp {
 namespace shard {
+
+namespace {
+
+// Batch-pass metrics: same series the service's fused passes feed.
+struct BatcherMetrics {
+  obs::Counter* fused;
+  obs::Histogram* batch_size;
+  obs::Histogram* window_wait;
+  static const BatcherMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const BatcherMetrics m = {
+        reg.GetCounter(
+            "aqpp_batch_queries_fused_total", "",
+            "Member queries answered by fused shared-scan batch passes."),
+        reg.GetHistogram("aqpp_batch_size", "", {1, 2, 4, 8, 16, 32, 64},
+                         "Queries fused per shared-scan batch pass."),
+        reg.GetHistogram(
+            "aqpp_batch_window_wait_seconds", "",
+            {0.0001, 0.00025, 0.0005, 0.001, 0.002, 0.005, 0.01},
+            "Seconds a lone batch leader waited for same-key company."),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+// Fuses concurrent PARTIAL requests into single ShardWorker::PartialBatch
+// calls. A submitting thread with no active leader becomes one: it waits
+// briefly for company when alone, then executes everything queued and fans
+// the per-member results out. Followers park until their slot is fulfilled;
+// arrivals during an execution form the next batch.
+class PartialBatcher {
+ public:
+  PartialBatcher(const ShardWorker* worker, double window_seconds)
+      : worker_(worker), window_seconds_(window_seconds) {}
+
+  Result<ShardPartial> Submit(ShardWorker::PartialRequest req) {
+    auto slot = std::make_shared<Slot>(std::move(req));
+    std::unique_lock<std::mutex> lock(mu_);
+    pending_.push_back(slot);
+    cv_.notify_all();  // a window-waiting leader collects us immediately
+    for (;;) {
+      if (slot->done) return std::move(slot->result);
+      if (!leader_active_) break;
+      cv_.wait(lock);
+    }
+    leader_active_ = true;
+    if (pending_.size() == 1 && window_seconds_ > 0) {
+      SteadyTime wait_start = SteadyNow();
+      cv_.wait_for(lock, std::chrono::duration<double>(window_seconds_),
+                   [this] { return pending_.size() > 1; });
+      BatcherMetrics::Get().window_wait->Observe(
+          SecondsBetween(wait_start, SteadyNow()));
+    }
+    std::vector<std::shared_ptr<Slot>> batch;
+    batch.swap(pending_);
+    lock.unlock();
+
+    std::vector<ShardWorker::PartialRequest> requests;
+    requests.reserve(batch.size());
+    for (const auto& s : batch) requests.push_back(s->req);
+    BatcherMetrics::Get().batch_size->Observe(
+        static_cast<double>(batch.size()));
+    BatcherMetrics::Get().fused->Increment(batch.size());
+    auto results = worker_->PartialBatch(requests);
+
+    lock.lock();
+    Result<ShardPartial> mine = Status::Internal("batch lost its own slot");
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i] == slot) {
+        mine = std::move(results[i]);
+      } else {
+        batch[i]->result = std::move(results[i]);
+      }
+      batch[i]->done = true;
+    }
+    leader_active_ = false;
+    cv_.notify_all();
+    return mine;
+  }
+
+ private:
+  struct Slot {
+    explicit Slot(ShardWorker::PartialRequest r) : req(std::move(r)) {}
+    ShardWorker::PartialRequest req;
+    Result<ShardPartial> result = Status::Internal("pending");
+    bool done = false;
+  };
+
+  const ShardWorker* worker_;
+  double window_seconds_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool leader_active_ = false;
+  std::vector<std::shared_ptr<Slot>> pending_;
+};
 
 namespace {
 
@@ -68,7 +168,12 @@ bool SendAll(int fd, const std::string& s) {
 
 WorkerServer::WorkerServer(const ShardWorker* worker,
                            WorkerServerOptions options)
-    : worker_(worker), options_(std::move(options)) {}
+    : worker_(worker), options_(std::move(options)) {
+  if (options_.enable_batching) {
+    batcher_ = std::make_unique<PartialBatcher>(
+        worker_, options_.batch_window_seconds);
+  }
+}
 
 WorkerServer::~WorkerServer() { Stop(); }
 
@@ -174,7 +279,9 @@ std::string WorkerServer::HandleLine(const std::string& line, bool* quit) {
                             spec.status().message()));
       }
       auto partial =
-          worker_->Partial(spec->query, spec->wants, spec->seed);
+          batcher_ != nullptr
+              ? batcher_->Submit({spec->query, spec->wants, spec->seed})
+              : worker_->Partial(spec->query, spec->wants, spec->seed);
       if (!partial.ok()) {
         metrics.partial_errors->Increment();
         return FormatResponse(

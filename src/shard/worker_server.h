@@ -19,6 +19,7 @@
 #define AQPP_SHARD_WORKER_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -31,11 +32,20 @@
 namespace aqpp {
 namespace shard {
 
+class PartialBatcher;
+
 struct WorkerServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = ephemeral
   int backlog = 64;
   size_t max_connections = 64;
+  // Fuse concurrent PARTIAL requests (one per connection thread) into single
+  // ShardWorker::PartialBatch calls. A lone request holds a short collection
+  // window open for company; requests that arrive while a batch executes
+  // form the next one. False is the per-request ablation baseline; answers
+  // are bit-identical either way.
+  bool enable_batching = true;
+  double batch_window_seconds = 0.0005;
 };
 
 class WorkerServer {
@@ -60,6 +70,7 @@ class WorkerServer {
 
   const ShardWorker* worker_;
   WorkerServerOptions options_;
+  std::unique_ptr<PartialBatcher> batcher_;
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::atomic<bool> running_{false};

@@ -176,6 +176,9 @@ struct SaturatedServer {
   explicit SaturatedServer(double retry_floor_seconds = 0.01) {
     ServiceOptions sopts;
     sopts.enable_cache = false;
+    // Saturation here depends on exactly one job parked and one queued;
+    // batch formation would (correctly) fuse the two and drain the slot.
+    sopts.enable_batching = false;
     sopts.admission.num_workers = 1;
     sopts.admission.max_queue_depth = 1;
     sopts.admission.max_per_session = 1;

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdlib>
+#include <future>
 #include <new>
 #include <set>
 #include <string>
@@ -17,11 +18,15 @@
 
 #include <filesystem>
 
+#include "exec/batch_scan.h"
 #include "obs/metrics.h"
 #include "obs/slow_query_log.h"
 #include "obs/trace.h"
+#include "service/admission.h"
+#include "service/service.h"
 #include "storage/extent_file.h"
 #include "storage/table.h"
+#include "test_util.h"
 
 // ---- Instrumented allocator ------------------------------------------------
 //
@@ -512,6 +517,59 @@ TEST(ExtentCacheGaugeTest, HitRateIsZeroBeforeFirstReadAndTracksRatio) {
   EXPECT_EQ(gauge->value(), 50) << "one hit, one miss -> 50%";
 
   fs::remove_all(dir);
+}
+
+// ---- Batch / single-flight series names ------------------------------------
+//
+// The shared-scan batch executor, the admission batch former, and the
+// service's single-flight dedup all publish under these names (from several
+// translation units via get-or-create). Dashboards key on them; exercise the
+// real registration paths and pin the exposition.
+
+TEST(BatchMetricsTest, BatchAndSingleFlightSeriesNamesArePinned) {
+  auto table = testutil::MakeSynthetic({.rows = 4096});
+
+  // A fused pass registers the batch counter/size series.
+  BatchScanExecutor batch(table.get());
+  RangeQuery q;
+  q.func = AggregateFunction::kCount;
+  q.predicate.Add({0, 1, 50});
+  (void)batch.ExecuteBatch({q, q});
+
+  // A lone batchable admission job walks the window-wait path.
+  AdmissionOptions aopts;
+  aopts.num_workers = 1;
+  aopts.batch_window_seconds = 0.0001;
+  AdmissionController ctrl(aopts);
+  std::promise<void> ran;
+  AdmissionController::Job job;
+  job.batch_key = "tbl:pin";
+  job.run = [&ran] { ran.set_value(); };
+  job.run_batch = [](std::vector<AdmissionController::Job>&& jobs) {
+    for (auto& j : jobs) j.run();
+  };
+  ASSERT_TRUE(ctrl.Submit(1, std::move(job)).ok());
+  ran.get_future().wait();
+  ctrl.Stop();
+
+  // One service execution registers the single-flight attach counter.
+  auto engine = AqppEngine::Create(table, {});
+  ASSERT_TRUE(engine.ok());
+  QueryService service(EngineRef(engine->get()), {});
+  auto session = service.sessions().Open("");
+  ASSERT_TRUE(session.ok());
+  QueryOutcome out = service.Execute((*session)->id(), q);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+
+  std::string text = obs::Registry::Global().RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE aqpp_batch_queries_fused_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aqpp_batch_size histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aqpp_batch_window_wait_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE aqpp_single_flight_attached_total counter\n"),
+            std::string::npos);
 }
 
 }  // namespace

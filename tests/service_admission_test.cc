@@ -316,6 +316,10 @@ TEST(ServiceBackpressureTest, SaturationRejectsWithRetryAfterNotHang) {
   Gate gate;
   ServiceOptions sopts;
   sopts.enable_cache = false;
+  // This test pins per-query queue occupancy with identical queries: fusing
+  // or single-flight-attaching them would (correctly) keep the queue empty.
+  sopts.enable_batching = false;
+  sopts.enable_single_flight = false;
   sopts.admission.num_workers = 1;
   sopts.admission.max_queue_depth = 1;
   sopts.admission.max_per_session = 4;
@@ -369,6 +373,10 @@ TEST(ServiceBackpressureTest, StopResolvesQueuedRequestsAsCancelled) {
   Gate gate;
   ServiceOptions sopts;
   sopts.enable_cache = false;
+  // Identical queries must queue solo here: the point is the queued job's
+  // Cancelled resolution, not sharing the leader's outcome.
+  sopts.enable_batching = false;
+  sopts.enable_single_flight = false;
   sopts.admission.num_workers = 1;
   sopts.admission.worker_hook = gate.hook();
   QueryService service(EngineRef(engine.get()), sopts);
