@@ -99,7 +99,7 @@ Status AqppEngine::Prepare(const QueryTemplate& tmpl) {
   if (!options_.enable_precompute) {
     cube_.reset();
     identifier_.reset();
-    return Status::OK();
+    return RefreshSynopsis();
   }
 
   // Group-by attributes become exhaustive cube dimensions (Appendix C).
@@ -141,7 +141,54 @@ Status AqppEngine::Prepare(const QueryTemplate& tmpl) {
   } else {
     extrema_.reset();
   }
+  return RefreshSynopsis();
+}
+
+Status AqppEngine::SetSynopsis(const std::string& kind) {
+  if (kind.empty() || kind == "off") {
+    std::lock_guard<std::mutex> lock(synopsis_mu_);
+    synopsis_.reset();
+    return Status::OK();
+  }
+  if (!synopsis::IsSynopsisRegistered(kind)) {
+    return Status::NotFound("unknown synopsis kind '" + kind + "'");
+  }
+  AQPP_RETURN_NOT_OK(EnsureSample());
+  synopsis::SynopsisOptions sopts;
+  sopts.confidence_level = options_.confidence_level;
+  sopts.bootstrap_resamples = options_.bootstrap_resamples;
+  sopts.sample_rate = options_.sample_rate;
+  sopts.seed = options_.seed;
+  // Key columns: explicit stratification wins, else the template's condition
+  // attributes (the columns queries actually constrain).
+  if (!options_.stratify_columns.empty()) {
+    sopts.key_columns = options_.stratify_columns;
+  } else if (template_.has_value()) {
+    sopts.key_columns = template_->condition_columns;
+  }
+  if (template_.has_value()) sopts.measure_column = template_->agg_column;
+  AQPP_ASSIGN_OR_RETURN(auto syn, synopsis::CreateSynopsis(kind, sopts));
+  // Adopt the engine's sample when the kind supports it (keeps the legacy
+  // draws bit-identical for "reservoir"); otherwise build from the table.
+  Status adopted = syn->BuildFromSample(sample_);
+  if (adopted.code() == StatusCode::kUnimplemented) {
+    AQPP_RETURN_NOT_OK(syn->BuildFromTable(*table_));
+  } else if (!adopted.ok()) {
+    return adopted;
+  }
+  std::lock_guard<std::mutex> lock(synopsis_mu_);
+  synopsis_ = std::move(syn);
   return Status::OK();
+}
+
+Status AqppEngine::RefreshSynopsis() {
+  std::string kind = options_.synopsis;
+  {
+    std::lock_guard<std::mutex> lock(synopsis_mu_);
+    if (synopsis_ != nullptr) kind = synopsis_->kind();
+  }
+  if (kind.empty()) return Status::OK();
+  return SetSynopsis(kind);
 }
 
 void AqppEngine::RecordQuery(const RangeQuery& query) {
@@ -219,6 +266,18 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
     return out;
   }
 
+  // Synopsis arm: when a synopsis is selected, it answers every scalar
+  // estimate (direct and difference). The snapshot keeps a concurrent
+  // SET SYNOPSIS from swapping the object mid-query.
+  std::shared_ptr<synopsis::Synopsis> syn;
+  {
+    std::lock_guard<std::mutex> lock(synopsis_mu_);
+    syn = synopsis_;
+  }
+  if (syn != nullptr) {
+    return ExecuteWithSynopsis(query, control, *syn, rng);
+  }
+
   SampleEstimator estimator(
       &sample_, {.confidence_level = options_.confidence_level,
                  .bootstrap_resamples = options_.bootstrap_resamples});
@@ -278,6 +337,78 @@ Result<ApproximateResult> AqppEngine::Execute(const RangeQuery& query,
     out.used_pre = true;
     out.pre_description =
         identified.pre.ToString(cube_->scheme(), table_->schema());
+  }
+  est_span.Stop();
+  out.estimation_seconds = est_timer.ElapsedSeconds();
+  return out;
+}
+
+Result<ApproximateResult> AqppEngine::ExecuteWithSynopsis(
+    const RangeQuery& query, const ExecuteControl& control,
+    const synopsis::Synopsis& syn, Rng& rng) {
+  ApproximateResult out;
+  if (cube_ == nullptr || identifier_ == nullptr) {
+    Timer timer;
+    obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
+    AQPP_ASSIGN_OR_RETURN(out.ci, syn.Estimate(query, control, rng));
+    est_span.Stop();
+    out.estimation_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+
+  Timer ident_timer;
+  obs::SpanTimer ident_span(obs::Phase::kIdentification, control.trace);
+  AQPP_ASSIGN_OR_RETURN(auto identified,
+                        identifier_->Identify(query, rng, control.trace));
+  ident_span.Stop();
+  out.identification_seconds = ident_timer.ElapsedSeconds();
+  out.candidates_considered = identified.num_candidates;
+  AQPP_RETURN_IF_STOPPED(control.cancel);
+
+  Timer est_timer;
+  obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
+  if (identified.pre.IsEmpty()) {
+    AQPP_ASSIGN_OR_RETURN(out.ci, syn.Estimate(query, control, rng));
+    out.used_pre = false;
+    out.pre_description = "phi";
+  } else {
+    Result<ConfidenceInterval> ci = Status::Internal("unset");
+    if (syn.engine_aligned()) {
+      // The synopsis rows mirror the engine sample row-for-row, so the
+      // identifier's cached masks apply unchanged (no re-evaluation).
+      std::vector<uint8_t> q_mask_storage;
+      if (control.query_mask == nullptr) {
+        SampleEstimator masker(
+            &sample_, {.confidence_level = options_.confidence_level,
+                       .bootstrap_resamples = options_.bootstrap_resamples});
+        AQPP_ASSIGN_OR_RETURN(q_mask_storage, masker.Mask(query.predicate));
+      }
+      const std::vector<uint8_t>& q_mask = control.query_mask != nullptr
+                                               ? *control.query_mask
+                                               : q_mask_storage;
+      std::vector<uint8_t> pre_mask =
+          identifier_->PreMaskOnSample(identified.pre);
+      ci = syn.EstimateWithPreMasked(query, q_mask, pre_mask,
+                                     identified.values, control, rng);
+    } else {
+      ci = syn.EstimateWithPre(query,
+                               identified.pre.ToPredicate(cube_->scheme()),
+                               identified.values, control, rng);
+    }
+    if (ci.ok()) {
+      out.ci = std::move(ci).value();
+      out.used_pre = true;
+      out.pre_description =
+          identified.pre.ToString(cube_->scheme(), table_->schema());
+    } else if (ci.status().code() == StatusCode::kUnimplemented) {
+      // Synopses without a difference path answer directly; the pre is
+      // dropped, not mis-applied.
+      AQPP_ASSIGN_OR_RETURN(out.ci, syn.Estimate(query, control, rng));
+      out.used_pre = false;
+      out.pre_description = "phi (synopsis)";
+    } else {
+      return ci.status();
+    }
   }
   est_span.Stop();
   out.estimation_seconds = est_timer.ElapsedSeconds();
@@ -387,7 +518,7 @@ Status AqppEngine::LoadState(const std::string& dir) {
     cube_.reset();
     identifier_.reset();
   }
-  return Status::OK();
+  return RefreshSynopsis();
 }
 
 Status AqppEngine::AdoptPrepared(const QueryTemplate& tmpl, Sample sample,
@@ -421,7 +552,7 @@ Status AqppEngine::AdoptPrepared(const QueryTemplate& tmpl, Sample sample,
     cube_.reset();
     identifier_.reset();
   }
-  return Status::OK();
+  return RefreshSynopsis();
 }
 
 Result<std::string> AqppEngine::Explain(const RangeQuery& query) {

@@ -23,6 +23,7 @@
 #include "common/status.h"
 #include "core/cancellation.h"
 #include "core/estimator.h"
+#include "core/execute_control.h"
 #include "core/identification.h"
 #include "core/precompute.h"
 #include "cube/extrema_grid.h"
@@ -32,6 +33,7 @@
 #include "sampling/sample.h"
 #include "sampling/samplers.h"
 #include "storage/table.h"
+#include "synopsis/synopsis.h"
 
 namespace aqpp {
 
@@ -79,6 +81,12 @@ struct EngineOptions {
   // accurate, costs one identification per group).
   bool per_group_identification = false;
 
+  // Pluggable synopsis kind for scalar estimation ("" = legacy path,
+  // bit-identical to the pre-synopsis engine; see synopsis/synopsis.h for
+  // the registered kinds). Non-empty values make Prepare build that synopsis
+  // and route Execute's estimates through it.
+  std::string synopsis;
+
   uint64_t seed = 42;
 };
 
@@ -114,41 +122,6 @@ struct ApproximateResult {
 struct GroupApproximateResult {
   GroupKey key;
   ApproximateResult result;
-};
-
-// Per-call execution control for service-style callers.
-//
-// `cancel` is polled cooperatively at phase boundaries (request entry,
-// before identification, between identification and estimation) — a stopped
-// call returns Status::Cancelled / DeadlineExceeded instead of a result.
-//
-// When `seed` is set the call draws from a private RNG seeded by it instead
-// of consuming the engine's session RNG. That makes the call a pure
-// function of (prepared state, query, seed) — required both for concurrent
-// Execute calls from service workers (the session RNG is not thread-safe)
-// and for the service result cache's bit-identical-replay guarantee.
-//
-// `record` = false skips the engine-level query log; service sessions keep
-// their own per-session logs instead.
-//
-// `trace`, when non-null, collects the query's per-phase spans
-// (identification, scoring, cube probe, sample estimation, CI construction)
-// — threaded through the pipeline the same way `cancel` is. The trace is
-// owned by the caller and must outlive the call; it is single-threaded, so
-// each concurrent Execute needs its own.
-struct ExecuteControl {
-  const CancellationToken* cancel = nullptr;
-  std::optional<uint64_t> seed;
-  bool record = true;
-  obs::QueryTrace* trace = nullptr;
-  // Precomputed sample-side query mask: one byte per sample row, 1 iff the
-  // row passes the query's predicate — exactly what SampleEstimator::Mask
-  // returns. When set, the engine uses it instead of running its own mask
-  // pass; everything downstream is untouched, so the result is bit-identical
-  // to the unset case. This is the seam the batched service path uses to
-  // evaluate all batch members' sample masks in one fused scan. Must outlive
-  // the call. Ignored by the MIN/MAX extrema path (no sample involved).
-  const std::vector<uint8_t>* query_mask = nullptr;
 };
 
 class AqppEngine {
@@ -216,6 +189,21 @@ class AqppEngine {
   Status AdoptPrepared(const QueryTemplate& tmpl, Sample sample,
                        std::shared_ptr<PrefixCube> cube);
 
+  // Selects the synopsis that answers scalar estimates: builds a registered
+  // kind over the engine's state ("" or "off" restores the legacy path).
+  // Sample-backed kinds adopt the engine's sample (a deep copy — the
+  // "reservoir" kind then reproduces the legacy estimator RNG-step-for-step);
+  // kinds that cannot fall back to a build over the full table.
+  Status SetSynopsis(const std::string& kind);
+
+  // The live synopsis, or nullptr when the engine runs the legacy path.
+  // Shared ownership: SetSynopsis may swap the synopsis while a maintainer
+  // still holds the old one.
+  std::shared_ptr<synopsis::Synopsis> active_synopsis() const {
+    std::lock_guard<std::mutex> lock(synopsis_mu_);
+    return synopsis_;
+  }
+
   const Table& table() const { return *table_; }
   const Sample& sample() const { return sample_; }
   bool has_cube() const { return cube_ != nullptr; }
@@ -234,6 +222,16 @@ class AqppEngine {
 
   Status EnsureSample();
 
+  // Re-builds the active synopsis (or options_.synopsis) after the sample /
+  // prepared state changed underneath it.
+  Status RefreshSynopsis();
+
+  // Synopsis-routed scalar estimation (Execute's non-legacy arm).
+  Result<ApproximateResult> ExecuteWithSynopsis(const RangeQuery& query,
+                                                const ExecuteControl& control,
+                                                const synopsis::Synopsis& syn,
+                                                Rng& rng);
+
   std::shared_ptr<Table> table_;
   EngineOptions options_;
   Rng rng_;
@@ -248,6 +246,11 @@ class AqppEngine {
   std::shared_ptr<ExtremaGrid> extrema_;
   std::unique_ptr<AggregateIdentifier> identifier_;
   PrepareStats prepare_stats_;
+  // Active synopsis; nullptr = legacy estimator path, bit-identical to the
+  // pre-synopsis engine. Guarded: SET SYNOPSIS may arrive from a service
+  // admin connection while seeded Executes run on worker threads.
+  mutable std::mutex synopsis_mu_;
+  std::shared_ptr<synopsis::Synopsis> synopsis_;
   // Bounded query-log ring, guarded: Execute may be called concurrently
   // from service workers (with per-call seeds), and all of them record here.
   mutable std::mutex workload_mu_;

@@ -1,168 +1,11 @@
-// Sample-based estimators: the AQP path (Equation 3, Example 1) and the
-// AQP++ difference path (Equation 4, Example 3).
-//
-// Both are built on one primitive: given per-row values y_i on the sample,
-// sum_i w_i * y_i estimates the population sum of y, with a CLT confidence
-// interval from the per-row expansion contributions. For AQP the row value
-// is A_i * cond_q(i); for AQP++ it is A_i * (cond_q(i) - cond_pre(i)) and
-// the precomputed pre(D) is added back as a constant — which is exactly why
-// a highly correlated pre shrinks the interval (Section 4.2's
-// back-of-the-envelope analysis).
+// Forwarding shim: the sample-based estimators moved into the synopsis
+// library (src/synopsis/estimator.h) so Synopsis implementations can reuse
+// them without a core <-> synopsis dependency cycle. Existing includers of
+// core/estimator.h keep compiling unchanged.
 
 #ifndef AQPP_CORE_ESTIMATOR_H_
 #define AQPP_CORE_ESTIMATOR_H_
 
-#include <functional>
-#include <memory>
-#include <mutex>
-#include <unordered_map>
-#include <vector>
-
-#include "common/random.h"
-#include "common/status.h"
-#include "expr/query.h"
-#include "obs/trace.h"
-#include "sampling/sample.h"
-#include "stats/confidence.h"
-
-namespace aqpp {
-
-struct EstimatorOptions {
-  double confidence_level = 0.95;
-  // Resamples used for bootstrap CIs (AVG/VAR paths).
-  size_t bootstrap_resamples = 120;
-};
-
-// Precomputed aggregate values of one `pre` box, read from the cube planes.
-struct PreValues {
-  double sum = 0.0;       // SUM(A) over the box
-  double count = 0.0;     // COUNT(*) over the box
-  double sum_sq = 0.0;    // SUM(A^2) over the box
-};
-
-// Materialized double views of a table's measure columns, built once and
-// shared by every estimate over the same sample (the engine-level measure
-// cache). Thread-safe.
-class MeasureCache {
- public:
-  // `rows` must outlive the cache.
-  explicit MeasureCache(const Table* rows) : rows_(rows) {}
-
-  // The double-materialized values of `column`; built on first use.
-  // The returned pointer stays valid for the cache's lifetime.
-  Result<const std::vector<double>*> Get(size_t column);
-
- private:
-  const Table* rows_;
-  std::mutex mu_;
-  std::unordered_map<size_t, std::unique_ptr<std::vector<double>>> columns_;
-};
-
-// ---- Shared difference-CI kernels ------------------------------------------
-//
-// These are used verbatim by both SampleEstimator::EstimateWithPre and the
-// batched identification scorer, so the two paths produce bit-identical
-// intervals for the same per-row contributions and RNG state.
-
-// AVG = (pre.sum + ŝ) / (pre.count + ĉ) with numerator/denominator estimated
-// by difference; percentile-bootstrap CI over the paired per-row
-// contributions s_contrib[i] = w_i * A_i * diff_i, c_contrib[i] = w_i *
-// diff_i (the paper's Section 4.2.2 procedure).
-ConfidenceInterval AvgDifferenceBootstrapCI(
-    const std::vector<double>& s_contrib, const std::vector<double>& c_contrib,
-    const PreValues& pre, double confidence_level, size_t resamples, Rng& rng);
-
-// VAR = E[A^2] - E[A]^2 reconstructed from three difference-estimated sums
-// (SUM(A^2), SUM(A), COUNT); percentile-bootstrap CI.
-ConfidenceInterval VarDifferenceBootstrapCI(
-    const std::vector<double>& s2_contrib, const std::vector<double>& s_contrib,
-    const std::vector<double>& c_contrib, const PreValues& pre,
-    double confidence_level, size_t resamples, Rng& rng);
-
-class SampleEstimator {
- public:
-  // `sample` must outlive the estimator.
-  SampleEstimator(const Sample* sample, EstimatorOptions options = {});
-
-  const Sample& sample() const { return *sample_; }
-  const EstimatorOptions& options() const { return options_; }
-
-  // Borrows an external measure cache (e.g. the engine's); when set,
-  // repeated estimates over the same sample stop re-materializing the
-  // measure column. The cache must be built over this estimator's sample
-  // rows and must outlive the estimator.
-  void set_measure_cache(MeasureCache* cache) { measure_cache_ = cache; }
-
-  // Attaches a per-query trace; the final CI-producing computation of each
-  // estimate records one kCiConstruction span (the matching global phase
-  // histogram is observed regardless).
-  void set_trace(obs::QueryTrace* trace) { trace_ = trace; }
-
-  // ---- Generic primitive --------------------------------------------------
-
-  // CI for the population sum of y, where y_values[i] is y evaluated on
-  // sample row i. Handles stratified samples per stratum.
-  ConfidenceInterval SumCI(const std::vector<double>& y_values) const;
-
-  // ---- AQP (direct) path ---------------------------------------------------
-
-  // Estimates `query` (scalar, no group-by) directly from the sample.
-  // SUM/COUNT: closed-form CLT interval. AVG: linearized ratio estimator.
-  // VAR: plug-in estimate with bootstrap CI. MIN/MAX: Unimplemented (the
-  // paper notes AQP cannot handle them; see Section 8).
-  Result<ConfidenceInterval> EstimateDirect(const RangeQuery& query,
-                                            Rng& rng) const;
-
-  // Same, with the query's row mask already computed (mask reuse across the
-  // identification → estimation pipeline).
-  Result<ConfidenceInterval> EstimateDirectMasked(
-      const RangeQuery& query, const std::vector<uint8_t>& mask,
-      Rng& rng) const;
-
-  // ---- AQP++ (difference) path ---------------------------------------------
-
-  // Estimates `query` as pre(D) + (q̂(S) - p̂re(S)). `pre_predicate` is the
-  // sample-side predicate of the precomputed box; `pre` carries its exact
-  // precomputed values. Supports SUM/COUNT/AVG/VAR.
-  Result<ConfidenceInterval> EstimateWithPre(const RangeQuery& query,
-                                             const RangePredicate& pre_predicate,
-                                             const PreValues& pre,
-                                             Rng& rng) const;
-
-  // Same, with both row masks already computed (no predicate re-evaluation).
-  Result<ConfidenceInterval> EstimateWithPreMasked(
-      const RangeQuery& query, const std::vector<uint8_t>& q_mask,
-      const std::vector<uint8_t>& pre_mask, const PreValues& pre,
-      Rng& rng) const;
-
-  // ---- Row-mask helpers (exposed for identification & tests) --------------
-
-  // 0/1 mask of sample rows matching `predicate`.
-  Result<std::vector<uint8_t>> Mask(const RangePredicate& predicate) const;
-
-  // Aggregation-attribute values of all sample rows.
-  Result<std::vector<double>> MeasureValues(size_t column) const;
-
- private:
-  // Borrowed (cached) or lazily materialized measure column.
-  Result<const std::vector<double>*> MeasureRef(size_t column) const;
-
-  // Shared implementation of the SUM/COUNT closed-form difference CI.
-  ConfidenceInterval SumDifferenceCI(const std::vector<double>& measure,
-                                     const std::vector<uint8_t>& q_mask,
-                                     const std::vector<uint8_t>& pre_mask,
-                                     double pre_value) const;
-
-  const Sample* sample_;
-  EstimatorOptions options_;
-  double lambda_;
-  MeasureCache* measure_cache_ = nullptr;
-  obs::QueryTrace* trace_ = nullptr;
-  // Fallback materialization when no external cache is attached.
-  mutable std::unordered_map<size_t, std::unique_ptr<std::vector<double>>>
-      local_measures_;
-};
-
-}  // namespace aqpp
+#include "synopsis/estimator.h"
 
 #endif  // AQPP_CORE_ESTIMATOR_H_

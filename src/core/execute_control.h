@@ -1,0 +1,56 @@
+// Per-call execution control shared by the engines and the synopsis layer.
+//
+// Lives in its own header (rather than core/engine.h) so Synopsis
+// implementations can take an ExecuteControl without depending on the
+// engine's headers — the struct is pure data plus borrowed pointers.
+
+#ifndef AQPP_CORE_EXECUTE_CONTROL_H_
+#define AQPP_CORE_EXECUTE_CONTROL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cancellation.h"
+#include "obs/trace.h"
+
+namespace aqpp {
+
+// Per-call execution control for service-style callers.
+//
+// `cancel` is polled cooperatively at phase boundaries (request entry,
+// before identification, between identification and estimation) — a stopped
+// call returns Status::Cancelled / DeadlineExceeded instead of a result.
+//
+// When `seed` is set the call draws from a private RNG seeded by it instead
+// of consuming the engine's session RNG. That makes the call a pure
+// function of (prepared state, query, seed) — required both for concurrent
+// Execute calls from service workers (the session RNG is not thread-safe)
+// and for the service result cache's bit-identical-replay guarantee.
+//
+// `record` = false skips the engine-level query log; service sessions keep
+// their own per-session logs instead.
+//
+// `trace`, when non-null, collects the query's per-phase spans
+// (identification, scoring, cube probe, sample estimation, CI construction)
+// — threaded through the pipeline the same way `cancel` is. The trace is
+// owned by the caller and must outlive the call; it is single-threaded, so
+// each concurrent Execute needs its own.
+struct ExecuteControl {
+  const CancellationToken* cancel = nullptr;
+  std::optional<uint64_t> seed;
+  bool record = true;
+  obs::QueryTrace* trace = nullptr;
+  // Precomputed sample-side query mask: one byte per sample row, 1 iff the
+  // row passes the query's predicate — exactly what SampleEstimator::Mask
+  // returns. When set, the engine uses it instead of running its own mask
+  // pass; everything downstream is untouched, so the result is bit-identical
+  // to the unset case. This is the seam the batched service path uses to
+  // evaluate all batch members' sample masks in one fused scan. Must outlive
+  // the call. Ignored by the MIN/MAX extrema path (no sample involved).
+  const std::vector<uint8_t>* query_mask = nullptr;
+};
+
+}  // namespace aqpp
+
+#endif  // AQPP_CORE_EXECUTE_CONTROL_H_

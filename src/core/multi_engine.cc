@@ -72,6 +72,31 @@ Status MultiTemplateEngine::Prepare(
     iopts.confidence_level = options_.confidence_level;
     prep.identifier = std::make_unique<AggregateIdentifier>(
         prep.cube.get(), &sample_, iopts, rng_);
+
+    // Per-template synopsis selection: the explicit override wins, else the
+    // session default; "" keeps the legacy estimator.
+    std::string kind = options_.default_synopsis;
+    if (t < options_.synopsis_per_template.size() &&
+        !options_.synopsis_per_template[t].empty()) {
+      kind = options_.synopsis_per_template[t];
+    }
+    if (!kind.empty() && kind != "off") {
+      synopsis::SynopsisOptions sopts;
+      sopts.confidence_level = options_.confidence_level;
+      sopts.bootstrap_resamples = options_.bootstrap_resamples;
+      sopts.sample_rate = options_.sample_rate;
+      sopts.seed = options_.seed;
+      sopts.key_columns = templates[t].condition_columns;
+      sopts.measure_column = templates[t].agg_column;
+      AQPP_ASSIGN_OR_RETURN(auto syn, synopsis::CreateSynopsis(kind, sopts));
+      Status adopted = syn->BuildFromSample(sample_);
+      if (adopted.code() == StatusCode::kUnimplemented) {
+        AQPP_RETURN_NOT_OK(syn->BuildFromTable(*table_));
+      } else if (!adopted.ok()) {
+        return adopted;
+      }
+      prep.synopsis = std::move(syn);
+    }
     prepared_.push_back(std::move(prep));
   }
   return Status::OK();
@@ -165,7 +190,38 @@ Result<ApproximateResult> MultiTemplateEngine::Execute(
   Timer est_timer;
   obs::SpanTimer est_span(obs::Phase::kSampleEstimation, control.trace);
   AQPP_ASSIGN_OR_RETURN(auto q_mask, estimator.Mask(query.predicate));
-  if (identified.pre.IsEmpty()) {
+  if (prep.synopsis != nullptr) {
+    // Synopsis arm: the template's synopsis answers both the direct and the
+    // difference estimate (mirrors AqppEngine::ExecuteWithSynopsis).
+    const synopsis::Synopsis& syn = *prep.synopsis;
+    if (identified.pre.IsEmpty()) {
+      AQPP_ASSIGN_OR_RETURN(out.ci, syn.Estimate(query, control, rng));
+      out.pre_description = "phi";
+    } else {
+      Result<ConfidenceInterval> ci = Status::Internal("unset");
+      if (syn.engine_aligned()) {
+        std::vector<uint8_t> pre_mask =
+            prep.identifier->PreMaskOnSample(identified.pre);
+        ci = syn.EstimateWithPreMasked(query, q_mask, pre_mask,
+                                       identified.values, control, rng);
+      } else {
+        ci = syn.EstimateWithPre(query,
+                                 identified.pre.ToPredicate(prep.cube->scheme()),
+                                 identified.values, control, rng);
+      }
+      if (ci.ok()) {
+        out.ci = std::move(ci).value();
+        out.used_pre = true;
+        out.pre_description =
+            identified.pre.ToString(prep.cube->scheme(), table_->schema());
+      } else if (ci.status().code() == StatusCode::kUnimplemented) {
+        AQPP_ASSIGN_OR_RETURN(out.ci, syn.Estimate(query, control, rng));
+        out.pre_description = "phi (synopsis)";
+      } else {
+        return ci.status();
+      }
+    }
+  } else if (identified.pre.IsEmpty()) {
     AQPP_ASSIGN_OR_RETURN(out.ci,
                           estimator.EstimateDirectMasked(query, q_mask, rng));
   } else {

@@ -33,6 +33,12 @@ struct MultiEngineOptions {
   ShapeOptions shape;
   size_t bootstrap_resamples = 120;
   uint64_t seed = 42;
+  // Synopsis kind routed queries estimate with ("" = legacy estimator,
+  // bit-identical to the pre-synopsis engine). Overridable per template.
+  std::string default_synopsis;
+  // Per-template override of default_synopsis, indexed like the Prepare()
+  // template list; "" entries (or a short vector) fall back to the default.
+  std::vector<std::string> synopsis_per_template;
 };
 
 class MultiTemplateEngine {
@@ -65,6 +71,10 @@ class MultiTemplateEngine {
   // Budget actually allocated to template t.
   size_t budget_of(size_t t) const { return prepared_[t].budget; }
   const PrefixCube& cube_of(size_t t) const { return *prepared_[t].cube; }
+  // Template t's synopsis, or nullptr when it runs the legacy estimator.
+  const synopsis::Synopsis* synopsis_of(size_t t) const {
+    return prepared_[t].synopsis.get();
+  }
 
  private:
   MultiTemplateEngine(std::shared_ptr<Table> table, MultiEngineOptions options)
@@ -76,6 +86,9 @@ class MultiTemplateEngine {
     size_t budget = 0;
     std::shared_ptr<PrefixCube> cube;
     std::unique_ptr<AggregateIdentifier> identifier;
+    // Per-template synopsis (MultiEngineOptions::default_synopsis /
+    // synopsis_per_template); nullptr = legacy estimator.
+    std::shared_ptr<synopsis::Synopsis> synopsis;
   };
 
   std::shared_ptr<Table> table_;

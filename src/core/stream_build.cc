@@ -277,6 +277,23 @@ Result<StreamBuildResult> BuildCubeAndSampleFromSource(
         static_cast<double>(ns) / static_cast<double>(n);
     result.sample.method = SamplingMethod::kUniform;
   }
+
+  if (!options.synopsis_kind.empty()) {
+    AQPP_ASSIGN_OR_RETURN(
+        auto syn, synopsis::CreateSynopsis(options.synopsis_kind,
+                                           options.synopsis_options));
+    // The streamed reservoir doubles as the synopsis sample when the kind is
+    // sample-backed; otherwise the synopsis streams the source itself.
+    Status adopted = result.sample.rows != nullptr
+                         ? syn->BuildFromSample(result.sample)
+                         : Status::Unimplemented("no streamed sample");
+    if (adopted.code() == StatusCode::kUnimplemented) {
+      AQPP_RETURN_NOT_OK(syn->Build(source));
+    } else if (!adopted.ok()) {
+      return adopted;
+    }
+    result.synopsis = std::move(syn);
+  }
   return result;
 }
 

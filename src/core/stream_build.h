@@ -25,11 +25,14 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "common/random.h"
 #include "common/status.h"
 #include "cube/prefix_cube.h"
 #include "sampling/sample.h"
 #include "storage/column_source.h"
+#include "synopsis/synopsis.h"
 
 namespace aqpp {
 
@@ -39,12 +42,19 @@ struct StreamBuildOptions {
   // Tell the source to drop decoded/mapped extents behind the scan cursor.
   // Disable only to keep a shared reader's cache warm for later queries.
   bool release_consumed_extents = true;
+  // Synopsis kind to build alongside ("" = none). Sample-backed kinds adopt
+  // the streamed reservoir (no extra pass); others re-stream the source
+  // through Synopsis::Build.
+  std::string synopsis_kind;
+  synopsis::SynopsisOptions synopsis_options;
 };
 
 struct StreamBuildResult {
   std::shared_ptr<PrefixCube> cube;
   // Empty (rows == nullptr) when options.sample_size == 0.
   Sample sample;
+  // Built when options.synopsis_kind != "" (warm-handoff payload).
+  std::shared_ptr<synopsis::Synopsis> synopsis;
   size_t extents_streamed = 0;
 };
 

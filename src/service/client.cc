@@ -188,6 +188,13 @@ Status ServiceClient::SetTimeoutMs(int64_t ms) {
   return Status::OK();
 }
 
+Status ServiceClient::SetSynopsis(const std::string& kind) {
+  AQPP_ASSIGN_OR_RETURN(
+      Response r, Call("SET SYNOPSIS " + (kind.empty() ? "off" : kind)));
+  if (!r.ok) return StatusFromWire(r);
+  return Status::OK();
+}
+
 Result<QueryReply> ServiceClient::Query(const std::string& sql) {
   AQPP_ASSIGN_OR_RETURN(Response r, Call("QUERY " + sql));
   if (!r.ok) return StatusFromWire(r);

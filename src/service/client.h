@@ -95,6 +95,8 @@ class ServiceClient {
   Result<uint64_t> Hello(const std::string& name = "");
   Status Ping();
   Status SetTimeoutMs(int64_t ms);
+  // SET SYNOPSIS <kind>; "off" (or "") restores the legacy estimator.
+  Status SetSynopsis(const std::string& kind);
 
   // QUERY <sql>; server-side errors come back as the matching Status code.
   Result<QueryReply> Query(const std::string& sql);

@@ -5,6 +5,8 @@
 //   HELLO [name]            open a session           -> OK session=<id>
 //   PING                    liveness                 -> OK pong=1
 //   SET TIMEOUT_MS <n>      session default deadline -> OK timeout_ms=<n>
+//   SET SYNOPSIS <kind>     service-wide estimator   -> OK synopsis=<kind>
+//                           ("off" restores the legacy estimator path)
 //   QUERY <sql>             execute                  -> OK estimate=... ...
 //   STATS                   service statistics       -> OK queries=... ...
 //   METRICS                 Prometheus exposition    -> OK lines=<n> then

@@ -151,6 +151,17 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
       resp.AddUint("pong", 1);
       return FormatResponse(resp);
     case RequestType::kSet: {
+      if (req->set_key == "synopsis") {
+        // Service-wide estimator selection; "off" restores the legacy path.
+        std::string kind = ToLowerAscii(req->set_value);
+        Status set = service_->SetSynopsis(kind == "off" ? "" : kind);
+        if (!set.ok()) {
+          return FormatResponse(Response::Error(
+              StatusCodeToString(set.code()), set.message()));
+        }
+        resp.Add("synopsis", kind.empty() ? "off" : kind);
+        return FormatResponse(resp);
+      }
       if (req->set_key != "timeout_ms") {
         return FormatResponse(Response::Error(
             "InvalidArgument", "unknown setting '" + req->set_key + "'"));

@@ -125,6 +125,12 @@ double EngineRef::confidence_level() const {
   return multi_->options().confidence_level;
 }
 
+Status EngineRef::SetSynopsis(const std::string& kind) const {
+  if (single_ != nullptr) return single_->SetSynopsis(kind);
+  return Status::Unimplemented(
+      "multi-template sessions select synopses per template at Prepare time");
+}
+
 void EngineRef::Warmup() const {
   if (single_ == nullptr) return;  // MultiTemplateEngine: Prepare() draws it
   RangeQuery count_all;
@@ -154,13 +160,27 @@ QueryService::~QueryService() { Stop(); }
 void QueryService::Stop() { admission_.Stop(); }
 
 void QueryService::WireMaintenance(CubeMaintainer* cube,
-                                   ReservoirMaintainer* reservoir) {
+                                   ReservoirMaintainer* reservoir,
+                                   synopsis::SynopsisMaintainer* synopsis) {
   if (cube != nullptr) {
     cube->set_update_observer([this] { cache_.InvalidateAll(); });
   }
   if (reservoir != nullptr) {
     reservoir->set_update_observer([this] { cache_.InvalidateAll(); });
   }
+  if (synopsis != nullptr) {
+    synopsis->set_update_observer([this] { cache_.InvalidateAll(); });
+  }
+}
+
+Status QueryService::SetSynopsis(const std::string& kind) {
+  if (!kind.empty() && kind != "off" &&
+      !synopsis::IsSynopsisRegistered(kind)) {
+    return Status::NotFound("unknown synopsis kind '" + kind + "'");
+  }
+  AQPP_RETURN_NOT_OK(engine_.SetSynopsis(kind));
+  cache_.InvalidateAll();
+  return Status::OK();
 }
 
 void QueryService::RecordLatency(double seconds) {

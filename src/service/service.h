@@ -73,6 +73,10 @@ class EngineRef {
   // Draws the sample on an unprepared single engine by running one throwaway
   // COUNT(*) — EnsureSample is not safe to race from workers.
   void Warmup() const;
+  // Live synopsis selection on a single engine ("" / "off" restores the
+  // legacy path). MultiTemplateEngine selects per template at Prepare time
+  // and reports Unimplemented here.
+  Status SetSynopsis(const std::string& kind) const;
 
  private:
   AqppEngine* single_ = nullptr;
@@ -187,7 +191,12 @@ class QueryService {
   void InvalidateTemplate(int template_id) {
     cache_.InvalidateTemplate(template_id);
   }
-  void WireMaintenance(CubeMaintainer* cube, ReservoirMaintainer* reservoir);
+  void WireMaintenance(CubeMaintainer* cube, ReservoirMaintainer* reservoir,
+                       synopsis::SynopsisMaintainer* synopsis = nullptr);
+
+  // Selects the engine's synopsis and invalidates every cached answer (the
+  // estimator changed; replayed bits would no longer match a re-execution).
+  Status SetSynopsis(const std::string& kind);
 
   ServiceStats stats() const;
 

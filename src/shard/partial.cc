@@ -106,6 +106,9 @@ std::string FormatPartialSpec(const PartialSpec& spec) {
   if (spec.wants.sample) out += 's';
   if (spec.wants.engine) out += 'a';
   out += StrFormat(" seed=%llu", static_cast<unsigned long long>(spec.seed));
+  if (!spec.synopsis_kind.empty()) {
+    out += " synopsis=" + spec.synopsis_kind;
+  }
   return out;
 }
 
@@ -170,6 +173,18 @@ Result<PartialSpec> ParsePartialSpec(const std::string& text) {
         return Status::InvalidArgument("bad seed '" + value + "'");
       }
       saw_seed = true;
+    } else if (key == "synopsis") {
+      // Registered kinds are [a-z_]+; bound the length, this faces the
+      // network.
+      if (value.empty() || value.size() > 32) {
+        return Status::InvalidArgument("bad synopsis kind '" + value + "'");
+      }
+      for (char c : value) {
+        if ((c < 'a' || c > 'z') && c != '_') {
+          return Status::InvalidArgument("bad synopsis kind '" + value + "'");
+        }
+      }
+      spec.synopsis_kind = value;
     } else {
       return Status::InvalidArgument("unknown spec key '" + key + "'");
     }

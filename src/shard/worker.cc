@@ -110,6 +110,8 @@ Result<std::unique_ptr<ShardWorker>> ShardWorker::Build(
   EngineOptions eopts;
   eopts.confidence_level = options.confidence_level;
   eopts.seed = ShardSeed(options.base_seed, shard_index);
+  // AdoptPrepared builds the selected synopsis over the adopted state.
+  eopts.synopsis = options.synopsis;
   AQPP_ASSIGN_OR_RETURN(std::unique_ptr<AqppEngine> engine,
                         AqppEngine::Create(table, eopts));
   AQPP_RETURN_NOT_OK(

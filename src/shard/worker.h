@@ -44,6 +44,10 @@ struct ShardWorkerOptions {
   // Base seed; the shard's sample RNG is seeded with
   // ShardSeed(base_seed, shard_index).
   uint64_t base_seed = 42;
+  // Synopsis kind the shard engine estimates with ("" = legacy estimator).
+  // PARTIAL requests carrying a different kind are rejected, so coordinator
+  // and workers can never silently disagree on the estimator.
+  std::string synopsis;
 };
 
 // Per-condition-column value range, reported over SHARDINFO so the

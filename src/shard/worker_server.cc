@@ -278,6 +278,19 @@ std::string WorkerServer::HandleLine(const std::string& line, bool* quit) {
             Response::Error(StatusCodeToString(spec.status().code()),
                             spec.status().message()));
       }
+      if (!spec->synopsis_kind.empty()) {
+        // Estimator agreement check: a coordinator that wants synopsis
+        // answers must talk to workers built with that synopsis.
+        auto active = worker_->engine().active_synopsis();
+        std::string have = active != nullptr ? active->kind() : "";
+        if (spec->synopsis_kind != have) {
+          metrics.partial_errors->Increment();
+          return FormatResponse(Response::Error(
+              "FailedPrecondition",
+              "synopsis mismatch: request wants '" + spec->synopsis_kind +
+                  "', worker has '" + (have.empty() ? "off" : have) + "'"));
+        }
+      }
       auto partial =
           batcher_ != nullptr
               ? batcher_->Submit({spec->query, spec->wants, spec->seed})

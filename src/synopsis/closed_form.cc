@@ -1,0 +1,146 @@
+#include "synopsis/closed_form.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aqpp {
+namespace synopsis {
+
+namespace {
+
+// Mean, sample variance and third central moment of `v` in one pass
+// (two-pass for the central moments; n is small — sample-sized).
+struct SeriesMoments {
+  double n = 0;
+  double mean = 0;
+  double var_sample = 0;  // Bessel-corrected
+  double mu3 = 0;         // third central moment (population form)
+};
+
+SeriesMoments Moments(const std::vector<double>& v) {
+  SeriesMoments m;
+  m.n = static_cast<double>(v.size());
+  if (v.empty()) return m;
+  double sum = 0;
+  for (double x : v) sum += x;
+  m.mean = sum / m.n;
+  double m2 = 0, m3 = 0;
+  for (double x : v) {
+    const double d = x - m.mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m.var_sample = m.n > 1 ? m2 / (m.n - 1) : 0.0;
+  m.mu3 = m3 / m.n;
+  return m;
+}
+
+// half = lambda * s / sqrt(n) + (1 + 2 lambda^2) |mu3| / (6 s^2 n).
+// The second term is Johnson's skewness correction to the t-statistic,
+// folded in as a symmetric widening: it decays as 1/n (faster than the CLT
+// term's 1/sqrt(n)) but dominates the coverage error for heavy-tailed data
+// at sample sizes AQP actually runs at.
+double SkewAdjustedHalfWidth(const SeriesMoments& m, double lambda) {
+  if (m.n <= 1) return 0.0;
+  double half = lambda * std::sqrt(m.var_sample / m.n);
+  if (m.var_sample > 0) {
+    half += (1.0 + 2.0 * lambda * lambda) * std::fabs(m.mu3) /
+            (6.0 * m.var_sample * m.n);
+  }
+  return half;
+}
+
+}  // namespace
+
+ConfidenceInterval ClosedFormSumCI(const std::vector<double>& z,
+                                   double level) {
+  const double lambda = NormalCriticalValue(level);
+  SeriesMoments m = Moments(z);
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.estimate = m.mean;
+  ci.half_width = SkewAdjustedHalfWidth(m, lambda);
+  return ci;
+}
+
+ConfidenceInterval ClosedFormRatioCI(const std::vector<double>& s_contrib,
+                                     const std::vector<double>& c_contrib,
+                                     const PreValues& pre, double level) {
+  AQPP_CHECK_EQ(s_contrib.size(), c_contrib.size());
+  const size_t n = s_contrib.size();
+  const double dn = static_cast<double>(n);
+  const double lambda = NormalCriticalValue(level);
+  ConfidenceInterval ci;
+  ci.level = level;
+  double s_hat = 0, c_hat = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s_hat += s_contrib[i];
+    c_hat += c_contrib[i];
+  }
+  const double den = pre.count + c_hat;
+  if (den <= 0) {
+    // Mirror the bootstrap path's no-observation guard: ratio_of returns 0
+    // for a zero denominator and the interval collapses.
+    ci.estimate = 0.0;
+    ci.half_width = 0.0;
+    return ci;
+  }
+  const double ratio = (pre.sum + s_hat) / den;
+  // Linearize: R ≈ ratio + (1/den) (dS - ratio dC). Expansion series of the
+  // linear combination, with z-scaling so mean(u) estimates the first-order
+  // error and Var = s^2(u)/n.
+  std::vector<double> u(n);
+  for (size_t i = 0; i < n; ++i) {
+    u[i] = dn * (s_contrib[i] - ratio * c_contrib[i]) / den;
+  }
+  SeriesMoments m = Moments(u);
+  ci.estimate = ratio;
+  ci.half_width = SkewAdjustedHalfWidth(m, lambda);
+  return ci;
+}
+
+ConfidenceInterval ClosedFormVarCI(const std::vector<double>& s2_contrib,
+                                   const std::vector<double>& s_contrib,
+                                   const std::vector<double>& c_contrib,
+                                   const PreValues& pre, double level) {
+  AQPP_CHECK_EQ(s2_contrib.size(), s_contrib.size());
+  AQPP_CHECK_EQ(s_contrib.size(), c_contrib.size());
+  const size_t n = s_contrib.size();
+  const double dn = static_cast<double>(n);
+  const double lambda = NormalCriticalValue(level);
+  ConfidenceInterval ci;
+  ci.level = level;
+  double q_hat = 0, s_hat = 0, c_hat = 0;
+  for (size_t i = 0; i < n; ++i) {
+    q_hat += s2_contrib[i];
+    s_hat += s_contrib[i];
+    c_hat += c_contrib[i];
+  }
+  const double total = pre.count + c_hat;
+  if (total <= 0) {
+    ci.estimate = 0.0;
+    ci.half_width = 0.0;
+    return ci;
+  }
+  const double q_tot = pre.sum_sq + q_hat;
+  const double s_tot = pre.sum + s_hat;
+  const double mean = s_tot / total;
+  const double est = std::max(0.0, q_tot / total - mean * mean);
+  // Gradients of VAR(Q, S, C) = Q/C' - (S/C')^2 at the totals — the same
+  // delta-method fold the shard coordinator's stratified merge uses.
+  const double gq = 1.0 / total;
+  const double gs = -2.0 * mean / total;
+  const double gc = (-q_tot + 2.0 * s_tot * mean) / (total * total);
+  std::vector<double> u(n);
+  for (size_t i = 0; i < n; ++i) {
+    u[i] = dn * (gq * s2_contrib[i] + gs * s_contrib[i] + gc * c_contrib[i]);
+  }
+  SeriesMoments m = Moments(u);
+  ci.estimate = est;
+  ci.half_width = SkewAdjustedHalfWidth(m, lambda);
+  return ci;
+}
+
+}  // namespace synopsis
+}  // namespace aqpp

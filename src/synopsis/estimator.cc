@@ -1,4 +1,4 @@
-#include "core/estimator.h"
+#include "synopsis/estimator.h"
 
 #include <algorithm>
 #include <cmath>

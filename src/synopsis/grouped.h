@@ -1,0 +1,89 @@
+// GroupedSynopsis: tuple-bubble-style grouped summary over one hot key
+// column.
+//
+// Per distinct key value ("bubble"), the synopsis keeps the exact per-group
+// moments of the measure column — (N_g, sum, sum_sq) — plus a small uniform
+// reservoir of the group's rows. Queries whose predicate only constrains the
+// key column and aggregate the configured measure (or COUNT) are answered
+// exactly, with a zero-width interval: the hot group-by/group-filter
+// workload the synopsis is built for never pays a sampling error. Queries
+// with residual predicates (other columns) fall back to per-group
+// estimation — each bubble acts as a stratum over its reservoir, folded with
+// the same stratified math as StratifiedSynopsis (strata_fold.h), so
+// accuracy degrades gracefully rather than abruptly.
+//
+// Absorb is fully incremental: exact moments update exactly, reservoirs
+// continue Algorithm R, and unlike the other synopses *new* key values are
+// admitted (a new bubble is grown), because the exact part makes that sound.
+
+#ifndef AQPP_SYNOPSIS_GROUPED_H_
+#define AQPP_SYNOPSIS_GROUPED_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "synopsis/synopsis.h"
+
+namespace aqpp {
+namespace synopsis {
+
+class GroupedSynopsis : public Synopsis {
+ public:
+  explicit GroupedSynopsis(SynopsisOptions options);
+
+  const char* kind() const override { return "grouped"; }
+
+  Status BuildFromTable(const Table& table) override;
+
+  Result<ConfidenceInterval> Estimate(const RangeQuery& query,
+                                      const ExecuteControl& control,
+                                      Rng& rng) const override;
+
+  Status Absorb(const Table& batch) override;
+  Status Degrade(double keep_fraction, Rng& rng) override;
+
+  Status SerializeTo(std::string* out) const override;
+  Status DeserializeFrom(const std::string& bytes) override;
+
+  size_t MemoryUsage() const override;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct Group {
+    int64_t key = 0;        // ordinal code of the key column
+    size_t population = 0;  // N_g: exact row count of the bubble
+    double sum = 0;         // exact SUM(measure) over the bubble
+    double sum_sq = 0;      // exact SUM(measure^2) over the bubble
+    size_t capacity = 0;    // reservoir capacity
+    std::vector<size_t> slots;  // row indexes into rows_
+  };
+
+  // Splits `predicate` into the key-column range (intersected across key
+  // conditions) and the residual predicate over other columns.
+  struct SplitPredicate {
+    int64_t key_lo;
+    int64_t key_hi;
+    RangePredicate residual;
+  };
+  SplitPredicate Split(const RangePredicate& predicate) const;
+
+  // True when (func, agg_column) is answerable from the exact moments.
+  bool ExactlyAnswerable(const RangeQuery& query) const;
+
+  Status AppendBatchRow(const Table& batch, size_t r, Group* group);
+
+  size_t key_column() const { return options_.key_columns[0]; }
+
+  std::shared_ptr<Table> rows_;
+  std::vector<Group> groups_;  // sorted by key (deterministic serialization)
+  std::unordered_map<int64_t, size_t> key_index_;
+  Rng absorb_rng_;
+};
+
+}  // namespace synopsis
+}  // namespace aqpp
+
+#endif  // AQPP_SYNOPSIS_GROUPED_H_

@@ -1,0 +1,86 @@
+// ReservoirSynopsis: the legacy uniform-reservoir estimator behind the
+// Synopsis interface.
+//
+// "reservoir" is the bit-preserving refactor of the engine's historical
+// sample/estimator coupling: it answers through the very same
+// SampleEstimator code paths, so an engine-aligned reservoir synopsis
+// (BuildFromSample over the engine's sample) reproduces the legacy
+// estimator's answers — including every bootstrap draw — RNG-step-for-step.
+//
+// "reservoir_closed" shares the sample but swaps interval construction to
+// the closed-form skew-adjusted delta method (synopsis/closed_form.h):
+// distribution-sensitive like the bootstrap, deterministic and O(n) like
+// the CLT.
+
+#ifndef AQPP_SYNOPSIS_RESERVOIR_H_
+#define AQPP_SYNOPSIS_RESERVOIR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "synopsis/synopsis.h"
+
+namespace aqpp {
+namespace synopsis {
+
+class ReservoirSynopsis : public Synopsis {
+ public:
+  ReservoirSynopsis(std::string kind, SynopsisOptions options);
+
+  const char* kind() const override { return kind_.c_str(); }
+
+  Status BuildFromTable(const Table& table) override;
+  // Accepts uniform samples (deep copy; the source sample is not mutated).
+  Status BuildFromSample(const Sample& sample) override;
+
+  Result<ConfidenceInterval> Estimate(const RangeQuery& query,
+                                      const ExecuteControl& control,
+                                      Rng& rng) const override;
+  Result<ConfidenceInterval> EstimateWithPre(const RangeQuery& query,
+                                             const RangePredicate& pre_predicate,
+                                             const PreValues& pre,
+                                             const ExecuteControl& control,
+                                             Rng& rng) const override;
+  Result<ConfidenceInterval> EstimateWithPreMasked(
+      const RangeQuery& query, const std::vector<uint8_t>& q_mask,
+      const std::vector<uint8_t>& pre_mask, const PreValues& pre,
+      const ExecuteControl& control, Rng& rng) const override;
+
+  Status Absorb(const Table& batch) override;
+  Status Degrade(double keep_fraction, Rng& rng) override;
+
+  Status SerializeTo(std::string* out) const override;
+  Status DeserializeFrom(const std::string& bytes) override;
+
+  size_t MemoryUsage() const override;
+
+  const Sample& sample() const { return sample_; }
+  size_t rows_seen() const { return rows_seen_; }
+
+ private:
+  bool closed_form() const {
+    return options_.ci_method == SynopsisOptions::CiMethod::kClosedForm;
+  }
+  // Widens `ci` by the accumulated Degrade inflation (identity untouched
+  // when no Degrade happened, preserving bit-parity with the legacy path).
+  ConfidenceInterval Inflate(ConfidenceInterval ci) const;
+  // Closed-form replacements for the estimator's per-aggregate paths.
+  Result<ConfidenceInterval> ClosedFormMasked(
+      const RangeQuery& query, const std::vector<uint8_t>& q_mask,
+      const std::vector<uint8_t>* pre_mask, const PreValues& pre) const;
+
+  std::string kind_;
+  Sample sample_;
+  // Algorithm R continuation counter (population rows represented).
+  size_t rows_seen_ = 0;
+  // Stream for Absorb's replacement decisions; re-derived deterministically
+  // on deserialize (options_.seed mixed with rows_seen_).
+  Rng absorb_rng_;
+  mutable std::unique_ptr<MeasureCache> measure_cache_;
+};
+
+}  // namespace synopsis
+}  // namespace aqpp
+
+#endif  // AQPP_SYNOPSIS_RESERVOIR_H_

@@ -1,0 +1,104 @@
+// Little-endian binary encoding helpers shared by the Synopsis
+// implementations' Serialize/Deserialize pairs.
+//
+// Every writer is a pure append onto a std::string; every reader consumes a
+// cursor and fails closed (no partial values, no over-reads), so a
+// truncated or hostile byte string surfaces as InvalidArgument instead of
+// undefined behavior. Doubles round-trip bit-exactly (memcpy of the IEEE
+// image), which is what makes serialize -> deserialize -> serialize
+// byte-identical.
+
+#ifndef AQPP_SYNOPSIS_SERIALIZE_UTIL_H_
+#define AQPP_SYNOPSIS_SERIALIZE_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sampling/sample.h"
+#include "storage/table.h"
+
+namespace aqpp {
+namespace synopsis {
+
+inline void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+inline void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+inline void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline void PutString(std::string* out, const std::string& s) {
+  PutU64(out, s.size());
+  out->append(s);
+}
+
+// Read cursor over a serialized byte string.
+struct ByteReader {
+  const char* p;
+  const char* end;
+
+  explicit ByteReader(const std::string& bytes)
+      : p(bytes.data()), end(bytes.data() + bytes.size()) {}
+
+  bool GetU64(uint64_t* v) {
+    if (end - p < 8) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+    }
+    p += 8;
+    *v = out;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!GetU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool GetF64(double* v) {
+    uint64_t bits = 0;
+    if (!GetU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint64_t n = 0;
+    if (!GetU64(&n)) return false;
+    if (static_cast<uint64_t>(end - p) < n) return false;
+    s->assign(p, static_cast<size_t>(n));
+    p += n;
+    return true;
+  }
+
+  bool Done() const { return p == end; }
+};
+
+// Table encoding: schema (names + types), then per-column payload (string
+// columns carry their dictionary ahead of the codes).
+void PutTable(std::string* out, const Table& table);
+Result<std::shared_ptr<Table>> GetTable(ByteReader* r);
+
+// Sample encoding: rows table + weights + strata + stratum_info + scalars.
+void PutSample(std::string* out, const Sample& sample);
+Result<Sample> GetSample(ByteReader* r);
+
+}  // namespace synopsis
+}  // namespace aqpp
+
+#endif  // AQPP_SYNOPSIS_SERIALIZE_UTIL_H_

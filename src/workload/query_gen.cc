@@ -141,4 +141,78 @@ Result<std::vector<RangeQuery>> QueryGenerator::GenerateMany(size_t count) {
   return out;
 }
 
+const char* AdversarialDistributionName(AdversarialDistribution d) {
+  switch (d) {
+    case AdversarialDistribution::kParetoHeavyTail:
+      return "pareto";
+    case AdversarialDistribution::kLognormalHeavyTail:
+      return "lognormal";
+    case AdversarialDistribution::kDuplicateHeavy:
+      return "duplicate_heavy";
+    case AdversarialDistribution::kCorrelatedPredicates:
+      return "correlated";
+  }
+  return "?";
+}
+
+std::vector<AdversarialDistribution> AllAdversarialDistributions() {
+  return {AdversarialDistribution::kParetoHeavyTail,
+          AdversarialDistribution::kLognormalHeavyTail,
+          AdversarialDistribution::kDuplicateHeavy,
+          AdversarialDistribution::kCorrelatedPredicates};
+}
+
+std::shared_ptr<Table> MakeAdversarialTable(
+    const AdversarialTableOptions& opt) {
+  Schema schema({{"c1", DataType::kInt64},
+                 {"c2", DataType::kInt64},
+                 {"a", DataType::kDouble}});
+  auto table = std::make_shared<Table>(schema);
+  table->Reserve(opt.rows);
+  Rng rng(opt.seed);
+  auto& c1 = table->mutable_column(0).MutableInt64Data();
+  auto& c2 = table->mutable_column(1).MutableInt64Data();
+  auto& a = table->mutable_column(2).MutableDoubleData();
+  for (size_t i = 0; i < opt.rows; ++i) {
+    int64_t v1 = rng.NextInt(1, opt.dom1);
+    int64_t v2 = rng.NextInt(1, opt.dom2);
+    double x = 0;
+    switch (opt.distribution) {
+      case AdversarialDistribution::kParetoHeavyTail: {
+        // Inverse-CDF Pareto with x_m = 1: u in (0, 1], x = u^(-1/alpha).
+        double u = 1.0 - rng.NextDouble();
+        x = std::pow(u, -1.0 / 2.5);
+        break;
+      }
+      case AdversarialDistribution::kLognormalHeavyTail:
+        x = std::exp(1.5 * rng.NextGaussian());
+        break;
+      case AdversarialDistribution::kDuplicateHeavy:
+        // 90% of rows carry one value; the remainder scatter two orders of
+        // magnitude away, so small samples often see zero variance.
+        x = rng.NextDouble() < 0.9 ? 10.0
+                                   : 1000.0 + 50.0 * rng.NextGaussian();
+        break;
+      case AdversarialDistribution::kCorrelatedPredicates: {
+        // c2 tracks c1 (scaled, with a small jitter) and the measure's scale
+        // ramps with c1 — joint selectivity and per-range variance both
+        // violate the independent-marginals picture.
+        double frac =
+            static_cast<double>(v1) / static_cast<double>(opt.dom1);
+        int64_t tracked =
+            1 + static_cast<int64_t>(frac * static_cast<double>(opt.dom2 - 1));
+        int64_t jitter = rng.NextInt(-2, 2);
+        v2 = std::min(opt.dom2, std::max<int64_t>(1, tracked + jitter));
+        x = 100.0 * frac + (1.0 + 20.0 * frac) * rng.NextGaussian();
+        break;
+      }
+    }
+    c1.push_back(v1);
+    c2.push_back(v2);
+    a.push_back(x);
+  }
+  table->SetRowCountFromColumns();
+  return table;
+}
+
 }  // namespace aqpp

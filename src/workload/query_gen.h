@@ -29,6 +29,46 @@ struct QueryGenOptions {
   size_t calibration_rows = 50'000;
 };
 
+// ---- Adversarial data generation --------------------------------------------
+//
+// Synthetic tables engineered to stress estimator assumptions: CLT-defying
+// heavy tails, near-degenerate duplicate mass, and predicate columns whose
+// dependence breaks independence-assumption selectivity reasoning. The
+// statistical-correctness battery (tests/coverage_test.cc) runs every
+// registered synopsis against each of these; a synopsis whose CIs only hold
+// on friendly Gaussian data fails there.
+
+enum class AdversarialDistribution {
+  // Pareto(alpha = 2.5) measure: finite variance, but the third moment is
+  // enormous — bootstrap and skew-adjusted CIs must stretch to cover.
+  kParetoHeavyTail,
+  // Lognormal(mu = 0, sigma = 1.5): moderate-looking body, extreme upper
+  // tail; the classic AQP hard case.
+  kLognormalHeavyTail,
+  // 90% of measures share one value, the rest scatter far from it — near-zero
+  // sample variance until a rare row lands in the sample.
+  kDuplicateHeavy,
+  // c2 is a noisy copy of c1 and the measure scale ramps with c1: joint
+  // selectivities and per-range variances are far from the independent case.
+  kCorrelatedPredicates,
+};
+
+const char* AdversarialDistributionName(AdversarialDistribution d);
+std::vector<AdversarialDistribution> AllAdversarialDistributions();
+
+struct AdversarialTableOptions {
+  AdversarialDistribution distribution =
+      AdversarialDistribution::kParetoHeavyTail;
+  size_t rows = 2000;
+  // Domain sizes of the two condition columns c1, c2.
+  int64_t dom1 = 100;
+  int64_t dom2 = 50;
+  uint64_t seed = 7;
+};
+
+// Schema: c1 INT64, c2 INT64, a DOUBLE (the suite's standard shape).
+std::shared_ptr<Table> MakeAdversarialTable(const AdversarialTableOptions& opt);
+
 class QueryGenerator {
  public:
   // `table` must outlive the generator.

@@ -33,7 +33,7 @@ double TrueSum(const Table& t, size_t measure_col) {
 
 TEST(UniformSamplerTest, SizeAndWeights) {
   auto t = MakeSynthetic({.rows = 10000});
-  Rng rng(1);
+  Rng rng = testutil::MakeTestRng(1);
   auto s = CreateUniformSample(*t, 0.01, rng);
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(s->size(), 100u);
@@ -44,14 +44,14 @@ TEST(UniformSamplerTest, SizeAndWeights) {
 
 TEST(UniformSamplerTest, RejectsBadRate) {
   auto t = MakeSynthetic({.rows = 100});
-  Rng rng(1);
+  Rng rng = testutil::MakeTestRng(1);
   EXPECT_FALSE(CreateUniformSample(*t, 0.0, rng).ok());
   EXPECT_FALSE(CreateUniformSample(*t, 1.5, rng).ok());
 }
 
 TEST(UniformSamplerTest, FullRateIsIdentityMultiset) {
   auto t = MakeSynthetic({.rows = 500});
-  Rng rng(2);
+  Rng rng = testutil::MakeTestRng(2);
   auto s = CreateUniformSample(*t, 1.0, rng);
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(s->size(), 500u);
@@ -61,7 +61,7 @@ TEST(UniformSamplerTest, FullRateIsIdentityMultiset) {
 TEST(UniformSamplerTest, EstimatorUnbiasedAcrossDraws) {
   auto t = MakeSynthetic({.rows = 20000, .seed = 3});
   double truth = TrueSum(*t, 2);
-  Rng rng(4);
+  Rng rng = testutil::MakeTestRng(4);
   double mean_est = 0;
   constexpr int kDraws = 60;
   for (int d = 0; d < kDraws; ++d) {
@@ -76,7 +76,7 @@ TEST(UniformSamplerTest, EstimatorUnbiasedAcrossDraws) {
 
 TEST(BernoulliSamplerTest, SizeConcentratesAroundRate) {
   auto t = MakeSynthetic({.rows = 50000});
-  Rng rng(5);
+  Rng rng = testutil::MakeTestRng(5);
   auto s = CreateBernoulliSample(*t, 0.02, rng);
   ASSERT_TRUE(s.ok());
   EXPECT_NEAR(static_cast<double>(s->size()), 1000.0, 150.0);
@@ -86,7 +86,7 @@ TEST(BernoulliSamplerTest, SizeConcentratesAroundRate) {
 TEST(BernoulliSamplerTest, EstimatorUnbiasedAcrossDraws) {
   auto t = MakeSynthetic({.rows = 20000, .seed = 6});
   double truth = TrueSum(*t, 2);
-  Rng rng(7);
+  Rng rng = testutil::MakeTestRng(7);
   double mean_est = 0;
   constexpr int kDraws = 60;
   for (int d = 0; d < kDraws; ++d) {
@@ -101,7 +101,7 @@ TEST(BernoulliSamplerTest, EstimatorUnbiasedAcrossDraws) {
 
 TEST(ReservoirSamplerTest, ExactSizeAndUniformity) {
   auto t = MakeSynthetic({.rows = 2000});
-  Rng rng(8);
+  Rng rng = testutil::MakeTestRng(8);
   auto s = CreateReservoirSample(*t, 100, rng);
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(s->size(), 100u);
@@ -124,7 +124,7 @@ TEST(ReservoirSamplerTest, ExactSizeAndUniformity) {
 
 TEST(ReservoirSamplerTest, ReservoirLargerThanTable) {
   auto t = MakeSynthetic({.rows = 10});
-  Rng rng(9);
+  Rng rng = testutil::MakeTestRng(9);
   auto s = CreateReservoirSample(*t, 100, rng);
   ASSERT_TRUE(s.ok());
   EXPECT_EQ(s->size(), 10u);
@@ -136,7 +136,7 @@ std::shared_ptr<Table> SkewedGroupTable() {
   // Column 0 = group (0 is tiny, 1 medium, 2 huge), column 1 = measure.
   Schema schema({{"g", DataType::kInt64}, {"a", DataType::kDouble}});
   auto t = std::make_shared<Table>(schema);
-  Rng rng(10);
+  Rng rng = testutil::MakeTestRng(10);
   for (int i = 0; i < 10; ++i) t->AddRow().Int64(0).Double(rng.NextDouble());
   for (int i = 0; i < 500; ++i) t->AddRow().Int64(1).Double(rng.NextDouble());
   for (int i = 0; i < 9490; ++i) t->AddRow().Int64(2).Double(rng.NextDouble());
@@ -145,7 +145,7 @@ std::shared_ptr<Table> SkewedGroupTable() {
 
 TEST(StratifiedSamplerTest, SmallGroupsFullyCovered) {
   auto t = SkewedGroupTable();
-  Rng rng(11);
+  Rng rng = testutil::MakeTestRng(11);
   auto s = CreateStratifiedSample(*t, {0}, 0.03, rng);
   ASSERT_TRUE(s.ok());
   ASSERT_EQ(s->stratum_info.size(), 3u);
@@ -159,7 +159,7 @@ TEST(StratifiedSamplerTest, SmallGroupsFullyCovered) {
 
 TEST(StratifiedSamplerTest, WeightsAreNhOverNh) {
   auto t = SkewedGroupTable();
-  Rng rng(12);
+  Rng rng = testutil::MakeTestRng(12);
   auto s = CreateStratifiedSample(*t, {0}, 0.05, rng);
   ASSERT_TRUE(s.ok());
   for (size_t i = 0; i < s->size(); ++i) {
@@ -174,7 +174,7 @@ TEST(StratifiedSamplerTest, WeightsAreNhOverNh) {
 TEST(StratifiedSamplerTest, EstimatorUnbiasedAcrossDraws) {
   auto t = SkewedGroupTable();
   double truth = TrueSum(*t, 1);
-  Rng rng(13);
+  Rng rng = testutil::MakeTestRng(13);
   double mean_est = 0;
   constexpr int kDraws = 60;
   for (int d = 0; d < kDraws; ++d) {
@@ -187,7 +187,7 @@ TEST(StratifiedSamplerTest, EstimatorUnbiasedAcrossDraws) {
 
 TEST(StratifiedSamplerTest, RejectsDoubleColumn) {
   auto t = SkewedGroupTable();
-  Rng rng(14);
+  Rng rng = testutil::MakeTestRng(14);
   EXPECT_FALSE(CreateStratifiedSample(*t, {1}, 0.05, rng).ok());
 }
 
@@ -202,7 +202,7 @@ TEST(MeasureBiasedSamplerTest, OutliersOverrepresented) {
     double v = (i % 100 == 0) ? 1000.0 : 1.0;
     t->AddRow().Int64(i % 50 + 1).Double(v);
   }
-  Rng rng(16);
+  Rng rng = testutil::MakeTestRng(16);
   auto s = CreateMeasureBiasedSample(*t, 1, 0.02, rng);
   ASSERT_TRUE(s.ok());
   size_t outliers = 0;
@@ -217,7 +217,7 @@ TEST(MeasureBiasedSamplerTest, OutliersOverrepresented) {
 TEST(MeasureBiasedSamplerTest, HansenHurwitzUnbiased) {
   auto t = MakeSynthetic({.rows = 5000, .seed = 17});
   double truth = TrueSum(*t, 2);
-  Rng rng(18);
+  Rng rng = testutil::MakeTestRng(18);
   double mean_est = 0;
   constexpr int kDraws = 60;
   for (int d = 0; d < kDraws; ++d) {
@@ -232,7 +232,7 @@ TEST(MeasureBiasedSamplerTest, HansenHurwitzUnbiased) {
 
 TEST(SubsampleTest, RescalesWeights) {
   auto t = MakeSynthetic({.rows = 10000});
-  Rng rng(19);
+  Rng rng = testutil::MakeTestRng(19);
   auto s = CreateUniformSample(*t, 0.05, rng);
   ASSERT_TRUE(s.ok());
   auto sub = Subsample(*s, 0.25, rng);
@@ -244,7 +244,7 @@ TEST(SubsampleTest, RescalesWeights) {
 
 TEST(SubsampleTest, PreservesStratificationStructure) {
   auto t = SkewedGroupTable();
-  Rng rng(20);
+  Rng rng = testutil::MakeTestRng(20);
   auto s = CreateStratifiedSample(*t, {0}, 0.10, rng);
   ASSERT_TRUE(s.ok());
   auto sub = Subsample(*s, 0.5, rng);
@@ -261,7 +261,7 @@ TEST(SubsampleTest, PreservesStratificationStructure) {
 
 TEST(SubsampleTest, RejectsBadRate) {
   auto t = MakeSynthetic({.rows = 100});
-  Rng rng(21);
+  Rng rng = testutil::MakeTestRng(21);
   auto s = CreateUniformSample(*t, 0.5, rng);
   ASSERT_TRUE(s.ok());
   EXPECT_FALSE(Subsample(*s, 0.0, rng).ok());

@@ -222,6 +222,43 @@ TEST(ServiceServerTest, ProtocolVerbsOverTheWire) {
   client->Close();
 }
 
+TEST(ServiceServerTest, SetSynopsisVerbSwitchesEstimatorAndDropsCache) {
+  TestServer ts;
+  auto client = ServiceClient::Connect("127.0.0.1", ts.server->port());
+  ASSERT_TRUE(client.ok());
+
+  const std::string sql = "SELECT SUM(a) FROM t WHERE c1 >= 10 AND c1 <= 60";
+  auto legacy = client->Query(sql);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  // Switching the synopsis invalidates the cache: the next identical query
+  // is a miss, answered by the new estimator.
+  ASSERT_TRUE(client->SetSynopsis("reservoir_closed").ok());
+  EXPECT_STREQ(ts.engine->active_synopsis()->kind(), "reservoir_closed");
+  auto routed = client->Query(sql);
+  ASSERT_TRUE(routed.ok()) << routed.status().ToString();
+  EXPECT_FALSE(routed->cache_hit);
+
+  // Unknown kinds are a wire-level NotFound, not a dropped connection, and
+  // leave the active synopsis untouched.
+  auto bad = client->Call("SET SYNOPSIS no_such_kind");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->ok);
+  EXPECT_EQ(bad->Find("code").value(), "NotFound");
+  EXPECT_STREQ(ts.engine->active_synopsis()->kind(), "reservoir_closed");
+
+  // "off" restores the legacy path (and the verb lowercases its value).
+  auto off = client->Call("SET SYNOPSIS OFF");
+  ASSERT_TRUE(off.ok());
+  EXPECT_TRUE(off->ok);
+  EXPECT_EQ(ts.engine->active_synopsis(), nullptr);
+  auto back = client->Query(sql);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->cache_hit);
+
+  client->Close();
+}
+
 TEST(ServiceServerTest, EightConcurrentSessions) {
   constexpr int kClients = 8;
   constexpr int kQueriesPerClient = 10;

@@ -8,6 +8,7 @@
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
 #include "stats/histogram.h"
+#include "test_util.h"
 
 namespace aqpp {
 namespace {
@@ -37,7 +38,7 @@ TEST(RunningMomentsTest, WeightedEqualsRepetition) {
 }
 
 TEST(RunningMomentsTest, MergeEqualsSinglePass) {
-  Rng rng(5);
+  Rng rng = testutil::MakeTestRng(5);
   RunningMoments all, a, b;
   for (int i = 0; i < 1000; ++i) {
     double x = rng.NextGaussian() * 3 + 1;
@@ -120,7 +121,7 @@ TEST(ConfidenceTest, IntervalSemantics) {
 TEST(BootstrapTest, SumCIMatchesCLTScale) {
   // Contributions are iid N(mu, sigma^2); the bootstrap CI of the sum should
   // be close to the CLT interval lambda * sigma * sqrt(n).
-  Rng rng(41);
+  Rng rng = testutil::MakeTestRng(41);
   constexpr size_t kN = 2000;
   std::vector<double> contrib(kN);
   for (auto& c : contrib) c = 10.0 + 2.0 * rng.NextGaussian();
@@ -133,7 +134,7 @@ TEST(BootstrapTest, SumCIMatchesCLTScale) {
 }
 
 TEST(BootstrapTest, GenericStatisticMean) {
-  Rng rng(43);
+  Rng rng = testutil::MakeTestRng(43);
   constexpr size_t kN = 500;
   std::vector<double> data(kN);
   for (auto& x : data) x = 5.0 + rng.NextGaussian();
@@ -160,7 +161,7 @@ TEST(ZipfTest, SkewConcentratesMass) {
   // With z=2, P(1) / P(2) = 4.
   ZipfDistribution z(1000, 2.0);
   EXPECT_NEAR(z.Pmf(1) / z.Pmf(2), 4.0, 1e-6);
-  Rng rng(47);
+  Rng rng = testutil::MakeTestRng(47);
   int head = 0;
   constexpr int kDraws = 50000;
   for (int i = 0; i < kDraws; ++i) {
@@ -177,7 +178,7 @@ TEST(ZipfTest, ZeroExponentIsUniform) {
 TEST(AliasSamplerTest, MatchesWeights) {
   std::vector<double> weights{1, 2, 3, 4};
   AliasSampler alias(weights);
-  Rng rng(53);
+  Rng rng = testutil::MakeTestRng(53);
   std::vector<int> counts(4, 0);
   constexpr int kDraws = 100000;
   for (int i = 0; i < kDraws; ++i) ++counts[alias.Sample(rng)];
@@ -189,12 +190,12 @@ TEST(AliasSamplerTest, MatchesWeights) {
 
 TEST(AliasSamplerTest, HandlesZeros) {
   AliasSampler alias({0.0, 1.0, 0.0});
-  Rng rng(59);
+  Rng rng = testutil::MakeTestRng(59);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(alias.Sample(rng), 1u);
 }
 
 TEST(TruncatedNormalTest, StaysInBounds) {
-  Rng rng(61);
+  Rng rng = testutil::MakeTestRng(61);
   for (int i = 0; i < 5000; ++i) {
     double x = SampleTruncatedNormal(10, 5, 8, 12, rng);
     EXPECT_GE(x, 8.0);
@@ -203,7 +204,7 @@ TEST(TruncatedNormalTest, StaysInBounds) {
 }
 
 TEST(ParetoTest, RespectsScaleAndTail) {
-  Rng rng(67);
+  Rng rng = testutil::MakeTestRng(67);
   double min_seen = 1e18;
   int above_double = 0;
   constexpr int kDraws = 100000;
@@ -222,7 +223,7 @@ TEST(ParetoTest, RespectsScaleAndTail) {
 TEST(HistogramTest, UniformColumnEstimates) {
   Schema schema({{"c", DataType::kInt64}});
   Table t(schema);
-  Rng rng(71);
+  Rng rng = testutil::MakeTestRng(71);
   for (int i = 0; i < 50000; ++i) t.AddRow().Int64(rng.NextInt(1, 1000));
   auto hist = EquiDepthHistogram::Build(t, 0, 50);
   ASSERT_TRUE(hist.ok());
@@ -239,7 +240,7 @@ TEST(HistogramTest, SkewedColumnTracksExactCounts) {
   // Quadratic skew: dense at low values.
   Schema schema({{"c", DataType::kInt64}});
   Table t(schema);
-  Rng rng(73);
+  Rng rng = testutil::MakeTestRng(73);
   std::vector<int64_t> values;
   for (int i = 0; i < 40000; ++i) {
     double u = rng.NextDouble();

@@ -1,0 +1,485 @@
+// Property battery for the pluggable Synopsis layer (src/synopsis/).
+//
+// Every registered kind must honor the statistical contract stated in
+// synopsis/synopsis.h, and the battery enforces it property by property:
+//   * Estimate is a pure function of (built state, query, seed) — repeated
+//     calls are bit-identical, and so are concurrent calls at 1/4/8 threads
+//     (the TSan lane runs this file via the `concurrency` label);
+//   * Degrade never tightens an interval (conservative inflation);
+//   * SerializeTo is deterministic: restore + re-serialize is byte-equal,
+//     and the restored synopsis estimates bit-identically;
+//   * Absorb is stage-validate-commit: under the "synopsis/absorb"
+//     failpoint a torn absorb leaves the serialized state byte-identical
+//     (chaos label; needs -DAQPP_ENABLE_FAILPOINTS=ON), while a successful
+//     absorb tracks the grown population exactly like a rebuild;
+//   * the "reservoir" kind reproduces the legacy engine estimator
+//     RNG-step-for-step — with EngineOptions::synopsis unset and set to
+//     "reservoir", the same seeds give bit-identical answers.
+//
+// Seeds route through testutil::TestSeed, so AQPP_TEST_SEED alone
+// reproduces any failure.
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "core/engine.h"
+#include "expr/query.h"
+#include "stats/confidence.h"
+#include "storage/table.h"
+#include "synopsis/synopsis.h"
+#include "test_util.h"
+
+namespace aqpp {
+namespace {
+
+using testutil::MakeSynthetic;
+
+synopsis::SynopsisOptions MakeOptions(uint64_t seed) {
+  synopsis::SynopsisOptions opts;
+  opts.confidence_level = 0.95;
+  opts.sample_rate = 0.2;
+  // Stratify / bubble on c2 (domain 50): ~10 sampled rows per stratum at
+  // 2500 rows x 0.2 — enough for per-stratum variance everywhere.
+  opts.key_columns = {1};
+  opts.measure_column = 2;
+  opts.seed = seed;
+  return opts;
+}
+
+std::unique_ptr<synopsis::Synopsis> BuildSynopsis(const std::string& kind,
+                                                  const Table& table,
+                                                  uint64_t seed) {
+  auto created = synopsis::CreateSynopsis(kind, MakeOptions(seed));
+  EXPECT_TRUE(created.ok()) << created.status();
+  auto syn = std::move(created).value();
+  Status built = syn->BuildFromTable(table);
+  EXPECT_TRUE(built.ok()) << built;
+  EXPECT_TRUE(syn->built());
+  return syn;
+}
+
+// A fixed probe set spanning SUM/COUNT/AVG and 1-d / 2-d predicates, wide
+// enough that every kind's sample sees predicate rows.
+std::vector<RangeQuery> ProbeQueries() {
+  std::vector<RangeQuery> qs;
+  auto add = [&qs](AggregateFunction f, std::vector<RangeCondition> conds) {
+    RangeQuery q;
+    q.func = f;
+    q.agg_column = 2;
+    q.predicate = RangePredicate(std::move(conds));
+    qs.push_back(std::move(q));
+  };
+  add(AggregateFunction::kSum, {{0, 20, 70}});
+  add(AggregateFunction::kSum, {{0, 10, 60}, {1, 10, 35}});
+  add(AggregateFunction::kCount, {{0, 30, 90}});
+  add(AggregateFunction::kCount, {{0, 1, 100}, {1, 1, 50}});
+  add(AggregateFunction::kAvg, {{0, 15, 80}});
+  add(AggregateFunction::kAvg, {{0, 5, 55}, {1, 5, 30}});
+  return qs;
+}
+
+Result<ConfidenceInterval> EstimateSeeded(const synopsis::Synopsis& syn,
+                                          const RangeQuery& q, uint64_t seed) {
+  ExecuteControl control;
+  control.seed = seed;
+  control.record = false;
+  return syn.Estimate(q, control);
+}
+
+class SynopsisPropertyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    table_ = MakeSynthetic({.rows = 2500,
+                            .dom1 = 100,
+                            .dom2 = 50,
+                            .correlated = false,
+                            .seed = testutil::TestSeed(9100)});
+    synopsis_ = BuildSynopsis(GetParam(), *table_, testutil::TestSeed(9101));
+    ASSERT_NE(synopsis_, nullptr);
+  }
+
+  std::shared_ptr<Table> table_;
+  std::unique_ptr<synopsis::Synopsis> synopsis_;
+};
+
+std::string KindName(const ::testing::TestParamInfo<std::string>& info) {
+  return info.param;
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(SynopsisRegistryTest, BuiltinsAreRegisteredAndSorted) {
+  auto kinds = synopsis::RegisteredSynopses();
+  ASSERT_GE(kinds.size(), 4u);
+  for (const char* k : {"grouped", "reservoir", "reservoir_closed",
+                        "stratified"}) {
+    EXPECT_TRUE(synopsis::IsSynopsisRegistered(k)) << k;
+  }
+  for (size_t i = 1; i < kinds.size(); ++i) EXPECT_LT(kinds[i - 1], kinds[i]);
+
+  auto missing = synopsis::CreateSynopsis("no_such_kind", MakeOptions(1));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+// ---- Purity -----------------------------------------------------------------
+
+TEST_P(SynopsisPropertyTest, EstimateIsPureFunctionOfQueryAndSeed) {
+  // Repeated calls with the same (query, seed) are bit-identical, and an
+  // independently built synopsis over the same table with the same build
+  // seed estimates bit-identically too.
+  auto rebuilt = BuildSynopsis(GetParam(), *table_, testutil::TestSeed(9101));
+  ASSERT_NE(rebuilt, nullptr);
+  uint64_t call_seed = testutil::TestSeed(9102);
+  for (const RangeQuery& q : ProbeQueries()) {
+    auto a = EstimateSeeded(*synopsis_, q, call_seed);
+    auto b = EstimateSeeded(*synopsis_, q, call_seed);
+    auto c = EstimateSeeded(*rebuilt, q, call_seed);
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok() && c.ok());
+    EXPECT_EQ(a->estimate, b->estimate);
+    EXPECT_EQ(a->half_width, b->half_width);
+    EXPECT_EQ(a->estimate, c->estimate);
+    EXPECT_EQ(a->half_width, c->half_width);
+    EXPECT_TRUE(std::isfinite(a->estimate));
+    EXPECT_GE(a->half_width, 0.0);
+  }
+}
+
+// ---- Concurrency ------------------------------------------------------------
+
+TEST_P(SynopsisPropertyTest, ConcurrentEstimatesAreBitIdentical) {
+  // Per-call seeds make Estimate safe to run from many threads against one
+  // shared synopsis; 4- and 8-thread runs must reproduce the 1-thread
+  // answers bit for bit.
+  const auto queries = ProbeQueries();
+  const uint64_t base_seed = testutil::TestSeed(9103);
+
+  std::vector<ConfidenceInterval> baseline(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = EstimateSeeded(*synopsis_, queries[i], base_seed + i);
+    ASSERT_TRUE(r.ok()) << r.status();
+    baseline[i] = *r;
+  }
+
+  for (size_t num_threads : {4u, 8u}) {
+    std::vector<ConfidenceInterval> got(queries.size());
+    std::vector<std::thread> threads;
+    for (size_t tid = 0; tid < num_threads; ++tid) {
+      threads.emplace_back([&, tid] {
+        for (size_t i = tid; i < queries.size(); i += num_threads) {
+          auto r = EstimateSeeded(*synopsis_, queries[i], base_seed + i);
+          if (r.ok()) got[i] = *r;
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(baseline[i].estimate, got[i].estimate)
+          << "threads=" << num_threads << " query#" << i;
+      EXPECT_EQ(baseline[i].half_width, got[i].half_width)
+          << "threads=" << num_threads << " query#" << i;
+    }
+  }
+}
+
+// ---- Degradation ------------------------------------------------------------
+
+TEST_P(SynopsisPropertyTest, DegradeNeverTightensIntervals) {
+  const auto queries = ProbeQueries();
+  const uint64_t call_seed = testutil::TestSeed(9104);
+
+  std::vector<double> before;
+  for (const RangeQuery& q : queries) {
+    auto r = EstimateSeeded(*synopsis_, q, call_seed);
+    ASSERT_TRUE(r.ok()) << r.status();
+    before.push_back(r->half_width);
+  }
+
+  Rng degrade_rng = testutil::MakeTestRng(9105);
+  ASSERT_TRUE(synopsis_->Degrade(0.5, degrade_rng).ok());
+  EXPECT_GE(synopsis_->ci_inflation(), 2.0 * (1 - 1e-12));
+  EXPECT_FALSE(synopsis_->engine_aligned());
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = EstimateSeeded(*synopsis_, queries[i], call_seed);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_GE(r->half_width, before[i] * (1 - 1e-12))
+        << "query#" << i << " tightened after Degrade";
+  }
+
+  // A second degrade compounds the inflation.
+  ASSERT_TRUE(synopsis_->Degrade(0.5, degrade_rng).ok());
+  EXPECT_GE(synopsis_->ci_inflation(), 4.0 * (1 - 1e-12));
+
+  auto bad = synopsis_->Degrade(0.0, degrade_rng);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+}
+
+// ---- Persistence ------------------------------------------------------------
+
+TEST_P(SynopsisPropertyTest, SerializationRoundTripIsByteStable) {
+  std::string bytes;
+  ASSERT_TRUE(synopsis_->SerializeTo(&bytes).ok());
+  ASSERT_FALSE(bytes.empty());
+
+  auto restored =
+      std::move(synopsis::CreateSynopsis(GetParam(), MakeOptions(1))).value();
+  ASSERT_TRUE(restored->DeserializeFrom(bytes).ok());
+  EXPECT_TRUE(restored->built());
+  EXPECT_FALSE(restored->engine_aligned());
+
+  std::string again;
+  ASSERT_TRUE(restored->SerializeTo(&again).ok());
+  EXPECT_EQ(bytes, again) << "restore + re-serialize is not byte-stable";
+
+  uint64_t call_seed = testutil::TestSeed(9106);
+  for (const RangeQuery& q : ProbeQueries()) {
+    auto a = EstimateSeeded(*synopsis_, q, call_seed);
+    auto b = EstimateSeeded(*restored, q, call_seed);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->estimate, b->estimate);
+    EXPECT_EQ(a->half_width, b->half_width);
+  }
+
+  // Garbage rejects cleanly.
+  auto fresh =
+      std::move(synopsis::CreateSynopsis(GetParam(), MakeOptions(1))).value();
+  EXPECT_FALSE(fresh->DeserializeFrom("not a synopsis").ok());
+  EXPECT_FALSE(fresh->built());
+}
+
+// ---- Maintenance ------------------------------------------------------------
+
+TEST_P(SynopsisPropertyTest, AbsorbTracksPopulationLikeRebuild) {
+  // An all-matching COUNT is answered exactly by every kind (zero sample
+  // variance), so it pins the absorbed population: after absorbing a batch
+  // the count must equal base + batch rows — exactly what a rebuild over the
+  // concatenation reports.
+  RangeQuery count_all;
+  count_all.func = AggregateFunction::kCount;
+  count_all.agg_column = 2;
+  count_all.predicate.Add({0, 1, 100});
+
+  const uint64_t call_seed = testutil::TestSeed(9107);
+  auto before = EstimateSeeded(*synopsis_, count_all, call_seed);
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_NEAR(before->estimate, 2500.0, 1e-6);
+
+  auto batch = MakeSynthetic({.rows = 500,
+                              .dom1 = 100,
+                              .dom2 = 50,
+                              .correlated = false,
+                              .seed = testutil::TestSeed(9108)});
+  Status absorbed = synopsis_->Absorb(*batch);
+  ASSERT_TRUE(absorbed.ok()) << absorbed;
+  EXPECT_FALSE(synopsis_->engine_aligned());
+
+  auto after = EstimateSeeded(*synopsis_, count_all, call_seed);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_NEAR(after->estimate, 3000.0, 1e-6);
+
+  // Schema drift is rejected before any mutation.
+  Schema other({{"x", DataType::kInt64}});
+  Table wrong(other);
+  EXPECT_FALSE(synopsis_->Absorb(wrong).ok());
+  auto still = EstimateSeeded(*synopsis_, count_all, call_seed);
+  ASSERT_TRUE(still.ok());
+  EXPECT_EQ(after->estimate, still->estimate);
+}
+
+TEST_P(SynopsisPropertyTest, TornAbsorbLeavesNoPartialState) {
+  if (!fail::kCompiledIn) {
+    GTEST_SKIP() << "failpoints compiled out (AQPP_ENABLE_FAILPOINTS=OFF)";
+  }
+  const auto queries = ProbeQueries();
+  const uint64_t call_seed = testutil::TestSeed(9109);
+
+  std::string bytes_before;
+  ASSERT_TRUE(synopsis_->SerializeTo(&bytes_before).ok());
+  std::vector<ConfidenceInterval> estimates_before;
+  for (const RangeQuery& q : queries) {
+    auto r = EstimateSeeded(*synopsis_, q, call_seed);
+    ASSERT_TRUE(r.ok()) << r.status();
+    estimates_before.push_back(*r);
+  }
+
+  fail::Registry::Global().Enable(
+      "synopsis/absorb", fail::Trigger::Always(),
+      {.kind = fail::ActionKind::kReturnError,
+       .code = StatusCode::kIOError,
+       .message = "injected absorb fault"});
+  auto batch = MakeSynthetic({.rows = 400,
+                              .dom1 = 100,
+                              .dom2 = 50,
+                              .correlated = false,
+                              .seed = testutil::TestSeed(9110)});
+  Status torn = synopsis_->Absorb(*batch);
+  fail::Registry::Global().DisableAll();
+  ASSERT_FALSE(torn.ok());
+  EXPECT_NE(torn.message().find("injected absorb fault"), std::string::npos);
+
+  // Stage-validate-commit: the failed absorb left the synopsis byte-for-byte
+  // as it was, and every estimate is bit-identical.
+  std::string bytes_after;
+  ASSERT_TRUE(synopsis_->SerializeTo(&bytes_after).ok());
+  EXPECT_EQ(bytes_before, bytes_after)
+      << "torn absorb committed partial state";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto r = EstimateSeeded(*synopsis_, queries[i], call_seed);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(estimates_before[i].estimate, r->estimate) << "query#" << i;
+    EXPECT_EQ(estimates_before[i].half_width, r->half_width) << "query#" << i;
+  }
+
+  // The same batch absorbs cleanly once the fault clears.
+  ASSERT_TRUE(synopsis_->Absorb(*batch).ok());
+}
+
+TEST(SynopsisMaintainerTest, ObserverFiresOnSuccessNotOnFailure) {
+  auto table = MakeSynthetic({.rows = 1000, .seed = testutil::TestSeed(9111)});
+  auto syn = BuildSynopsis("reservoir", *table, testutil::TestSeed(9112));
+  ASSERT_NE(syn, nullptr);
+
+  synopsis::SynopsisMaintainer maintainer(syn.get());
+  int notified = 0;
+  maintainer.set_update_observer([&notified] { ++notified; });
+
+  auto batch = MakeSynthetic({.rows = 200, .seed = testutil::TestSeed(9113)});
+  ASSERT_TRUE(maintainer.Absorb(*batch).ok());
+  EXPECT_EQ(notified, 1);
+
+  Schema other({{"x", DataType::kInt64}});
+  Table wrong(other);
+  EXPECT_FALSE(maintainer.Absorb(wrong).ok());
+  EXPECT_EQ(notified, 1) << "observer fired for a failed absorb";
+}
+
+// ---- Sample adoption gates --------------------------------------------------
+
+TEST(SynopsisAdoptionTest, ReservoirAdoptsUniformSamplesOnly) {
+  auto table = MakeSynthetic({.rows = 2000, .seed = testutil::TestSeed(9114)});
+  EngineOptions opts;
+  opts.sample_rate = 0.1;
+  opts.enable_precompute = false;
+  opts.seed = testutil::TestSeed(9115);
+  auto engine = std::move(AqppEngine::Create(table, opts)).value();
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 2;
+  tmpl.condition_columns = {0};
+  ASSERT_TRUE(engine->Prepare(tmpl).ok());
+
+  // The reservoir kinds deep-copy a uniform engine sample and become
+  // engine-aligned; the stratified kind declines it (method mismatch).
+  auto reservoir = std::move(synopsis::CreateSynopsis(
+                                 "reservoir", MakeOptions(1)))
+                       .value();
+  ASSERT_TRUE(reservoir->BuildFromSample(engine->sample()).ok());
+  EXPECT_TRUE(reservoir->built());
+  EXPECT_TRUE(reservoir->engine_aligned());
+
+  auto stratified = std::move(synopsis::CreateSynopsis(
+                                  "stratified", MakeOptions(1)))
+                        .value();
+  Status declined = stratified->BuildFromSample(engine->sample());
+  EXPECT_EQ(declined.code(), StatusCode::kUnimplemented);
+  EXPECT_FALSE(stratified->built());
+}
+
+// ---- Engine bit-parity (the refactor's acceptance criterion) ----------------
+
+TEST(SynopsisEngineParityTest, ReservoirSynopsisReproducesLegacyEngineBits) {
+  // With EngineOptions::synopsis unset the engine runs the legacy estimator;
+  // with "reservoir" it routes through the synopsis layer, which adopted the
+  // engine's own sample. Same seeds => the same RNG draws in the same order
+  // => bit-identical answers, including the AQP++ difference path.
+  auto table = MakeSynthetic({.rows = 2500,
+                              .dom1 = 100,
+                              .dom2 = 50,
+                              .correlated = true,
+                              .seed = testutil::TestSeed(9116)});
+  QueryTemplate tmpl;
+  tmpl.func = AggregateFunction::kSum;
+  tmpl.agg_column = 2;
+  tmpl.condition_columns = {0, 1};
+
+  EngineOptions legacy_opts;
+  legacy_opts.sample_rate = 0.1;
+  legacy_opts.cube_budget = 512;
+  legacy_opts.confidence_level = 0.95;
+  legacy_opts.seed = testutil::TestSeed(9117);
+  auto legacy = std::move(AqppEngine::Create(table, legacy_opts)).value();
+  ASSERT_TRUE(legacy->Prepare(tmpl).ok());
+
+  EngineOptions syn_opts = legacy_opts;
+  syn_opts.synopsis = "reservoir";
+  auto routed = std::move(AqppEngine::Create(table, syn_opts)).value();
+  ASSERT_TRUE(routed->Prepare(tmpl).ok());
+  ASSERT_NE(routed->active_synopsis(), nullptr);
+  EXPECT_STREQ(routed->active_synopsis()->kind(), "reservoir");
+
+  // A third engine switches the synopsis on after the fact — SetSynopsis on
+  // a prepared legacy engine must land in the same place.
+  auto switched = std::move(AqppEngine::Create(table, legacy_opts)).value();
+  ASSERT_TRUE(switched->Prepare(tmpl).ok());
+  ASSERT_TRUE(switched->SetSynopsis("reservoir").ok());
+
+  Rng seeder = testutil::MakeTestRng(9118);
+  int compared = 0;
+  for (const RangeQuery& base : ProbeQueries()) {
+    for (int rep = 0; rep < 3; ++rep) {
+      RangeQuery q = base;
+      ExecuteControl control;
+      control.seed = seeder.Next();
+      control.record = false;
+      auto want = legacy->Execute(q, control);
+      auto got = routed->Execute(q, control);
+      auto alt = switched->Execute(q, control);
+      ASSERT_TRUE(want.ok()) << want.status();
+      ASSERT_TRUE(got.ok()) << got.status();
+      ASSERT_TRUE(alt.ok()) << alt.status();
+      EXPECT_EQ(want->ci.estimate, got->ci.estimate)
+          << AggregateFunctionToString(q.func) << " rep=" << rep;
+      EXPECT_EQ(want->ci.half_width, got->ci.half_width)
+          << AggregateFunctionToString(q.func) << " rep=" << rep;
+      EXPECT_EQ(want->used_pre, got->used_pre);
+      EXPECT_EQ(want->pre_description, got->pre_description);
+      EXPECT_EQ(want->ci.estimate, alt->ci.estimate);
+      EXPECT_EQ(want->ci.half_width, alt->ci.half_width);
+      EXPECT_EQ(want->used_pre, alt->used_pre);
+      ++compared;
+    }
+  }
+  ASSERT_GE(compared, 18);
+
+  // SET SYNOPSIS off restores the legacy path bit-for-bit.
+  ASSERT_TRUE(switched->SetSynopsis("").ok());
+  EXPECT_EQ(switched->active_synopsis(), nullptr);
+  ExecuteControl control;
+  control.seed = testutil::TestSeed(9119);
+  control.record = false;
+  RangeQuery q = ProbeQueries()[0];
+  auto want = legacy->Execute(q, control);
+  auto got = switched->Execute(q, control);
+  ASSERT_TRUE(want.ok() && got.ok());
+  EXPECT_EQ(want->ci.estimate, got->ci.estimate);
+  EXPECT_EQ(want->ci.half_width, got->ci.half_width);
+
+  EXPECT_EQ(switched->SetSynopsis("no_such_kind").code(),
+            StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SynopsisPropertyTest,
+    ::testing::ValuesIn(synopsis::RegisteredSynopses()), KindName);
+
+}  // namespace
+}  // namespace aqpp
