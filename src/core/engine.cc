@@ -555,6 +555,35 @@ Status AqppEngine::AdoptPrepared(const QueryTemplate& tmpl, Sample sample,
   return RefreshSynopsis();
 }
 
+Status AqppEngine::PublishMaintained(Sample sample,
+                                     std::shared_ptr<PrefixCube> cube) {
+  if (sample.rows == nullptr || sample.size() == 0) {
+    return Status::InvalidArgument("cannot publish an empty sample");
+  }
+  if (sample.rows->schema().ToString() != table_->schema().ToString()) {
+    return Status::InvalidArgument(
+        "published sample schema does not match the engine's table");
+  }
+  sample_ = std::move(sample);
+  has_sample_ = true;
+  measure_cache_ = std::make_unique<MeasureCache>(sample_.rows.get());
+  prepare_stats_.sample_bytes = sample_.MemoryUsage();
+
+  if (cube != nullptr) {
+    cube_ = std::move(cube);
+    prepare_stats_.cube_bytes = cube_->MemoryUsage();
+    prepare_stats_.cube_cells = cube_->NumCells();
+    IdentificationOptions iopts = options_.identification;
+    iopts.confidence_level = options_.confidence_level;
+    identifier_ = std::make_unique<AggregateIdentifier>(cube_.get(), &sample_,
+                                                        iopts, rng_);
+  } else {
+    cube_.reset();
+    identifier_.reset();
+  }
+  return Status::OK();
+}
+
 Result<std::string> AqppEngine::Explain(const RangeQuery& query) {
   AQPP_RETURN_NOT_OK(EnsureSample());
   std::string out = "query: " + query.ToString(table_->schema()) + "\n";

@@ -189,6 +189,29 @@ class AqppEngine {
   Status AdoptPrepared(const QueryTemplate& tmpl, Sample sample,
                        std::shared_ptr<PrefixCube> cube);
 
+  // Publishes maintained state (the streaming-ingest absorber's commit): the
+  // absorbed sample and cube replace the current ones, the measure cache and
+  // identifier are rebuilt, and the prepared template is kept. Unlike
+  // AdoptPrepared this never rebuilds the synopsis — the absorber publishes
+  // its own absorbed clone via AdoptSynopsis. NOT internally synchronized:
+  // the caller serializes against concurrent Execute (IngestManager holds
+  // its state mutex exclusively here while queries hold it shared).
+  // Validation happens before any member is assigned, so a failed publish
+  // leaves the engine untouched.
+  Status PublishMaintained(Sample sample, std::shared_ptr<PrefixCube> cube);
+
+  // Swaps the live synopsis pointer (thread-safe, never rebuilds). The
+  // ingest absorber publishes its absorbed clone through this.
+  void AdoptSynopsis(std::shared_ptr<synopsis::Synopsis> s) {
+    std::lock_guard<std::mutex> lock(synopsis_mu_);
+    synopsis_ = std::move(s);
+  }
+
+  // Shared handles for maintenance (CubeMaintainer wants shared ownership;
+  // the ingest absorber clones through these).
+  std::shared_ptr<PrefixCube> shared_cube() const { return cube_; }
+  std::shared_ptr<Table> shared_table() const { return table_; }
+
   // Selects the synopsis that answers scalar estimates: builds a registered
   // kind over the engine's state ("" or "off" restores the legacy path).
   // Sample-backed kinds adopt the engine's sample (a deep copy — the

@@ -250,6 +250,10 @@ double PrefixCube::BoxValue(const PreAggregate& pre, size_t m) const {
   return total;
 }
 
+std::shared_ptr<PrefixCube> PrefixCube::Clone() const {
+  return std::shared_ptr<PrefixCube>(new PrefixCube(*this));
+}
+
 Status PrefixCube::MergeFrom(const PrefixCube& other) {
   if (other.scheme_.num_dims() != scheme_.num_dims() ||
       other.planes_.size() != planes_.size()) {

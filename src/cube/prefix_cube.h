@@ -90,6 +90,11 @@ class PrefixCube {
   // idx_i in [0, num_cuts_i]; any idx_i == 0 yields 0.
   double PrefixValue(const std::vector<size_t>& idx, size_t m = 0) const;
 
+  // Deep copy (scheme + measures + planes). The streaming-ingest absorber
+  // clones the live cube, absorbs a delta batch into the clone, and swaps it
+  // in atomically — readers of the original never observe the merge.
+  std::shared_ptr<PrefixCube> Clone() const;
+
   // Adds `other`'s planes cell-wise. Because prefix summation is linear,
   // merging the cube of an appended batch yields exactly the cube of the
   // combined data — the basis of incremental maintenance (Appendix C).

@@ -15,6 +15,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "service/ingest_wire.h"
 
 namespace aqpp {
 
@@ -51,6 +52,17 @@ Result<QueryReply> ParseQueryReply(const Response& r) {
   reply.used_pre = r.Find("pre").value_or("0") == "1";
   if (auto q = r.Find("queue_ms")) reply.queue_ms = std::atof(q->c_str());
   if (auto e = r.Find("exec_ms")) reply.exec_ms = std::atof(e->c_str());
+  if (auto g = r.Find("generation")) {
+    reply.generation = std::strtoull(g->c_str(), nullptr, 10);
+  }
+  if (auto d = r.Find("delta_rows")) {
+    reply.delta_rows = std::strtoull(d->c_str(), nullptr, 10);
+  }
+  reply.folded = r.Find("folded").value_or("0") == "1";
+  reply.online = r.Find("online").value_or("0") == "1";
+  if (auto n = r.Find("rounds")) {
+    reply.rounds = std::strtoull(n->c_str(), nullptr, 10);
+  }
   return reply;
 }
 
@@ -131,7 +143,7 @@ Result<std::string> ServiceClient::ReadLine() {
   }
 }
 
-Result<Response> ServiceClient::Call(const std::string& request_line) {
+Status ServiceClient::SendLine(const std::string& request_line) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
   std::string line = request_line;
   line += '\n';
@@ -145,6 +157,11 @@ Result<Response> ServiceClient::Call(const std::string& request_line) {
     }
     sent += static_cast<size_t>(n);
   }
+  return Status::OK();
+}
+
+Result<Response> ServiceClient::Call(const std::string& request_line) {
+  AQPP_RETURN_NOT_OK(SendLine(request_line));
   AQPP_ASSIGN_OR_RETURN(std::string reply, ReadLine());
   return ParseResponse(reply);
 }
@@ -199,6 +216,61 @@ Result<QueryReply> ServiceClient::Query(const std::string& sql) {
   AQPP_ASSIGN_OR_RETURN(Response r, Call("QUERY " + sql));
   if (!r.ok) return StatusFromWire(r);
   return ParseQueryReply(r);
+}
+
+Status ServiceClient::SetMode(const std::string& mode) {
+  AQPP_ASSIGN_OR_RETURN(Response r, Call("SET MODE " + mode));
+  if (!r.ok) return StatusFromWire(r);
+  return Status::OK();
+}
+
+Result<QueryReply> ServiceClient::QueryOnline(
+    const std::string& sql,
+    const std::function<bool(const ProgressLine&)>& on_progress) {
+  AQPP_RETURN_NOT_OK(SendLine("QUERY " + sql));
+  bool cancel_sent = false;
+  for (;;) {
+    AQPP_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    if (line.rfind("PROGRESS", 0) == 0) {
+      AQPP_ASSIGN_OR_RETURN(ProgressLine p, ParseProgressLine(line));
+      if (on_progress && !on_progress(p) && !cancel_sent) {
+        AQPP_RETURN_NOT_OK(SendLine("CANCEL"));
+        cancel_sent = true;
+      }
+      continue;
+    }
+    AQPP_ASSIGN_OR_RETURN(Response r, ParseResponse(line));
+    if (!r.ok) return StatusFromWire(r);
+    bool cancelled = r.Find("cancelled").value_or("0") == "1";
+    if (cancel_sent && !cancelled) {
+      // The final line beat our CANCEL to the server; the stray verb gets
+      // its own "OK cancelled=0" reply — consume it to stay in sync.
+      AQPP_ASSIGN_OR_RETURN(std::string stray, ReadLine());
+      (void)stray;
+    }
+    if (cancelled) {
+      QueryReply reply;
+      reply.online = true;
+      reply.cancelled = true;
+      if (auto n = r.Find("rounds")) {
+        reply.rounds = std::strtoull(n->c_str(), nullptr, 10);
+      }
+      return reply;
+    }
+    return ParseQueryReply(r);
+  }
+}
+
+Result<IngestReply> ServiceClient::Ingest(const Table& batch) {
+  AQPP_ASSIGN_OR_RETURN(std::string payload, EncodeIngestBatch(batch));
+  AQPP_ASSIGN_OR_RETURN(Response r, Call("INGEST " + payload));
+  if (!r.ok) return StatusFromWire(r);
+  IngestReply reply;
+  AQPP_ASSIGN_OR_RETURN(reply.appended, r.GetUint("appended"));
+  AQPP_ASSIGN_OR_RETURN(reply.generation, r.GetUint("generation"));
+  AQPP_ASSIGN_OR_RETURN(reply.delta_rows, r.GetUint("delta_rows"));
+  AQPP_ASSIGN_OR_RETURN(reply.total_rows, r.GetUint("total_rows"));
+  return reply;
 }
 
 Result<QueryReply> ServiceClient::QueryWithRetry(const std::string& sql,

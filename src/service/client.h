@@ -18,6 +18,7 @@
 
 #include "common/status.h"
 #include "service/protocol.h"
+#include "storage/table.h"
 
 namespace aqpp {
 
@@ -68,6 +69,26 @@ struct QueryReply {
   bool used_pre = false;
   double queue_ms = 0;
   double exec_ms = 0;
+  // Streaming-ingest servers only: the committed ingest generation and delta
+  // size the answer reflects, and whether the delta was folded exactly.
+  uint64_t generation = 0;
+  uint64_t delta_rows = 0;
+  bool folded = false;
+  // Online-mode answers: rounds streamed before the final line; cancelled
+  // means the stream was abandoned mid-flight and the estimate fields are
+  // not populated.
+  bool online = false;
+  uint64_t rounds = 0;
+  bool cancelled = false;
+};
+
+// INGEST acknowledgment: the batch is committed (visible to the next query)
+// when this returns OK.
+struct IngestReply {
+  uint64_t appended = 0;
+  uint64_t generation = 0;
+  uint64_t delta_rows = 0;
+  uint64_t total_rows = 0;
 };
 
 class ServiceClient {
@@ -101,6 +122,22 @@ class ServiceClient {
   // QUERY <sql>; server-side errors come back as the matching Status code.
   Result<QueryReply> Query(const std::string& sql);
 
+  // SET MODE online|oneshot for this connection.
+  Status SetMode(const std::string& mode);
+
+  // Online-mode QUERY: `on_progress` is invoked for every PROGRESS line in
+  // stream order; returning false sends CANCEL and abandons the stream (the
+  // reply then has cancelled=true and no estimate). The connection must be
+  // in online mode (SetMode("online")); in oneshot mode this degrades to a
+  // plain Query with zero rounds.
+  Result<QueryReply> QueryOnline(
+      const std::string& sql,
+      const std::function<bool(const ProgressLine&)>& on_progress);
+
+  // INGEST: encodes `batch` with the service wire codec and appends it.
+  // All-or-nothing: an error reply means no row of the batch was committed.
+  Result<IngestReply> Ingest(const Table& batch);
+
   // Query(), but on ResourceExhausted sleeps (server hint, else exponential
   // backoff; capped, jittered) and resubmits under `policy`'s bounds.
   // Exhausting the attempt budget or the total deadline while the server
@@ -127,6 +164,7 @@ class ServiceClient {
 
  private:
   Result<std::string> ReadLine();
+  Status SendLine(const std::string& line);
 
   int fd_ = -1;
   std::string buffer_;

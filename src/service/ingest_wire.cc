@@ -1,0 +1,267 @@
+#include "service/ingest_wire.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace aqpp {
+
+namespace {
+
+bool NeedsEscape(unsigned char c) {
+  return c < 0x21 || c > 0x7e || c == ',' || c == ';' || c == '%';
+}
+
+void AppendEscaped(std::string* out, const std::string& value) {
+  static const char* kHex = "0123456789ABCDEF";
+  for (unsigned char c : value) {
+    if (NeedsEscape(c)) {
+      out->push_back('%');
+      out->push_back(kHex[c >> 4]);
+      out->push_back(kHex[c & 0xf]);
+    } else {
+      out->push_back(static_cast<char>(c));
+    }
+  }
+}
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Result<std::string> Unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c != '%') {
+      out.push_back(c);
+      continue;
+    }
+    if (i + 2 >= text.size()) {
+      return Status::InvalidArgument("truncated %XX escape");
+    }
+    int hi = HexDigit(text[i + 1]);
+    int lo = HexDigit(text[i + 2]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("malformed %XX escape");
+    }
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+Result<double> ParseWireDouble(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty double field");
+  std::string buf(text);
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end != begin + buf.size()) {
+    return Status::InvalidArgument("malformed double '" + buf + "'");
+  }
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("non-finite double '" + buf + "'");
+  }
+  return v;
+}
+
+Result<int64_t> ParseWireInt64(std::string_view text) {
+  if (text.empty()) return Status::InvalidArgument("empty int64 field");
+  std::string buf(text);
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  errno = 0;
+  long long v = std::strtoll(begin, &end, 10);
+  if (end != begin + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("malformed int64 '" + buf + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+Result<uint64_t> ParseWireUint(std::string_view text) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') {
+    return Status::InvalidArgument("malformed unsigned '" + std::string(text) +
+                                   "'");
+  }
+  std::string buf(text);
+  const char* begin = buf.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(begin, &end, 10);
+  if (end != begin + buf.size() || errno == ERANGE) {
+    return Status::InvalidArgument("malformed unsigned '" + buf + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+Result<std::string> EncodeIngestBatch(const Table& batch) {
+  if (batch.num_rows() == 0) {
+    return Status::InvalidArgument("cannot encode an empty batch");
+  }
+  if (batch.num_rows() > kMaxIngestWireRows) {
+    return Status::InvalidArgument(
+        StrFormat("batch of %zu rows exceeds the wire bound %zu",
+                  batch.num_rows(), kMaxIngestWireRows));
+  }
+  std::string out = StrFormat(
+      "rows=%zu cols=%zu data=", batch.num_rows(), batch.num_columns());
+  for (size_t r = 0; r < batch.num_rows(); ++r) {
+    if (r > 0) out.push_back(';');
+    for (size_t c = 0; c < batch.num_columns(); ++c) {
+      if (c > 0) out.push_back(',');
+      const Column& col = batch.column(c);
+      switch (col.type()) {
+        case DataType::kDouble: {
+          double v = col.GetDouble(r);
+          if (!std::isfinite(v)) {
+            return Status::InvalidArgument(
+                "non-finite double in column '" +
+                batch.schema().column(c).name + "'");
+          }
+          out += StrFormat("%.17g", v);
+          break;
+        }
+        case DataType::kInt64:
+          out += StrFormat("%lld", static_cast<long long>(col.GetInt64(r)));
+          break;
+        case DataType::kString:
+          AppendEscaped(&out, col.GetString(r));
+          break;
+      }
+    }
+    if (out.size() > kMaxIngestWireBytes) {
+      return Status::InvalidArgument("encoded batch exceeds the wire bound");
+    }
+  }
+  return out;
+}
+
+Result<std::shared_ptr<Table>> DecodeIngestBatch(const std::string& args,
+                                                 const Table& reference) {
+  if (args.size() > kMaxIngestWireBytes) {
+    return Status::InvalidArgument("INGEST payload exceeds the wire bound");
+  }
+  std::string_view s = TrimWhitespace(args);
+  if (s.rfind("rows=", 0) != 0) {
+    return Status::InvalidArgument("INGEST wants 'rows=<n> cols=<m> data=...'");
+  }
+  size_t sp1 = s.find(' ');
+  if (sp1 == std::string_view::npos) {
+    return Status::InvalidArgument("INGEST is missing the cols= field");
+  }
+  AQPP_ASSIGN_OR_RETURN(uint64_t rows, ParseWireUint(s.substr(5, sp1 - 5)));
+  std::string_view after = TrimWhitespace(s.substr(sp1 + 1));
+  if (after.rfind("cols=", 0) != 0) {
+    return Status::InvalidArgument("INGEST is missing the cols= field");
+  }
+  size_t sp2 = after.find(' ');
+  if (sp2 == std::string_view::npos) {
+    return Status::InvalidArgument("INGEST is missing the data= field");
+  }
+  AQPP_ASSIGN_OR_RETURN(uint64_t cols, ParseWireUint(after.substr(5, sp2 - 5)));
+  std::string_view data = after.substr(sp2 + 1);
+  if (data.rfind("data=", 0) != 0) {
+    return Status::InvalidArgument("INGEST is missing the data= field");
+  }
+  data = data.substr(5);
+
+  if (rows == 0) return Status::InvalidArgument("INGEST batch has no rows");
+  if (rows > kMaxIngestWireRows) {
+    return Status::InvalidArgument(
+        StrFormat("INGEST batch of %llu rows exceeds the wire bound %zu",
+                  static_cast<unsigned long long>(rows), kMaxIngestWireRows));
+  }
+  if (cols != reference.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "INGEST batch has %llu columns; the table has %zu",
+        static_cast<unsigned long long>(cols), reference.num_columns()));
+  }
+
+  auto batch = std::make_shared<Table>(reference.schema());
+  for (size_t c = 0; c < reference.num_columns(); ++c) {
+    if (reference.column(c).type() == DataType::kString) {
+      batch->mutable_column(c).SetDictionary(
+          reference.column(c).dictionary());
+    }
+  }
+  batch->Reserve(rows);
+
+  size_t row = 0;
+  size_t pos = 0;
+  while (true) {
+    size_t row_end = data.find(';', pos);
+    std::string_view row_text = data.substr(
+        pos, row_end == std::string_view::npos ? std::string_view::npos
+                                               : row_end - pos);
+    if (row >= rows) {
+      return Status::InvalidArgument("INGEST payload has more rows than rows=");
+    }
+    // Split the row into exactly `cols` fields.
+    size_t fpos = 0;
+    for (size_t c = 0; c < cols; ++c) {
+      size_t fend = row_text.find(',', fpos);
+      bool last = c + 1 == cols;
+      if (last && fend != std::string_view::npos) {
+        return Status::InvalidArgument(StrFormat(
+            "row %zu has more than %llu fields", row,
+            static_cast<unsigned long long>(cols)));
+      }
+      if (!last && fend == std::string_view::npos) {
+        return Status::InvalidArgument(StrFormat(
+            "row %zu is truncated at field %zu", row, c));
+      }
+      std::string_view field = row_text.substr(
+          fpos, fend == std::string_view::npos ? std::string_view::npos
+                                               : fend - fpos);
+      Column& col = batch->mutable_column(c);
+      switch (col.type()) {
+        case DataType::kDouble: {
+          AQPP_ASSIGN_OR_RETURN(double v, ParseWireDouble(field));
+          col.MutableDoubleData().push_back(v);
+          break;
+        }
+        case DataType::kInt64: {
+          AQPP_ASSIGN_OR_RETURN(int64_t v, ParseWireInt64(field));
+          col.MutableInt64Data().push_back(v);
+          break;
+        }
+        case DataType::kString: {
+          AQPP_ASSIGN_OR_RETURN(std::string value, Unescape(field));
+          auto code = col.LookupDictionary(value);
+          if (!code.ok()) {
+            return Status::InvalidArgument(
+                "unknown dictionary value '" + value + "' in column '" +
+                reference.schema().column(c).name + "'");
+          }
+          col.MutableInt64Data().push_back(*code);
+          break;
+        }
+      }
+      if (fend == std::string_view::npos) break;
+      fpos = fend + 1;
+    }
+    ++row;
+    if (row_end == std::string_view::npos) break;
+    pos = row_end + 1;
+  }
+  if (row != rows) {
+    return Status::InvalidArgument(StrFormat(
+        "INGEST payload has %zu rows; header says %llu", row,
+        static_cast<unsigned long long>(rows)));
+  }
+  batch->SetRowCountFromColumns();
+  return batch;
+}
+
+}  // namespace aqpp

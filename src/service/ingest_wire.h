@@ -1,0 +1,48 @@
+// Text codec for INGEST row batches, riding the one-line protocol.
+//
+//   INGEST rows=<n> cols=<m> data=<payload>
+//
+// The payload encodes `n` rows separated by ';', each row `m` fields
+// separated by ','. Doubles are %.17g (exact binary64 round-trip, non-finite
+// rejected on both ends), int64s are decimal, and string values are
+// percent-escaped (every byte outside [0x21..0x7e] minus {',', ';', '%'} is
+// emitted as %XX), so the payload never contains a space and the line framing
+// of the protocol survives arbitrary values.
+//
+// Decoding is schema-directed: the caller supplies the table whose schema and
+// dictionaries the batch must match, and the decoder builds a batch table
+// whose string columns carry copies of that table's dictionaries (unknown
+// values are an error — the ingest contract; see docs/ingest.md). Malformed
+// payloads (wrong row/field counts, bad escapes, non-finite or non-numeric
+// values, truncation) are InvalidArgument, never a crash — the decoder is a
+// fuzz target (tests/fuzz_test.cc).
+
+#ifndef AQPP_SERVICE_INGEST_WIRE_H_
+#define AQPP_SERVICE_INGEST_WIRE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace aqpp {
+
+// Hard bound on an encoded payload the decoder will touch (guards the server
+// against hostile rows=/cols= headers before any allocation).
+inline constexpr size_t kMaxIngestWireBytes = 8u << 20;
+inline constexpr size_t kMaxIngestWireRows = 1u << 16;
+
+// Encodes `batch` as the INGEST argument text ("rows=... cols=... data=...",
+// no verb, no newline). Errors on empty batches, non-finite doubles, and
+// batches over the wire bounds.
+Result<std::string> EncodeIngestBatch(const Table& batch);
+
+// Decodes an INGEST argument into a batch table matching `reference`'s
+// schema, string columns coded against copies of `reference`'s dictionaries.
+Result<std::shared_ptr<Table>> DecodeIngestBatch(const std::string& args,
+                                                 const Table& reference);
+
+}  // namespace aqpp
+
+#endif  // AQPP_SERVICE_INGEST_WIRE_H_

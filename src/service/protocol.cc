@@ -1,5 +1,7 @@
 #include "service/protocol.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/string_util.h"
@@ -66,6 +68,18 @@ Result<Request> ParseRequest(const std::string& line) {
     req.args = std::string(rest);
     return req;
   }
+  if (verb == "ingest") {
+    req.type = RequestType::kIngest;
+    if (rest.empty()) {
+      return Status::InvalidArgument("INGEST wants an encoded batch");
+    }
+    req.args = std::string(rest);
+    return req;
+  }
+  if (verb == "cancel") {
+    req.type = RequestType::kCancel;
+    return req;
+  }
   return Status::InvalidArgument("unknown verb '" + verb + "'");
 }
 
@@ -129,6 +143,115 @@ std::string FormatResponse(const Response& response) {
     out += msg;
   }
   return out;
+}
+
+std::string FormatProgressLine(const ProgressLine& p) {
+  std::string out = "PROGRESS";
+  out += " round=" + StrFormat("%llu", static_cast<unsigned long long>(p.round));
+  out += " rows_used=" +
+         StrFormat("%llu", static_cast<unsigned long long>(p.rows_used));
+  out += " estimate=" + FormatDoubleExact(p.estimate);
+  out += " lo=" + FormatDoubleExact(p.lo);
+  out += " hi=" + FormatDoubleExact(p.hi);
+  out += " half_width=" + FormatDoubleExact(p.half_width);
+  out += " level=" + FormatDoubleExact(p.level);
+  return out;
+}
+
+namespace {
+
+Status ParseFiniteDouble(const std::string& text, double* out) {
+  if (text.empty()) return Status::InvalidArgument("empty numeric value");
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  double v = std::strtod(begin, &end);
+  if (end != begin + text.size()) {
+    return Status::InvalidArgument("trailing garbage in number '" + text + "'");
+  }
+  if (!std::isfinite(v)) {
+    return Status::InvalidArgument("non-finite value '" + text + "'");
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseUint(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') {
+    return Status::InvalidArgument("malformed unsigned '" + text + "'");
+  }
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(begin, &end, 10);
+  if (end != begin + text.size() || errno == ERANGE) {
+    return Status::InvalidArgument("malformed unsigned '" + text + "'");
+  }
+  *out = static_cast<uint64_t>(v);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ProgressLine> ParseProgressLine(const std::string& line) {
+  std::string_view s = TrimWhitespace(line);
+  size_t space = s.find(' ');
+  if (s.substr(0, space) != "PROGRESS") {
+    return Status::InvalidArgument("progress line must start with PROGRESS");
+  }
+  ProgressLine p;
+  uint32_t seen = 0;  // bitmask over the 7 required fields
+  std::string_view rest =
+      space == std::string_view::npos ? std::string_view() : s.substr(space + 1);
+  while (!rest.empty()) {
+    rest = TrimWhitespace(rest);
+    if (rest.empty()) break;
+    size_t end = rest.find(' ');
+    std::string_view field = rest.substr(0, end);
+    size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("malformed field '" + std::string(field) +
+                                     "'");
+    }
+    std::string key(field.substr(0, eq));
+    std::string value(field.substr(eq + 1));
+    int bit = -1;
+    Status st = Status::OK();
+    if (key == "round") {
+      bit = 0;
+      st = ParseUint(value, &p.round);
+    } else if (key == "rows_used") {
+      bit = 1;
+      st = ParseUint(value, &p.rows_used);
+    } else if (key == "estimate") {
+      bit = 2;
+      st = ParseFiniteDouble(value, &p.estimate);
+    } else if (key == "lo") {
+      bit = 3;
+      st = ParseFiniteDouble(value, &p.lo);
+    } else if (key == "hi") {
+      bit = 4;
+      st = ParseFiniteDouble(value, &p.hi);
+    } else if (key == "half_width") {
+      bit = 5;
+      st = ParseFiniteDouble(value, &p.half_width);
+    } else if (key == "level") {
+      bit = 6;
+      st = ParseFiniteDouble(value, &p.level);
+    } else {
+      return Status::InvalidArgument("unknown progress field '" + key + "'");
+    }
+    AQPP_RETURN_NOT_OK(st);
+    if (seen & (1u << bit)) {
+      return Status::InvalidArgument("duplicate progress field '" + key + "'");
+    }
+    seen |= 1u << bit;
+    if (end == std::string_view::npos) break;
+    rest = rest.substr(end + 1);
+  }
+  if (seen != 0x7f) {
+    return Status::InvalidArgument("progress line is missing required fields");
+  }
+  return p;
 }
 
 Result<Response> ParseResponse(const std::string& line) {

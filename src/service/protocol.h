@@ -7,7 +7,18 @@
 //   SET TIMEOUT_MS <n>      session default deadline -> OK timeout_ms=<n>
 //   SET SYNOPSIS <kind>     service-wide estimator   -> OK synopsis=<kind>
 //                           ("off" restores the legacy estimator path)
+//   SET MODE <m>            answer mode for QUERY: "oneshot" (default) or
+//                           "online" (progressive PROGRESS lines, then the
+//                           final OK line)       -> OK mode=<m>
 //   QUERY <sql>             execute                  -> OK estimate=... ...
+//                           in online mode the OK line is preceded by zero or
+//                           more "PROGRESS round=... estimate=..." lines
+//   INGEST <batch>          append a row batch       -> OK appended=<n>
+//                           generation=<g> ... (<batch> is the text codec of
+//                           service/ingest_wire.h)
+//   CANCEL                  abandon the in-flight online QUERY on this
+//                           connection (only meaningful between PROGRESS
+//                           lines; otherwise -> OK cancelled=0)
 //   STATS                   service statistics       -> OK queries=... ...
 //   METRICS                 Prometheus exposition    -> OK lines=<n> then
 //                           <n> raw text lines ending with a "# EOF" line
@@ -55,6 +66,8 @@ enum class RequestType {
   kQuit,
   kShardInfo,
   kPartial,
+  kIngest,
+  kCancel,
 };
 
 struct Request {
@@ -63,7 +76,7 @@ struct Request {
   std::string set_key;    // SET
   std::string set_value;  // SET
   std::string sql;        // QUERY
-  std::string args;       // PARTIAL (rest of line, the partial spec)
+  std::string args;       // PARTIAL / INGEST (rest of line)
 };
 
 // Parses one request line (newline already stripped). Unknown verbs and
@@ -97,6 +110,28 @@ Result<Response> ParseResponse(const std::string& line);
 
 // %.17g — shortest text that round-trips binary64 exactly.
 std::string FormatDoubleExact(double v);
+
+// One progressive checkpoint of an online-mode query. The stream the server
+// emits is monotone: half_width never grows from one round to the next, and
+// every round's half_width is >= the final OK line's. The final OK line is
+// bit-identical to what the same query would answer in oneshot mode.
+struct ProgressLine {
+  uint64_t round = 0;      // 1-based
+  uint64_t rows_used = 0;  // sample-rows prefix this round covers
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  double half_width = 0.0;
+  double level = 0.0;
+};
+
+// "PROGRESS round=<r> rows_used=<n> estimate=<e> lo=<l> hi=<h>
+//  half_width=<w> level=<p>" — doubles in %.17g, no trailing newline.
+std::string FormatProgressLine(const ProgressLine& p);
+
+// Strict inverse: rejects missing/duplicate/unknown fields, non-numeric
+// values, and non-finite doubles (a well-formed server never emits them).
+Result<ProgressLine> ParseProgressLine(const std::string& line);
 
 }  // namespace aqpp
 

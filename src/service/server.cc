@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,6 +15,7 @@
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/ingest_wire.h"
 #include "service/protocol.h"
 #include "sql/binder.h"
 
@@ -44,6 +46,12 @@ bool SendAll(int fd, const std::string& s) {
     sent += static_cast<size_t>(n);
   }
   return sent == s.size();
+}
+
+// Returns true if the request line is a CANCEL verb.
+bool IsCancelLine(const std::string& line) {
+  auto req = ParseRequest(line);
+  return req.ok() && req->type == RequestType::kCancel;
 }
 
 }  // namespace
@@ -121,9 +129,9 @@ void ServiceServer::AcceptLoop() {
   }
 }
 
-std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
-                                      const std::string& line, bool* quit) {
-  (void)fd;
+std::string ServiceServer::HandleLine(ConnState* conn, const std::string& line,
+                                      bool* quit) {
+  uint64_t* session_id = &conn->session_id;
   auto req = ParseRequest(line);
   if (!req.ok()) {
     return FormatResponse(Response::Error(
@@ -162,6 +170,16 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
         resp.Add("synopsis", kind.empty() ? "off" : kind);
         return FormatResponse(resp);
       }
+      if (req->set_key == "mode") {
+        std::string mode = ToLowerAscii(req->set_value);
+        if (mode != "online" && mode != "oneshot") {
+          return FormatResponse(Response::Error(
+              "InvalidArgument", "MODE wants 'online' or 'oneshot'"));
+        }
+        conn->online = mode == "online";
+        resp.Add("mode", mode);
+        return FormatResponse(resp);
+      }
       if (req->set_key != "timeout_ms") {
         return FormatResponse(Response::Error(
             "InvalidArgument", "unknown setting '" + req->set_key + "'"));
@@ -179,6 +197,7 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
       return FormatResponse(resp);
     }
     case RequestType::kQuery: {
+      if (conn->online) return HandleOnlineQuery(conn, req->sql, quit);
       // The trace outlives the Execute call (the worker writes into it while
       // this thread blocks); spans recorded here land in the same global
       // phase histograms the engine phases do.
@@ -216,6 +235,11 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
       resp.AddUint("pre", out.used_pre ? 1 : 0);
       resp.AddDouble("queue_ms", out.queue_seconds * 1000.0);
       resp.AddDouble("exec_ms", out.exec_seconds * 1000.0);
+      if (service_->ingest() != nullptr) {
+        resp.AddUint("generation", out.ingest_generation);
+        resp.AddUint("delta_rows", out.delta_rows);
+        resp.AddUint("folded", out.delta_folded ? 1 : 0);
+      }
       return FormatResponse(resp);
     }
     case RequestType::kStats: {
@@ -265,6 +289,35 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
       resp.AddUint("lines", lines);
       return FormatResponse(resp) + "\n" + text + "# EOF";
     }
+    case RequestType::kIngest: {
+      IngestManager* ingest = service_->ingest();
+      if (ingest == nullptr) {
+        return FormatResponse(Response::Error(
+            "FailedPrecondition", "streaming ingest is not enabled"));
+      }
+      auto batch = DecodeIngestBatch(req->args, service_->engine().table());
+      if (!batch.ok()) {
+        return FormatResponse(
+            Response::Error(StatusCodeToString(batch.status().code()),
+                            batch.status().message()));
+      }
+      Status appended = ingest->Append(**batch);
+      if (!appended.ok()) {
+        return FormatResponse(Response::Error(
+            StatusCodeToString(appended.code()), appended.message()));
+      }
+      IngestSnapshot snap = ingest->snapshot();
+      resp.AddUint("appended", (*batch)->num_rows());
+      resp.AddUint("generation", snap.committed_generation);
+      resp.AddUint("delta_rows", snap.delta_rows);
+      resp.AddUint("total_rows", snap.total_rows);
+      return FormatResponse(resp);
+    }
+    case RequestType::kCancel:
+      // A CANCEL with no online query streaming is a no-op; mid-stream
+      // CANCELs are consumed by HandleOnlineQuery and never reach here.
+      resp.AddUint("cancelled", 0);
+      return FormatResponse(resp);
     case RequestType::kQuit:
       *quit = true;
       resp.AddUint("bye", 1);
@@ -276,6 +329,126 @@ std::string ServiceServer::HandleLine(int fd, uint64_t* session_id,
           "shard verbs are served by aqpp-shardd, not the query service"));
   }
   return FormatResponse(Response::Error("Internal", "unhandled verb"));
+}
+
+std::string ServiceServer::HandleOnlineQuery(ConnState* conn,
+                                             const std::string& sql,
+                                             bool* quit) {
+  obs::QueryTrace trace;
+  obs::SpanTimer parse_span(obs::Phase::kParse, &trace);
+  auto bound = ParseAndBind(sql, *catalog_);
+  parse_span.Stop();
+  if (!bound.ok()) {
+    return FormatResponse(
+        Response::Error(StatusCodeToString(bound.status().code()),
+                        bound.status().message()));
+  }
+  // Rounds first, then the final one-shot execution: the final OK line must
+  // be bit-identical to oneshot mode, and computing it up front lets the
+  // stream guarantee that no PROGRESS round is tighter than the final
+  // interval (rounds that would be are dropped).
+  std::vector<ProgressiveStep> rounds;
+  Status round_status =
+      service_->OnlineRounds(conn->session_id, bound->query, &rounds);
+  if (!round_status.ok()) {
+    return FormatResponse(Response::Error(
+        StatusCodeToString(round_status.code()), round_status.message()));
+  }
+  QueryOutcome out = service_->Execute(conn->session_id, bound->query,
+                                       /*timeout_seconds=*/-1, &trace);
+  if (!out.status.ok()) {
+    Response err = Response::Error(StatusCodeToString(out.status.code()),
+                                   out.status.message());
+    if (out.status.code() == StatusCode::kResourceExhausted) {
+      err.fields.emplace_back(
+          "retry_after_ms",
+          StrFormat("%lld", static_cast<long long>(
+                                out.retry_after_seconds * 1000.0 + 0.5)));
+    }
+    return FormatResponse(err);
+  }
+
+  // Consumes a pipelined CANCEL: waits up to `wait_ms` for input (returning
+  // the moment any arrives), drains it, and when the next complete request
+  // line is CANCEL, eats it. A non-CANCEL line stays buffered for the normal
+  // loop.
+  auto cancel_requested = [&](int wait_ms) -> bool {
+    if (wait_ms > 0 && conn->buffer.find('\n') == std::string::npos) {
+      pollfd pfd{};
+      pfd.fd = conn->fd;
+      pfd.events = POLLIN;
+      ::poll(&pfd, 1, wait_ms);
+    }
+    char chunk[4096];
+    while (true) {
+      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+      if (n <= 0) break;
+      conn->buffer.append(chunk, static_cast<size_t>(n));
+    }
+    size_t nl = conn->buffer.find('\n');
+    if (nl == std::string::npos) return false;
+    std::string next = conn->buffer.substr(0, nl);
+    if (!next.empty() && next.back() == '\r') next.pop_back();
+    if (!IsCancelLine(next)) return false;
+    conn->buffer.erase(0, nl + 1);
+    return true;
+  };
+
+  uint64_t sent = 0;
+  bool cancelled = false;
+  for (const ProgressiveStep& step : rounds) {
+    // A partial (deadline-degraded) final answer voids the >=-final-width
+    // guarantee, so only filter against clean finals.
+    if (!out.partial && step.ci.half_width < out.ci.half_width) continue;
+    // No wait before the first round — nothing has streamed yet, so the
+    // client cannot be reacting. Between rounds, give an in-flight CANCEL
+    // its round-trip.
+    if (cancel_requested(sent == 0 ? 0 : options_.online_round_poll_ms)) {
+      cancelled = true;
+      break;
+    }
+    ProgressLine p;
+    p.round = ++sent;
+    p.rows_used = step.rows_used;
+    p.estimate = step.ci.estimate;
+    p.lo = step.ci.lower();
+    p.hi = step.ci.upper();
+    p.half_width = step.ci.half_width;
+    p.level = step.ci.level;
+    if (!SendAll(conn->fd, FormatProgressLine(p) + "\n")) {
+      *quit = true;
+      return std::string();
+    }
+  }
+
+  Response resp;
+  if (cancelled) {
+    // The caller abandoned the stream: no estimate is reported (the computed
+    // answer is discarded), just how far the stream got.
+    resp.AddUint("online", 1);
+    resp.AddUint("rounds", sent);
+    resp.AddUint("cancelled", 1);
+    return FormatResponse(resp);
+  }
+  resp.AddDouble("estimate", out.ci.estimate);
+  resp.AddDouble("lo", out.ci.lower());
+  resp.AddDouble("hi", out.ci.upper());
+  resp.AddDouble("half_width", out.ci.half_width);
+  resp.AddDouble("level", out.ci.level);
+  resp.AddUint("cache_hit", out.cache_hit ? 1 : 0);
+  resp.AddUint("partial", out.partial ? 1 : 0);
+  if (out.partial) resp.AddUint("rows_used", out.partial_rows_used);
+  resp.AddUint("pre", out.used_pre ? 1 : 0);
+  resp.AddDouble("queue_ms", out.queue_seconds * 1000.0);
+  resp.AddDouble("exec_ms", out.exec_seconds * 1000.0);
+  if (service_->ingest() != nullptr) {
+    resp.AddUint("generation", out.ingest_generation);
+    resp.AddUint("delta_rows", out.delta_rows);
+    resp.AddUint("folded", out.delta_folded ? 1 : 0);
+  }
+  resp.AddUint("online", 1);
+  resp.AddUint("rounds", sent);
+  return FormatResponse(resp);
 }
 
 void ServiceServer::HandleConnection(int fd) {
@@ -290,10 +463,11 @@ void ServiceServer::HandleConnection(int fd) {
     active_fds_.erase(fd);
     return;
   }
-  uint64_t session_id = (*session)->id();
+  ConnState conn;
+  conn.fd = fd;
+  conn.session_id = (*session)->id();
 
-  std::string buffer;
-  char chunk[4096];
+  char chunk[65536];
   bool quit = false;
   while (!quit) {
     // Simulated mid-session connection drop on the read side.
@@ -306,20 +480,39 @@ void ServiceServer::HandleConnection(int fd) {
       if (n < 0 && errno == EINTR) continue;
       break;  // disconnect or Stop()
     }
-    buffer.append(chunk, static_cast<size_t>(n));
+    conn.buffer.append(chunk, static_cast<size_t>(n));
+    // A line over the cap can never complete into a servable request;
+    // resyncing mid-payload is ambiguous, so reply once and close.
+    if (conn.buffer.find('\n') == std::string::npos &&
+        conn.buffer.size() > options_.max_line_bytes) {
+      SendAll(fd, FormatResponse(Response::Error(
+                      "InvalidArgument", "request line over the size cap")) +
+                      "\n");
+      break;
+    }
     size_t nl;
-    while (!quit && (nl = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
+    while (!quit && (nl = conn.buffer.find('\n')) != std::string::npos) {
+      std::string line = conn.buffer.substr(0, nl);
+      conn.buffer.erase(0, nl + 1);
+      if (line.size() > options_.max_line_bytes) {
+        SendAll(fd, FormatResponse(Response::Error(
+                        "InvalidArgument", "request line over the size cap")) +
+                        "\n");
+        quit = true;
+        break;
+      }
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (TrimWhitespace(line).empty()) continue;
-      std::string reply = HandleLine(fd, &session_id, line, &quit);
+      std::string reply = HandleLine(&conn, line, &quit);
+      // The online streaming path reports a broken peer with an empty reply
+      // (it already sent everything it could).
+      if (reply.empty()) continue;
       if (!SendAll(fd, reply + "\n")) {
         quit = true;
       }
     }
   }
-  (void)service_->sessions().Close(session_id);
+  (void)service_->sessions().Close(conn.session_id);
   ::close(fd);
   std::lock_guard<std::mutex> lock(conn_mu_);
   active_fds_.erase(fd);

@@ -33,6 +33,17 @@ struct ServerOptions {
   int backlog = 64;
   // Above this, new connections get one ERR line and are closed.
   size_t max_connections = 64;
+  // A single request line over this is a protocol violation: the connection
+  // gets one ERR line and is closed (resyncing inside an oversized INGEST
+  // payload is not worth the ambiguity). Sized to fit the largest INGEST
+  // line (kMaxIngestWireBytes) plus verb/header slack.
+  size_t max_line_bytes = (8u << 20) + 4096;
+  // Online-mode streams wait this long for pipelined input between PROGRESS
+  // rounds (returning early the moment any arrives), so a client that reads
+  // a round and fires CANCEL is honored before the stream runs out from
+  // under it. Rounds are precomputed — without the wait they would drain at
+  // wire speed and a mid-stream CANCEL could never win the race. 0 disables.
+  int online_round_poll_ms = 10;
 };
 
 class ServiceServer {
@@ -56,10 +67,24 @@ class ServiceServer {
   size_t active_connections() const;
 
  private:
+  // Per-connection state threaded through HandleLine: the session, the
+  // answer mode (SET MODE online|oneshot), and the unconsumed input buffer —
+  // which the online streaming path inspects between PROGRESS lines so a
+  // pipelined CANCEL is honored deterministically.
+  struct ConnState {
+    int fd = -1;
+    uint64_t session_id = 0;
+    bool online = false;
+    std::string buffer;
+  };
+
   void AcceptLoop();
   void HandleConnection(int fd);
-  std::string HandleLine(int fd, uint64_t* session_id, const std::string& line,
-                         bool* quit);
+  std::string HandleLine(ConnState* conn, const std::string& line, bool* quit);
+  // Online-mode QUERY: streams PROGRESS rounds (polling for CANCEL between
+  // them), then returns the final reply line.
+  std::string HandleOnlineQuery(ConnState* conn, const std::string& sql,
+                                bool* quit);
 
   QueryService* service_;
   const Catalog* catalog_;

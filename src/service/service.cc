@@ -5,6 +5,7 @@
 #include <future>
 #include <limits>
 #include <optional>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/string_util.h"
@@ -173,6 +174,32 @@ void QueryService::WireMaintenance(CubeMaintainer* cube,
   }
 }
 
+void QueryService::AttachIngest(IngestManager* ingest) {
+  ingest_ = ingest;
+  if (ingest_ != nullptr) {
+    // Every delta commit and every absorb publish makes cached answers
+    // unreplayable (the data they answered over changed).
+    ingest_->set_commit_observer([this] { cache_.InvalidateAll(); });
+  }
+}
+
+Status QueryService::FoldDeltaLocked(const RangeQuery& query,
+                                     QueryOutcome* out) {
+  IngestSnapshot snap = ingest_->snapshot();
+  out->ingest_generation = snap.committed_generation;
+  out->delta_rows = snap.delta_rows;
+  if (!IngestManager::FoldSupported(query.func)) return Status::OK();
+  std::shared_ptr<const Table> delta = ingest_->delta();
+  if (delta == nullptr || delta->num_rows() == 0) {
+    out->delta_folded = true;  // nothing to fold is an exact fold
+    return Status::OK();
+  }
+  AQPP_ASSIGN_OR_RETURN(double shift, IngestManager::FoldValue(*delta, query));
+  out->ci.estimate += shift;  // exact shift: the interval width is unchanged
+  out->delta_folded = true;
+  return Status::OK();
+}
+
 Status QueryService::SetSynopsis(const std::string& kind) {
   if (!kind.empty() && kind != "off" &&
       !synopsis::IsSynopsisRegistered(kind)) {
@@ -275,11 +302,27 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
   // re-inserted after the wipe (InsertIfCurrent drops it).
   uint64_t cache_generation = cache_.generation();
   if (options_.enable_cache) {
+    // Under ingest the lookup + delta fold must be one consistent read: the
+    // absorber invalidates the cache inside its exclusive publish section, so
+    // holding the state mutex shared across both pins (cached base answer,
+    // delta) to the same generation.
+    std::shared_lock<std::shared_mutex> state_lock;
+    if (ingest_ != nullptr) {
+      state_lock = std::shared_lock<std::shared_mutex>(ingest_->state_mutex());
+    }
     if (auto hit = cache_.Lookup(canon.key)) {
       out.ci = hit->ci;
       out.used_pre = hit->used_pre;
       out.pre_description = hit->pre_description;
       out.cache_hit = true;
+      if (ingest_ != nullptr) {
+        Status folded = FoldDeltaLocked(canon.query, &out);
+        if (!folded.ok()) {
+          out = QueryOutcome{};
+          out.status = std::move(folded);
+        }
+      }
+      if (state_lock.owns_lock()) state_lock.unlock();
       AccountOutcome(out, *session);
       total_span.Stop();
       RecordLatency(SecondsBetween(start, SteadyNow()));
@@ -337,7 +380,16 @@ QueryOutcome QueryService::Execute(uint64_t session_id,
   auto token = std::make_shared<CancellationToken>(
       timeout > 0 ? Deadline::After(timeout) : Deadline::Infinite());
 
-  int template_id = engine_.TemplateFor(canon.query);
+  // TemplateFor peeks at the published cube; under ingest the absorber may be
+  // swapping it, so the peek needs the same shared state lock the workers use.
+  int template_id;
+  {
+    std::shared_lock<std::shared_mutex> state_lock;
+    if (ingest_ != nullptr) {
+      state_lock = std::shared_lock<std::shared_mutex>(ingest_->state_mutex());
+    }
+    template_id = engine_.TemplateFor(canon.query);
+  }
   auto pending = std::make_shared<Pending>();
   AdmissionController::Job job;
   job.token = token;
@@ -396,11 +448,21 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
                                        SteadyTime enqueued,
                                        uint64_t cache_generation,
                                        obs::QueryTrace* trace,
-                                       const std::vector<uint8_t>* query_mask) {
+                                       const std::vector<uint8_t>* query_mask,
+                                       bool state_locked) {
   QueryOutcome out;
   out.queue_seconds = SecondsBetween(enqueued, SteadyNow());
   obs::RecordPhase(trace, obs::Phase::kQueue, out.queue_seconds);
   SteadyTime start = SteadyNow();
+
+  // Under ingest, the whole engine pass + delta fold happens inside one
+  // shared acquisition of the ingest state mutex, so the absorber's publish
+  // swap can never interleave with it (a row is counted in exactly one of
+  // {published state, delta}). RunBatch already holds it for the fused pass.
+  std::shared_lock<std::shared_mutex> state_lock;
+  if (ingest_ != nullptr && !state_locked) {
+    state_lock = std::shared_lock<std::shared_mutex>(ingest_->state_mutex());
+  }
 
   Status stop = Status::OK();
   if (token->ShouldStop()) {
@@ -419,11 +481,22 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
       out.ci = result->ci;
       out.used_pre = result->used_pre;
       out.pre_description = result->pre_description;
-      out.exec_seconds = SecondsBetween(start, SteadyNow());
       if (options_.enable_cache) {
+        // The cache stores the *base* (unfolded) answer: a delta commit bumps
+        // the cache generation through the commit observer, so this insert is
+        // dropped whenever the delta changed since the probe, and hits fold
+        // the live delta themselves.
         cache_.InsertIfCurrent(canon.key, template_id, *result,
                                cache_generation);
       }
+      if (ingest_ != nullptr) {
+        Status folded = FoldDeltaLocked(canon.query, &out);
+        if (!folded.ok()) {
+          out = QueryOutcome{};
+          out.status = std::move(folded);
+        }
+      }
+      out.exec_seconds = SecondsBetween(start, SteadyNow());
       return out;
     }
     stop = result.status();
@@ -437,6 +510,13 @@ QueryOutcome QueryService::RunOnWorker(const CanonicalQuery& canon,
       out.ci = partial->ci;
       out.partial = true;
       out.partial_rows_used = partial->rows_used;
+      if (ingest_ != nullptr) {
+        Status folded = FoldDeltaLocked(canon.query, &out);
+        if (!folded.ok()) {
+          out = QueryOutcome{};
+          out.status = std::move(folded);
+        }
+      }
       out.exec_seconds = SecondsBetween(start, SteadyNow());
       return out;  // partial answers are NOT cached: different precision
     }
@@ -463,6 +543,14 @@ void QueryService::RunBatch(std::vector<AdmissionController::Job>&& jobs) {
   BatchServiceMetrics::Get().batch_size->Observe(
       static_cast<double>(items.size()));
   BatchServiceMetrics::Get().fused->Increment(items.size());
+
+  // One shared acquisition covers the fused mask pass and every member's
+  // engine pass + delta fold (the state mutex is not recursive, so members
+  // run with state_locked=true).
+  std::shared_lock<std::shared_mutex> state_lock;
+  if (ingest_ != nullptr) {
+    state_lock = std::shared_lock<std::shared_mutex>(ingest_->state_mutex());
+  }
 
   // One fused pass over the sample evaluates every eligible member's
   // predicate mask. MIN/MAX members use the extrema grid (no sample mask)
@@ -499,9 +587,63 @@ void QueryService::RunBatch(std::vector<AdmissionController::Job>&& jobs) {
         masks[i].has_value() ? &*masks[i] : nullptr;
     item.pending->out =
         RunOnWorker(item.canon, item.template_id, item.token.get(),
-                    item.enqueued, item.cache_generation, item.trace, mask);
+                    item.enqueued, item.cache_generation, item.trace, mask,
+                    /*state_locked=*/ingest_ != nullptr);
     item.pending->done.set_value();
   }
+}
+
+Status QueryService::OnlineRounds(uint64_t session_id, const RangeQuery& query,
+                                  std::vector<ProgressiveStep>* rounds) {
+  rounds->clear();
+  auto session_or = sessions_.Get(session_id);
+  if (!session_or.ok()) return session_or.status();
+  if (!query.group_by.empty()) {
+    return Status::Unimplemented("online mode answers scalar queries");
+  }
+  CanonicalQuery canon = canonicalizer_.Canonicalize(query);
+
+  std::shared_lock<std::shared_mutex> state_lock;
+  if (ingest_ != nullptr) {
+    state_lock = std::shared_lock<std::shared_mutex>(ingest_->state_mutex());
+  }
+  ProgressiveOptions popts;
+  popts.confidence_level = engine_.confidence_level();
+  ProgressiveExecutor executor(&engine_.sample(),
+                               engine_.ProgressiveCube(canon.query), popts);
+  Rng rng(canon.seed);
+  auto steps = executor.Run(canon.query, rng);
+  // Queries the progressive executor cannot answer (non-SUM/COUNT aggregates,
+  // stratified samples) produce no rounds: online degrades to one-shot.
+  if (!steps.ok()) return Status::OK();
+  // The delta is not part of the sample, so every round gets the same exact
+  // shift the one-shot answer gets — intervals translate, widths survive.
+  double shift = 0.0;
+  if (ingest_ != nullptr && IngestManager::FoldSupported(canon.query.func)) {
+    std::shared_ptr<const Table> delta = ingest_->delta();
+    if (delta != nullptr && delta->num_rows() > 0) {
+      AQPP_ASSIGN_OR_RETURN(shift,
+                            IngestManager::FoldValue(*delta, canon.query));
+    }
+  }
+  const size_t sample_rows = engine_.sample().size();
+  double tightest = std::numeric_limits<double>::infinity();
+  for (ProgressiveStep step : *steps) {
+    step.ci.estimate += shift;
+    // A zero-width round short of the full sample means the consumed prefix
+    // held no difference rows at all — that is absence of evidence, not
+    // certainty. Emitting it would mislead the client and pin the monotone
+    // filter at zero, silencing every honest round after it. (At the full
+    // sample a zero width is exact — the query aligns with the cube — and
+    // passes through.)
+    if (step.ci.half_width == 0.0 && step.rows_used < sample_rows) continue;
+    // Monotone filter: a round wider than its predecessor carries no new
+    // information for the stream's contract and is dropped.
+    if (step.ci.half_width > tightest) continue;
+    tightest = step.ci.half_width;
+    rounds->push_back(step);
+  }
+  return Status::OK();
 }
 
 Result<ProgressiveStep> QueryService::RunProgressive(

@@ -42,6 +42,7 @@
 #include "common/clock.h"
 #include "common/status.h"
 #include "core/engine.h"
+#include "core/ingest.h"
 #include "core/maintenance.h"
 #include "core/multi_engine.h"
 #include "core/progressive.h"
@@ -130,6 +131,13 @@ struct QueryOutcome {
   double retry_after_seconds = 0;
   double queue_seconds = 0;
   double exec_seconds = 0;
+  // Streaming ingest (only meaningful when an IngestManager is attached):
+  // the committed generation and delta size the answer reflects, and whether
+  // the delta was folded exactly into `ci` (SUM/COUNT; other aggregates
+  // answer from published state until the absorber catches up).
+  uint64_t ingest_generation = 0;
+  uint64_t delta_rows = 0;
+  bool delta_folded = false;
 };
 
 struct ServiceStats {
@@ -182,6 +190,26 @@ class QueryService {
                        double timeout_seconds = -1,
                        obs::QueryTrace* trace = nullptr);
 
+  // Online-aggregation rounds for `query`: the progressive executor's
+  // checkpoints over growing sample prefixes, seeded from the canonical query
+  // (same seed as one-shot execution) and shifted by the exact delta fold
+  // when ingest is attached. Rounds are filtered monotone — half_width never
+  // increases from one round to the next. Queries the progressive executor
+  // cannot answer (non-SUM/COUNT, stratified samples) yield an empty round
+  // list with OK status: online mode degrades to one-shot. The caller streams
+  // these as PROGRESS lines and then runs Execute() for the final answer,
+  // dropping any round tighter than the final interval (see docs/ingest.md).
+  Status OnlineRounds(uint64_t session_id, const RangeQuery& query,
+                      std::vector<ProgressiveStep>* rounds);
+
+  // Attaches the streaming-ingest manager: query execution takes its state
+  // mutex shared (engine pass + delta fold are one consistent read), answers
+  // fold the delta exactly for SUM/COUNT, and every delta commit or absorb
+  // publish invalidates the result cache. Call before serving traffic; the
+  // manager must outlive the service.
+  void AttachIngest(IngestManager* ingest);
+  IngestManager* ingest() const { return ingest_; }
+
   const obs::SlowQueryLog& slow_query_log() const { return slow_log_; }
 
   // Cache invalidation surface; WireMaintenance registers InvalidateAll as
@@ -212,7 +240,11 @@ class QueryService {
   QueryOutcome RunOnWorker(const CanonicalQuery& canon, int template_id,
                            const CancellationToken* token, SteadyTime enqueued,
                            uint64_t cache_generation, obs::QueryTrace* trace,
-                           const std::vector<uint8_t>* query_mask = nullptr);
+                           const std::vector<uint8_t>* query_mask = nullptr,
+                           bool state_locked = false);
+  // Folds the current delta into `out` (exact SUM/COUNT shift) and stamps the
+  // ingest generation fields. Caller holds the ingest state mutex shared.
+  Status FoldDeltaLocked(const RangeQuery& query, QueryOutcome* out);
   // Admission run_batch target: one fused sample-mask pass for the whole
   // batch, then per-member engine execution with the precomputed masks.
   void RunBatch(std::vector<AdmissionController::Job>&& jobs);
@@ -223,6 +255,7 @@ class QueryService {
 
   EngineRef engine_;
   ServiceOptions options_;
+  IngestManager* ingest_ = nullptr;
   obs::SlowQueryLog slow_log_;
   QueryCanonicalizer canonicalizer_;
   SessionManager sessions_;

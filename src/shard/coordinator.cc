@@ -11,6 +11,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "service/client.h"
+#include "service/ingest_wire.h"
 #include "shard/partition.h"
 
 namespace aqpp {
@@ -38,6 +39,26 @@ struct CoordMetrics {
         reg.GetCounter("aqpp_coord_degraded_total", "",
                        "Merged answers returned in degraded (partial) "
                        "form."),
+    };
+    return m;
+  }
+};
+
+struct CoordIngestMetrics {
+  obs::Counter* batches;
+  obs::Counter* errors;
+  obs::Counter* invalidations;
+  static const CoordIngestMetrics& Get() {
+    auto& reg = obs::Registry::Global();
+    static const CoordIngestMetrics m = {
+        reg.GetCounter("aqpp_coord_ingest_batches_total", "",
+                       "Ingest batches fully acked by the target shard's "
+                       "replicas."),
+        reg.GetCounter("aqpp_coord_ingest_errors_total", "",
+                       "Ingest forwards that failed on some replica."),
+        reg.GetCounter("aqpp_coord_ingest_invalidations_total", "",
+                       "Result-cache invalidations driven by acked ingest "
+                       "generation bumps."),
     };
     return m;
   }
@@ -241,6 +262,67 @@ Status ShardCoordinator::Connect() {
   canonicalizer_ = QueryCanonicalizer::FromDomains(num_columns, specs);
   connected_ = true;
   return Status::OK();
+}
+
+Result<IngestAck> ShardCoordinator::Ingest(const Table& batch) {
+  AQPP_ASSIGN_OR_RETURN(std::string payload, EncodeIngestBatch(batch));
+  return IngestRaw(payload);
+}
+
+Result<IngestAck> ShardCoordinator::IngestRaw(const std::string& payload) {
+  if (!connected_) {
+    return Status::FailedPrecondition("coordinator is not connected");
+  }
+  const CoordIngestMetrics& metrics = CoordIngestMetrics::Get();
+  // Row-range sharding: appended rows extend the tail, so the batch goes to
+  // the last shard — to every replica, in endpoint order, so replicas fed
+  // the same batch sequence hold bit-identical deltas.
+  const std::vector<ReplicaEndpoint>& reps = replicas_.back();
+  const std::string line = "INGEST " + payload;
+  IngestAck ack;
+  for (const ReplicaEndpoint& ep : reps) {
+    auto fail = [&](const Status& st) {
+      metrics.errors->Increment();
+      return Status::Unavailable(StrFormat(
+          "replica %s:%d failed INGEST after %u sibling ack(s): %s",
+          ep.host.c_str(), ep.port, ack.replicas_acked,
+          st.ToString().c_str()));
+    };
+    auto client = ServiceClient::Connect(ep.host, ep.port);
+    if (!client.ok()) return fail(client.status());
+    if (Status st = client->SetRecvTimeout(options_.shard_timeout_seconds);
+        !st.ok()) {
+      return fail(st);
+    }
+    auto r = client->Call(line);
+    if (!r.ok()) return fail(r.status());
+    if (!r->ok) return fail(WireError(*r));
+    auto appended = r->GetUint("appended");
+    auto generation = r->GetUint("generation");
+    auto delta_rows = r->GetUint("delta_rows");
+    auto total_rows = r->GetUint("total_rows");
+    if (!appended.ok() || !generation.ok() || !delta_rows.ok() ||
+        !total_rows.ok()) {
+      return fail(Status::FailedPrecondition("incomplete INGEST reply"));
+    }
+    ack.appended = *appended;
+    ack.generation = std::max(ack.generation, *generation);
+    ack.delta_rows = *delta_rows;
+    ack.total_rows = *total_rows;
+    ++ack.replicas_acked;
+  }
+  metrics.batches->Increment();
+  // Invalidate on the generation bump: cached merged answers predate the
+  // batch, and the next scatter's engine merge folds it.
+  uint64_t seen = ingest_generation_.load();
+  while (ack.generation > seen &&
+         !ingest_generation_.compare_exchange_weak(seen, ack.generation)) {
+  }
+  if (ack.generation > seen) {
+    cache_.InvalidateAll();
+    metrics.invalidations->Increment();
+  }
+  return ack;
 }
 
 Result<ShardPartial> ShardCoordinator::FetchFrom(

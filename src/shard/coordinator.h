@@ -19,6 +19,7 @@
 #ifndef AQPP_SHARD_COORDINATOR_H_
 #define AQPP_SHARD_COORDINATOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -28,6 +29,7 @@
 #include "common/status.h"
 #include "service/result_cache.h"
 #include "shard/partial.h"
+#include "storage/table.h"
 
 namespace aqpp {
 namespace shard {
@@ -52,6 +54,17 @@ struct CoordinatorOptions {
   // When false a missing shard fails the query instead of degrading it.
   bool allow_degraded = true;
   size_t cache_capacity = 1024;
+};
+
+// Acknowledgment of one ingest batch forwarded through the shard tier.
+struct IngestAck {
+  uint64_t appended = 0;
+  // Highest committed ingest generation acked by the target shard's
+  // replicas (the freshness token the coordinator invalidates on).
+  uint64_t generation = 0;
+  uint64_t delta_rows = 0;
+  uint64_t total_rows = 0;
+  uint32_t replicas_acked = 0;
 };
 
 struct CoordinatorAnswer {
@@ -82,6 +95,22 @@ class ShardCoordinator {
   // Canonicalize -> cache lookup -> scatter -> merge -> (cache insert unless
   // degraded). Thread-safe after Connect().
   Result<CoordinatorAnswer> Query(const RangeQuery& query);
+
+  // Appends `batch` through the shard tier. Row-range sharding makes ingest
+  // an append at the tail: the batch is forwarded to every replica of the
+  // last shard (replicas must stay interchangeable bits, so every one of
+  // them must ack). When the acked generation moves past the last one seen,
+  // the result cache is invalidated so the next query re-scatters and its
+  // engine merge folds the new rows. A replica failing after a sibling
+  // acked is an error — those replicas may have diverged and should be
+  // drained or rebuilt before failover answers are trusted.
+  Result<IngestAck> Ingest(const Table& batch);
+  // Same, forwarding an already-encoded wire payload verbatim (what the
+  // coordinator server receives; the coordinator owns no schema to decode
+  // against — workers validate).
+  Result<IngestAck> IngestRaw(const std::string& payload);
+  // Highest ingest generation acked through this coordinator.
+  uint64_t ingest_generation() const { return ingest_generation_.load(); }
 
   // Raw scatter of an already-canonical query (gate testing and chaos
   // drills): no cache, no canonicalization; `partials[i]` is shard i or
@@ -119,6 +148,7 @@ class ShardCoordinator {
   std::vector<ShardTopology> topology_;
   std::optional<QueryCanonicalizer> canonicalizer_;
   ResultCache cache_;
+  std::atomic<uint64_t> ingest_generation_{0};
 };
 
 }  // namespace shard

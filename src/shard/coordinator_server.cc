@@ -149,6 +149,22 @@ std::string CoordinatorServer::HandleLine(const std::string& line,
       resp.AddDouble("exec_ms", answer->exec_seconds * 1000.0);
       return FormatResponse(resp);
     }
+    case RequestType::kIngest: {
+      // Forwarded verbatim: the coordinator owns no schema, so the payload
+      // is validated (and decoded) by the target shard's workers.
+      auto ack = coordinator_->IngestRaw(req->args);
+      if (!ack.ok()) {
+        return FormatResponse(
+            Response::Error(StatusCodeToString(ack.status().code()),
+                            ack.status().message()));
+      }
+      resp.AddUint("appended", ack->appended);
+      resp.AddUint("generation", ack->generation);
+      resp.AddUint("delta_rows", ack->delta_rows);
+      resp.AddUint("total_rows", ack->total_rows);
+      resp.AddUint("replicas", ack->replicas_acked);
+      return FormatResponse(resp);
+    }
     case RequestType::kStats: {
       ResultCacheStats cache = coordinator_->cache_stats();
       resp.AddUint("shards", coordinator_->num_shards());

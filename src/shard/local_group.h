@@ -59,6 +59,8 @@ class LocalShardGroup {
   uint64_t total_rows() const { return plan_.total_rows; }
   const ShardPlan& plan() const { return plan_; }
   const ShardWorker& worker(size_t i) const { return *workers_[i]; }
+  // Mutable access for post-build configuration (EnableIngest).
+  ShardWorker& mutable_worker(size_t i) { return *workers_[i]; }
 
  private:
   LocalShardGroup() = default;

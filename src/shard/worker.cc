@@ -153,6 +153,22 @@ Result<std::unique_ptr<ShardWorker>> ShardWorker::BuildFromSlab(
                options);
 }
 
+Status ShardWorker::EnableIngest(IngestOptions options) {
+  if (ingest_ != nullptr) {
+    return Status::FailedPrecondition("ingest already enabled");
+  }
+  // Delta-only mode (see the header comment): the absorber would swap the
+  // reservoir out from under the sample view's population_rows == rows wire
+  // invariant, so shard workers never run it.
+  options.background = false;
+  ingest_ = std::make_unique<IngestManager>(engine_.get(), std::move(options));
+  return Status::OK();
+}
+
+uint64_t ShardWorker::ingest_generation() const {
+  return ingest_ != nullptr ? ingest_->generation() : 0;
+}
+
 Result<ShardPartial> ShardWorker::Partial(
     const RangeQuery& query, const PartialWants& wants, uint64_t seed,
     const CancellationToken* cancel) const {
@@ -455,6 +471,17 @@ Status ShardWorker::ComputeEngine(const RangeQuery& query, uint64_t seed,
   out->engine_estimate = r.ci.estimate;
   out->engine_half_width = r.ci.half_width;
   out->engine_used_pre = r.used_pre;
+  // Delta-only ingest: committed-but-unabsorbed rows are folded exactly into
+  // the engine view (SUM/COUNT), so the coordinator's engine merge reflects
+  // every acked batch. The half-width is unchanged — the fold is exact.
+  if (ingest_ != nullptr && IngestManager::FoldSupported(query.func)) {
+    std::shared_ptr<const Table> delta = ingest_->delta();
+    if (delta != nullptr && delta->num_rows() > 0) {
+      AQPP_ASSIGN_OR_RETURN(double fold,
+                            IngestManager::FoldValue(*delta, query));
+      out->engine_estimate += fold;
+    }
+  }
   out->has_engine = true;
   return Status::OK();
 }

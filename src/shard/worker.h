@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "core/cancellation.h"
 #include "core/engine.h"
+#include "core/ingest.h"
 #include "shard/partial.h"
 #include "storage/table.h"
 
@@ -94,6 +95,22 @@ class ShardWorker {
       const std::vector<PartialRequest>& requests,
       const CancellationToken* cancel = nullptr) const;
 
+  // Enables delta-only streaming ingest on this worker: appended batches are
+  // stage-validated and committed to an exact in-memory delta that is folded
+  // into the *engine* partial view (SUM/COUNT). The exact and sample views
+  // keep answering from base data — their wire invariants (block count ==
+  // ceil(rows / kShardRows), population_rows == rows) pin them to the
+  // build-time row range — so the absorber never runs here (background is
+  // forced off; do not call AbsorbNow on the returned manager) and the
+  // prepared state stays at the build generation until a rebuild. Replicas
+  // fed identical batch sequences stay interchangeable bits.
+  Status EnableIngest(IngestOptions options = {});
+  // Null until EnableIngest; internally synchronized (Append is safe under
+  // concurrent Partial traffic).
+  IngestManager* ingest() const { return ingest_.get(); }
+  // Committed ingest generation (0 when ingest is disabled or idle).
+  uint64_t ingest_generation() const;
+
   uint32_t shard_index() const { return shard_index_; }
   uint32_t num_shards() const { return num_shards_; }
   uint64_t row_begin() const { return row_begin_; }
@@ -122,6 +139,7 @@ class ShardWorker {
 
   std::shared_ptr<Table> table_;
   std::unique_ptr<AqppEngine> engine_;
+  std::unique_ptr<IngestManager> ingest_;
   QueryTemplate template_;
   std::vector<ColumnDomain> domains_;
   uint32_t shard_index_ = 0;

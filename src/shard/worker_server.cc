@@ -16,6 +16,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "service/ingest_wire.h"
 #include "service/protocol.h"
 #include "shard/partial.h"
 
@@ -258,6 +259,9 @@ std::string WorkerServer::HandleLine(const std::string& line, bool* quit) {
       resp.AddUint("rows", worker_->rows());
       resp.AddUint("row_begin", worker_->row_begin());
       resp.AddUint("sample_rows", worker_->sample_rows());
+      if (worker_->ingest() != nullptr) {
+        resp.AddUint("generation", worker_->ingest_generation());
+      }
       std::string domains;
       for (const ColumnDomain& d : worker_->domains()) {
         if (!domains.empty()) domains += ',';
@@ -304,6 +308,34 @@ std::string WorkerServer::HandleLine(const std::string& line, bool* quit) {
       metrics.partials->Increment();
       metrics.partial_seconds->Observe(timer.ElapsedSeconds());
       EncodePartial(*partial, &resp);
+      if (worker_->ingest() != nullptr) {
+        // Freshness hint: the committed generation the fold could reflect.
+        resp.AddUint("generation", worker_->ingest_generation());
+      }
+      return FormatResponse(resp);
+    }
+    case RequestType::kIngest: {
+      IngestManager* ingest = worker_->ingest();
+      if (ingest == nullptr) {
+        return FormatResponse(Response::Error(
+            "FailedPrecondition",
+            "streaming ingest is not enabled on this worker"));
+      }
+      auto batch = DecodeIngestBatch(req->args, worker_->table());
+      if (!batch.ok()) {
+        return FormatResponse(
+            Response::Error(StatusCodeToString(batch.status().code()),
+                            batch.status().message()));
+      }
+      if (Status st = ingest->Append(**batch); !st.ok()) {
+        return FormatResponse(Response::Error(
+            StatusCodeToString(st.code()), st.message()));
+      }
+      IngestSnapshot snap = ingest->snapshot();
+      resp.AddUint("appended", (*batch)->num_rows());
+      resp.AddUint("generation", snap.committed_generation);
+      resp.AddUint("delta_rows", snap.delta_rows);
+      resp.AddUint("total_rows", snap.total_rows);
       return FormatResponse(resp);
     }
     case RequestType::kMetrics: {

@@ -9,6 +9,9 @@
 //                     sample_rows=<s> domains=<col:min:max,...>
 //   PARTIAL <spec>    computes the requested partial views (see
 //                     src/shard/partial.h) and returns them on one line
+//   INGEST <payload>  appends a wire-encoded row batch to the worker's
+//                     delta (requires ShardWorker::EnableIngest); replies
+//                     appended= generation= delta_rows= total_rows=
 //   METRICS           Prometheus exposition (same framing as the service)
 //   QUIT              closes the connection
 //

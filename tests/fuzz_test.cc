@@ -4,6 +4,7 @@
 // structured noise.
 
 #include <cmath>
+#include <cstring>
 #include <fstream>
 #include <filesystem>
 #include <string>
@@ -12,6 +13,7 @@
 
 #include "core/engine.h"
 #include "kernels/kernels.h"
+#include "service/ingest_wire.h"
 #include "service/protocol.h"
 #include "shard/partial.h"
 #include "sql/binder.h"
@@ -456,6 +458,156 @@ TEST(EngineFuzzTest, ExplainSurvivesTheSameFuzz) {
     rc.hi = rng.NextInt(-50, 150);
     q.predicate.Add(rc);
     (void)engine->Explain(q);  // ok or error; never crash
+  }
+}
+
+// ---- Ingest wire fuzz ----------------------------------------------------------
+//
+// The INGEST payload decoder and the PROGRESS line parser both consume bytes
+// straight off a socket; neither may crash, hang, or accept a structurally
+// invalid input.
+
+TEST(IngestWireFuzzTest, RandomBytesNeverCrashDecoder) {
+  auto reference = MakeSynthetic({.rows = 100, .seed = 10});
+  Rng rng = testutil::MakeTestRng(11);
+  for (int i = 0; i < 2000; ++i) {
+    std::string payload = RandomAsciiString(rng, 200);
+    auto decoded = DecodeIngestBatch(payload, *reference);
+    if (decoded.ok()) {
+      // Anything accepted must be a well-formed batch of the right shape.
+      ASSERT_NE(*decoded, nullptr);
+      EXPECT_GT((*decoded)->num_rows(), 0u);
+      EXPECT_EQ((*decoded)->num_columns(), reference->num_columns());
+    }
+  }
+}
+
+TEST(IngestWireFuzzTest, MutatedValidPayloadsNeverCrashDecoder) {
+  auto reference = MakeSynthetic({.rows = 100, .seed = 12});
+  auto batch = MakeSynthetic({.rows = 7, .seed = 13});
+  auto encoded = EncodeIngestBatch(*batch);
+  ASSERT_TRUE(encoded.ok());
+  Rng rng = testutil::MakeTestRng(14);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = *encoded;
+    // 1-4 point mutations: overwrite, insert, or delete a byte.
+    size_t edits = 1 + rng.NextBounded(4);
+    for (size_t e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng.NextBounded(mutated.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextBounded(256));
+          break;
+        case 1:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.NextBounded(95)));
+          break;
+        default:
+          mutated.erase(pos, 1);
+          break;
+      }
+    }
+    auto decoded = DecodeIngestBatch(mutated, *reference);
+    if (decoded.ok()) {
+      ASSERT_NE(*decoded, nullptr);
+      EXPECT_LE((*decoded)->num_rows(), kMaxIngestWireRows);
+      EXPECT_EQ((*decoded)->num_columns(), reference->num_columns());
+      // Decoded doubles are finite by contract, mutation or not.
+      const auto& a = (*decoded)->column(2).DoubleData();
+      for (double v : a) EXPECT_TRUE(std::isfinite(v));
+    }
+  }
+}
+
+TEST(IngestWireFuzzTest, HostileHeadersRejectBeforeAllocation) {
+  auto reference = MakeSynthetic({.rows = 10, .seed = 15});
+  const char* hostile[] = {
+      "rows=18446744073709551615 cols=3 data=1,1,1",
+      "rows=65537 cols=3 data=1,1,1",  // over kMaxIngestWireRows
+      "rows=-1 cols=3 data=1,1,1",
+      "rows=1 cols=18446744073709551615 data=1,1,1",
+      "rows=1 cols=0 data=",
+      "rows= cols= data=",
+  };
+  for (const char* payload : hostile) {
+    EXPECT_FALSE(DecodeIngestBatch(payload, *reference).ok()) << payload;
+  }
+  // An over-bound payload body is rejected without being scanned.
+  std::string big = "rows=1 cols=3 data=";
+  big.append(kMaxIngestWireBytes + 1, '1');
+  EXPECT_FALSE(DecodeIngestBatch(big, *reference).ok());
+}
+
+TEST(ProgressLineFuzzTest, FormatParseRoundTripsBitwise) {
+  Rng rng = testutil::MakeTestRng(16);
+  for (int i = 0; i < 2000; ++i) {
+    ProgressLine p;
+    p.round = rng.Next() % 1000;
+    p.rows_used = rng.Next() % 1000000;
+    p.estimate = rng.NextGaussian() * std::pow(10.0, rng.NextInt(-8, 8));
+    p.half_width = std::fabs(rng.NextGaussian()) *
+                   std::pow(10.0, rng.NextInt(-8, 8));
+    p.lo = p.estimate - p.half_width;
+    p.hi = p.estimate + p.half_width;
+    p.level = 0.5 + 0.499 * std::fabs(std::sin(static_cast<double>(i)));
+    auto parsed = ParseProgressLine(FormatProgressLine(p));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(std::memcmp(&parsed->estimate, &p.estimate, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&parsed->half_width, &p.half_width, sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&parsed->lo, &p.lo, sizeof(double)), 0);
+    EXPECT_EQ(std::memcmp(&parsed->hi, &p.hi, sizeof(double)), 0);
+    EXPECT_EQ(parsed->round, p.round);
+    EXPECT_EQ(parsed->rows_used, p.rows_used);
+  }
+}
+
+TEST(ProgressLineFuzzTest, MutatedLinesNeverCrashStrictParser) {
+  ProgressLine p;
+  p.round = 2;
+  p.rows_used = 128;
+  p.estimate = 42.5;
+  p.lo = 40.0;
+  p.hi = 45.0;
+  p.half_width = 2.5;
+  p.level = 0.95;
+  const std::string line = FormatProgressLine(p);
+  Rng rng = testutil::MakeTestRng(17);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = line;
+    size_t edits = 1 + rng.NextBounded(3);
+    for (size_t e = 0; e < edits && !mutated.empty(); ++e) {
+      size_t pos = rng.NextBounded(mutated.size());
+      switch (rng.NextBounded(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.NextBounded(256));
+          break;
+        case 1:
+          mutated.insert(pos, 1, static_cast<char>(32 + rng.NextBounded(95)));
+          break;
+        default:
+          mutated.erase(pos, 1);
+          break;
+      }
+    }
+    auto parsed = ParseProgressLine(mutated);
+    if (parsed.ok()) {
+      // The strict parser only accepts finite doubles.
+      EXPECT_TRUE(std::isfinite(parsed->estimate));
+      EXPECT_TRUE(std::isfinite(parsed->half_width));
+      EXPECT_TRUE(std::isfinite(parsed->lo));
+      EXPECT_TRUE(std::isfinite(parsed->hi));
+      EXPECT_TRUE(std::isfinite(parsed->level));
+    }
+  }
+  // Truncations of a valid line: any cut at or before the last '=' leaves
+  // the final field missing or empty and must be rejected. Cuts inside the
+  // final numeric value can spell a shorter valid double — undetectable by
+  // a text codec — so past the '=' we only require no crash (covered above).
+  const size_t last_eq = line.rfind('=');
+  ASSERT_NE(last_eq, std::string::npos);
+  for (size_t cut = 0; cut <= last_eq; ++cut) {
+    EXPECT_FALSE(ParseProgressLine(line.substr(0, cut)).ok())
+        << "accepted prefix of length " << cut;
   }
 }
 

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
@@ -142,6 +143,91 @@ TEST_F(ProgressiveTest, RejectsUnsupportedInputs) {
       std::move(CreateStratifiedSample(*table_, {1}, 0.05, srng)).value();
   ProgressiveExecutor strat_exec(&stratified, nullptr);
   EXPECT_FALSE(strat_exec.Run(SumQuery(10, 50), srng).ok());
+}
+
+// ---- Online-stream contract -------------------------------------------------
+//
+// MODE ONLINE streams these steps over the wire, so the executor's
+// determinism and its zero-width semantics are load-bearing service
+// contracts, pinned here at the core level (tests/ingest_test.cc pins the
+// TCP end of the same contracts).
+
+TEST_F(ProgressiveTest, SameSeedSameBitsDifferentSeedDifferentStream) {
+  RangeQuery q = SumQuery(18, 72);
+  ProgressiveExecutor exec(&sample_, cube_.get());
+  Rng a(42), b(42), c(43);
+  auto s1 = exec.Run(q, a);
+  auto s2 = exec.Run(q, b);
+  auto s3 = exec.Run(q, c);
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  ASSERT_EQ(s1->size(), s2->size());
+  for (size_t i = 0; i < s1->size(); ++i) {
+    // Same seed, same consumption order: bit-identical checkpoints.
+    EXPECT_EQ((*s1)[i].rows_used, (*s2)[i].rows_used);
+    EXPECT_EQ(std::memcmp(&(*s1)[i].ci.estimate, &(*s2)[i].ci.estimate,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(std::memcmp(&(*s1)[i].ci.half_width, &(*s2)[i].ci.half_width,
+                          sizeof(double)),
+              0);
+  }
+  // A different seed permutes consumption, so some intermediate checkpoint
+  // must differ. (The full-sample step is excluded: it sums the same
+  // multiset, merely in a different order.)
+  bool any_diff = false;
+  for (size_t i = 0; i + 1 < std::min(s1->size(), s3->size()); ++i) {
+    if ((*s1)[i].ci.estimate != (*s3)[i].ci.estimate ||
+        (*s1)[i].ci.half_width != (*s3)[i].ci.half_width) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(ProgressiveTest, AlignedQueryStreamsExactZeroWidthSteps) {
+  // [21, 80] is (20, 80] in half-open form — exactly two cube cuts, so the
+  // difference series is identically zero. Every checkpoint reports the pre
+  // with zero width, and that pre IS the exact answer. This is the semantic
+  // QueryService::OnlineRounds relies on when it treats a zero width short
+  // of the full sample as "no evidence yet" for misaligned queries: a
+  // zero-width FULL-sample step, by contrast, certifies exactness.
+  RangeQuery q = SumQuery(21, 80);
+  double truth = *executor_->Execute(q);
+  ProgressiveExecutor exec(&sample_, cube_.get());
+  Rng rng(10);
+  auto steps = exec.Run(q, rng);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_FALSE(steps->empty());
+  for (const auto& s : *steps) {
+    EXPECT_EQ(s.ci.half_width, 0.0);
+    EXPECT_NEAR(s.ci.estimate, truth, std::fabs(truth) * 1e-9);
+  }
+  EXPECT_EQ(steps->back().rows_used, sample_.size());
+}
+
+TEST_F(ProgressiveTest, MisalignedStreamEndsWithHonestNonzeroWidth) {
+  // Misaligned by one on each edge: a small difference region. Early
+  // checkpoints may consume no difference rows (zero width, pre-only
+  // estimate), but the full-sample step must carry a real interval that
+  // covers the truth.
+  RangeQuery q = SumQuery(12, 78);
+  double truth = *executor_->Execute(q);
+  ProgressiveExecutor exec(&sample_, cube_.get());
+  Rng rng(11);
+  auto steps = exec.Run(q, rng);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_FALSE(steps->empty());
+  const auto& last = steps->back();
+  EXPECT_EQ(last.rows_used, sample_.size());
+  EXPECT_GT(last.ci.half_width, 0.0);
+  EXPECT_TRUE(last.ci.Contains(truth));
+  // Any zero-width step short of the full sample is a pre-only report: its
+  // estimate equals the pre constant, not some third value.
+  for (const auto& s : *steps) {
+    if (s.rows_used < sample_.size() && s.ci.half_width == 0.0) {
+      EXPECT_EQ(s.ci.estimate, (*steps)[0].ci.estimate);
+    }
+  }
 }
 
 }  // namespace

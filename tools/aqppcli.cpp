@@ -7,15 +7,22 @@
 //                   [--k 50000] [--rate 0.02] --state DIR
 //   aqppcli query   --table t.bin --state DIR "SELECT ..." [--exact]
 //                   [--explain]
-//   aqppcli connect [--host 127.0.0.1] [--port 7878] ["SELECT ..."]
+//   aqppcli connect [--host 127.0.0.1] [--port 7878] [--online]
+//                   ["SELECT ..."]
+//   aqppcli ingest  --table rows.bin [--host 127.0.0.1] [--port 7878]
+//                   [--batch 1024]
 //
 // `prepare` persists the sample + BP-Cube; `query` warm-starts from that
 // state and answers in sample time, printing the exact answer too when
 // --exact is given. `connect` talks to a running aqppd: with a SQL
-// argument it runs one query (retrying through backpressure) and exits;
-// without one it reads protocol lines from stdin (bare SQL is wrapped in
-// QUERY) — an interactive session against the shared service.
+// argument it runs one query (retrying through backpressure) and exits —
+// with --online it streams the progressive PROGRESS rounds first; without
+// one it reads protocol lines from stdin (bare SQL is wrapped in QUERY) —
+// an interactive session against the shared service. `ingest` streams the
+// rows of a binary table file into a running daemon in INGEST batches
+// (the daemon must run with --ingest and a schema-identical base table).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -44,6 +51,13 @@ struct Args {
   std::vector<std::string> positional;
 };
 
+// Valueless flags: the token after them is a positional (the SQL), not the
+// flag's value — `connect --online "SELECT ..."` must not eat the query.
+bool IsBooleanFlag(const std::string& key) {
+  return key == "online" || key == "exact" || key == "explain" ||
+         key == "csv";
+}
+
 Args ParseArgs(int argc, char** argv) {
   Args args;
   if (argc > 1) args.command = argv[1];
@@ -51,7 +65,8 @@ Args ParseArgs(int argc, char** argv) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       std::string key = a.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      if (!IsBooleanFlag(key) && i + 1 < argc &&
+          std::string(argv[i + 1]).rfind("--", 0) != 0) {
         args.flags[key] = argv[++i];
       } else {
         args.flags[key] = "true";
@@ -80,7 +95,9 @@ int Usage() {
                "  aqppcli query --table t.bin --state DIR \"SELECT ...\" "
                "[--exact] [--explain]\n"
                "  aqppcli connect [--host 127.0.0.1] [--port 7878] "
-               "[\"SELECT ...\"]\n");
+               "[--online] [\"SELECT ...\"]\n"
+               "  aqppcli ingest --table rows.bin [--host 127.0.0.1] "
+               "[--port 7878] [--batch 1024]\n");
   return 2;
 }
 
@@ -260,6 +277,21 @@ int RunConnect(const Args& args) {
   if (!session.ok()) return Fail(session.status());
 
   if (!args.positional.empty()) {
+    if (FlagOr(args, "online", "") == "true") {
+      // Streamed: print every PROGRESS round, then the final answer.
+      if (Status st = client->SetMode("online"); !st.ok()) return Fail(st);
+      auto reply = client->QueryOnline(
+          args.positional[0], [](const ProgressLine& p) {
+            std::printf("round %llu: %.10g ± %.10g  (%llu rows)\n",
+                        static_cast<unsigned long long>(p.round), p.estimate,
+                        p.half_width,
+                        static_cast<unsigned long long>(p.rows_used));
+            return true;
+          });
+      if (!reply.ok()) return Fail(reply.status());
+      PrintReply(*reply);
+      return 0;
+    }
     // One-shot: run the query (riding out backpressure) and exit.
     auto reply = client->QueryWithRetry(args.positional[0]);
     if (!reply.ok()) return Fail(reply.status());
@@ -289,6 +321,50 @@ int RunConnect(const Args& args) {
   return 0;
 }
 
+int RunIngest(const Args& args) {
+  std::string table_path = FlagOr(args, "table", "");
+  if (table_path.empty()) return Usage();
+  std::string host = FlagOr(args, "host", "127.0.0.1");
+  int port = std::atoi(FlagOr(args, "port", "7878").c_str());
+  size_t batch_rows = static_cast<size_t>(
+      std::atoll(FlagOr(args, "batch", "1024").c_str()));
+  if (batch_rows == 0) batch_rows = 1024;
+
+  auto table = ReadBinary(table_path);
+  if (!table.ok()) return Fail(table.status());
+  auto client = ServiceClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  auto session = client->Hello("aqppcli-ingest");
+  if (!session.ok()) return Fail(session.status());
+
+  Timer timer;
+  const size_t n = (*table)->num_rows();
+  uint64_t sent = 0;
+  IngestReply last;
+  for (size_t begin = 0; begin < n; begin += batch_rows) {
+    const size_t end = std::min(n, begin + batch_rows);
+    std::vector<size_t> rows;
+    rows.reserve(end - begin);
+    for (size_t r = begin; r < end; ++r) rows.push_back(r);
+    auto batch = TakeRows(**table, rows);
+    if (!batch.ok()) return Fail(batch.status());
+    auto ack = client->Ingest(**batch);
+    if (!ack.ok()) return Fail(ack.status());
+    sent += ack->appended;
+    last = *ack;
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  std::printf("ingested %llu rows in %s (%.0f rows/s); generation %llu, "
+              "delta %llu, total %llu\n",
+              static_cast<unsigned long long>(sent),
+              FormatDuration(elapsed).c_str(),
+              elapsed > 0 ? static_cast<double>(sent) / elapsed : 0.0,
+              static_cast<unsigned long long>(last.generation),
+              static_cast<unsigned long long>(last.delta_rows),
+              static_cast<unsigned long long>(last.total_rows));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,5 +374,6 @@ int main(int argc, char** argv) {
   if (args.command == "prepare") return RunPrepare(args);
   if (args.command == "query") return RunQuery(args);
   if (args.command == "connect") return RunConnect(args);
+  if (args.command == "ingest") return RunIngest(args);
   return Usage();
 }

@@ -4,7 +4,13 @@
 //         [--host 127.0.0.1] [--port 7878] [--rate 0.02] [--k 50000]
 //         [--workers 4] [--queue 64] [--per-session 16]
 //         [--timeout-ms 0] [--cache 1024]
+//         [--ingest] [--absorb-rows 4096] [--absorb-ms 250]
 //         [--slow-ms 500] [--metrics] [--no-obs]
+//
+// --ingest enables the streaming-ingest subsystem (docs/ingest.md): the
+// INGEST verb appends row batches into an exact in-memory delta, and a
+// background absorber folds the delta into the cube/reservoir/synopsis
+// every --absorb-rows rows or --absorb-ms milliseconds.
 //
 // Loads the table, prepares (or warm-starts) the engine, and serves the
 // line protocol (docs/service.md) until SIGINT/SIGTERM. Clients: `aqppcli
@@ -28,6 +34,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "core/engine.h"
+#include "core/ingest.h"
 #include "service/server.h"
 #include "service/service.h"
 #include "storage/io.h"
@@ -75,6 +82,7 @@ int Usage() {
                "[--k 50000]\n"
                "        [--workers 4] [--queue 64] [--per-session 16]\n"
                "        [--timeout-ms 0] [--cache 1024]\n"
+               "        [--ingest] [--absorb-rows 4096] [--absorb-ms 250]\n"
                "        [--slow-ms 500] [--metrics] [--no-obs]\n");
   return 2;
 }
@@ -160,6 +168,22 @@ int main(int argc, char** argv) {
   bool dump_metrics = FlagOr(args, "metrics", "") == "true";
   QueryService service(EngineRef(engine->get()), sopts);
 
+  std::unique_ptr<IngestManager> ingest;
+  if (FlagOr(args, "ingest", "") == "true") {
+    IngestOptions iopts;
+    iopts.absorb_threshold_rows = static_cast<size_t>(
+        std::atoll(FlagOr(args, "absorb-rows", "4096").c_str()));
+    long long absorb_ms =
+        std::atoll(FlagOr(args, "absorb-ms", "250").c_str());
+    iopts.absorb_interval_seconds =
+        absorb_ms <= 0 ? 0.25 : static_cast<double>(absorb_ms) / 1000.0;
+    ingest = std::make_unique<IngestManager>(engine->get(), iopts);
+    service.AttachIngest(ingest.get());
+    if (Status st = ingest->Start(); !st.ok()) return Fail(st);
+    std::printf("ingest enabled (absorb at %zu rows / %lld ms)\n",
+                iopts.absorb_threshold_rows, absorb_ms);
+  }
+
   ServerOptions server_opts;
   server_opts.host = FlagOr(args, "host", "127.0.0.1");
   server_opts.port = static_cast<int>(
@@ -182,6 +206,16 @@ int main(int argc, char** argv) {
   std::printf("shutting down\n");
   server.Stop();
   service.Stop();
+  if (ingest != nullptr) {
+    ingest->Stop();
+    IngestSnapshot snap = ingest->snapshot();
+    std::printf("ingested %llu batches / %llu rows (%llu absorbed, "
+                "%zu still in delta)\n",
+                static_cast<unsigned long long>(snap.batches_committed),
+                static_cast<unsigned long long>(snap.rows_committed),
+                static_cast<unsigned long long>(snap.rows_absorbed),
+                snap.delta_rows);
+  }
   ServiceStats stats = service.stats();
   std::printf("served %llu queries (%llu cache hits, %llu rejected, "
               "%llu timed out, %llu slow)\n",
